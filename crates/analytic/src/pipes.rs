@@ -1,0 +1,128 @@
+//! Load / load-store pipe bounds (paper §3.2.1, "Dynamic constraints").
+//!
+//! Pipe allocation depends on dynamic state, so instead of simulating it the
+//! paper derives per-window lower and upper throughput bounds from the two
+//! extreme allocations:
+//!
+//! * **worst case** — loads are issued first on all pipes, then stores use
+//!   only the load-store pipes while load pipes idle:
+//!   `T_max = n_load/(LSP+LP) + n_store/LSP`, `thr_lower = k / T_max`;
+//! * **best case** — stores stream through the load-store pipes concurrently
+//!   with loads on the load pipes, and finished stores free their pipes for
+//!   the remaining loads.
+
+use crate::trace_analysis::TraceInfo;
+use crate::window::{window_counts, THROUGHPUT_CAP};
+
+/// Per-window lower and upper pipe-throughput bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipeBounds {
+    /// Worst-case (lower) throughput bound per window.
+    pub lower: Vec<f64>,
+    /// Best-case (upper) throughput bound per window.
+    pub upper: Vec<f64>,
+}
+
+/// Computes both pipe bounds for `ls_pipes` (LSP ≥ 1) and `load_pipes` (LP ≥ 0).
+///
+/// # Panics
+///
+/// Panics if `ls_pipes == 0` (stores would have no pipe; Table 1's minimum is 1).
+pub fn pipe_bounds(info: &TraceInfo, ls_pipes: u32, load_pipes: u32, k: usize) -> PipeBounds {
+    assert!(ls_pipes >= 1, "load-store pipes must be at least 1");
+    let lsp = f64::from(ls_pipes);
+    let lp = f64::from(load_pipes);
+    let n_load = window_counts(info.len(), k, |i| info.ops[i].is_load());
+    let n_store = window_counts(info.len(), k, |i| info.ops[i].is_store());
+
+    let mut lower = Vec::with_capacity(n_load.len());
+    let mut upper = Vec::with_capacity(n_load.len());
+    for (&nl, &ns) in n_load.iter().zip(&n_store) {
+        let (nl, ns) = (f64::from(nl), f64::from(ns));
+        let win = k as f64;
+        // Worst case: loads first on all pipes, then stores on LS pipes only.
+        let t_max = nl / (lsp + lp) + ns / lsp;
+        lower.push(if t_max <= 0.0 { THROUGHPUT_CAP } else { (win / t_max).min(THROUGHPUT_CAP) });
+        // Best case: stores on LS pipes overlap loads on load pipes; leftover
+        // loads then use all pipes.
+        let t_store = ns / lsp;
+        let loads_left = (nl - lp * t_store).max(0.0);
+        let t_min = if lp > 0.0 {
+            let t_loads_only = nl / lp;
+            if t_loads_only <= t_store {
+                // Loads finish during the store phase.
+                t_store.max(t_loads_only)
+            } else {
+                t_store + loads_left / (lsp + lp)
+            }
+        } else {
+            t_store + nl / lsp
+        };
+        upper.push(if t_min <= 0.0 { THROUGHPUT_CAP } else { (win / t_min).min(THROUGHPUT_CAP) });
+    }
+    PipeBounds { lower, upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_analysis::analyze_static;
+    use concorde_trace::{by_id, generate_region};
+
+    fn info(id: &str, n: usize) -> TraceInfo {
+        analyze_static(&generate_region(&by_id(id).unwrap(), 0, 0, n).instrs)
+    }
+
+    #[test]
+    fn lower_never_exceeds_upper() {
+        let info = info("P4", 8000);
+        for (lsp, lp) in [(1u32, 0u32), (2, 0), (2, 4), (8, 8), (1, 8)] {
+            let b = pipe_bounds(&info, lsp, lp, 256);
+            for (l, u) in b.lower.iter().zip(&b.upper) {
+                assert!(l <= u, "lower {l} > upper {u} at LSP={lsp}, LP={lp}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_pipes_never_reduce_bounds() {
+        let info = info("P11", 8000);
+        let small = pipe_bounds(&info, 1, 0, 256);
+        let big = pipe_bounds(&info, 8, 8, 256);
+        for i in 0..small.lower.len() {
+            assert!(big.lower[i] >= small.lower[i] - 1e-9);
+            assert!(big.upper[i] >= small.upper[i] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_load_window_bounds_coincide() {
+        // With no stores, both allocations give loads all pipes.
+        let info = info("S1", 8000);
+        let b = pipe_bounds(&info, 2, 2, 256);
+        // Bound check on the formula itself: windows with ns == 0 must have
+        // lower == upper.
+        let n_store = crate::window::window_counts(info.len(), 256, |i| info.ops[i].is_store());
+        for (i, &ns) in n_store.iter().enumerate() {
+            if ns == 0 {
+                assert!((b.lower[i] - b.upper[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn load_pipes_only_help_when_loads_exist() {
+        let info = info("P4", 8000); // store heavy but has loads
+        let no_lp = pipe_bounds(&info, 2, 0, 256);
+        let with_lp = pipe_bounds(&info, 2, 8, 256);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&with_lp.upper) >= avg(&no_lp.upper));
+    }
+
+    #[test]
+    #[should_panic(expected = "load-store pipes")]
+    fn zero_ls_pipes_rejected() {
+        let info = info("O1", 512);
+        let _ = pipe_bounds(&info, 0, 4, 256);
+    }
+}

@@ -1,0 +1,365 @@
+//! Trace analysis (paper §3.1): turns a raw dynamic trace into the *Concorde
+//! trace* — per-instruction dependencies, execution-latency estimates from
+//! in-order cache simulation, I-cache latency estimates, and branch
+//! misprediction statistics.
+//!
+//! The analysis splits into four products so each can be computed for exactly
+//! the configurations it depends on (the paper's precompute discipline):
+//!
+//! * [`TraceInfo`] — microarchitecture independent (dependencies, op classes,
+//!   cache lines, branch types, ISBs);
+//! * [`DataLatencies`] — per D-side memory configuration (L1d × L2 × prefetch);
+//! * [`InstLatencies`] — per I-side memory configuration (L1i × L2);
+//! * [`BranchInfo`] — one TAGE + BTB simulation, from which the misprediction
+//!   rate of *any* Table 1 predictor setting is derived.
+
+use std::collections::HashMap;
+
+use concorde_branch::{BranchUnit, PredictorKind};
+use concorde_cache::{CacheLevel, Hierarchy, LatencyMap, MemConfig};
+use concorde_trace::{BranchKind, Instruction, OpClass};
+
+/// Sentinel for "no dependency".
+pub const NO_DEP: u32 = u32::MAX;
+
+/// Microarchitecture-independent per-instruction information.
+#[derive(Debug, Clone)]
+pub struct TraceInfo {
+    /// Operation class per instruction.
+    pub ops: Vec<OpClass>,
+    /// Up to two register dependencies (producer indices; `NO_DEP` = none).
+    pub reg_deps: Vec<[u32; 2]>,
+    /// Memory dependency for loads (producer store index; `NO_DEP` = none).
+    pub mem_dep: Vec<u32>,
+    /// Data cache line per memory instruction (0 otherwise).
+    pub data_lines: Vec<u64>,
+    /// Instruction cache line per instruction.
+    pub icache_lines: Vec<u64>,
+    /// Branch kind per instruction (`None` for non-branches).
+    pub branch_kinds: Vec<Option<BranchKind>>,
+    /// ISB flags.
+    pub is_isb: Vec<bool>,
+}
+
+impl TraceInfo {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Count of instructions in the given class.
+    pub fn count(&self, op: OpClass) -> usize {
+        self.ops.iter().filter(|o| **o == op).count()
+    }
+}
+
+/// Builds the microarchitecture-independent trace information.
+///
+/// Dependencies follow the same rules the cycle-level simulator applies at
+/// rename: register dependencies via last-writer tracking, and for loads a
+/// memory dependency on the most recent older store to the same address (the
+/// store-forwarding edge).
+pub fn analyze_static(instrs: &[Instruction]) -> TraceInfo {
+    let n = instrs.len();
+    let mut reg_deps = Vec::with_capacity(n);
+    let mut mem_dep = vec![NO_DEP; n];
+    let mut data_lines = Vec::with_capacity(n);
+    let mut icache_lines = Vec::with_capacity(n);
+    let mut branch_kinds = Vec::with_capacity(n);
+    let mut is_isb = Vec::with_capacity(n);
+
+    let mut last_writer = [NO_DEP; concorde_trace::NUM_REGS];
+    let mut last_store_addr: HashMap<u64, u32> = HashMap::new();
+
+    for (i, instr) in instrs.iter().enumerate() {
+        let mut deps = [NO_DEP; 2];
+        for (slot, src) in instr.srcs.iter().flatten().enumerate().take(2) {
+            deps[slot] = last_writer[*src as usize];
+        }
+        reg_deps.push(deps);
+        if instr.op.is_load() {
+            if let Some(&s) = last_store_addr.get(&instr.mem_addr) {
+                mem_dep[i] = s;
+            }
+        }
+        if instr.op.is_store() {
+            last_store_addr.insert(instr.mem_addr, i as u32);
+        }
+        if let Some(d) = instr.dst {
+            last_writer[d as usize] = i as u32;
+        }
+        data_lines.push(if instr.op.is_mem() { instr.data_line() } else { 0 });
+        icache_lines.push(instr.icache_line());
+        branch_kinds.push(match instr.op {
+            OpClass::Branch(k) => Some(k),
+            _ => None,
+        });
+        is_isb.push(instr.op == OpClass::Isb);
+    }
+
+    TraceInfo {
+        ops: instrs.iter().map(|i| i.op).collect(),
+        reg_deps,
+        mem_dep,
+        data_lines,
+        icache_lines,
+        branch_kinds,
+        is_isb,
+    }
+}
+
+/// Per-instruction execution-latency estimates for one D-side memory
+/// configuration, plus the per-line load-latency queues Algorithm 1 consumes.
+#[derive(Debug, Clone)]
+pub struct DataLatencies {
+    /// Estimated execution latency per instruction (loads: from the in-order
+    /// cache simulation level; others: fixed opcode latency).
+    pub exec_latency: Vec<u32>,
+    /// For each data cache line, the latencies of the loads touching it, in
+    /// program order (Algorithm 1's `exec_times[cache_line]`).
+    pub line_load_latencies: HashMap<u64, Vec<u32>>,
+}
+
+/// Runs the in-order D-cache simulation (with `warmup` accesses first) and
+/// derives execution-latency estimates (paper §3.1 "Microarchitecture
+/// dependent (i)").
+pub fn analyze_data(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConfig) -> DataLatencies {
+    let lat = LatencyMap::default();
+    let mut h = Hierarchy::new(cfg);
+    for i in warmup {
+        if i.op.is_load() {
+            h.access_data(i.mem_addr, false, Some(i.pc));
+        } else if i.op.is_store() {
+            h.access_data(i.mem_addr, true, None);
+        }
+    }
+    let mut exec_latency = Vec::with_capacity(instrs.len());
+    let mut line_load_latencies: HashMap<u64, Vec<u32>> = HashMap::new();
+    for i in instrs {
+        let l = if i.op.is_load() {
+            let level = h.access_data(i.mem_addr, false, Some(i.pc));
+            let l = lat.latency(level);
+            line_load_latencies.entry(i.data_line()).or_default().push(l);
+            l
+        } else if i.op.is_store() {
+            h.access_data(i.mem_addr, true, None);
+            i.op.base_latency()
+        } else {
+            i.op.base_latency()
+        };
+        exec_latency.push(l);
+    }
+    DataLatencies { exec_latency, line_load_latencies }
+}
+
+/// Per-instruction I-cache latency estimates for one I-side configuration.
+#[derive(Debug, Clone)]
+pub struct InstLatencies {
+    /// I-cache access latency per instruction.
+    pub icache_latency: Vec<u32>,
+    /// Whether the instruction's line hit in L1i.
+    pub l1_hit: Vec<bool>,
+}
+
+/// Runs the in-order I-cache simulation (paper §3.1 "Microarchitecture
+/// dependent (ii)").
+pub fn analyze_inst(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConfig) -> InstLatencies {
+    let lat = LatencyMap::default();
+    let mut h = Hierarchy::new(cfg);
+    for i in warmup {
+        h.access_inst(i.pc);
+    }
+    let mut icache_latency = Vec::with_capacity(instrs.len());
+    let mut l1_hit = Vec::with_capacity(instrs.len());
+    for i in instrs {
+        let level = h.access_inst(i.pc);
+        icache_latency.push(lat.latency(level));
+        l1_hit.push(level == CacheLevel::L1);
+    }
+    InstLatencies { icache_latency, l1_hit }
+}
+
+/// Branch-prediction summary from one TAGE + BTB trace simulation, sufficient
+/// to derive the misprediction rate of every Table 1 predictor setting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchInfo {
+    /// Total branches.
+    pub branches: u64,
+    /// Conditional branches.
+    pub conditional: u64,
+    /// TAGE mispredictions on conditional branches.
+    pub tage_cond_misses: u64,
+    /// Indirect-target mispredictions (predictor independent).
+    pub indirect_misses: u64,
+}
+
+impl BranchInfo {
+    /// Misprediction rate (per branch) under the given predictor setting.
+    pub fn mispredict_rate(&self, kind: PredictorKind) -> f64 {
+        if self.branches == 0 {
+            return 0.0;
+        }
+        let cond_misses = match kind {
+            PredictorKind::Tage => self.tage_cond_misses as f64,
+            PredictorKind::Simple { miss_pct } => self.conditional as f64 * f64::from(miss_pct) / 100.0,
+        };
+        (cond_misses + self.indirect_misses as f64) / self.branches as f64
+    }
+
+    /// Mispredictions per kilo-instruction under the given predictor.
+    pub fn mpki(&self, kind: PredictorKind, instructions: usize) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        let cond_misses = match kind {
+            PredictorKind::Tage => self.tage_cond_misses as f64,
+            PredictorKind::Simple { miss_pct } => self.conditional as f64 * f64::from(miss_pct) / 100.0,
+        };
+        (cond_misses + self.indirect_misses as f64) * 1000.0 / instructions as f64
+    }
+}
+
+/// Simulates TAGE + BTB over the trace (after warmup) — paper §3.1
+/// "Microarchitecture dependent (iii)".
+pub fn analyze_branches(warmup: &[Instruction], instrs: &[Instruction]) -> BranchInfo {
+    let mut unit = BranchUnit::new(PredictorKind::Tage, 0);
+    for i in warmup {
+        unit.observe(i);
+    }
+    unit.reset_stats();
+    let mut info = BranchInfo::default();
+    for i in instrs {
+        let kind = match i.op {
+            OpClass::Branch(k) => k,
+            _ => continue,
+        };
+        let miss = unit.observe(i);
+        info.branches += 1;
+        match kind {
+            BranchKind::DirectCond => {
+                info.conditional += 1;
+                if miss {
+                    info.tage_cond_misses += 1;
+                }
+            }
+            BranchKind::Indirect => {
+                if miss {
+                    info.indirect_misses += 1;
+                }
+            }
+            BranchKind::DirectUncond => {}
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concorde_trace::{by_id, generate_region};
+
+    fn trace(id: &str, n: usize) -> Vec<Instruction> {
+        generate_region(&by_id(id).unwrap(), 0, 0, n).instrs
+    }
+
+    #[test]
+    fn reg_deps_point_backwards_to_writers() {
+        let t = trace("S5", 5000);
+        let info = analyze_static(&t);
+        for (i, deps) in info.reg_deps.iter().enumerate() {
+            for &d in deps {
+                if d != NO_DEP {
+                    let d = d as usize;
+                    assert!(d < i, "dep must be older");
+                    let produced = t[d].dst.expect("producer must write a register");
+                    assert!(
+                        t[i].srcs.iter().flatten().any(|s| *s == produced),
+                        "dep register mismatch at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mem_deps_connect_stores_to_loads() {
+        let t = trace("P4", 20_000); // store heavy
+        let info = analyze_static(&t);
+        let mut found = 0;
+        for (i, &d) in info.mem_dep.iter().enumerate() {
+            if d != NO_DEP {
+                found += 1;
+                assert!(t[i].op.is_load());
+                assert!(t[d as usize].op.is_store());
+                assert_eq!(t[i].mem_addr, t[d as usize].mem_addr);
+            }
+        }
+        assert!(found > 10, "store-heavy trace should have forwarding edges, found {found}");
+    }
+
+    #[test]
+    fn chase_loads_have_self_chain_deps() {
+        let t = trace("S1", 10_000);
+        let info = analyze_static(&t);
+        let chained = (0..t.len())
+            .filter(|&i| t[i].op.is_load() && info.reg_deps[i].iter().any(|&d| d != NO_DEP && t[d as usize].op.is_load()))
+            .count();
+        assert!(chained > 100, "pointer chase must create load->load chains, got {chained}");
+    }
+
+    #[test]
+    fn exec_latencies_match_levels() {
+        let t = trace("S1", 10_000);
+        let d = analyze_data(&[], &t, MemConfig::default());
+        assert_eq!(d.exec_latency.len(), t.len());
+        for (lat, i) in d.exec_latency.iter().zip(&t) {
+            if i.op.is_load() {
+                assert!([4u32, 10, 30, 200].contains(lat), "load latency {lat}");
+            } else {
+                assert_eq!(*lat, i.op.base_latency());
+            }
+        }
+        // Line lists sum to the number of loads.
+        let listed: usize = d.line_load_latencies.values().map(Vec::len).sum();
+        assert_eq!(listed, t.iter().filter(|i| i.op.is_load()).count());
+    }
+
+    #[test]
+    fn warmup_reduces_estimated_latency() {
+        let full = trace("S4", 40_000);
+        let (w, r) = full.split_at(32_000);
+        let cold = analyze_data(&[], r, MemConfig::default());
+        let warm = analyze_data(w, r, MemConfig::default());
+        let sum = |d: &DataLatencies| d.exec_latency.iter().map(|&x| u64::from(x)).sum::<u64>();
+        assert!(sum(&warm) < sum(&cold));
+    }
+
+    #[test]
+    fn icache_latency_reflects_code_footprint() {
+        let big = trace("S10", 20_000);
+        let small = trace("O1", 20_000);
+        let ib = analyze_inst(&[], &big, MemConfig::default());
+        let is = analyze_inst(&[], &small, MemConfig::default());
+        let misses = |x: &InstLatencies| x.l1_hit.iter().filter(|h| !**h).count();
+        assert!(misses(&ib) > 5 * misses(&is).max(1));
+    }
+
+    #[test]
+    fn branch_info_rates_are_consistent() {
+        let t = trace("S4", 30_000);
+        let info = analyze_branches(&[], &t);
+        assert!(info.branches > 0 && info.conditional > 0);
+        let tage = info.mispredict_rate(PredictorKind::Tage);
+        let perfect = info.mispredict_rate(PredictorKind::Simple { miss_pct: 0 });
+        let awful = info.mispredict_rate(PredictorKind::Simple { miss_pct: 100 });
+        assert!(tage > perfect && tage < awful);
+        assert!(perfect >= 0.0, "only indirect misses remain: {perfect}");
+        assert!(awful <= 1.0);
+        assert!(info.mpki(PredictorKind::Tage, t.len()) > 0.0);
+    }
+}

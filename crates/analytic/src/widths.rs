@@ -1,0 +1,103 @@
+//! Static-bandwidth resource bounds (paper §3.2.1, Eq. 6).
+//!
+//! Commit/fetch/decode/rename widths bound *all* instructions, so their
+//! per-window bound is simply the width (constant — the paper excludes such
+//! constants from the distribution features and passes the widths in the
+//! parameter vector instead). Issue widths bound a class of instructions;
+//! their window bound is `k / n_class × width`.
+
+use concorde_trace::OpClass;
+
+use crate::trace_analysis::TraceInfo;
+use crate::window::{bandwidth_bound, window_counts};
+
+/// Instruction classes constrained by per-class issue widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueClass {
+    /// Integer pipeline (ALU/multiply/divide, branches, nops, barriers).
+    Alu,
+    /// Floating-point pipeline.
+    Fp,
+    /// Memory pipeline (loads and stores).
+    LoadStore,
+}
+
+impl IssueClass {
+    /// Whether `op` issues on this class's ports (mirrors the cycle-level
+    /// simulator's port binding).
+    pub fn matches(self, op: OpClass) -> bool {
+        match self {
+            IssueClass::Alu => matches!(
+                op,
+                OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Branch(_) | OpClass::Nop | OpClass::Isb
+            ),
+            IssueClass::Fp => op.is_fp(),
+            IssueClass::LoadStore => op.is_mem(),
+        }
+    }
+}
+
+/// Per-window instruction counts for an issue class.
+pub fn class_counts(info: &TraceInfo, class: IssueClass, k: usize) -> Vec<u32> {
+    window_counts(info.len(), k, |i| class.matches(info.ops[i]))
+}
+
+/// Per-window throughput bound for an issue width (Eq. 6), capped.
+pub fn issue_width_bound(info: &TraceInfo, class: IssueClass, width: u32, k: usize) -> Vec<f64> {
+    bandwidth_bound(&class_counts(info, class, k), k, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_analysis::analyze_static;
+    use crate::window::THROUGHPUT_CAP;
+    use concorde_trace::{by_id, generate_region};
+
+    #[test]
+    fn classes_partition_all_ops() {
+        let t = generate_region(&by_id("P5").unwrap(), 0, 0, 8000).instrs;
+        let info = analyze_static(&t);
+        for op in &info.ops {
+            let m = [IssueClass::Alu, IssueClass::Fp, IssueClass::LoadStore]
+                .iter()
+                .filter(|c| c.matches(*op))
+                .count();
+            assert_eq!(m, 1, "{op:?} must belong to exactly one class");
+        }
+    }
+
+    #[test]
+    fn fp_bound_is_tight_for_fp_heavy_code() {
+        let t = generate_region(&by_id("P5").unwrap(), 0, 0, 8000).instrs; // Video
+        let info = analyze_static(&t);
+        let fp1 = issue_width_bound(&info, IssueClass::Fp, 1, 256);
+        let fp8 = issue_width_bound(&info, IssueClass::Fp, 8, 256);
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&fp1) < 4.0, "FP-heavy code with width 1 must be constrained");
+        assert!((avg(&fp8) - avg(&fp1) * 8.0).abs() < 1e-6 || avg(&fp8) <= THROUGHPUT_CAP);
+        assert!(avg(&fp8) > avg(&fp1));
+    }
+
+    #[test]
+    fn int_only_code_has_uncapped_fp_bound() {
+        let t = generate_region(&by_id("O1").unwrap(), 0, 0, 4000).instrs; // Dhrystone
+        let info = analyze_static(&t);
+        let fp = issue_width_bound(&info, IssueClass::Fp, 1, 256);
+        // Dhrystone has no FP ops; every window should sit at the cap.
+        assert!(fp.iter().all(|&t| t == THROUGHPUT_CAP));
+    }
+
+    #[test]
+    fn bound_scales_linearly_with_width_until_cap() {
+        let t = generate_region(&by_id("S5").unwrap(), 0, 0, 4000).instrs;
+        let info = analyze_static(&t);
+        let w2 = issue_width_bound(&info, IssueClass::Alu, 2, 256);
+        let w4 = issue_width_bound(&info, IssueClass::Alu, 4, 256);
+        for (a, b) in w2.iter().zip(&w4) {
+            if *b < THROUGHPUT_CAP {
+                assert!((b - 2.0 * a).abs() < 1e-9);
+            }
+        }
+    }
+}

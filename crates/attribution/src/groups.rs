@@ -1,0 +1,104 @@
+//! Parameter groups for attribution (the "players" of the Shapley game).
+
+use concorde_cyclesim::{MicroArch, ParamId};
+use serde::{Deserialize, Serialize};
+
+/// A named group of Table 1 parameters that move together in ablations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamGroup {
+    /// Display label (Figure 16 legend).
+    pub label: String,
+    /// Member parameters.
+    pub params: Vec<ParamId>,
+}
+
+impl ParamGroup {
+    /// Single-parameter group.
+    pub fn single(p: ParamId) -> Self {
+        ParamGroup { label: p.label().to_string(), params: vec![p] }
+    }
+}
+
+/// The 17 groups of Figure 16: the three cache sizes move together, the
+/// branch-predictor type and its Simple rate move together, and every other
+/// parameter is its own player.
+pub fn default_groups() -> Vec<ParamGroup> {
+    vec![
+        ParamGroup { label: "L1i/L1d/L2 caches".into(), params: vec![ParamId::L1iKb, ParamId::L1dKb, ParamId::L2Kb] },
+        ParamGroup::single(ParamId::PrefetchDegree),
+        ParamGroup::single(ParamId::RobSize),
+        ParamGroup::single(ParamId::LqSize),
+        ParamGroup::single(ParamId::SqSize),
+        ParamGroup::single(ParamId::LoadPipes),
+        ParamGroup::single(ParamId::LsPipes),
+        ParamGroup::single(ParamId::AluWidth),
+        ParamGroup::single(ParamId::FpWidth),
+        ParamGroup::single(ParamId::LsWidth),
+        ParamGroup::single(ParamId::CommitWidth),
+        ParamGroup { label: "Branch predictor".into(), params: vec![ParamId::BranchPredictor, ParamId::SimpleBpPct] },
+        ParamGroup::single(ParamId::MaxIcacheFills),
+        ParamGroup::single(ParamId::FetchBuffers),
+        ParamGroup::single(ParamId::FetchWidth),
+        ParamGroup::single(ParamId::DecodeWidth),
+        ParamGroup::single(ParamId::RenameWidth),
+    ]
+}
+
+/// The two-player game of Figure 15: cache sizes vs the load queue.
+pub fn cache_vs_lq_groups() -> Vec<ParamGroup> {
+    vec![
+        ParamGroup { label: "Caches".into(), params: vec![ParamId::L1iKb, ParamId::L1dKb, ParamId::L2Kb] },
+        ParamGroup { label: "Load queue".into(), params: vec![ParamId::LqSize] },
+    ]
+}
+
+/// Builds the design reached from `base` by moving the groups whose bit is
+/// set in `mask` to their `target` values.
+pub fn arch_for_mask(base: &MicroArch, target: &MicroArch, groups: &[ParamGroup], mask: u64) -> MicroArch {
+    let mut arch = *base;
+    for (g, group) in groups.iter().enumerate() {
+        if mask & (1 << g) != 0 {
+            for p in &group.params {
+                p.transplant(&mut arch, target);
+            }
+        }
+    }
+    arch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_groups_cover_all_params_once() {
+        let groups = default_groups();
+        assert_eq!(groups.len(), 17);
+        let mut all: Vec<ParamId> = groups.iter().flat_map(|g| g.params.clone()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), ParamId::ALL.len(), "every Table 1 parameter appears exactly once");
+    }
+
+    #[test]
+    fn mask_endpoints() {
+        let base = MicroArch::big_core();
+        let target = MicroArch::arm_n1();
+        let groups = default_groups();
+        assert_eq!(arch_for_mask(&base, &target, &groups, 0), base);
+        let full = (1u64 << groups.len()) - 1;
+        assert_eq!(arch_for_mask(&base, &target, &groups, full), target);
+    }
+
+    #[test]
+    fn single_bit_moves_one_group() {
+        let base = MicroArch::big_core();
+        let target = MicroArch::arm_n1();
+        let groups = default_groups();
+        // Bit 2 = ROB.
+        let a = arch_for_mask(&base, &target, &groups, 1 << 2);
+        assert_eq!(a.rob_size, target.rob_size);
+        assert_eq!(a.lq_size, base.lq_size);
+        assert_eq!(a.mem, base.mem);
+    }
+}

@@ -1,0 +1,31 @@
+//! # concorde-attribution
+//!
+//! Fine-grained performance attribution with Shapley values (paper §6).
+//!
+//! Given any performance model `f(microarchitecture) → CPI` — Concorde's
+//! predictor, the cycle-level simulator, or a synthetic function — attribute
+//! the CPI difference between a baseline and a target design to groups of
+//! Table 1 parameters. [`shapley::ablation_deltas`] reproduces the classic
+//! (order-biased) single-path ablation; [`shapley::shapley_exact`] and
+//! [`shapley::shapley_mc`] compute the fair, order-independent Shapley
+//! attribution, with model evaluations memoized by parameter subset.
+//!
+//! ```
+//! use concorde_attribution::{cache_vs_lq_groups, shapley_exact};
+//! use concorde_cyclesim::MicroArch;
+//!
+//! let base = MicroArch::big_core();
+//! let target = MicroArch::arm_n1();
+//! let f = |a: &MicroArch| 1.0 + f64::from(256 - a.lq_size) * 1e-3;
+//! let s = shapley_exact(f, &base, &target, &cache_vs_lq_groups());
+//! let total: f64 = s.values.iter().sum();
+//! assert!((total - (s.target_value - s.base_value)).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod groups;
+pub mod shapley;
+
+pub use groups::{arch_for_mask, cache_vs_lq_groups, default_groups, ParamGroup};
+pub use shapley::{ablation_deltas, shapley_exact, shapley_mc, Attribution};

@@ -1,0 +1,278 @@
+//! Shapley-value performance attribution (paper §6).
+//!
+//! Given a performance model `f(arch) → CPI`, a baseline design, and a target
+//! design, attribute the CPI difference `f(target) − f(base)` to parameter
+//! groups. Ordered single-path ablations are order-biased (Figure 15); the
+//! Shapley value averages the incremental effect of each group over orderings
+//! — all `d!` of them exactly for small games, or a Monte Carlo sample of
+//! permutations for large ones. Evaluations are memoized by the subset of
+//! groups moved, which is what makes large-scale attribution affordable with
+//! a fast model like Concorde.
+
+use std::collections::HashMap;
+
+use concorde_cyclesim::MicroArch;
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::groups::{arch_for_mask, ParamGroup};
+
+/// Result of an attribution analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Group labels, in input order.
+    pub labels: Vec<String>,
+    /// Attributed CPI deltas per group (`Σ values = target − base`).
+    pub values: Vec<f64>,
+    /// `f(base)`.
+    pub base_value: f64,
+    /// `f(target)`.
+    pub target_value: f64,
+    /// Number of model evaluations performed (memoized calls excluded).
+    pub evaluations: usize,
+}
+
+/// Memoizing evaluator over group subsets.
+struct SubsetEval<'a, F> {
+    f: F,
+    base: &'a MicroArch,
+    target: &'a MicroArch,
+    groups: &'a [ParamGroup],
+    cache: HashMap<u64, f64>,
+    evals: usize,
+}
+
+impl<'a, F: FnMut(&MicroArch) -> f64> SubsetEval<'a, F> {
+    fn new(f: F, base: &'a MicroArch, target: &'a MicroArch, groups: &'a [ParamGroup]) -> Self {
+        SubsetEval { f, base, target, groups, cache: HashMap::new(), evals: 0 }
+    }
+
+    fn value(&mut self, mask: u64) -> f64 {
+        if let Some(&v) = self.cache.get(&mask) {
+            return v;
+        }
+        let arch = arch_for_mask(self.base, self.target, self.groups, mask);
+        let v = (self.f)(&arch);
+        self.cache.insert(mask, v);
+        self.evals += 1;
+        v
+    }
+}
+
+/// One ordered ablation path: moving groups from `base` to `target` in the
+/// given `order`, returns the incremental CPI delta attributed to each group
+/// (indexed by group, not by position).
+pub fn ablation_deltas<F: FnMut(&MicroArch) -> f64>(
+    f: F,
+    base: &MicroArch,
+    target: &MicroArch,
+    groups: &[ParamGroup],
+    order: &[usize],
+) -> Attribution {
+    assert_eq!(order.len(), groups.len(), "order must permute all groups");
+    let mut eval = SubsetEval::new(f, base, target, groups);
+    let mut mask = 0u64;
+    let mut prev = eval.value(0);
+    let base_value = prev;
+    let mut values = vec![0.0; groups.len()];
+    for &g in order {
+        mask |= 1 << g;
+        let v = eval.value(mask);
+        values[g] = v - prev;
+        prev = v;
+    }
+    Attribution {
+        labels: groups.iter().map(|g| g.label.clone()).collect(),
+        values,
+        base_value,
+        target_value: prev,
+        evaluations: eval.evals,
+    }
+}
+
+/// Exact Shapley values by full subset enumeration (2^d evaluations).
+///
+/// # Panics
+///
+/// Panics if there are more than 20 groups (2^20 evaluations is the sane
+/// ceiling; use [`shapley_mc`] beyond that).
+pub fn shapley_exact<F: FnMut(&MicroArch) -> f64>(
+    f: F,
+    base: &MicroArch,
+    target: &MicroArch,
+    groups: &[ParamGroup],
+) -> Attribution {
+    let d = groups.len();
+    assert!(d <= 20, "exact Shapley is exponential; got {d} groups");
+    let mut eval = SubsetEval::new(f, base, target, groups);
+    // Precompute |S|!(d-1-|S|)!/d! weights.
+    let mut fact = vec![1.0f64; d + 1];
+    for i in 1..=d {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let mut values = vec![0.0f64; d];
+    for mask in 0u64..(1 << d) {
+        let s = mask.count_ones() as usize;
+        let v_s = eval.value(mask);
+        for (g, value) in values.iter_mut().enumerate() {
+            if mask & (1 << g) == 0 {
+                let w = fact[s] * fact[d - 1 - s] / fact[d];
+                let v_si = eval.value(mask | (1 << g));
+                *value += w * (v_si - v_s);
+            }
+        }
+    }
+    let base_value = eval.value(0);
+    let target_value = eval.value((1 << d) - 1);
+    Attribution {
+        labels: groups.iter().map(|g| g.label.clone()).collect(),
+        values,
+        base_value,
+        target_value,
+        evaluations: eval.evals,
+    }
+}
+
+/// Monte Carlo Shapley estimate over `n_perms` random orderings (Eq. 8's
+/// permutation form). Each permutation telescopes, so the returned values sum
+/// exactly to `f(target) − f(base)` regardless of the sample size.
+pub fn shapley_mc<F: FnMut(&MicroArch) -> f64>(
+    f: F,
+    base: &MicroArch,
+    target: &MicroArch,
+    groups: &[ParamGroup],
+    n_perms: usize,
+    rng: &mut ChaCha12Rng,
+) -> Attribution {
+    assert!(n_perms > 0, "need at least one permutation");
+    let d = groups.len();
+    let mut eval = SubsetEval::new(f, base, target, groups);
+    let mut values = vec![0.0f64; d];
+    let mut order: Vec<usize> = (0..d).collect();
+    for _ in 0..n_perms {
+        order.shuffle(rng);
+        let mut mask = 0u64;
+        let mut prev = eval.value(0);
+        for &g in &order {
+            mask |= 1 << g;
+            let v = eval.value(mask);
+            values[g] += v - prev;
+            prev = v;
+        }
+    }
+    for v in &mut values {
+        *v /= n_perms as f64;
+    }
+    let base_value = eval.value(0);
+    let target_value = eval.value((1 << d) - 1);
+    Attribution {
+        labels: groups.iter().map(|g| g.label.clone()).collect(),
+        values,
+        base_value,
+        target_value,
+        evaluations: eval.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groups::{cache_vs_lq_groups, default_groups};
+    use concorde_cyclesim::ParamId;
+    use rand::SeedableRng;
+
+    /// Synthetic "performance model" with a known interaction: CPI grows only
+    /// when BOTH the caches shrink and the LQ shrinks (the Figure 15 story).
+    fn interacting_model(arch: &MicroArch) -> f64 {
+        let small_cache = arch.mem.l1d_kb <= 64;
+        let small_lq = arch.lq_size <= 16;
+        match (small_cache, small_lq) {
+            (true, true) => 2.0,
+            (true, false) => 1.1,
+            (false, true) => 1.05,
+            (false, false) => 1.0,
+        }
+    }
+
+    fn endpoints() -> (MicroArch, MicroArch) {
+        (MicroArch::big_core(), MicroArch::arm_n1())
+    }
+
+    #[test]
+    fn ablation_order_changes_attribution() {
+        let (base, target) = endpoints();
+        let groups = cache_vs_lq_groups();
+        let a = ablation_deltas(interacting_model, &base, &target, &groups, &[0, 1]);
+        let b = ablation_deltas(interacting_model, &base, &target, &groups, &[1, 0]);
+        // Cache-first blames the LQ; LQ-first blames the caches.
+        assert!(a.values[1] > a.values[0], "cache-first: LQ gets the blame: {:?}", a.values);
+        assert!(b.values[0] > b.values[1], "LQ-first: caches get the blame: {:?}", b.values);
+        // Both telescope to the same total.
+        let ta: f64 = a.values.iter().sum();
+        let tb: f64 = b.values.iter().sum();
+        assert!((ta - tb).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_shapley_is_fair_and_efficient() {
+        let (base, target) = endpoints();
+        let groups = cache_vs_lq_groups();
+        let s = shapley_exact(interacting_model, &base, &target, &groups);
+        let total: f64 = s.values.iter().sum();
+        assert!((total - (s.target_value - s.base_value)).abs() < 1e-12, "efficiency");
+        // Symmetric-ish interaction: both players get a substantial share.
+        assert!(s.values[0] > 0.2 && s.values[1] > 0.2, "{:?}", s.values);
+        // Exact two-player Shapley of this game: caches get slightly more
+        // (their solo effect 0.1 > LQ's 0.05).
+        assert!(s.values[0] > s.values[1]);
+    }
+
+    #[test]
+    fn mc_matches_exact_for_small_games() {
+        let (base, target) = endpoints();
+        let groups = cache_vs_lq_groups();
+        let exact = shapley_exact(interacting_model, &base, &target, &groups);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mc = shapley_mc(interacting_model, &base, &target, &groups, 200, &mut rng);
+        for (e, m) in exact.values.iter().zip(&mc.values) {
+            assert!((e - m).abs() < 0.05, "exact {e} vs mc {m}");
+        }
+        let total: f64 = mc.values.iter().sum();
+        assert!((total - (mc.target_value - mc.base_value)).abs() < 1e-9, "MC efficiency holds exactly");
+    }
+
+    #[test]
+    fn memoization_bounds_evaluations() {
+        let (base, target) = endpoints();
+        let groups = default_groups();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut calls = 0usize;
+        let f = |a: &MicroArch| {
+            calls += 1;
+            f64::from(a.rob_size % 7) * 0.01 + 1.0
+        };
+        let s = shapley_mc(f, &base, &target, &groups, 50, &mut rng);
+        assert_eq!(s.evaluations, calls);
+        assert!(calls <= 50 * 17 + 2, "memoized evals {calls}");
+        assert!(calls < 850, "dedup must help: {calls}");
+    }
+
+    #[test]
+    fn additive_model_has_order_independent_attribution() {
+        // No interactions: ablation equals Shapley for any order.
+        let f = |a: &MicroArch| 1.0 + f64::from(1024 - a.rob_size) * 1e-3 + f64::from(256 - a.lq_size) * 1e-3;
+        let (base, target) = endpoints();
+        let groups = vec![
+            crate::groups::ParamGroup::single(ParamId::RobSize),
+            crate::groups::ParamGroup::single(ParamId::LqSize),
+        ];
+        let a = ablation_deltas(f, &base, &target, &groups, &[0, 1]);
+        let b = ablation_deltas(f, &base, &target, &groups, &[1, 0]);
+        let s = shapley_exact(f, &base, &target, &groups);
+        for i in 0..2 {
+            assert!((a.values[i] - b.values[i]).abs() < 1e-12);
+            assert!((a.values[i] - s.values[i]).abs() < 1e-12);
+        }
+    }
+}

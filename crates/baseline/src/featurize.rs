@@ -1,0 +1,115 @@
+//! Per-window instruction featurization for the sequence baseline.
+//!
+//! TAO-style models consume the instruction stream itself; to keep the O(L)
+//! character while making CPU training tractable, the baseline summarizes
+//! each window of [`BASE_WINDOW`] instructions into a small feature vector
+//! (instruction mix, dependency locality, cache/branch behaviour under the
+//! *fixed* target microarchitecture) and runs an LSTM over the window
+//! sequence. Inference cost remains proportional to the region length.
+
+use concorde_analytic::prelude::*;
+use concorde_trace::{Instruction, OpClass};
+
+/// Instructions summarized per sequence step.
+pub const BASE_WINDOW: usize = 64;
+
+/// Features per sequence step.
+pub const BASE_FEATS: usize = 12;
+
+/// Featurizes a region for the baseline under a fixed memory configuration
+/// (the baseline is specialized to one microarchitecture, like TAO).
+///
+/// Returns a row-major `[T × BASE_FEATS]` sequence.
+pub fn featurize(warmup: &[Instruction], instrs: &[Instruction], mem: concorde_cache::MemConfig) -> Vec<f32> {
+    let info = analyze_static(instrs);
+    let data = analyze_data(warmup, instrs, mem);
+    let inst = analyze_inst(warmup, instrs, mem);
+
+    let n = instrs.len();
+    let t = n / BASE_WINDOW;
+    let mut out = Vec::with_capacity(t * BASE_FEATS);
+    for w in 0..t {
+        let range = w * BASE_WINDOW..(w + 1) * BASE_WINDOW;
+        let mut mix = [0f32; 6]; // alu, muldiv, fp, load, store, branch
+        let mut isb = 0f32;
+        let mut dep_dist = 0f32;
+        let mut dep_cnt = 0f32;
+        let mut load_lat = 0f32;
+        let mut load_cnt = 0f32;
+        let mut imiss = 0f32;
+        let mut mem_dep = 0f32;
+        for i in range.clone() {
+            match info.ops[i] {
+                OpClass::IntAlu | OpClass::Nop => mix[0] += 1.0,
+                OpClass::IntMul | OpClass::IntDiv => mix[1] += 1.0,
+                OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => mix[2] += 1.0,
+                OpClass::Load => mix[3] += 1.0,
+                OpClass::Store => mix[4] += 1.0,
+                OpClass::Branch(_) => mix[5] += 1.0,
+                OpClass::Isb => isb += 1.0,
+            }
+            for &d in &info.reg_deps[i] {
+                if d != NO_DEP {
+                    dep_dist += (i as f32 - d as f32).min(256.0);
+                    dep_cnt += 1.0;
+                }
+            }
+            if info.mem_dep[i] != NO_DEP {
+                mem_dep += 1.0;
+            }
+            if info.ops[i].is_load() {
+                load_lat += data.exec_latency[i] as f32;
+                load_cnt += 1.0;
+            }
+            if !inst.l1_hit[i] {
+                imiss += 1.0;
+            }
+        }
+        let wl = BASE_WINDOW as f32;
+        out.extend_from_slice(&[
+            mix[0] / wl,
+            mix[1] / wl,
+            mix[2] / wl,
+            mix[3] / wl,
+            mix[4] / wl,
+            mix[5] / wl,
+            isb / wl,
+            (dep_dist / dep_cnt.max(1.0)) / 64.0,
+            mem_dep / wl,
+            (load_lat / load_cnt.max(1.0)) / 200.0,
+            imiss / wl,
+            load_cnt / wl,
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concorde_cache::MemConfig;
+    use concorde_trace::{by_id, generate_region};
+
+    #[test]
+    fn shapes_and_ranges() {
+        let t = generate_region(&by_id("S1").unwrap(), 0, 0, 4096).instrs;
+        let f = featurize(&[], &t, MemConfig::default());
+        assert_eq!(f.len(), (4096 / BASE_WINDOW) * BASE_FEATS);
+        for x in &f {
+            assert!(x.is_finite() && *x >= 0.0 && *x <= 4.0, "feature {x}");
+        }
+    }
+
+    #[test]
+    fn mem_bound_vs_resident_differ_in_latency_feature() {
+        let chase = generate_region(&by_id("S1").unwrap(), 0, 0, 8192).instrs;
+        let resident = generate_region(&by_id("O1").unwrap(), 0, 0, 8192).instrs;
+        let fc = featurize(&[], &chase, MemConfig::default());
+        let fr = featurize(&[], &resident, MemConfig::default());
+        let avg_lat = |f: &[f32]| {
+            let t = f.len() / BASE_FEATS;
+            (0..t).map(|w| f[w * BASE_FEATS + 9]).sum::<f32>() / t as f32
+        };
+        assert!(avg_lat(&fc) > 2.0 * avg_lat(&fr), "{} vs {}", avg_lat(&fc), avg_lat(&fr));
+    }
+}

@@ -1,0 +1,27 @@
+//! # concorde-baseline
+//!
+//! The TAO-like O(L) sequence-model baseline (paper §5.1, Figure 8): a
+//! single-microarchitecture learned simulator that featurizes windows of the
+//! instruction stream and runs an LSTM over the sequence — representative of
+//! prior sequence-based approaches (TAO, SimNet), against which Concorde's
+//! O(1) compositional model is compared.
+//!
+//! ```no_run
+//! use concorde_baseline::{featurize, train_baseline, BaselineConfig};
+//! use concorde_cache::MemConfig;
+//! use concorde_trace::{by_id, generate_region};
+//!
+//! let region = generate_region(&by_id("S5").unwrap(), 0, 0, 4096);
+//! let seq = featurize(&[], &region.instrs, MemConfig::default());
+//! let model = train_baseline(&[(seq.clone(), 1.2)], &BaselineConfig::default());
+//! let cpi = model.predict(&seq);
+//! assert!(cpi > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod featurize;
+pub mod model;
+
+pub use featurize::{featurize, BASE_FEATS, BASE_WINDOW};
+pub use model::{train_baseline, BaselineConfig, TaoBaseline};

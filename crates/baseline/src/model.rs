@@ -1,0 +1,223 @@
+//! The TAO-like sequence baseline: LSTM over window features → CPI.
+//!
+//! Specialized to a single microarchitecture (like TAO, which "does not
+//! generalize without additional retraining beyond a single
+//! microarchitecture", paper §5.1) and O(L) at inference.
+
+use concorde_ml::{AdamVec, LstmGrads, LstmRegressor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::featurize::BASE_FEATS;
+
+/// Training configuration for the baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// LSTM hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+    /// Worker threads (0 = all).
+    pub threads: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig { hidden: 32, epochs: 30, lr: 3e-3, seed: 7, threads: 0 }
+    }
+}
+
+/// A trained baseline model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaoBaseline {
+    lstm: LstmRegressor,
+    feat_mean: Vec<f32>,
+    feat_std: Vec<f32>,
+}
+
+impl TaoBaseline {
+    fn normalize(&self, seq: &[f32]) -> Vec<f32> {
+        let mut out = seq.to_vec();
+        for row in out.chunks_exact_mut(BASE_FEATS) {
+            for ((x, m), s) in row.iter_mut().zip(&self.feat_mean).zip(&self.feat_std) {
+                *x = (*x - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Predicts CPI for a featurized sequence.
+    pub fn predict(&self, seq: &[f32]) -> f64 {
+        let x = self.normalize(seq);
+        f64::from(self.lstm.predict(&x)).clamp(-8.0, 8.0).exp()
+    }
+}
+
+fn flatten_params(m: &LstmRegressor) -> Vec<f32> {
+    let mut v = Vec::with_capacity(m.num_params());
+    v.extend_from_slice(&m.wx);
+    v.extend_from_slice(&m.wh);
+    v.extend_from_slice(&m.b);
+    v.extend_from_slice(&m.head_w);
+    v.push(m.head_b);
+    v
+}
+
+fn unflatten_params(m: &mut LstmRegressor, v: &[f32]) {
+    let (nwx, nwh, nb, nhw) = (m.wx.len(), m.wh.len(), m.b.len(), m.head_w.len());
+    let mut o = 0;
+    m.wx.copy_from_slice(&v[o..o + nwx]);
+    o += nwx;
+    m.wh.copy_from_slice(&v[o..o + nwh]);
+    o += nwh;
+    m.b.copy_from_slice(&v[o..o + nb]);
+    o += nb;
+    m.head_w.copy_from_slice(&v[o..o + nhw]);
+    o += nhw;
+    m.head_b = v[o];
+}
+
+fn flatten_grads(g: &LstmGrads) -> Vec<f32> {
+    let mut v = Vec::new();
+    v.extend_from_slice(&g.wx);
+    v.extend_from_slice(&g.wh);
+    v.extend_from_slice(&g.b);
+    v.extend_from_slice(&g.head_w);
+    v.push(g.head_b);
+    v
+}
+
+/// Trains the baseline on `(sequence, cpi)` pairs. Sequences may have
+/// different lengths (each a multiple of [`BASE_FEATS`]).
+///
+/// # Panics
+///
+/// Panics if `data` is empty or labels are non-positive.
+pub fn train_baseline(data: &[(Vec<f32>, f64)], cfg: &BaselineConfig) -> TaoBaseline {
+    assert!(!data.is_empty(), "cannot train on an empty dataset");
+    assert!(data.iter().all(|(_, y)| *y > 0.0), "labels must be positive");
+
+    // Fit feature normalization.
+    let mut mean = vec![0.0f64; BASE_FEATS];
+    let mut count = 0usize;
+    for (seq, _) in data {
+        for row in seq.chunks_exact(BASE_FEATS) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += f64::from(x);
+            }
+            count += 1;
+        }
+    }
+    for m in &mut mean {
+        *m /= count.max(1) as f64;
+    }
+    let mut var = vec![0.0f64; BASE_FEATS];
+    for (seq, _) in data {
+        for row in seq.chunks_exact(BASE_FEATS) {
+            for ((v, m), &x) in var.iter_mut().zip(&mean).zip(row) {
+                let d = f64::from(x) - m;
+                *v += d * d;
+            }
+        }
+    }
+    let feat_mean: Vec<f32> = mean.iter().map(|m| *m as f32).collect();
+    let feat_std: Vec<f32> = var.iter().map(|v| ((v / count.max(1) as f64).sqrt().max(1e-4)) as f32).collect();
+
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
+    let mut lstm = LstmRegressor::new(BASE_FEATS, cfg.hidden, &mut rng);
+    let mut params = flatten_params(&lstm);
+    let mut opt = AdamVec::new(params.len(), cfg.lr);
+
+    let model_stub = TaoBaseline { lstm: lstm.clone(), feat_mean: feat_mean.clone(), feat_std: feat_std.clone() };
+    let normalized: Vec<(Vec<f32>, f32)> = data
+        .iter()
+        .map(|(seq, y)| (model_stub.normalize(seq), (*y as f32).ln()))
+        .collect();
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    // Log-MAE loss, matching the Concorde trainer's surrogate.
+    let log_mae = |o: f32, t: f32| ((o - t).abs(), if o >= t { 1.0 } else { -1.0 });
+
+    for _ in 0..cfg.epochs {
+        unflatten_params(&mut lstm, &params);
+        let shard = normalized.len().div_ceil(threads).max(1);
+        let grads: Vec<(LstmGrads, usize)> = std::thread::scope(|s| {
+            let lstm_ref = &lstm;
+            let mut handles = Vec::new();
+            for chunk in normalized.chunks(shard) {
+                handles.push(s.spawn(move || {
+                    let mut g = LstmGrads::zeros_like(lstm_ref);
+                    for (seq, t) in chunk {
+                        let (gi, _) = lstm_ref.grad_sequence(seq, *t, log_mae);
+                        g.merge(&gi);
+                    }
+                    (g, chunk.len())
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("baseline thread panicked")).collect()
+        });
+        let mut total = LstmGrads::zeros_like(&lstm);
+        for (g, _) in grads {
+            total.merge(&g);
+        }
+        total.average();
+        let gflat = flatten_grads(&total);
+        opt.apply(&mut params, &gflat, 1.0);
+    }
+    unflatten_params(&mut lstm, &params);
+    TaoBaseline { lstm, feat_mean, feat_std }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::{featurize, BASE_WINDOW};
+    use concorde_cache::MemConfig;
+    use concorde_trace::{by_id, generate_region};
+
+    #[test]
+    fn baseline_learns_workload_cpi_ordering() {
+        // Two workloads with very different CPIs at a fixed arch; the
+        // baseline should at least order them correctly after training.
+        let mem = MemConfig::default();
+        let mut data = Vec::new();
+        for (id, cpi) in [("O1", 0.6f64), ("S1", 8.0)] {
+            for t in 0..6u32 {
+                let r = generate_region(&by_id(id).unwrap(), t % 2, u64::from(t) * 8192, 4096);
+                let seq = featurize(&[], &r.instrs, mem);
+                data.push((seq, cpi * (1.0 + f64::from(t) * 0.01)));
+            }
+        }
+        let cfg = BaselineConfig { epochs: 60, hidden: 16, ..BaselineConfig::default() };
+        let model = train_baseline(&data, &cfg);
+        let fast = generate_region(&by_id("O1").unwrap(), 1, 64 * 4096, 4096);
+        let slow = generate_region(&by_id("S1").unwrap(), 1, 64 * 4096, 4096);
+        let pf = model.predict(&featurize(&[], &fast.instrs, mem));
+        let ps = model.predict(&featurize(&[], &slow.instrs, mem));
+        assert!(ps > pf, "slow {ps} must exceed fast {pf}");
+        assert!(pf > 0.0 && ps.is_finite());
+    }
+
+    #[test]
+    fn sequences_of_different_lengths_work() {
+        let mem = MemConfig::default();
+        let r1 = generate_region(&by_id("O2").unwrap(), 0, 0, 2 * BASE_WINDOW);
+        let r2 = generate_region(&by_id("O2").unwrap(), 0, 0, 8 * BASE_WINDOW);
+        let data = vec![
+            (featurize(&[], &r1.instrs, mem), 1.0),
+            (featurize(&[], &r2.instrs, mem), 1.2),
+        ];
+        let cfg = BaselineConfig { epochs: 3, hidden: 8, ..BaselineConfig::default() };
+        let m = train_baseline(&data, &cfg);
+        assert!(m.predict(&data[0].0) > 0.0);
+    }
+}

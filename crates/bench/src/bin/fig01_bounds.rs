@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (per-resource bounds vs IPC).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::bounds::fig01(&ctx);
+}

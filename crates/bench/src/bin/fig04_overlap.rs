@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (train/test overlap).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::fig04(&ctx);
+}

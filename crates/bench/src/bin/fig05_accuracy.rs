@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (headline accuracy).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::fig05(&ctx);
+}

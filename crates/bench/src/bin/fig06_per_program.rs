@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (per-program errors).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::fig06(&ctx);
+}

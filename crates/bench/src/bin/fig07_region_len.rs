@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (region-length study).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::fig07(&ctx);
+}

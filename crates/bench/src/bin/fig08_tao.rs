@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (Concorde vs TAO-like baseline).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::baseline_cmp::fig08(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (long-program sampling).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::longspeed::fig09(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (speed comparison).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::longspeed::fig10(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11 (exec-time discrepancy buckets).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::fig11(&ctx);
+}

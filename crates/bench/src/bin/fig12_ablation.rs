@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 (feature/model ablations).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::ablation::fig12(&ctx);
+}

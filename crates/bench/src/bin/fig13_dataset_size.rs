@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (dataset-size study).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::ablation::fig13(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 (OOD generalization + onboarding).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::ablation::fig14(&ctx);
+}

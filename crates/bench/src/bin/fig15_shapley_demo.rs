@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 (ablation bias vs Shapley).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::attribution::fig15(&ctx);
+}

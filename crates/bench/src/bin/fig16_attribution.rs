@@ -1,0 +1,5 @@
+//! Regenerates Figure 16 (suite-wide N1 attribution).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::attribution::fig16(&ctx);
+}

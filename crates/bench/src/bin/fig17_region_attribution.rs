@@ -1,0 +1,5 @@
+//! Regenerates Figure 17 (per-region P9 attribution).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::attribution::fig17(&ctx);
+}

@@ -1,0 +1,12 @@
+//! Generates the shared dataset, trains the full Concorde model, and caches
+//! both under `target/concorde-artifacts/` for every figure binary to reuse.
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    let data = ctx.main_data();
+    println!(
+        "pipeline complete: {} train / {} test samples, model input dim {}",
+        data.train.len(),
+        data.test.len(),
+        data.model.layout.dim()
+    );
+}

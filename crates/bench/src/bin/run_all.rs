@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! `--quick` for a smoke run, default for the scaled reproduction, `--full`
+//! for a larger (slower) run. Artifacts land in `target/concorde-artifacts/`.
+use concorde_bench::experiments as e;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let ctx = concorde_bench::Ctx::from_args();
+    e::tables::tab01(&ctx);
+    e::tables::tab02(&ctx);
+    e::tables::tab03(&ctx);
+    ctx.main_data();
+    e::bounds::fig01(&ctx);
+    e::accuracy::fig04(&ctx);
+    e::accuracy::fig05(&ctx);
+    e::accuracy::fig06(&ctx);
+    e::accuracy::fig07(&ctx);
+    e::baseline_cmp::fig08(&ctx);
+    e::longspeed::fig09(&ctx);
+    e::longspeed::fig10(&ctx);
+    e::accuracy::fig11(&ctx);
+    e::accuracy::tab04(&ctx);
+    e::ablation::fig12(&ctx);
+    e::ablation::fig13(&ctx);
+    e::ablation::fig14(&ctx);
+    e::tables::tab_preproc(&ctx);
+    e::accuracy::tab_other_metrics(&ctx);
+    e::attribution::fig15(&ctx);
+    e::attribution::fig16(&ctx);
+    e::attribution::fig17(&ctx);
+    println!("\nrun_all complete in {:?}; artifacts in {}", t0.elapsed(), ctx.dir.display());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (design space).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::tables::tab01(&ctx);
+}

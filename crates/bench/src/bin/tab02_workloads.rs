@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (workload suite).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::tables::tab02(&ctx);
+}

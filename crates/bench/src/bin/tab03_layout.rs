@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (ML input layout).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::tables::tab03(&ctx);
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (branch misprediction buckets).
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::tab04(&ctx);
+}

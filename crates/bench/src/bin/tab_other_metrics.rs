@@ -1,0 +1,5 @@
+//! Regenerates the section-5.2.6 other-metrics study.
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::accuracy::tab_other_metrics(&ctx);
+}

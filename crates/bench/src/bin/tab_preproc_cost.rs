@@ -1,0 +1,5 @@
+//! Regenerates the section-5.2.3 preprocessing-cost table.
+fn main() {
+    let ctx = concorde_bench::Ctx::from_args();
+    concorde_bench::experiments::tables::tab_preproc(&ctx);
+}

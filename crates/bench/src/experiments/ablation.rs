@@ -1,0 +1,188 @@
+//! Ablation studies: Figure 12 (feature/model ablations), Figure 13 (dataset
+//! size), Figure 14 (out-of-distribution generalization + onboarding).
+
+use concorde_core::prelude::*;
+use concorde_ml::ErrorStats;
+use serde_json::json;
+
+use crate::{print_table, Ctx};
+
+/// Figure 12: min-bound (no ML) vs Base vs Base+stalls vs Full, plus the
+/// §5.2.2 model-size ablation.
+pub fn fig12(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 12: design-component ablation ==");
+    let data = ctx.main_data();
+    let mut rows = Vec::new();
+    let mut out = serde_json::Map::new();
+
+    // Pure analytical min-bound (no ML): rebuild per-sample stores is costly,
+    // so approximate with the features' stored raw series via a fresh store
+    // per test sample — instead we reuse the ratio of stored min-bound
+    // features: recompute from a subsample.
+    let nsub = data.test.len().min(200);
+    let min_pairs: Vec<(f64, f64)> = {
+        let profile = ctx.profile.clone();
+        let suite = concorde_trace::suite();
+        let idx: Vec<usize> = (0..nsub).collect();
+        let results: Vec<parking_lot::Mutex<Option<(f64, f64)>>> =
+            (0..nsub).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= idx.len() {
+                        break;
+                    }
+                    let smp = &data.test[idx[i]];
+                    let spec = &suite[smp.workload as usize];
+                    let warm_start = smp.region.start.saturating_sub(profile.warmup_len as u64);
+                    let warm_len = (smp.region.start - warm_start) as usize;
+                    let full = concorde_trace::generate_region(
+                        spec,
+                        smp.region.trace_idx,
+                        warm_start,
+                        warm_len + profile.region_len,
+                    );
+                    let (w, r) = full.instrs.split_at(warm_len);
+                    let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&smp.arch), &profile);
+                    *results[i].lock() = Some((store.min_bound_cpi(&smp.arch), smp.cpi));
+                });
+            }
+        });
+        results.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    };
+    let min_stats = ErrorStats::from_pairs(&min_pairs);
+    rows.push(vec![
+        "min bound (analytical, no ML)".to_string(),
+        format!("{:.1}%", min_stats.mean * 100.0),
+        format!("{:.1}%", min_stats.frac_above_10pct * 100.0),
+    ]);
+    out.insert("min_bound".into(), json!({ "mean": min_stats.mean, "frac_above_10pct": min_stats.frac_above_10pct }));
+
+    for (label, variant) in [
+        ("base (throughput dists + BP rate)", FeatureVariant::Base),
+        ("base + pipeline-stall features", FeatureVariant::BaseBranch),
+        ("full Concorde (+ latency dists)", FeatureVariant::Full),
+    ] {
+        let stats = if variant == FeatureVariant::Full {
+            let pairs = predict_all(&data.model, &data.test, &ctx.profile);
+            ErrorStats::from_pairs(&pairs)
+        } else {
+            let opts = TrainOptions { variant, ..TrainOptions::default() };
+            let (_, stats) = train_and_evaluate(&data.train, &data.test, &ctx.profile, &opts);
+            stats
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}%", stats.mean * 100.0),
+            format!("{:.2}%", stats.frac_above_10pct * 100.0),
+        ]);
+        out.insert(label.into(), json!({ "mean": stats.mean, "frac_above_10pct": stats.frac_above_10pct }));
+    }
+    print_table(&["Model", "Mean err", ">10% err"], &rows);
+    println!("(paper ordering: 65% → 3.32% → 2.4% → 2.03%)");
+
+    // §5.2.2 model-size ablation.
+    println!("\n-- §5.2.2: model-size ablation --");
+    let mut size_rows = Vec::new();
+    for (name, hidden) in [
+        ("1 x 256", vec![256usize]),
+        ("256 / 128 (paper)", vec![256, 128]),
+        ("512 / 256 / 128", vec![512, 256, 128]),
+    ] {
+        let opts = TrainOptions { hidden: Some(hidden.clone()), ..TrainOptions::default() };
+        let (_, stats) = train_and_evaluate(&data.train, &data.test, &ctx.profile, &opts);
+        size_rows.push(vec![name.to_string(), format!("{:.2}%", stats.mean * 100.0)]);
+        out.insert(format!("hidden {name}"), json!(stats.mean));
+    }
+    print_table(&["Hidden layers", "Mean err"], &size_rows);
+    println!("(paper: 3.91% / 2.03% / 1.85%)");
+
+    let j = serde_json::Value::Object(out);
+    ctx.write_report("fig12_ablation", &j);
+    j
+}
+
+/// Figure 13: accuracy vs training-set size.
+pub fn fig13(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 13: accuracy vs training-set size ==");
+    let data = ctx.main_data();
+    let n = data.train.len();
+    let fracs = [0.125, 0.25, 0.5, 1.0];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for f in fracs {
+        let k = ((n as f64 * f) as usize).max(16);
+        let subset = &data.train[..k];
+        let (_, stats) = train_and_evaluate(subset, &data.test, &ctx.profile, &TrainOptions::default());
+        rows.push(vec![k.to_string(), format!("{:.2}%", stats.mean * 100.0)]);
+        series.push(json!({ "train_samples": k, "mean": stats.mean }));
+    }
+    print_table(&["Train samples", "Mean err"], &rows);
+    println!("(paper: 200k → 3.07%, full 789k → 2.01%; error decreases monotonically with data)");
+    let j = json!(series);
+    ctx.write_report("fig13_dataset_size", &j);
+    j
+}
+
+/// Figure 14: leave-one-program-out OOD errors, plus the onboarding curve.
+pub fn fig14(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 14: out-of-distribution generalization ==");
+    let data = ctx.main_data();
+    let suite = concorde_trace::suite();
+    // Programs the paper highlights: the synthetic outliers (O3, O4) and the
+    // distinctive real workloads (S1, C2), plus two typical ones.
+    let focus = ["O3", "O4", "S1", "C2", "S5", "P5"];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for id in focus {
+        let w = suite.iter().position(|s| s.id == id).unwrap() as u16;
+        let train: Vec<Sample> = data.train.iter().filter(|s| s.workload != w).cloned().collect();
+        let test: Vec<Sample> = data.test.iter().filter(|s| s.workload == w).cloned().collect();
+        if test.is_empty() {
+            continue;
+        }
+        let (model, stats) = train_and_evaluate(&train, &test, &ctx.profile, &TrainOptions::default());
+        drop(model);
+        // In-distribution reference from the main model.
+        let pairs = predict_all(&data.model, &test, &ctx.profile);
+        let indist = ErrorStats::from_pairs(&pairs);
+        rows.push(vec![
+            id.to_string(),
+            format!("{:.2}%", stats.mean * 100.0),
+            format!("{:.2}%", indist.mean * 100.0),
+            test.len().to_string(),
+        ]);
+        out.push(json!({ "program": id, "ood_mean": stats.mean, "indist_mean": indist.mean, "n": test.len() }));
+    }
+    print_table(&["Held-out program", "OOD err", "In-dist err", "n test"], &rows);
+    println!("(paper: OOD errors rise — most <10%, synthetic microbenchmarks worst)");
+
+    // Onboarding: add k samples of the held-out program back.
+    println!("\n-- onboarding curve (held-out program: O3) --");
+    let w = suite.iter().position(|s| s.id == "O3").unwrap() as u16;
+    let others: Vec<Sample> = data.train.iter().filter(|s| s.workload != w).cloned().collect();
+    let own: Vec<Sample> = data.train.iter().filter(|s| s.workload == w).cloned().collect();
+    let test: Vec<Sample> = data.test.iter().filter(|s| s.workload == w).cloned().collect();
+    let mut curve = Vec::new();
+    let mut curve_rows = Vec::new();
+    if !test.is_empty() {
+        let mut levels = vec![0usize, 8, 32, own.len().min(128), own.len()];
+        levels.sort_unstable();
+        levels.dedup();
+        for k in levels {
+            let mut train = others.clone();
+            train.extend(own.iter().take(k).cloned());
+            let (_, stats) = train_and_evaluate(&train, &test, &ctx.profile, &TrainOptions::default());
+            curve_rows.push(vec![k.to_string(), format!("{:.2}%", stats.mean * 100.0)]);
+            curve.push(json!({ "onboard_samples": k, "mean": stats.mean }));
+        }
+        print_table(&["New-program samples", "Err on program"], &curve_rows);
+        println!("(paper: 2k samples reach within 5% of the error floor)");
+    }
+    let j = json!({ "ood": out, "onboarding_o3": curve });
+    ctx.write_report("fig14_ood", &j);
+    j
+}

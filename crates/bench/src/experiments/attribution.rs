@@ -1,0 +1,233 @@
+//! Figures 15–17: Shapley-value performance attribution (paper §6).
+
+use concorde_attribution::{ablation_deltas, cache_vs_lq_groups, default_groups, shapley_exact, shapley_mc};
+use concorde_core::prelude::*;
+use concorde_cyclesim::MicroArch;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde_json::json;
+
+use crate::{print_table, Ctx};
+
+fn region_store(ctx: &Ctx, id: &str, trace: u32, start: u64, sweep: &SweepConfig) -> FeatureStore {
+    let profile = &ctx.profile;
+    let spec = concorde_trace::by_id(id).unwrap();
+    let warm_start = start.saturating_sub(profile.warmup_len as u64);
+    let warm_len = (start - warm_start) as usize;
+    let full = concorde_trace::generate_region(&spec, trace, warm_start, warm_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(warm_len);
+    FeatureStore::precompute(w, r, sweep, profile)
+}
+
+/// Figure 15: order-dependent ablations vs the Shapley attribution for the
+/// cache-size / load-queue interaction on a Search3 (P9) region.
+pub fn fig15(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 15: ablation order bias vs Shapley ==");
+    let model = &ctx.main_data().model;
+    let base = MicroArch::big_core();
+    // Target: the paper's example — shrink caches to 64/64/1024 and LQ to 12.
+    let mut target = base;
+    target.mem.l1i_kb = 64;
+    target.mem.l1d_kb = 64;
+    target.mem.l2_kb = 1024;
+    target.lq_size = 12;
+    let groups = cache_vs_lq_groups();
+
+    let store = region_store(ctx, "P9", 0, 3 * ctx.profile.region_len as u64, &SweepConfig::for_pair(&base, &target));
+    let f = |a: &MicroArch| model.predict(&store, a);
+
+    let cache_first = ablation_deltas(f, &base, &target, &groups, &[0, 1]);
+    let lq_first = ablation_deltas(f, &base, &target, &groups, &[1, 0]);
+    let shapley = shapley_exact(f, &base, &target, &groups);
+
+    let pct = |v: f64, b: f64| format!("{:+.0}%", v / b * 100.0);
+    let b = shapley.base_value;
+    let rows = vec![
+        vec!["Cache -> LQ".into(), pct(cache_first.values[0], b), pct(cache_first.values[1], b)],
+        vec!["LQ -> Cache".into(), pct(lq_first.values[0], b), pct(lq_first.values[1], b)],
+        vec!["Shapley".into(), pct(shapley.values[0], b), pct(shapley.values[1], b)],
+    ];
+    print_table(&["Attribution", "Caches", "Load queue"], &rows);
+    println!(
+        "baseline CPI {:.3} -> target CPI {:.3}; Shapley splits the interaction fairly \
+         (paper: 53/458 vs 501/… vs 277/234)",
+        shapley.base_value, shapley.target_value
+    );
+    let j = json!({
+        "base_cpi": shapley.base_value,
+        "target_cpi": shapley.target_value,
+        "cache_first": cache_first.values,
+        "lq_first": lq_first.values,
+        "shapley": shapley.values,
+    });
+    ctx.write_report("fig15_shapley_demo", &j);
+    j
+}
+
+/// Figure 16: CPI attribution for ARM N1 across the whole workload suite.
+pub fn fig16(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 16: CPI attribution for ARM N1 across workloads ==");
+    let model = &ctx.main_data().model;
+    let base = MicroArch::big_core();
+    let target = MicroArch::arm_n1();
+    let groups = default_groups();
+    let sweep = SweepConfig::for_pair(&base, &target);
+    let suite = concorde_trace::suite();
+
+    let (regions_per_wl, perms) = match ctx.scale {
+        crate::Scale::Quick => (2usize, 8usize),
+        crate::Scale::Default => (16, 40),
+        crate::Scale::Full => (48, 100),
+    };
+
+    let total_evals = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<serde_json::Value>>> =
+        suite.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let wi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if wi >= suite.len() {
+                    break;
+                }
+                let spec = &suite[wi];
+                let mut sum = vec![0.0f64; groups.len()];
+                let mut base_cpi = 0.0;
+                let mut target_cpi = 0.0;
+                let mut rng = ChaCha12Rng::seed_from_u64(0xF16 ^ wi as u64);
+                for rgn in 0..regions_per_wl {
+                    let start = (rgn as u64 * 7 + 1) * concorde_trace::SEGMENT_LEN * 4
+                        % spec.trace_len.saturating_sub(ctx.profile.region_len as u64).max(1);
+                    let store = region_store(ctx, &spec.id, rgn as u32 % spec.n_traces, start, &sweep);
+                    let f = |a: &MicroArch| model.predict(&store, a);
+                    let attr = shapley_mc(f, &base, &target, &groups, perms, &mut rng);
+                    for (acc, v) in sum.iter_mut().zip(&attr.values) {
+                        *acc += v;
+                    }
+                    base_cpi += attr.base_value;
+                    target_cpi += attr.target_value;
+                    total_evals.fetch_add(attr.evaluations, std::sync::atomic::Ordering::Relaxed);
+                }
+                let k = regions_per_wl as f64;
+                let values: Vec<f64> = sum.iter().map(|v| v / k).collect();
+                *results[wi].lock() = Some(json!({
+                    "program": spec.id,
+                    "base_cpi": base_cpi / k,
+                    "target_cpi": target_cpi / k,
+                    "attribution": values,
+                }));
+            });
+        }
+    });
+    let elapsed = t0.elapsed();
+    let per_program: Vec<serde_json::Value> = results.into_iter().map(|m| m.into_inner().unwrap()).collect();
+
+    // Print: per program, baseline→target CPI and the top-3 bottlenecks.
+    let mut rows = Vec::new();
+    for r in &per_program {
+        let vals: Vec<f64> = r["attribution"].as_array().unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
+        let top: Vec<String> = idx
+            .iter()
+            .take(3)
+            .filter(|&&i| vals[i] > 1e-3)
+            .map(|&i| format!("{} ({:+.2})", groups[i].label, vals[i]))
+            .collect();
+        rows.push(vec![
+            r["program"].as_str().unwrap().to_string(),
+            format!("{:.2}", r["base_cpi"].as_f64().unwrap()),
+            format!("{:.2}", r["target_cpi"].as_f64().unwrap()),
+            top.join(", "),
+        ]);
+    }
+    print_table(&["Program", "Base CPI", "N1 CPI", "Top bottlenecks (Shapley ΔCPI)"], &rows);
+    let evals = total_evals.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "{} CPI evaluations across {} programs x {regions_per_wl} regions x {perms} permutations in {elapsed:?} \
+         (paper: 143M evaluations in ~1 hour on a TPU)",
+        evals,
+        suite.len()
+    );
+    let j = json!({
+        "groups": groups.iter().map(|g| g.label.clone()).collect::<Vec<_>>(),
+        "per_program": per_program,
+        "evaluations": evals,
+        "elapsed_secs": elapsed.as_secs_f64(),
+    });
+    ctx.write_report("fig16_attribution", &j);
+    j
+}
+
+/// Figure 17: per-region attribution for Search3 (P9) — phase behaviour.
+pub fn fig17(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 17: per-region attribution (P9 / Search3) ==");
+    let model = &ctx.main_data().model;
+    let base = MicroArch::big_core();
+    let target = MicroArch::arm_n1();
+    let groups = default_groups();
+    let cache_gi = 0usize; // "L1i/L1d/L2 caches" is group 0
+    let sweep = SweepConfig::for_pair(&base, &target);
+    let spec = concorde_trace::by_id("P9").unwrap();
+
+    let n_regions = match ctx.scale {
+        crate::Scale::Quick => 4usize,
+        crate::Scale::Default => 48,
+        crate::Scale::Full => 200,
+    };
+    let perms = if ctx.scale == crate::Scale::Quick { 8 } else { 30 };
+
+    let results: Vec<parking_lot::Mutex<Option<(f64, f64)>>> =
+        (0..n_regions).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_regions {
+                    break;
+                }
+                // Stride regions across the trace so phases alternate.
+                let start = (i as u64 * 5 + 1) * concorde_trace::SEGMENT_LEN * 2
+                    % spec.trace_len.saturating_sub(ctx.profile.region_len as u64).max(1);
+                let store = region_store(ctx, "P9", (i % spec.n_traces as usize) as u32, start, &sweep);
+                let f = |a: &MicroArch| model.predict(&store, a);
+                let mut rng = ChaCha12Rng::seed_from_u64(0xF17 ^ i as u64);
+                let attr = shapley_mc(f, &base, &target, &groups, perms, &mut rng);
+                let total: f64 = attr.values.iter().sum();
+                *results[i].lock() = Some((attr.values[cache_gi], total));
+            });
+        }
+    });
+    let mut per_region: Vec<(f64, f64)> = results.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    per_region.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    let cache_vals: Vec<f64> = per_region.iter().map(|(c, _)| *c).collect();
+    let mean = cache_vals.iter().sum::<f64>() / cache_vals.len() as f64;
+    let hi_sens = cache_vals.iter().filter(|&&c| c > 2.0 * mean.max(0.01)).count();
+    println!(
+        "cache-size attribution across {n_regions} regions: min {:+.3}, mean {:+.3}, max {:+.3} ΔCPI",
+        cache_vals.first().unwrap(),
+        mean,
+        cache_vals.last().unwrap()
+    );
+    println!(
+        "{} of {} regions ({:.0}%) are >2x more cache-sensitive than the program average \
+         (paper: ~10% of P9 regions are cache-sensitive despite a small average — phase behaviour)",
+        hi_sens,
+        n_regions,
+        hi_sens as f64 / n_regions as f64 * 100.0
+    );
+    let j = json!({
+        "cache_attribution_sorted": cache_vals,
+        "total_delta_sorted": per_region.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+        "mean_cache_attribution": mean,
+        "high_sensitivity_regions": hi_sens,
+    });
+    ctx.write_report("fig17_region_attribution", &j);
+    j
+}

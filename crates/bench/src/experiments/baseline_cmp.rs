@@ -1,0 +1,134 @@
+//! Figure 8: Concorde vs the TAO-like sequence baseline on ARM N1.
+
+use concorde_baseline::{featurize, train_baseline, BaselineConfig};
+use concorde_core::prelude::*;
+use concorde_cyclesim::MicroArch;
+use concorde_ml::ErrorStats;
+use serde_json::json;
+
+use crate::{print_table, Ctx};
+
+/// Runs Figure 8: per-SPEC-program accuracy of Concorde (trained on random
+/// microarchitectures) vs the baseline (specialized to ARM N1).
+pub fn fig08(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 8: Concorde vs TAO-like baseline (ARM N1, SPEC) ==");
+    let profile = &ctx.profile;
+    let suite = concorde_trace::suite();
+    let spec_ids: Vec<u16> = suite
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.class == concorde_trace::WorkloadClass::Spec2017)
+        .map(|(i, _)| i as u16)
+        .collect();
+    let arch = MicroArch::arm_n1();
+
+    // Fixed-arch SPEC datasets for the baseline + shared test set.
+    let n_train = (profile.train_samples / 6).clamp(60, 4000);
+    let n_test = (profile.test_samples / 2).clamp(40, 1500);
+    let mk = |n, seed| DatasetConfig {
+        profile: profile.clone(),
+        n,
+        seed,
+        arch: ArchSampling::Fixed(arch),
+        workloads: Some(spec_ids.clone()),
+        threads: 0,
+    };
+    eprintln!("[fig08] generating fixed-arch SPEC datasets ({n_train} train / {n_test} test) …");
+    let train = generate_dataset(&mk(n_train, 81));
+    let test = generate_dataset(&mk(n_test, 82));
+
+    // Baseline: featurize sequences (O(L)) and train the LSTM.
+    eprintln!("[fig08] featurizing + training baseline …");
+    let featurize_set = |set: &[Sample]| -> Vec<(Vec<f32>, f64)> {
+        let results: Vec<parking_lot::Mutex<Option<(Vec<f32>, f64)>>> =
+            set.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= set.len() {
+                        break;
+                    }
+                    let smp = &set[i];
+                    let spec = &suite[smp.workload as usize];
+                    let warm_start = smp.region.start.saturating_sub(profile.warmup_len as u64);
+                    let warm_len = (smp.region.start - warm_start) as usize;
+                    let full = concorde_trace::generate_region(
+                        spec,
+                        smp.region.trace_idx,
+                        warm_start,
+                        warm_len + profile.region_len,
+                    );
+                    let (w, r) = full.instrs.split_at(warm_len);
+                    *results[i].lock() = Some((featurize(w, r, arch.mem), smp.cpi));
+                });
+            }
+        });
+        results.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    };
+    let train_seqs = featurize_set(&train);
+    let test_seqs = featurize_set(&test);
+    let bl_cfg = BaselineConfig { epochs: if ctx.scale == crate::Scale::Quick { 10 } else { 60 }, ..BaselineConfig::default() };
+    let baseline = train_baseline(&train_seqs, &bl_cfg);
+
+    // Concorde: the main random-arch model, evaluated at the fixed N1 design
+    // (the paper's setup: Concorde is *not* specialized to N1). We also train
+    // an N1-specialized Concorde on exactly the baseline's data budget, for an
+    // apples-to-apples comparison at this reduced dataset scale.
+    let concorde = &ctx.main_data().model;
+    let concorde_pairs = predict_all(concorde, &test, profile);
+    let specialized = train_model(&train, profile, &TrainOptions::default());
+    let specialized_pairs = predict_all(&specialized, &test, profile);
+    let baseline_pairs: Vec<(f64, f64)> =
+        test_seqs.iter().map(|(seq, cpi)| (baseline.predict(seq), *cpi)).collect();
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &w in &spec_ids {
+        let idx: Vec<usize> = test.iter().enumerate().filter(|(_, s)| s.workload == w).map(|(i, _)| i).collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let cp: Vec<(f64, f64)> = idx.iter().map(|&i| concorde_pairs[i]).collect();
+        let sp: Vec<(f64, f64)> = idx.iter().map(|&i| specialized_pairs[i]).collect();
+        let bp: Vec<(f64, f64)> = idx.iter().map(|&i| baseline_pairs[i]).collect();
+        let cs = ErrorStats::from_pairs(&cp);
+        let ss = ErrorStats::from_pairs(&sp);
+        let bs = ErrorStats::from_pairs(&bp);
+        rows.push(vec![
+            suite[w as usize].id.clone(),
+            format!("{:.2}%", cs.mean * 100.0),
+            format!("{:.2}%", ss.mean * 100.0),
+            format!("{:.2}%", bs.mean * 100.0),
+            idx.len().to_string(),
+        ]);
+        out.push(json!({
+            "program": suite[w as usize].id,
+            "concorde": cs.mean,
+            "concorde_specialized": ss.mean,
+            "baseline": bs.mean,
+            "n": idx.len(),
+        }));
+    }
+    print_table(&["Program", "Concorde (random-arch)", "Concorde (N1)", "Baseline err", "n"], &rows);
+    let call = ErrorStats::from_pairs(&concorde_pairs);
+    let sall = ErrorStats::from_pairs(&specialized_pairs);
+    let ball = ErrorStats::from_pairs(&baseline_pairs);
+    println!(
+        "overall: Concorde(random-arch) {:.2}% / Concorde(N1, same data as baseline) {:.2}% vs baseline {:.2}% \
+         (paper: Concorde 3.5% vs TAO 7.8%; the random-arch model needs the paper's 66x-larger dataset to win)",
+        call.mean * 100.0,
+        sall.mean * 100.0,
+        ball.mean * 100.0
+    );
+    let j = json!({
+        "per_program": out,
+        "concorde_overall": call.mean,
+        "concorde_specialized_overall": sall.mean,
+        "baseline_overall": ball.mean,
+    });
+    ctx.write_report("fig08_tao", &j);
+    j
+}

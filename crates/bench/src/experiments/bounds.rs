@@ -1,0 +1,80 @@
+//! Figure 1: per-resource throughput bounds vs ground-truth IPC.
+
+use concorde_core::prelude::*;
+use concorde_cyclesim::{simulate_warmed, MicroArch, SimOptions};
+use serde_json::json;
+
+use crate::{print_table, Ctx};
+
+/// Reproduces Figure 1 for two contrasting programs: the timeseries of
+/// per-resource throughput bounds over instruction windows, next to the
+/// cycle-level simulator's per-window IPC, plus the derived distributions.
+pub fn fig01(ctx: &Ctx) -> serde_json::Value {
+    println!("\n== Figure 1: per-resource bounds vs ground-truth IPC ==");
+    let profile = &ctx.profile;
+    let arch = MicroArch::arm_n1();
+    let mut out = Vec::new();
+
+    for id in ["P9", "S4"] {
+        let spec = concorde_trace::by_id(id).unwrap();
+        let full = concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+        let (w, r) = full.instrs.split_at(profile.warmup_len);
+
+        let sim = simulate_warmed(w, r, &arch, SimOptions { record_commit_cycles: true, seed: 0 });
+        let ipc = sim.window_ipc(profile.window_k);
+        let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), profile);
+
+        let resources = [Resource::Rob, Resource::LoadQueue, Resource::IcacheFills, Resource::FetchBuffers];
+        println!("\n-- {id} ({}) --", spec.name);
+        let windows = ipc.len().min(12);
+        let mut rows = Vec::new();
+        for j in 0..windows {
+            let mut row = vec![j.to_string(), format!("{:.2}", ipc[j])];
+            for res in resources {
+                let s = store.raw_series(res, &arch);
+                row.push(if j < s.len() { format!("{:.2}", s[j].min(99.0)) } else { "-".into() });
+            }
+            rows.push(row);
+        }
+        print_table(&["win", "IPC (sim)", "ROB", "LQ", "icache fills", "fetch bufs"], &rows);
+
+        // Correlation check: the min of the bounds should track IPC.
+        let n = ipc.len();
+        let min_bound: Vec<f64> = (0..n)
+            .map(|j| {
+                let mut m = f64::from(arch.commit_width.min(arch.decode_width));
+                for res in Resource::ALL.iter().take(10) {
+                    let s = store.raw_series(*res, &arch);
+                    if j < s.len() {
+                        m = m.min(s[j]);
+                    }
+                }
+                m
+            })
+            .collect();
+        let corr = pearson(&ipc, &min_bound[..n.min(min_bound.len())]);
+        println!("correlation(min bound, IPC) over {n} windows: {corr:.3} (paper: bounds explain IPC trends)");
+        out.push(json!({ "program": id, "ipc": ipc, "min_bound": min_bound, "correlation": corr }));
+    }
+    let j = json!(out);
+    ctx.write_report("fig01_bounds", &j);
+    j
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len()) as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}

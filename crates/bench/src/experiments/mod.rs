@@ -1,0 +1,9 @@
+//! One module per paper table/figure family.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod attribution;
+pub mod baseline_cmp;
+pub mod bounds;
+pub mod longspeed;
+pub mod tables;

@@ -1,0 +1,74 @@
+//! Indirect-branch target prediction (BTB-style last-target table).
+//!
+//! Direct branches have statically known targets; indirect branches mispredict
+//! whenever their dynamic target differs from the last observed target for the
+//! same PC (a direct-mapped, tagged target buffer).
+
+/// Last-target indirect branch predictor.
+#[derive(Debug, Clone)]
+pub struct TargetPredictor {
+    entries: Vec<Option<(u64, u64)>>, // (pc, last_target)
+    bits: usize,
+}
+
+impl Default for TargetPredictor {
+    fn default() -> Self {
+        Self::new(12)
+    }
+}
+
+impl TargetPredictor {
+    /// Creates a table with `2^bits` entries.
+    pub fn new(bits: usize) -> Self {
+        TargetPredictor { entries: vec![None; 1 << bits], bits }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & ((1 << self.bits) - 1)
+    }
+
+    /// Predicts the target for an indirect branch at `pc`; `None` on a miss
+    /// (no entry or tag mismatch), which counts as a misprediction.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Records the actual target.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.idx(pc);
+        self.entries[i] = Some((pc, target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut b = TargetPredictor::new(8);
+        assert_eq!(b.predict(0x100), None);
+        b.update(0x100, 0x900);
+        assert_eq!(b.predict(0x100), Some(0x900));
+    }
+
+    #[test]
+    fn target_change_detected() {
+        let mut b = TargetPredictor::new(8);
+        b.update(0x100, 0x900);
+        b.update(0x100, 0xA00);
+        assert_eq!(b.predict(0x100), Some(0xA00));
+    }
+
+    #[test]
+    fn aliasing_entries_evict() {
+        let mut b = TargetPredictor::new(4); // 16 entries
+        b.update(0x100, 0x900);
+        // Same index (pc >> 2 mod 16), different tag.
+        b.update(0x100 + (16 << 2), 0xB00);
+        assert_eq!(b.predict(0x100), None, "tag mismatch must miss");
+    }
+}

@@ -1,0 +1,41 @@
+//! # concorde-branch
+//!
+//! Branch-prediction substrate for the Concorde reproduction: a from-scratch
+//! [TAGE](tage::Tage) predictor, the paper's randomly mispredicting
+//! [`Simple`](simple::SimplePredictor) predictor (Table 1), and a BTB-style
+//! [indirect target predictor](btb::TargetPredictor), combined in a
+//! trace-driven [`BranchUnit`].
+//!
+//! ```
+//! use concorde_branch::{BranchUnit, PredictorKind};
+//! use concorde_trace::{by_id, generate_region};
+//!
+//! let spec = by_id("S5").unwrap();
+//! let region = generate_region(&spec, 0, 0, 10_000);
+//! let (flags, stats) = BranchUnit::simulate(PredictorKind::Tage, 0, &region.instrs);
+//! assert_eq!(flags.len(), region.instrs.len());
+//! assert!(stats.mispredict_rate() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod btb;
+pub mod simple;
+pub mod tage;
+pub mod unit;
+
+pub use btb::TargetPredictor;
+pub use simple::SimplePredictor;
+pub use tage::Tage;
+pub use unit::{BranchStats, BranchUnit, PredictorKind};
+
+/// A direction predictor for conditional branches.
+///
+/// `predict` must be called before `update` for each dynamic branch; the pair
+/// models the speculative-predict / retire-update flow of a real frontend.
+pub trait ConditionalPredictor {
+    /// Predicts taken/not-taken for the conditional branch at `pc`.
+    fn predict(&mut self, pc: u64) -> bool;
+    /// Trains the predictor with the actual outcome.
+    fn update(&mut self, pc: u64, taken: bool);
+}

@@ -1,0 +1,99 @@
+//! The paper's `Simple` predictor: mispredicts conditional branches uniformly
+//! at random with a pre-specified rate (Table 1: "Percent misprediction for
+//! Simple BP", 0..=100).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+use crate::ConditionalPredictor;
+
+/// Randomly mispredicting conditional-branch predictor.
+///
+/// `predict` returns the branch's actual outcome flipped with probability
+/// `rate`; the outcome is supplied through [`SimplePredictor::set_outcome`]
+/// before `predict` (the trace-driven setting always knows the outcome).
+#[derive(Debug, Clone)]
+pub struct SimplePredictor {
+    rate: f64,
+    rng: ChaCha12Rng,
+    next_outcome: bool,
+}
+
+impl SimplePredictor {
+    /// Creates a predictor with the given misprediction percentage (0..=100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct > 100`.
+    pub fn new(pct: u8, seed: u64) -> Self {
+        assert!(pct <= 100, "misprediction percentage must be 0..=100, got {pct}");
+        SimplePredictor { rate: f64::from(pct) / 100.0, rng: ChaCha12Rng::seed_from_u64(seed), next_outcome: false }
+    }
+
+    /// Supplies the actual outcome the next `predict` call will (mis)predict.
+    pub fn set_outcome(&mut self, taken: bool) {
+        self.next_outcome = taken;
+    }
+
+    /// Configured misprediction rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ConditionalPredictor for SimplePredictor {
+    fn predict(&mut self, _pc: u64) -> bool {
+        if self.rng.gen_bool(self.rate) {
+            !self.next_outcome
+        } else {
+            self.next_outcome
+        }
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured_rate(pct: u8) -> f64 {
+        let mut p = SimplePredictor::new(pct, 42);
+        let n = 20_000;
+        let mut miss = 0;
+        for i in 0..n {
+            let outcome = i % 3 == 0;
+            p.set_outcome(outcome);
+            if p.predict(0x100) != outcome {
+                miss += 1;
+            }
+            p.update(0x100, outcome);
+        }
+        miss as f64 / n as f64
+    }
+
+    #[test]
+    fn zero_rate_is_perfect() {
+        assert_eq!(measured_rate(0), 0.0);
+    }
+
+    #[test]
+    fn hundred_rate_always_wrong() {
+        assert_eq!(measured_rate(100), 1.0);
+    }
+
+    #[test]
+    fn mid_rates_match_statistically() {
+        for pct in [5u8, 20, 50] {
+            let r = measured_rate(pct);
+            let want = f64::from(pct) / 100.0;
+            assert!((r - want).abs() < 0.02, "pct={pct}: measured {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "misprediction percentage")]
+    fn rejects_out_of_range() {
+        let _ = SimplePredictor::new(101, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Cache configuration types and the memory parameters of Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache hit level for a memory access (paper §3.1 latency mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// Hit in the first-level cache.
+    L1,
+    /// Hit in the unified second-level cache.
+    L2,
+    /// Hit in the last-level cache (fixed 4 MB).
+    Llc,
+    /// Main-memory access.
+    Ram,
+}
+
+/// Access latencies per hit level, in cycles (paper §3.1: "e.g., L1→4,
+/// L2→10, LLC→30, RAM→200").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyMap {
+    /// L1 hit latency.
+    pub l1: u32,
+    /// L2 hit latency.
+    pub l2: u32,
+    /// LLC hit latency.
+    pub llc: u32,
+    /// Main-memory latency.
+    pub ram: u32,
+}
+
+impl Default for LatencyMap {
+    fn default() -> Self {
+        LatencyMap { l1: 4, l2: 10, llc: 30, ram: 200 }
+    }
+}
+
+impl LatencyMap {
+    /// Latency of an access that hits at `level`.
+    #[inline]
+    pub fn latency(&self, level: CacheLevel) -> u32 {
+        match level {
+            CacheLevel::L1 => self.l1,
+            CacheLevel::L2 => self.l2,
+            CacheLevel::Llc => self.llc,
+            CacheLevel::Ram => self.ram,
+        }
+    }
+}
+
+/// Geometry of a single cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (power of two).
+    pub assoc: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config from a size in kilobytes.
+    pub fn from_kb(kb: u64, assoc: u32) -> Self {
+        CacheConfig { size_bytes: kb * 1024, assoc }
+    }
+
+    /// Number of sets (`size / (line * assoc)`).
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / (crate::LINE_BYTES * u64::from(self.assoc))).max(1) as usize
+    }
+}
+
+/// The four memory parameters of Table 1 that select a cache configuration.
+///
+/// The paper precomputes Concorde's features per memory configuration: 40
+/// D-side configs (5 L1d × 4 L2 × 2 prefetch) and 20 I-side configs
+/// (5 L1i × 4 L2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 instruction cache size in kB (Table 1: 16..256).
+    pub l1i_kb: u32,
+    /// L1 data cache size in kB (Table 1: 16..256).
+    pub l1d_kb: u32,
+    /// Unified L2 size in kB (Table 1: 512..4096).
+    pub l2_kb: u32,
+    /// L1d stride prefetcher degree (Table 1: 0 = OFF, 4 = ON).
+    pub prefetch_degree: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        // ARM N1 column of Table 1.
+        MemConfig { l1i_kb: 64, l1d_kb: 64, l2_kb: 1024, prefetch_degree: 0 }
+    }
+}
+
+/// Table 1 value ranges for the memory parameters.
+pub const L1_SIZES_KB: [u32; 5] = [16, 32, 64, 128, 256];
+/// Table 1 L2 sizes.
+pub const L2_SIZES_KB: [u32; 4] = [512, 1024, 2048, 4096];
+/// Table 1 prefetcher degrees.
+pub const PREFETCH_DEGREES: [u32; 2] = [0, 4];
+/// Fixed LLC size (paper footnote 2: 4 MB).
+pub const LLC_KB: u32 = 4096;
+
+impl MemConfig {
+    /// All 40 D-side configurations (L1d × L2 × prefetch), with L1i fixed.
+    pub fn all_data_configs() -> Vec<MemConfig> {
+        let mut v = Vec::with_capacity(40);
+        for &l1d in &L1_SIZES_KB {
+            for &l2 in &L2_SIZES_KB {
+                for &pf in &PREFETCH_DEGREES {
+                    v.push(MemConfig { l1i_kb: 64, l1d_kb: l1d, l2_kb: l2, prefetch_degree: pf });
+                }
+            }
+        }
+        v
+    }
+
+    /// All 20 I-side configurations (L1i × L2), other fields fixed.
+    pub fn all_inst_configs() -> Vec<MemConfig> {
+        let mut v = Vec::with_capacity(20);
+        for &l1i in &L1_SIZES_KB {
+            for &l2 in &L2_SIZES_KB {
+                v.push(MemConfig { l1i_kb: l1i, l1d_kb: 64, l2_kb: l2, prefetch_degree: 0 });
+            }
+        }
+        v
+    }
+
+    /// Key identifying the D-side behaviour of this config.
+    pub fn data_key(&self) -> (u32, u32, u32) {
+        (self.l1d_kb, self.l2_kb, self.prefetch_degree)
+    }
+
+    /// Key identifying the I-side behaviour of this config.
+    pub fn inst_key(&self) -> (u32, u32) {
+        (self.l1i_kb, self.l2_kb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_map_matches_paper_defaults() {
+        let m = LatencyMap::default();
+        assert_eq!(m.latency(CacheLevel::L1), 4);
+        assert_eq!(m.latency(CacheLevel::L2), 10);
+        assert_eq!(m.latency(CacheLevel::Llc), 30);
+        assert_eq!(m.latency(CacheLevel::Ram), 200);
+    }
+
+    #[test]
+    fn set_count() {
+        let c = CacheConfig::from_kb(64, 4);
+        assert_eq!(c.num_sets(), 64 * 1024 / (64 * 4));
+    }
+
+    #[test]
+    fn config_enumerations() {
+        assert_eq!(MemConfig::all_data_configs().len(), 40);
+        assert_eq!(MemConfig::all_inst_configs().len(), 20);
+        let keys: std::collections::HashSet<_> =
+            MemConfig::all_data_configs().iter().map(|c| c.data_key()).collect();
+        assert_eq!(keys.len(), 40, "data keys must be distinct");
+    }
+
+    #[test]
+    fn level_ordering_reflects_distance() {
+        assert!(CacheLevel::L1 < CacheLevel::L2);
+        assert!(CacheLevel::L2 < CacheLevel::Llc);
+        assert!(CacheLevel::Llc < CacheLevel::Ram);
+    }
+}

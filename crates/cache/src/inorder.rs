@@ -1,0 +1,129 @@
+//! In-order functional cache simulation of a trace region (paper §3.1).
+//!
+//! Trace analysis runs this once per memory configuration to label every load
+//! and store with the level it hits at (→ execution-latency estimate) and every
+//! instruction with its I-cache level (→ fetch-latency estimate). This is the
+//! "simple in-order cache simulation" the paper describes; timing-dependent
+//! effects are deliberately ignored here and recovered by Algorithm 1 and the
+//! ML model downstream.
+
+use concorde_trace::Instruction;
+
+use crate::config::{CacheLevel, MemConfig};
+use crate::hierarchy::{Hierarchy, HierarchyStats};
+
+/// Result of an in-order cache simulation over a region.
+#[derive(Debug, Clone)]
+pub struct InOrderResult {
+    /// Per-instruction data hit level (`None` for non-memory instructions).
+    pub data_levels: Vec<Option<CacheLevel>>,
+    /// Per-instruction I-cache hit level for the line holding the instruction.
+    pub inst_levels: Vec<CacheLevel>,
+    /// Aggregate hierarchy counters.
+    pub stats: HierarchyStats,
+}
+
+impl InOrderResult {
+    /// Fraction of loads serviced by main memory.
+    pub fn load_ram_fraction(&self, instrs: &[Instruction]) -> f64 {
+        let mut loads = 0u64;
+        let mut ram = 0u64;
+        for (lvl, i) in self.data_levels.iter().zip(instrs) {
+            if i.op.is_load() {
+                loads += 1;
+                if *lvl == Some(CacheLevel::Ram) {
+                    ram += 1;
+                }
+            }
+        }
+        if loads == 0 {
+            0.0
+        } else {
+            ram as f64 / loads as f64
+        }
+    }
+}
+
+/// Runs the in-order simulation of `instrs` under memory configuration `cfg`.
+pub fn simulate_inorder(instrs: &[Instruction], cfg: MemConfig) -> InOrderResult {
+    let mut h = Hierarchy::new(cfg);
+    let mut data_levels = Vec::with_capacity(instrs.len());
+    let mut inst_levels = Vec::with_capacity(instrs.len());
+    for i in instrs {
+        inst_levels.push(h.access_inst(i.pc));
+        let d = if i.op.is_load() {
+            Some(h.access_data(i.mem_addr, false, Some(i.pc)))
+        } else if i.op.is_store() {
+            Some(h.access_data(i.mem_addr, true, None))
+        } else {
+            None
+        };
+        data_levels.push(d);
+    }
+    InOrderResult { data_levels, inst_levels, stats: h.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concorde_trace::{by_id, generate_region};
+
+    #[test]
+    fn shapes_match_trace() {
+        let spec = by_id("O1").unwrap();
+        let t = generate_region(&spec, 0, 0, 4000);
+        let r = simulate_inorder(&t.instrs, MemConfig::default());
+        assert_eq!(r.data_levels.len(), t.len());
+        assert_eq!(r.inst_levels.len(), t.len());
+        for (lvl, i) in r.data_levels.iter().zip(&t.instrs) {
+            assert_eq!(lvl.is_some(), i.op.is_mem());
+        }
+    }
+
+    #[test]
+    fn resident_workload_mostly_hits_l1() {
+        let spec = by_id("O1").unwrap(); // Dhrystone: 32 KiB working set
+        let t = generate_region(&spec, 0, 0, 20_000);
+        let r = simulate_inorder(&t.instrs, MemConfig::default());
+        let s = r.stats;
+        let total = s.d_l1 + s.d_l2 + s.d_llc + s.d_ram;
+        assert!(s.d_l1 as f64 / total as f64 > 0.8, "L1 hit rate too low: {s:?}");
+    }
+
+    #[test]
+    fn chasing_workload_misses_much_more_than_resident() {
+        let chase = by_id("S1").unwrap();
+        let resident = by_id("O1").unwrap();
+        let n = 20_000;
+        let rc = simulate_inorder(&generate_region(&chase, 0, 0, n).instrs, MemConfig::default());
+        let rr = simulate_inorder(&generate_region(&resident, 0, 0, n).instrs, MemConfig::default());
+        let ram_frac = |s: HierarchyStats| s.d_ram as f64 / (s.d_l1 + s.d_l2 + s.d_llc + s.d_ram).max(1) as f64;
+        assert!(ram_frac(rc.stats) > 5.0 * ram_frac(rr.stats).max(1e-9),
+            "chase {:?} vs resident {:?}", rc.stats, rr.stats);
+    }
+
+    #[test]
+    fn bigger_l1d_reduces_misses_monotonically() {
+        let spec = by_id("S6").unwrap(); // 2 MB working set: L1-size sensitive
+        let t = generate_region(&spec, 0, 0, 30_000);
+        let mut prev_hits = 0;
+        for kb in [16u32, 64, 256] {
+            let cfg = MemConfig { l1d_kb: kb, ..MemConfig::default() };
+            let r = simulate_inorder(&t.instrs, cfg);
+            assert!(r.stats.d_l1 >= prev_hits, "L1 {kb}kB: hits decreased");
+            prev_hits = r.stats.d_l1;
+        }
+    }
+
+    #[test]
+    fn large_code_stresses_icache() {
+        let big = by_id("S10").unwrap(); // gcc: large footprint
+        let small = by_id("O1").unwrap();
+        let n = 20_000;
+        let rb = simulate_inorder(&generate_region(&big, 0, 0, n).instrs, MemConfig::default());
+        let rs = simulate_inorder(&generate_region(&small, 0, 0, n).instrs, MemConfig::default());
+        let imiss = |s: HierarchyStats| s.i_l2 + s.i_llc + s.i_ram;
+        assert!(imiss(rb.stats) > 5 * imiss(rs.stats).max(1),
+            "big {:?} vs small {:?}", rb.stats, rs.stats);
+    }
+}

@@ -1,0 +1,223 @@
+//! A single set-associative cache with tree-PLRU replacement.
+//!
+//! The replacement policy mirrors gem5's `TreePLRURP` (paper footnote 2):
+//! each set keeps a binary tree of direction bits over its ways; an access
+//! flips the bits on its root-to-leaf path to point *away* from the touched
+//! way, and the victim is found by following the bits from the root.
+
+use crate::config::CacheConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+}
+
+/// One cache set: `assoc` ways plus `assoc - 1` PLRU tree bits.
+#[derive(Debug, Clone)]
+struct CacheSet {
+    ways: Vec<Way>,
+    /// Tree bits packed LSB-first in heap order (node 0 = root).
+    tree: u32,
+}
+
+impl CacheSet {
+    fn new(assoc: usize) -> Self {
+        CacheSet { ways: vec![Way::default(); assoc], tree: 0 }
+    }
+
+    /// Marks `way` most-recently used by setting path bits away from it.
+    fn touch(&mut self, way: usize) {
+        let assoc = self.ways.len();
+        let mut node = 0usize; // heap index
+        let mut lo = 0usize;
+        let mut hi = assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                // Went left: point the bit right (1 = right is LRU side).
+                self.tree |= 1 << node;
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                self.tree &= !(1 << node);
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    /// Victim way per the PLRU tree (prefers invalid ways first).
+    fn victim(&self) -> usize {
+        if let Some(i) = self.ways.iter().position(|w| !w.valid) {
+            return i;
+        }
+        let assoc = self.ways.len();
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = assoc;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.tree & (1 << node) != 0 {
+                // Bit points right: LRU is on the right subtree.
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    fn lookup(&mut self, tag: u64, write: bool) -> bool {
+        if let Some(i) = self.ways.iter().position(|w| w.valid && w.tag == tag) {
+            if write {
+                self.ways[i].dirty = true;
+            }
+            self.touch(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Installs `tag`; returns the evicted `(tag, dirty)` if a valid line fell out.
+    fn fill(&mut self, tag: u64, dirty: bool) -> Option<(u64, bool)> {
+        let v = self.victim();
+        let old = self.ways[v];
+        self.ways[v] = Way { valid: true, tag, dirty };
+        self.touch(v);
+        old.valid.then_some((old.tag, old.dirty))
+    }
+}
+
+/// A set-associative, write-back cache over 64-byte lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<CacheSet>,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds a cache from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.num_sets();
+        assert!(n.is_power_of_two(), "set count {n} must be a power of two");
+        Cache { sets: (0..n).map(|_| CacheSet::new(config.assoc as usize)).collect(), set_mask: n as u64 - 1 }
+    }
+
+    #[inline]
+    fn split(&self, line: u64) -> (usize, u64) {
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Looks up `line` (a 64-byte-line index); returns `true` on hit and
+    /// updates recency / dirty state.
+    pub fn access(&mut self, line: u64, write: bool) -> bool {
+        let (set, tag) = self.split(line);
+        self.sets[set].lookup(tag, write)
+    }
+
+    /// Checks for presence without updating replacement state.
+    pub fn probe(&self, line: u64) -> bool {
+        let (set, tag) = self.split(line);
+        self.sets[set].ways.iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Installs `line`; returns the evicted line index and dirty flag, if any.
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        let (set, tag) = self.split(line);
+        let bits = self.set_mask.count_ones();
+        self.sets[set]
+            .fill(tag, dirty)
+            .map(|(etag, ed)| ((etag << bits) | set as u64, ed))
+    }
+
+    /// Number of sets (diagnostics).
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 4 ways x 64B = 1 KiB
+        Cache::new(CacheConfig { size_bytes: 1024, assoc: 4 })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(5, false));
+        c.fill(5, false);
+        assert!(c.access(5, false));
+        assert!(c.probe(5));
+        assert!(!c.probe(6));
+    }
+
+    #[test]
+    fn eviction_returns_old_line() {
+        let mut c = tiny();
+        // Fill one set (lines congruent mod 4) beyond capacity.
+        let lines: Vec<u64> = (0..5).map(|i| i * 4).collect();
+        let mut evicted = None;
+        for &l in &lines {
+            if let Some(e) = c.fill(l, false) {
+                evicted = Some(e);
+            }
+        }
+        let (eline, dirty) = evicted.expect("fifth fill must evict");
+        assert!(!dirty);
+        assert!(lines.contains(&eline));
+        assert!(!c.probe(eline), "evicted line no longer present");
+    }
+
+    #[test]
+    fn plru_protects_recently_used() {
+        let mut c = tiny();
+        for i in 0..4u64 {
+            c.fill(i * 4, false);
+        }
+        // Touch line 0 repeatedly: it must survive the next eviction.
+        c.access(0, false);
+        let (evicted, _) = c.fill(16, false).unwrap();
+        assert_ne!(evicted, 0, "MRU line must not be the PLRU victim");
+        assert!(c.probe(0));
+    }
+
+    #[test]
+    fn dirty_propagates_through_eviction() {
+        let mut c = tiny();
+        c.fill(4, false);
+        c.access(4, true); // make dirty
+        for i in 1..5u64 {
+            c.fill(4 + i * 4, false);
+        }
+        // line 4 must have been evicted dirty at some point; refill and check state
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn tags_disambiguate_same_set() {
+        let mut c = tiny();
+        c.fill(0, false);
+        assert!(!c.access(4, false), "same set, different tag");
+        assert!(c.access(0, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_sets() {
+        let _ = Cache::new(CacheConfig { size_bytes: 3 * 64 * 2, assoc: 2 });
+    }
+}

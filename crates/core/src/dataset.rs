@@ -1,0 +1,299 @@
+//! Labeled-dataset generation (paper §4).
+//!
+//! Every data point pairs an independently sampled `(program region,
+//! microarchitecture)` with the ground-truth CPI from the cycle-level
+//! simulator, plus the full-variant Concorde features from a single-arch
+//! [`FeatureStore`] precompute (the paper's §5.2.4 discipline: training
+//! samples run the analytical models for one microarchitecture only).
+//! Generation is deterministic in the seed and parallelized across threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use concorde_cyclesim::{simulate_warmed, MicroArch, SimOptions};
+use concorde_trace::{generate_region, sample_region, RegionRef, WorkloadSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::features::{FeatureStore, FeatureVariant};
+use crate::sweep::{ReproProfile, SweepConfig};
+use concorde_analytic::distribution::Encoding;
+
+/// One labeled data point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Index of the workload in the suite.
+    pub workload: u16,
+    /// Sampled region reference.
+    pub region: RegionRef,
+    /// Sampled (or fixed) microarchitecture.
+    pub arch: MicroArch,
+    /// Full-variant feature vector (project with [`project_features`] for
+    /// ablation variants).
+    pub features: Vec<f32>,
+    /// Ground-truth CPI from the cycle-level simulator.
+    pub cpi: f64,
+    /// Ground-truth mean ROB occupancy % (§5.2.6 alternate metric).
+    pub rob_occupancy: f64,
+    /// Ground-truth mean rename-queue occupancy % (§5.2.6).
+    pub rename_occupancy: f64,
+    /// Branch mispredictions in the region (Table 4 bucketing).
+    pub branch_mispredictions: u64,
+    /// Ratio of actual to trace-analysis-estimated load execution time
+    /// (Figure 11's discrepancy axis).
+    pub exec_ratio: f64,
+}
+
+/// How microarchitectures are chosen per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArchSampling {
+    /// Independent uniform sample from Table 1 per data point (paper §4).
+    Random,
+    /// A fixed design for every sample (the ARM N1 / TAO studies).
+    Fixed(MicroArch),
+}
+
+/// Dataset-generation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Scaling profile.
+    pub profile: ReproProfile,
+    /// Number of samples.
+    pub n: usize,
+    /// Seed (use different seeds for train and test splits).
+    pub seed: u64,
+    /// Architecture sampling mode.
+    pub arch: ArchSampling,
+    /// Optional workload restriction (indices into the suite) — used by the
+    /// OOD leave-one-out study (Figure 14).
+    pub workloads: Option<Vec<u16>>,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl DatasetConfig {
+    /// Random-architecture dataset over the full suite.
+    pub fn random(profile: ReproProfile, n: usize, seed: u64) -> Self {
+        DatasetConfig { profile, n, seed, arch: ArchSampling::Random, workloads: None, threads: 0 }
+    }
+}
+
+/// Generates one sample (deterministic in `(cfg.seed, index)`).
+fn generate_sample(cfg: &DatasetConfig, suite: &[WorkloadSpec], index: usize) -> Sample {
+    let profile = &cfg.profile;
+    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(index as u64 + 1)));
+    let pool: Vec<u16> = match &cfg.workloads {
+        Some(w) => w.clone(),
+        None => (0..suite.len() as u16).collect(),
+    };
+    let workload = pool[rng.gen_range(0..pool.len())];
+    let spec = &suite[workload as usize];
+    let region = sample_region(spec, workload, profile.region_len as u32, &mut rng);
+    let warm_start = region.start.saturating_sub(profile.warmup_len as u64);
+    let warm_len = (region.start - warm_start) as usize;
+    let full = generate_region(spec, region.trace_idx, warm_start, warm_len + profile.region_len);
+    let (warm, reg) = full.instrs.split_at(warm_len);
+
+    let arch = match cfg.arch {
+        ArchSampling::Random => MicroArch::sample(&mut rng),
+        ArchSampling::Fixed(a) => a,
+    };
+
+    let sim = simulate_warmed(warm, reg, &arch, SimOptions { record_commit_cycles: false, seed: rng.gen() });
+    let store = FeatureStore::precompute(warm, reg, &SweepConfig::for_arch(&arch), profile);
+    let features = store.features(&arch, FeatureVariant::Full);
+    let est = store.load_exec_estimate(arch.mem).max(1);
+
+    Sample {
+        workload,
+        region,
+        arch,
+        features,
+        cpi: sim.cpi(),
+        rob_occupancy: sim.avg_rob_occupancy_pct,
+        rename_occupancy: sim.avg_rename_q_occupancy_pct,
+        branch_mispredictions: sim.branch.mispredictions,
+        exec_ratio: sim.load_exec_cycles as f64 / est as f64,
+    }
+}
+
+/// Generates `cfg.n` samples in parallel.
+pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<Sample> {
+    let suite = concorde_trace::suite();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<Sample>> = Vec::new();
+    out.resize_with(cfg.n, || None);
+    let slots: Vec<parking_lot::Mutex<Option<Sample>>> = (0..cfg.n).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(cfg.n.max(1)) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.n {
+                    break;
+                }
+                let sample = generate_sample(cfg, &suite, i);
+                *slots[i].lock() = Some(sample);
+            });
+        }
+    });
+    for (o, slot) in out.iter_mut().zip(slots) {
+        *o = slot.into_inner();
+    }
+    out.into_iter().map(|s| s.expect("all samples generated")).collect()
+}
+
+/// Projects a stored full-variant feature vector onto an ablation variant
+/// (Figure 12) without re-running the analytical models.
+///
+/// Layout (see `FeatureStore::features`): `[11E primary][1 mispred]
+/// [4E+11 stalls][23E latency][23 params]`.
+pub fn project_features(full: &[f32], encoding: Encoding, variant: FeatureVariant) -> Vec<f32> {
+    let e = encoding.dim();
+    let primary_end = 11 * e + 1;
+    let stalls_end = primary_end + 4 * e + 11;
+    let latency_end = stalls_end + 23 * e;
+    let params = &full[latency_end..];
+    debug_assert_eq!(params.len(), MicroArch::ENCODED_DIM);
+    match variant {
+        FeatureVariant::Full => full.to_vec(),
+        FeatureVariant::BaseBranch => {
+            let mut v = full[..stalls_end].to_vec();
+            v.extend_from_slice(params);
+            v
+        }
+        FeatureVariant::Base => {
+            let mut v = full[..primary_end].to_vec();
+            v.extend_from_slice(params);
+            v
+        }
+    }
+}
+
+/// Per-workload average train/test region overlap (Figure 4): for each test
+/// sample, the maximum instruction overlap with any training region of the
+/// same trace, as a fraction of region length; averaged per workload.
+pub fn overlap_report(train: &[Sample], test: &[Sample]) -> Vec<(u16, f64)> {
+    use std::collections::HashMap;
+    let mut by_trace: HashMap<(u16, u32), Vec<RegionRef>> = HashMap::new();
+    for s in train {
+        by_trace.entry((s.workload, s.region.trace_idx)).or_default().push(s.region);
+    }
+    let mut acc: HashMap<u16, (f64, usize)> = HashMap::new();
+    for s in test {
+        let best = by_trace
+            .get(&(s.workload, s.region.trace_idx))
+            .map(|regions| {
+                regions
+                    .iter()
+                    .map(|r| s.region.overlap(r))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        let frac = best as f64 / f64::from(s.region.len).max(1.0);
+        let e = acc.entry(s.workload).or_insert((0.0, 0));
+        e.0 += frac;
+        e.1 += 1;
+    }
+    let mut out: Vec<(u16, f64)> = acc.into_iter().map(|(w, (sum, n))| (w, sum / n as f64)).collect();
+    out.sort_by_key(|(w, _)| *w);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureLayout;
+
+    fn tiny_cfg(n: usize, seed: u64) -> DatasetConfig {
+        DatasetConfig {
+            profile: ReproProfile::quick(),
+            n,
+            seed,
+            arch: ArchSampling::Random,
+            workloads: Some(vec![3, 15, 20]), // P4, O1, S2 — fast generators
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_labeled() {
+        let cfg = tiny_cfg(6, 7);
+        let a = generate_dataset(&cfg);
+        let b = generate_dataset(&cfg);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.region, y.region);
+            assert_eq!(x.arch, y.arch);
+            assert_eq!(x.cpi, y.cpi);
+            assert_eq!(x.features, y.features);
+        }
+        for s in &a {
+            assert!(s.cpi > 0.05 && s.cpi < 500.0, "cpi {}", s.cpi);
+            assert!(s.exec_ratio > 0.0);
+            let dim = FeatureLayout {
+                encoding: cfg.profile.encoding,
+                variant: FeatureVariant::Full,
+            }
+            .dim();
+            assert_eq!(s.features.len(), dim);
+        }
+    }
+
+    #[test]
+    fn fixed_arch_sampling_uses_given_design() {
+        let mut cfg = tiny_cfg(3, 9);
+        cfg.arch = ArchSampling::Fixed(MicroArch::arm_n1());
+        for s in generate_dataset(&cfg) {
+            assert_eq!(s.arch, MicroArch::arm_n1());
+        }
+    }
+
+    #[test]
+    fn workload_filter_respected() {
+        let cfg = tiny_cfg(8, 11);
+        for s in generate_dataset(&cfg) {
+            assert!([3u16, 15, 20].contains(&s.workload));
+        }
+    }
+
+    #[test]
+    fn projection_dims_match_layouts() {
+        let cfg = tiny_cfg(1, 13);
+        let s = &generate_dataset(&cfg)[0];
+        for v in [FeatureVariant::Base, FeatureVariant::BaseBranch, FeatureVariant::Full] {
+            let p = project_features(&s.features, cfg.profile.encoding, v);
+            let dim = FeatureLayout { encoding: cfg.profile.encoding, variant: v }.dim();
+            assert_eq!(p.len(), dim, "{v:?}");
+        }
+        // Params must survive projection (the tail 23 dims).
+        let base = project_features(&s.features, cfg.profile.encoding, FeatureVariant::Base);
+        assert_eq!(
+            &base[base.len() - 23..],
+            &s.features[s.features.len() - 23..]
+        );
+    }
+
+    #[test]
+    fn overlap_report_detects_shared_regions() {
+        let cfg = tiny_cfg(10, 17);
+        let data = generate_dataset(&cfg);
+        // Self-overlap: every test sample matches itself in the train set.
+        let report = overlap_report(&data, &data);
+        for (_, frac) in &report {
+            assert!((*frac - 1.0).abs() < 1e-9, "self overlap must be 1, got {frac}");
+        }
+        // Disjoint seeds should mostly not overlap fully.
+        let other = generate_dataset(&tiny_cfg(10, 999));
+        let cross = overlap_report(&data, &other);
+        for (_, frac) in cross {
+            assert!(frac <= 1.0);
+        }
+    }
+}

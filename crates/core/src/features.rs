@@ -1,0 +1,620 @@
+//! Performance-distribution features: precomputation, storage, and assembly.
+//!
+//! This is Concorde's central data structure. A [`FeatureStore`] holds, for
+//! one program region, the encoded per-resource throughput distributions for
+//! every parameter value in a [`SweepConfig`] (paper §3.2.1), the auxiliary
+//! pipeline-stall and latency-distribution features (§3.2.2), and enough raw
+//! series for the no-ML minimum-bound baseline and Figure 1. Given any
+//! microarchitecture whose values fall on (or near — lookups quantize to the
+//! nearest grid point) the sweep, [`FeatureStore::features`] assembles the ML
+//! model's input vector in microseconds, which is what makes design-space
+//! sweeps and Shapley attribution cheap.
+
+use std::collections::HashMap;
+
+use concorde_analytic::prelude::*;
+use concorde_branch::PredictorKind;
+use concorde_cache::MemConfig;
+use concorde_cyclesim::MicroArch;
+use concorde_trace::{BranchKind, Instruction};
+use serde::{Deserialize, Serialize};
+
+use crate::sweep::{ReproProfile, SweepConfig};
+
+/// Which feature groups feed the ML model (the Figure 12 ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureVariant {
+    /// Per-resource throughput distributions + misprediction rate + parameters.
+    Base,
+    /// `Base` plus the pipeline-stall features (§3.2.2).
+    BaseBranch,
+    /// `BaseBranch` plus the latency distributions (§3.2.2) — full Concorde.
+    Full,
+}
+
+/// The 11 per-resource primary distributions, in feature order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Resource {
+    Rob,
+    LoadQueue,
+    StoreQueue,
+    AluWidth,
+    FpWidth,
+    LsWidth,
+    PipesLower,
+    PipesUpper,
+    IcacheFills,
+    FetchBuffers,
+    MemLatency,
+}
+
+impl Resource {
+    /// All primary resources in feature order.
+    pub const ALL: [Resource; 11] = [
+        Resource::Rob,
+        Resource::LoadQueue,
+        Resource::StoreQueue,
+        Resource::AluWidth,
+        Resource::FpWidth,
+        Resource::LsWidth,
+        Resource::PipesLower,
+        Resource::PipesUpper,
+        Resource::IcacheFills,
+        Resource::FetchBuffers,
+        Resource::MemLatency,
+    ];
+}
+
+/// Feature-vector layout for a variant and encoding width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureLayout {
+    /// Distribution encoding.
+    pub encoding: Encoding,
+    /// Feature groups included.
+    pub variant: FeatureVariant,
+}
+
+impl FeatureLayout {
+    /// Total input dimension (paper Table 3 computes 3873 for the paper
+    /// encoding and the `Full` variant).
+    pub fn dim(&self) -> usize {
+        let e = self.encoding.dim();
+        let base = 11 * e + 1 + MicroArch::ENCODED_DIM;
+        match self.variant {
+            FeatureVariant::Base => base,
+            FeatureVariant::BaseBranch => base + 4 * e + 11,
+            FeatureVariant::Full => base + 4 * e + 11 + 23 * e,
+        }
+    }
+}
+
+type DKey = (u32, u32, u32);
+type IKey = (u32, u32);
+
+/// A stored throughput distribution: encoded features plus the raw window
+/// series (for the min-bound baseline and Figure 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThrEntry {
+    /// Percentile-encoded distribution.
+    pub enc: Vec<f32>,
+    /// Raw per-window throughput bounds.
+    pub raw: Vec<f64>,
+}
+
+/// Precomputed performance distributions for one region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureStore {
+    k: usize,
+    encoding: Encoding,
+    n_instr: usize,
+    rob_thr: HashMap<(DKey, u32), ThrEntry>,
+    lq_thr: HashMap<(DKey, u32), ThrEntry>,
+    sq_thr: HashMap<(DKey, u32), ThrEntry>,
+    rob_curve: HashMap<DKey, Vec<f32>>,
+    exec_lat: HashMap<DKey, Vec<f32>>,
+    issue_lat: HashMap<(DKey, u32), Vec<f32>>,
+    commit_lat: HashMap<(DKey, u32), Vec<f32>>,
+    mem_lat: HashMap<DKey, ThrEntry>,
+    load_exec_est: HashMap<DKey, u64>,
+    alu_thr: HashMap<u32, ThrEntry>,
+    fp_thr: HashMap<u32, ThrEntry>,
+    ls_thr: HashMap<u32, ThrEntry>,
+    pipes_lo: HashMap<(u32, u32), ThrEntry>,
+    pipes_hi: HashMap<(u32, u32), ThrEntry>,
+    fills_thr: HashMap<(IKey, u32), ThrEntry>,
+    buffers_thr: HashMap<(IKey, u32), ThrEntry>,
+    isb_dist: Vec<f32>,
+    branch_dists: [Vec<f32>; 3],
+    branch_info_branches: u64,
+    branch_info_cond: u64,
+    branch_info_tage: u64,
+    branch_info_indirect: u64,
+    rob_grid: Vec<u32>,
+    lq_grid: Vec<u32>,
+    sq_grid: Vec<u32>,
+    alu_grid: Vec<u32>,
+    fp_grid: Vec<u32>,
+    ls_grid: Vec<u32>,
+    pipes_grid: Vec<(u32, u32)>,
+    fills_grid: Vec<u32>,
+    buffers_grid: Vec<u32>,
+    d_keys: Vec<DKey>,
+    i_keys: Vec<IKey>,
+}
+
+fn nearest(grid: &[u32], v: u32) -> u32 {
+    *grid
+        .iter()
+        .min_by_key(|&&g| {
+            // Ratio distance in fixed point, robust for size-like parameters.
+            let (a, b) = (g.max(1) as u64, v.max(1) as u64);
+            let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+            (hi * 1024 / lo, hi)
+        })
+        .expect("grid must be non-empty")
+}
+
+fn nearest_pair(grid: &[(u32, u32)], v: (u32, u32)) -> (u32, u32) {
+    *grid
+        .iter()
+        .min_by_key(|&&(a, b)| {
+            let d1 = (i64::from(a) - i64::from(v.0)).abs();
+            let d2 = (i64::from(b) - i64::from(v.1)).abs();
+            (d1 + d2, a, b)
+        })
+        .expect("pipes grid must be non-empty")
+}
+
+fn nearest_dkey(keys: &[DKey], v: DKey) -> DKey {
+    *keys
+        .iter()
+        .min_by_key(|&&(a, b, c)| {
+            ((i64::from(a) - i64::from(v.0)).abs(), (i64::from(b) - i64::from(v.1)).abs(), (i64::from(c) - i64::from(v.2)).abs())
+        })
+        .expect("d_cfgs must be non-empty")
+}
+
+fn nearest_ikey(keys: &[IKey], v: IKey) -> IKey {
+    *keys
+        .iter()
+        .min_by_key(|&&(a, b)| ((i64::from(a) - i64::from(v.0)).abs(), (i64::from(b) - i64::from(v.1)).abs()))
+        .expect("i_cfgs must be non-empty")
+}
+
+impl FeatureStore {
+    /// Precomputes the store for `instrs` (after `warmup`) over `sweep`.
+    ///
+    /// Cost scales with `|d_cfgs| × (|rob ∪ ROB_SWEEP| + |lq| + |sq|)` ROB-model
+    /// runs plus cheap width/pipe/frontend analyses (paper §5.2.3's cost
+    /// breakdown: the ROB invocations dominate).
+    pub fn precompute(
+        warmup: &[Instruction],
+        instrs: &[Instruction],
+        sweep: &SweepConfig,
+        profile: &ReproProfile,
+    ) -> FeatureStore {
+        let k = profile.window_k;
+        let enc = profile.encoding;
+        let info = analyze_static(instrs);
+        let n = info.len();
+        let binfo = analyze_branches(warmup, instrs);
+
+        // Arch-independent: ISB and branch-kind window-count distributions.
+        let isb_dist = enc.encode_u32(&window_counts(n, k, |i| info.is_isb[i]));
+        let branch_dists = [
+            enc.encode_u32(&window_counts(n, k, |i| info.branch_kinds[i] == Some(BranchKind::DirectUncond))),
+            enc.encode_u32(&window_counts(n, k, |i| info.branch_kinds[i] == Some(BranchKind::DirectCond))),
+            enc.encode_u32(&window_counts(n, k, |i| info.branch_kinds[i] == Some(BranchKind::Indirect))),
+        ];
+
+        // Arch-independent: issue widths and pipes.
+        let mut alu_thr = HashMap::new();
+        let mut fp_thr = HashMap::new();
+        let mut ls_thr = HashMap::new();
+        for (grid, map, class) in [
+            (&sweep.alu, &mut alu_thr, IssueClass::Alu),
+            (&sweep.fp, &mut fp_thr, IssueClass::Fp),
+            (&sweep.ls, &mut ls_thr, IssueClass::LoadStore),
+        ] {
+            for &w in grid.iter() {
+                let raw = issue_width_bound(&info, class, w, k);
+                map.insert(w, ThrEntry { enc: enc.encode(&raw), raw });
+            }
+        }
+        let mut pipes_lo = HashMap::new();
+        let mut pipes_hi = HashMap::new();
+        for &(lsp, lp) in &sweep.pipes {
+            let b = pipe_bounds(&info, lsp, lp, k);
+            pipes_lo.insert((lsp, lp), ThrEntry { enc: enc.encode(&b.lower), raw: b.lower });
+            pipes_hi.insert((lsp, lp), ThrEntry { enc: enc.encode(&b.upper), raw: b.upper });
+        }
+
+        // Per D-side configuration: ROB / LQ / SQ models + latency features.
+        let mut rob_thr = HashMap::new();
+        let mut lq_thr = HashMap::new();
+        let mut sq_thr = HashMap::new();
+        let mut rob_curve = HashMap::new();
+        let mut exec_lat = HashMap::new();
+        let mut issue_lat = HashMap::new();
+        let mut commit_lat = HashMap::new();
+        let mut mem_lat = HashMap::new();
+        let mut load_exec_est = HashMap::new();
+        let mut d_keys: Vec<DKey> = Vec::new();
+
+        let mut rob_vals: Vec<u32> = sweep.rob.iter().copied().chain(ROB_SWEEP).collect();
+        rob_vals.sort_unstable();
+        rob_vals.dedup();
+
+        for cfg in &sweep.d_cfgs {
+            let key = cfg.data_key();
+            if d_keys.contains(&key) {
+                continue;
+            }
+            d_keys.push(key);
+            let data = analyze_data(warmup, instrs, *cfg);
+
+            // 11th primary feature: per-window mean estimated load latency —
+            // Table 3's resource count is 11 but the paper does not name all
+            // of them; this memory-latency distribution carries the same
+            // information the L1d/L2/prefetch parameters act on (DESIGN.md).
+            let mem_series: Vec<f64> = {
+                let mut out = Vec::new();
+                let mut start = 0;
+                while start < n {
+                    let end = (start + k).min(n);
+                    if end - start < k && !out.is_empty() {
+                        break;
+                    }
+                    let (mut sum, mut cnt) = (0u64, 0u64);
+                    for i in start..end {
+                        if info.ops[i].is_load() {
+                            sum += u64::from(data.exec_latency[i]);
+                            cnt += 1;
+                        }
+                    }
+                    out.push(if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 });
+                    start = end;
+                }
+                out
+            };
+            mem_lat.insert(key, ThrEntry { enc: enc.encode(&mem_series), raw: mem_series });
+            load_exec_est.insert(
+                key,
+                (0..n)
+                    .filter(|&i| info.ops[i].is_load())
+                    .map(|i| u64::from(data.exec_latency[i]))
+                    .sum(),
+            );
+
+            let mut curve = Vec::with_capacity(ROB_SWEEP.len());
+            for &rv in &rob_vals {
+                let r = rob_model(&info, &data, rv);
+                if sweep.rob.contains(&rv) || ROB_SWEEP.contains(&rv) {
+                    let raw = throughput_from_marks(&r.commit_cycles, k);
+                    rob_thr.insert((key, rv), ThrEntry { enc: enc.encode(&raw), raw });
+                }
+                if ROB_SWEEP.contains(&rv) {
+                    curve.push(r.overall_throughput() as f32);
+                    issue_lat.insert((key, rv), enc.encode_u32(&r.issue_latency));
+                    commit_lat.insert((key, rv), enc.encode_u32(&r.commit_latency));
+                    if rv == *ROB_SWEEP.last().unwrap() {
+                        exec_lat.insert(key, enc.encode_u32(&r.exec_latency));
+                    }
+                }
+            }
+            rob_curve.insert(key, curve);
+
+            for &qv in &sweep.lq {
+                let marks = queue_model(&info, &data, qv, QueueKind::Load);
+                let raw = throughput_from_marks(&marks, k);
+                lq_thr.insert((key, qv), ThrEntry { enc: enc.encode(&raw), raw });
+            }
+            for &qv in &sweep.sq {
+                let marks = queue_model(&info, &data, qv, QueueKind::Store);
+                let raw = throughput_from_marks(&marks, k);
+                sq_thr.insert((key, qv), ThrEntry { enc: enc.encode(&raw), raw });
+            }
+        }
+
+        // Per I-side configuration: fills + fetch buffers.
+        let mut fills_thr = HashMap::new();
+        let mut buffers_thr = HashMap::new();
+        let mut i_keys: Vec<IKey> = Vec::new();
+        for cfg in &sweep.i_cfgs {
+            let key = cfg.inst_key();
+            if i_keys.contains(&key) {
+                continue;
+            }
+            i_keys.push(key);
+            let inst = analyze_inst(warmup, instrs, *cfg);
+            for &fv in &sweep.fills {
+                let marks = icache_fills_model(&info, &inst, fv);
+                let raw = throughput_from_marks(&marks, k);
+                fills_thr.insert((key, fv), ThrEntry { enc: enc.encode(&raw), raw });
+            }
+            for &bv in &sweep.buffers {
+                let marks = fetch_buffers_model(&info, &inst, bv);
+                let raw = throughput_from_marks(&marks, k);
+                buffers_thr.insert((key, bv), ThrEntry { enc: enc.encode(&raw), raw });
+            }
+        }
+
+        FeatureStore {
+            k,
+            encoding: enc,
+            n_instr: n,
+            rob_thr,
+            lq_thr,
+            sq_thr,
+            rob_curve,
+            exec_lat,
+            issue_lat,
+            commit_lat,
+            mem_lat,
+            load_exec_est,
+            alu_thr,
+            fp_thr,
+            ls_thr,
+            pipes_lo,
+            pipes_hi,
+            fills_thr,
+            buffers_thr,
+            isb_dist,
+            branch_dists,
+            branch_info_branches: binfo.branches,
+            branch_info_cond: binfo.conditional,
+            branch_info_tage: binfo.tage_cond_misses,
+            branch_info_indirect: binfo.indirect_misses,
+            rob_grid: {
+                let mut g = sweep.rob.clone();
+                g.extend(ROB_SWEEP);
+                g.sort_unstable();
+                g.dedup();
+                g
+            },
+            lq_grid: sweep.lq.clone(),
+            sq_grid: sweep.sq.clone(),
+            alu_grid: sweep.alu.clone(),
+            fp_grid: sweep.fp.clone(),
+            ls_grid: sweep.ls.clone(),
+            pipes_grid: sweep.pipes.clone(),
+            fills_grid: sweep.fills.clone(),
+            buffers_grid: sweep.buffers.clone(),
+            d_keys,
+            i_keys,
+        }
+    }
+
+    /// Branch misprediction rate (per instruction ×1000, i.e. MPKI-scaled to
+    /// 0..~1) for the architecture's predictor — the §3.2.2 scalar feature.
+    pub fn mispredict_feature(&self, predictor: PredictorKind) -> f32 {
+        let cond_misses = match predictor {
+            PredictorKind::Tage => self.branch_info_tage as f64,
+            PredictorKind::Simple { miss_pct } => self.branch_info_cond as f64 * f64::from(miss_pct) / 100.0,
+        };
+        let per_instr = (cond_misses + self.branch_info_indirect as f64) / self.n_instr.max(1) as f64;
+        (per_instr * 10.0) as f32 // scale ~[0, 1]
+    }
+
+    fn dkey(&self, mem: MemConfig) -> DKey {
+        nearest_dkey(&self.d_keys, mem.data_key())
+    }
+
+    /// Trace-analysis estimate of the total load execution time under `mem`
+    /// (the denominator of Figure 11's discrepancy ratio).
+    pub fn load_exec_estimate(&self, mem: MemConfig) -> u64 {
+        self.load_exec_est[&self.dkey(mem)]
+    }
+
+    fn ikey(&self, mem: MemConfig) -> IKey {
+        nearest_ikey(&self.i_keys, mem.inst_key())
+    }
+
+    /// Raw per-window throughput-bound series for a resource under `arch`
+    /// (used by Figure 1 and the min-bound baseline).
+    pub fn raw_series(&self, res: Resource, arch: &MicroArch) -> &[f64] {
+        let dk = self.dkey(arch.mem);
+        let ik = self.ikey(arch.mem);
+        match res {
+            Resource::Rob => &self.rob_thr[&(dk, nearest(&self.rob_grid, arch.rob_size))].raw,
+            Resource::LoadQueue => &self.lq_thr[&(dk, nearest(&self.lq_grid, arch.lq_size))].raw,
+            Resource::StoreQueue => &self.sq_thr[&(dk, nearest(&self.sq_grid, arch.sq_size))].raw,
+            Resource::AluWidth => &self.alu_thr[&nearest(&self.alu_grid, arch.alu_width)].raw,
+            Resource::FpWidth => &self.fp_thr[&nearest(&self.fp_grid, arch.fp_width)].raw,
+            Resource::LsWidth => &self.ls_thr[&nearest(&self.ls_grid, arch.ls_width)].raw,
+            Resource::PipesLower => &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].raw,
+            Resource::PipesUpper => &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].raw,
+            Resource::IcacheFills => &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].raw,
+            Resource::FetchBuffers => &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].raw,
+            Resource::MemLatency => &self.mem_lat[&dk].raw,
+        }
+    }
+
+    fn enc_of(&self, res: Resource, arch: &MicroArch) -> &[f32] {
+        let dk = self.dkey(arch.mem);
+        let ik = self.ikey(arch.mem);
+        match res {
+            Resource::Rob => &self.rob_thr[&(dk, nearest(&self.rob_grid, arch.rob_size))].enc,
+            Resource::LoadQueue => &self.lq_thr[&(dk, nearest(&self.lq_grid, arch.lq_size))].enc,
+            Resource::StoreQueue => &self.sq_thr[&(dk, nearest(&self.sq_grid, arch.sq_size))].enc,
+            Resource::AluWidth => &self.alu_thr[&nearest(&self.alu_grid, arch.alu_width)].enc,
+            Resource::FpWidth => &self.fp_thr[&nearest(&self.fp_grid, arch.fp_width)].enc,
+            Resource::LsWidth => &self.ls_thr[&nearest(&self.ls_grid, arch.ls_width)].enc,
+            Resource::PipesLower => &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].enc,
+            Resource::PipesUpper => &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].enc,
+            Resource::IcacheFills => &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].enc,
+            Resource::FetchBuffers => &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].enc,
+            Resource::MemLatency => &self.mem_lat[&dk].enc,
+        }
+    }
+
+    /// Assembles the ML input vector for `arch` under `variant`.
+    ///
+    /// Layout: 11 primary distributions → misprediction rate → (stall
+    /// features → latency distributions, per variant) → 23 parameter dims.
+    pub fn features(&self, arch: &MicroArch, variant: FeatureVariant) -> Vec<f32> {
+        let layout = FeatureLayout { encoding: self.encoding, variant };
+        let mut out = Vec::with_capacity(layout.dim());
+        for res in Resource::ALL {
+            out.extend_from_slice(self.enc_of(res, arch));
+        }
+        out.push(self.mispredict_feature(arch.predictor));
+        if variant != FeatureVariant::Base {
+            out.extend_from_slice(&self.isb_dist);
+            for d in &self.branch_dists {
+                out.extend_from_slice(d);
+            }
+            out.extend_from_slice(&self.rob_curve[&self.dkey(arch.mem)]);
+        }
+        if variant == FeatureVariant::Full {
+            let dk = self.dkey(arch.mem);
+            out.extend_from_slice(&self.exec_lat[&dk]);
+            for &rv in &ROB_SWEEP {
+                out.extend_from_slice(&self.issue_lat[&(dk, rv)]);
+            }
+            for &rv in &ROB_SWEEP {
+                out.extend_from_slice(&self.commit_lat[&(dk, rv)]);
+            }
+        }
+        out.extend(arch.encode());
+        debug_assert_eq!(out.len(), layout.dim());
+        out
+    }
+
+    /// The pure-analytical CPI estimate: per window, take the minimum of all
+    /// per-resource throughput bounds (and the static widths), then average
+    /// window CPIs (the pink "min bound" line of Figure 12).
+    pub fn min_bound_cpi(&self, arch: &MicroArch) -> f64 {
+        let series: Vec<&[f64]> = [
+            Resource::Rob,
+            Resource::LoadQueue,
+            Resource::StoreQueue,
+            Resource::AluWidth,
+            Resource::FpWidth,
+            Resource::LsWidth,
+            Resource::PipesUpper,
+            Resource::IcacheFills,
+            Resource::FetchBuffers,
+        ]
+        .iter()
+        .map(|r| self.raw_series(*r, arch))
+        .collect();
+        let static_bound = f64::from(
+            arch.commit_width.min(arch.fetch_width).min(arch.decode_width).min(arch.rename_width),
+        );
+        let windows = series.iter().map(|s| s.len()).min().unwrap_or(0);
+        if windows == 0 {
+            return 1.0;
+        }
+        let mut cpi_sum = 0.0;
+        for j in 0..windows {
+            let mut thr = static_bound;
+            for s in &series {
+                thr = thr.min(s[j]);
+            }
+            cpi_sum += 1.0 / thr.max(1e-6);
+        }
+        cpi_sum / windows as f64
+    }
+
+    /// Approximate in-memory footprint of the encoded features (bytes) — the
+    /// §5.2.3 "precomputed performance features occupy …" statistic.
+    pub fn encoded_bytes(&self) -> usize {
+        fn thr<'a, I: Iterator<Item = &'a ThrEntry>>(it: I) -> usize {
+            it.map(|e| e.enc.len() * 4).sum()
+        }
+        fn lat<'a, I: Iterator<Item = &'a Vec<f32>>>(it: I) -> usize {
+            it.map(|e| e.len() * 4).sum()
+        }
+        thr(self.rob_thr.values())
+            + thr(self.lq_thr.values())
+            + thr(self.sq_thr.values())
+            + thr(self.fills_thr.values())
+            + thr(self.buffers_thr.values())
+            + thr(self.alu_thr.values())
+            + thr(self.fp_thr.values())
+            + thr(self.ls_thr.values())
+            + thr(self.pipes_lo.values())
+            + thr(self.pipes_hi.values())
+            + thr(self.mem_lat.values())
+            + lat(self.issue_lat.values())
+            + lat(self.commit_lat.values())
+            + lat(self.exec_lat.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ReproProfile;
+    use concorde_trace::{by_id, generate_region};
+
+    fn quick_store(arch: &MicroArch) -> FeatureStore {
+        let profile = ReproProfile::quick();
+        let full = generate_region(&by_id("S5").unwrap(), 0, 0, profile.warmup_len + profile.region_len).instrs;
+        let (w, r) = full.split_at(profile.warmup_len);
+        FeatureStore::precompute(w, r, &SweepConfig::for_arch(arch), &profile)
+    }
+
+    #[test]
+    fn layout_dims_match_paper_formula() {
+        let paper = FeatureLayout { encoding: Encoding::paper(), variant: FeatureVariant::Full };
+        // 11×101 + (4×101 + 1 + 11) + 23×101 + 23 = 3873 (Table 3).
+        assert_eq!(paper.dim(), 3873);
+        let base = FeatureLayout { encoding: Encoding::paper(), variant: FeatureVariant::Base };
+        assert_eq!(base.dim(), 11 * 101 + 1 + 23);
+    }
+
+    #[test]
+    fn features_have_declared_dims_for_all_variants() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        for v in [FeatureVariant::Base, FeatureVariant::BaseBranch, FeatureVariant::Full] {
+            let f = store.features(&arch, v);
+            assert_eq!(f.len(), FeatureLayout { encoding: Encoding { levels: 8 }, variant: v }.dim());
+            assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn quantization_finds_nearest_grid_point() {
+        assert_eq!(nearest(&[1, 2, 4, 8], 3), 4);
+        assert_eq!(nearest(&[1, 2, 4, 8], 5), 4);
+        assert_eq!(nearest(&[1, 2, 4, 8], 7), 8);
+        assert_eq!(nearest(&[16, 64, 256], 100), 64);
+        assert_eq!(nearest_pair(&[(2, 0), (8, 8)], (3, 1)), (2, 0));
+    }
+
+    #[test]
+    fn min_bound_is_a_plausible_lower_cpi_estimate() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        let cpi = store.min_bound_cpi(&arch);
+        assert!(cpi > 0.05 && cpi < 100.0, "min-bound CPI {cpi}");
+        // A maximally wide machine should have a lower (or equal) bound CPI.
+        let big = MicroArch::big_core();
+        let store_big = quick_store(&big);
+        assert!(store_big.min_bound_cpi(&big) <= cpi * 1.5);
+    }
+
+    #[test]
+    fn mispredict_feature_orders_predictors() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        let perfect = store.mispredict_feature(PredictorKind::Simple { miss_pct: 0 });
+        let tage = store.mispredict_feature(PredictorKind::Tage);
+        let awful = store.mispredict_feature(PredictorKind::Simple { miss_pct: 100 });
+        assert!(perfect <= tage && tage <= awful);
+    }
+
+    #[test]
+    fn raw_series_nonempty_for_all_resources() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        for r in Resource::ALL {
+            assert!(!store.raw_series(r, &arch).is_empty(), "{r:?}");
+        }
+        assert!(store.encoded_bytes() > 0);
+    }
+}

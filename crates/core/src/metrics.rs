@@ -1,0 +1,132 @@
+//! Evaluation breakdowns used by the paper's figures and tables.
+
+use concorde_ml::ErrorStats;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Sample;
+
+/// A labelled group of evaluation pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Group label (workload id, bucket name, …).
+    pub label: String,
+    /// Mean relative error.
+    pub mean: f64,
+    /// 90th-percentile relative error.
+    pub p90: f64,
+    /// Fraction of samples above 10% error.
+    pub frac_above_10pct: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+fn stats_of(label: &str, pairs: &[(f64, f64)]) -> Option<GroupStats> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let s = ErrorStats::from_pairs(pairs);
+    Some(GroupStats { label: label.to_string(), mean: s.mean, p90: s.p90, frac_above_10pct: s.frac_above_10pct, n: s.n })
+}
+
+/// Per-workload error breakdown (Figure 6): `pairs[i]` must correspond to
+/// `samples[i]`.
+pub fn per_program(samples: &[Sample], pairs: &[(f64, f64)]) -> Vec<GroupStats> {
+    let suite = concorde_trace::suite();
+    let mut out = Vec::new();
+    for (w, spec) in suite.iter().enumerate() {
+        let group: Vec<(f64, f64)> = samples
+            .iter()
+            .zip(pairs)
+            .filter(|(s, _)| s.workload == w as u16)
+            .map(|(_, p)| *p)
+            .collect();
+        if let Some(g) = stats_of(&spec.id, &group) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Buckets evaluation pairs by a per-sample key (Table 4, Figure 11).
+///
+/// `edges` are the right-open bucket boundaries; a final unbounded bucket is
+/// added automatically. Returns one [`GroupStats`] per non-empty bucket.
+pub fn bucketed<F>(samples: &[Sample], pairs: &[(f64, f64)], edges: &[f64], key: F, unit: &str) -> Vec<GroupStats>
+where
+    F: Fn(&Sample) -> f64,
+{
+    let mut out = Vec::new();
+    let mut lo = f64::NEG_INFINITY;
+    let mut bounds: Vec<(f64, f64)> = Vec::new();
+    for &e in edges {
+        bounds.push((lo, e));
+        lo = e;
+    }
+    bounds.push((lo, f64::INFINITY));
+    for (lo, hi) in bounds {
+        let group: Vec<(f64, f64)> = samples
+            .iter()
+            .zip(pairs)
+            .filter(|(s, _)| {
+                let k = key(s);
+                k >= lo && k < hi
+            })
+            .map(|(_, p)| *p)
+            .collect();
+        let label = if lo == f64::NEG_INFINITY {
+            format!("< {hi} {unit}")
+        } else if hi == f64::INFINITY {
+            format!(">= {lo} {unit}")
+        } else {
+            format!("[{lo}, {hi}) {unit}")
+        };
+        if let Some(g) = stats_of(&label, &group) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concorde_cyclesim::MicroArch;
+    use concorde_trace::RegionRef;
+
+    fn sample(workload: u16, mispred: u64) -> Sample {
+        Sample {
+            workload,
+            region: RegionRef { workload, trace_idx: 0, start: 0, len: 100 },
+            arch: MicroArch::arm_n1(),
+            features: vec![],
+            cpi: 1.0,
+            rob_occupancy: 0.0,
+            rename_occupancy: 0.0,
+            branch_mispredictions: mispred,
+            exec_ratio: 1.0,
+        }
+    }
+
+    #[test]
+    fn per_program_groups_by_workload() {
+        let samples = vec![sample(0, 0), sample(0, 0), sample(5, 0)];
+        let pairs = vec![(1.1, 1.0), (1.2, 1.0), (1.0, 1.0)];
+        let groups = per_program(&samples, &pairs);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].label, "P1");
+        assert_eq!(groups[0].n, 2);
+        assert!((groups[0].mean - 0.15).abs() < 1e-9);
+        assert_eq!(groups[1].label, "P6");
+    }
+
+    #[test]
+    fn buckets_cover_all_samples() {
+        let samples: Vec<Sample> = (0..10).map(|i| sample(0, i * 100)).collect();
+        let pairs: Vec<(f64, f64)> = (0..10).map(|_| (1.0, 1.0)).collect();
+        let groups = bucketed(&samples, &pairs, &[250.0, 600.0], |s| s.branch_mispredictions as f64, "mispredictions");
+        let total: usize = groups.iter().map(|g| g.n).sum();
+        assert_eq!(total, 10);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].n, 3, "0,100,200");
+    }
+}

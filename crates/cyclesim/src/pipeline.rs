@@ -1,0 +1,680 @@
+//! The trace-driven out-of-order pipeline (the reference "cycle-level
+//! simulator" Concorde is trained against).
+//!
+//! The model follows gem5's O3 structure at the granularity the paper's 20
+//! parameters act on:
+//!
+//! * **Fetch** — fetch-width instructions per cycle, gated by I-cache line
+//!   readiness (misses occupy one of `max_icache_fills` fill slots), by the
+//!   fetch buffers' capacity, by branch redirects (fetch stalls from a
+//!   mispredicted branch until it resolves, plus a fixed redirect penalty),
+//!   and by ISBs (fetch stalls until the barrier commits).
+//! * **Decode / Rename** — decode- and rename-width instructions per cycle
+//!   through a bounded rename queue; rename allocates ROB/LQ/SQ entries and
+//!   resolves register and memory dependencies.
+//! * **Issue / Execute** — out-of-order, oldest-first, constrained by the
+//!   per-class issue widths (ALU, FP, load-store) and by the load /
+//!   load-store pipes; loads access the timing memory system with per-line
+//!   miss merging (MSHR behaviour), stores retire into a write buffer.
+//! * **Commit** — commit-width per cycle, in order.
+//!
+//! Being trace driven, wrong-path instructions are not executed; a
+//! misprediction costs the resolve-plus-redirect bubble, which is the same
+//! modelling choice the paper's reference simulator makes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use concorde_branch::BranchUnit;
+use concorde_cache::{CacheLevel, Hierarchy, LatencyMap};
+use concorde_trace::{Instruction, OpClass};
+
+use crate::params::MicroArch;
+use crate::stats::{SimOptions, SimResult};
+
+/// Extra cycles to refill the frontend after a branch misprediction resolves.
+/// Approximates the depth of the fetch/decode/rename pipeline that a squash
+/// drains (≈ N1's front-end depth); the total misprediction cost is this plus
+/// the branch's fetch-to-execute time.
+pub const REDIRECT_PENALTY: u64 = 8;
+/// Instructions per fetch buffer (one 64-byte line of 4-byte instructions).
+pub const FETCH_BUFFER_ENTRIES: usize = 16;
+/// Capacity of the decode → rename queue.
+pub const RENAME_Q_CAP: usize = 32;
+/// Store-to-load forwarding latency.
+const FORWARD_LATENCY: u64 = 2;
+/// Store write-buffer completion latency.
+const STORE_LATENCY: u64 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssueClass {
+    Int,
+    Fp,
+    Load,
+    Store,
+}
+
+fn issue_class(op: OpClass) -> IssueClass {
+    match op {
+        OpClass::Load => IssueClass::Load,
+        OpClass::Store => IssueClass::Store,
+        OpClass::FpAlu | OpClass::FpMul | OpClass::FpDiv => IssueClass::Fp,
+        _ => IssueClass::Int,
+    }
+}
+
+/// Runs the cycle-level simulation of `trace` on microarchitecture `arch`.
+///
+/// Equivalent to [`simulate_warmed`] with an empty warmup prefix.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks, which indicates a model bug (covered by
+/// the crate's property tests).
+pub fn simulate(trace: &[Instruction], arch: &MicroArch, opts: SimOptions) -> SimResult {
+    simulate_warmed(&[], trace, arch, opts)
+}
+
+/// Runs the cycle-level simulation of `trace` after functionally warming the
+/// cache hierarchy and branch predictor with `warmup` (no timing is modelled
+/// for the warmup prefix; its instructions are not counted).
+///
+/// Regions sampled from the middle of a long trace should be simulated with
+/// the preceding instructions as warmup so that cache state reflects steady
+/// state rather than compulsory misses — the same discipline Concorde's trace
+/// analysis applies, keeping ground truth and features consistent.
+///
+/// # Panics
+///
+/// Panics if the pipeline deadlocks, which indicates a model bug.
+pub fn simulate_warmed(
+    warmup: &[Instruction],
+    trace: &[Instruction],
+    arch: &MicroArch,
+    opts: SimOptions,
+) -> SimResult {
+    let n = trace.len();
+    let lat = LatencyMap::default();
+    let mut hierarchy = Hierarchy::new(arch.mem);
+    let mut branch_unit = BranchUnit::new(arch.predictor, opts.seed);
+
+    for i in warmup {
+        hierarchy.access_inst(i.pc);
+        if i.op.is_load() {
+            hierarchy.access_data(i.mem_addr, false, Some(i.pc));
+        } else if i.op.is_store() {
+            hierarchy.access_data(i.mem_addr, true, None);
+        } else if i.op.is_branch() {
+            branch_unit.observe(i);
+        }
+    }
+    hierarchy.reset_stats();
+    branch_unit.reset_stats();
+
+    // Per-instruction bookkeeping.
+    let mut finished = vec![false; n];
+    let mut dep_count = vec![0u16; n];
+    let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut forward_load = vec![false; n];
+    let mut commit_cycles = if opts.record_commit_cycles { Some(vec![0u64; n]) } else { None };
+
+    // Rename state.
+    let mut last_writer = [u32::MAX; concorde_trace::NUM_REGS];
+    let mut renamed = vec![false; n];
+    let mut last_store_addr: HashMap<u64, u32> = HashMap::new();
+    let mut last_store_line: HashMap<u64, u32> = HashMap::new();
+
+    // Queues and windows.
+    let fetch_q_cap = arch.fetch_buffers as usize * FETCH_BUFFER_ENTRIES;
+    let mut fetch_q: VecDeque<u32> = VecDeque::with_capacity(fetch_q_cap);
+    let mut rename_q: VecDeque<u32> = VecDeque::with_capacity(RENAME_Q_CAP);
+    let mut ready_int: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    let mut ready_fp: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    let mut ready_mem: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+    let mut executing: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+    // Fetch/I-cache state.
+    let mut next_fetch = 0usize;
+    let mut fetch_resume = 0u64;
+    let mut pending_redirect: Option<u32> = None;
+    let mut waiting_isb: Option<u32> = None;
+    let mut iline_ready: HashMap<u64, u64> = HashMap::new();
+    let mut ifill_heap: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut outstanding_ifills = 0u32;
+
+    // Data MSHR map: line -> fill-ready cycle.
+    let mut mshr: HashMap<u64, u64> = HashMap::new();
+
+    // Window occupancy.
+    let mut next_commit = 0usize;
+    let mut renamed_count = 0usize;
+    let mut lq_used = 0u32;
+    let mut sq_used = 0u32;
+
+    // Stats.
+    let mut cycle = 0u64;
+    let mut rob_occ_sum = 0u128;
+    let mut rq_occ_sum = 0u128;
+    let mut load_count = 0u64;
+    let mut load_exec_cycles = 0u64;
+    let mut issue_cycle = vec![0u64; n];
+
+    let push_ready = |i: u32,
+                      trace: &[Instruction],
+                      ri: &mut BinaryHeap<Reverse<u32>>,
+                      rf: &mut BinaryHeap<Reverse<u32>>,
+                      rm: &mut BinaryHeap<Reverse<u32>>| {
+        match issue_class(trace[i as usize].op) {
+            IssueClass::Int => ri.push(Reverse(i)),
+            IssueClass::Fp => rf.push(Reverse(i)),
+            IssueClass::Load | IssueClass::Store => rm.push(Reverse(i)),
+        }
+    };
+
+    while next_commit < n {
+        let mut progress = false;
+
+        // 1. Complete finished executions (wakeup).
+        while let Some(&Reverse((f, i))) = executing.peek() {
+            if f > cycle {
+                break;
+            }
+            executing.pop();
+            progress = true;
+            finished[i as usize] = true;
+            if trace[i as usize].op.is_load() {
+                load_exec_cycles += f - issue_cycle[i as usize];
+            }
+            if pending_redirect == Some(i) {
+                pending_redirect = None;
+                fetch_resume = f + REDIRECT_PENALTY;
+            }
+            let deps = std::mem::take(&mut dependents[i as usize]);
+            for d in deps {
+                dep_count[d as usize] -= 1;
+                if dep_count[d as usize] == 0 && renamed[d as usize] {
+                    push_ready(d, trace, &mut ready_int, &mut ready_fp, &mut ready_mem);
+                }
+            }
+        }
+
+        // 2. Commit in order.
+        let mut committed_now = 0;
+        while next_commit < n && committed_now < arch.commit_width && renamed[next_commit] && finished[next_commit] {
+            if let Some(cc) = commit_cycles.as_mut() {
+                cc[next_commit] = cycle;
+            }
+            match trace[next_commit].op {
+                OpClass::Load => lq_used -= 1,
+                OpClass::Store => sq_used -= 1,
+                _ => {}
+            }
+            if waiting_isb == Some(next_commit as u32) {
+                waiting_isb = None;
+            }
+            next_commit += 1;
+            committed_now += 1;
+            progress = true;
+        }
+        let last_commit_cycle_done = next_commit >= n;
+        if last_commit_cycle_done {
+            // All instructions committed; `cycle` is the completion time.
+            cycle += 0;
+        }
+
+        // 3. Issue (oldest first, per-class widths + pipes).
+        let mut int_left = arch.alu_width;
+        let mut fp_left = arch.fp_width;
+        let mut mem_left = arch.ls_width;
+        let mut load_pipes_left = arch.load_pipes;
+        let mut ls_pipes_left = arch.ls_pipes;
+
+        while int_left > 0 {
+            let Some(&Reverse(i)) = ready_int.peek() else { break };
+            ready_int.pop();
+            int_left -= 1;
+            progress = true;
+            issue_cycle[i as usize] = cycle;
+            let finish = cycle + u64::from(trace[i as usize].op.base_latency());
+            executing.push(Reverse((finish, i)));
+        }
+        while fp_left > 0 {
+            let Some(&Reverse(i)) = ready_fp.peek() else { break };
+            ready_fp.pop();
+            fp_left -= 1;
+            progress = true;
+            issue_cycle[i as usize] = cycle;
+            let finish = cycle + u64::from(trace[i as usize].op.base_latency());
+            executing.push(Reverse((finish, i)));
+        }
+        let mut deferred_mem: Vec<u32> = Vec::new();
+        while mem_left > 0 && (load_pipes_left > 0 || ls_pipes_left > 0) {
+            let Some(&Reverse(i)) = ready_mem.peek() else { break };
+            let instr = &trace[i as usize];
+            let is_store = instr.op.is_store();
+            // Pipe availability: stores need a load-store pipe; loads prefer a
+            // load pipe and fall back to a load-store pipe.
+            if is_store {
+                if ls_pipes_left == 0 {
+                    // A younger load may still issue on a load pipe.
+                    if load_pipes_left > 0 {
+                        ready_mem.pop();
+                        deferred_mem.push(i);
+                        continue;
+                    }
+                    break;
+                }
+                ls_pipes_left -= 1;
+            } else if load_pipes_left > 0 {
+                load_pipes_left -= 1;
+            } else {
+                ls_pipes_left -= 1;
+            }
+            ready_mem.pop();
+            mem_left -= 1;
+            progress = true;
+            issue_cycle[i as usize] = cycle;
+
+            let finish = if is_store {
+                let line = instr.data_line();
+                let level = hierarchy.access_data(instr.mem_addr, true, None);
+                if level != CacheLevel::L1 {
+                    let ready = cycle + u64::from(lat.latency(level));
+                    mshr.insert(line, ready);
+                }
+                cycle + STORE_LATENCY
+            } else {
+                load_count += 1;
+                if forward_load[i as usize] {
+                    cycle + FORWARD_LATENCY
+                } else {
+                    let line = instr.data_line();
+                    match mshr.get(&line) {
+                        Some(&ready) if ready > cycle => {
+                            // Merge into the outstanding fill for this line.
+                            ready.max(cycle + u64::from(lat.l1))
+                        }
+                        _ => {
+                            let level = hierarchy.access_data(instr.mem_addr, false, Some(instr.pc));
+                            let t = cycle + u64::from(lat.latency(level));
+                            if level != CacheLevel::L1 {
+                                mshr.insert(line, t);
+                            }
+                            t
+                        }
+                    }
+                }
+            };
+            executing.push(Reverse((finish, i)));
+        }
+        for d in deferred_mem {
+            ready_mem.push(Reverse(d));
+        }
+
+        // 4. Rename (allocate ROB/LQ/SQ, resolve dependencies).
+        let mut rename_left = arch.rename_width;
+        while rename_left > 0 {
+            let Some(&i) = rename_q.front() else { break };
+            let iu = i as usize;
+            let instr = &trace[iu];
+            if renamed_count - next_commit >= arch.rob_size as usize {
+                break;
+            }
+            match instr.op {
+                OpClass::Load if lq_used >= arch.lq_size => break,
+                OpClass::Store if sq_used >= arch.sq_size => break,
+                _ => {}
+            }
+            rename_q.pop_front();
+            rename_left -= 1;
+            progress = true;
+
+            let mut deps = 0u16;
+            for src in instr.srcs.iter().flatten() {
+                let p = last_writer[*src as usize];
+                if p != u32::MAX && !finished[p as usize] {
+                    dependents[p as usize].push(i);
+                    deps += 1;
+                }
+            }
+            if instr.op.is_load() {
+                if let Some(&s) = last_store_addr.get(&instr.mem_addr) {
+                    // Exact-address RAW through memory: forward from the store.
+                    if s != u32::MAX && next_commit <= s as usize {
+                        forward_load[iu] = true;
+                        if !finished[s as usize] {
+                            dependents[s as usize].push(i);
+                            deps += 1;
+                        }
+                    }
+                } else if let Some(&s) = last_store_line.get(&instr.data_line()) {
+                    // Same-line older store: conservative ordering dependency.
+                    if s != u32::MAX && next_commit <= s as usize && !finished[s as usize] {
+                        dependents[s as usize].push(i);
+                        deps += 1;
+                    }
+                }
+                lq_used += 1;
+            }
+            if instr.op.is_store() {
+                last_store_addr.insert(instr.mem_addr, i);
+                last_store_line.insert(instr.data_line(), i);
+                sq_used += 1;
+            }
+            if let Some(d) = instr.dst {
+                last_writer[d as usize] = i;
+            }
+            renamed[iu] = true;
+            renamed_count += 1;
+            dep_count[iu] = deps;
+            if deps == 0 {
+                push_ready(i, trace, &mut ready_int, &mut ready_fp, &mut ready_mem);
+            }
+        }
+
+        // 5. Decode: fetch queue -> rename queue.
+        let mut decode_left = arch.decode_width;
+        while decode_left > 0 && rename_q.len() < RENAME_Q_CAP {
+            let Some(i) = fetch_q.pop_front() else { break };
+            rename_q.push_back(i);
+            decode_left -= 1;
+            progress = true;
+        }
+
+        // 6. Fetch.
+        if waiting_isb.is_none() && cycle >= fetch_resume {
+            // Retire completed I-cache fills.
+            while let Some(&Reverse(r)) = ifill_heap.peek() {
+                if r > cycle {
+                    break;
+                }
+                ifill_heap.pop();
+                outstanding_ifills -= 1;
+            }
+            let mut fetch_left = arch.fetch_width;
+            while fetch_left > 0 && next_fetch < n && fetch_q.len() < fetch_q_cap {
+                let instr = &trace[next_fetch];
+                let line = instr.icache_line();
+                // I-cache line readiness.
+                match iline_ready.get(&line) {
+                    Some(&r) if r > cycle => break, // fill in flight
+                    Some(_) => {
+                        iline_ready.remove(&line);
+                    }
+                    None => {
+                        let level = hierarchy.access_inst(instr.pc);
+                        if level != CacheLevel::L1 {
+                            if outstanding_ifills >= arch.max_icache_fills {
+                                break; // no fill slot this cycle
+                            }
+                            let ready = cycle + u64::from(lat.latency(level));
+                            iline_ready.insert(line, ready);
+                            ifill_heap.push(Reverse(ready));
+                            outstanding_ifills += 1;
+                            break; // wait for the fill
+                        }
+                    }
+                }
+
+                let i = next_fetch as u32;
+                fetch_q.push_back(i);
+                next_fetch += 1;
+                fetch_left -= 1;
+                progress = true;
+
+                if instr.op.is_branch() {
+                    let mispredicted = branch_unit.observe(instr);
+                    if mispredicted {
+                        pending_redirect = Some(i);
+                        fetch_resume = u64::MAX;
+                        break;
+                    }
+                    if instr.taken {
+                        // Taken branches end the fetch group (redirect within
+                        // the frontend costs the rest of this cycle).
+                        break;
+                    }
+                } else if instr.op == OpClass::Isb {
+                    waiting_isb = Some(i);
+                    break;
+                }
+            }
+        }
+
+        // Occupancy accounting (post-stage state of this cycle).
+        rob_occ_sum += (renamed_count - next_commit) as u128;
+        rq_occ_sum += rename_q.len() as u128;
+
+        if next_commit >= n {
+            break;
+        }
+
+        // Advance time; skip idle gaps to the next event.
+        if progress {
+            cycle += 1;
+        } else {
+            let mut next_event = u64::MAX;
+            if let Some(&Reverse((f, _))) = executing.peek() {
+                next_event = next_event.min(f);
+            }
+            if let Some(&Reverse(r)) = ifill_heap.peek() {
+                next_event = next_event.min(r);
+            }
+            if fetch_resume != u64::MAX && fetch_resume > cycle {
+                next_event = next_event.min(fetch_resume);
+            }
+            assert!(
+                next_event != u64::MAX,
+                "pipeline deadlock at cycle {cycle}: committed {next_commit}/{n}, \
+                 renamed {renamed_count}, fetch at {next_fetch}, ready \
+                 {}i/{}f/{}m, rq {}, fq {}",
+                ready_int.len(),
+                ready_fp.len(),
+                ready_mem.len(),
+                rename_q.len(),
+                fetch_q.len()
+            );
+            cycle = next_event.max(cycle + 1);
+        }
+    }
+
+    let cycles = cycle.max(1);
+    let mut result = SimResult {
+        instructions: n as u64,
+        cycles,
+        commit_cycles,
+        branch: branch_unit.stats(),
+        avg_rob_occupancy_pct: 100.0 * rob_occ_sum as f64 / (cycles as f64 * f64::from(arch.rob_size)),
+        avg_rename_q_occupancy_pct: 100.0 * rq_occ_sum as f64 / (cycles as f64 * RENAME_Q_CAP as f64),
+        load_count,
+        load_exec_cycles,
+        d_l1: 0,
+        d_l2: 0,
+        d_llc: 0,
+        d_ram: 0,
+    };
+    result.capture_mem(hierarchy.stats());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concorde_branch::PredictorKind;
+    use concorde_trace::{by_id, generate_region};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn region(id: &str, n: usize) -> Vec<Instruction> {
+        generate_region(&by_id(id).unwrap(), 0, 0, n).instrs
+    }
+
+    #[test]
+    fn cpi_bounded_below_by_commit_width() {
+        let t = region("O1", 8000);
+        for cw in [1u32, 2, 4, 8] {
+            let arch = MicroArch { commit_width: cw, ..MicroArch::big_core() };
+            let r = simulate(&t, &arch, SimOptions::default());
+            assert!(
+                r.cpi() >= 1.0 / f64::from(cw) - 1e-9,
+                "cw={cw}: cpi {} below theoretical floor",
+                r.cpi()
+            );
+        }
+    }
+
+    #[test]
+    fn wider_commit_is_never_slower() {
+        let t = region("O2", 8000);
+        let mut prev = f64::INFINITY;
+        for cw in [1u32, 2, 4, 8, 12] {
+            let arch = MicroArch { commit_width: cw, ..MicroArch::big_core() };
+            let cpi = simulate(&t, &arch, SimOptions::default()).cpi();
+            assert!(cpi <= prev + 0.05, "cw={cw}: cpi {cpi} > previous {prev}");
+            prev = cpi;
+        }
+    }
+
+    #[test]
+    fn bigger_rob_is_never_slower() {
+        let t = region("S1", 8000);
+        let mut prev = f64::INFINITY;
+        for rob in [1u32, 4, 16, 64, 256, 1024] {
+            let arch = MicroArch { rob_size: rob, ..MicroArch::big_core() };
+            let cpi = simulate(&t, &arch, SimOptions::default()).cpi();
+            assert!(cpi <= prev * 1.02 + 0.05, "rob={rob}: cpi {cpi} vs {prev}");
+            prev = cpi;
+        }
+    }
+
+    #[test]
+    fn tiny_rob_serializes() {
+        let t = region("O1", 4000);
+        let arch = MicroArch { rob_size: 1, ..MicroArch::big_core() };
+        let r = simulate(&t, &arch, SimOptions::default());
+        assert!(r.cpi() >= 0.99, "ROB=1 must be near-serial, cpi {}", r.cpi());
+    }
+
+    #[test]
+    fn memory_bound_workload_is_slower_than_resident() {
+        let chase = region("S1", 8000);
+        let resident = region("O1", 8000);
+        let arch = MicroArch::arm_n1();
+        let c = simulate(&chase, &arch, SimOptions::default()).cpi();
+        let r = simulate(&resident, &arch, SimOptions::default()).cpi();
+        assert!(c > 1.5 * r, "chase cpi {c} vs resident {r}");
+    }
+
+    #[test]
+    fn worse_branch_prediction_costs_cycles() {
+        // Warm the caches so branch behaviour (not compulsory misses) dominates.
+        let full = region("S4", 40_000);
+        let (warm, t) = full.split_at(32_000);
+        // Use the big core so branch behaviour isn't masked by the N1's tiny
+        // load queue (on N1 the LQ dominates; see Figure 16).
+        let mk = |pct| MicroArch { predictor: PredictorKind::Simple { miss_pct: pct }, ..MicroArch::big_core() };
+        let good = simulate_warmed(warm, t, &mk(0), SimOptions::default()).cpi();
+        let bad = simulate_warmed(warm, t, &mk(50), SimOptions::default()).cpi();
+        assert!(bad > good * 1.3, "mispredictions must hurt: {good} -> {bad}");
+    }
+
+    #[test]
+    fn warmup_removes_compulsory_miss_inflation() {
+        let full = region("S4", 40_000);
+        let (warm, t) = full.split_at(32_000);
+        let arch = MicroArch::arm_n1();
+        let cold = simulate(t, &arch, SimOptions::default());
+        let warmed = simulate_warmed(warm, t, &arch, SimOptions::default());
+        assert!(
+            warmed.cpi() < cold.cpi(),
+            "warmup should reduce CPI on a resident workload: {} vs {}",
+            warmed.cpi(),
+            cold.cpi()
+        );
+        assert!(warmed.d_ram < cold.d_ram / 2, "RAM accesses {} vs {}", warmed.d_ram, cold.d_ram);
+        assert_eq!(warmed.instructions, t.len() as u64, "warmup instructions are not counted");
+    }
+
+    #[test]
+    fn bigger_caches_help_cache_sensitive_workload() {
+        let t = region("S6", 12_000);
+        let small = MicroArch {
+            mem: concorde_cache::MemConfig { l1d_kb: 16, l1i_kb: 16, l2_kb: 512, prefetch_degree: 0 },
+            ..MicroArch::arm_n1()
+        };
+        let big = MicroArch {
+            mem: concorde_cache::MemConfig { l1d_kb: 256, l1i_kb: 256, l2_kb: 4096, prefetch_degree: 0 },
+            ..MicroArch::arm_n1()
+        };
+        let s = simulate(&t, &small, SimOptions::default()).cpi();
+        let b = simulate(&t, &big, SimOptions::default()).cpi();
+        assert!(b < s, "bigger caches should help: small {s} big {b}");
+    }
+
+    #[test]
+    fn tiny_load_queue_throttles_memory_parallelism() {
+        let t = region("P11", 8000);
+        let lq1 = MicroArch { lq_size: 1, ..MicroArch::big_core() };
+        let lq64 = MicroArch { lq_size: 64, ..MicroArch::big_core() };
+        let a = simulate(&t, &lq1, SimOptions::default()).cpi();
+        let b = simulate(&t, &lq64, SimOptions::default()).cpi();
+        assert!(a > b * 1.2, "LQ=1 cpi {a} vs LQ=64 cpi {b}");
+    }
+
+    #[test]
+    fn commit_cycles_are_monotone_when_recorded() {
+        let t = region("S5", 4000);
+        let r = simulate(&t, &MicroArch::arm_n1(), SimOptions { record_commit_cycles: true, seed: 0 });
+        let cc = r.commit_cycles.as_ref().unwrap();
+        for w in cc.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*cc.last().unwrap(), r.cycles);
+        let w = r.window_ipc(400);
+        assert!(!w.is_empty());
+        for ipc in w {
+            assert!(ipc > 0.0 && ipc <= 12.0);
+        }
+    }
+
+    #[test]
+    fn random_architectures_complete_and_are_sane() {
+        let t = region("P9", 3000);
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        for _ in 0..25 {
+            let arch = MicroArch::sample(&mut rng);
+            let r = simulate(&t, &arch, SimOptions::default());
+            let cpi = r.cpi();
+            assert!(cpi.is_finite() && cpi > 0.05 && cpi < 400.0, "cpi {cpi} for {arch:?}");
+            assert!(r.avg_rob_occupancy_pct >= 0.0 && r.avg_rob_occupancy_pct <= 100.0);
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let t = region("C2", 4000);
+        let arch = MicroArch::arm_n1();
+        let a = simulate(&t, &arch, SimOptions::default());
+        let b = simulate(&t, &arch, SimOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn isbs_serialize() {
+        let t = region("O4", 6000); // contains ISBs
+        let arch = MicroArch::big_core();
+        let r = simulate(&t, &arch, SimOptions::default());
+        // With ISBs and serial chains CPUtest cannot reach the 12-wide ideal.
+        assert!(r.cpi() > 0.2, "cpi {}", r.cpi());
+    }
+
+    #[test]
+    fn load_exec_cycles_accumulate() {
+        let t = region("S1", 4000);
+        let r = simulate(&t, &MicroArch::arm_n1(), SimOptions::default());
+        assert!(r.load_count > 0);
+        // Average load execution time must be at least the L1 latency-ish.
+        let avg = r.load_exec_cycles as f64 / r.load_count as f64;
+        assert!(avg >= 2.0, "avg load exec {avg}");
+    }
+}

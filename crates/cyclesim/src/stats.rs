@@ -1,0 +1,146 @@
+//! Simulation results and derived statistics.
+
+use concorde_branch::BranchStats;
+use concorde_cache::HierarchyStats;
+use serde::{Deserialize, Serialize};
+
+/// Options controlling a cycle-level simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimOptions {
+    /// Record per-instruction commit cycles (needed for window IPC analyses,
+    /// costs 8 bytes/instruction).
+    pub record_commit_cycles: bool,
+    /// Seed for stochastic components (the `Simple` predictor).
+    pub seed: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { record_commit_cycles: false, seed: 0 }
+    }
+}
+
+/// Outcome of a cycle-level simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Total cycles from fetch of the first to commit of the last instruction.
+    pub cycles: u64,
+    /// Per-instruction commit cycles (when requested).
+    pub commit_cycles: Option<Vec<u64>>,
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+    /// Mean ROB occupancy as a percentage of capacity (§5.2.6 target metric).
+    pub avg_rob_occupancy_pct: f64,
+    /// Mean rename-queue occupancy as a percentage of capacity (§5.2.6).
+    pub avg_rename_q_occupancy_pct: f64,
+    /// Number of load instructions.
+    pub load_count: u64,
+    /// Sum over loads of actual execution time (issue → finish), the
+    /// numerator of Figure 11's execution-time discrepancy ratio.
+    pub load_exec_cycles: u64,
+    /// Functional cache-hierarchy counters.
+    pub d_l1: u64,
+    /// L2 data hits.
+    pub d_l2: u64,
+    /// LLC data hits.
+    pub d_llc: u64,
+    /// Data RAM accesses.
+    pub d_ram: u64,
+}
+
+impl SimResult {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// IPC per `k`-instruction window from recorded commit cycles (paper Eq. 5
+    /// form, used for Figure 1's ground-truth series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if commit cycles were not recorded.
+    pub fn window_ipc(&self, k: usize) -> Vec<f64> {
+        let cc = self.commit_cycles.as_ref().expect("commit cycles were not recorded");
+        let mut out = Vec::new();
+        let mut prev = 0u64;
+        let mut j = k;
+        while j <= cc.len() {
+            let end = cc[j - 1];
+            let dur = end.saturating_sub(prev).max(1);
+            out.push(k as f64 / dur as f64);
+            prev = end;
+            j += k;
+        }
+        out
+    }
+
+    pub(crate) fn capture_mem(&mut self, s: HierarchyStats) {
+        self.d_l1 = s.d_l1;
+        self.d_l2 = s.d_l2;
+        self.d_llc = s.d_llc;
+        self.d_ram = s.d_ram;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_ipc_inverse() {
+        let r = SimResult {
+            instructions: 1000,
+            cycles: 2500,
+            commit_cycles: None,
+            branch: BranchStats::default(),
+            avg_rob_occupancy_pct: 0.0,
+            avg_rename_q_occupancy_pct: 0.0,
+            load_count: 0,
+            load_exec_cycles: 0,
+            d_l1: 0,
+            d_l2: 0,
+            d_llc: 0,
+            d_ram: 0,
+        };
+        assert!((r.cpi() - 2.5).abs() < 1e-12);
+        assert!((r.cpi() * r.ipc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_ipc_splits_commit_cycles() {
+        let r = SimResult {
+            instructions: 6,
+            cycles: 12,
+            commit_cycles: Some(vec![2, 4, 6, 8, 10, 12]),
+            branch: BranchStats::default(),
+            avg_rob_occupancy_pct: 0.0,
+            avg_rename_q_occupancy_pct: 0.0,
+            load_count: 0,
+            load_exec_cycles: 0,
+            d_l1: 0,
+            d_l2: 0,
+            d_llc: 0,
+            d_ram: 0,
+        };
+        let w = r.window_ipc(3);
+        assert_eq!(w.len(), 2);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,82 @@
+//! Adam over a flat parameter vector — used by models whose parameters don't
+//! fit the [`crate::Mlp`] layout (e.g. the LSTM baseline).
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state for a flat `Vec<f32>` of parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdamVec {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    step: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl AdamVec {
+    /// Creates an optimizer for `n` parameters.
+    pub fn new(n: usize, lr: f32) -> Self {
+        AdamVec { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    /// Applies one update in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch.
+    pub fn apply(&mut self, params: &mut [f32], grads: &[f32], lr_scale: f32) {
+        assert_eq!(params.len(), self.m.len());
+        assert_eq!(grads.len(), self.m.len());
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let lr = self.lr * lr_scale;
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Steps taken.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_a_quadratic() {
+        // f(p) = sum (p_i - i)^2
+        let mut p = vec![0.0f32; 5];
+        let mut opt = AdamVec::new(5, 0.1);
+        for _ in 0..500 {
+            let g: Vec<f32> = p.iter().enumerate().map(|(i, &x)| 2.0 * (x - i as f32)).collect();
+            opt.apply(&mut p, &g, 1.0);
+        }
+        for (i, &x) in p.iter().enumerate() {
+            assert!((x - i as f32).abs() < 0.05, "p[{i}] = {x}");
+        }
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_shape_mismatch() {
+        let mut opt = AdamVec::new(3, 0.1);
+        let mut p = vec![0.0f32; 3];
+        opt.apply(&mut p, &[0.0; 2], 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Loss functions and accuracy metrics.
+//!
+//! Concorde trains with the relative-magnitude CPI error (paper Eq. 7):
+//! `Loss(ŷ, y) = |ŷ − y| / y`. The same quantity is the paper's headline
+//! accuracy metric ("average CPI prediction error").
+
+/// Relative error loss (Eq. 7) and its derivative w.r.t. the prediction.
+///
+/// # Panics
+///
+/// Panics in debug builds if `y <= 0` (CPI labels are strictly positive).
+#[inline]
+pub fn relative_error(pred: f32, y: f32) -> (f32, f32) {
+    debug_assert!(y > 0.0, "labels must be positive, got {y}");
+    let diff = pred - y;
+    let loss = diff.abs() / y;
+    let grad = if diff >= 0.0 { 1.0 / y } else { -1.0 / y };
+    (loss, grad)
+}
+
+/// Squared error and derivative (used by substrate tests and the baseline).
+#[inline]
+pub fn squared_error(pred: f32, y: f32) -> (f32, f32) {
+    let d = pred - y;
+    (d * d, 2.0 * d)
+}
+
+/// Summary statistics of relative errors over an evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean relative error.
+    pub mean: f64,
+    /// Median relative error.
+    pub p50: f64,
+    /// 90th-percentile relative error.
+    pub p90: f64,
+    /// Fraction of samples with error > 10% (the paper's tail metric).
+    pub frac_above_10pct: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl ErrorStats {
+    /// Computes stats from `(prediction, label)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty.
+    pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "cannot summarize an empty evaluation set");
+        let mut errs: Vec<f64> = pairs.iter().map(|(p, y)| (p - y).abs() / y).collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = errs.len();
+        let mean = errs.iter().sum::<f64>() / n as f64;
+        let q = |f: f64| errs[((f * n as f64) as usize).min(n - 1)];
+        ErrorStats {
+            mean,
+            p50: q(0.5),
+            p90: q(0.9),
+            frac_above_10pct: errs.iter().filter(|e| **e > 0.10).count() as f64 / n as f64,
+            n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_values_and_signs() {
+        let (l, g) = relative_error(1.2, 1.0);
+        assert!((l - 0.2).abs() < 1e-6);
+        assert!((g - 1.0).abs() < 1e-6);
+        let (l2, g2) = relative_error(0.5, 1.0);
+        assert!((l2 - 0.5).abs() < 1e-6);
+        assert!((g2 + 1.0).abs() < 1e-6);
+        let (l3, _) = relative_error(2.0, 2.0);
+        assert_eq!(l3, 0.0);
+    }
+
+    #[test]
+    fn relative_error_is_scale_invariant() {
+        let (a, _) = relative_error(11.0, 10.0);
+        let (b, _) = relative_error(1.1, 1.0);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_percentiles() {
+        let pairs: Vec<(f64, f64)> = (1..=99).map(|i| (1.0 + i as f64 / 1000.0, 1.0)).collect();
+        let s = ErrorStats::from_pairs(&pairs);
+        assert_eq!(s.n, 99);
+        assert!((s.mean - 0.05).abs() < 1e-3);
+        assert!(s.p90 >= s.p50);
+        assert_eq!(s.frac_above_10pct, 0.0);
+        let tail: Vec<(f64, f64)> = (0..10).map(|i| if i < 9 { (1.0, 1.0) } else { (2.0, 1.0) }).collect();
+        let st = ErrorStats::from_pairs(&tail);
+        assert!((st.frac_above_10pct - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty evaluation")]
+    fn stats_reject_empty() {
+        let _ = ErrorStats::from_pairs(&[]);
+    }
+}

@@ -1,0 +1,407 @@
+//! Single-layer LSTM regressor for the TAO-like sequence baseline.
+//!
+//! The paper's baseline comparisons (TAO [71], SimNet [55]) are O(L) sequence
+//! models over (windows of) the instruction stream. This module provides the
+//! recurrent substrate: an LSTM over a feature sequence, a mean-pool over
+//! hidden states, and a linear head producing a scalar CPI prediction — with
+//! full backpropagation through time, so the baseline trains end to end.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// LSTM + mean-pool + linear-head regressor.
+///
+/// Gate parameter layout: rows `[i; f; g; o]`, each `hidden` rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmRegressor {
+    /// Input feature dimension per step.
+    pub input_dim: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Input weights `[4H × I]`, row-major.
+    pub wx: Vec<f32>,
+    /// Recurrent weights `[4H × H]`, row-major.
+    pub wh: Vec<f32>,
+    /// Gate biases `[4H]` (forget-gate slice initialized to 1).
+    pub b: Vec<f32>,
+    /// Head weights `[H]`.
+    pub head_w: Vec<f32>,
+    /// Head bias.
+    pub head_b: f32,
+}
+
+/// Gradients for [`LstmRegressor`], summable across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmGrads {
+    /// d/d wx.
+    pub wx: Vec<f32>,
+    /// d/d wh.
+    pub wh: Vec<f32>,
+    /// d/d b.
+    pub b: Vec<f32>,
+    /// d/d head_w.
+    pub head_w: Vec<f32>,
+    /// d/d head_b.
+    pub head_b: f32,
+    /// Samples accumulated.
+    pub count: usize,
+}
+
+impl LstmGrads {
+    /// Zero gradients shaped like `m`.
+    pub fn zeros_like(m: &LstmRegressor) -> Self {
+        LstmGrads {
+            wx: vec![0.0; m.wx.len()],
+            wh: vec![0.0; m.wh.len()],
+            b: vec![0.0; m.b.len()],
+            head_w: vec![0.0; m.head_w.len()],
+            head_b: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Accumulates another shard.
+    pub fn merge(&mut self, o: &LstmGrads) {
+        for (a, x) in self.wx.iter_mut().zip(&o.wx) {
+            *a += x;
+        }
+        for (a, x) in self.wh.iter_mut().zip(&o.wh) {
+            *a += x;
+        }
+        for (a, x) in self.b.iter_mut().zip(&o.b) {
+            *a += x;
+        }
+        for (a, x) in self.head_w.iter_mut().zip(&o.head_w) {
+            *a += x;
+        }
+        self.head_b += o.head_b;
+        self.count += o.count;
+    }
+
+    /// Averages by sample count.
+    pub fn average(&mut self) {
+        if self.count == 0 {
+            return;
+        }
+        let s = 1.0 / self.count as f32;
+        for v in self.wx.iter_mut().chain(&mut self.wh).chain(&mut self.b).chain(&mut self.head_w) {
+            *v *= s;
+        }
+        self.head_b *= s;
+        self.count = 1;
+    }
+}
+
+impl LstmRegressor {
+    /// Creates a regressor with Xavier-initialized weights.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut ChaCha12Rng) -> Self {
+        let bx = (6.0 / (input_dim + hidden) as f32).sqrt();
+        let bh = (6.0 / (2 * hidden) as f32).sqrt();
+        let wx = (0..4 * hidden * input_dim).map(|_| rng.gen_range(-bx..bx)).collect();
+        let wh = (0..4 * hidden * hidden).map(|_| rng.gen_range(-bh..bh)).collect();
+        let mut b = vec![0.0f32; 4 * hidden];
+        for fbias in b.iter_mut().skip(hidden).take(hidden) {
+            *fbias = 1.0; // forget-gate bias
+        }
+        let head_w = (0..hidden).map(|_| rng.gen_range(-bh..bh)).collect();
+        LstmRegressor { input_dim, hidden, wx, wh, b, head_w, head_b: 0.0 }
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.wx.len() + self.wh.len() + self.b.len() + self.head_w.len() + 1
+    }
+
+    fn gates(&self, x: &[f32], h: &[f32], out: &mut [f32]) {
+        let hh = self.hidden;
+        for r in 0..4 * hh {
+            let mut acc = self.b[r];
+            let wxr = &self.wx[r * self.input_dim..(r + 1) * self.input_dim];
+            for (w, xv) in wxr.iter().zip(x) {
+                acc += w * xv;
+            }
+            let whr = &self.wh[r * hh..(r + 1) * hh];
+            for (w, hv) in whr.iter().zip(h) {
+                acc += w * hv;
+            }
+            out[r] = acc;
+        }
+    }
+
+    /// Predicts the scalar target for a sequence (`seq` row-major `[T × I]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or misshapen.
+    pub fn predict(&self, seq: &[f32]) -> f32 {
+        let (hs, _, _) = self.forward(seq);
+        let t = seq.len() / self.input_dim;
+        let hh = self.hidden;
+        let mut mean = vec![0.0f32; hh];
+        for step in 0..t {
+            for j in 0..hh {
+                mean[j] += hs[(step + 1) * hh + j];
+            }
+        }
+        let mut y = self.head_b;
+        for j in 0..hh {
+            y += self.head_w[j] * mean[j] / t as f32;
+        }
+        y
+    }
+
+    /// Forward pass storing per-step states: returns `(h[0..=T], c[0..=T],
+    /// gate_pre[T])` (h/c include the zero initial state at index 0).
+    #[allow(clippy::type_complexity)]
+    fn forward(&self, seq: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        assert!(!seq.is_empty() && seq.len() % self.input_dim == 0, "bad sequence shape");
+        let t = seq.len() / self.input_dim;
+        let hh = self.hidden;
+        let mut hs = vec![0.0f32; (t + 1) * hh];
+        let mut cs = vec![0.0f32; (t + 1) * hh];
+        let mut pre = vec![0.0f32; t * 4 * hh];
+        let mut gate = vec![0.0f32; 4 * hh];
+        for step in 0..t {
+            let x = &seq[step * self.input_dim..(step + 1) * self.input_dim];
+            let (hprev, rest) = hs.split_at_mut((step + 1) * hh);
+            self.gates(x, &hprev[step * hh..], &mut gate);
+            pre[step * 4 * hh..(step + 1) * 4 * hh].copy_from_slice(&gate);
+            for j in 0..hh {
+                let i = sigmoid(gate[j]);
+                let f = sigmoid(gate[hh + j]);
+                let g = gate[2 * hh + j].tanh();
+                let o = sigmoid(gate[3 * hh + j]);
+                let c = f * cs[step * hh + j] + i * g;
+                cs[(step + 1) * hh + j] = c;
+                rest[j] = o * c.tanh();
+            }
+        }
+        (hs, cs, pre)
+    }
+
+    /// Loss and gradients for one sequence with label `y` under `dloss`.
+    pub fn grad_sequence<F>(&self, seq: &[f32], y: f32, dloss: F) -> (LstmGrads, f64)
+    where
+        F: Fn(f32, f32) -> (f32, f32),
+    {
+        let t = seq.len() / self.input_dim;
+        let hh = self.hidden;
+        let (hs, cs, pre) = self.forward(seq);
+
+        // Head forward.
+        let mut mean = vec![0.0f32; hh];
+        for step in 0..t {
+            for j in 0..hh {
+                mean[j] += hs[(step + 1) * hh + j] / t as f32;
+            }
+        }
+        let mut yhat = self.head_b;
+        for j in 0..hh {
+            yhat += self.head_w[j] * mean[j];
+        }
+        let (loss, dy) = dloss(yhat, y);
+
+        let mut g = LstmGrads::zeros_like(self);
+        g.count = 1;
+        g.head_b = dy;
+        for j in 0..hh {
+            g.head_w[j] = dy * mean[j];
+        }
+
+        // dL/dh_t from the mean pool, plus recurrent terms.
+        let mut dh = vec![0.0f32; hh];
+        let mut dc = vec![0.0f32; hh];
+        for step in (0..t).rev() {
+            for j in 0..hh {
+                dh[j] += dy * self.head_w[j] / t as f32;
+            }
+            let p = &pre[step * 4 * hh..(step + 1) * 4 * hh];
+            let x = &seq[step * self.input_dim..(step + 1) * self.input_dim];
+            let hprev = &hs[step * hh..(step + 1) * hh];
+            let cprev = &cs[step * hh..(step + 1) * hh];
+            let mut dgate = vec![0.0f32; 4 * hh];
+            for j in 0..hh {
+                let i = sigmoid(p[j]);
+                let f = sigmoid(p[hh + j]);
+                let gg = p[2 * hh + j].tanh();
+                let o = sigmoid(p[3 * hh + j]);
+                let c = cs[(step + 1) * hh + j];
+                let tc = c.tanh();
+                let do_ = dh[j] * tc;
+                let dc_t = dc[j] + dh[j] * o * (1.0 - tc * tc);
+                let di = dc_t * gg;
+                let df = dc_t * cprev[j];
+                let dg = dc_t * i;
+                dgate[j] = di * i * (1.0 - i);
+                dgate[hh + j] = df * f * (1.0 - f);
+                dgate[2 * hh + j] = dg * (1.0 - gg * gg);
+                dgate[3 * hh + j] = do_ * o * (1.0 - o);
+                dc[j] = dc_t * f;
+            }
+            // Parameter grads and propagate to h_{t-1}.
+            let mut dhprev = vec![0.0f32; hh];
+            for r in 0..4 * hh {
+                let d = dgate[r];
+                if d == 0.0 {
+                    continue;
+                }
+                g.b[r] += d;
+                let gxr = &mut g.wx[r * self.input_dim..(r + 1) * self.input_dim];
+                for (gx, &xv) in gxr.iter_mut().zip(x) {
+                    *gx += d * xv;
+                }
+                let ghr = &mut g.wh[r * hh..(r + 1) * hh];
+                for (gh, &hv) in ghr.iter_mut().zip(hprev) {
+                    *gh += d * hv;
+                }
+                let whr = &self.wh[r * hh..(r + 1) * hh];
+                for (dp, &w) in dhprev.iter_mut().zip(whr) {
+                    *dp += d * w;
+                }
+            }
+            dh = dhprev;
+        }
+        (g, f64::from(loss))
+    }
+
+    /// Applies an SGD-with-momentum-free Adam-style update in place. Kept
+    /// minimal: the baseline trainer owns its optimizer state; this helper is
+    /// plain SGD for tests.
+    pub fn sgd_step(&mut self, g: &LstmGrads, lr: f32) {
+        for (w, d) in self.wx.iter_mut().zip(&g.wx) {
+            *w -= lr * d;
+        }
+        for (w, d) in self.wh.iter_mut().zip(&g.wh) {
+            *w -= lr * d;
+        }
+        for (w, d) in self.b.iter_mut().zip(&g.b) {
+            *w -= lr * d;
+        }
+        for (w, d) in self.head_w.iter_mut().zip(&g.head_w) {
+            *w -= lr * d;
+        }
+        self.head_b -= lr * g.head_b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::squared_error;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let m = LstmRegressor::new(5, 8, &mut rng);
+        assert_eq!(m.num_params(), 4 * 8 * 5 + 4 * 8 * 8 + 32 + 8 + 1);
+        let y = m.predict(&vec![0.1; 5 * 7]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let m = LstmRegressor::new(3, 4, &mut rng);
+        let seq: Vec<f32> = (0..9).map(|i| ((i as f32) * 0.7).sin()).collect(); // T=3
+        let y = 0.8f32;
+        let (g, _) = m.grad_sequence(&seq, y, squared_error);
+        let eps = 1e-3f32;
+        let loss_of = |m: &LstmRegressor| {
+            let p = m.predict(&seq);
+            f64::from((p - y) * (p - y))
+        };
+        // Check several coordinates in every parameter group.
+        let checks: Vec<(&str, usize)> = vec![("wx", 0), ("wx", 7), ("wh", 3), ("wh", 17), ("b", 2), ("b", 9), ("head", 1)];
+        for (group, idx) in checks {
+            let mut mp = m.clone();
+            let mut mm = m.clone();
+            let ana = match group {
+                "wx" => {
+                    mp.wx[idx] += eps;
+                    mm.wx[idx] -= eps;
+                    g.wx[idx]
+                }
+                "wh" => {
+                    mp.wh[idx] += eps;
+                    mm.wh[idx] -= eps;
+                    g.wh[idx]
+                }
+                "b" => {
+                    mp.b[idx] += eps;
+                    mm.b[idx] -= eps;
+                    g.b[idx]
+                }
+                _ => {
+                    mp.head_w[idx] += eps;
+                    mm.head_w[idx] -= eps;
+                    g.head_w[idx]
+                }
+            };
+            let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * f64::from(eps));
+            assert!(
+                (num - f64::from(ana)).abs() < 2e-2 * (1.0 + num.abs()),
+                "{group}[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_sequence_mean_task() {
+        // Target: mean of the inputs' first coordinate (needs temporal pooling).
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let mut m = LstmRegressor::new(2, 8, &mut rng);
+        use rand::Rng;
+        let data: Vec<(Vec<f32>, f32)> = (0..64)
+            .map(|_| {
+                let t = 6;
+                let seq: Vec<f32> = (0..t * 2).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let y = (0..t).map(|s| seq[s * 2]).sum::<f32>() / t as f32;
+                (seq, y)
+            })
+            .collect();
+        let mut final_loss = f64::MAX;
+        for _ in 0..400 {
+            let mut g = LstmGrads::zeros_like(&m);
+            let mut total = 0.0;
+            for (seq, y) in &data {
+                let (gi, l) = m.grad_sequence(seq, *y, squared_error);
+                g.merge(&gi);
+                total += l;
+            }
+            g.average();
+            m.sgd_step(&g, 0.3);
+            final_loss = total / data.len() as f64;
+        }
+        assert!(final_loss < 0.01, "LSTM failed to learn mean task: {final_loss}");
+    }
+
+    #[test]
+    fn merge_and_average() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let m = LstmRegressor::new(2, 3, &mut rng);
+        let s1 = vec![0.5f32; 4];
+        let s2 = vec![-0.25f32; 6];
+        let (mut a, _) = m.grad_sequence(&s1, 1.0, squared_error);
+        let (b, _) = m.grad_sequence(&s2, 2.0, squared_error);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        let before = a.wx[0];
+        a.average();
+        assert!((a.wx[0] - before / 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sequence shape")]
+    fn rejects_misshapen_sequences() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let m = LstmRegressor::new(3, 4, &mut rng);
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Fully connected multi-layer perceptron with ReLU activations.
+//!
+//! Concorde's ML component is a shallow MLP (paper §4: input → 256 → 128 → 1).
+//! This implementation keeps the model immutable during gradient computation
+//! (`&self`), so data-parallel training can shard a minibatch across threads
+//! and sum the per-shard [`MlpGrads`].
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `y = W x + b` with `W` stored row-major `[out][in]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Weights, row-major `[out_dim × in_dim]`.
+    pub w: Vec<f32>,
+    /// Biases, `[out_dim]`.
+    pub b: Vec<f32>,
+}
+
+impl Linear {
+    /// Xavier/Glorot-uniform initialization.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut ChaCha12Rng) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Linear { in_dim, out_dim, w, b: vec![0.0; out_dim] }
+    }
+
+    #[inline]
+    fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wv, xv) in row.iter().zip(x) {
+                acc += wv * xv;
+            }
+            *out_v = acc;
+        }
+    }
+}
+
+/// Gradients matching an [`Mlp`]'s parameters; summable across shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpGrads {
+    /// Per-layer `(dW, db)`.
+    pub layers: Vec<(Vec<f32>, Vec<f32>)>,
+    /// Number of samples accumulated (for averaging).
+    pub count: usize,
+}
+
+impl MlpGrads {
+    /// Zero gradients shaped like `mlp`.
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        MlpGrads {
+            layers: mlp
+                .layers
+                .iter()
+                .map(|l| (vec![0.0; l.w.len()], vec![0.0; l.b.len()]))
+                .collect(),
+            count: 0,
+        }
+    }
+
+    /// Accumulates another shard's gradients.
+    pub fn merge(&mut self, other: &MlpGrads) {
+        for ((w, b), (ow, ob)) in self.layers.iter_mut().zip(&other.layers) {
+            for (a, x) in w.iter_mut().zip(ow) {
+                *a += x;
+            }
+            for (a, x) in b.iter_mut().zip(ob) {
+                *a += x;
+            }
+        }
+        self.count += other.count;
+    }
+
+    /// Scales all gradients by `1 / count` (no-op when empty).
+    pub fn average(&mut self) {
+        if self.count == 0 {
+            return;
+        }
+        let s = 1.0 / self.count as f32;
+        for (w, b) in &mut self.layers {
+            for x in w.iter_mut() {
+                *x *= s;
+            }
+            for x in b.iter_mut() {
+                *x *= s;
+            }
+        }
+        self.count = 1;
+    }
+}
+
+/// ReLU MLP with a scalar output head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Dense layers; ReLU between all but the last.
+    pub layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[3873, 256, 128, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new(dims: &[usize], rng: &mut ChaCha12Rng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output sizes");
+        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Forward pass for one sample; returns the scalar prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = vec![0.0f32; layer.out_dim];
+            layer.forward_into(&cur, &mut out);
+            if li != last {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            cur = out;
+        }
+        cur[0]
+    }
+
+    /// Computes loss and parameter gradients over a shard of samples.
+    ///
+    /// `xs` is row-major `[n × input_dim]`; `ys` the labels; `dloss` maps
+    /// `(prediction, label)` to `(loss, dloss/dprediction)`.
+    /// Returns the summed gradients (average with [`MlpGrads::average`]) and
+    /// the mean loss over the shard.
+    pub fn grad_batch<F>(&self, xs: &[f32], ys: &[f32], dloss: F) -> (MlpGrads, f64)
+    where
+        F: Fn(f32, f32) -> (f32, f32),
+    {
+        let input_dim = self.input_dim();
+        let n = ys.len();
+        assert_eq!(xs.len(), n * input_dim, "xs shape mismatch");
+        let mut grads = MlpGrads::zeros_like(self);
+        let mut total_loss = 0.0f64;
+        let nl = self.layers.len();
+
+        // Per-sample activations (small: hidden sizes).
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(nl + 1);
+        for s in 0..n {
+            let x = &xs[s * input_dim..(s + 1) * input_dim];
+            acts.clear();
+            acts.push(x.to_vec());
+            for (li, layer) in self.layers.iter().enumerate() {
+                let mut out = vec![0.0f32; layer.out_dim];
+                layer.forward_into(acts.last().unwrap(), &mut out);
+                if li != nl - 1 {
+                    for v in &mut out {
+                        *v = v.max(0.0);
+                    }
+                }
+                acts.push(out);
+            }
+            let pred = acts[nl][0];
+            let (loss, dpred) = dloss(pred, ys[s]);
+            total_loss += f64::from(loss);
+
+            // Backward.
+            let mut delta = vec![0.0f32; 1];
+            delta[0] = dpred;
+            for li in (0..nl).rev() {
+                let layer = &self.layers[li];
+                let a_in = &acts[li];
+                let (gw, gb) = &mut grads.layers[li];
+                for (o, &d) in delta.iter().enumerate() {
+                    gb[o] += d;
+                    let row = &mut gw[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (g, &a) in row.iter_mut().zip(a_in) {
+                        *g += d * a;
+                    }
+                }
+                if li > 0 {
+                    let mut prev = vec![0.0f32; layer.in_dim];
+                    for (o, &d) in delta.iter().enumerate() {
+                        let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                        for (p, &wv) in prev.iter_mut().zip(row) {
+                            *p += d * wv;
+                        }
+                    }
+                    // ReLU derivative gate (a_in is post-activation).
+                    for (p, &a) in prev.iter_mut().zip(a_in) {
+                        if a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+            grads.count += 1;
+        }
+        (grads, total_loss / n.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let m = Mlp::new(&[10, 8, 4, 1], &mut rng());
+        assert_eq!(m.input_dim(), 10);
+        assert_eq!(m.num_params(), 10 * 8 + 8 + 8 * 4 + 4 + 4 + 1);
+        let y = m.predict(&vec![0.1; 10]);
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut r = rng();
+        let m = Mlp::new(&[6, 5, 1], &mut r);
+        let xs: Vec<f32> = (0..18).map(|i| (i as f32 * 0.37).sin()).collect();
+        let ys = vec![1.5f32, 0.7, 2.2];
+        let sq = |p: f32, y: f32| ((p - y) * (p - y), 2.0 * (p - y));
+        let (grads, _) = m.grad_batch(&xs, &ys, sq);
+
+        let eps = 1e-3f32;
+        let loss_of = |m: &Mlp| {
+            let mut total = 0.0f64;
+            for s in 0..3 {
+                let p = m.predict(&xs[s * 6..(s + 1) * 6]);
+                total += f64::from((p - ys[s]) * (p - ys[s]));
+            }
+            total
+        };
+        // Spot-check a handful of weight coordinates in each layer.
+        for li in 0..2 {
+            let wlen = m.layers[li].w.len();
+            for &wi in [0usize, 3, 7].iter().filter(|&&wi| wi < wlen) {
+                let mut mp = m.clone();
+                mp.layers[li].w[wi] += eps;
+                let mut mm = m.clone();
+                mm.layers[li].w[wi] -= eps;
+                let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * f64::from(eps));
+                let ana = f64::from(grads.layers[li].0[wi]);
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                    "layer {li} w[{wi}]: numeric {num} vs analytic {ana}"
+                );
+            }
+            let mut mp = m.clone();
+            mp.layers[li].b[0] += eps;
+            let mut mm = m.clone();
+            mm.layers[li].b[0] -= eps;
+            let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * f64::from(eps));
+            let ana = f64::from(grads.layers[li].1[0]);
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "layer {li} b[0]");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_batch() {
+        let m = Mlp::new(&[4, 3, 1], &mut rng());
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 * 0.1).collect();
+        let ys = vec![1.0f32, 2.0, 3.0, 4.0];
+        let sq = |p: f32, y: f32| ((p - y) * (p - y), 2.0 * (p - y));
+        let (full, _) = m.grad_batch(&xs, &ys, sq);
+        let (mut a, _) = m.grad_batch(&xs[..8], &ys[..2], sq);
+        let (b, _) = m.grad_batch(&xs[8..], &ys[2..], sq);
+        a.merge(&b);
+        for (la, lf) in a.layers.iter().zip(&full.layers) {
+            for (x, y) in la.0.iter().zip(&lf.0) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+        assert_eq!(a.count, full.count);
+    }
+
+    #[test]
+    fn average_scales_by_count() {
+        let m = Mlp::new(&[2, 1], &mut rng());
+        let sq = |p: f32, y: f32| ((p - y) * (p - y), 2.0 * (p - y));
+        let (mut g, _) = m.grad_batch(&[1.0, 2.0, 1.0, 2.0], &[1.0, 1.0], sq);
+        let before = g.layers[0].0[0];
+        g.average();
+        assert!((g.layers[0].0[0] - before / 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn predict_rejects_wrong_dim() {
+        let m = Mlp::new(&[4, 1], &mut rng());
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+}

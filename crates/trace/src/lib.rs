@@ -1,0 +1,42 @@
+//! # concorde-trace
+//!
+//! Synthetic workload and instruction-trace generation for the Concorde
+//! reproduction: a deterministic substitute for DynamoRIO `drmemtrace` captures
+//! of the paper's 29-program corpus (Table 2).
+//!
+//! The crate models each program statistically — instruction mix, memory
+//! access patterns and working-set size, branch behaviour, static code shape,
+//! and phase schedule — and materializes dynamic instruction regions on demand:
+//!
+//! ```
+//! use concorde_trace::{by_id, generate_region};
+//!
+//! // 505.mcf_r-like pointer-chasing workload, trace 0, first 10k instructions.
+//! let spec = by_id("S1").unwrap();
+//! let region = generate_region(&spec, 0, 0, 10_000);
+//! assert_eq!(region.len(), 10_000);
+//! let loads = region.count_matching(|i| i.op.is_load());
+//! assert!(loads > 1_000);
+//! ```
+//!
+//! Determinism contract: traces are split into [`generator::SEGMENT_LEN`]-sized
+//! segments seeded by `(workload seed, trace index, segment index)`. The same
+//! region reference always yields byte-identical instructions, and overlapping
+//! regions of one trace share their overlap — which is what makes train/test
+//! overlap accounting (paper Figure 4) well defined.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod instruction;
+pub mod pattern;
+pub mod program;
+pub mod region;
+pub mod workload;
+
+pub use generator::{build_static_program, generate_region, SEGMENT_LEN};
+pub use instruction::{BranchKind, Instruction, OpClass, RegId, LINE_BYTES, NUM_REGS};
+pub use pattern::AddressPattern;
+pub use program::{BasicBlock, BlockId, BranchBehavior, StaticProgram, Terminator};
+pub use region::{sample_region, DynTrace, RegionRef};
+pub use workload::{by_id, suite, BranchProfile, CodeShape, MemProfile, OpMix, PhaseSpec, WorkloadClass, WorkloadSpec};

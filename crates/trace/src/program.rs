@@ -1,0 +1,172 @@
+//! Static program representation.
+//!
+//! A [`StaticProgram`] is a synthetic control-flow graph: a set of basic blocks,
+//! each holding static instruction templates and a terminating branch with a
+//! fixed *behaviour* (bias, loop trip count, periodic pattern, …). Walking the
+//! CFG with a seeded RNG yields a deterministic dynamic instruction stream whose
+//! branch outcomes, code locality, and dependency structure are realistic enough
+//! for TAGE, the I-cache, and the dependency analyses to have real signal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instruction::RegId;
+use crate::pattern::AddressPattern;
+
+/// Identifier of a basic block within a [`StaticProgram`].
+pub type BlockId = u32;
+
+/// Behaviour of a static conditional/indirect branch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// Taken with fixed probability `taken_prob` (independently each execution).
+    Biased {
+        /// Probability the branch is taken.
+        taken_prob: f32,
+    },
+    /// Loop back-edge: taken `trip - 1` times, then not-taken once (repeats).
+    Loop {
+        /// Loop trip count (>= 1).
+        trip: u16,
+    },
+    /// Deterministic periodic pattern: bit `i % period` of `pattern` gives the
+    /// outcome. Perfectly predictable by a history-based predictor like TAGE,
+    /// poorly predicted by a bimodal table.
+    Periodic {
+        /// Outcome bits, LSB first.
+        pattern: u32,
+        /// Period length in executions (1..=32).
+        period: u8,
+    },
+}
+
+/// Static operation template inside a basic block.
+///
+/// `pattern_idx` indexes the program-wide table of [`AddressPattern`]s for
+/// memory operations and is `u32::MAX` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticOp {
+    /// Operation class (branches are *not* encoded here; they terminate blocks).
+    pub op: crate::OpClass,
+    /// Source registers.
+    pub srcs: [Option<RegId>; 2],
+    /// Destination register.
+    pub dst: Option<RegId>,
+    /// Index into [`StaticProgram::patterns`] for memory ops; `u32::MAX` otherwise.
+    pub pattern_idx: u32,
+}
+
+/// Terminator of a basic block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Fall through to the next block without a branch instruction.
+    FallThrough {
+        /// Successor block.
+        next: BlockId,
+    },
+    /// Direct unconditional branch to `target`.
+    Jump {
+        /// Successor block.
+        target: BlockId,
+    },
+    /// Direct conditional branch: `taken -> target`, otherwise `fall`.
+    CondBranch {
+        /// Behaviour deciding taken/not-taken.
+        behavior: BranchBehavior,
+        /// Block reached when taken.
+        target: BlockId,
+        /// Block reached when not taken.
+        fall: BlockId,
+    },
+    /// Indirect branch choosing uniformly (per execution) among `targets`.
+    IndirectBranch {
+        /// Candidate successor blocks.
+        targets: Vec<BlockId>,
+    },
+}
+
+/// A basic block: straight-line static ops plus a terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Base PC of the block.
+    pub base_pc: u64,
+    /// Straight-line operations (no branches).
+    pub ops: Vec<StaticOp>,
+    /// Control-flow terminator.
+    pub terminator: Terminator,
+    /// Phase group this block belongs to (see `WorkloadSpec::phases`).
+    pub phase: u8,
+}
+
+impl BasicBlock {
+    /// Number of dynamic instructions one execution of this block emits
+    /// (ops plus one branch instruction unless it falls through).
+    pub fn dyn_len(&self) -> usize {
+        self.ops.len() + usize::from(!matches!(self.terminator, Terminator::FallThrough { .. }))
+    }
+}
+
+/// A synthetic static program: blocks, entry points per phase, and the table of
+/// memory-address patterns referenced by the blocks' static ops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticProgram {
+    /// All basic blocks. `BlockId` indexes this vector.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block per phase group.
+    pub phase_entries: Vec<BlockId>,
+    /// Program-wide memory pattern table.
+    pub patterns: Vec<AddressPattern>,
+    /// 4-byte instruction encoding assumed; total code footprint in bytes.
+    pub code_bytes: u64,
+}
+
+impl StaticProgram {
+    /// Number of static instructions (ops + block branches).
+    pub fn static_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.dyn_len()).sum()
+    }
+
+    /// Entry block of phase `p` (wrapping over defined phases).
+    pub fn entry(&self, p: u8) -> BlockId {
+        self.phase_entries[p as usize % self.phase_entries.len().max(1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpClass;
+
+    fn tiny_block() -> BasicBlock {
+        BasicBlock {
+            base_pc: 0x1000,
+            ops: vec![StaticOp { op: OpClass::IntAlu, srcs: [Some(1), None], dst: Some(2), pattern_idx: u32::MAX }],
+            terminator: Terminator::CondBranch {
+                behavior: BranchBehavior::Loop { trip: 4 },
+                target: 0,
+                fall: 1,
+            },
+            phase: 0,
+        }
+    }
+
+    #[test]
+    fn dyn_len_counts_branch() {
+        let b = tiny_block();
+        assert_eq!(b.dyn_len(), 2);
+        let f = BasicBlock { terminator: Terminator::FallThrough { next: 1 }, ..tiny_block() };
+        assert_eq!(f.dyn_len(), 1);
+    }
+
+    #[test]
+    fn entry_wraps_phases() {
+        let p = StaticProgram {
+            blocks: vec![tiny_block()],
+            phase_entries: vec![0],
+            patterns: vec![],
+            code_bytes: 8,
+        };
+        assert_eq!(p.entry(0), 0);
+        assert_eq!(p.entry(5), 0);
+        assert_eq!(p.static_len(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Dynamic trace regions and region sampling.
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::generator::SEGMENT_LEN;
+use crate::instruction::{Instruction, OpClass};
+use crate::workload::WorkloadSpec;
+
+/// A materialized dynamic trace region: the unit Concorde analyzes and the
+/// cycle-level simulator executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynTrace {
+    /// Short id of the generating workload (e.g. `"S1"`).
+    pub workload_id: String,
+    /// Trace index within the workload.
+    pub trace_idx: u32,
+    /// First-instruction offset within the virtual trace.
+    pub start: u64,
+    /// The dynamic instructions.
+    pub instrs: Vec<Instruction>,
+}
+
+impl DynTrace {
+    /// Number of instructions in the region.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` when the region holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Count of instructions matching `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&Instruction) -> bool) -> usize {
+        self.instrs.iter().filter(|i| pred(i)).count()
+    }
+
+    /// Fraction of instructions of the given class.
+    pub fn fraction(&self, op: OpClass) -> f64 {
+        if self.instrs.is_empty() {
+            return 0.0;
+        }
+        self.count_matching(|i| i.op == op) as f64 / self.instrs.len() as f64
+    }
+}
+
+/// A lightweight reference to a (not yet materialized) region of a workload
+/// trace. Region starts are segment-aligned so overlapping samples share
+/// identical instructions (see Figure 4's overlap study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionRef {
+    /// Index of the workload in the suite ordering.
+    pub workload: u16,
+    /// Trace index within the workload.
+    pub trace_idx: u32,
+    /// First instruction offset (segment aligned).
+    pub start: u64,
+    /// Region length in instructions.
+    pub len: u32,
+}
+
+impl RegionRef {
+    /// Instruction-interval overlap with another region of the same trace.
+    pub fn overlap(&self, other: &RegionRef) -> u64 {
+        if self.workload != other.workload || self.trace_idx != other.trace_idx {
+            return 0;
+        }
+        let a0 = self.start;
+        let a1 = self.start + u64::from(self.len);
+        let b0 = other.start;
+        let b1 = other.start + u64::from(other.len);
+        a1.min(b1).saturating_sub(a0.max(b0))
+    }
+}
+
+/// Samples a region of `len` instructions uniformly from `spec`'s traces,
+/// aligned to generator segments (paper §4: regions are sampled randomly from a
+/// randomly chosen trace, with probability proportional to trace length — all
+/// our traces of one workload share a length, so uniform trace choice matches).
+pub fn sample_region(spec: &WorkloadSpec, workload_idx: u16, len: u32, rng: &mut ChaCha12Rng) -> RegionRef {
+    let trace_idx = rng.gen_range(0..spec.n_traces.max(1));
+    let max_start_seg = spec.trace_len.saturating_sub(u64::from(len)) / SEGMENT_LEN;
+    let start = rng.gen_range(0..=max_start_seg) * SEGMENT_LEN;
+    RegionRef { workload: workload_idx, trace_idx, start, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::by_id;
+    use rand::SeedableRng;
+
+    #[test]
+    fn overlap_math() {
+        let a = RegionRef { workload: 0, trace_idx: 0, start: 0, len: 100 };
+        let b = RegionRef { workload: 0, trace_idx: 0, start: 50, len: 100 };
+        let c = RegionRef { workload: 0, trace_idx: 1, start: 50, len: 100 };
+        let d = RegionRef { workload: 0, trace_idx: 0, start: 200, len: 100 };
+        assert_eq!(a.overlap(&b), 50);
+        assert_eq!(b.overlap(&a), 50);
+        assert_eq!(a.overlap(&c), 0, "different traces never overlap");
+        assert_eq!(a.overlap(&d), 0, "disjoint intervals");
+        assert_eq!(a.overlap(&a), 100);
+    }
+
+    #[test]
+    fn sampling_is_aligned_and_in_range() {
+        let spec = by_id("P2").unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let r = sample_region(&spec, 1, 24_000, &mut rng);
+            assert_eq!(r.start % SEGMENT_LEN, 0);
+            assert!(r.trace_idx < spec.n_traces);
+            assert!(r.start + u64::from(r.len) <= spec.trace_len + SEGMENT_LEN);
+        }
+    }
+
+    #[test]
+    fn dyn_trace_helpers() {
+        let spec = by_id("O1").unwrap();
+        let t = crate::generate_region(&spec, 0, 0, 2000);
+        assert_eq!(t.len(), 2000);
+        assert!(!t.is_empty());
+        let f = t.fraction(OpClass::IntAlu);
+        assert!(f > 0.2, "dhrystone is ALU heavy, got {f}");
+    }
+}

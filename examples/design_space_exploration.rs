@@ -1,0 +1,55 @@
+//! Design-space exploration: sweep ROB × load-queue sizes for one workload
+//! with *one* feature precomputation — the use case Concorde's O(1) inference
+//! makes interactive (paper §1: "rapid design-space exploration").
+//!
+//! The sweep is evaluated twice: with the cycle-level simulator (slow,
+//! ground truth) and with Concorde's analytical min-bound (instant), so the
+//! example runs without a trained model. Swap in a trained
+//! `ConcordePredictor` for the learned variant.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use concorde_suite::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let profile = ReproProfile::quick();
+    let spec = by_id("P11").expect("NoSQL Database2");
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (warmup, region) = full.instrs.split_at(profile.warmup_len);
+
+    let robs = [32u32, 128, 512];
+    let lqs = [4u32, 16, 64];
+
+    // One precompute covers the whole grid.
+    let mut sweep = SweepConfig::for_arch(&MicroArch::arm_n1());
+    sweep.rob = robs.to_vec();
+    sweep.lq = lqs.to_vec();
+    let t0 = Instant::now();
+    let store = FeatureStore::precompute(warmup, region, &sweep, &profile);
+    let t_pre = t0.elapsed();
+
+    println!("{} on a ROB x LQ grid (base: ARM N1)\n", spec.name);
+    println!("{:>6} {:>6} | {:>12} {:>14} | {:>12}", "ROB", "LQ", "sim CPI", "sim time", "bound CPI");
+    let mut t_sim_total = std::time::Duration::ZERO;
+    let mut t_bound_total = std::time::Duration::ZERO;
+    for &rob in &robs {
+        for &lq in &lqs {
+            let arch = MicroArch { rob_size: rob, lq_size: lq, ..MicroArch::arm_n1() };
+            let t1 = Instant::now();
+            let sim = simulate_warmed(warmup, region, &arch, SimOptions::default());
+            let t_sim = t1.elapsed();
+            t_sim_total += t_sim;
+            let t2 = Instant::now();
+            let bound = store.min_bound_cpi(&arch);
+            t_bound_total += t2.elapsed();
+            println!("{rob:>6} {lq:>6} | {:>12.3} {t_sim:>14.2?} | {bound:>12.3}", sim.cpi());
+        }
+    }
+    println!(
+        "\nprecompute (once): {t_pre:.2?}; analytical evaluation of all {} designs: {t_bound_total:.2?} \
+         vs {t_sim_total:.2?} of simulation",
+        robs.len() * lqs.len()
+    );
+    println!("bigger ROB/LQ should never hurt: check the CPI columns decrease down each group.");
+}

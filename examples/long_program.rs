@@ -1,0 +1,53 @@
+//! Long-program CPI estimation by region sampling (paper §5.1, Figure 9).
+//!
+//! Simulating a long program cycle by cycle costs O(L); Concorde estimates
+//! its CPI from a handful of O(1) region predictions. This example uses the
+//! analytical min-bound as the per-region estimator (so it runs without
+//! training) and compares sampling levels against a full simulation of the
+//! program.
+//!
+//! Run with: `cargo run --release --example long_program`
+
+use concorde_suite::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::time::Instant;
+
+fn main() {
+    let profile = ReproProfile::quick();
+    let spec = by_id("S7").expect("557.xz_r");
+    let arch = MicroArch::arm_n1();
+    let program_len = 400_000usize;
+
+    // Ground truth: simulate the whole program.
+    let t0 = Instant::now();
+    let full = generate_region(&spec, 0, 0, program_len);
+    let truth = simulate(&full.instrs, &arch, SimOptions::default());
+    let t_sim = t0.elapsed();
+    println!("full simulation of {program_len} instructions: CPI {:.3} in {t_sim:.2?}", truth.cpi());
+
+    // Region-sampled estimates.
+    let mut rng = ChaCha12Rng::seed_from_u64(9);
+    for n_samples in [4usize, 16, 48] {
+        let t1 = Instant::now();
+        let mut acc = 0.0;
+        for _ in 0..n_samples {
+            let max_start = (program_len - profile.region_len) as u64;
+            let start = rng.gen_range(0..=max_start) / concorde_suite::trace::SEGMENT_LEN
+                * concorde_suite::trace::SEGMENT_LEN;
+            let warm_start = start.saturating_sub(profile.warmup_len as u64);
+            let warm_len = (start - warm_start) as usize;
+            let r = generate_region(&spec, 0, warm_start, warm_len + profile.region_len);
+            let (w, body) = r.instrs.split_at(warm_len);
+            let store = FeatureStore::precompute(w, body, &SweepConfig::for_arch(&arch), &profile);
+            acc += store.min_bound_cpi(&arch);
+        }
+        let est = acc / n_samples as f64;
+        println!(
+            "{n_samples:>3} sampled regions: estimated CPI {est:.3} ({:+.1}% vs truth) in {:.2?}",
+            (est - truth.cpi()) / truth.cpi() * 100.0,
+            t1.elapsed()
+        );
+    }
+    println!("\n(the trained Concorde model replaces the min-bound estimator in the full pipeline — see `--bin fig09_long_programs`)");
+}

@@ -1,0 +1,44 @@
+//! Quickstart: the full Concorde flow on one program region.
+//!
+//! 1. Generate a synthetic trace region (DynamoRIO substitute).
+//! 2. Run the reference cycle-level simulator for ground truth.
+//! 3. Precompute Concorde's performance distributions for one design.
+//! 4. Train a small Concorde model and predict the region's CPI.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use concorde_suite::prelude::*;
+
+fn main() {
+    // 1. A 505.mcf_r-like pointer-chasing region with cache warmup.
+    let profile = ReproProfile::quick();
+    let spec = by_id("S1").expect("S1 is in the suite");
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (warmup, region) = full.instrs.split_at(profile.warmup_len);
+    println!(
+        "region: {} instructions of {} ({} loads)",
+        region.len(),
+        spec.name,
+        region.iter().filter(|i| i.op.is_load()).count()
+    );
+
+    // 2. Ground truth from the cycle-level simulator on ARM N1.
+    let arch = MicroArch::arm_n1();
+    let sim = simulate_warmed(warmup, region, &arch, SimOptions::default());
+    println!("cycle-level simulator: CPI = {:.3} ({} cycles)", sim.cpi(), sim.cycles);
+
+    // 3. Concorde's analytical stage: per-resource performance distributions.
+    let store = FeatureStore::precompute(warmup, region, &SweepConfig::for_arch(&arch), &profile);
+    println!("analytical min-bound estimate: CPI = {:.3}", store.min_bound_cpi(&arch));
+
+    // 4. Train a small Concorde model on a few labelled samples and predict.
+    println!("training a small demonstration model (~1 minute)…");
+    let data = generate_dataset(&DatasetConfig::random(profile.clone(), 256, 7));
+    let model = train_model(&data, &profile, &TrainOptions::default());
+    let predicted = model.predict(&store, &arch);
+    println!(
+        "Concorde prediction: CPI = {predicted:.3} (relative error vs simulator: {:.1}%)",
+        (predicted - sim.cpi()).abs() / sim.cpi() * 100.0
+    );
+    println!("note: the bundled experiment pipeline trains on thousands of samples; see `cargo run -p concorde-bench --release --bin run_all`.");
+}

@@ -1,0 +1,165 @@
+//! `concorde` — command-line interface to the reproduction.
+//!
+//! ```text
+//! concorde simulate  <workload> [--arch n1|big] [--len N]   cycle-level CPI
+//! concorde bound     <workload> [--arch n1|big] [--len N]   analytical min-bound CPI
+//! concorde sweep     <workload> <param> v1,v2,…             CPI across one parameter
+//! concorde attribute <workload>                             Shapley: big core → N1
+//! concorde workloads                                        list the 29-program suite
+//! ```
+//!
+//! All commands are deterministic and need no trained model (they use the
+//! cycle-level simulator and the analytical stage; the learned predictor is
+//! exercised by the `concorde-bench` binaries).
+
+use concorde_suite::prelude::*;
+
+fn parse_arch(args: &[String]) -> MicroArch {
+    match args.iter().position(|a| a == "--arch").map(|i| args[i + 1].as_str()) {
+        Some("big") => MicroArch::big_core(),
+        _ => MicroArch::arm_n1(),
+    }
+}
+
+fn parse_len(args: &[String], default: usize) -> usize {
+    args.iter()
+        .position(|a| a == "--len")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn region_of(id: &str, len: usize) -> (Vec<Instruction>, Vec<Instruction>) {
+    let spec = by_id(id).unwrap_or_else(|| {
+        eprintln!("unknown workload '{id}'; run `concorde workloads` for the list");
+        std::process::exit(2);
+    });
+    let warm = len.min(32_000);
+    let full = generate_region(&spec, 0, 0, warm + len);
+    let (w, r) = full.instrs.split_at(warm);
+    (w.to_vec(), r.to_vec())
+}
+
+fn apply_param(arch: &mut MicroArch, param: &str, v: u32) -> bool {
+    match param {
+        "rob" => arch.rob_size = v,
+        "lq" => arch.lq_size = v,
+        "sq" => arch.sq_size = v,
+        "alu" => arch.alu_width = v,
+        "fp" => arch.fp_width = v,
+        "ls" => arch.ls_width = v,
+        "fetch" => arch.fetch_width = v,
+        "decode" => arch.decode_width = v,
+        "rename" => arch.rename_width = v,
+        "commit" => arch.commit_width = v,
+        "l1d" => arch.mem.l1d_kb = v,
+        "l1i" => arch.mem.l1i_kb = v,
+        "l2" => arch.mem.l2_kb = v,
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "workloads" => {
+            println!("{:<5} {:<28} {:<12} traces  instr(M)", "id", "name", "class");
+            for w in suite() {
+                println!(
+                    "{:<5} {:<28} {:<12} {:>6}  {:>8.1}",
+                    w.id,
+                    w.name,
+                    format!("{:?}", w.class),
+                    w.n_traces,
+                    w.n_traces as f64 * w.trace_len as f64 / 1e6
+                );
+            }
+        }
+        "simulate" => {
+            let id = args.get(1).expect("usage: concorde simulate <workload>");
+            let arch = parse_arch(&args);
+            let len = parse_len(&args, 24_000);
+            let (w, r) = region_of(id, len);
+            let t0 = std::time::Instant::now();
+            let res = simulate_warmed(&w, &r, &arch, SimOptions::default());
+            println!(
+                "{id}: CPI {:.3} over {len} instructions ({} cycles, {:?}); \
+                 branches {} / mispredicted {}, RAM accesses {}",
+                res.cpi(),
+                res.cycles,
+                t0.elapsed(),
+                res.branch.branches,
+                res.branch.mispredictions,
+                res.d_ram
+            );
+        }
+        "bound" => {
+            let id = args.get(1).expect("usage: concorde bound <workload>");
+            let arch = parse_arch(&args);
+            let len = parse_len(&args, 24_000);
+            let (w, r) = region_of(id, len);
+            let profile = ReproProfile::default_repro();
+            let t0 = std::time::Instant::now();
+            let store = FeatureStore::precompute(&w, &r, &SweepConfig::for_arch(&arch), &profile);
+            println!(
+                "{id}: analytical min-bound CPI {:.3} (precompute {:?}); simulator says {:.3}",
+                store.min_bound_cpi(&arch),
+                t0.elapsed(),
+                simulate_warmed(&w, &r, &arch, SimOptions::default()).cpi()
+            );
+        }
+        "sweep" => {
+            let id = args.get(1).expect("usage: concorde sweep <workload> <param> v1,v2,..");
+            let param = args.get(2).expect("missing parameter (rob|lq|sq|alu|fp|ls|fetch|decode|rename|commit|l1d|l1i|l2)");
+            let values: Vec<u32> = args
+                .get(3)
+                .expect("missing value list")
+                .split(',')
+                .map(|v| v.parse().expect("values must be integers"))
+                .collect();
+            let len = parse_len(&args, 24_000);
+            let (w, r) = region_of(id, len);
+            println!("{id}: sweeping {param} (base: ARM N1)");
+            for v in values {
+                let mut arch = parse_arch(&args);
+                if !apply_param(&mut arch, param, v) {
+                    eprintln!("unknown parameter '{param}'");
+                    std::process::exit(2);
+                }
+                let res = simulate_warmed(&w, &r, &arch, SimOptions::default());
+                println!("  {param} = {v:>5}: CPI {:.3}", res.cpi());
+            }
+        }
+        "attribute" => {
+            let id = args.get(1).expect("usage: concorde attribute <workload>");
+            let len = parse_len(&args, 16_000);
+            let (w, r) = region_of(id, len);
+            let base = MicroArch::big_core();
+            let target = MicroArch::arm_n1();
+            // 6-group game on the simulator directly (exact Shapley).
+            let groups: Vec<ParamGroup> = default_groups().into_iter().take(6).collect();
+            println!("{id}: exact Shapley over {} groups (big core → ARM N1), 2^{} simulator runs…", groups.len(), groups.len());
+            let f = |a: &MicroArch| simulate_warmed(&w, &r, a, SimOptions::default()).cpi();
+            let s = shapley_exact(f, &base, &target, &groups);
+            println!(
+                "CPI {:.3} → {:.3} (groups outside the game stay at their big-core values)",
+                s.base_value, s.target_value
+            );
+            for (label, v) in s.labels.iter().zip(&s.values) {
+                println!("  {label:<20} {v:>+8.3}");
+            }
+            println!("  {:<20} {:>+8.3}  (= ΔCPI)", "Σ", s.values.iter().sum::<f64>());
+        }
+        _ => {
+            println!(
+                "concorde — CPU performance modeling reproduction\n\n\
+                 usage:\n  concorde workloads\n  concorde simulate  <workload> [--arch n1|big] [--len N]\n  \
+                 concorde bound     <workload> [--arch n1|big] [--len N]\n  \
+                 concorde sweep     <workload> <param> v1,v2,… [--len N]\n  \
+                 concorde attribute <workload> [--len N]"
+            );
+        }
+    }
+}

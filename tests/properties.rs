@@ -1,0 +1,140 @@
+//! Property-based tests over the core invariants (proptest).
+
+use concorde_suite::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn arch_strategy() -> impl Strategy<Value = MicroArch> {
+    (any::<u64>()).prop_map(|seed| {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        MicroArch::sample(&mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Simulated CPI is finite, positive, and respects the commit-width floor
+    /// for any sampled microarchitecture.
+    #[test]
+    fn simulator_cpi_is_sane(arch in arch_strategy(), wl in 0usize..29, seed in 0u32..1000) {
+        let suite = suite();
+        let spec = &suite[wl];
+        let t = generate_region(spec, seed % spec.n_traces, 0, 2_000);
+        let r = simulate(&t.instrs, &arch, SimOptions::default());
+        prop_assert!(r.cpi().is_finite());
+        prop_assert!(r.cpi() >= 1.0 / f64::from(arch.commit_width) - 1e-9);
+        prop_assert!(r.cpi() < 1000.0, "cpi {} for {arch:?}", r.cpi());
+    }
+
+    /// The ROB analytical model's throughput is monotone in ROB size.
+    #[test]
+    fn rob_model_monotone(wl in 0usize..29, seed in 0u32..500) {
+        let suite = suite();
+        let spec = &suite[wl];
+        let t = generate_region(spec, seed % spec.n_traces, u64::from(seed) * 4096, 3_000);
+        let info = analyze_static(&t.instrs);
+        let data = analyze_data(&[], &t.instrs, MemConfig::default());
+        let mut prev = 0.0;
+        for rob in [1u32, 8, 64, 512] {
+            let thr = rob_model(&info, &data, rob).overall_throughput();
+            prop_assert!(thr >= prev - 1e-9, "ROB {rob}: {thr} < {prev}");
+            prev = thr;
+        }
+    }
+
+    /// Queue-model marks are monotone and the throughput respects queue size.
+    #[test]
+    fn queue_model_monotone(wl in 0usize..29) {
+        let suite = suite();
+        let t = generate_region(&suite[wl], 0, 0, 3_000);
+        let info = analyze_static(&t.instrs);
+        let data = analyze_data(&[], &t.instrs, MemConfig::default());
+        let small = queue_model(&info, &data, 2, QueueKind::Load);
+        let big = queue_model(&info, &data, 64, QueueKind::Load);
+        prop_assert!(small.last().unwrap() >= big.last().unwrap());
+        for w in small.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Percentile encodings are sorted within each half and bounded by the
+    /// sample extrema.
+    #[test]
+    fn encoding_sorted_and_bounded(samples in proptest::collection::vec(0.0f64..100.0, 4..200), levels in 2usize..24) {
+        let enc = Encoding { levels };
+        let v = enc.encode(&samples);
+        prop_assert_eq!(v.len(), 2 * levels + 1);
+        let lo = samples.iter().cloned().fold(f64::MAX, f64::min) as f32;
+        let hi = samples.iter().cloned().fold(f64::MIN, f64::max) as f32;
+        for half in [&v[..levels], &v[levels..2 * levels]] {
+            for w in half.windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-6);
+            }
+            for x in half {
+                prop_assert!(*x >= lo - 1e-4 && *x <= hi + 1e-4);
+            }
+        }
+    }
+
+    /// Shapley efficiency holds for arbitrary synthetic models, and MC
+    /// attribution telescopes exactly.
+    #[test]
+    fn shapley_efficiency(coeffs in proptest::collection::vec(-1.0f64..1.0, 4), perms in 1usize..20, seed in any::<u64>()) {
+        let base = MicroArch::big_core();
+        let target = MicroArch::arm_n1();
+        let groups: Vec<ParamGroup> = default_groups().into_iter().take(4).collect();
+        let f = move |a: &MicroArch| {
+            1.0 + coeffs[0] * f64::from(a.rob_size) / 1024.0
+                + coeffs[1] * f64::from(a.lq_size) / 256.0
+                + coeffs[2] * f64::from(a.mem.l1d_kb) / 256.0
+                + coeffs[3] * f64::from(a.mem.l2_kb) / 4096.0
+                + coeffs[0] * coeffs[1] * f64::from(a.rob_size * a.lq_size) / (1024.0 * 256.0)
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let s = shapley_mc(f, &base, &target, &groups, perms, &mut rng);
+        let total: f64 = s.values.iter().sum();
+        prop_assert!((total - (s.target_value - s.base_value)).abs() < 1e-9);
+    }
+
+    /// Region overlap is symmetric, bounded, and zero across traces.
+    #[test]
+    fn region_overlap_properties(s1 in 0u64..64, s2 in 0u64..64, len in 1u32..5000, t1 in 0u32..3, t2 in 0u32..3) {
+        let a = RegionRef { workload: 1, trace_idx: t1, start: s1 * 1024, len };
+        let b = RegionRef { workload: 1, trace_idx: t2, start: s2 * 1024, len };
+        prop_assert_eq!(a.overlap(&b), b.overlap(&a));
+        prop_assert!(a.overlap(&b) <= u64::from(len));
+        if t1 != t2 {
+            prop_assert_eq!(a.overlap(&b), 0);
+        } else {
+            prop_assert_eq!(a.overlap(&a), u64::from(len));
+        }
+    }
+
+    /// Trace generation is deterministic and the instruction mix is stable
+    /// under re-generation of overlapping windows.
+    #[test]
+    fn generation_deterministic(wl in 0usize..29, start_seg in 0u64..16) {
+        let suite = suite();
+        let spec = &suite[wl];
+        let start = start_seg * concorde_suite::trace::SEGMENT_LEN;
+        let a = generate_region(spec, 0, start, 1500);
+        let b = generate_region(spec, 0, start, 1500);
+        prop_assert_eq!(a.instrs, b.instrs);
+    }
+
+    /// Bigger L1d never increases the in-order miss count.
+    #[test]
+    fn cache_miss_monotone(wl in 0usize..29) {
+        let suite = suite();
+        let t = generate_region(&suite[wl], 0, 0, 6_000);
+        let mut prev_hits = 0u64;
+        for kb in [16u32, 64, 256] {
+            let cfg = MemConfig { l1d_kb: kb, ..MemConfig::default() };
+            let res = simulate_inorder(&t.instrs, cfg);
+            prop_assert!(res.stats.d_l1 >= prev_hits, "L1d {kb}kB lost hits");
+            prev_hits = res.stats.d_l1;
+        }
+    }
+}
