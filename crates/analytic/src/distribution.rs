@@ -55,7 +55,7 @@ impl Encoding {
         // Size-weighted percentiles: each sample weighted by its value.
         let total: f64 = sorted.iter().sum();
         if total <= 0.0 {
-            out.extend(std::iter::repeat(0.0f32).take(self.levels));
+            out.extend(std::iter::repeat_n(0.0f32, self.levels));
         } else {
             let mut cum = 0.0;
             let mut idx = 0usize;
@@ -115,8 +115,14 @@ mod tests {
         for w in weighted.windows(2) {
             assert!(w[0] <= w[1], "weighted percentiles sorted");
         }
-        let lo = *samples.iter().min_by(|a, b| a.partial_cmp(b).unwrap()).unwrap() as f32;
-        let hi = *samples.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap() as f32;
+        let lo = *samples
+            .iter()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap() as f32;
+        let hi = *samples
+            .iter()
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+            .unwrap() as f32;
         for &x in plain.iter().chain(weighted) {
             assert!(x >= lo && x <= hi);
         }
@@ -133,7 +139,10 @@ mod tests {
         let v = e.encode(&s);
         let plain_median = v[5];
         let weighted_median = v[15];
-        assert!(weighted_median > plain_median, "{weighted_median} <= {plain_median}");
+        assert!(
+            weighted_median > plain_median,
+            "{weighted_median} <= {plain_median}"
+        );
         assert_eq!(weighted_median, 100.0, "by mass, the tail dominates");
     }
 

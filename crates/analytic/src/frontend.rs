@@ -78,7 +78,11 @@ pub fn fetch_buffers_model(info: &TraceInfo, inst: &InstLatencies, buffers: u32)
         let line = info.icache_lines[i];
         if line != cur_line {
             cur_line = line;
-            let start = if lines_seen >= b { ring[lines_seen % b] } else { 0 };
+            let start = if lines_seen >= b {
+                ring[lines_seen % b]
+            } else {
+                0
+            };
             let done = start + u64::from(inst.icache_latency[i]);
             ring[lines_seen % b] = done;
             lines_seen += 1;
@@ -100,7 +104,10 @@ mod tests {
 
     fn setup(id: &str, n: usize) -> (TraceInfo, InstLatencies) {
         let t = generate_region(&by_id(id).unwrap(), 0, 0, n).instrs;
-        (analyze_static(&t), analyze_inst(&[], &t, MemConfig::default()))
+        (
+            analyze_static(&t),
+            analyze_inst(&[], &t, MemConfig::default()),
+        )
     }
 
     #[test]
@@ -133,7 +140,11 @@ mod tests {
         let thr = throughput_from_marks(&m, 256);
         // After the initial cold fills, a resident kernel never misses L1i.
         let last = *thr.last().unwrap();
-        assert_eq!(last, crate::window::THROUGHPUT_CAP, "steady-state windows hit the cap");
+        assert_eq!(
+            last,
+            crate::window::THROUGHPUT_CAP,
+            "steady-state windows hit the cap"
+        );
     }
 
     #[test]
@@ -161,7 +172,10 @@ mod tests {
                 cur = l;
             }
         }
-        assert!(total >= runs * 4, "B=1 must serialize line accesses: {total} vs {runs} runs");
+        assert!(
+            total >= runs * 4,
+            "B=1 must serialize line accesses: {total} vs {runs} runs"
+        );
     }
 
     #[test]

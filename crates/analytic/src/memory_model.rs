@@ -36,7 +36,10 @@ pub struct MemoryModel<'a> {
 impl<'a> MemoryModel<'a> {
     /// Creates a fresh state machine over the in-order latency estimates.
     pub fn new(latencies: &'a DataLatencies) -> Self {
-        MemoryModel { latencies, lines: HashMap::with_capacity(latencies.line_load_latencies.len()) }
+        MemoryModel {
+            latencies,
+            lines: HashMap::with_capacity(latencies.line_load_latencies.len()),
+        }
     }
 
     /// Returns the execution-completion cycle for instruction `idx` issued at
@@ -69,7 +72,11 @@ impl<'a> MemoryModel<'a> {
         // Consume latencies in issue order (principle 2). If the model issues
         // more loads to a line than the in-order simulation observed (cannot
         // happen when built from the same trace), fall back to the last one.
-        let exec = u64::from(*list.get(st.access_counter).unwrap_or(list.last().unwrap_or(&4)));
+        let exec = u64::from(
+            *list
+                .get(st.access_counter)
+                .unwrap_or(list.last().unwrap_or(&4)),
+        );
         st.access_counter += 1;
         // Non-decreasing response (principle 1).
         let resp = (req_cycle + exec).max(st.last_resp_cycle);
@@ -88,7 +95,10 @@ mod tests {
         for (line, lats) in per_line {
             m.insert(*line, lats.clone());
         }
-        DataLatencies { exec_latency: exec, line_load_latencies: m }
+        DataLatencies {
+            exec_latency: exec,
+            line_load_latencies: m,
+        }
     }
 
     #[test]

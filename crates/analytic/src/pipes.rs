@@ -42,7 +42,11 @@ pub fn pipe_bounds(info: &TraceInfo, ls_pipes: u32, load_pipes: u32, k: usize) -
         let win = k as f64;
         // Worst case: loads first on all pipes, then stores on LS pipes only.
         let t_max = nl / (lsp + lp) + ns / lsp;
-        lower.push(if t_max <= 0.0 { THROUGHPUT_CAP } else { (win / t_max).min(THROUGHPUT_CAP) });
+        lower.push(if t_max <= 0.0 {
+            THROUGHPUT_CAP
+        } else {
+            (win / t_max).min(THROUGHPUT_CAP)
+        });
         // Best case: stores on LS pipes overlap loads on load pipes; leftover
         // loads then use all pipes.
         let t_store = ns / lsp;
@@ -58,7 +62,11 @@ pub fn pipe_bounds(info: &TraceInfo, ls_pipes: u32, load_pipes: u32, k: usize) -
         } else {
             t_store + nl / lsp
         };
-        upper.push(if t_min <= 0.0 { THROUGHPUT_CAP } else { (win / t_min).min(THROUGHPUT_CAP) });
+        upper.push(if t_min <= 0.0 {
+            THROUGHPUT_CAP
+        } else {
+            (win / t_min).min(THROUGHPUT_CAP)
+        });
     }
     PipeBounds { lower, upper }
 }

@@ -66,7 +66,10 @@ mod tests {
 
     fn setup(id: &str, n: usize) -> (TraceInfo, DataLatencies) {
         let t = generate_region(&by_id(id).unwrap(), 0, 0, n).instrs;
-        (analyze_static(&t), analyze_data(&[], &t, MemConfig::default()))
+        (
+            analyze_static(&t),
+            analyze_data(&[], &t, MemConfig::default()),
+        )
     }
 
     #[test]
@@ -102,7 +105,10 @@ mod tests {
         // time is at least the sum of a RAM-latency fraction of loads.
         let loads = info.ops.iter().filter(|o| o.is_load()).count() as u64;
         let total = *m.last().unwrap();
-        assert!(total >= loads * 4, "serial loads must cost at least L1 each");
+        assert!(
+            total >= loads * 4,
+            "serial loads must cost at least L1 each"
+        );
     }
 
     #[test]
@@ -133,6 +139,9 @@ mod tests {
         let big = queue_model(&info, &data, 256, QueueKind::Load);
         let ts: f64 = throughput_from_marks(&small, 256).iter().sum();
         let tb: f64 = throughput_from_marks(&big, 256).iter().sum();
-        assert!(tb >= ts, "bigger LQ window bounds must not shrink: {tb} vs {ts}");
+        assert!(
+            tb >= ts,
+            "bigger LQ window bounds must not shrink: {tb} vs {ts}"
+        );
     }
 }

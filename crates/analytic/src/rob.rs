@@ -70,6 +70,7 @@ pub fn rob_model(info: &TraceInfo, data: &DataLatencies, rob_size: u32) -> RobRe
     // Dependency adjacency (producer -> consumers) and pending-dep counters.
     let mut dep_remaining = vec![0u16; n];
     let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
+    #[allow(clippy::needless_range_loop)] // i indexes parallel dependency arrays
     for i in 0..n {
         for &d in &info.reg_deps[i] {
             if d != NO_DEP {
@@ -105,11 +106,16 @@ pub fn rob_model(info: &TraceInfo, data: &DataLatencies, rob_size: u32) -> RobRe
             entered += 1;
         }
 
-        let Reverse((si, iu)) = heap.pop().expect("ready heap cannot be empty while work remains");
+        let Reverse((si, iu)) = heap
+            .pop()
+            .expect("ready heap cannot be empty while work remains");
         let i = iu as usize;
         #[cfg(debug_assertions)]
         {
-            debug_assert!(si >= last_pop, "start times must pop in non-decreasing order");
+            debug_assert!(
+                si >= last_pop,
+                "start times must pop in non-decreasing order"
+            );
             last_pop = si;
         }
         f[i] = mem.resp_cycle(si, i, info.data_lines[i], info.ops[i].is_load());
@@ -134,10 +140,21 @@ pub fn rob_model(info: &TraceInfo, data: &DataLatencies, rob_size: u32) -> RobRe
         }
     }
 
-    let issue_latency = (0..n).map(|i| (s[i] - a[i]).min(u64::from(u32::MAX)) as u32).collect();
-    let exec_latency = (0..n).map(|i| (f[i] - s[i]).min(u64::from(u32::MAX)) as u32).collect();
-    let commit_latency = (0..n).map(|i| (c[i] - f[i]).min(u64::from(u32::MAX)) as u32).collect();
-    RobResult { commit_cycles: c, issue_latency, exec_latency, commit_latency }
+    let issue_latency = (0..n)
+        .map(|i| (s[i] - a[i]).min(u64::from(u32::MAX)) as u32)
+        .collect();
+    let exec_latency = (0..n)
+        .map(|i| (f[i] - s[i]).min(u64::from(u32::MAX)) as u32)
+        .collect();
+    let commit_latency = (0..n)
+        .map(|i| (c[i] - f[i]).min(u64::from(u32::MAX)) as u32)
+        .collect();
+    RobResult {
+        commit_cycles: c,
+        issue_latency,
+        exec_latency,
+        commit_latency,
+    }
 }
 
 /// The paper's auxiliary ROB sweep: sizes {1, 2, 4, …, 1024} (§3.2.2).
@@ -234,7 +251,10 @@ mod tests {
         let (info, data) = setup_warmed("P13", 8000);
         let small = rob_model(&info, &data, 16).overall_throughput();
         let big = rob_model(&info, &data, 1024).overall_throughput();
-        assert!(big > 1.5 * small, "ROB sweep should matter: {small} -> {big}");
+        assert!(
+            big > 1.5 * small,
+            "ROB sweep should matter: {small} -> {big}"
+        );
     }
 
     #[test]

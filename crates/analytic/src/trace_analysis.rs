@@ -93,7 +93,11 @@ pub fn analyze_static(instrs: &[Instruction]) -> TraceInfo {
         if let Some(d) = instr.dst {
             last_writer[d as usize] = i as u32;
         }
-        data_lines.push(if instr.op.is_mem() { instr.data_line() } else { 0 });
+        data_lines.push(if instr.op.is_mem() {
+            instr.data_line()
+        } else {
+            0
+        });
         icache_lines.push(instr.icache_line());
         branch_kinds.push(match instr.op {
             OpClass::Branch(k) => Some(k),
@@ -128,7 +132,11 @@ pub struct DataLatencies {
 /// Runs the in-order D-cache simulation (with `warmup` accesses first) and
 /// derives execution-latency estimates (paper §3.1 "Microarchitecture
 /// dependent (i)").
-pub fn analyze_data(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConfig) -> DataLatencies {
+pub fn analyze_data(
+    warmup: &[Instruction],
+    instrs: &[Instruction],
+    cfg: MemConfig,
+) -> DataLatencies {
     let lat = LatencyMap::default();
     let mut h = Hierarchy::new(cfg);
     for i in warmup {
@@ -144,7 +152,10 @@ pub fn analyze_data(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConf
         let l = if i.op.is_load() {
             let level = h.access_data(i.mem_addr, false, Some(i.pc));
             let l = lat.latency(level);
-            line_load_latencies.entry(i.data_line()).or_default().push(l);
+            line_load_latencies
+                .entry(i.data_line())
+                .or_default()
+                .push(l);
             l
         } else if i.op.is_store() {
             h.access_data(i.mem_addr, true, None);
@@ -154,7 +165,10 @@ pub fn analyze_data(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConf
         };
         exec_latency.push(l);
     }
-    DataLatencies { exec_latency, line_load_latencies }
+    DataLatencies {
+        exec_latency,
+        line_load_latencies,
+    }
 }
 
 /// Per-instruction I-cache latency estimates for one I-side configuration.
@@ -168,7 +182,11 @@ pub struct InstLatencies {
 
 /// Runs the in-order I-cache simulation (paper §3.1 "Microarchitecture
 /// dependent (ii)").
-pub fn analyze_inst(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConfig) -> InstLatencies {
+pub fn analyze_inst(
+    warmup: &[Instruction],
+    instrs: &[Instruction],
+    cfg: MemConfig,
+) -> InstLatencies {
     let lat = LatencyMap::default();
     let mut h = Hierarchy::new(cfg);
     for i in warmup {
@@ -181,7 +199,10 @@ pub fn analyze_inst(warmup: &[Instruction], instrs: &[Instruction], cfg: MemConf
         icache_latency.push(lat.latency(level));
         l1_hit.push(level == CacheLevel::L1);
     }
-    InstLatencies { icache_latency, l1_hit }
+    InstLatencies {
+        icache_latency,
+        l1_hit,
+    }
 }
 
 /// Branch-prediction summary from one TAGE + BTB trace simulation, sufficient
@@ -206,7 +227,9 @@ impl BranchInfo {
         }
         let cond_misses = match kind {
             PredictorKind::Tage => self.tage_cond_misses as f64,
-            PredictorKind::Simple { miss_pct } => self.conditional as f64 * f64::from(miss_pct) / 100.0,
+            PredictorKind::Simple { miss_pct } => {
+                self.conditional as f64 * f64::from(miss_pct) / 100.0
+            }
         };
         (cond_misses + self.indirect_misses as f64) / self.branches as f64
     }
@@ -218,7 +241,9 @@ impl BranchInfo {
         }
         let cond_misses = match kind {
             PredictorKind::Tage => self.tage_cond_misses as f64,
-            PredictorKind::Simple { miss_pct } => self.conditional as f64 * f64::from(miss_pct) / 100.0,
+            PredictorKind::Simple { miss_pct } => {
+                self.conditional as f64 * f64::from(miss_pct) / 100.0
+            }
         };
         (cond_misses + self.indirect_misses as f64) * 1000.0 / instructions as f64
     }
@@ -299,7 +324,10 @@ mod tests {
                 assert_eq!(t[i].mem_addr, t[d as usize].mem_addr);
             }
         }
-        assert!(found > 10, "store-heavy trace should have forwarding edges, found {found}");
+        assert!(
+            found > 10,
+            "store-heavy trace should have forwarding edges, found {found}"
+        );
     }
 
     #[test]
@@ -307,9 +335,17 @@ mod tests {
         let t = trace("S1", 10_000);
         let info = analyze_static(&t);
         let chained = (0..t.len())
-            .filter(|&i| t[i].op.is_load() && info.reg_deps[i].iter().any(|&d| d != NO_DEP && t[d as usize].op.is_load()))
+            .filter(|&i| {
+                t[i].op.is_load()
+                    && info.reg_deps[i]
+                        .iter()
+                        .any(|&d| d != NO_DEP && t[d as usize].op.is_load())
+            })
             .count();
-        assert!(chained > 100, "pointer chase must create load->load chains, got {chained}");
+        assert!(
+            chained > 100,
+            "pointer chase must create load->load chains, got {chained}"
+        );
     }
 
     #[test]

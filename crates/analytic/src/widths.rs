@@ -29,7 +29,12 @@ impl IssueClass {
         match self {
             IssueClass::Alu => matches!(
                 op,
-                OpClass::IntAlu | OpClass::IntMul | OpClass::IntDiv | OpClass::Branch(_) | OpClass::Nop | OpClass::Isb
+                OpClass::IntAlu
+                    | OpClass::IntMul
+                    | OpClass::IntDiv
+                    | OpClass::Branch(_)
+                    | OpClass::Nop
+                    | OpClass::Isb
             ),
             IssueClass::Fp => op.is_fp(),
             IssueClass::LoadStore => op.is_mem(),
@@ -74,7 +79,10 @@ mod tests {
         let fp1 = issue_width_bound(&info, IssueClass::Fp, 1, 256);
         let fp8 = issue_width_bound(&info, IssueClass::Fp, 8, 256);
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(avg(&fp1) < 4.0, "FP-heavy code with width 1 must be constrained");
+        assert!(
+            avg(&fp1) < 4.0,
+            "FP-heavy code with width 1 must be constrained"
+        );
         assert!((avg(&fp8) - avg(&fp1) * 8.0).abs() < 1e-6 || avg(&fp8) <= THROUGHPUT_CAP);
         assert!(avg(&fp8) > avg(&fp1));
     }

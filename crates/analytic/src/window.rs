@@ -42,7 +42,11 @@ pub fn throughput_from_marks(marks: &[u64], k: usize) -> Vec<f64> {
         let mark = marks[end - 1];
         let dur = mark.saturating_sub(prev);
         let len = (end - start) as f64;
-        out.push(if dur == 0 { THROUGHPUT_CAP } else { (len / dur as f64).min(THROUGHPUT_CAP) });
+        out.push(if dur == 0 {
+            THROUGHPUT_CAP
+        } else {
+            (len / dur as f64).min(THROUGHPUT_CAP)
+        });
         prev = mark;
         start = end;
     }

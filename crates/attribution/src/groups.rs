@@ -15,7 +15,10 @@ pub struct ParamGroup {
 impl ParamGroup {
     /// Single-parameter group.
     pub fn single(p: ParamId) -> Self {
-        ParamGroup { label: p.label().to_string(), params: vec![p] }
+        ParamGroup {
+            label: p.label().to_string(),
+            params: vec![p],
+        }
     }
 }
 
@@ -24,7 +27,10 @@ impl ParamGroup {
 /// parameter is its own player.
 pub fn default_groups() -> Vec<ParamGroup> {
     vec![
-        ParamGroup { label: "L1i/L1d/L2 caches".into(), params: vec![ParamId::L1iKb, ParamId::L1dKb, ParamId::L2Kb] },
+        ParamGroup {
+            label: "L1i/L1d/L2 caches".into(),
+            params: vec![ParamId::L1iKb, ParamId::L1dKb, ParamId::L2Kb],
+        },
         ParamGroup::single(ParamId::PrefetchDegree),
         ParamGroup::single(ParamId::RobSize),
         ParamGroup::single(ParamId::LqSize),
@@ -35,7 +41,10 @@ pub fn default_groups() -> Vec<ParamGroup> {
         ParamGroup::single(ParamId::FpWidth),
         ParamGroup::single(ParamId::LsWidth),
         ParamGroup::single(ParamId::CommitWidth),
-        ParamGroup { label: "Branch predictor".into(), params: vec![ParamId::BranchPredictor, ParamId::SimpleBpPct] },
+        ParamGroup {
+            label: "Branch predictor".into(),
+            params: vec![ParamId::BranchPredictor, ParamId::SimpleBpPct],
+        },
         ParamGroup::single(ParamId::MaxIcacheFills),
         ParamGroup::single(ParamId::FetchBuffers),
         ParamGroup::single(ParamId::FetchWidth),
@@ -47,14 +56,25 @@ pub fn default_groups() -> Vec<ParamGroup> {
 /// The two-player game of Figure 15: cache sizes vs the load queue.
 pub fn cache_vs_lq_groups() -> Vec<ParamGroup> {
     vec![
-        ParamGroup { label: "Caches".into(), params: vec![ParamId::L1iKb, ParamId::L1dKb, ParamId::L2Kb] },
-        ParamGroup { label: "Load queue".into(), params: vec![ParamId::LqSize] },
+        ParamGroup {
+            label: "Caches".into(),
+            params: vec![ParamId::L1iKb, ParamId::L1dKb, ParamId::L2Kb],
+        },
+        ParamGroup {
+            label: "Load queue".into(),
+            params: vec![ParamId::LqSize],
+        },
     ]
 }
 
 /// Builds the design reached from `base` by moving the groups whose bit is
 /// set in `mask` to their `target` values.
-pub fn arch_for_mask(base: &MicroArch, target: &MicroArch, groups: &[ParamGroup], mask: u64) -> MicroArch {
+pub fn arch_for_mask(
+    base: &MicroArch,
+    target: &MicroArch,
+    groups: &[ParamGroup],
+    mask: u64,
+) -> MicroArch {
     let mut arch = *base;
     for (g, group) in groups.iter().enumerate() {
         if mask & (1 << g) != 0 {
@@ -77,7 +97,11 @@ mod tests {
         let mut all: Vec<ParamId> = groups.iter().flat_map(|g| g.params.clone()).collect();
         all.sort();
         all.dedup();
-        assert_eq!(all.len(), ParamId::ALL.len(), "every Table 1 parameter appears exactly once");
+        assert_eq!(
+            all.len(),
+            ParamId::ALL.len(),
+            "every Table 1 parameter appears exactly once"
+        );
     }
 
     #[test]

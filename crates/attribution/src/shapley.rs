@@ -45,7 +45,14 @@ struct SubsetEval<'a, F> {
 
 impl<'a, F: FnMut(&MicroArch) -> f64> SubsetEval<'a, F> {
     fn new(f: F, base: &'a MicroArch, target: &'a MicroArch, groups: &'a [ParamGroup]) -> Self {
-        SubsetEval { f, base, target, groups, cache: HashMap::new(), evals: 0 }
+        SubsetEval {
+            f,
+            base,
+            target,
+            groups,
+            cache: HashMap::new(),
+            evals: 0,
+        }
     }
 
     fn value(&mut self, mask: u64) -> f64 {
@@ -206,8 +213,16 @@ mod tests {
         let a = ablation_deltas(interacting_model, &base, &target, &groups, &[0, 1]);
         let b = ablation_deltas(interacting_model, &base, &target, &groups, &[1, 0]);
         // Cache-first blames the LQ; LQ-first blames the caches.
-        assert!(a.values[1] > a.values[0], "cache-first: LQ gets the blame: {:?}", a.values);
-        assert!(b.values[0] > b.values[1], "LQ-first: caches get the blame: {:?}", b.values);
+        assert!(
+            a.values[1] > a.values[0],
+            "cache-first: LQ gets the blame: {:?}",
+            a.values
+        );
+        assert!(
+            b.values[0] > b.values[1],
+            "LQ-first: caches get the blame: {:?}",
+            b.values
+        );
         // Both telescope to the same total.
         let ta: f64 = a.values.iter().sum();
         let tb: f64 = b.values.iter().sum();
@@ -220,7 +235,10 @@ mod tests {
         let groups = cache_vs_lq_groups();
         let s = shapley_exact(interacting_model, &base, &target, &groups);
         let total: f64 = s.values.iter().sum();
-        assert!((total - (s.target_value - s.base_value)).abs() < 1e-12, "efficiency");
+        assert!(
+            (total - (s.target_value - s.base_value)).abs() < 1e-12,
+            "efficiency"
+        );
         // Symmetric-ish interaction: both players get a substantial share.
         assert!(s.values[0] > 0.2 && s.values[1] > 0.2, "{:?}", s.values);
         // Exact two-player Shapley of this game: caches get slightly more
@@ -239,7 +257,10 @@ mod tests {
             assert!((e - m).abs() < 0.05, "exact {e} vs mc {m}");
         }
         let total: f64 = mc.values.iter().sum();
-        assert!((total - (mc.target_value - mc.base_value)).abs() < 1e-9, "MC efficiency holds exactly");
+        assert!(
+            (total - (mc.target_value - mc.base_value)).abs() < 1e-9,
+            "MC efficiency holds exactly"
+        );
     }
 
     #[test]
@@ -261,7 +282,9 @@ mod tests {
     #[test]
     fn additive_model_has_order_independent_attribution() {
         // No interactions: ablation equals Shapley for any order.
-        let f = |a: &MicroArch| 1.0 + f64::from(1024 - a.rob_size) * 1e-3 + f64::from(256 - a.lq_size) * 1e-3;
+        let f = |a: &MicroArch| {
+            1.0 + f64::from(1024 - a.rob_size) * 1e-3 + f64::from(256 - a.lq_size) * 1e-3
+        };
         let (base, target) = endpoints();
         let groups = vec![
             crate::groups::ParamGroup::single(ParamId::RobSize),

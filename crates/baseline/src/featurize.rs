@@ -20,7 +20,11 @@ pub const BASE_FEATS: usize = 12;
 /// (the baseline is specialized to one microarchitecture, like TAO).
 ///
 /// Returns a row-major `[T × BASE_FEATS]` sequence.
-pub fn featurize(warmup: &[Instruction], instrs: &[Instruction], mem: concorde_cache::MemConfig) -> Vec<f32> {
+pub fn featurize(
+    warmup: &[Instruction],
+    instrs: &[Instruction],
+    mem: concorde_cache::MemConfig,
+) -> Vec<f32> {
     let info = analyze_static(instrs);
     let data = analyze_data(warmup, instrs, mem);
     let inst = analyze_inst(warmup, instrs, mem);
@@ -110,6 +114,11 @@ mod tests {
             let t = f.len() / BASE_FEATS;
             (0..t).map(|w| f[w * BASE_FEATS + 9]).sum::<f32>() / t as f32
         };
-        assert!(avg_lat(&fc) > 2.0 * avg_lat(&fr), "{} vs {}", avg_lat(&fc), avg_lat(&fr));
+        assert!(
+            avg_lat(&fc) > 2.0 * avg_lat(&fr),
+            "{} vs {}",
+            avg_lat(&fc),
+            avg_lat(&fr)
+        );
     }
 }

@@ -28,7 +28,13 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { hidden: 32, epochs: 30, lr: 3e-3, seed: 7, threads: 0 }
+        BaselineConfig {
+            hidden: 32,
+            epochs: 30,
+            lr: 3e-3,
+            seed: 7,
+            threads: 0,
+        }
     }
 }
 
@@ -100,7 +106,10 @@ fn flatten_grads(g: &LstmGrads) -> Vec<f32> {
 /// Panics if `data` is empty or labels are non-positive.
 pub fn train_baseline(data: &[(Vec<f32>, f64)], cfg: &BaselineConfig) -> TaoBaseline {
     assert!(!data.is_empty(), "cannot train on an empty dataset");
-    assert!(data.iter().all(|(_, y)| *y > 0.0), "labels must be positive");
+    assert!(
+        data.iter().all(|(_, y)| *y > 0.0),
+        "labels must be positive"
+    );
 
     // Fit feature normalization.
     let mut mean = vec![0.0f64; BASE_FEATS];
@@ -116,7 +125,7 @@ pub fn train_baseline(data: &[(Vec<f32>, f64)], cfg: &BaselineConfig) -> TaoBase
     for m in &mut mean {
         *m /= count.max(1) as f64;
     }
-    let mut var = vec![0.0f64; BASE_FEATS];
+    let mut var = [0.0f64; BASE_FEATS];
     for (seq, _) in data {
         for row in seq.chunks_exact(BASE_FEATS) {
             for ((v, m), &x) in var.iter_mut().zip(&mean).zip(row) {
@@ -126,21 +135,30 @@ pub fn train_baseline(data: &[(Vec<f32>, f64)], cfg: &BaselineConfig) -> TaoBase
         }
     }
     let feat_mean: Vec<f32> = mean.iter().map(|m| *m as f32).collect();
-    let feat_std: Vec<f32> = var.iter().map(|v| ((v / count.max(1) as f64).sqrt().max(1e-4)) as f32).collect();
+    let feat_std: Vec<f32> = var
+        .iter()
+        .map(|v| ((v / count.max(1) as f64).sqrt().max(1e-4)) as f32)
+        .collect();
 
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
     let mut lstm = LstmRegressor::new(BASE_FEATS, cfg.hidden, &mut rng);
     let mut params = flatten_params(&lstm);
     let mut opt = AdamVec::new(params.len(), cfg.lr);
 
-    let model_stub = TaoBaseline { lstm: lstm.clone(), feat_mean: feat_mean.clone(), feat_std: feat_std.clone() };
+    let model_stub = TaoBaseline {
+        lstm: lstm.clone(),
+        feat_mean: feat_mean.clone(),
+        feat_std: feat_std.clone(),
+    };
     let normalized: Vec<(Vec<f32>, f32)> = data
         .iter()
         .map(|(seq, y)| (model_stub.normalize(seq), (*y as f32).ln()))
         .collect();
 
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     };
@@ -163,7 +181,10 @@ pub fn train_baseline(data: &[(Vec<f32>, f64)], cfg: &BaselineConfig) -> TaoBase
                     (g, chunk.len())
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("baseline thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("baseline thread panicked"))
+                .collect()
         });
         let mut total = LstmGrads::zeros_like(&lstm);
         for (g, _) in grads {
@@ -174,7 +195,11 @@ pub fn train_baseline(data: &[(Vec<f32>, f64)], cfg: &BaselineConfig) -> TaoBase
         opt.apply(&mut params, &gflat, 1.0);
     }
     unflatten_params(&mut lstm, &params);
-    TaoBaseline { lstm, feat_mean, feat_std }
+    TaoBaseline {
+        lstm,
+        feat_mean,
+        feat_std,
+    }
 }
 
 #[cfg(test)]
@@ -197,7 +222,11 @@ mod tests {
                 data.push((seq, cpi * (1.0 + f64::from(t) * 0.01)));
             }
         }
-        let cfg = BaselineConfig { epochs: 60, hidden: 16, ..BaselineConfig::default() };
+        let cfg = BaselineConfig {
+            epochs: 60,
+            hidden: 16,
+            ..BaselineConfig::default()
+        };
         let model = train_baseline(&data, &cfg);
         let fast = generate_region(&by_id("O1").unwrap(), 1, 64 * 4096, 4096);
         let slow = generate_region(&by_id("S1").unwrap(), 1, 64 * 4096, 4096);
@@ -216,7 +245,11 @@ mod tests {
             (featurize(&[], &r1.instrs, mem), 1.0),
             (featurize(&[], &r2.instrs, mem), 1.2),
         ];
-        let cfg = BaselineConfig { epochs: 3, hidden: 8, ..BaselineConfig::default() };
+        let cfg = BaselineConfig {
+            epochs: 3,
+            hidden: 8,
+            ..BaselineConfig::default()
+        };
         let m = train_baseline(&data, &cfg);
         assert!(m.predict(&data[0].0) > 0.0);
     }

@@ -1,0 +1,127 @@
+//! Criterion bench for the serving engine: sequential single-sample
+//! prediction vs. the batched `concorde-serve` path at batch sizes 1/16/128.
+//!
+//! All requests hit a warmed feature-store cache, so the comparison isolates
+//! the serving overhead + evaluation: per-request feature assembly and a
+//! single-threaded MLP forward on the sequential side, versus queueing,
+//! micro-batching, and the worker pool's batched forward on the service
+//! side. Expected shape: batch=1 pays the queueing tax; by batch ≥ 16 the
+//! batched path's throughput (elem/s) exceeds the sequential baseline.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use concorde_core::prelude::*;
+use concorde_serve::{ArchSpec, PredictRequest, PredictionService, ServeConfig, SweepScope};
+use concorde_trace::by_id;
+
+struct Setup {
+    model: ConcordePredictor,
+    profile: ReproProfile,
+    store: FeatureStore,
+    arch: concorde_cyclesim::MicroArch,
+}
+
+fn setup() -> Setup {
+    let profile = ReproProfile::quick();
+    let arch = concorde_cyclesim::MicroArch::arm_n1();
+    let spec = by_id("S5").unwrap();
+    let full =
+        concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    // The §5.2.3 quantized sweep: one store answers any microarchitecture —
+    // the same store shape the service uses below.
+    let store = FeatureStore::precompute(w, r, &SweepConfig::quantized(), &profile);
+    let data = generate_dataset(&DatasetConfig {
+        profile: profile.clone(),
+        n: 48,
+        seed: 1,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15, 16]),
+        threads: 0,
+    });
+    let model = train_model(
+        &data,
+        &profile,
+        &TrainOptions {
+            epochs: Some(3),
+            ..TrainOptions::default()
+        },
+    );
+    Setup {
+        model,
+        profile,
+        store,
+        arch,
+    }
+}
+
+/// `n` requests over a small ROB sweep of the N1 (all on the same store
+/// grid, so every request is a cache hit but feature assembly still runs per
+/// request — the design-space-exploration shape).
+fn requests(n: usize) -> Vec<PredictRequest> {
+    (0..n)
+        .map(|i| {
+            let mut spec = ArchSpec::base("n1");
+            spec.rob = Some(128 + (i as u32 % 8));
+            PredictRequest::new(i as u64, "S5", spec)
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let s = setup();
+
+    let service = PredictionService::start(
+        s.model.clone(),
+        s.profile.clone(),
+        ServeConfig {
+            workers: 4,
+            // Small micro-batches: request waves split into full tiles that
+            // flush without waiting for the deadline, and on multi-core hosts
+            // they also fan out across the worker pool.
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(200),
+            sweep: SweepScope::Quantized,
+            ..ServeConfig::default()
+        },
+    );
+    let client = service.client();
+    // Warm the S5 quantized feature store so every measured request is a cache hit.
+    client
+        .predict(requests(1).pop().unwrap())
+        .expect("warmup prediction");
+
+    let mut g = c.benchmark_group("serve_throughput");
+
+    // Baseline: the pre-serving shape — one synchronous prediction at a time
+    // against an already-precomputed store, single-threaded. Same ROB sweep
+    // as the service requests.
+    g.throughput(Throughput::Elements(128));
+    g.bench_function("sequential_direct_x128", |b| {
+        b.iter(|| {
+            for i in 0..128u32 {
+                let mut arch = s.arch;
+                arch.rob_size = 128 + (i % 8);
+                criterion::black_box(s.model.predict(&s.store, &arch));
+            }
+        });
+    });
+
+    for batch in [1usize, 16, 128] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_function(format!("service_batch_{batch}"), |b| {
+            let reqs = requests(batch);
+            b.iter(|| client.predict_many(reqs.clone()).expect("batch prediction"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = serve;
+    config = Criterion::default().sample_size(12);
+    targets = bench_serve
+}
+criterion_main!(serve);

@@ -22,7 +22,8 @@ fn setup() -> Setup {
     profile.region_len = 16_384;
     profile.warmup_len = 16_384;
     let spec = concorde_trace::by_id("S5").unwrap();
-    let full = concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let full =
+        concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
     let (w, r) = full.instrs.split_at(profile.warmup_len);
     let arch = MicroArch::arm_n1();
     let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &profile);
@@ -35,8 +36,22 @@ fn setup() -> Setup {
         workloads: Some(vec![15, 16]),
         threads: 0,
     });
-    let model = train_model(&data, &profile, &TrainOptions { epochs: Some(3), ..TrainOptions::default() });
-    Setup { profile, warm: w.to_vec(), region: r.to_vec(), store, model, arch }
+    let model = train_model(
+        &data,
+        &profile,
+        &TrainOptions {
+            epochs: Some(3),
+            ..TrainOptions::default()
+        },
+    );
+    Setup {
+        profile,
+        warm: w.to_vec(),
+        region: r.to_vec(),
+        store,
+        model,
+        arch,
+    }
 }
 
 fn bench_speed(c: &mut Criterion) {
@@ -52,7 +67,14 @@ fn bench_speed(c: &mut Criterion) {
     });
 
     c.bench_function("feature_precompute_single_arch", |b| {
-        b.iter(|| FeatureStore::precompute(&s.warm, &s.region, &SweepConfig::for_arch(&s.arch), &s.profile));
+        b.iter(|| {
+            FeatureStore::precompute(
+                &s.warm,
+                &s.region,
+                &SweepConfig::for_arch(&s.arch),
+                &s.profile,
+            )
+        });
     });
 
     c.bench_function("concorde_inference_random_archs", |b| {

@@ -29,5 +29,9 @@ fn main() {
     e::attribution::fig15(&ctx);
     e::attribution::fig16(&ctx);
     e::attribution::fig17(&ctx);
-    println!("\nrun_all complete in {:?}; artifacts in {}", t0.elapsed(), ctx.dir.display());
+    println!(
+        "\nrun_all complete in {:?}; artifacts in {}",
+        t0.elapsed(),
+        ctx.dir.display()
+    );
 }

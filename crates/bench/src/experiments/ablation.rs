@@ -27,7 +27,9 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
         let results: Vec<parking_lot::Mutex<Option<(f64, f64)>>> =
             (0..nsub).map(|_| parking_lot::Mutex::new(None)).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -46,12 +48,16 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
                         warm_len + profile.region_len,
                     );
                     let (w, r) = full.instrs.split_at(warm_len);
-                    let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&smp.arch), &profile);
+                    let store =
+                        FeatureStore::precompute(w, r, &SweepConfig::for_arch(&smp.arch), &profile);
                     *results[i].lock() = Some((store.min_bound_cpi(&smp.arch), smp.cpi));
                 });
             }
         });
-        results.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
     };
     let min_stats = ErrorStats::from_pairs(&min_pairs);
     rows.push(vec![
@@ -59,7 +65,10 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
         format!("{:.1}%", min_stats.mean * 100.0),
         format!("{:.1}%", min_stats.frac_above_10pct * 100.0),
     ]);
-    out.insert("min_bound".into(), json!({ "mean": min_stats.mean, "frac_above_10pct": min_stats.frac_above_10pct }));
+    out.insert(
+        "min_bound".into(),
+        json!({ "mean": min_stats.mean, "frac_above_10pct": min_stats.frac_above_10pct }),
+    );
 
     for (label, variant) in [
         ("base (throughput dists + BP rate)", FeatureVariant::Base),
@@ -70,7 +79,10 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
             let pairs = predict_all(&data.model, &data.test, &ctx.profile);
             ErrorStats::from_pairs(&pairs)
         } else {
-            let opts = TrainOptions { variant, ..TrainOptions::default() };
+            let opts = TrainOptions {
+                variant,
+                ..TrainOptions::default()
+            };
             let (_, stats) = train_and_evaluate(&data.train, &data.test, &ctx.profile, &opts);
             stats
         };
@@ -79,7 +91,10 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
             format!("{:.2}%", stats.mean * 100.0),
             format!("{:.2}%", stats.frac_above_10pct * 100.0),
         ]);
-        out.insert(label.into(), json!({ "mean": stats.mean, "frac_above_10pct": stats.frac_above_10pct }));
+        out.insert(
+            label.into(),
+            json!({ "mean": stats.mean, "frac_above_10pct": stats.frac_above_10pct }),
+        );
     }
     print_table(&["Model", "Mean err", ">10% err"], &rows);
     println!("(paper ordering: 65% → 3.32% → 2.4% → 2.03%)");
@@ -92,9 +107,15 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
         ("256 / 128 (paper)", vec![256, 128]),
         ("512 / 256 / 128", vec![512, 256, 128]),
     ] {
-        let opts = TrainOptions { hidden: Some(hidden.clone()), ..TrainOptions::default() };
+        let opts = TrainOptions {
+            hidden: Some(hidden.clone()),
+            ..TrainOptions::default()
+        };
         let (_, stats) = train_and_evaluate(&data.train, &data.test, &ctx.profile, &opts);
-        size_rows.push(vec![name.to_string(), format!("{:.2}%", stats.mean * 100.0)]);
+        size_rows.push(vec![
+            name.to_string(),
+            format!("{:.2}%", stats.mean * 100.0),
+        ]);
         out.insert(format!("hidden {name}"), json!(stats.mean));
     }
     print_table(&["Hidden layers", "Mean err"], &size_rows);
@@ -116,7 +137,8 @@ pub fn fig13(ctx: &Ctx) -> serde_json::Value {
     for f in fracs {
         let k = ((n as f64 * f) as usize).max(16);
         let subset = &data.train[..k];
-        let (_, stats) = train_and_evaluate(subset, &data.test, &ctx.profile, &TrainOptions::default());
+        let (_, stats) =
+            train_and_evaluate(subset, &data.test, &ctx.profile, &TrainOptions::default());
         rows.push(vec![k.to_string(), format!("{:.2}%", stats.mean * 100.0)]);
         series.push(json!({ "train_samples": k, "mean": stats.mean }));
     }
@@ -139,12 +161,23 @@ pub fn fig14(ctx: &Ctx) -> serde_json::Value {
     let mut out = Vec::new();
     for id in focus {
         let w = suite.iter().position(|s| s.id == id).unwrap() as u16;
-        let train: Vec<Sample> = data.train.iter().filter(|s| s.workload != w).cloned().collect();
-        let test: Vec<Sample> = data.test.iter().filter(|s| s.workload == w).cloned().collect();
+        let train: Vec<Sample> = data
+            .train
+            .iter()
+            .filter(|s| s.workload != w)
+            .cloned()
+            .collect();
+        let test: Vec<Sample> = data
+            .test
+            .iter()
+            .filter(|s| s.workload == w)
+            .cloned()
+            .collect();
         if test.is_empty() {
             continue;
         }
-        let (model, stats) = train_and_evaluate(&train, &test, &ctx.profile, &TrainOptions::default());
+        let (model, stats) =
+            train_and_evaluate(&train, &test, &ctx.profile, &TrainOptions::default());
         drop(model);
         // In-distribution reference from the main model.
         let pairs = predict_all(&data.model, &test, &ctx.profile);
@@ -157,15 +190,33 @@ pub fn fig14(ctx: &Ctx) -> serde_json::Value {
         ]);
         out.push(json!({ "program": id, "ood_mean": stats.mean, "indist_mean": indist.mean, "n": test.len() }));
     }
-    print_table(&["Held-out program", "OOD err", "In-dist err", "n test"], &rows);
+    print_table(
+        &["Held-out program", "OOD err", "In-dist err", "n test"],
+        &rows,
+    );
     println!("(paper: OOD errors rise — most <10%, synthetic microbenchmarks worst)");
 
     // Onboarding: add k samples of the held-out program back.
     println!("\n-- onboarding curve (held-out program: O3) --");
     let w = suite.iter().position(|s| s.id == "O3").unwrap() as u16;
-    let others: Vec<Sample> = data.train.iter().filter(|s| s.workload != w).cloned().collect();
-    let own: Vec<Sample> = data.train.iter().filter(|s| s.workload == w).cloned().collect();
-    let test: Vec<Sample> = data.test.iter().filter(|s| s.workload == w).cloned().collect();
+    let others: Vec<Sample> = data
+        .train
+        .iter()
+        .filter(|s| s.workload != w)
+        .cloned()
+        .collect();
+    let own: Vec<Sample> = data
+        .train
+        .iter()
+        .filter(|s| s.workload == w)
+        .cloned()
+        .collect();
+    let test: Vec<Sample> = data
+        .test
+        .iter()
+        .filter(|s| s.workload == w)
+        .cloned()
+        .collect();
     let mut curve = Vec::new();
     let mut curve_rows = Vec::new();
     if !test.is_empty() {
@@ -175,7 +226,8 @@ pub fn fig14(ctx: &Ctx) -> serde_json::Value {
         for k in levels {
             let mut train = others.clone();
             train.extend(own.iter().take(k).cloned());
-            let (_, stats) = train_and_evaluate(&train, &test, &ctx.profile, &TrainOptions::default());
+            let (_, stats) =
+                train_and_evaluate(&train, &test, &ctx.profile, &TrainOptions::default());
             curve_rows.push(vec![k.to_string(), format!("{:.2}%", stats.mean * 100.0)]);
             curve.push(json!({ "onboard_samples": k, "mean": stats.mean }));
         }

@@ -14,7 +14,12 @@ pub fn fig04(ctx: &Ctx) -> serde_json::Value {
     let suite = concorde_trace::suite();
     let rows: Vec<Vec<String>> = report
         .iter()
-        .map(|(w, frac)| vec![suite[*w as usize].id.clone(), format!("{:.1}%", frac * 100.0)])
+        .map(|(w, frac)| {
+            vec![
+                suite[*w as usize].id.clone(),
+                format!("{:.1}%", frac * 100.0),
+            ]
+        })
         .collect();
     print_table(&["Program", "Avg overlap"], &rows);
     let avg = report.iter().map(|(_, f)| f).sum::<f64>() / report.len().max(1) as f64;
@@ -43,7 +48,12 @@ pub fn fig05(ctx: &Ctx) -> serde_json::Value {
     let q = |f: f64| errs[((f * errs.len() as f64) as usize).min(errs.len() - 1)];
     let rows: Vec<Vec<String>> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]
         .iter()
-        .map(|p| vec![format!("P{:.0}", p * 100.0), format!("{:.2}%", q(*p) * 100.0)])
+        .map(|p| {
+            vec![
+                format!("P{:.0}", p * 100.0),
+                format!("{:.2}%", q(*p) * 100.0),
+            ]
+        })
         .collect();
     print_table(&["Percentile", "Relative error"], &rows);
     let j = json!({
@@ -74,7 +84,10 @@ pub fn fig06(ctx: &Ctx) -> serde_json::Value {
         .collect();
     print_table(&["Program", "Mean err", "P90 err", "n"], &rows);
     let worst = groups.iter().map(|g| g.mean).fold(0.0, f64::max);
-    println!("worst program mean: {:.2}% (paper caps at 4.2%)", worst * 100.0);
+    println!(
+        "worst program mean: {:.2}% (paper caps at 4.2%)",
+        worst * 100.0
+    );
     let j = serde_json::to_value(&groups).unwrap();
     ctx.write_report("fig06_per_program", &j);
     j
@@ -92,14 +105,32 @@ pub fn fig07(ctx: &Ctx) -> serde_json::Value {
     long_profile.region_len *= 4;
     long_profile.train_samples = (ctx.profile.train_samples / 3).max(60);
     long_profile.test_samples = (ctx.profile.test_samples / 3).max(20);
-    let train = generate_dataset(&DatasetConfig::random(long_profile.clone(), long_profile.train_samples, 41));
-    let test = generate_dataset(&DatasetConfig::random(long_profile.clone(), long_profile.test_samples, 42));
+    let train = generate_dataset(&DatasetConfig::random(
+        long_profile.clone(),
+        long_profile.train_samples,
+        41,
+    ));
+    let test = generate_dataset(&DatasetConfig::random(
+        long_profile.clone(),
+        long_profile.test_samples,
+        42,
+    ));
     let (model, long) = train_and_evaluate(&train, &test, &long_profile, &TrainOptions::default());
     drop(model);
 
     let rows = vec![
-        vec![format!("{}k instr", ctx.profile.region_len / 1000), format!("{:.2}%", short.mean * 100.0), format!("{:.2}%", short.frac_above_10pct * 100.0), short.n.to_string()],
-        vec![format!("{}k instr", long_profile.region_len / 1000), format!("{:.2}%", long.mean * 100.0), format!("{:.2}%", long.frac_above_10pct * 100.0), long.n.to_string()],
+        vec![
+            format!("{}k instr", ctx.profile.region_len / 1000),
+            format!("{:.2}%", short.mean * 100.0),
+            format!("{:.2}%", short.frac_above_10pct * 100.0),
+            short.n.to_string(),
+        ],
+        vec![
+            format!("{}k instr", long_profile.region_len / 1000),
+            format!("{:.2}%", long.mean * 100.0),
+            format!("{:.2}%", long.frac_above_10pct * 100.0),
+            long.n.to_string(),
+        ],
     ];
     print_table(&["Region length", "Mean err", ">10% err", "n"], &rows);
     println!("(paper: 100k → 2.03% mean, 1M → 1.75%; note the longer-region model here trains on fewer samples)");
@@ -116,15 +147,37 @@ pub fn fig11(ctx: &Ctx) -> serde_json::Value {
     println!("\n== Figure 11: trace-analysis execution-time discrepancy ==");
     let data = ctx.main_data();
     let pairs = predict_all(&data.model, &data.test, &ctx.profile);
-    let groups = bucketed(&data.test, &pairs, &[1.1, 1.5], |s| s.exec_ratio, "exec ratio");
+    let groups = bucketed(
+        &data.test,
+        &pairs,
+        &[1.1, 1.5],
+        |s| s.exec_ratio,
+        "exec ratio",
+    );
     let rows: Vec<Vec<String>> = groups
         .iter()
-        .map(|g| vec![g.label.clone(), format!("{:.2}%", g.mean * 100.0), format!("{:.2}%", g.frac_above_10pct * 100.0), g.n.to_string()])
+        .map(|g| {
+            vec![
+                g.label.clone(),
+                format!("{:.2}%", g.mean * 100.0),
+                format!("{:.2}%", g.frac_above_10pct * 100.0),
+                g.n.to_string(),
+            ]
+        })
         .collect();
-    print_table(&["Exec-time ratio bucket", "Mean err", ">10% err", "n"], &rows);
-    println!("(paper: errors grow with the ratio but stay single-digit — ratio>1.5 bucket at 4.53%)");
-    let frac_high = data.test.iter().filter(|s| s.exec_ratio > 1.5).count() as f64 / data.test.len() as f64;
-    println!("fraction of regions with ratio > 1.5: {:.1}% (paper: ~10%)", frac_high * 100.0);
+    print_table(
+        &["Exec-time ratio bucket", "Mean err", ">10% err", "n"],
+        &rows,
+    );
+    println!(
+        "(paper: errors grow with the ratio but stay single-digit — ratio>1.5 bucket at 4.53%)"
+    );
+    let frac_high =
+        data.test.iter().filter(|s| s.exec_ratio > 1.5).count() as f64 / data.test.len() as f64;
+    println!(
+        "fraction of regions with ratio > 1.5: {:.1}% (paper: ~10%)",
+        frac_high * 100.0
+    );
     let j = serde_json::to_value(&groups).unwrap();
     ctx.write_report("fig11_exec_discrepancy", &j);
     j
@@ -138,12 +191,28 @@ pub fn tab04(ctx: &Ctx) -> serde_json::Value {
     // Scale the paper's 100k-region bucket edges to our region length.
     let scale = ctx.profile.region_len as f64 / 100_000.0;
     let edges = [1000.0 * scale, 5000.0 * scale];
-    let groups = bucketed(&data.test, &pairs, &edges, |s| s.branch_mispredictions as f64, "mispredictions");
+    let groups = bucketed(
+        &data.test,
+        &pairs,
+        &edges,
+        |s| s.branch_mispredictions as f64,
+        "mispredictions",
+    );
     let rows: Vec<Vec<String>> = groups
         .iter()
-        .map(|g| vec![g.label.clone(), format!("{:.2}%", g.mean * 100.0), format!("{:.2}%", g.frac_above_10pct * 100.0), g.n.to_string()])
+        .map(|g| {
+            vec![
+                g.label.clone(),
+                format!("{:.2}%", g.mean * 100.0),
+                format!("{:.2}%", g.frac_above_10pct * 100.0),
+                g.n.to_string(),
+            ]
+        })
         .collect();
-    print_table(&["Branch mispredictions", "Mean err", ">10% err", "n"], &rows);
+    print_table(
+        &["Branch mispredictions", "Mean err", ">10% err", "n"],
+        &rows,
+    );
     println!("(paper: error *decreases* with more mispredictions: 2.16 → 2.12 → 1.82%)");
     let j = serde_json::to_value(&groups).unwrap();
     ctx.write_report("tab04_branch", &j);
@@ -157,8 +226,14 @@ pub fn tab_other_metrics(ctx: &Ctx) -> serde_json::Value {
     let mut rows = Vec::new();
     let mut out = serde_json::Map::new();
     for (name, get) in [
-        ("ROB occupancy %", Box::new(|s: &Sample| s.rob_occupancy) as Box<dyn Fn(&Sample) -> f64>),
-        ("Rename-queue occupancy %", Box::new(|s: &Sample| s.rename_occupancy)),
+        (
+            "ROB occupancy %",
+            Box::new(|s: &Sample| s.rob_occupancy) as Box<dyn Fn(&Sample) -> f64>,
+        ),
+        (
+            "Rename-queue occupancy %",
+            Box::new(|s: &Sample| s.rename_occupancy),
+        ),
     ] {
         // Labels must be positive for the relative loss; occupancies below 1%
         // are floored (relative error on near-zero occupancy is meaningless).
@@ -168,8 +243,15 @@ pub fn tab_other_metrics(ctx: &Ctx) -> serde_json::Value {
         let model = train_model_with_labels(&data.train, &train_labels, &ctx.profile, &opts);
         let pairs = predict_all_with_labels(&model, &data.test, &test_labels, &ctx.profile);
         let stats = ErrorStats::from_pairs(&pairs);
-        rows.push(vec![name.to_string(), format!("{:.2}%", stats.mean * 100.0), format!("{:.2}%", stats.p90 * 100.0)]);
-        out.insert(name.to_string(), json!({ "mean": stats.mean, "p90": stats.p90 }));
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}%", stats.mean * 100.0),
+            format!("{:.2}%", stats.p90 * 100.0),
+        ]);
+        out.insert(
+            name.to_string(),
+            json!({ "mean": stats.mean, "p90": stats.p90 }),
+        );
     }
     print_table(&["Metric", "Mean rel err", "P90"], &rows);
     println!("(paper: rename-queue 2.50%, ROB occupancy 2.23%)");

@@ -1,6 +1,8 @@
 //! Figures 15–17: Shapley-value performance attribution (paper §6).
 
-use concorde_attribution::{ablation_deltas, cache_vs_lq_groups, default_groups, shapley_exact, shapley_mc};
+use concorde_attribution::{
+    ablation_deltas, cache_vs_lq_groups, default_groups, shapley_exact, shapley_mc,
+};
 use concorde_core::prelude::*;
 use concorde_cyclesim::MicroArch;
 use rand::SeedableRng;
@@ -14,7 +16,8 @@ fn region_store(ctx: &Ctx, id: &str, trace: u32, start: u64, sweep: &SweepConfig
     let spec = concorde_trace::by_id(id).unwrap();
     let warm_start = start.saturating_sub(profile.warmup_len as u64);
     let warm_len = (start - warm_start) as usize;
-    let full = concorde_trace::generate_region(&spec, trace, warm_start, warm_len + profile.region_len);
+    let full =
+        concorde_trace::generate_region(&spec, trace, warm_start, warm_len + profile.region_len);
     let (w, r) = full.instrs.split_at(warm_len);
     FeatureStore::precompute(w, r, sweep, profile)
 }
@@ -33,7 +36,13 @@ pub fn fig15(ctx: &Ctx) -> serde_json::Value {
     target.lq_size = 12;
     let groups = cache_vs_lq_groups();
 
-    let store = region_store(ctx, "P9", 0, 3 * ctx.profile.region_len as u64, &SweepConfig::for_pair(&base, &target));
+    let store = region_store(
+        ctx,
+        "P9",
+        0,
+        3 * ctx.profile.region_len as u64,
+        &SweepConfig::for_pair(&base, &target),
+    );
     let f = |a: &MicroArch| model.predict(&store, a);
 
     let cache_first = ablation_deltas(f, &base, &target, &groups, &[0, 1]);
@@ -43,9 +52,21 @@ pub fn fig15(ctx: &Ctx) -> serde_json::Value {
     let pct = |v: f64, b: f64| format!("{:+.0}%", v / b * 100.0);
     let b = shapley.base_value;
     let rows = vec![
-        vec!["Cache -> LQ".into(), pct(cache_first.values[0], b), pct(cache_first.values[1], b)],
-        vec!["LQ -> Cache".into(), pct(lq_first.values[0], b), pct(lq_first.values[1], b)],
-        vec!["Shapley".into(), pct(shapley.values[0], b), pct(shapley.values[1], b)],
+        vec![
+            "Cache -> LQ".into(),
+            pct(cache_first.values[0], b),
+            pct(cache_first.values[1], b),
+        ],
+        vec![
+            "LQ -> Cache".into(),
+            pct(lq_first.values[0], b),
+            pct(lq_first.values[1], b),
+        ],
+        vec![
+            "Shapley".into(),
+            pct(shapley.values[0], b),
+            pct(shapley.values[1], b),
+        ],
     ];
     print_table(&["Attribution", "Caches", "Load queue"], &rows);
     println!(
@@ -81,10 +102,14 @@ pub fn fig16(ctx: &Ctx) -> serde_json::Value {
     };
 
     let total_evals = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<serde_json::Value>>> =
-        suite.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<serde_json::Value>>> = suite
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let t0 = std::time::Instant::now();
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -100,8 +125,12 @@ pub fn fig16(ctx: &Ctx) -> serde_json::Value {
                 let mut rng = ChaCha12Rng::seed_from_u64(0xF16 ^ wi as u64);
                 for rgn in 0..regions_per_wl {
                     let start = (rgn as u64 * 7 + 1) * concorde_trace::SEGMENT_LEN * 4
-                        % spec.trace_len.saturating_sub(ctx.profile.region_len as u64).max(1);
-                    let store = region_store(ctx, &spec.id, rgn as u32 % spec.n_traces, start, &sweep);
+                        % spec
+                            .trace_len
+                            .saturating_sub(ctx.profile.region_len as u64)
+                            .max(1);
+                    let store =
+                        region_store(ctx, &spec.id, rgn as u32 % spec.n_traces, start, &sweep);
                     let f = |a: &MicroArch| model.predict(&store, a);
                     let attr = shapley_mc(f, &base, &target, &groups, perms, &mut rng);
                     for (acc, v) in sum.iter_mut().zip(&attr.values) {
@@ -123,12 +152,20 @@ pub fn fig16(ctx: &Ctx) -> serde_json::Value {
         }
     });
     let elapsed = t0.elapsed();
-    let per_program: Vec<serde_json::Value> = results.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let per_program: Vec<serde_json::Value> = results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
 
     // Print: per program, baseline→target CPI and the top-3 bottlenecks.
     let mut rows = Vec::new();
     for r in &per_program {
-        let vals: Vec<f64> = r["attribution"].as_array().unwrap().iter().map(|v| v.as_f64().unwrap()).collect();
+        let vals: Vec<f64> = r["attribution"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect();
         let mut idx: Vec<usize> = (0..vals.len()).collect();
         idx.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
         let top: Vec<String> = idx
@@ -144,7 +181,15 @@ pub fn fig16(ctx: &Ctx) -> serde_json::Value {
             top.join(", "),
         ]);
     }
-    print_table(&["Program", "Base CPI", "N1 CPI", "Top bottlenecks (Shapley ΔCPI)"], &rows);
+    print_table(
+        &[
+            "Program",
+            "Base CPI",
+            "N1 CPI",
+            "Top bottlenecks (Shapley ΔCPI)",
+        ],
+        &rows,
+    );
     let evals = total_evals.load(std::sync::atomic::Ordering::Relaxed);
     println!(
         "{} CPI evaluations across {} programs x {regions_per_wl} regions x {perms} permutations in {elapsed:?} \
@@ -178,12 +223,19 @@ pub fn fig17(ctx: &Ctx) -> serde_json::Value {
         crate::Scale::Default => 48,
         crate::Scale::Full => 200,
     };
-    let perms = if ctx.scale == crate::Scale::Quick { 8 } else { 30 };
+    let perms = if ctx.scale == crate::Scale::Quick {
+        8
+    } else {
+        30
+    };
 
-    let results: Vec<parking_lot::Mutex<Option<(f64, f64)>>> =
-        (0..n_regions).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<parking_lot::Mutex<Option<(f64, f64)>>> = (0..n_regions)
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -193,8 +245,17 @@ pub fn fig17(ctx: &Ctx) -> serde_json::Value {
                 }
                 // Stride regions across the trace so phases alternate.
                 let start = (i as u64 * 5 + 1) * concorde_trace::SEGMENT_LEN * 2
-                    % spec.trace_len.saturating_sub(ctx.profile.region_len as u64).max(1);
-                let store = region_store(ctx, "P9", (i % spec.n_traces as usize) as u32, start, &sweep);
+                    % spec
+                        .trace_len
+                        .saturating_sub(ctx.profile.region_len as u64)
+                        .max(1);
+                let store = region_store(
+                    ctx,
+                    "P9",
+                    (i % spec.n_traces as usize) as u32,
+                    start,
+                    &sweep,
+                );
                 let f = |a: &MicroArch| model.predict(&store, a);
                 let mut rng = ChaCha12Rng::seed_from_u64(0xF17 ^ i as u64);
                 let attr = shapley_mc(f, &base, &target, &groups, perms, &mut rng);
@@ -203,12 +264,18 @@ pub fn fig17(ctx: &Ctx) -> serde_json::Value {
             });
         }
     });
-    let mut per_region: Vec<(f64, f64)> = results.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let mut per_region: Vec<(f64, f64)> = results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
     per_region.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
 
     let cache_vals: Vec<f64> = per_region.iter().map(|(c, _)| *c).collect();
     let mean = cache_vals.iter().sum::<f64>() / cache_vals.len() as f64;
-    let hi_sens = cache_vals.iter().filter(|&&c| c > 2.0 * mean.max(0.01)).count();
+    let hi_sens = cache_vals
+        .iter()
+        .filter(|&&c| c > 2.0 * mean.max(0.01))
+        .count();
     println!(
         "cache-size attribution across {n_regions} regions: min {:+.3}, mean {:+.3}, max {:+.3} ΔCPI",
         cache_vals.first().unwrap(),

@@ -39,11 +39,14 @@ pub fn fig08(ctx: &Ctx) -> serde_json::Value {
 
     // Baseline: featurize sequences (O(L)) and train the LSTM.
     eprintln!("[fig08] featurizing + training baseline …");
+    #[allow(clippy::type_complexity)]
     let featurize_set = |set: &[Sample]| -> Vec<(Vec<f32>, f64)> {
         let results: Vec<parking_lot::Mutex<Option<(Vec<f32>, f64)>>> =
             set.iter().map(|_| parking_lot::Mutex::new(None)).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| loop {
@@ -66,11 +69,21 @@ pub fn fig08(ctx: &Ctx) -> serde_json::Value {
                 });
             }
         });
-        results.into_iter().map(|m| m.into_inner().unwrap()).collect()
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
     };
     let train_seqs = featurize_set(&train);
     let test_seqs = featurize_set(&test);
-    let bl_cfg = BaselineConfig { epochs: if ctx.scale == crate::Scale::Quick { 10 } else { 60 }, ..BaselineConfig::default() };
+    let bl_cfg = BaselineConfig {
+        epochs: if ctx.scale == crate::Scale::Quick {
+            10
+        } else {
+            60
+        },
+        ..BaselineConfig::default()
+    };
     let baseline = train_baseline(&train_seqs, &bl_cfg);
 
     // Concorde: the main random-arch model, evaluated at the fixed N1 design
@@ -81,13 +94,20 @@ pub fn fig08(ctx: &Ctx) -> serde_json::Value {
     let concorde_pairs = predict_all(concorde, &test, profile);
     let specialized = train_model(&train, profile, &TrainOptions::default());
     let specialized_pairs = predict_all(&specialized, &test, profile);
-    let baseline_pairs: Vec<(f64, f64)> =
-        test_seqs.iter().map(|(seq, cpi)| (baseline.predict(seq), *cpi)).collect();
+    let baseline_pairs: Vec<(f64, f64)> = test_seqs
+        .iter()
+        .map(|(seq, cpi)| (baseline.predict(seq), *cpi))
+        .collect();
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for &w in &spec_ids {
-        let idx: Vec<usize> = test.iter().enumerate().filter(|(_, s)| s.workload == w).map(|(i, _)| i).collect();
+        let idx: Vec<usize> = test
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.workload == w)
+            .map(|(i, _)| i)
+            .collect();
         if idx.is_empty() {
             continue;
         }
@@ -112,7 +132,16 @@ pub fn fig08(ctx: &Ctx) -> serde_json::Value {
             "n": idx.len(),
         }));
     }
-    print_table(&["Program", "Concorde (random-arch)", "Concorde (N1)", "Baseline err", "n"], &rows);
+    print_table(
+        &[
+            "Program",
+            "Concorde (random-arch)",
+            "Concorde (N1)",
+            "Baseline err",
+            "n",
+        ],
+        &rows,
+    );
     let call = ErrorStats::from_pairs(&concorde_pairs);
     let sall = ErrorStats::from_pairs(&specialized_pairs);
     let ball = ErrorStats::from_pairs(&baseline_pairs);

@@ -17,14 +17,28 @@ pub fn fig01(ctx: &Ctx) -> serde_json::Value {
 
     for id in ["P9", "S4"] {
         let spec = concorde_trace::by_id(id).unwrap();
-        let full = concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+        let full =
+            concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
         let (w, r) = full.instrs.split_at(profile.warmup_len);
 
-        let sim = simulate_warmed(w, r, &arch, SimOptions { record_commit_cycles: true, seed: 0 });
+        let sim = simulate_warmed(
+            w,
+            r,
+            &arch,
+            SimOptions {
+                record_commit_cycles: true,
+                seed: 0,
+            },
+        );
         let ipc = sim.window_ipc(profile.window_k);
         let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), profile);
 
-        let resources = [Resource::Rob, Resource::LoadQueue, Resource::IcacheFills, Resource::FetchBuffers];
+        let resources = [
+            Resource::Rob,
+            Resource::LoadQueue,
+            Resource::IcacheFills,
+            Resource::FetchBuffers,
+        ];
         println!("\n-- {id} ({}) --", spec.name);
         let windows = ipc.len().min(12);
         let mut rows = Vec::new();
@@ -32,11 +46,25 @@ pub fn fig01(ctx: &Ctx) -> serde_json::Value {
             let mut row = vec![j.to_string(), format!("{:.2}", ipc[j])];
             for res in resources {
                 let s = store.raw_series(res, &arch);
-                row.push(if j < s.len() { format!("{:.2}", s[j].min(99.0)) } else { "-".into() });
+                row.push(if j < s.len() {
+                    format!("{:.2}", s[j].min(99.0))
+                } else {
+                    "-".into()
+                });
             }
             rows.push(row);
         }
-        print_table(&["win", "IPC (sim)", "ROB", "LQ", "icache fills", "fetch bufs"], &rows);
+        print_table(
+            &[
+                "win",
+                "IPC (sim)",
+                "ROB",
+                "LQ",
+                "icache fills",
+                "fetch bufs",
+            ],
+            &rows,
+        );
 
         // Correlation check: the min of the bounds should track IPC.
         let n = ipc.len();

@@ -22,14 +22,30 @@ pub fn fig09(ctx: &Ctx) -> serde_json::Value {
     } else {
         vec!["P12", "P9", "P2", "P11", "O4", "P7", "S5", "O2", "S7", "S6"]
     };
-    let program_len = if ctx.scale == crate::Scale::Quick { 200_000 } else { 1_500_000 };
-    let sample_counts = if ctx.scale == crate::Scale::Quick { vec![3, 10] } else { vec![10, 30, 100] };
+    let program_len = if ctx.scale == crate::Scale::Quick {
+        200_000
+    } else {
+        1_500_000
+    };
+    let sample_counts = if ctx.scale == crate::Scale::Quick {
+        vec![3, 10]
+    } else {
+        vec![10, 30, 100]
+    };
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
     for id in &ids {
         let spec = suite.iter().find(|w| w.id == *id).unwrap();
-        let res = long_program_experiment(spec, &arch, model, &ctx.profile, program_len, &sample_counts, 0xF19);
+        let res = long_program_experiment(
+            spec,
+            &arch,
+            model,
+            &ctx.profile,
+            program_len,
+            &sample_counts,
+            0xF19,
+        );
         let mut cells = vec![id.to_string(), format!("{:.3}", res.true_cpi)];
         for (_, est, err) in &res.estimates {
             cells.push(format!("{est:.3} ({:.1}%)", err * 100.0));
@@ -46,10 +62,18 @@ pub fn fig09(ctx: &Ctx) -> serde_json::Value {
     println!("(paper: with 100 samples every program is below 5% error, average 3.5%)");
     let avg_err_last: f64 = out
         .iter()
-        .map(|r| r["estimates"].as_array().unwrap().last().unwrap()[2].as_f64().unwrap())
+        .map(|r| {
+            r["estimates"].as_array().unwrap().last().unwrap()[2]
+                .as_f64()
+                .unwrap()
+        })
         .sum::<f64>()
         / out.len() as f64;
-    println!("average error at {} samples: {:.2}%", sample_counts.last().unwrap(), avg_err_last * 100.0);
+    println!(
+        "average error at {} samples: {:.2}%",
+        sample_counts.last().unwrap(),
+        avg_err_last * 100.0
+    );
     let j = json!({ "programs": out, "avg_err_at_max_samples": avg_err_last });
     ctx.write_report("fig09_long_programs", &j);
     j
@@ -65,7 +89,8 @@ pub fn fig10(ctx: &Ctx) -> serde_json::Value {
     let spec = concorde_trace::by_id("S5").unwrap();
 
     // Materialize one region + store.
-    let full = concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let full =
+        concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
     let (w, r) = full.instrs.split_at(profile.warmup_len);
     let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), profile);
 
@@ -86,7 +111,11 @@ pub fn fig10(ctx: &Ctx) -> serde_json::Value {
     let t_sim_region = t1.elapsed().as_secs_f64();
 
     // (c) Cycle-level simulation of a long program (shows O(L) scaling).
-    let long_len = if ctx.scale == crate::Scale::Quick { 100_000 } else { 1_000_000 };
+    let long_len = if ctx.scale == crate::Scale::Quick {
+        100_000
+    } else {
+        1_000_000
+    };
     let long = concorde_trace::generate_region(&spec, 0, 0, long_len);
     let t2 = Instant::now();
     let sim_long = simulate_warmed(&[], &long.instrs, &arch, SimOptions::default());
@@ -109,11 +138,26 @@ pub fn fig10(ctx: &Ctx) -> serde_json::Value {
     let speedup_region = t_sim_region / t_inference;
     let speedup_long = t_sim_long / t_concorde_100;
     let rows = vec![
-        vec!["Concorde inference (1 region)".into(), format!("{:.1} µs", t_inference * 1e6)],
-        vec![format!("cycle-level sim ({}k region)", profile.region_len / 1000), format!("{:.1} ms", t_sim_region * 1e3)],
-        vec![format!("cycle-level sim ({}k program)", long_len / 1000), format!("{:.1} ms", t_sim_long * 1e3)],
-        vec!["Concorde 100-sample estimate".into(), format!("{:.2} ms", t_concorde_100 * 1e3)],
-        vec!["one-time preprocessing (1 arch)".into(), format!("{:.1} ms", t_preproc * 1e3)],
+        vec![
+            "Concorde inference (1 region)".into(),
+            format!("{:.1} µs", t_inference * 1e6),
+        ],
+        vec![
+            format!("cycle-level sim ({}k region)", profile.region_len / 1000),
+            format!("{:.1} ms", t_sim_region * 1e3),
+        ],
+        vec![
+            format!("cycle-level sim ({}k program)", long_len / 1000),
+            format!("{:.1} ms", t_sim_long * 1e3),
+        ],
+        vec![
+            "Concorde 100-sample estimate".into(),
+            format!("{:.2} ms", t_concorde_100 * 1e3),
+        ],
+        vec![
+            "one-time preprocessing (1 arch)".into(),
+            format!("{:.1} ms", t_preproc * 1e3),
+        ],
     ];
     print_table(&["Stage", "Time"], &rows);
     println!(

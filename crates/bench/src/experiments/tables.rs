@@ -68,8 +68,14 @@ pub fn tab02(ctx: &Ctx) -> serde_json::Value {
         })
         .collect();
     print_table(&["Class", "Id", "Name", "Traces", "Instr (M)"], &rows);
-    let total: f64 = suite().iter().map(|w| w.n_traces as f64 * w.trace_len as f64).sum();
-    println!("total virtual instructions: {:.1}M across 29 programs", total / 1e6);
+    let total: f64 = suite()
+        .iter()
+        .map(|w| w.n_traces as f64 * w.trace_len as f64)
+        .sum();
+    println!(
+        "total virtual instructions: {:.1}M across 29 programs",
+        total / 1e6
+    );
     let report = json!({ "programs": suite().len(), "total_instructions": total });
     ctx.write_report("tab02_workloads", &report);
     report
@@ -79,13 +85,20 @@ pub fn tab02(ctx: &Ctx) -> serde_json::Value {
 pub fn tab03(ctx: &Ctx) -> serde_json::Value {
     println!("\n== Table 3: ML input layout ==");
     let mut rows = Vec::new();
-    for (name, enc) in [("paper (101-dim)", Encoding::paper()), ("default (33-dim)", ctx.profile.encoding)] {
+    for (name, enc) in [
+        ("paper (101-dim)", Encoding::paper()),
+        ("default (33-dim)", ctx.profile.encoding),
+    ] {
         let e = enc.dim();
         let primary = 11 * e;
         let stalls = 4 * e + 1 + 11;
         let latency = 23 * e;
         let params = 23;
-        let full = FeatureLayout { encoding: enc, variant: FeatureVariant::Full }.dim();
+        let full = FeatureLayout {
+            encoding: enc,
+            variant: FeatureVariant::Full,
+        }
+        .dim();
         rows.push(vec![
             name.to_string(),
             format!("11x{e}={primary}"),
@@ -95,8 +108,25 @@ pub fn tab03(ctx: &Ctx) -> serde_json::Value {
             full.to_string(),
         ]);
     }
-    print_table(&["Encoding", "Per-resource", "Pipeline stalls", "Latency dists", "Params", "Total"], &rows);
-    println!("paper total must be 3873: {}", FeatureLayout { encoding: Encoding::paper(), variant: FeatureVariant::Full }.dim());
+    print_table(
+        &[
+            "Encoding",
+            "Per-resource",
+            "Pipeline stalls",
+            "Latency dists",
+            "Params",
+            "Total",
+        ],
+        &rows,
+    );
+    println!(
+        "paper total must be 3873: {}",
+        FeatureLayout {
+            encoding: Encoding::paper(),
+            variant: FeatureVariant::Full
+        }
+        .dim()
+    );
     let report = json!({
         "paper_total": FeatureLayout { encoding: Encoding::paper(), variant: FeatureVariant::Full }.dim(),
         "default_total": FeatureLayout { encoding: ctx.profile.encoding, variant: FeatureVariant::Full }.dim(),
@@ -130,9 +160,21 @@ pub fn tab_preproc(ctx: &Ctx) -> serde_json::Value {
     let t_sim = t2.elapsed();
 
     let rows = vec![
-        vec!["single-arch precompute".into(), format!("{t_single:?}"), format!("{} B", s_single.encoded_bytes())],
-        vec!["quantized-space precompute".into(), format!("{t_quant:?}"), format!("{} B", s_quant.encoded_bytes())],
-        vec!["one cycle-level simulation".into(), format!("{t_sim:?}"), format!("CPI {:.3}", sim.cpi())],
+        vec![
+            "single-arch precompute".into(),
+            format!("{t_single:?}"),
+            format!("{} B", s_single.encoded_bytes()),
+        ],
+        vec![
+            "quantized-space precompute".into(),
+            format!("{t_quant:?}"),
+            format!("{} B", s_quant.encoded_bytes()),
+        ],
+        vec![
+            "one cycle-level simulation".into(),
+            format!("{t_sim:?}"),
+            format!("CPI {:.3}", sim.cpi()),
+        ],
     ];
     print_table(&["Stage", "Time", "Size / note"], &rows);
     let ratio = t_quant.as_secs_f64() / t_sim.as_secs_f64().max(1e-9);

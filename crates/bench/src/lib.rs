@@ -95,7 +95,12 @@ impl Ctx {
         let profile = scale.profile();
         let dir = artifacts_dir();
         std::fs::create_dir_all(&dir).expect("create artifacts dir");
-        Ctx { scale, profile, dir, main: OnceLock::new() }
+        Ctx {
+            scale,
+            profile,
+            dir,
+            main: OnceLock::new(),
+        }
     }
 
     fn cache_tag(&self) -> String {
@@ -129,14 +134,26 @@ impl Ctx {
             }
             eprintln!("[ctx] generating dataset ({tag}) …");
             let t0 = std::time::Instant::now();
-            let train =
-                generate_dataset(&DatasetConfig::random(self.profile.clone(), self.profile.train_samples, 1));
-            let test =
-                generate_dataset(&DatasetConfig::random(self.profile.clone(), self.profile.test_samples, 2));
+            let train = generate_dataset(&DatasetConfig::random(
+                self.profile.clone(),
+                self.profile.train_samples,
+                1,
+            ));
+            let test = generate_dataset(&DatasetConfig::random(
+                self.profile.clone(),
+                self.profile.test_samples,
+                2,
+            ));
             eprintln!("[ctx] dataset generated in {:?}; training …", t0.elapsed());
             let t1 = std::time::Instant::now();
-            let model =
-                train_model(&train, &self.profile, &TrainOptions { verbose: true, ..TrainOptions::default() });
+            let model = train_model(
+                &train,
+                &self.profile,
+                &TrainOptions {
+                    verbose: true,
+                    ..TrainOptions::default()
+                },
+            );
             eprintln!("[ctx] trained in {:?}", t1.elapsed());
             save_json(&train_p, &train);
             save_json(&test_p, &test);

@@ -20,7 +20,10 @@ impl Default for TargetPredictor {
 impl TargetPredictor {
     /// Creates a table with `2^bits` entries.
     pub fn new(bits: usize) -> Self {
-        TargetPredictor { entries: vec![None; 1 << bits], bits }
+        TargetPredictor {
+            entries: vec![None; 1 << bits],
+            bits,
+        }
     }
 
     fn idx(&self, pc: u64) -> usize {

@@ -26,8 +26,15 @@ impl SimplePredictor {
     ///
     /// Panics if `pct > 100`.
     pub fn new(pct: u8, seed: u64) -> Self {
-        assert!(pct <= 100, "misprediction percentage must be 0..=100, got {pct}");
-        SimplePredictor { rate: f64::from(pct) / 100.0, rng: ChaCha12Rng::seed_from_u64(seed), next_outcome: false }
+        assert!(
+            pct <= 100,
+            "misprediction percentage must be 0..=100, got {pct}"
+        );
+        SimplePredictor {
+            rate: f64::from(pct) / 100.0,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            next_outcome: false,
+        }
     }
 
     /// Supplies the actual outcome the next `predict` call will (mis)predict.

@@ -80,7 +80,11 @@ impl Tage {
     /// Folds the low `hist_len` bits of history into `out_bits` bits.
     fn fold(hist: u128, hist_len: u32, out_bits: u32) -> u64 {
         let mut acc: u64 = 0;
-        let mask = if hist_len >= 128 { u128::MAX } else { (1u128 << hist_len) - 1 };
+        let mask = if hist_len >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << hist_len) - 1
+        };
         let mut h = hist & mask;
         while h != 0 {
             acc ^= (h as u64) & ((1 << out_bits) - 1);
@@ -97,7 +101,7 @@ impl Tage {
     fn tag(&self, t: usize, pc: u64) -> u16 {
         let f1 = Self::fold(self.ghist, HIST_LENS[t], TAG_BITS);
         let f2 = Self::fold(self.ghist, HIST_LENS[t], TAG_BITS - 1) << 1;
-        (((pc >> 2) as u64 ^ f1 ^ f2) & ((1 << TAG_BITS) - 1)) as u16
+        (((pc >> 2) ^ f1 ^ f2) & ((1 << TAG_BITS) - 1)) as u16
     }
 
     fn rand(&mut self) -> u32 {
@@ -159,7 +163,11 @@ impl ConditionalPredictor for Tage {
             // uses a use_alt_on_na counter — we use the simple weak-entry rule.
             let e = &self.tables[p][st.provider_idx];
             let weak = e.ctr == 0 || e.ctr == -1;
-            st.pred = if weak && e.useful == 0 { st.alt_pred } else { st.provider_pred };
+            st.pred = if weak && e.useful == 0 {
+                st.alt_pred
+            } else {
+                st.provider_pred
+            };
         }
         self.last = st;
         st.pred
@@ -211,12 +219,10 @@ impl ConditionalPredictor for Tage {
                     // (approximates TAGE's geometric allocation preference).
                     let mut chosen = None;
                     for (t, &is_free) in free.iter().enumerate().take(NUM_TABLES).skip(from) {
-                        if is_free {
-                            if chosen.is_none() || self.rand() & 1 == 0 {
-                                chosen = Some(t);
-                                if self.rand() & 1 == 0 {
-                                    break;
-                                }
+                        if is_free && (chosen.is_none() || self.rand() & 1 == 0) {
+                            chosen = Some(t);
+                            if self.rand() & 1 == 0 {
+                                break;
                             }
                         }
                     }
@@ -268,7 +274,10 @@ mod tests {
         let mut t = Tage::new();
         let outcomes = vec![true; 2000];
         let miss = run(&mut t, 0x4000, &outcomes);
-        assert!(miss < 20, "always-taken should be near perfect, missed {miss}");
+        assert!(
+            miss < 20,
+            "always-taken should be near perfect, missed {miss}"
+        );
     }
 
     #[test]
@@ -294,7 +303,10 @@ mod tests {
         let mut t = Tage::new();
         run(&mut t, 0x9000, &outcomes[..3000]);
         let miss = run(&mut t, 0x9000, &outcomes[3000..]);
-        assert!((miss as f64) / 3000.0 < 0.25, "TAGE missed {miss}/3000 on periodic pattern");
+        assert!(
+            (miss as f64) / 3000.0 < 0.25,
+            "TAGE missed {miss}/3000 on periodic pattern"
+        );
     }
 
     #[test]
@@ -304,7 +316,9 @@ mod tests {
         let mut x = 12345u64;
         let outcomes: Vec<bool> = (0..4000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 63) & 1 == 1
             })
             .collect();

@@ -10,7 +10,7 @@ use crate::tage::Tage;
 use crate::ConditionalPredictor;
 
 /// Which conditional predictor the core uses (paper Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum PredictorKind {
     /// Random mispredictor with the given percentage (0..=100).
     Simple {
@@ -18,13 +18,8 @@ pub enum PredictorKind {
         miss_pct: u8,
     },
     /// TAGE predictor.
+    #[default]
     Tage,
-}
-
-impl Default for PredictorKind {
-    fn default() -> Self {
-        PredictorKind::Tage
-    }
 }
 
 enum CondImpl {
@@ -77,10 +72,16 @@ impl BranchUnit {
     /// [`PredictorKind::Simple`].
     pub fn new(kind: PredictorKind, seed: u64) -> Self {
         let cond = match kind {
-            PredictorKind::Simple { miss_pct } => CondImpl::Simple(SimplePredictor::new(miss_pct, seed)),
-            PredictorKind::Tage => CondImpl::Tage(Box::new(Tage::new())),
+            PredictorKind::Simple { miss_pct } => {
+                CondImpl::Simple(SimplePredictor::new(miss_pct, seed))
+            }
+            PredictorKind::Tage => CondImpl::Tage(Box::default()),
         };
-        BranchUnit { cond, targets: TargetPredictor::default(), stats: BranchStats::default() }
+        BranchUnit {
+            cond,
+            targets: TargetPredictor::default(),
+            stats: BranchStats::default(),
+        }
     }
 
     /// Processes one branch instruction; returns `true` if it was mispredicted
@@ -126,7 +127,11 @@ impl BranchUnit {
 
     /// Runs the whole region through the unit, returning per-instruction
     /// mispredict flags (aligned with `instrs`) and summary stats.
-    pub fn simulate(kind: PredictorKind, seed: u64, instrs: &[Instruction]) -> (Vec<bool>, BranchStats) {
+    pub fn simulate(
+        kind: PredictorKind,
+        seed: u64,
+        instrs: &[Instruction],
+    ) -> (Vec<bool>, BranchStats) {
         let mut unit = BranchUnit::new(kind, seed);
         let flags = instrs.iter().map(|i| unit.observe(i)).collect();
         (flags, unit.stats)
@@ -154,9 +159,14 @@ mod tests {
         let spec = by_id("S5").unwrap(); // exchange2: predictable branches
         let t = generate_region(&spec, 0, 0, 30_000);
         let (_, tage) = BranchUnit::simulate(PredictorKind::Tage, 1, &t.instrs);
-        let (_, simple) = BranchUnit::simulate(PredictorKind::Simple { miss_pct: 50 }, 1, &t.instrs);
-        assert!(tage.mispredict_rate() < simple.mispredict_rate() / 2.0,
-            "tage {} vs simple50 {}", tage.mispredict_rate(), simple.mispredict_rate());
+        let (_, simple) =
+            BranchUnit::simulate(PredictorKind::Simple { miss_pct: 50 }, 1, &t.instrs);
+        assert!(
+            tage.mispredict_rate() < simple.mispredict_rate() / 2.0,
+            "tage {} vs simple50 {}",
+            tage.mispredict_rate(),
+            simple.mispredict_rate()
+        );
     }
 
     #[test]
@@ -167,8 +177,12 @@ mod tests {
         let th = generate_region(&hard, 0, 0, 30_000);
         let (_, e) = BranchUnit::simulate(PredictorKind::Tage, 1, &te.instrs);
         let (_, h) = BranchUnit::simulate(PredictorKind::Tage, 1, &th.instrs);
-        assert!(h.mispredict_rate() > e.mispredict_rate(),
-            "hard {} should exceed easy {}", h.mispredict_rate(), e.mispredict_rate());
+        assert!(
+            h.mispredict_rate() > e.mispredict_rate(),
+            "hard {} should exceed easy {}",
+            h.mispredict_rate(),
+            e.mispredict_rate()
+        );
     }
 
     #[test]
@@ -182,7 +196,10 @@ mod tests {
                 assert!(i.op.is_branch(), "only branches may mispredict");
             }
         }
-        assert_eq!(flags.iter().filter(|f| **f).count() as u64, stats.mispredictions);
+        assert_eq!(
+            flags.iter().filter(|f| **f).count() as u64,
+            stats.mispredictions
+        );
     }
 
     #[test]
@@ -196,7 +213,12 @@ mod tests {
 
     #[test]
     fn mpki_and_rate_helpers() {
-        let s = BranchStats { branches: 100, conditional: 80, indirect: 5, mispredictions: 10 };
+        let s = BranchStats {
+            branches: 100,
+            conditional: 80,
+            indirect: 5,
+            mispredictions: 10,
+        };
         assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
         assert!((s.mpki(10_000) - 1.0).abs() < 1e-12);
         assert_eq!(BranchStats::default().mispredict_rate(), 0.0);

@@ -31,7 +31,12 @@ pub struct LatencyMap {
 
 impl Default for LatencyMap {
     fn default() -> Self {
-        LatencyMap { l1: 4, l2: 10, llc: 30, ram: 200 }
+        LatencyMap {
+            l1: 4,
+            l2: 10,
+            llc: 30,
+            ram: 200,
+        }
     }
 }
 
@@ -60,7 +65,10 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// Creates a config from a size in kilobytes.
     pub fn from_kb(kb: u64, assoc: u32) -> Self {
-        CacheConfig { size_bytes: kb * 1024, assoc }
+        CacheConfig {
+            size_bytes: kb * 1024,
+            assoc,
+        }
     }
 
     /// Number of sets (`size / (line * assoc)`).
@@ -89,7 +97,12 @@ pub struct MemConfig {
 impl Default for MemConfig {
     fn default() -> Self {
         // ARM N1 column of Table 1.
-        MemConfig { l1i_kb: 64, l1d_kb: 64, l2_kb: 1024, prefetch_degree: 0 }
+        MemConfig {
+            l1i_kb: 64,
+            l1d_kb: 64,
+            l2_kb: 1024,
+            prefetch_degree: 0,
+        }
     }
 }
 
@@ -109,7 +122,12 @@ impl MemConfig {
         for &l1d in &L1_SIZES_KB {
             for &l2 in &L2_SIZES_KB {
                 for &pf in &PREFETCH_DEGREES {
-                    v.push(MemConfig { l1i_kb: 64, l1d_kb: l1d, l2_kb: l2, prefetch_degree: pf });
+                    v.push(MemConfig {
+                        l1i_kb: 64,
+                        l1d_kb: l1d,
+                        l2_kb: l2,
+                        prefetch_degree: pf,
+                    });
                 }
             }
         }
@@ -121,7 +139,12 @@ impl MemConfig {
         let mut v = Vec::with_capacity(20);
         for &l1i in &L1_SIZES_KB {
             for &l2 in &L2_SIZES_KB {
-                v.push(MemConfig { l1i_kb: l1i, l1d_kb: 64, l2_kb: l2, prefetch_degree: 0 });
+                v.push(MemConfig {
+                    l1i_kb: l1i,
+                    l1d_kb: 64,
+                    l2_kb: l2,
+                    prefetch_degree: 0,
+                });
             }
         }
         v
@@ -161,8 +184,10 @@ mod tests {
     fn config_enumerations() {
         assert_eq!(MemConfig::all_data_configs().len(), 40);
         assert_eq!(MemConfig::all_inst_configs().len(), 20);
-        let keys: std::collections::HashSet<_> =
-            MemConfig::all_data_configs().iter().map(|c| c.data_key()).collect();
+        let keys: std::collections::HashSet<_> = MemConfig::all_data_configs()
+            .iter()
+            .map(|c| c.data_key())
+            .collect();
         assert_eq!(keys.len(), 40, "data keys must be distinct");
     }
 

@@ -168,7 +168,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> MemConfig {
-        MemConfig { l1i_kb: 16, l1d_kb: 16, l2_kb: 512, prefetch_degree: 0 }
+        MemConfig {
+            l1i_kb: 16,
+            l1d_kb: 16,
+            l2_kb: 512,
+            prefetch_degree: 0,
+        }
     }
 
     #[test]
@@ -176,7 +181,11 @@ mod tests {
         let mut h = Hierarchy::new(cfg());
         assert_eq!(h.access_data(0x10_0000, false, None), CacheLevel::Ram);
         assert_eq!(h.access_data(0x10_0000, false, None), CacheLevel::L1);
-        assert_eq!(h.access_data(0x10_0010, false, None), CacheLevel::L1, "same line");
+        assert_eq!(
+            h.access_data(0x10_0010, false, None),
+            CacheLevel::L1,
+            "same line"
+        );
     }
 
     #[test]
@@ -193,8 +202,14 @@ mod tests {
 
     #[test]
     fn bigger_l1_hits_more() {
-        let small = MemConfig { l1d_kb: 16, ..cfg() };
-        let big = MemConfig { l1d_kb: 256, ..cfg() };
+        let small = MemConfig {
+            l1d_kb: 16,
+            ..cfg()
+        };
+        let big = MemConfig {
+            l1d_kb: 256,
+            ..cfg()
+        };
         let addrs: Vec<u64> = (0..2000u64).map(|i| (i * 64) % (128 * 1024)).collect();
         let run = |c: MemConfig| {
             let mut h = Hierarchy::new(c);
@@ -219,7 +234,10 @@ mod tests {
 
     #[test]
     fn prefetcher_converts_stream_misses_into_hits() {
-        let on = MemConfig { prefetch_degree: 4, ..cfg() };
+        let on = MemConfig {
+            prefetch_degree: 4,
+            ..cfg()
+        };
         let off = cfg();
         let run = |c: MemConfig| {
             let mut h = Hierarchy::new(c);
@@ -235,7 +253,10 @@ mod tests {
         let (ram_on, pf_on) = run(on);
         assert_eq!(pf_off, 0);
         assert!(pf_on > 1000, "prefetcher should fire on a pure stream");
-        assert!(ram_on < ram_off / 2, "demand RAM accesses {ram_on} vs {ram_off}");
+        assert!(
+            ram_on < ram_off / 2,
+            "demand RAM accesses {ram_on} vs {ram_off}"
+        );
     }
 
     #[test]

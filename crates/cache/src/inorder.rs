@@ -60,7 +60,11 @@ pub fn simulate_inorder(instrs: &[Instruction], cfg: MemConfig) -> InOrderResult
         };
         data_levels.push(d);
     }
-    InOrderResult { data_levels, inst_levels, stats: h.stats() }
+    InOrderResult {
+        data_levels,
+        inst_levels,
+        stats: h.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +91,10 @@ mod tests {
         let r = simulate_inorder(&t.instrs, MemConfig::default());
         let s = r.stats;
         let total = s.d_l1 + s.d_l2 + s.d_llc + s.d_ram;
-        assert!(s.d_l1 as f64 / total as f64 > 0.8, "L1 hit rate too low: {s:?}");
+        assert!(
+            s.d_l1 as f64 / total as f64 > 0.8,
+            "L1 hit rate too low: {s:?}"
+        );
     }
 
     #[test]
@@ -95,11 +102,23 @@ mod tests {
         let chase = by_id("S1").unwrap();
         let resident = by_id("O1").unwrap();
         let n = 20_000;
-        let rc = simulate_inorder(&generate_region(&chase, 0, 0, n).instrs, MemConfig::default());
-        let rr = simulate_inorder(&generate_region(&resident, 0, 0, n).instrs, MemConfig::default());
-        let ram_frac = |s: HierarchyStats| s.d_ram as f64 / (s.d_l1 + s.d_l2 + s.d_llc + s.d_ram).max(1) as f64;
-        assert!(ram_frac(rc.stats) > 5.0 * ram_frac(rr.stats).max(1e-9),
-            "chase {:?} vs resident {:?}", rc.stats, rr.stats);
+        let rc = simulate_inorder(
+            &generate_region(&chase, 0, 0, n).instrs,
+            MemConfig::default(),
+        );
+        let rr = simulate_inorder(
+            &generate_region(&resident, 0, 0, n).instrs,
+            MemConfig::default(),
+        );
+        let ram_frac = |s: HierarchyStats| {
+            s.d_ram as f64 / (s.d_l1 + s.d_l2 + s.d_llc + s.d_ram).max(1) as f64
+        };
+        assert!(
+            ram_frac(rc.stats) > 5.0 * ram_frac(rr.stats).max(1e-9),
+            "chase {:?} vs resident {:?}",
+            rc.stats,
+            rr.stats
+        );
     }
 
     #[test]
@@ -108,7 +127,10 @@ mod tests {
         let t = generate_region(&spec, 0, 0, 30_000);
         let mut prev_hits = 0;
         for kb in [16u32, 64, 256] {
-            let cfg = MemConfig { l1d_kb: kb, ..MemConfig::default() };
+            let cfg = MemConfig {
+                l1d_kb: kb,
+                ..MemConfig::default()
+            };
             let r = simulate_inorder(&t.instrs, cfg);
             assert!(r.stats.d_l1 >= prev_hits, "L1 {kb}kB: hits decreased");
             prev_hits = r.stats.d_l1;
@@ -121,9 +143,16 @@ mod tests {
         let small = by_id("O1").unwrap();
         let n = 20_000;
         let rb = simulate_inorder(&generate_region(&big, 0, 0, n).instrs, MemConfig::default());
-        let rs = simulate_inorder(&generate_region(&small, 0, 0, n).instrs, MemConfig::default());
+        let rs = simulate_inorder(
+            &generate_region(&small, 0, 0, n).instrs,
+            MemConfig::default(),
+        );
         let imiss = |s: HierarchyStats| s.i_l2 + s.i_llc + s.i_ram;
-        assert!(imiss(rb.stats) > 5 * imiss(rs.stats).max(1),
-            "big {:?} vs small {:?}", rb.stats, rs.stats);
+        assert!(
+            imiss(rb.stats) > 5 * imiss(rs.stats).max(1),
+            "big {:?} vs small {:?}",
+            rb.stats,
+            rs.stats
+        );
     }
 }

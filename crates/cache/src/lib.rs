@@ -25,7 +25,10 @@ pub mod inorder;
 pub mod prefetch;
 pub mod set;
 
-pub use config::{CacheConfig, CacheLevel, LatencyMap, MemConfig, L1_SIZES_KB, L2_SIZES_KB, LLC_KB, PREFETCH_DEGREES};
+pub use config::{
+    CacheConfig, CacheLevel, LatencyMap, MemConfig, L1_SIZES_KB, L2_SIZES_KB, LLC_KB,
+    PREFETCH_DEGREES,
+};
 pub use hierarchy::{Hierarchy, HierarchyStats};
 pub use inorder::{simulate_inorder, InOrderResult};
 pub use prefetch::StridePrefetcher;

@@ -25,7 +25,10 @@ impl StridePrefetcher {
     /// Creates a prefetcher with `2^bits` table entries and the given degree.
     /// Degree 0 disables prefetching entirely.
     pub fn new(bits: usize, degree: u32) -> Self {
-        StridePrefetcher { table: vec![StrideEntry::default(); 1 << bits], degree }
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); 1 << bits],
+            degree,
+        }
     }
 
     /// Prefetch degree (0 = off).
@@ -62,7 +65,12 @@ impl StridePrefetcher {
                 }
             }
         } else {
-            *e = StrideEntry { pc, last_addr: addr, stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+            };
         }
         out
     }

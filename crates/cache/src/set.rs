@@ -24,7 +24,10 @@ struct CacheSet {
 
 impl CacheSet {
     fn new(assoc: usize) -> Self {
-        CacheSet { ways: vec![Way::default(); assoc], tree: 0 }
+        CacheSet {
+            ways: vec![Way::default(); assoc],
+            tree: 0,
+        }
     }
 
     /// Marks `way` most-recently used by setting path bits away from it.
@@ -87,7 +90,11 @@ impl CacheSet {
     fn fill(&mut self, tag: u64, dirty: bool) -> Option<(u64, bool)> {
         let v = self.victim();
         let old = self.ways[v];
-        self.ways[v] = Way { valid: true, tag, dirty };
+        self.ways[v] = Way {
+            valid: true,
+            tag,
+            dirty,
+        };
         self.touch(v);
         old.valid.then_some((old.tag, old.dirty))
     }
@@ -109,12 +116,20 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let n = config.num_sets();
         assert!(n.is_power_of_two(), "set count {n} must be a power of two");
-        Cache { sets: (0..n).map(|_| CacheSet::new(config.assoc as usize)).collect(), set_mask: n as u64 - 1 }
+        Cache {
+            sets: (0..n)
+                .map(|_| CacheSet::new(config.assoc as usize))
+                .collect(),
+            set_mask: n as u64 - 1,
+        }
     }
 
     #[inline]
     fn split(&self, line: u64) -> (usize, u64) {
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `line` (a 64-byte-line index); returns `true` on hit and
@@ -152,7 +167,10 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 4 ways x 64B = 1 KiB
-        Cache::new(CacheConfig { size_bytes: 1024, assoc: 4 })
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            assoc: 4,
+        })
     }
 
     #[test]
@@ -218,6 +236,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_non_pow2_sets() {
-        let _ = Cache::new(CacheConfig { size_bytes: 3 * 64 * 2, assoc: 2 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 3 * 64 * 2,
+            assoc: 2,
+        });
     }
 }

@@ -1,0 +1,254 @@
+//! LRU cache of precomputed [`FeatureStore`]s for serving.
+//!
+//! `FeatureStore::precompute` is the expensive analytic stage (trace
+//! generation + per-resource models); a prediction against a cached store is
+//! microseconds. The serving engine keys stores by *(workload id, region
+//! coordinates, sweep-config hash)* so repeated queries against the same
+//! region — the design-space-exploration access pattern the paper targets —
+//! skip the analytic stage entirely.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::features::FeatureStore;
+use crate::sweep::SweepConfig;
+
+/// Identity of one precomputed feature store.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FeatureKey {
+    /// Workload id (e.g. `"S5"`).
+    pub workload: String,
+    /// Trace index within the workload.
+    pub trace: u32,
+    /// Region start offset (instructions).
+    pub start: u64,
+    /// Region length (instructions).
+    pub region_len: u32,
+    /// [`sweep_content_hash`] of the sweep the store was built for.
+    pub sweep_hash: u64,
+}
+
+struct Entry {
+    store: Arc<FeatureStore>,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of [`FeatureStore`]s, shared via [`Arc`] so readers can
+/// keep using an evicted store.
+pub struct FeatureStoreCache {
+    capacity: usize,
+    map: HashMap<FeatureKey, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl FeatureStoreCache {
+    /// Creates a cache holding at most `capacity` stores (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FeatureStoreCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached stores.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total lookups that found a store.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups that had to build a store.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Looks up `key`, marking it most-recently-used.
+    pub fn get(&mut self, key: &FeatureKey) -> Option<Arc<FeatureStore>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.store))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a store, evicting the least-recently-used entry on overflow.
+    pub fn insert(&mut self, key: FeatureKey, store: Arc<FeatureStore>) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // O(len) eviction scan; capacities are small (tens to hundreds)
+            // and insertion only happens after a multi-millisecond precompute.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                store,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Returns the cached store for `key`, or builds one with `build` and
+    /// caches it. The boolean is `true` on a hit.
+    pub fn get_or_insert_with<F: FnOnce() -> FeatureStore>(
+        &mut self,
+        key: &FeatureKey,
+        build: F,
+    ) -> (Arc<FeatureStore>, bool) {
+        if let Some(store) = self.get(key) {
+            return (store, true);
+        }
+        let store = Arc::new(build());
+        self.insert(key.clone(), Arc::clone(&store));
+        (store, false)
+    }
+
+    /// Drops all entries and counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.tick = 0;
+    }
+}
+
+/// FNV-1a over the sweep's grids and memory configurations; used to key
+/// cached stores by the sweep they were precomputed for.
+pub fn sweep_content_hash(sweep: &SweepConfig) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for grid in [
+        &sweep.rob,
+        &sweep.lq,
+        &sweep.sq,
+        &sweep.alu,
+        &sweep.fp,
+        &sweep.ls,
+        &sweep.fills,
+        &sweep.buffers,
+    ] {
+        eat(grid.len() as u64);
+        for &v in grid.iter() {
+            eat(u64::from(v));
+        }
+    }
+    eat(sweep.pipes.len() as u64);
+    for &(a, b) in &sweep.pipes {
+        eat(u64::from(a));
+        eat(u64::from(b));
+    }
+    eat(sweep.d_cfgs.len() as u64);
+    for cfg in &sweep.d_cfgs {
+        let (a, b, c) = cfg.data_key();
+        eat(u64::from(a));
+        eat(u64::from(b));
+        eat(u64::from(c));
+        let (d, e) = cfg.inst_key();
+        eat(u64::from(d));
+        eat(u64::from(e));
+    }
+    eat(sweep.i_cfgs.len() as u64);
+    for cfg in &sweep.i_cfgs {
+        let (d, e) = cfg.inst_key();
+        eat(u64::from(d));
+        eat(u64::from(e));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ReproProfile;
+    use concorde_cyclesim::MicroArch;
+    use concorde_trace::{by_id, generate_region};
+
+    fn key(id: &str, start: u64) -> FeatureKey {
+        FeatureKey {
+            workload: id.to_string(),
+            trace: 0,
+            start,
+            region_len: 2048,
+            sweep_hash: 7,
+        }
+    }
+
+    fn tiny_store() -> FeatureStore {
+        let profile = ReproProfile::quick();
+        let arch = MicroArch::arm_n1();
+        let full = generate_region(&by_id("S5").unwrap(), 0, 0, 2048).instrs;
+        let (w, r) = full.split_at(1024);
+        FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &profile)
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_reuse() {
+        let mut cache = FeatureStoreCache::new(4);
+        let store = Arc::new(tiny_store());
+        assert!(cache.get(&key("S5", 0)).is_none());
+        cache.insert(key("S5", 0), Arc::clone(&store));
+        let (again, hit) = cache.get_or_insert_with(&key("S5", 0), || unreachable!("must hit"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&again, &store));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut cache = FeatureStoreCache::new(2);
+        let store = Arc::new(tiny_store());
+        cache.insert(key("S5", 0), Arc::clone(&store));
+        cache.insert(key("S5", 1), Arc::clone(&store));
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        assert!(cache.get(&key("S5", 0)).is_some());
+        cache.insert(key("S5", 2), Arc::clone(&store));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("S5", 0)).is_some());
+        assert!(cache.get(&key("S5", 1)).is_none());
+        assert!(cache.get(&key("S5", 2)).is_some());
+    }
+
+    #[test]
+    fn sweep_hash_distinguishes_configs() {
+        let a = SweepConfig::for_arch(&MicroArch::arm_n1());
+        let b = SweepConfig::for_arch(&MicroArch::big_core());
+        assert_eq!(sweep_content_hash(&a), sweep_content_hash(&a));
+        assert_ne!(sweep_content_hash(&a), sweep_content_hash(&b));
+    }
+}

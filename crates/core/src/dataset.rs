@@ -74,14 +74,23 @@ pub struct DatasetConfig {
 impl DatasetConfig {
     /// Random-architecture dataset over the full suite.
     pub fn random(profile: ReproProfile, n: usize, seed: u64) -> Self {
-        DatasetConfig { profile, n, seed, arch: ArchSampling::Random, workloads: None, threads: 0 }
+        DatasetConfig {
+            profile,
+            n,
+            seed,
+            arch: ArchSampling::Random,
+            workloads: None,
+            threads: 0,
+        }
     }
 }
 
 /// Generates one sample (deterministic in `(cfg.seed, index)`).
 fn generate_sample(cfg: &DatasetConfig, suite: &[WorkloadSpec], index: usize) -> Sample {
     let profile = &cfg.profile;
-    let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(index as u64 + 1)));
+    let mut rng = ChaCha12Rng::seed_from_u64(
+        cfg.seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(index as u64 + 1)),
+    );
     let pool: Vec<u16> = match &cfg.workloads {
         Some(w) => w.clone(),
         None => (0..suite.len() as u16).collect(),
@@ -91,7 +100,12 @@ fn generate_sample(cfg: &DatasetConfig, suite: &[WorkloadSpec], index: usize) ->
     let region = sample_region(spec, workload, profile.region_len as u32, &mut rng);
     let warm_start = region.start.saturating_sub(profile.warmup_len as u64);
     let warm_len = (region.start - warm_start) as usize;
-    let full = generate_region(spec, region.trace_idx, warm_start, warm_len + profile.region_len);
+    let full = generate_region(
+        spec,
+        region.trace_idx,
+        warm_start,
+        warm_len + profile.region_len,
+    );
     let (warm, reg) = full.instrs.split_at(warm_len);
 
     let arch = match cfg.arch {
@@ -99,7 +113,15 @@ fn generate_sample(cfg: &DatasetConfig, suite: &[WorkloadSpec], index: usize) ->
         ArchSampling::Fixed(a) => a,
     };
 
-    let sim = simulate_warmed(warm, reg, &arch, SimOptions { record_commit_cycles: false, seed: rng.gen() });
+    let sim = simulate_warmed(
+        warm,
+        reg,
+        &arch,
+        SimOptions {
+            record_commit_cycles: false,
+            seed: rng.gen(),
+        },
+    );
     let store = FeatureStore::precompute(warm, reg, &SweepConfig::for_arch(&arch), profile);
     let features = store.features(&arch, FeatureVariant::Full);
     let est = store.load_exec_estimate(arch.mem).max(1);
@@ -121,14 +143,17 @@ fn generate_sample(cfg: &DatasetConfig, suite: &[WorkloadSpec], index: usize) ->
 pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<Sample> {
     let suite = concorde_trace::suite();
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     };
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<Sample>> = Vec::new();
     out.resize_with(cfg.n, || None);
-    let slots: Vec<parking_lot::Mutex<Option<Sample>>> = (0..cfg.n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let slots: Vec<parking_lot::Mutex<Option<Sample>>> =
+        (0..cfg.n).map(|_| parking_lot::Mutex::new(None)).collect();
 
     std::thread::scope(|s| {
         for _ in 0..threads.min(cfg.n.max(1)) {
@@ -145,7 +170,9 @@ pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<Sample> {
     for (o, slot) in out.iter_mut().zip(slots) {
         *o = slot.into_inner();
     }
-    out.into_iter().map(|s| s.expect("all samples generated")).collect()
+    out.into_iter()
+        .map(|s| s.expect("all samples generated"))
+        .collect()
 }
 
 /// Projects a stored full-variant feature vector onto an ablation variant
@@ -182,7 +209,10 @@ pub fn overlap_report(train: &[Sample], test: &[Sample]) -> Vec<(u16, f64)> {
     use std::collections::HashMap;
     let mut by_trace: HashMap<(u16, u32), Vec<RegionRef>> = HashMap::new();
     for s in train {
-        by_trace.entry((s.workload, s.region.trace_idx)).or_default().push(s.region);
+        by_trace
+            .entry((s.workload, s.region.trace_idx))
+            .or_default()
+            .push(s.region);
     }
     let mut acc: HashMap<u16, (f64, usize)> = HashMap::new();
     for s in test {
@@ -201,7 +231,10 @@ pub fn overlap_report(train: &[Sample], test: &[Sample]) -> Vec<(u16, f64)> {
         e.0 += frac;
         e.1 += 1;
     }
-    let mut out: Vec<(u16, f64)> = acc.into_iter().map(|(w, (sum, n))| (w, sum / n as f64)).collect();
+    let mut out: Vec<(u16, f64)> = acc
+        .into_iter()
+        .map(|(w, (sum, n))| (w, sum / n as f64))
+        .collect();
     out.sort_by_key(|(w, _)| *w);
     out
 }
@@ -267,9 +300,17 @@ mod tests {
     fn projection_dims_match_layouts() {
         let cfg = tiny_cfg(1, 13);
         let s = &generate_dataset(&cfg)[0];
-        for v in [FeatureVariant::Base, FeatureVariant::BaseBranch, FeatureVariant::Full] {
+        for v in [
+            FeatureVariant::Base,
+            FeatureVariant::BaseBranch,
+            FeatureVariant::Full,
+        ] {
             let p = project_features(&s.features, cfg.profile.encoding, v);
-            let dim = FeatureLayout { encoding: cfg.profile.encoding, variant: v }.dim();
+            let dim = FeatureLayout {
+                encoding: cfg.profile.encoding,
+                variant: v,
+            }
+            .dim();
             assert_eq!(p.len(), dim, "{v:?}");
         }
         // Params must survive projection (the tail 23 dims).
@@ -287,7 +328,10 @@ mod tests {
         // Self-overlap: every test sample matches itself in the train set.
         let report = overlap_report(&data, &data);
         for (_, frac) in &report {
-            assert!((*frac - 1.0).abs() < 1e-9, "self overlap must be 1, got {frac}");
+            assert!(
+                (*frac - 1.0).abs() < 1e-9,
+                "self overlap must be 1, got {frac}"
+            );
         }
         // Disjoint seeds should mostly not overlap fully.
         let other = generate_dataset(&tiny_cfg(10, 999));

@@ -170,7 +170,11 @@ fn nearest_dkey(keys: &[DKey], v: DKey) -> DKey {
     *keys
         .iter()
         .min_by_key(|&&(a, b, c)| {
-            ((i64::from(a) - i64::from(v.0)).abs(), (i64::from(b) - i64::from(v.1)).abs(), (i64::from(c) - i64::from(v.2)).abs())
+            (
+                (i64::from(a) - i64::from(v.0)).abs(),
+                (i64::from(b) - i64::from(v.1)).abs(),
+                (i64::from(c) - i64::from(v.2)).abs(),
+            )
         })
         .expect("d_cfgs must be non-empty")
 }
@@ -178,7 +182,12 @@ fn nearest_dkey(keys: &[DKey], v: DKey) -> DKey {
 fn nearest_ikey(keys: &[IKey], v: IKey) -> IKey {
     *keys
         .iter()
-        .min_by_key(|&&(a, b)| ((i64::from(a) - i64::from(v.0)).abs(), (i64::from(b) - i64::from(v.1)).abs()))
+        .min_by_key(|&&(a, b)| {
+            (
+                (i64::from(a) - i64::from(v.0)).abs(),
+                (i64::from(b) - i64::from(v.1)).abs(),
+            )
+        })
         .expect("i_cfgs must be non-empty")
 }
 
@@ -203,9 +212,15 @@ impl FeatureStore {
         // Arch-independent: ISB and branch-kind window-count distributions.
         let isb_dist = enc.encode_u32(&window_counts(n, k, |i| info.is_isb[i]));
         let branch_dists = [
-            enc.encode_u32(&window_counts(n, k, |i| info.branch_kinds[i] == Some(BranchKind::DirectUncond))),
-            enc.encode_u32(&window_counts(n, k, |i| info.branch_kinds[i] == Some(BranchKind::DirectCond))),
-            enc.encode_u32(&window_counts(n, k, |i| info.branch_kinds[i] == Some(BranchKind::Indirect))),
+            enc.encode_u32(&window_counts(n, k, |i| {
+                info.branch_kinds[i] == Some(BranchKind::DirectUncond)
+            })),
+            enc.encode_u32(&window_counts(n, k, |i| {
+                info.branch_kinds[i] == Some(BranchKind::DirectCond)
+            })),
+            enc.encode_u32(&window_counts(n, k, |i| {
+                info.branch_kinds[i] == Some(BranchKind::Indirect)
+            })),
         ];
 
         // Arch-independent: issue widths and pipes.
@@ -219,15 +234,33 @@ impl FeatureStore {
         ] {
             for &w in grid.iter() {
                 let raw = issue_width_bound(&info, class, w, k);
-                map.insert(w, ThrEntry { enc: enc.encode(&raw), raw });
+                map.insert(
+                    w,
+                    ThrEntry {
+                        enc: enc.encode(&raw),
+                        raw,
+                    },
+                );
             }
         }
         let mut pipes_lo = HashMap::new();
         let mut pipes_hi = HashMap::new();
         for &(lsp, lp) in &sweep.pipes {
             let b = pipe_bounds(&info, lsp, lp, k);
-            pipes_lo.insert((lsp, lp), ThrEntry { enc: enc.encode(&b.lower), raw: b.lower });
-            pipes_hi.insert((lsp, lp), ThrEntry { enc: enc.encode(&b.upper), raw: b.upper });
+            pipes_lo.insert(
+                (lsp, lp),
+                ThrEntry {
+                    enc: enc.encode(&b.lower),
+                    raw: b.lower,
+                },
+            );
+            pipes_hi.insert(
+                (lsp, lp),
+                ThrEntry {
+                    enc: enc.encode(&b.upper),
+                    raw: b.upper,
+                },
+            );
         }
 
         // Per D-side configuration: ROB / LQ / SQ models + latency features.
@@ -273,12 +306,22 @@ impl FeatureStore {
                             cnt += 1;
                         }
                     }
-                    out.push(if cnt == 0 { 0.0 } else { sum as f64 / cnt as f64 });
+                    out.push(if cnt == 0 {
+                        0.0
+                    } else {
+                        sum as f64 / cnt as f64
+                    });
                     start = end;
                 }
                 out
             };
-            mem_lat.insert(key, ThrEntry { enc: enc.encode(&mem_series), raw: mem_series });
+            mem_lat.insert(
+                key,
+                ThrEntry {
+                    enc: enc.encode(&mem_series),
+                    raw: mem_series,
+                },
+            );
             load_exec_est.insert(
                 key,
                 (0..n)
@@ -292,7 +335,13 @@ impl FeatureStore {
                 let r = rob_model(&info, &data, rv);
                 if sweep.rob.contains(&rv) || ROB_SWEEP.contains(&rv) {
                     let raw = throughput_from_marks(&r.commit_cycles, k);
-                    rob_thr.insert((key, rv), ThrEntry { enc: enc.encode(&raw), raw });
+                    rob_thr.insert(
+                        (key, rv),
+                        ThrEntry {
+                            enc: enc.encode(&raw),
+                            raw,
+                        },
+                    );
                 }
                 if ROB_SWEEP.contains(&rv) {
                     curve.push(r.overall_throughput() as f32);
@@ -308,12 +357,24 @@ impl FeatureStore {
             for &qv in &sweep.lq {
                 let marks = queue_model(&info, &data, qv, QueueKind::Load);
                 let raw = throughput_from_marks(&marks, k);
-                lq_thr.insert((key, qv), ThrEntry { enc: enc.encode(&raw), raw });
+                lq_thr.insert(
+                    (key, qv),
+                    ThrEntry {
+                        enc: enc.encode(&raw),
+                        raw,
+                    },
+                );
             }
             for &qv in &sweep.sq {
                 let marks = queue_model(&info, &data, qv, QueueKind::Store);
                 let raw = throughput_from_marks(&marks, k);
-                sq_thr.insert((key, qv), ThrEntry { enc: enc.encode(&raw), raw });
+                sq_thr.insert(
+                    (key, qv),
+                    ThrEntry {
+                        enc: enc.encode(&raw),
+                        raw,
+                    },
+                );
             }
         }
 
@@ -331,12 +392,24 @@ impl FeatureStore {
             for &fv in &sweep.fills {
                 let marks = icache_fills_model(&info, &inst, fv);
                 let raw = throughput_from_marks(&marks, k);
-                fills_thr.insert((key, fv), ThrEntry { enc: enc.encode(&raw), raw });
+                fills_thr.insert(
+                    (key, fv),
+                    ThrEntry {
+                        enc: enc.encode(&raw),
+                        raw,
+                    },
+                );
             }
             for &bv in &sweep.buffers {
                 let marks = fetch_buffers_model(&info, &inst, bv);
                 let raw = throughput_from_marks(&marks, k);
-                buffers_thr.insert((key, bv), ThrEntry { enc: enc.encode(&raw), raw });
+                buffers_thr.insert(
+                    (key, bv),
+                    ThrEntry {
+                        enc: enc.encode(&raw),
+                        raw,
+                    },
+                );
             }
         }
 
@@ -391,9 +464,12 @@ impl FeatureStore {
     pub fn mispredict_feature(&self, predictor: PredictorKind) -> f32 {
         let cond_misses = match predictor {
             PredictorKind::Tage => self.branch_info_tage as f64,
-            PredictorKind::Simple { miss_pct } => self.branch_info_cond as f64 * f64::from(miss_pct) / 100.0,
+            PredictorKind::Simple { miss_pct } => {
+                self.branch_info_cond as f64 * f64::from(miss_pct) / 100.0
+            }
         };
-        let per_instr = (cond_misses + self.branch_info_indirect as f64) / self.n_instr.max(1) as f64;
+        let per_instr =
+            (cond_misses + self.branch_info_indirect as f64) / self.n_instr.max(1) as f64;
         (per_instr * 10.0) as f32 // scale ~[0, 1]
     }
 
@@ -423,10 +499,20 @@ impl FeatureStore {
             Resource::AluWidth => &self.alu_thr[&nearest(&self.alu_grid, arch.alu_width)].raw,
             Resource::FpWidth => &self.fp_thr[&nearest(&self.fp_grid, arch.fp_width)].raw,
             Resource::LsWidth => &self.ls_thr[&nearest(&self.ls_grid, arch.ls_width)].raw,
-            Resource::PipesLower => &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].raw,
-            Resource::PipesUpper => &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].raw,
-            Resource::IcacheFills => &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].raw,
-            Resource::FetchBuffers => &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].raw,
+            Resource::PipesLower => {
+                &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
+                    .raw
+            }
+            Resource::PipesUpper => {
+                &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
+                    .raw
+            }
+            Resource::IcacheFills => {
+                &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].raw
+            }
+            Resource::FetchBuffers => {
+                &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].raw
+            }
             Resource::MemLatency => &self.mem_lat[&dk].raw,
         }
     }
@@ -441,10 +527,20 @@ impl FeatureStore {
             Resource::AluWidth => &self.alu_thr[&nearest(&self.alu_grid, arch.alu_width)].enc,
             Resource::FpWidth => &self.fp_thr[&nearest(&self.fp_grid, arch.fp_width)].enc,
             Resource::LsWidth => &self.ls_thr[&nearest(&self.ls_grid, arch.ls_width)].enc,
-            Resource::PipesLower => &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].enc,
-            Resource::PipesUpper => &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))].enc,
-            Resource::IcacheFills => &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].enc,
-            Resource::FetchBuffers => &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].enc,
+            Resource::PipesLower => {
+                &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
+                    .enc
+            }
+            Resource::PipesUpper => {
+                &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
+                    .enc
+            }
+            Resource::IcacheFills => {
+                &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].enc
+            }
+            Resource::FetchBuffers => {
+                &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].enc
+            }
             Resource::MemLatency => &self.mem_lat[&dk].enc,
         }
     }
@@ -454,7 +550,10 @@ impl FeatureStore {
     /// Layout: 11 primary distributions → misprediction rate → (stall
     /// features → latency distributions, per variant) → 23 parameter dims.
     pub fn features(&self, arch: &MicroArch, variant: FeatureVariant) -> Vec<f32> {
-        let layout = FeatureLayout { encoding: self.encoding, variant };
+        let layout = FeatureLayout {
+            encoding: self.encoding,
+            variant,
+        };
         let mut out = Vec::with_capacity(layout.dim());
         for res in Resource::ALL {
             out.extend_from_slice(self.enc_of(res, arch));
@@ -501,7 +600,10 @@ impl FeatureStore {
         .map(|r| self.raw_series(*r, arch))
         .collect();
         let static_bound = f64::from(
-            arch.commit_width.min(arch.fetch_width).min(arch.decode_width).min(arch.rename_width),
+            arch.commit_width
+                .min(arch.fetch_width)
+                .min(arch.decode_width)
+                .min(arch.rename_width),
         );
         let windows = series.iter().map(|s| s.len()).min().unwrap_or(0);
         if windows == 0 {
@@ -552,17 +654,29 @@ mod tests {
 
     fn quick_store(arch: &MicroArch) -> FeatureStore {
         let profile = ReproProfile::quick();
-        let full = generate_region(&by_id("S5").unwrap(), 0, 0, profile.warmup_len + profile.region_len).instrs;
+        let full = generate_region(
+            &by_id("S5").unwrap(),
+            0,
+            0,
+            profile.warmup_len + profile.region_len,
+        )
+        .instrs;
         let (w, r) = full.split_at(profile.warmup_len);
         FeatureStore::precompute(w, r, &SweepConfig::for_arch(arch), &profile)
     }
 
     #[test]
     fn layout_dims_match_paper_formula() {
-        let paper = FeatureLayout { encoding: Encoding::paper(), variant: FeatureVariant::Full };
+        let paper = FeatureLayout {
+            encoding: Encoding::paper(),
+            variant: FeatureVariant::Full,
+        };
         // 11×101 + (4×101 + 1 + 11) + 23×101 + 23 = 3873 (Table 3).
         assert_eq!(paper.dim(), 3873);
-        let base = FeatureLayout { encoding: Encoding::paper(), variant: FeatureVariant::Base };
+        let base = FeatureLayout {
+            encoding: Encoding::paper(),
+            variant: FeatureVariant::Base,
+        };
         assert_eq!(base.dim(), 11 * 101 + 1 + 23);
     }
 
@@ -570,9 +684,20 @@ mod tests {
     fn features_have_declared_dims_for_all_variants() {
         let arch = MicroArch::arm_n1();
         let store = quick_store(&arch);
-        for v in [FeatureVariant::Base, FeatureVariant::BaseBranch, FeatureVariant::Full] {
+        for v in [
+            FeatureVariant::Base,
+            FeatureVariant::BaseBranch,
+            FeatureVariant::Full,
+        ] {
             let f = store.features(&arch, v);
-            assert_eq!(f.len(), FeatureLayout { encoding: Encoding { levels: 8 }, variant: v }.dim());
+            assert_eq!(
+                f.len(),
+                FeatureLayout {
+                    encoding: Encoding { levels: 8 },
+                    variant: v
+                }
+                .dim()
+            );
             assert!(f.iter().all(|x| x.is_finite()));
         }
     }

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dataset;
 pub mod features;
 pub mod longrun;
@@ -40,6 +41,7 @@ pub mod trainer;
 
 /// Convenient re-exports of the crate's primary API.
 pub mod prelude {
+    pub use crate::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache};
     pub use crate::dataset::{
         generate_dataset, overlap_report, project_features, ArchSampling, DatasetConfig, Sample,
     };

@@ -43,7 +43,15 @@ pub fn long_program_experiment(
     // Ground truth: one long cycle-level simulation (trace 0 from the start;
     // the paper simulates from the first instruction to avoid warmup skew).
     let full = generate_region(spec, 0, 0, program_len);
-    let sim = simulate_warmed(&[], &full.instrs, arch, SimOptions { record_commit_cycles: false, seed });
+    let sim = simulate_warmed(
+        &[],
+        &full.instrs,
+        arch,
+        SimOptions {
+            record_commit_cycles: false,
+            seed,
+        },
+    );
     let true_cpi = sim.cpi();
     drop(full);
 
@@ -65,9 +73,12 @@ pub fn long_program_experiment(
         .collect();
 
     let preds: Vec<f64> = {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let out: Vec<parking_lot::Mutex<f64>> = (0..max_n).map(|_| parking_lot::Mutex::new(0.0)).collect();
+        let out: Vec<parking_lot::Mutex<f64>> =
+            (0..max_n).map(|_| parking_lot::Mutex::new(0.0)).collect();
         std::thread::scope(|s| {
             for _ in 0..threads.min(max_n.max(1)) {
                 s.spawn(|| loop {
@@ -78,9 +89,11 @@ pub fn long_program_experiment(
                     let start = starts[i];
                     let warm_start = start.saturating_sub(warmup_len as u64);
                     let warm_len = (start - warm_start) as usize;
-                    let region = generate_region(spec, 0, warm_start, warm_len + profile.region_len);
+                    let region =
+                        generate_region(spec, 0, warm_start, warm_len + profile.region_len);
                     let (w, r) = region.instrs.split_at(warm_len);
-                    let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(arch), profile);
+                    let store =
+                        FeatureStore::precompute(w, r, &SweepConfig::for_arch(arch), profile);
                     *out[i].lock() = predictor.predict(&store, arch);
                 });
             }
@@ -91,12 +104,17 @@ pub fn long_program_experiment(
     let estimates = sample_counts
         .iter()
         .map(|&n| {
-            let est = preds[..n.min(preds.len())].iter().sum::<f64>() / n.min(preds.len()).max(1) as f64;
+            let est =
+                preds[..n.min(preds.len())].iter().sum::<f64>() / n.min(preds.len()).max(1) as f64;
             (n, est, (est - true_cpi).abs() / true_cpi)
         })
         .collect();
 
-    LongRunResult { workload_id: spec.id.clone(), true_cpi, estimates }
+    LongRunResult {
+        workload_id: spec.id.clone(),
+        true_cpi,
+        estimates,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +138,14 @@ mod tests {
             threads: 0,
         };
         let data = generate_dataset(&cfg);
-        let model = train_model(&data, &profile, &TrainOptions { epochs: Some(20), ..TrainOptions::default() });
+        let model = train_model(
+            &data,
+            &profile,
+            &TrainOptions {
+                epochs: Some(20),
+                ..TrainOptions::default()
+            },
+        );
 
         let spec = concorde_trace::by_id("O1").unwrap();
         let res = long_program_experiment(&spec, &arch, &model, &profile, 80_000, &[2, 8], 5);

@@ -25,7 +25,13 @@ fn stats_of(label: &str, pairs: &[(f64, f64)]) -> Option<GroupStats> {
         return None;
     }
     let s = ErrorStats::from_pairs(pairs);
-    Some(GroupStats { label: label.to_string(), mean: s.mean, p90: s.p90, frac_above_10pct: s.frac_above_10pct, n: s.n })
+    Some(GroupStats {
+        label: label.to_string(),
+        mean: s.mean,
+        p90: s.p90,
+        frac_above_10pct: s.frac_above_10pct,
+        n: s.n,
+    })
 }
 
 /// Per-workload error breakdown (Figure 6): `pairs[i]` must correspond to
@@ -51,7 +57,13 @@ pub fn per_program(samples: &[Sample], pairs: &[(f64, f64)]) -> Vec<GroupStats> 
 ///
 /// `edges` are the right-open bucket boundaries; a final unbounded bucket is
 /// added automatically. Returns one [`GroupStats`] per non-empty bucket.
-pub fn bucketed<F>(samples: &[Sample], pairs: &[(f64, f64)], edges: &[f64], key: F, unit: &str) -> Vec<GroupStats>
+pub fn bucketed<F>(
+    samples: &[Sample],
+    pairs: &[(f64, f64)],
+    edges: &[f64],
+    key: F,
+    unit: &str,
+) -> Vec<GroupStats>
 where
     F: Fn(&Sample) -> f64,
 {
@@ -96,7 +108,12 @@ mod tests {
     fn sample(workload: u16, mispred: u64) -> Sample {
         Sample {
             workload,
-            region: RegionRef { workload, trace_idx: 0, start: 0, len: 100 },
+            region: RegionRef {
+                workload,
+                trace_idx: 0,
+                start: 0,
+                len: 100,
+            },
             arch: MicroArch::arm_n1(),
             features: vec![],
             cpi: 1.0,
@@ -123,7 +140,13 @@ mod tests {
     fn buckets_cover_all_samples() {
         let samples: Vec<Sample> = (0..10).map(|i| sample(0, i * 100)).collect();
         let pairs: Vec<(f64, f64)> = (0..10).map(|_| (1.0, 1.0)).collect();
-        let groups = bucketed(&samples, &pairs, &[250.0, 600.0], |s| s.branch_mispredictions as f64, "mispredictions");
+        let groups = bucketed(
+            &samples,
+            &pairs,
+            &[250.0, 600.0],
+            |s| s.branch_mispredictions as f64,
+            "mispredictions",
+        );
         let total: usize = groups.iter().map(|g| g.n).sum();
         assert_eq!(total, 10);
         assert_eq!(groups.len(), 3);

@@ -3,7 +3,7 @@
 use std::path::Path;
 
 use concorde_cyclesim::MicroArch;
-use concorde_ml::Mlp;
+use concorde_ml::{Mlp, MlpScratch};
 use serde::{Deserialize, Serialize};
 
 use crate::features::{FeatureLayout, FeatureStore, FeatureVariant};
@@ -30,7 +30,10 @@ impl Normalizer {
     ///
     /// Panics if `xs` is empty or misshapen.
     pub fn fit(xs: &[f32], dim: usize, log1p: bool) -> Self {
-        assert!(dim > 0 && !xs.is_empty() && xs.len() % dim == 0, "bad sample shape");
+        assert!(
+            dim > 0 && !xs.is_empty() && xs.len().is_multiple_of(dim),
+            "bad sample shape"
+        );
         let n = xs.len() / dim;
         let tx = |x: f32| if log1p { x.max(0.0).ln_1p() } else { x };
         let mut mean = vec![0.0f64; dim];
@@ -60,7 +63,11 @@ impl Normalizer {
                 ((v / n as f64).sqrt().max(floor)) as f32
             })
             .collect();
-        Normalizer { mean: mean.iter().map(|m| *m as f32).collect(), std, log1p }
+        Normalizer {
+            mean: mean.iter().map(|m| *m as f32).collect(),
+            std,
+            log1p,
+        }
     }
 
     /// Standardizes one feature vector in place.
@@ -105,18 +112,74 @@ impl ConcordePredictor {
     pub fn predict_features(&self, features: &[f32]) -> f64 {
         let mut x = features.to_vec();
         self.normalizer.apply(&mut x);
-        let o = f64::from(self.mlp.predict(&x));
-        let y = if self.log_output { o.clamp(-8.0, 8.0).exp() } else { o.max(1e-3) };
-        match self.output_clamp {
-            Some((lo, hi)) => y.clamp(lo, hi),
-            None => y,
-        }
+        self.postprocess(f64::from(self.mlp.predict(&x)))
     }
 
     /// Predicts CPI for `arch` using a precomputed [`FeatureStore`].
     pub fn predict(&self, store: &FeatureStore, arch: &MicroArch) -> f64 {
         let f = store.features(arch, self.layout.variant);
         self.predict_features(&f)
+    }
+
+    /// Maps one raw MLP output to CPI (shared by the scalar and batch paths).
+    #[inline]
+    fn postprocess(&self, o: f64) -> f64 {
+        let y = if self.log_output {
+            o.clamp(-8.0, 8.0).exp()
+        } else {
+            o.max(1e-3)
+        };
+        match self.output_clamp {
+            Some((lo, hi)) => y.clamp(lo, hi),
+            None => y,
+        }
+    }
+
+    /// Batched [`ConcordePredictor::predict_features`] over a row-major
+    /// buffer of `n × dim` raw features, normalizing in place.
+    ///
+    /// `scratch` is the reusable activation arena; with a warm scratch the
+    /// only allocation is the returned vector. Outputs are bitwise identical
+    /// to calling `predict_features` per row.
+    pub fn predict_features_batch(
+        &self,
+        features: &mut [f32],
+        scratch: &mut MlpScratch,
+    ) -> Vec<f64> {
+        self.normalizer.apply_batch(features);
+        let n = features.len() / self.normalizer.mean.len().max(1);
+        let mut raw = vec![0.0f32; n];
+        self.mlp.predict_batch_into(features, &mut raw, scratch);
+        raw.into_iter()
+            .map(|o| self.postprocess(f64::from(o)))
+            .collect()
+    }
+
+    /// Predicts CPI for every architecture in `archs` against one store.
+    ///
+    /// Feature assembly happens per architecture (quantized lookups), then a
+    /// single batched MLP forward pass covers the whole slice. Results are
+    /// bitwise identical to mapping [`ConcordePredictor::predict`] over
+    /// `archs`.
+    pub fn predict_batch(&self, store: &FeatureStore, archs: &[MicroArch]) -> Vec<f64> {
+        let mut scratch = MlpScratch::default();
+        self.predict_batch_with(store, archs, &mut scratch)
+    }
+
+    /// [`ConcordePredictor::predict_batch`] with a caller-owned scratch arena
+    /// (what serving workers use to keep the hot loop allocation-free).
+    pub fn predict_batch_with(
+        &self,
+        store: &FeatureStore,
+        archs: &[MicroArch],
+        scratch: &mut MlpScratch,
+    ) -> Vec<f64> {
+        let dim = self.layout.dim();
+        let mut xs = Vec::with_capacity(archs.len() * dim);
+        for arch in archs {
+            xs.extend(store.features(arch, self.layout.variant));
+        }
+        self.predict_features_batch(&mut xs, scratch)
     }
 
     /// Feature variant this model consumes.
@@ -179,11 +242,18 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
-        let layout = FeatureLayout { encoding: Encoding { levels: 4 }, variant: FeatureVariant::Base };
+        let layout = FeatureLayout {
+            encoding: Encoding { levels: 4 },
+            variant: FeatureVariant::Base,
+        };
         let dim = layout.dim();
         let model = ConcordePredictor {
             layout,
-            normalizer: Normalizer { mean: vec![0.0; dim], std: vec![1.0; dim], log1p: false },
+            normalizer: Normalizer {
+                mean: vec![0.0; dim],
+                std: vec![1.0; dim],
+                log1p: false,
+            },
             mlp: Mlp::new(&[dim, 8, 1], &mut rng),
             log_output: true,
             output_clamp: None,
@@ -199,11 +269,18 @@ mod tests {
     #[test]
     fn predictions_are_positive() {
         let mut rng = ChaCha12Rng::seed_from_u64(2);
-        let layout = FeatureLayout { encoding: Encoding { levels: 4 }, variant: FeatureVariant::Base };
+        let layout = FeatureLayout {
+            encoding: Encoding { levels: 4 },
+            variant: FeatureVariant::Base,
+        };
         let dim = layout.dim();
         let model = ConcordePredictor {
             layout,
-            normalizer: Normalizer { mean: vec![0.0; dim], std: vec![1.0; dim], log1p: true },
+            normalizer: Normalizer {
+                mean: vec![0.0; dim],
+                std: vec![1.0; dim],
+                log1p: true,
+            },
             mlp: Mlp::new(&[dim, 4, 1], &mut rng),
             log_output: true,
             output_clamp: Some((0.5, 10.0)),

@@ -150,7 +150,9 @@ impl SweepConfig {
             alu: (1..=8).collect(),
             fp: (1..=8).collect(),
             ls: (1..=8).collect(),
-            pipes: (1..=8).flat_map(|lsp| (0..=8).map(move |lp| (lsp, lp))).collect(),
+            pipes: (1..=8)
+                .flat_map(|lsp| (0..=8).map(move |lp| (lsp, lp)))
+                .collect(),
             fills: vec![1, 2, 4, 8, 16, 32],
             buffers: (1..=8).collect(),
             d_cfgs: MemConfig::all_data_configs(),
@@ -190,7 +192,12 @@ impl SweepConfig {
         for &l1d in &[base.mem.l1d_kb, target.mem.l1d_kb] {
             for &l2 in &[base.mem.l2_kb, target.mem.l2_kb] {
                 for &pf in &[base.mem.prefetch_degree, target.mem.prefetch_degree] {
-                    d_cfgs.push(MemConfig { l1i_kb: 64, l1d_kb: l1d, l2_kb: l2, prefetch_degree: pf });
+                    d_cfgs.push(MemConfig {
+                        l1i_kb: 64,
+                        l1d_kb: l1d,
+                        l2_kb: l2,
+                        prefetch_degree: pf,
+                    });
                 }
             }
         }
@@ -199,7 +206,12 @@ impl SweepConfig {
         let mut i_cfgs = Vec::new();
         for &l1i in &[base.mem.l1i_kb, target.mem.l1i_kb] {
             for &l2 in &[base.mem.l2_kb, target.mem.l2_kb] {
-                i_cfgs.push(MemConfig { l1i_kb: l1i, l1d_kb: 64, l2_kb: l2, prefetch_degree: 0 });
+                i_cfgs.push(MemConfig {
+                    l1i_kb: l1i,
+                    l1d_kb: 64,
+                    l2_kb: l2,
+                    prefetch_degree: 0,
+                });
             }
         }
         i_cfgs.sort_by_key(|c| c.inst_key());

@@ -27,5 +27,7 @@ pub mod pipeline;
 pub mod stats;
 
 pub use params::{design_space_size, quantized_space_size, MicroArch, ParamId};
-pub use pipeline::{simulate, simulate_warmed, FETCH_BUFFER_ENTRIES, REDIRECT_PENALTY, RENAME_Q_CAP};
+pub use pipeline::{
+    simulate, simulate_warmed, FETCH_BUFFER_ENTRIES, REDIRECT_PENALTY, RENAME_Q_CAP,
+};
 pub use stats::{SimOptions, SimResult};

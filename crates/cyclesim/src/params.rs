@@ -68,7 +68,12 @@ impl MicroArch {
             fetch_buffers: 1,
             max_icache_fills: 8,
             predictor: PredictorKind::Tage,
-            mem: MemConfig { l1i_kb: 64, l1d_kb: 64, l2_kb: 1024, prefetch_degree: 0 },
+            mem: MemConfig {
+                l1i_kb: 64,
+                l1d_kb: 64,
+                l2_kb: 1024,
+                prefetch_degree: 0,
+            },
         }
     }
 
@@ -91,7 +96,12 @@ impl MicroArch {
             fetch_buffers: 8,
             max_icache_fills: 32,
             predictor: PredictorKind::Simple { miss_pct: 0 },
-            mem: MemConfig { l1i_kb: 256, l1d_kb: 256, l2_kb: 4096, prefetch_degree: 4 },
+            mem: MemConfig {
+                l1i_kb: 256,
+                l1d_kb: 256,
+                l2_kb: 4096,
+                prefetch_degree: 4,
+            },
         }
     }
 
@@ -101,7 +111,9 @@ impl MicroArch {
         let predictor = if rng.gen_bool(0.5) {
             PredictorKind::Tage
         } else {
-            PredictorKind::Simple { miss_pct: rng.gen_range(0..=100) }
+            PredictorKind::Simple {
+                miss_pct: rng.gen_range(0..=100),
+            }
         };
         MicroArch {
             rob_size: rng.gen_range(1..=1024),
@@ -161,8 +173,16 @@ impl MicroArch {
             simple,
             1.0 - simple,
             // One-hot: prefetcher state.
-            if self.mem.prefetch_degree > 0 { 1.0 } else { 0.0 },
-            if self.mem.prefetch_degree > 0 { 0.0 } else { 1.0 },
+            if self.mem.prefetch_degree > 0 {
+                1.0
+            } else {
+                0.0
+            },
+            if self.mem.prefetch_degree > 0 {
+                0.0
+            } else {
+                1.0
+            },
         ]
     }
 

@@ -116,7 +116,11 @@ pub fn simulate_warmed(
     let mut dep_count = vec![0u16; n];
     let mut dependents: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut forward_load = vec![false; n];
-    let mut commit_cycles = if opts.record_commit_cycles { Some(vec![0u64; n]) } else { None };
+    let mut commit_cycles = if opts.record_commit_cycles {
+        Some(vec![0u64; n])
+    } else {
+        None
+    };
 
     // Rename state.
     let mut last_writer = [u32::MAX; concorde_trace::NUM_REGS];
@@ -200,7 +204,11 @@ pub fn simulate_warmed(
 
         // 2. Commit in order.
         let mut committed_now = 0;
-        while next_commit < n && committed_now < arch.commit_width && renamed[next_commit] && finished[next_commit] {
+        while next_commit < n
+            && committed_now < arch.commit_width
+            && renamed[next_commit]
+            && finished[next_commit]
+        {
             if let Some(cc) = commit_cycles.as_mut() {
                 cc[next_commit] = cycle;
             }
@@ -230,7 +238,9 @@ pub fn simulate_warmed(
         let mut ls_pipes_left = arch.ls_pipes;
 
         while int_left > 0 {
-            let Some(&Reverse(i)) = ready_int.peek() else { break };
+            let Some(&Reverse(i)) = ready_int.peek() else {
+                break;
+            };
             ready_int.pop();
             int_left -= 1;
             progress = true;
@@ -239,7 +249,9 @@ pub fn simulate_warmed(
             executing.push(Reverse((finish, i)));
         }
         while fp_left > 0 {
-            let Some(&Reverse(i)) = ready_fp.peek() else { break };
+            let Some(&Reverse(i)) = ready_fp.peek() else {
+                break;
+            };
             ready_fp.pop();
             fp_left -= 1;
             progress = true;
@@ -249,7 +261,9 @@ pub fn simulate_warmed(
         }
         let mut deferred_mem: Vec<u32> = Vec::new();
         while mem_left > 0 && (load_pipes_left > 0 || ls_pipes_left > 0) {
-            let Some(&Reverse(i)) = ready_mem.peek() else { break };
+            let Some(&Reverse(i)) = ready_mem.peek() else {
+                break;
+            };
             let instr = &trace[i as usize];
             let is_store = instr.op.is_store();
             // Pipe availability: stores need a load-store pipe; loads prefer a
@@ -295,7 +309,8 @@ pub fn simulate_warmed(
                             ready.max(cycle + u64::from(lat.l1))
                         }
                         _ => {
-                            let level = hierarchy.access_data(instr.mem_addr, false, Some(instr.pc));
+                            let level =
+                                hierarchy.access_data(instr.mem_addr, false, Some(instr.pc));
                             let t = cycle + u64::from(lat.latency(level));
                             if level != CacheLevel::L1 {
                                 mshr.insert(line, t);
@@ -484,8 +499,10 @@ pub fn simulate_warmed(
         cycles,
         commit_cycles,
         branch: branch_unit.stats(),
-        avg_rob_occupancy_pct: 100.0 * rob_occ_sum as f64 / (cycles as f64 * f64::from(arch.rob_size)),
-        avg_rename_q_occupancy_pct: 100.0 * rq_occ_sum as f64 / (cycles as f64 * RENAME_Q_CAP as f64),
+        avg_rob_occupancy_pct: 100.0 * rob_occ_sum as f64
+            / (cycles as f64 * f64::from(arch.rob_size)),
+        avg_rename_q_occupancy_pct: 100.0 * rq_occ_sum as f64
+            / (cycles as f64 * RENAME_Q_CAP as f64),
         load_count,
         load_exec_cycles,
         d_l1: 0,
@@ -513,7 +530,10 @@ mod tests {
     fn cpi_bounded_below_by_commit_width() {
         let t = region("O1", 8000);
         for cw in [1u32, 2, 4, 8] {
-            let arch = MicroArch { commit_width: cw, ..MicroArch::big_core() };
+            let arch = MicroArch {
+                commit_width: cw,
+                ..MicroArch::big_core()
+            };
             let r = simulate(&t, &arch, SimOptions::default());
             assert!(
                 r.cpi() >= 1.0 / f64::from(cw) - 1e-9,
@@ -528,7 +548,10 @@ mod tests {
         let t = region("O2", 8000);
         let mut prev = f64::INFINITY;
         for cw in [1u32, 2, 4, 8, 12] {
-            let arch = MicroArch { commit_width: cw, ..MicroArch::big_core() };
+            let arch = MicroArch {
+                commit_width: cw,
+                ..MicroArch::big_core()
+            };
             let cpi = simulate(&t, &arch, SimOptions::default()).cpi();
             assert!(cpi <= prev + 0.05, "cw={cw}: cpi {cpi} > previous {prev}");
             prev = cpi;
@@ -540,7 +563,10 @@ mod tests {
         let t = region("S1", 8000);
         let mut prev = f64::INFINITY;
         for rob in [1u32, 4, 16, 64, 256, 1024] {
-            let arch = MicroArch { rob_size: rob, ..MicroArch::big_core() };
+            let arch = MicroArch {
+                rob_size: rob,
+                ..MicroArch::big_core()
+            };
             let cpi = simulate(&t, &arch, SimOptions::default()).cpi();
             assert!(cpi <= prev * 1.02 + 0.05, "rob={rob}: cpi {cpi} vs {prev}");
             prev = cpi;
@@ -550,9 +576,16 @@ mod tests {
     #[test]
     fn tiny_rob_serializes() {
         let t = region("O1", 4000);
-        let arch = MicroArch { rob_size: 1, ..MicroArch::big_core() };
+        let arch = MicroArch {
+            rob_size: 1,
+            ..MicroArch::big_core()
+        };
         let r = simulate(&t, &arch, SimOptions::default());
-        assert!(r.cpi() >= 0.99, "ROB=1 must be near-serial, cpi {}", r.cpi());
+        assert!(
+            r.cpi() >= 0.99,
+            "ROB=1 must be near-serial, cpi {}",
+            r.cpi()
+        );
     }
 
     #[test]
@@ -572,10 +605,16 @@ mod tests {
         let (warm, t) = full.split_at(32_000);
         // Use the big core so branch behaviour isn't masked by the N1's tiny
         // load queue (on N1 the LQ dominates; see Figure 16).
-        let mk = |pct| MicroArch { predictor: PredictorKind::Simple { miss_pct: pct }, ..MicroArch::big_core() };
+        let mk = |pct| MicroArch {
+            predictor: PredictorKind::Simple { miss_pct: pct },
+            ..MicroArch::big_core()
+        };
         let good = simulate_warmed(warm, t, &mk(0), SimOptions::default()).cpi();
         let bad = simulate_warmed(warm, t, &mk(50), SimOptions::default()).cpi();
-        assert!(bad > good * 1.3, "mispredictions must hurt: {good} -> {bad}");
+        assert!(
+            bad > good * 1.3,
+            "mispredictions must hurt: {good} -> {bad}"
+        );
     }
 
     #[test]
@@ -591,19 +630,38 @@ mod tests {
             warmed.cpi(),
             cold.cpi()
         );
-        assert!(warmed.d_ram < cold.d_ram / 2, "RAM accesses {} vs {}", warmed.d_ram, cold.d_ram);
-        assert_eq!(warmed.instructions, t.len() as u64, "warmup instructions are not counted");
+        assert!(
+            warmed.d_ram < cold.d_ram / 2,
+            "RAM accesses {} vs {}",
+            warmed.d_ram,
+            cold.d_ram
+        );
+        assert_eq!(
+            warmed.instructions,
+            t.len() as u64,
+            "warmup instructions are not counted"
+        );
     }
 
     #[test]
     fn bigger_caches_help_cache_sensitive_workload() {
         let t = region("S6", 12_000);
         let small = MicroArch {
-            mem: concorde_cache::MemConfig { l1d_kb: 16, l1i_kb: 16, l2_kb: 512, prefetch_degree: 0 },
+            mem: concorde_cache::MemConfig {
+                l1d_kb: 16,
+                l1i_kb: 16,
+                l2_kb: 512,
+                prefetch_degree: 0,
+            },
             ..MicroArch::arm_n1()
         };
         let big = MicroArch {
-            mem: concorde_cache::MemConfig { l1d_kb: 256, l1i_kb: 256, l2_kb: 4096, prefetch_degree: 0 },
+            mem: concorde_cache::MemConfig {
+                l1d_kb: 256,
+                l1i_kb: 256,
+                l2_kb: 4096,
+                prefetch_degree: 0,
+            },
             ..MicroArch::arm_n1()
         };
         let s = simulate(&t, &small, SimOptions::default()).cpi();
@@ -614,8 +672,14 @@ mod tests {
     #[test]
     fn tiny_load_queue_throttles_memory_parallelism() {
         let t = region("P11", 8000);
-        let lq1 = MicroArch { lq_size: 1, ..MicroArch::big_core() };
-        let lq64 = MicroArch { lq_size: 64, ..MicroArch::big_core() };
+        let lq1 = MicroArch {
+            lq_size: 1,
+            ..MicroArch::big_core()
+        };
+        let lq64 = MicroArch {
+            lq_size: 64,
+            ..MicroArch::big_core()
+        };
         let a = simulate(&t, &lq1, SimOptions::default()).cpi();
         let b = simulate(&t, &lq64, SimOptions::default()).cpi();
         assert!(a > b * 1.2, "LQ=1 cpi {a} vs LQ=64 cpi {b}");
@@ -624,7 +688,14 @@ mod tests {
     #[test]
     fn commit_cycles_are_monotone_when_recorded() {
         let t = region("S5", 4000);
-        let r = simulate(&t, &MicroArch::arm_n1(), SimOptions { record_commit_cycles: true, seed: 0 });
+        let r = simulate(
+            &t,
+            &MicroArch::arm_n1(),
+            SimOptions {
+                record_commit_cycles: true,
+                seed: 0,
+            },
+        );
         let cc = r.commit_cycles.as_ref().unwrap();
         for w in cc.windows(2) {
             assert!(w[0] <= w[1]);
@@ -645,7 +716,10 @@ mod tests {
             let arch = MicroArch::sample(&mut rng);
             let r = simulate(&t, &arch, SimOptions::default());
             let cpi = r.cpi();
-            assert!(cpi.is_finite() && cpi > 0.05 && cpi < 400.0, "cpi {cpi} for {arch:?}");
+            assert!(
+                cpi.is_finite() && cpi > 0.05 && cpi < 400.0,
+                "cpi {cpi} for {arch:?}"
+            );
             assert!(r.avg_rob_occupancy_pct >= 0.0 && r.avg_rob_occupancy_pct <= 100.0);
         }
     }

@@ -5,19 +5,13 @@ use concorde_cache::HierarchyStats;
 use serde::{Deserialize, Serialize};
 
 /// Options controlling a cycle-level simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct SimOptions {
     /// Record per-instruction commit cycles (needed for window IPC analyses,
     /// costs 8 bytes/instruction).
     pub record_commit_cycles: bool,
     /// Seed for stochastic components (the `Simple` predictor).
     pub seed: u64,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        SimOptions { record_commit_cycles: false, seed: 0 }
-    }
 }
 
 /// Outcome of a cycle-level simulation.
@@ -76,7 +70,10 @@ impl SimResult {
     ///
     /// Panics if commit cycles were not recorded.
     pub fn window_ipc(&self, k: usize) -> Vec<f64> {
-        let cc = self.commit_cycles.as_ref().expect("commit cycles were not recorded");
+        let cc = self
+            .commit_cycles
+            .as_ref()
+            .expect("commit cycles were not recorded");
         let mut out = Vec::new();
         let mut prev = 0u64;
         let mut j = k;

@@ -22,7 +22,15 @@ pub struct AdamVec {
 impl AdamVec {
     /// Creates an optimizer for `n` parameters.
     pub fn new(n: usize, lr: f32) -> Self {
-        AdamVec { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: vec![0.0; n], v: vec![0.0; n] }
+        AdamVec {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+        }
     }
 
     /// Applies one update in place.
@@ -63,7 +71,11 @@ mod tests {
         let mut p = vec![0.0f32; 5];
         let mut opt = AdamVec::new(5, 0.1);
         for _ in 0..500 {
-            let g: Vec<f32> = p.iter().enumerate().map(|(i, &x)| 2.0 * (x - i as f32)).collect();
+            let g: Vec<f32> = p
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| 2.0 * (x - i as f32))
+                .collect();
             opt.apply(&mut p, &g, 1.0);
         }
         for (i, &x) in p.iter().enumerate() {

@@ -34,7 +34,16 @@ impl AdamW {
                 .map(|l| (vec![0.0f32; l.w.len()], vec![0.0f32; l.b.len()]))
                 .collect::<Vec<_>>()
         };
-        AdamW { lr, weight_decay, beta1: 0.9, beta2: 0.999, eps: 1e-8, step: 0, m: zeros(), v: zeros() }
+        AdamW {
+            lr,
+            weight_decay,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: zeros(),
+            v: zeros(),
+        }
     }
 
     /// Steps taken so far.
@@ -49,7 +58,11 @@ impl AdamW {
     ///
     /// Panics if the gradient shapes don't match the model.
     pub fn apply(&mut self, model: &mut Mlp, g: &MlpGrads, lr_scale: f32) {
-        assert_eq!(g.layers.len(), model.layers.len(), "gradient shape mismatch");
+        assert_eq!(
+            g.layers.len(),
+            model.layers.len(),
+            "gradient shape mismatch"
+        );
         self.step += 1;
         let t = self.step as f32;
         let lr = self.lr * lr_scale;
@@ -66,7 +79,8 @@ impl AdamW {
                 vw[i] = self.beta2 * vw[i] + (1.0 - self.beta2) * gw[i] * gw[i];
                 let mhat = mw[i] / bc1;
                 let vhat = vw[i] / bc2;
-                layer.w[i] -= lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * layer.w[i]);
+                layer.w[i] -=
+                    lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * layer.w[i]);
             }
             // Biases: no weight decay.
             for i in 0..layer.b.len() {
@@ -91,7 +105,9 @@ pub struct HalvingSchedule {
 impl HalvingSchedule {
     /// The paper's milestone schedule.
     pub fn paper() -> Self {
-        HalvingSchedule { milestones: vec![10_000, 14_000, 18_000, 22_000] }
+        HalvingSchedule {
+            milestones: vec![10_000, 14_000, 18_000, 22_000],
+        }
     }
 
     /// Scaled milestones for shorter runs.
@@ -159,7 +175,10 @@ mod tests {
             opt.apply(&mut model, &g, 1.0);
         }
         let norm_after: f32 = model.layers[0].w.iter().map(|w| w * w).sum();
-        assert!(norm_after < norm_before * 0.9, "{norm_before} -> {norm_after}");
+        assert!(
+            norm_after < norm_before * 0.9,
+            "{norm_before} -> {norm_after}"
+        );
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use adam_vec::AdamVec;
 pub use adamw::{AdamW, HalvingSchedule};
 pub use loss::{relative_error, squared_error, ErrorStats};
 pub use lstm::{LstmGrads, LstmRegressor};
-pub use mlp::{Linear, Mlp, MlpGrads};
+pub use mlp::{Linear, Mlp, MlpGrads, MlpScratch};

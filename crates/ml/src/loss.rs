@@ -47,7 +47,10 @@ impl ErrorStats {
     ///
     /// Panics if `pairs` is empty.
     pub fn from_pairs(pairs: &[(f64, f64)]) -> Self {
-        assert!(!pairs.is_empty(), "cannot summarize an empty evaluation set");
+        assert!(
+            !pairs.is_empty(),
+            "cannot summarize an empty evaluation set"
+        );
         let mut errs: Vec<f64> = pairs.iter().map(|(p, y)| (p - y).abs() / y).collect();
         errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let n = errs.len();
@@ -94,7 +97,9 @@ mod tests {
         assert!((s.mean - 0.05).abs() < 1e-3);
         assert!(s.p90 >= s.p50);
         assert_eq!(s.frac_above_10pct, 0.0);
-        let tail: Vec<(f64, f64)> = (0..10).map(|i| if i < 9 { (1.0, 1.0) } else { (2.0, 1.0) }).collect();
+        let tail: Vec<(f64, f64)> = (0..10)
+            .map(|i| if i < 9 { (1.0, 1.0) } else { (2.0, 1.0) })
+            .collect();
         let st = ErrorStats::from_pairs(&tail);
         assert!((st.frac_above_10pct - 0.1).abs() < 1e-9);
     }

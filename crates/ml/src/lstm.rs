@@ -90,7 +90,13 @@ impl LstmGrads {
             return;
         }
         let s = 1.0 / self.count as f32;
-        for v in self.wx.iter_mut().chain(&mut self.wh).chain(&mut self.b).chain(&mut self.head_w) {
+        for v in self
+            .wx
+            .iter_mut()
+            .chain(&mut self.wh)
+            .chain(&mut self.b)
+            .chain(&mut self.head_w)
+        {
             *v *= s;
         }
         self.head_b *= s;
@@ -103,14 +109,26 @@ impl LstmRegressor {
     pub fn new(input_dim: usize, hidden: usize, rng: &mut ChaCha12Rng) -> Self {
         let bx = (6.0 / (input_dim + hidden) as f32).sqrt();
         let bh = (6.0 / (2 * hidden) as f32).sqrt();
-        let wx = (0..4 * hidden * input_dim).map(|_| rng.gen_range(-bx..bx)).collect();
-        let wh = (0..4 * hidden * hidden).map(|_| rng.gen_range(-bh..bh)).collect();
+        let wx = (0..4 * hidden * input_dim)
+            .map(|_| rng.gen_range(-bx..bx))
+            .collect();
+        let wh = (0..4 * hidden * hidden)
+            .map(|_| rng.gen_range(-bh..bh))
+            .collect();
         let mut b = vec![0.0f32; 4 * hidden];
         for fbias in b.iter_mut().skip(hidden).take(hidden) {
             *fbias = 1.0; // forget-gate bias
         }
         let head_w = (0..hidden).map(|_| rng.gen_range(-bh..bh)).collect();
-        LstmRegressor { input_dim, hidden, wx, wh, b, head_w, head_b: 0.0 }
+        LstmRegressor {
+            input_dim,
+            hidden,
+            wx,
+            wh,
+            b,
+            head_w,
+            head_b: 0.0,
+        }
     }
 
     /// Total parameter count.
@@ -118,6 +136,7 @@ impl LstmRegressor {
         self.wx.len() + self.wh.len() + self.b.len() + self.head_w.len() + 1
     }
 
+    #[allow(clippy::needless_range_loop)] // gate math indexes parallel weight blocks
     fn gates(&self, x: &[f32], h: &[f32], out: &mut [f32]) {
         let hh = self.hidden;
         for r in 0..4 * hh {
@@ -139,6 +158,7 @@ impl LstmRegressor {
     /// # Panics
     ///
     /// Panics if the sequence is empty or misshapen.
+    #[allow(clippy::needless_range_loop)] // j indexes parallel hidden-state blocks
     pub fn predict(&self, seq: &[f32]) -> f32 {
         let (hs, _, _) = self.forward(seq);
         let t = seq.len() / self.input_dim;
@@ -159,8 +179,12 @@ impl LstmRegressor {
     /// Forward pass storing per-step states: returns `(h[0..=T], c[0..=T],
     /// gate_pre[T])` (h/c include the zero initial state at index 0).
     #[allow(clippy::type_complexity)]
+    #[allow(clippy::needless_range_loop)] // gate math indexes parallel weight blocks
     fn forward(&self, seq: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
-        assert!(!seq.is_empty() && seq.len() % self.input_dim == 0, "bad sequence shape");
+        assert!(
+            !seq.is_empty() && seq.len().is_multiple_of(self.input_dim),
+            "bad sequence shape"
+        );
         let t = seq.len() / self.input_dim;
         let hh = self.hidden;
         let mut hs = vec![0.0f32; (t + 1) * hh];
@@ -186,6 +210,7 @@ impl LstmRegressor {
     }
 
     /// Loss and gradients for one sequence with label `y` under `dloss`.
+    #[allow(clippy::needless_range_loop)] // gate math indexes parallel weight blocks
     pub fn grad_sequence<F>(&self, seq: &[f32], y: f32, dloss: F) -> (LstmGrads, f64)
     where
         F: Fn(f32, f32) -> (f32, f32),
@@ -301,7 +326,7 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(3);
         let m = LstmRegressor::new(5, 8, &mut rng);
         assert_eq!(m.num_params(), 4 * 8 * 5 + 4 * 8 * 8 + 32 + 8 + 1);
-        let y = m.predict(&vec![0.1; 5 * 7]);
+        let y = m.predict(&[0.1; 5 * 7]);
         assert!(y.is_finite());
     }
 
@@ -318,7 +343,15 @@ mod tests {
             f64::from((p - y) * (p - y))
         };
         // Check several coordinates in every parameter group.
-        let checks: Vec<(&str, usize)> = vec![("wx", 0), ("wx", 7), ("wh", 3), ("wh", 17), ("b", 2), ("b", 9), ("head", 1)];
+        let checks: Vec<(&str, usize)> = vec![
+            ("wx", 0),
+            ("wx", 7),
+            ("wh", 3),
+            ("wh", 17),
+            ("b", 2),
+            ("b", 9),
+            ("head", 1),
+        ];
         for (group, idx) in checks {
             let mut mp = m.clone();
             let mut mm = m.clone();
@@ -379,7 +412,10 @@ mod tests {
             m.sgd_step(&g, 0.3);
             final_loss = total / data.len() as f64;
         }
-        assert!(final_loss < 0.01, "LSTM failed to learn mean task: {final_loss}");
+        assert!(
+            final_loss < 0.01,
+            "LSTM failed to learn mean task: {final_loss}"
+        );
     }
 
     #[test]

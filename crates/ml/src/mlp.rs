@@ -26,8 +26,15 @@ impl Linear {
     /// Xavier/Glorot-uniform initialization.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut ChaCha12Rng) -> Self {
         let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
-        Linear { in_dim, out_dim, w, b: vec![0.0; out_dim] }
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+        }
     }
 
     #[inline]
@@ -98,6 +105,44 @@ impl MlpGrads {
     }
 }
 
+/// Reusable activation arena for [`Mlp::predict_batch_into`]: two ping-pong
+/// batch buffers plus a transposed tile for the microkernel.
+///
+/// Grows on demand and is never shrunk; a serving worker keeps one per
+/// thread so steady-state batched inference performs no allocations.
+#[derive(Debug, Default, Clone)]
+pub struct MlpScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    tile: Vec<f32>,
+}
+
+impl MlpScratch {
+    /// Ensures the ping-pong buffers hold `n × width` activations and the
+    /// tile holds one `width × LANES` block.
+    fn reserve(&mut self, n: usize, width: usize) {
+        let need = n * width;
+        if self.a.len() < need {
+            self.a.resize(need, 0.0);
+            self.b.resize(need, 0.0);
+        }
+        let tneed = width * Mlp::LANES;
+        if self.tile.len() < tneed {
+            self.tile.resize(tneed, 0.0);
+        }
+    }
+
+    /// Both ping-pong buffers, mutably.
+    fn split(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.a, &mut self.b)
+    }
+
+    /// Ping-pong buffers plus the transposed tile, mutably.
+    fn parts(&mut self) -> (&mut [f32], &mut [f32], &mut [f32]) {
+        (&mut self.a, &mut self.b, &mut self.tile)
+    }
+}
+
 /// ReLU MLP with a scalar output head.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
@@ -106,14 +151,23 @@ pub struct Mlp {
 }
 
 impl Mlp {
+    /// Samples evaluated simultaneously by the batched kernel (one tile).
+    pub const LANES: usize = 8;
+
     /// Builds an MLP with the given layer sizes, e.g. `[3873, 256, 128, 1]`.
     ///
     /// # Panics
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new(dims: &[usize], rng: &mut ChaCha12Rng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output sizes");
-        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
         Mlp { layers }
     }
 
@@ -147,6 +201,115 @@ impl Mlp {
             cur = out;
         }
         cur[0]
+    }
+
+    /// Widest layer output dimension (scratch sizing for batched inference).
+    pub fn max_dim(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.out_dim.max(l.in_dim))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Forward pass over a row-major batch `xs` (`n × input_dim`), writing one
+    /// scalar prediction per row into `out`.
+    ///
+    /// This is where batching pays even on one core. The per-sample path is
+    /// a chain of dependent `acc += w·x` FMAs — bound by FP latency, not
+    /// throughput — and re-streams every weight matrix per sample. This
+    /// kernel transposes each [`Mlp::LANES`]-sample tile of activations and
+    /// evaluates the tile's dot products *simultaneously*: one weight pass
+    /// per tile, `LANES` independent accumulator chains the compiler can
+    /// vectorize. Each sample's own accumulation still runs in exactly
+    /// [`Mlp::predict`]'s order (`acc = b; acc += w·x`, left to right), so
+    /// outputs are bitwise identical to the per-sample path — interleaving
+    /// *across* samples reorders nothing *within* a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not a whole number of rows or `out` is not `n` long.
+    pub fn predict_batch_into(&self, xs: &[f32], out: &mut [f32], scratch: &mut MlpScratch) {
+        let dim = self.input_dim();
+        assert_eq!(xs.len() % dim.max(1), 0, "xs is not a whole number of rows");
+        let n = xs.len() / dim;
+        assert_eq!(out.len(), n, "output length mismatch");
+        if n == 0 {
+            return;
+        }
+        let width = self.max_dim();
+        scratch.reserve(n, width);
+        let last = self.layers.len() - 1;
+
+        // Layer-by-layer over the whole batch: activations for the current
+        // layer's input live in one buffer, outputs accumulate in the other.
+        scratch.split().0[..n * dim].copy_from_slice(xs);
+        let mut cur_w = dim;
+        let mut cur_buf = 0usize;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (in_dim, out_dim) = (layer.in_dim, layer.out_dim);
+            for block in (0..n).step_by(Self::LANES) {
+                let bs = Self::LANES.min(n - block);
+                let (a, b, tile) = scratch.parts();
+                let (src, dst) = if cur_buf == 0 { (a, b) } else { (b, a) };
+                if bs == Self::LANES {
+                    // Transpose the tile: tile[k * LANES + t] = sample t's
+                    // feature k (contiguous lanes for the inner loop).
+                    for t in 0..Self::LANES {
+                        let row = &src[(block + t) * cur_w..(block + t) * cur_w + in_dim];
+                        for (k, &v) in row.iter().enumerate() {
+                            tile[k * Self::LANES + t] = v;
+                        }
+                    }
+                    for o in 0..out_dim {
+                        let row = &layer.w[o * in_dim..(o + 1) * in_dim];
+                        let mut acc = [layer.b[o]; Self::LANES];
+                        for (k, &wv) in row.iter().enumerate() {
+                            let lanes = &tile[k * Self::LANES..(k + 1) * Self::LANES];
+                            for t in 0..Self::LANES {
+                                acc[t] += wv * lanes[t];
+                            }
+                        }
+                        for (t, &v) in acc.iter().enumerate() {
+                            dst[(block + t) * out_dim + o] = v;
+                        }
+                    }
+                    if li != last {
+                        for v in &mut dst[block * out_dim..(block + Self::LANES) * out_dim] {
+                            *v = v.max(0.0);
+                        }
+                    }
+                } else {
+                    // Ragged tail: plain per-sample forward (same arithmetic).
+                    for s in block..block + bs {
+                        let x = &src[s * cur_w..s * cur_w + in_dim];
+                        let y = &mut dst[s * out_dim..(s + 1) * out_dim];
+                        layer.forward_into(x, y);
+                        if li != last {
+                            for v in y {
+                                *v = v.max(0.0);
+                            }
+                        }
+                    }
+                }
+            }
+            cur_w = out_dim;
+            cur_buf ^= 1;
+        }
+        let (a, b) = scratch.split();
+        let fin = if cur_buf == 0 { a } else { b };
+        for (s, o) in out.iter_mut().enumerate() {
+            *o = fin[s * cur_w];
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Mlp::predict_batch_into`].
+    pub fn predict_batch(&self, xs: &[f32]) -> Vec<f32> {
+        let dim = self.input_dim().max(1);
+        let mut out = vec![0.0f32; xs.len() / dim];
+        let mut scratch = MlpScratch::default();
+        self.predict_batch_into(xs, &mut out, &mut scratch);
+        out
     }
 
     /// Computes loss and parameter gradients over a shard of samples.
@@ -237,7 +400,7 @@ mod tests {
         let m = Mlp::new(&[10, 8, 4, 1], &mut rng());
         assert_eq!(m.input_dim(), 10);
         assert_eq!(m.num_params(), 10 * 8 + 8 + 8 * 4 + 4 + 4 + 1);
-        let y = m.predict(&vec![0.1; 10]);
+        let y = m.predict(&[0.1; 10]);
         assert!(y.is_finite());
     }
 
@@ -280,7 +443,10 @@ mod tests {
             mm.layers[li].b[0] -= eps;
             let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * f64::from(eps));
             let ana = f64::from(grads.layers[li].1[0]);
-            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "layer {li} b[0]");
+            assert!(
+                (num - ana).abs() < 1e-2 * (1.0 + num.abs()),
+                "layer {li} b[0]"
+            );
         }
     }
 
@@ -317,5 +483,43 @@ mod tests {
     fn predict_rejects_wrong_dim() {
         let m = Mlp::new(&[4, 1], &mut rng());
         let _ = m.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_matches_single_bitwise() {
+        let m = Mlp::new(&[7, 9, 5, 1], &mut rng());
+        let n = 33;
+        let xs: Vec<f32> = (0..n * 7)
+            .map(|i| ((i as f32) * 0.71).sin() * 3.0)
+            .collect();
+        let batch = m.predict_batch(&xs);
+        assert_eq!(batch.len(), n);
+        for s in 0..n {
+            let single = m.predict(&xs[s * 7..(s + 1) * 7]);
+            assert_eq!(single.to_bits(), batch[s].to_bits(), "row {s} diverged");
+        }
+    }
+
+    #[test]
+    fn batch_scratch_is_reusable_across_batch_sizes() {
+        let m = Mlp::new(&[3, 8, 1], &mut rng());
+        let mut scratch = MlpScratch::default();
+        for n in [64usize, 1, 17, 128] {
+            let xs: Vec<f32> = (0..n * 3).map(|i| i as f32 * 0.01 - 1.0).collect();
+            let mut out = vec![0.0f32; n];
+            m.predict_batch_into(&xs, &mut out, &mut scratch);
+            for s in 0..n {
+                assert_eq!(
+                    out[s].to_bits(),
+                    m.predict(&xs[s * 3..(s + 1) * 3]).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let m = Mlp::new(&[4, 1], &mut rng());
+        assert!(m.predict_batch(&[]).is_empty());
     }
 }

@@ -1,0 +1,171 @@
+//! Clients: in-process [`Client`] (tests, benches, CLI) and [`TcpClient`]
+//! speaking the line-delimited JSON protocol to a remote `concorde serve`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::protocol::{PredictRequest, PredictResponse};
+use crate::service::{submit, ServeError, Shared};
+
+/// In-process handle onto a running [`PredictionService`](crate::PredictionService).
+///
+/// Cloneable and `Send`; many threads can submit concurrently.
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        Client { shared }
+    }
+
+    /// Enqueues a request, returning the response receiver immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the bounded queue is at capacity,
+    /// [`ServeError::ShuttingDown`] during teardown.
+    pub fn submit(
+        &self,
+        req: PredictRequest,
+    ) -> Result<mpsc::Receiver<PredictResponse>, ServeError> {
+        submit(&self.shared, req)
+    }
+
+    /// Predicts one request, blocking for the response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit`]; also [`ServeError::Disconnected`] if the
+    /// service is torn down mid-flight.
+    pub fn predict(&self, req: PredictRequest) -> Result<PredictResponse, ServeError> {
+        let rx = self.submit(req)?;
+        rx.recv().map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Metrics snapshot of the service this client feeds.
+    pub fn service_metrics(&self) -> crate::MetricsSnapshot {
+        crate::service::metrics_snapshot(&self.shared)
+    }
+
+    /// Predicts a whole batch, blocking until every response arrives.
+    ///
+    /// Responses come back in request order. Submission applies gentle
+    /// backpressure: when the queue is full the call waits for capacity
+    /// instead of failing, so arbitrarily large batches are safe.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] / [`ServeError::Disconnected`] when the
+    /// service goes away underneath the call.
+    pub fn predict_many(
+        &self,
+        reqs: Vec<PredictRequest>,
+    ) -> Result<Vec<PredictResponse>, ServeError> {
+        let mut pending = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            loop {
+                match self.submit(req.clone()) {
+                    Ok(rx) => {
+                        pending.push(rx);
+                        break;
+                    }
+                    Err(ServeError::QueueFull) => {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServeError::Disconnected))
+            .collect()
+    }
+}
+
+/// Blocking TCP client for the line-delimited JSON protocol.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a `concorde serve` endpoint (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// Any socket error.
+    pub fn connect(addr: &str) -> std::io::Result<TcpClient> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpClient {
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp)?;
+        if resp.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// Predicts one request over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level error decoded into `io::Error`.
+    pub fn predict(&mut self, req: &PredictRequest) -> std::io::Result<PredictResponse> {
+        let line = serde_json::to_string(req).expect("serialize request");
+        let resp = self.roundtrip_line(&line)?;
+        serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+
+    /// Predicts a batch in one protocol exchange (array in, array out).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level error decoded into `io::Error`.
+    pub fn predict_many(
+        &mut self,
+        reqs: &[PredictRequest],
+    ) -> std::io::Result<Vec<PredictResponse>> {
+        let line = serde_json::to_string(&reqs.to_vec()).expect("serialize requests");
+        let resp = self.roundtrip_line(&line)?;
+        serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+
+    /// Fetches the server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level error decoded into `io::Error`.
+    pub fn metrics(&mut self) -> std::io::Result<crate::MetricsSnapshot> {
+        let resp = self.roundtrip_line(r#"{"cmd": "metrics"}"#)?;
+        serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+
+    /// Fetches the served workload catalog as raw JSON.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn workloads(&mut self) -> std::io::Result<serde_json::Value> {
+        let resp = self.roundtrip_line(r#"{"cmd": "workloads"}"#)?;
+        serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+}

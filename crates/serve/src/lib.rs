@@ -1,0 +1,46 @@
+//! # concorde-serve
+//!
+//! Batched, cached inference serving for Concorde predictions — the layer
+//! that turns the paper's "~5 orders of magnitude faster than cycle-level
+//! simulation" result into a service: fleet-scale design-space exploration
+//! issues millions of *(region, microarchitecture)* queries, and this crate
+//! answers them with micro-batched MLP evaluation over an LRU cache of
+//! precomputed analytic feature stores.
+//!
+//! Pipeline: bounded queue → micro-batching collector (flush on batch size
+//! or deadline) → worker pool → per-region feature-store cache → one batched
+//! forward pass per region group.
+//!
+//! Entry points:
+//!
+//! - [`PredictionService::start`] — spin up the engine around a trained
+//!   [`ConcordePredictor`](concorde_core::model::ConcordePredictor)
+//! - [`PredictionService::client`] — in-process [`Client`] for tests,
+//!   benches, and embedding
+//! - [`PredictionService::serve_tcp`] — the line-delimited JSON protocol
+//!   (see [`server`]), spoken by [`TcpClient`] and `concorde predict`
+//!
+//! ```no_run
+//! use concorde_serve::{ArchSpec, PredictRequest, PredictionService, ServeConfig};
+//! # let (model, profile) = unimplemented!();
+//! let service = PredictionService::start(model, profile, ServeConfig::default());
+//! let client = service.client();
+//! let resp = client
+//!     .predict(PredictRequest::new(1, "S5", ArchSpec::base("n1")))
+//!     .unwrap();
+//! println!("CPI {}", resp.cpi.unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, TcpClient};
+pub use protocol::{ArchSpec, PredictRequest, PredictResponse};
+pub use server::workload_catalog;
+pub use service::{
+    MetricsSnapshot, PredictionService, ServeConfig, ServeError, SweepScope, MAX_REGION_LEN,
+};

@@ -1,0 +1,289 @@
+//! Wire types for the line-delimited JSON prediction protocol.
+//!
+//! One request per line; one response line per request (arrays map to array
+//! responses). The same types back the in-process [`Client`](crate::Client),
+//! so a test exercising the client exercises the protocol.
+//!
+//! ```json
+//! {"id": 1, "workload": "S5", "arch": {"base": "n1", "rob": 256}}
+//! {"id": 1, "cpi": 1.87, "cached": true, "micros": 112}
+//! ```
+
+use concorde_cyclesim::MicroArch;
+use serde::{Deserialize, Serialize};
+
+/// Architecture selector: a named base design plus per-parameter overrides.
+///
+/// Every field is optional; the empty spec resolves to the ARM N1
+/// configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Base design: `"n1"` (default) or `"big"`.
+    #[serde(default)]
+    pub base: Option<String>,
+    /// Reorder-buffer size.
+    #[serde(default)]
+    pub rob: Option<u32>,
+    /// Load-queue size.
+    #[serde(default)]
+    pub lq: Option<u32>,
+    /// Store-queue size.
+    #[serde(default)]
+    pub sq: Option<u32>,
+    /// ALU issue width.
+    #[serde(default)]
+    pub alu: Option<u32>,
+    /// FP issue width.
+    #[serde(default)]
+    pub fp: Option<u32>,
+    /// Load-store issue width.
+    #[serde(default)]
+    pub ls: Option<u32>,
+    /// Fetch width.
+    #[serde(default)]
+    pub fetch: Option<u32>,
+    /// Decode width.
+    #[serde(default)]
+    pub decode: Option<u32>,
+    /// Rename width.
+    #[serde(default)]
+    pub rename: Option<u32>,
+    /// Commit width.
+    #[serde(default)]
+    pub commit: Option<u32>,
+    /// L1 data cache size (KiB).
+    #[serde(default)]
+    pub l1d: Option<u32>,
+    /// L1 instruction cache size (KiB).
+    #[serde(default)]
+    pub l1i: Option<u32>,
+    /// Unified L2 size (KiB).
+    #[serde(default)]
+    pub l2: Option<u32>,
+    /// Prefetch degree.
+    #[serde(default)]
+    pub prefetch: Option<u32>,
+}
+
+impl ArchSpec {
+    /// Resolves the spec to a concrete microarchitecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming an unknown base design or an out-of-range
+    /// parameter. Sizes and widths must be in `1..=1_048_576` (the analytic
+    /// models assert non-zero resources; a zero from the wire must be a
+    /// request error, never a worker panic); `prefetch` may be `0..=64`.
+    pub fn resolve(&self) -> Result<MicroArch, String> {
+        const MAX: u32 = 1 << 20;
+        for (name, v) in [
+            ("rob", self.rob),
+            ("lq", self.lq),
+            ("sq", self.sq),
+            ("alu", self.alu),
+            ("fp", self.fp),
+            ("ls", self.ls),
+            ("fetch", self.fetch),
+            ("decode", self.decode),
+            ("rename", self.rename),
+            ("commit", self.commit),
+            ("l1d", self.l1d),
+            ("l1i", self.l1i),
+            ("l2", self.l2),
+        ] {
+            if let Some(v) = v {
+                if v == 0 || v > MAX {
+                    return Err(format!(
+                        "parameter `{name}` = {v} is out of range (1..={MAX})"
+                    ));
+                }
+            }
+        }
+        if let Some(v) = self.prefetch {
+            if v > 64 {
+                return Err(format!(
+                    "parameter `prefetch` = {v} is out of range (0..=64)"
+                ));
+            }
+        }
+        let mut arch = match self.base.as_deref() {
+            None | Some("n1") => MicroArch::arm_n1(),
+            Some("big") => MicroArch::big_core(),
+            Some(other) => {
+                return Err(format!(
+                    "unknown base arch `{other}` (expected `n1` or `big`)"
+                ))
+            }
+        };
+        if let Some(v) = self.rob {
+            arch.rob_size = v;
+        }
+        if let Some(v) = self.lq {
+            arch.lq_size = v;
+        }
+        if let Some(v) = self.sq {
+            arch.sq_size = v;
+        }
+        if let Some(v) = self.alu {
+            arch.alu_width = v;
+        }
+        if let Some(v) = self.fp {
+            arch.fp_width = v;
+        }
+        if let Some(v) = self.ls {
+            arch.ls_width = v;
+        }
+        if let Some(v) = self.fetch {
+            arch.fetch_width = v;
+        }
+        if let Some(v) = self.decode {
+            arch.decode_width = v;
+        }
+        if let Some(v) = self.rename {
+            arch.rename_width = v;
+        }
+        if let Some(v) = self.commit {
+            arch.commit_width = v;
+        }
+        if let Some(v) = self.l1d {
+            arch.mem.l1d_kb = v;
+        }
+        if let Some(v) = self.l1i {
+            arch.mem.l1i_kb = v;
+        }
+        if let Some(v) = self.l2 {
+            arch.mem.l2_kb = v;
+        }
+        if let Some(v) = self.prefetch {
+            arch.mem.prefetch_degree = v;
+        }
+        Ok(arch)
+    }
+
+    /// Spec for a named base design with no overrides.
+    pub fn base(name: &str) -> ArchSpec {
+        ArchSpec {
+            base: Some(name.to_string()),
+            ..ArchSpec::default()
+        }
+    }
+}
+
+/// One CPI prediction query: a program region plus a microarchitecture.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Workload id from the suite (e.g. `"S5"`); see `concorde workloads`.
+    pub workload: String,
+    /// Trace index within the workload.
+    #[serde(default)]
+    pub trace: u32,
+    /// Region start offset in instructions.
+    #[serde(default)]
+    pub start: u64,
+    /// Region length override in instructions (0 = the service profile's).
+    #[serde(default)]
+    pub len: u32,
+    /// Microarchitecture to predict for.
+    #[serde(default)]
+    pub arch: ArchSpec,
+}
+
+impl PredictRequest {
+    /// Request for `workload` on `arch` with defaults elsewhere.
+    pub fn new(id: u64, workload: &str, arch: ArchSpec) -> Self {
+        PredictRequest {
+            id,
+            workload: workload.to_string(),
+            trace: 0,
+            start: 0,
+            len: 0,
+            arch,
+        }
+    }
+}
+
+/// Prediction result (or error) for one request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Predicted CPI; absent on error.
+    #[serde(default)]
+    pub cpi: Option<f64>,
+    /// Error message; absent on success.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// Whether the region's feature store was already cached.
+    #[serde(default)]
+    pub cached: bool,
+    /// End-to-end service latency in microseconds (enqueue → response).
+    #[serde(default)]
+    pub micros: u64,
+}
+
+impl PredictResponse {
+    /// Successful response.
+    pub fn ok(id: u64, cpi: f64, cached: bool, micros: u64) -> Self {
+        PredictResponse {
+            id,
+            cpi: Some(cpi),
+            error: None,
+            cached,
+            micros,
+        }
+    }
+
+    /// Error response.
+    pub fn err(id: u64, msg: impl Into<String>, micros: u64) -> Self {
+        PredictResponse {
+            id,
+            cpi: None,
+            error: Some(msg.into()),
+            cached: false,
+            micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_spec_resolves_overrides() {
+        let spec: ArchSpec =
+            serde_json::from_str(r#"{"base": "big", "rob": 64, "l1d": 32}"#).unwrap();
+        let arch = spec.resolve().unwrap();
+        assert_eq!(arch.rob_size, 64);
+        assert_eq!(arch.mem.l1d_kb, 32);
+        // Untouched fields keep the big-core values.
+        assert_eq!(arch.lq_size, MicroArch::big_core().lq_size);
+    }
+
+    #[test]
+    fn empty_spec_is_n1() {
+        let spec: ArchSpec = serde_json::from_str("{}").unwrap();
+        assert_eq!(spec.resolve().unwrap(), MicroArch::arm_n1());
+    }
+
+    #[test]
+    fn unknown_base_is_an_error() {
+        assert!(ArchSpec::base("epyc").resolve().is_err());
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = PredictRequest::new(9, "S5", ArchSpec::base("n1"));
+        let line = serde_json::to_string(&req).unwrap();
+        let back: PredictRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.id, 9);
+        assert_eq!(back.workload, "S5");
+        // Missing optional fields deserialize to defaults.
+        let sparse: PredictRequest = serde_json::from_str(r#"{"workload": "C1"}"#).unwrap();
+        assert_eq!(sparse.trace, 0);
+        assert_eq!(sparse.arch, ArchSpec::default());
+    }
+}

@@ -1,0 +1,117 @@
+//! TCP front end: line-delimited JSON over a listener, one thread per
+//! connection, all connections feeding the shared batching queue (so
+//! concurrent clients batch together).
+//!
+//! Protocol, one JSON document per line:
+//!
+//! - `{...}` with a `workload` field → [`PredictRequest`] → one response line
+//! - `[{...}, ...]` → batch of requests → one array response line
+//! - `{"cmd": "ping"}` → `{"ok": true}`
+//! - `{"cmd": "metrics"}` → metrics snapshot
+//! - `{"cmd": "workloads"}` → the served workload catalog
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use serde_json::{json, Value};
+
+use crate::protocol::PredictRequest;
+use crate::service::PredictionService;
+use crate::Client;
+
+/// The served workload catalog (shared with `concorde workloads --json`).
+pub fn workload_catalog() -> Value {
+    let entries: Vec<Value> = concorde_trace::suite()
+        .iter()
+        .map(|w| {
+            json!({
+                "id": w.id,
+                "name": w.name,
+                "class": format!("{:?}", w.class),
+                "traces": w.n_traces,
+                "trace_len": w.trace_len,
+            })
+        })
+        .collect();
+    json!(entries)
+}
+
+impl PredictionService {
+    /// Serves the protocol on `listener` until the process exits.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop errors; per-connection errors only end that
+    /// connection.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = stream?;
+            let client = self.client();
+            std::thread::Builder::new()
+                .name("concorde-serve-conn".to_string())
+                .spawn(move || {
+                    let _ = handle_connection(client, stream);
+                })
+                .expect("spawn connection handler");
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(client: Client, stream: TcpStream) -> std::io::Result<()> {
+    let peer = stream.peer_addr()?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(&client, &line);
+        writer.write_all(reply.to_string().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    let _ = peer;
+    Ok(())
+}
+
+fn handle_line(client: &Client, line: &str) -> Value {
+    let parsed: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => return json!({ "error": format!("malformed JSON: {e}") }),
+    };
+    match parsed {
+        Value::Array(_) => {
+            let reqs: Vec<PredictRequest> = match serde_json::from_value(parsed) {
+                Ok(r) => r,
+                Err(e) => return json!({ "error": format!("bad request batch: {e}") }),
+            };
+            match client.predict_many(reqs) {
+                Ok(resps) => serde_json::to_value(&resps).expect("serialize responses"),
+                Err(e) => json!({ "error": e.to_string() }),
+            }
+        }
+        Value::Object(ref obj) if obj.contains_key("cmd") => {
+            match obj.get("cmd").and_then(Value::as_str) {
+                Some("ping") => json!({ "ok": true }),
+                Some("metrics") => {
+                    serde_json::to_value(&client.service_metrics()).expect("serialize metrics")
+                }
+                Some("workloads") => workload_catalog(),
+                other => json!({ "error": format!("unknown cmd {other:?}") }),
+            }
+        }
+        obj @ Value::Object(_) => {
+            let req: PredictRequest = match serde_json::from_value(obj) {
+                Ok(r) => r,
+                Err(e) => return json!({ "error": format!("bad request: {e}") }),
+            };
+            match client.predict(req) {
+                Ok(resp) => serde_json::to_value(&resp).expect("serialize response"),
+                Err(e) => json!({ "error": e.to_string() }),
+            }
+        }
+        _ => json!({ "error": "expected a JSON object or array" }),
+    }
+}

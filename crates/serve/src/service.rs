@@ -1,0 +1,573 @@
+//! The prediction engine: bounded queue → micro-batching collector → worker
+//! pool → batched model evaluation over cached feature stores.
+//!
+//! Requests enter a bounded FIFO. Each worker drains up to
+//! [`ServeConfig::max_batch`] requests, waiting at most
+//! [`ServeConfig::batch_deadline`] for stragglers (flush-on-size-or-deadline
+//! micro-batching), groups the batch by region feature-store key, obtains
+//! each group's [`FeatureStore`] through the shared LRU cache (hits skip the
+//! analytic precompute entirely), and runs one batched MLP forward pass per
+//! group through a worker-owned scratch arena.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use concorde_core::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache};
+use concorde_core::features::FeatureStore;
+use concorde_core::model::ConcordePredictor;
+use concorde_core::sweep::{ReproProfile, SweepConfig};
+use concorde_cyclesim::MicroArch;
+use concorde_ml::MlpScratch;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{PredictRequest, PredictResponse};
+
+/// Largest per-request region length the service will generate (the paper's
+/// full-scale regions are 100k instructions; this leaves ample headroom
+/// while bounding the memory one request can demand).
+pub const MAX_REGION_LEN: u32 = 1 << 20;
+
+/// Which parameter sweep each region's feature store precomputes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepScope {
+    /// The §5.2.3 power-of-two quantized sweep: one (expensive) precompute
+    /// per region serves *any* microarchitecture afterwards — the
+    /// design-space-exploration shape.
+    Quantized,
+    /// A minimal per-architecture sweep: cheap precompute, but the store is
+    /// only reusable for queries that quantize onto the same grid.
+    PerArch,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (0 = `available_parallelism - 1`, at least 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Flush a collecting batch at this many requests.
+    pub max_batch: usize,
+    /// Flush a collecting batch at this age even if not full.
+    pub batch_deadline: Duration,
+    /// Feature-store LRU capacity (stores, not bytes).
+    pub cache_capacity: usize,
+    /// Sweep each store precomputes.
+    pub sweep: SweepScope,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 4096,
+            max_batch: 128,
+            batch_deadline: Duration::from_millis(1),
+            cache_capacity: 128,
+            sweep: SweepScope::PerArch,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .saturating_sub(1)
+            .max(1)
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is at capacity; retry after draining.
+    QueueFull,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// The worker dropped the response channel (service torn down mid-call).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Disconnected => write!(f, "service dropped the in-flight request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Live engine counters (all monotonic except `queue_depth`).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batch_requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+    latency_us_sum: AtomicU64,
+    latency_us_max: AtomicU64,
+}
+
+impl Metrics {
+    fn observe_latency(&self, us: u64) {
+        self.latency_us_sum.fetch_add(us, Ordering::Relaxed);
+        self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batch_requests = self.batch_requests.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            errored: self.errored.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches,
+            avg_batch: if batches == 0 {
+                0.0
+            } else {
+                batch_requests as f64 / batches as f64
+            },
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            avg_latency_us: if completed == 0 {
+                0.0
+            } else {
+                self.latency_us_sum.load(Ordering::Relaxed) as f64 / completed as f64
+            },
+            max_latency_us: self.latency_us_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable [`Metrics`] snapshot (the `{"cmd": "metrics"}` reply).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Responses delivered (success or error).
+    pub completed: u64,
+    /// Error responses among `completed`.
+    pub errored: u64,
+    /// Submissions rejected for a full queue.
+    pub rejected: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub avg_batch: f64,
+    /// Feature-store cache hits.
+    pub cache_hits: u64,
+    /// Feature-store cache misses (precomputes).
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    pub cache_hit_rate: f64,
+    /// Current queue depth.
+    pub queue_depth: usize,
+    /// High-water queue depth.
+    pub max_queue_depth: usize,
+    /// Mean enqueue→response latency (µs).
+    pub avg_latency_us: f64,
+    /// Worst enqueue→response latency (µs).
+    pub max_latency_us: u64,
+}
+
+struct Job {
+    req: PredictRequest,
+    enqueued: Instant,
+    tx: mpsc::Sender<PredictResponse>,
+}
+
+pub(crate) struct Shared {
+    cfg: ServeConfig,
+    model: ConcordePredictor,
+    profile: ReproProfile,
+    queue: Mutex<VecDeque<Job>>,
+    notify: Condvar,
+    cache: Mutex<FeatureStoreCache>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// The serving engine; dropping it drains the workers.
+pub struct PredictionService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PredictionService {
+    /// Starts the worker pool around a trained model.
+    ///
+    /// `profile` must be the profile the model was trained with (it fixes
+    /// the encoding width and the served region/warmup lengths).
+    pub fn start(model: ConcordePredictor, profile: ReproProfile, cfg: ServeConfig) -> Self {
+        let n_workers = cfg.effective_workers();
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(FeatureStoreCache::new(cfg.cache_capacity)),
+            cfg,
+            model,
+            profile,
+            queue: Mutex::new(VecDeque::new()),
+            notify: Condvar::new(),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("concorde-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        PredictionService { shared, workers }
+    }
+
+    /// Live metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// An in-process client handle (cheap to clone, independent lifetime).
+    pub fn client(&self) -> crate::Client {
+        crate::Client::new(Arc::clone(&self.shared))
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+pub(crate) fn submit(
+    shared: &Shared,
+    req: PredictRequest,
+) -> Result<mpsc::Receiver<PredictResponse>, ServeError> {
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        // Checked under the queue lock: workers make their final
+        // shutdown-and-empty check under this same lock, so a job enqueued
+        // here is guaranteed to be either drained or rejected — never
+        // stranded after the last worker exits.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.len() >= shared.cfg.queue_capacity {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull);
+        }
+        q.push_back(Job {
+            req,
+            enqueued: Instant::now(),
+            tx,
+        });
+        let depth = q.len();
+        shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
+        shared
+            .metrics
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+    shared.notify.notify_one();
+    Ok(rx)
+}
+
+pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    shared.metrics.snapshot()
+}
+
+/// Collects one micro-batch: blocks for the first job, then keeps draining
+/// until the batch is full or the deadline passes.
+fn collect_batch(shared: &Shared) -> Vec<Job> {
+    let mut batch = Vec::new();
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && q.is_empty() {
+            return batch;
+        }
+        if !q.is_empty() {
+            break;
+        }
+        q = shared.notify.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    let deadline = Instant::now() + shared.cfg.batch_deadline;
+    loop {
+        while batch.len() < shared.cfg.max_batch {
+            match q.pop_front() {
+                Some(j) => batch.push(j),
+                None => break,
+            }
+        }
+        shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+        if batch.len() >= shared.cfg.max_batch || shared.shutdown.load(Ordering::SeqCst) {
+            return batch;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return batch;
+        }
+        let (qq, timeout) = shared
+            .notify
+            .wait_timeout(q, deadline - now)
+            .unwrap_or_else(|e| e.into_inner());
+        q = qq;
+        if timeout.timed_out() && q.is_empty() {
+            return batch;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = MlpScratch::default();
+    loop {
+        let batch = collect_batch(shared);
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        }
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .batch_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        process_batch(shared, batch, &mut scratch);
+    }
+}
+
+/// A batch group: jobs sharing one feature store.
+struct Group {
+    key: FeatureKey,
+    sweep: SweepConfig,
+    jobs: Vec<(Job, MicroArch)>,
+}
+
+fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
+    if resp.error.is_some() {
+        shared.metrics.errored.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .observe_latency(job.enqueued.elapsed().as_micros() as u64);
+    let _ = job.tx.send(resp);
+}
+
+fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut MlpScratch) {
+    // Group by feature-store key, resolving architectures up front.
+    let mut groups: Vec<Group> = Vec::new();
+    let mut index: HashMap<FeatureKey, usize> = HashMap::new();
+    for job in batch {
+        let arch = match job.req.arch.resolve() {
+            Ok(a) => a,
+            Err(msg) => {
+                let id = job.req.id;
+                let us = job.enqueued.elapsed().as_micros() as u64;
+                respond(shared, &job, PredictResponse::err(id, msg, us));
+                continue;
+            }
+        };
+        if concorde_trace::by_id(&job.req.workload).is_none() {
+            let id = job.req.id;
+            let msg = format!("unknown workload `{}`", job.req.workload);
+            let us = job.enqueued.elapsed().as_micros() as u64;
+            respond(shared, &job, PredictResponse::err(id, msg, us));
+            continue;
+        }
+        let sweep = match shared.cfg.sweep {
+            SweepScope::Quantized => SweepConfig::quantized(),
+            SweepScope::PerArch => SweepConfig::for_arch(&arch),
+        };
+        // Bound wire-controlled work: an unchecked `len` would let one
+        // request allocate/generate gigabytes of trace (an allocation abort
+        // is not catchable by the worker's unwind guard).
+        if job.req.len > MAX_REGION_LEN {
+            let id = job.req.id;
+            let msg = format!(
+                "region len {} exceeds the served maximum {MAX_REGION_LEN}",
+                job.req.len
+            );
+            let us = job.enqueued.elapsed().as_micros() as u64;
+            respond(shared, &job, PredictResponse::err(id, msg, us));
+            continue;
+        }
+        let region_len = if job.req.len > 0 {
+            job.req.len
+        } else {
+            shared.profile.region_len as u32
+        };
+        let key = FeatureKey {
+            workload: job.req.workload.clone(),
+            trace: job.req.trace,
+            start: job.req.start,
+            region_len,
+            sweep_hash: sweep_content_hash(&sweep),
+        };
+        match index.get(&key) {
+            Some(&g) => groups[g].jobs.push((job, arch)),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push(Group {
+                    key,
+                    sweep,
+                    jobs: vec![(job, arch)],
+                });
+            }
+        }
+    }
+
+    for group in groups {
+        run_group(shared, group, scratch);
+    }
+}
+
+fn run_group(shared: &Shared, group: Group, scratch: &mut MlpScratch) {
+    let Group { key, sweep, jobs } = group;
+    let archs: Vec<MicroArch> = jobs.iter().map(|(_, a)| *a).collect();
+    // A panic anywhere in the analytic stage or model evaluation must not
+    // kill the worker thread (a poisoned request could otherwise shrink the
+    // pool one request at a time until the service wedges): isolate the
+    // compute, answer the group's requests with an error, and keep serving.
+    // The scratch arena is plain resizable buffers, fully rewritten by each
+    // batch, so reusing it after an unwind is sound.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compute_group(shared, &key, &sweep, &archs, scratch)
+    }));
+    match outcome {
+        Ok((cpis, was_cached)) => {
+            for ((job, _), cpi) in jobs.iter().zip(cpis) {
+                let us = job.enqueued.elapsed().as_micros() as u64;
+                respond(
+                    shared,
+                    job,
+                    PredictResponse::ok(job.req.id, cpi, was_cached, us),
+                );
+            }
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "prediction panicked".to_string());
+            for (job, _) in &jobs {
+                let us = job.enqueued.elapsed().as_micros() as u64;
+                respond(
+                    shared,
+                    job,
+                    PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
+                );
+            }
+        }
+    }
+}
+
+/// Store fetch/build + batched evaluation for one region group.
+fn compute_group(
+    shared: &Shared,
+    key: &FeatureKey,
+    sweep: &SweepConfig,
+    archs: &[MicroArch],
+    scratch: &mut MlpScratch,
+) -> (Vec<f64>, bool) {
+    // Fetch or build the store. The build runs outside any lock so other
+    // workers keep serving cache hits during a precompute; at worst two
+    // workers race to build the same store and one result wins.
+    let cached = {
+        let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.get(key)
+    };
+    let (store, was_cached) = match cached {
+        Some(s) => {
+            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (s, true)
+        }
+        None => {
+            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let store = Arc::new(precompute_store(shared, key, sweep));
+            let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+            cache.insert(key.clone(), Arc::clone(&store));
+            (store, false)
+        }
+    };
+    (
+        shared.model.predict_batch_with(&store, archs, scratch),
+        was_cached,
+    )
+}
+
+fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> FeatureStore {
+    let spec = concorde_trace::by_id(&key.workload).expect("validated before grouping");
+    // Same convention as `dataset.rs`: the region is [start, start + len),
+    // functionally warmed by the up-to-`warmup_len` instructions before it.
+    let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);
+    let warm_len = (key.start - warm_start) as usize;
+    let region = concorde_trace::generate_region(
+        &spec,
+        key.trace,
+        warm_start,
+        warm_len + key.region_len as usize,
+    );
+    let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
+    FeatureStore::precompute(w, r, sweep, &shared.profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert!(cfg.effective_workers() >= 1);
+        assert!(cfg.queue_capacity > 0);
+        assert!(cfg.max_batch > 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ServeError::QueueFull.to_string().contains("full"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+}

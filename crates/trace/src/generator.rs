@@ -16,7 +16,7 @@ use rand_chacha::ChaCha12Rng;
 
 use crate::instruction::{BranchKind, Instruction, OpClass, RegId};
 use crate::pattern::{AddressPattern, PatternState};
-use crate::program::{BasicBlock, BlockId, BranchBehavior, StaticProgram, StaticOp, Terminator};
+use crate::program::{BasicBlock, BlockId, BranchBehavior, StaticOp, StaticProgram, Terminator};
 use crate::region::DynTrace;
 use crate::workload::{PhaseSpec, WorkloadSpec};
 
@@ -77,7 +77,11 @@ fn derive_seed(parts: &[u64]) -> u64 {
     acc
 }
 
-fn build_phase_patterns(phase_idx: usize, phase: &PhaseSpec, rng: &mut ChaCha12Rng) -> Vec<AddressPattern> {
+fn build_phase_patterns(
+    phase_idx: usize,
+    phase: &PhaseSpec,
+    rng: &mut ChaCha12Rng,
+) -> Vec<AddressPattern> {
     let arena = DATA_BASE + phase_idx as u64 * PHASE_ARENA;
     let wss = phase.mem.wss_bytes.max(1024);
     let stack_wss = wss.min(16 * 1024);
@@ -92,29 +96,50 @@ fn build_phase_patterns(phase_idx: usize, phase: &PhaseSpec, rng: &mut ChaCha12R
     (0..PATTERNS_PER_PHASE)
         .map(|_| match sample_weighted(&fams, rng) {
             0 => AddressPattern::Sequential { base: arena, wss },
-            1 => AddressPattern::Strided { base: arena, wss, stride: phase.mem.stride_bytes.max(64) },
+            1 => AddressPattern::Strided {
+                base: arena,
+                wss,
+                stride: phase.mem.stride_bytes.max(64),
+            },
             2 => AddressPattern::Random { base: arena, wss },
             3 => AddressPattern::PointerChase { base: arena, wss },
-            _ => AddressPattern::Stack { base: stack_base, wss: stack_wss },
+            _ => AddressPattern::Stack {
+                base: stack_base,
+                wss: stack_wss,
+            },
         })
         .collect()
 }
 
 fn sample_behavior(spec: &WorkloadSpec, rng: &mut ChaCha12Rng) -> BranchBehavior {
     let b = spec.branch;
-    let kinds = [(0u8, b.biased_w), (1, b.loop_w), (2, b.periodic_w), (3, b.random_w)];
+    let kinds = [
+        (0u8, b.biased_w),
+        (1, b.loop_w),
+        (2, b.periodic_w),
+        (3, b.random_w),
+    ];
     match sample_weighted(&kinds, rng) {
         0 => {
             let p = rng.gen_range(0.9f32..0.99);
-            BranchBehavior::Biased { taken_prob: if rng.gen_bool(0.5) { p } else { 1.0 - p } }
+            BranchBehavior::Biased {
+                taken_prob: if rng.gen_bool(0.5) { p } else { 1.0 - p },
+            }
         }
         1 => {
             let lo = (b.avg_trip / 2).max(2);
             let hi = (b.avg_trip.saturating_mul(2)).max(lo + 1);
-            BranchBehavior::Loop { trip: rng.gen_range(lo..=hi) }
+            BranchBehavior::Loop {
+                trip: rng.gen_range(lo..=hi),
+            }
         }
-        2 => BranchBehavior::Periodic { pattern: rng.gen::<u32>(), period: rng.gen_range(3..=16) },
-        _ => BranchBehavior::Biased { taken_prob: rng.gen_range(0.3f32..0.7) },
+        2 => BranchBehavior::Periodic {
+            pattern: rng.gen::<u32>(),
+            period: rng.gen_range(3..=16),
+        },
+        _ => BranchBehavior::Biased {
+            taken_prob: rng.gen_range(0.3f32..0.7),
+        },
     }
 }
 
@@ -149,6 +174,7 @@ pub fn build_static_program(spec: &WorkloadSpec, trace_idx: u32) -> StaticProgra
     let mut pc = spec.code.code_base;
     let mut chase_cursor = 0usize;
 
+    #[allow(clippy::needless_range_loop)] // phase_idx indexes two parallel arrays
     for phase_idx in 0..n_phases {
         let phase = &spec.phases[phase_idx];
         let weights = mix_weights(phase);
@@ -179,26 +205,43 @@ pub fn build_static_program(spec: &WorkloadSpec, trace_idx: u32) -> StaticProgra
                             ([Some(creg), None], Some(creg), pidx as u32)
                         } else {
                             let addr_reg = chain.unwrap_or_else(|| pick_reg(false, &mut rng));
-                            ([Some(addr_reg), None], Some(pick_reg(false, &mut rng)), pidx as u32)
+                            (
+                                [Some(addr_reg), None],
+                                Some(pick_reg(false, &mut rng)),
+                                pidx as u32,
+                            )
                         }
                     }
                     OpClass::Store => {
                         let pidx = rng.gen_range(prange.clone());
                         let data = chain.unwrap_or_else(|| pick_reg(false, &mut rng));
-                        ([Some(data), Some(pick_reg(false, &mut rng))], None, pidx as u32)
+                        (
+                            [Some(data), Some(pick_reg(false, &mut rng))],
+                            None,
+                            pidx as u32,
+                        )
                     }
                     OpClass::Nop => ([None, None], None, u32::MAX),
                     other => {
                         let fp = other.is_fp();
                         let a = chain.unwrap_or_else(|| pick_reg(fp, &mut rng));
-                        let b = if rng.gen_bool(0.7) { Some(pick_reg(fp, &mut rng)) } else { None };
+                        let b = if rng.gen_bool(0.7) {
+                            Some(pick_reg(fp, &mut rng))
+                        } else {
+                            None
+                        };
                         ([Some(a), b], Some(pick_reg(fp, &mut rng)), u32::MAX)
                     }
                 };
                 if let Some(d) = dst {
                     last_dst = Some(d);
                 }
-                ops.push(StaticOp { op, srcs, dst, pattern_idx });
+                ops.push(StaticOp {
+                    op,
+                    srcs,
+                    dst,
+                    pattern_idx,
+                });
             }
 
             // Terminator.
@@ -207,7 +250,10 @@ pub fn build_static_program(spec: &WorkloadSpec, trace_idx: u32) -> StaticProgra
                 (0u8, b.cond_frac),
                 (1, b.uncond_frac),
                 (2, b.indirect_frac),
-                (3, (1.0 - b.cond_frac - b.uncond_frac - b.indirect_frac).max(0.0)),
+                (
+                    3,
+                    (1.0 - b.cond_frac - b.uncond_frac - b.indirect_frac).max(0.0),
+                ),
             ];
             let terminator = match sample_weighted(&kinds, &mut rng) {
                 0 => {
@@ -220,26 +266,47 @@ pub fn build_static_program(spec: &WorkloadSpec, trace_idx: u32) -> StaticProgra
                     } else {
                         rng.gen_range(lo_id..hi_id)
                     };
-                    Terminator::CondBranch { behavior, target, fall: next_in_phase }
+                    Terminator::CondBranch {
+                        behavior,
+                        target,
+                        fall: next_in_phase,
+                    }
                 }
-                1 => Terminator::Jump { target: rng.gen_range(lo_id..hi_id) },
+                1 => Terminator::Jump {
+                    target: rng.gen_range(lo_id..hi_id),
+                },
                 2 => {
                     let n = b.indirect_targets.max(2) as usize;
                     let targets = (0..n).map(|_| rng.gen_range(lo_id..hi_id)).collect();
                     Terminator::IndirectBranch { targets }
                 }
-                _ => Terminator::FallThrough { next: next_in_phase },
+                _ => Terminator::FallThrough {
+                    next: next_in_phase,
+                },
             };
 
-            let dyn_len = ops.len() + usize::from(!matches!(terminator, Terminator::FallThrough { .. }));
-            blocks.push(BasicBlock { base_pc: pc, ops, terminator, phase: phase_idx as u8 });
+            let dyn_len =
+                ops.len() + usize::from(!matches!(terminator, Terminator::FallThrough { .. }));
+            blocks.push(BasicBlock {
+                base_pc: pc,
+                ops,
+                terminator,
+                phase: phase_idx as u8,
+            });
             pc += dyn_len as u64 * 4;
         }
     }
 
     let code_bytes = pc - spec.code.code_base;
-    let phase_entries = (0..n_phases).map(|p| (p * blocks_per_phase) as BlockId).collect();
-    StaticProgram { blocks, phase_entries, patterns, code_bytes }
+    let phase_entries = (0..n_phases)
+        .map(|p| (p * blocks_per_phase) as BlockId)
+        .collect();
+    StaticProgram {
+        blocks,
+        phase_entries,
+        patterns,
+        code_bytes,
+    }
 }
 
 /// Per-segment dynamic walker state.
@@ -304,8 +371,17 @@ impl<'a> Walker<'a> {
                 let instr = match op.op {
                     OpClass::Load | OpClass::Store => {
                         let pat = &self.prog.patterns[op.pattern_idx as usize];
-                        let addr = self.pattern_states[op.pattern_idx as usize].next_addr(pat, &mut self.rng);
-                        Instruction { pc, op: op.op, srcs: op.srcs, dst: op.dst, mem_addr: addr, taken: false, target: 0 }
+                        let addr = self.pattern_states[op.pattern_idx as usize]
+                            .next_addr(pat, &mut self.rng);
+                        Instruction {
+                            pc,
+                            op: op.op,
+                            srcs: op.srcs,
+                            dst: op.dst,
+                            mem_addr: addr,
+                            taken: false,
+                            target: 0,
+                        }
                     }
                     other => Instruction::compute(pc, other, op.srcs, op.dst),
                 };
@@ -325,20 +401,42 @@ impl<'a> Walker<'a> {
                 Terminator::Jump { target } => {
                     let tpc = self.prog.blocks[target as usize].base_pc;
                     self.cur = target;
-                    return Instruction::branch(branch_pc, BranchKind::DirectUncond, [None, None], true, tpc);
+                    return Instruction::branch(
+                        branch_pc,
+                        BranchKind::DirectUncond,
+                        [None, None],
+                        true,
+                        tpc,
+                    );
                 }
-                Terminator::CondBranch { behavior, target, fall } => {
+                Terminator::CondBranch {
+                    behavior,
+                    target,
+                    fall,
+                } => {
                     let taken = self.decide(behavior, count);
                     let next = if taken { target } else { fall };
                     let tpc = self.prog.blocks[target as usize].base_pc;
                     self.cur = next;
-                    return Instruction::branch(branch_pc, BranchKind::DirectCond, [Some(pick_src_flag(count)), None], taken, tpc);
+                    return Instruction::branch(
+                        branch_pc,
+                        BranchKind::DirectCond,
+                        [Some(pick_src_flag(count)), None],
+                        taken,
+                        tpc,
+                    );
                 }
                 Terminator::IndirectBranch { targets } => {
                     let t = targets[self.rng.gen_range(0..targets.len())];
                     let tpc = self.prog.blocks[t as usize].base_pc;
                     self.cur = t;
-                    return Instruction::branch(branch_pc, BranchKind::Indirect, [Some(30), None], true, tpc);
+                    return Instruction::branch(
+                        branch_pc,
+                        BranchKind::Indirect,
+                        [Some(30), None],
+                        true,
+                        tpc,
+                    );
                 }
             }
         }
@@ -391,7 +489,12 @@ pub fn generate_region(spec: &WorkloadSpec, trace_idx: u32, start: u64, len: usi
         seg += 1;
     }
 
-    DynTrace { workload_id: spec.id.clone(), trace_idx, start, instrs }
+    DynTrace {
+        workload_id: spec.id.clone(),
+        trace_idx,
+        start,
+        instrs,
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +516,10 @@ mod tests {
         let a = generate_region(&spec, 0, 0, (SEGMENT_LEN * 2) as usize);
         let b = generate_region(&spec, 0, SEGMENT_LEN, (SEGMENT_LEN * 2) as usize);
         // The second half of `a` equals the first half of `b`.
-        assert_eq!(a.instrs[SEGMENT_LEN as usize..], b.instrs[..SEGMENT_LEN as usize]);
+        assert_eq!(
+            a.instrs[SEGMENT_LEN as usize..],
+            b.instrs[..SEGMENT_LEN as usize]
+        );
     }
 
     #[test]
@@ -438,7 +544,8 @@ mod tests {
         let t = generate_region(&spec, 0, 0, 20_000);
         let fp = t.instrs.iter().filter(|i| i.op.is_fp()).count() as f64 / t.instrs.len() as f64;
         assert!(fp > 0.2, "FP fraction {fp} too low for a video workload");
-        let loads = t.instrs.iter().filter(|i| i.op.is_load()).count() as f64 / t.instrs.len() as f64;
+        let loads =
+            t.instrs.iter().filter(|i| i.op.is_load()).count() as f64 / t.instrs.len() as f64;
         assert!(loads > 0.05 && loads < 0.6);
     }
 
@@ -451,7 +558,10 @@ mod tests {
             .iter()
             .filter(|i| i.op.is_load() && i.dst.is_some() && i.srcs[0] == i.dst)
             .count();
-        assert!(self_dep > 100, "expected many self-dependent chase loads, got {self_dep}");
+        assert!(
+            self_dep > 100,
+            "expected many self-dependent chase loads, got {self_dep}"
+        );
     }
 
     #[test]
@@ -459,7 +569,11 @@ mod tests {
         let spec = by_id("S4").unwrap();
         let t = generate_region(&spec, 0, 0, 10_000);
         let branches: Vec<_> = t.instrs.iter().filter(|i| i.op.is_branch()).collect();
-        assert!(branches.len() > 500, "leela should be branchy, got {}", branches.len());
+        assert!(
+            branches.len() > 500,
+            "leela should be branchy, got {}",
+            branches.len()
+        );
         for b in &branches {
             assert!(b.target != 0);
         }
@@ -479,7 +593,11 @@ mod tests {
         for spec in suite() {
             let t = generate_region(&spec, 0, 0, 512);
             assert_eq!(t.instrs.len(), 512, "{}", spec.id);
-            assert!(t.instrs.iter().any(|i| i.op.is_load()), "{} has no loads", spec.id);
+            assert!(
+                t.instrs.iter().any(|i| i.op.is_load()),
+                "{} has no loads",
+                spec.id
+            );
         }
     }
 

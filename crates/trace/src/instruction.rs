@@ -148,22 +148,60 @@ pub struct Instruction {
 impl Instruction {
     /// Creates a non-memory, non-branch instruction.
     pub fn compute(pc: u64, op: OpClass, srcs: [Option<RegId>; 2], dst: Option<RegId>) -> Self {
-        Instruction { pc, op, srcs, dst, mem_addr: 0, taken: false, target: 0 }
+        Instruction {
+            pc,
+            op,
+            srcs,
+            dst,
+            mem_addr: 0,
+            taken: false,
+            target: 0,
+        }
     }
 
     /// Creates a load from `addr`.
     pub fn load(pc: u64, addr: u64, srcs: [Option<RegId>; 2], dst: Option<RegId>) -> Self {
-        Instruction { pc, op: OpClass::Load, srcs, dst, mem_addr: addr, taken: false, target: 0 }
+        Instruction {
+            pc,
+            op: OpClass::Load,
+            srcs,
+            dst,
+            mem_addr: addr,
+            taken: false,
+            target: 0,
+        }
     }
 
     /// Creates a store to `addr`.
     pub fn store(pc: u64, addr: u64, srcs: [Option<RegId>; 2]) -> Self {
-        Instruction { pc, op: OpClass::Store, srcs, dst: None, mem_addr: addr, taken: false, target: 0 }
+        Instruction {
+            pc,
+            op: OpClass::Store,
+            srcs,
+            dst: None,
+            mem_addr: addr,
+            taken: false,
+            target: 0,
+        }
     }
 
     /// Creates a branch with the given outcome and target.
-    pub fn branch(pc: u64, kind: BranchKind, srcs: [Option<RegId>; 2], taken: bool, target: u64) -> Self {
-        Instruction { pc, op: OpClass::Branch(kind), srcs, dst: None, mem_addr: 0, taken, target }
+    pub fn branch(
+        pc: u64,
+        kind: BranchKind,
+        srcs: [Option<RegId>; 2],
+        taken: bool,
+        target: u64,
+    ) -> Self {
+        Instruction {
+            pc,
+            op: OpClass::Branch(kind),
+            srcs,
+            dst: None,
+            mem_addr: 0,
+            taken,
+            target,
+        }
     }
 
     /// Data-cache line index touched by this instruction (valid for memory ops).

@@ -39,4 +39,7 @@ pub use instruction::{BranchKind, Instruction, OpClass, RegId, LINE_BYTES, NUM_R
 pub use pattern::AddressPattern;
 pub use program::{BasicBlock, BlockId, BranchBehavior, StaticProgram, Terminator};
 pub use region::{sample_region, DynTrace, RegionRef};
-pub use workload::{by_id, suite, BranchProfile, CodeShape, MemProfile, OpMix, PhaseSpec, WorkloadClass, WorkloadSpec};
+pub use workload::{
+    by_id, suite, BranchProfile, CodeShape, MemProfile, OpMix, PhaseSpec, WorkloadClass,
+    WorkloadSpec,
+};

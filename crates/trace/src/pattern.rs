@@ -86,7 +86,9 @@ impl PatternState {
     /// different trace segments begin at different phases of the pattern.
     pub fn seeded(pattern: &AddressPattern, rng: &mut ChaCha12Rng) -> Self {
         let span = pattern.wss().max(LINE_BYTES);
-        PatternState { pos: rng.gen_range(0..span / LINE_BYTES) }
+        PatternState {
+            pos: rng.gen_range(0..span / LINE_BYTES),
+        }
     }
 
     /// Produces the next effective address for `pattern` and advances the cursor.
@@ -138,7 +140,10 @@ mod tests {
 
     #[test]
     fn sequential_walks_lines_and_wraps() {
-        let p = AddressPattern::Sequential { base: 0x1000, wss: 256 };
+        let p = AddressPattern::Sequential {
+            base: 0x1000,
+            wss: 256,
+        };
         let mut st = PatternState::default();
         let mut r = rng();
         let a: Vec<u64> = (0..6).map(|_| st.next_addr(&p, &mut r)).collect();
@@ -147,7 +152,11 @@ mod tests {
 
     #[test]
     fn strided_respects_stride_and_span() {
-        let p = AddressPattern::Strided { base: 0, wss: 4096, stride: 256 };
+        let p = AddressPattern::Strided {
+            base: 0,
+            wss: 4096,
+            stride: 256,
+        };
         let mut st = PatternState::default();
         let mut r = rng();
         for i in 0..32u64 {
@@ -158,19 +167,25 @@ mod tests {
 
     #[test]
     fn random_stays_in_working_set() {
-        let p = AddressPattern::Random { base: 0x10_0000, wss: 1 << 16 };
+        let p = AddressPattern::Random {
+            base: 0x10_0000,
+            wss: 1 << 16,
+        };
         let mut st = PatternState::default();
         let mut r = rng();
         for _ in 0..1000 {
             let a = st.next_addr(&p, &mut r);
-            assert!(a >= 0x10_0000 && a < 0x10_0000 + (1 << 16));
+            assert!((0x10_0000..0x10_0000 + (1 << 16)).contains(&a));
             assert_eq!(a % LINE_BYTES, 0);
         }
     }
 
     #[test]
     fn pointer_chase_visits_many_distinct_lines() {
-        let p = AddressPattern::PointerChase { base: 0, wss: 1 << 14 }; // 256 lines
+        let p = AddressPattern::PointerChase {
+            base: 0,
+            wss: 1 << 14,
+        }; // 256 lines
         let mut st = PatternState::default();
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
@@ -191,7 +206,10 @@ mod tests {
 
     #[test]
     fn seeded_states_differ_across_rngs() {
-        let p = AddressPattern::Sequential { base: 0, wss: 1 << 20 };
+        let p = AddressPattern::Sequential {
+            base: 0,
+            wss: 1 << 20,
+        };
         let mut r1 = ChaCha12Rng::seed_from_u64(1);
         let mut r2 = ChaCha12Rng::seed_from_u64(2);
         let s1 = PatternState::seeded(&p, &mut r1);

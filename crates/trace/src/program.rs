@@ -139,7 +139,12 @@ mod tests {
     fn tiny_block() -> BasicBlock {
         BasicBlock {
             base_pc: 0x1000,
-            ops: vec![StaticOp { op: OpClass::IntAlu, srcs: [Some(1), None], dst: Some(2), pattern_idx: u32::MAX }],
+            ops: vec![StaticOp {
+                op: OpClass::IntAlu,
+                srcs: [Some(1), None],
+                dst: Some(2),
+                pattern_idx: u32::MAX,
+            }],
             terminator: Terminator::CondBranch {
                 behavior: BranchBehavior::Loop { trip: 4 },
                 target: 0,
@@ -153,7 +158,10 @@ mod tests {
     fn dyn_len_counts_branch() {
         let b = tiny_block();
         assert_eq!(b.dyn_len(), 2);
-        let f = BasicBlock { terminator: Terminator::FallThrough { next: 1 }, ..tiny_block() };
+        let f = BasicBlock {
+            terminator: Terminator::FallThrough { next: 1 },
+            ..tiny_block()
+        };
         assert_eq!(f.dyn_len(), 1);
     }
 

@@ -80,11 +80,21 @@ impl RegionRef {
 /// aligned to generator segments (paper §4: regions are sampled randomly from a
 /// randomly chosen trace, with probability proportional to trace length — all
 /// our traces of one workload share a length, so uniform trace choice matches).
-pub fn sample_region(spec: &WorkloadSpec, workload_idx: u16, len: u32, rng: &mut ChaCha12Rng) -> RegionRef {
+pub fn sample_region(
+    spec: &WorkloadSpec,
+    workload_idx: u16,
+    len: u32,
+    rng: &mut ChaCha12Rng,
+) -> RegionRef {
     let trace_idx = rng.gen_range(0..spec.n_traces.max(1));
     let max_start_seg = spec.trace_len.saturating_sub(u64::from(len)) / SEGMENT_LEN;
     let start = rng.gen_range(0..=max_start_seg) * SEGMENT_LEN;
-    RegionRef { workload: workload_idx, trace_idx, start, len }
+    RegionRef {
+        workload: workload_idx,
+        trace_idx,
+        start,
+        len,
+    }
 }
 
 #[cfg(test)]
@@ -95,10 +105,30 @@ mod tests {
 
     #[test]
     fn overlap_math() {
-        let a = RegionRef { workload: 0, trace_idx: 0, start: 0, len: 100 };
-        let b = RegionRef { workload: 0, trace_idx: 0, start: 50, len: 100 };
-        let c = RegionRef { workload: 0, trace_idx: 1, start: 50, len: 100 };
-        let d = RegionRef { workload: 0, trace_idx: 0, start: 200, len: 100 };
+        let a = RegionRef {
+            workload: 0,
+            trace_idx: 0,
+            start: 0,
+            len: 100,
+        };
+        let b = RegionRef {
+            workload: 0,
+            trace_idx: 0,
+            start: 50,
+            len: 100,
+        };
+        let c = RegionRef {
+            workload: 0,
+            trace_idx: 1,
+            start: 50,
+            len: 100,
+        };
+        let d = RegionRef {
+            workload: 0,
+            trace_idx: 0,
+            start: 200,
+            len: 100,
+        };
         assert_eq!(a.overlap(&b), 50);
         assert_eq!(b.overlap(&a), 50);
         assert_eq!(a.overlap(&c), 0, "different traces never overlap");

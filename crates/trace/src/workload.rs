@@ -51,22 +51,62 @@ pub struct OpMix {
 impl OpMix {
     /// Integer-dominated mix.
     pub fn int_heavy() -> Self {
-        OpMix { alu: 0.52, mul: 0.03, div: 0.004, fp_alu: 0.0, fp_mul: 0.0, fp_div: 0.0, load: 0.24, store: 0.12, nop: 0.05 }
+        OpMix {
+            alu: 0.52,
+            mul: 0.03,
+            div: 0.004,
+            fp_alu: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.24,
+            store: 0.12,
+            nop: 0.05,
+        }
     }
 
     /// Floating-point / media mix.
     pub fn fp_heavy() -> Self {
-        OpMix { alu: 0.22, mul: 0.02, div: 0.0, fp_alu: 0.2, fp_mul: 0.22, fp_div: 0.01, load: 0.2, store: 0.1, nop: 0.02 }
+        OpMix {
+            alu: 0.22,
+            mul: 0.02,
+            div: 0.0,
+            fp_alu: 0.2,
+            fp_mul: 0.22,
+            fp_div: 0.01,
+            load: 0.2,
+            store: 0.1,
+            nop: 0.02,
+        }
     }
 
     /// Memory-dominated mix.
     pub fn mem_heavy() -> Self {
-        OpMix { alu: 0.3, mul: 0.01, div: 0.0, fp_alu: 0.02, fp_mul: 0.0, fp_div: 0.0, load: 0.4, store: 0.15, nop: 0.02 }
+        OpMix {
+            alu: 0.3,
+            mul: 0.01,
+            div: 0.0,
+            fp_alu: 0.02,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.4,
+            store: 0.15,
+            nop: 0.02,
+        }
     }
 
     /// Store-leaning mix (logging / disk style).
     pub fn store_heavy() -> Self {
-        OpMix { alu: 0.32, mul: 0.01, div: 0.0, fp_alu: 0.0, fp_mul: 0.0, fp_div: 0.0, load: 0.22, store: 0.33, nop: 0.03 }
+        OpMix {
+            alu: 0.32,
+            mul: 0.01,
+            div: 0.0,
+            fp_alu: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.22,
+            store: 0.33,
+            nop: 0.03,
+        }
     }
 }
 
@@ -92,22 +132,54 @@ pub struct MemProfile {
 impl MemProfile {
     /// Streaming profile over `wss` bytes.
     pub fn streaming(wss: u64) -> Self {
-        MemProfile { wss_bytes: wss, seq_w: 0.6, strided_w: 0.15, random_w: 0.05, chase_w: 0.0, stack_w: 0.2, stride_bytes: 256 }
+        MemProfile {
+            wss_bytes: wss,
+            seq_w: 0.6,
+            strided_w: 0.15,
+            random_w: 0.05,
+            chase_w: 0.0,
+            stack_w: 0.2,
+            stride_bytes: 256,
+        }
     }
 
     /// Pointer-chasing profile over `wss` bytes.
     pub fn chasing(wss: u64) -> Self {
-        MemProfile { wss_bytes: wss, seq_w: 0.05, strided_w: 0.05, random_w: 0.2, chase_w: 0.5, stack_w: 0.2, stride_bytes: 128 }
+        MemProfile {
+            wss_bytes: wss,
+            seq_w: 0.05,
+            strided_w: 0.05,
+            random_w: 0.2,
+            chase_w: 0.5,
+            stack_w: 0.2,
+            stride_bytes: 128,
+        }
     }
 
     /// Random-access profile (hash tables, caches) over `wss` bytes.
     pub fn random(wss: u64) -> Self {
-        MemProfile { wss_bytes: wss, seq_w: 0.1, strided_w: 0.1, random_w: 0.55, chase_w: 0.05, stack_w: 0.2, stride_bytes: 192 }
+        MemProfile {
+            wss_bytes: wss,
+            seq_w: 0.1,
+            strided_w: 0.1,
+            random_w: 0.55,
+            chase_w: 0.05,
+            stack_w: 0.2,
+            stride_bytes: 192,
+        }
     }
 
     /// Cache-resident profile: tiny working set, mostly stack hits.
     pub fn resident(wss: u64) -> Self {
-        MemProfile { wss_bytes: wss, seq_w: 0.2, strided_w: 0.1, random_w: 0.1, chase_w: 0.0, stack_w: 0.6, stride_bytes: 64 }
+        MemProfile {
+            wss_bytes: wss,
+            seq_w: 0.2,
+            strided_w: 0.1,
+            random_w: 0.1,
+            chase_w: 0.0,
+            stack_w: 0.6,
+            stride_bytes: 64,
+        }
     }
 }
 
@@ -137,17 +209,47 @@ pub struct BranchProfile {
 impl BranchProfile {
     /// Highly predictable branches (loops + strong bias).
     pub fn predictable() -> Self {
-        BranchProfile { cond_frac: 0.55, uncond_frac: 0.12, indirect_frac: 0.02, biased_w: 0.5, loop_w: 0.35, periodic_w: 0.12, random_w: 0.03, avg_trip: 24, indirect_targets: 2 }
+        BranchProfile {
+            cond_frac: 0.55,
+            uncond_frac: 0.12,
+            indirect_frac: 0.02,
+            biased_w: 0.5,
+            loop_w: 0.35,
+            periodic_w: 0.12,
+            random_w: 0.03,
+            avg_trip: 24,
+            indirect_targets: 2,
+        }
     }
 
     /// Hard-to-predict branches (tree search / data-dependent).
     pub fn unpredictable() -> Self {
-        BranchProfile { cond_frac: 0.62, uncond_frac: 0.08, indirect_frac: 0.04, biased_w: 0.25, loop_w: 0.12, periodic_w: 0.13, random_w: 0.5, avg_trip: 8, indirect_targets: 6 }
+        BranchProfile {
+            cond_frac: 0.62,
+            uncond_frac: 0.08,
+            indirect_frac: 0.04,
+            biased_w: 0.25,
+            loop_w: 0.12,
+            periodic_w: 0.13,
+            random_w: 0.5,
+            avg_trip: 8,
+            indirect_targets: 6,
+        }
     }
 
     /// Typical mixed behaviour.
     pub fn mixed() -> Self {
-        BranchProfile { cond_frac: 0.55, uncond_frac: 0.12, indirect_frac: 0.05, biased_w: 0.42, loop_w: 0.25, periodic_w: 0.18, random_w: 0.15, avg_trip: 12, indirect_targets: 4 }
+        BranchProfile {
+            cond_frac: 0.55,
+            uncond_frac: 0.12,
+            indirect_frac: 0.05,
+            biased_w: 0.42,
+            loop_w: 0.25,
+            periodic_w: 0.18,
+            random_w: 0.15,
+            avg_trip: 12,
+            indirect_targets: 4,
+        }
     }
 }
 
@@ -165,17 +267,29 @@ pub struct CodeShape {
 impl CodeShape {
     /// Tiny kernel (fits trivially in L1i).
     pub fn kernel() -> Self {
-        CodeShape { n_blocks: 48, avg_block_len: 7, code_base: 0x40_0000 }
+        CodeShape {
+            n_blocks: 48,
+            avg_block_len: 7,
+            code_base: 0x40_0000,
+        }
     }
 
     /// Medium application code.
     pub fn medium() -> Self {
-        CodeShape { n_blocks: 600, avg_block_len: 6, code_base: 0x40_0000 }
+        CodeShape {
+            n_blocks: 600,
+            avg_block_len: 6,
+            code_base: 0x40_0000,
+        }
     }
 
     /// Large, frontend-stressing footprint (search / database binaries).
     pub fn large() -> Self {
-        CodeShape { n_blocks: 4000, avg_block_len: 5, code_base: 0x40_0000 }
+        CodeShape {
+            n_blocks: 4000,
+            avg_block_len: 5,
+            code_base: 0x40_0000,
+        }
     }
 }
 
@@ -271,43 +385,250 @@ pub fn suite() -> Vec<WorkloadSpec> {
     let s = WorkloadSpec::single_phase;
 
     // ---- Proprietary (P1..P13) ----
-    v.push(s("P1", "Compression", WorkloadClass::Proprietary, 101, 4, 2 << 20, OpMix::int_heavy(), MemProfile::streaming(8 * MB), BranchProfile::mixed(), CodeShape::medium()));
-    v.push(s("P2", "Search1", WorkloadClass::Proprietary, 102, 12, 4 << 20, OpMix::int_heavy(), MemProfile::random(24 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("P3", "Search4", WorkloadClass::Proprietary, 103, 12, 4 << 20, OpMix::int_heavy(), MemProfile::random(16 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("P4", "Disk", WorkloadClass::Proprietary, 104, 12, 4 << 20, OpMix::store_heavy(), MemProfile::streaming(32 * MB), BranchProfile::predictable(), CodeShape::medium()));
-    v.push(s("P5", "Video", WorkloadClass::Proprietary, 105, 16, 4 << 20, OpMix::fp_heavy(), MemProfile::streaming(12 * MB), BranchProfile::predictable(), CodeShape::medium()));
-    v.push(s("P6", "NoSQL Database1", WorkloadClass::Proprietary, 106, 12, 4 << 20, OpMix::mem_heavy(), MemProfile::chasing(24 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("P7", "Search2", WorkloadClass::Proprietary, 107, 8, 6 << 20, OpMix::int_heavy(), MemProfile::random(20 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("P8", "MapReduce1", WorkloadClass::Proprietary, 108, 8, 6 << 20, OpMix::int_heavy(), MemProfile::streaming(16 * MB), BranchProfile::mixed(), CodeShape::medium()));
+    v.push(s(
+        "P1",
+        "Compression",
+        WorkloadClass::Proprietary,
+        101,
+        4,
+        2 << 20,
+        OpMix::int_heavy(),
+        MemProfile::streaming(8 * MB),
+        BranchProfile::mixed(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "P2",
+        "Search1",
+        WorkloadClass::Proprietary,
+        102,
+        12,
+        4 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(24 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "P3",
+        "Search4",
+        WorkloadClass::Proprietary,
+        103,
+        12,
+        4 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(16 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "P4",
+        "Disk",
+        WorkloadClass::Proprietary,
+        104,
+        12,
+        4 << 20,
+        OpMix::store_heavy(),
+        MemProfile::streaming(32 * MB),
+        BranchProfile::predictable(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "P5",
+        "Video",
+        WorkloadClass::Proprietary,
+        105,
+        16,
+        4 << 20,
+        OpMix::fp_heavy(),
+        MemProfile::streaming(12 * MB),
+        BranchProfile::predictable(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "P6",
+        "NoSQL Database1",
+        WorkloadClass::Proprietary,
+        106,
+        12,
+        4 << 20,
+        OpMix::mem_heavy(),
+        MemProfile::chasing(24 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "P7",
+        "Search2",
+        WorkloadClass::Proprietary,
+        107,
+        8,
+        6 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(20 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "P8",
+        "MapReduce1",
+        WorkloadClass::Proprietary,
+        108,
+        8,
+        6 << 20,
+        OpMix::int_heavy(),
+        MemProfile::streaming(16 * MB),
+        BranchProfile::mixed(),
+        CodeShape::medium(),
+    ));
     // P9 (Search3) carries an explicit two-phase schedule: a compute phase and a
     // cache-hostile phase. Figure 17 zooms into exactly this phase behaviour.
-    let mut p9 = s("P9", "Search3", WorkloadClass::Proprietary, 109, 24, 6 << 20, OpMix::int_heavy(), MemProfile::random(8 * MB), BranchProfile::mixed(), CodeShape::large());
+    let mut p9 = s(
+        "P9",
+        "Search3",
+        WorkloadClass::Proprietary,
+        109,
+        24,
+        6 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(8 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    );
     p9.phases = vec![
-        PhaseSpec { mix: OpMix::int_heavy(), mem: MemProfile::resident(96 * KB) },
-        PhaseSpec { mix: OpMix::mem_heavy(), mem: MemProfile::chasing(24 * MB) },
-        PhaseSpec { mix: OpMix::int_heavy(), mem: MemProfile::random(4 * MB) },
+        PhaseSpec {
+            mix: OpMix::int_heavy(),
+            mem: MemProfile::resident(96 * KB),
+        },
+        PhaseSpec {
+            mix: OpMix::mem_heavy(),
+            mem: MemProfile::chasing(24 * MB),
+        },
+        PhaseSpec {
+            mix: OpMix::int_heavy(),
+            mem: MemProfile::random(4 * MB),
+        },
     ];
     p9.phase_len = 1 << 15;
     v.push(p9);
-    v.push(s("P10", "Logs", WorkloadClass::Proprietary, 110, 12, 8 << 20, OpMix::store_heavy(), MemProfile::streaming(24 * MB), BranchProfile::mixed(), CodeShape::medium()));
-    v.push(s("P11", "NoSQL Database2", WorkloadClass::Proprietary, 111, 8, 8 << 20, OpMix::mem_heavy(), MemProfile::chasing(48 * MB), BranchProfile::mixed(), CodeShape::large()));
-    let mut p12 = s("P12", "MapReduce2", WorkloadClass::Proprietary, 112, 8, 8 << 20, OpMix::int_heavy(), MemProfile::random(32 * MB), BranchProfile::unpredictable(), CodeShape::medium());
+    v.push(s(
+        "P10",
+        "Logs",
+        WorkloadClass::Proprietary,
+        110,
+        12,
+        8 << 20,
+        OpMix::store_heavy(),
+        MemProfile::streaming(24 * MB),
+        BranchProfile::mixed(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "P11",
+        "NoSQL Database2",
+        WorkloadClass::Proprietary,
+        111,
+        8,
+        8 << 20,
+        OpMix::mem_heavy(),
+        MemProfile::chasing(48 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    let mut p12 = s(
+        "P12",
+        "MapReduce2",
+        WorkloadClass::Proprietary,
+        112,
+        8,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(32 * MB),
+        BranchProfile::unpredictable(),
+        CodeShape::medium(),
+    );
     p12.chain_frac = 0.2;
     v.push(p12);
-    v.push(s("P13", "Query Engine&Database", WorkloadClass::Proprietary, 113, 32, 8 << 20, OpMix::mem_heavy(), MemProfile::random(40 * MB), BranchProfile::mixed(), CodeShape::large()));
+    v.push(s(
+        "P13",
+        "Query Engine&Database",
+        WorkloadClass::Proprietary,
+        113,
+        32,
+        8 << 20,
+        OpMix::mem_heavy(),
+        MemProfile::random(40 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
 
     // ---- Cloud (C1..C2) ----
-    v.push(s("C1", "Memcached", WorkloadClass::Cloud, 201, 4, 2 << 20, OpMix::mem_heavy(), MemProfile::random(32 * MB), BranchProfile::mixed(), CodeShape::large()));
-    let mut c2 = s("C2", "MySQL", WorkloadClass::Cloud, 202, 8, 4 << 20, OpMix::int_heavy(), MemProfile::chasing(16 * MB), BranchProfile::mixed(), CodeShape::large());
+    v.push(s(
+        "C1",
+        "Memcached",
+        WorkloadClass::Cloud,
+        201,
+        4,
+        2 << 20,
+        OpMix::mem_heavy(),
+        MemProfile::random(32 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    let mut c2 = s(
+        "C2",
+        "MySQL",
+        WorkloadClass::Cloud,
+        202,
+        8,
+        4 << 20,
+        OpMix::int_heavy(),
+        MemProfile::chasing(16 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    );
     c2.isb_per_kinstr = 0.05;
     v.push(c2);
 
     // ---- Open (O1..O4) ----
-    v.push(s("O1", "Dhrystone", WorkloadClass::Open, 301, 1, 1 << 20, OpMix::int_heavy(), MemProfile::resident(32 * KB), BranchProfile::predictable(), CodeShape::kernel()));
-    v.push(s("O2", "CoreMark", WorkloadClass::Open, 302, 1, 1 << 20, OpMix::int_heavy(), MemProfile::resident(64 * KB), BranchProfile::predictable(), CodeShape::kernel()));
+    v.push(s(
+        "O1",
+        "Dhrystone",
+        WorkloadClass::Open,
+        301,
+        1,
+        1 << 20,
+        OpMix::int_heavy(),
+        MemProfile::resident(32 * KB),
+        BranchProfile::predictable(),
+        CodeShape::kernel(),
+    ));
+    v.push(s(
+        "O2",
+        "CoreMark",
+        WorkloadClass::Open,
+        302,
+        1,
+        1 << 20,
+        OpMix::int_heavy(),
+        MemProfile::resident(64 * KB),
+        BranchProfile::predictable(),
+        CodeShape::kernel(),
+    ));
     // O3 is a synthetic MMU/memory test: essentially pure dependent misses, by far
     // the highest CPI of the suite (called out in §5.2.5 as an OOD outlier).
-    let mut o3 = s("O3", "MMU", WorkloadClass::Open, 303, 8, 2 << 20, OpMix::mem_heavy(), MemProfile::chasing(96 * MB), BranchProfile::predictable(), CodeShape::kernel());
+    let mut o3 = s(
+        "O3",
+        "MMU",
+        WorkloadClass::Open,
+        303,
+        8,
+        2 << 20,
+        OpMix::mem_heavy(),
+        MemProfile::chasing(96 * MB),
+        BranchProfile::predictable(),
+        CodeShape::kernel(),
+    );
     o3.chain_frac = 0.6;
     v.push(o3);
     // O4 stresses execution units with serial chains and divides.
@@ -318,7 +639,17 @@ pub fn suite() -> Vec<WorkloadSpec> {
         304,
         8,
         4 << 20,
-        OpMix { alu: 0.4, mul: 0.12, div: 0.06, fp_alu: 0.08, fp_mul: 0.06, fp_div: 0.03, load: 0.12, store: 0.06, nop: 0.02 },
+        OpMix {
+            alu: 0.4,
+            mul: 0.12,
+            div: 0.06,
+            fp_alu: 0.08,
+            fp_mul: 0.06,
+            fp_div: 0.03,
+            load: 0.12,
+            store: 0.06,
+            nop: 0.02,
+        },
         MemProfile::resident(48 * KB),
         BranchProfile::predictable(),
         CodeShape::kernel(),
@@ -328,18 +659,128 @@ pub fn suite() -> Vec<WorkloadSpec> {
     v.push(o4);
 
     // ---- SPEC2017 (S1..S10) ----
-    v.push(s("S1", "505.mcf_r", WorkloadClass::Spec2017, 401, 4, 8 << 20, OpMix::mem_heavy(), MemProfile::chasing(64 * MB), BranchProfile::mixed(), CodeShape::kernel()));
-    v.push(s("S2", "520.omnetpp_r", WorkloadClass::Spec2017, 402, 4, 8 << 20, OpMix::int_heavy(), MemProfile::chasing(24 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("S3", "523.xalancbmk_r", WorkloadClass::Spec2017, 403, 4, 8 << 20, OpMix::int_heavy(), MemProfile::random(12 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("S4", "541.leela_r", WorkloadClass::Spec2017, 404, 4, 8 << 20, OpMix::int_heavy(), MemProfile::resident(128 * KB), BranchProfile::unpredictable(), CodeShape::medium()));
-    v.push(s("S5", "548.exchange2_r", WorkloadClass::Spec2017, 405, 4, 8 << 20, OpMix::int_heavy(), MemProfile::resident(256 * KB), BranchProfile::predictable(), CodeShape::medium()));
-    v.push(s("S6", "531.deepsjeng_r", WorkloadClass::Spec2017, 406, 4, 8 << 20, OpMix::int_heavy(), MemProfile::random(2 * MB), BranchProfile::unpredictable(), CodeShape::medium()));
-    let mut s7 = s("S7", "557.xz_r", WorkloadClass::Spec2017, 407, 6, 8 << 20, OpMix::int_heavy(), MemProfile::random(16 * MB), BranchProfile::mixed(), CodeShape::medium());
+    v.push(s(
+        "S1",
+        "505.mcf_r",
+        WorkloadClass::Spec2017,
+        401,
+        4,
+        8 << 20,
+        OpMix::mem_heavy(),
+        MemProfile::chasing(64 * MB),
+        BranchProfile::mixed(),
+        CodeShape::kernel(),
+    ));
+    v.push(s(
+        "S2",
+        "520.omnetpp_r",
+        WorkloadClass::Spec2017,
+        402,
+        4,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::chasing(24 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "S3",
+        "523.xalancbmk_r",
+        WorkloadClass::Spec2017,
+        403,
+        4,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(12 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "S4",
+        "541.leela_r",
+        WorkloadClass::Spec2017,
+        404,
+        4,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::resident(128 * KB),
+        BranchProfile::unpredictable(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "S5",
+        "548.exchange2_r",
+        WorkloadClass::Spec2017,
+        405,
+        4,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::resident(256 * KB),
+        BranchProfile::predictable(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "S6",
+        "531.deepsjeng_r",
+        WorkloadClass::Spec2017,
+        406,
+        4,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(2 * MB),
+        BranchProfile::unpredictable(),
+        CodeShape::medium(),
+    ));
+    let mut s7 = s(
+        "S7",
+        "557.xz_r",
+        WorkloadClass::Spec2017,
+        407,
+        6,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(16 * MB),
+        BranchProfile::mixed(),
+        CodeShape::medium(),
+    );
     s7.chain_frac = 0.3;
     v.push(s7);
-    v.push(s("S8", "500.perlbench_r", WorkloadClass::Spec2017, 408, 6, 8 << 20, OpMix::int_heavy(), MemProfile::random(4 * MB), BranchProfile::mixed(), CodeShape::large()));
-    v.push(s("S9", "525.x264_r", WorkloadClass::Spec2017, 409, 6, 8 << 20, OpMix::fp_heavy(), MemProfile::streaming(8 * MB), BranchProfile::predictable(), CodeShape::medium()));
-    v.push(s("S10", "502.gcc_r", WorkloadClass::Spec2017, 410, 10, 8 << 20, OpMix::int_heavy(), MemProfile::random(24 * MB), BranchProfile::mixed(), CodeShape::large()));
+    v.push(s(
+        "S8",
+        "500.perlbench_r",
+        WorkloadClass::Spec2017,
+        408,
+        6,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(4 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
+    v.push(s(
+        "S9",
+        "525.x264_r",
+        WorkloadClass::Spec2017,
+        409,
+        6,
+        8 << 20,
+        OpMix::fp_heavy(),
+        MemProfile::streaming(8 * MB),
+        BranchProfile::predictable(),
+        CodeShape::medium(),
+    ));
+    v.push(s(
+        "S10",
+        "502.gcc_r",
+        WorkloadClass::Spec2017,
+        410,
+        10,
+        8 << 20,
+        OpMix::int_heavy(),
+        MemProfile::random(24 * MB),
+        BranchProfile::mixed(),
+        CodeShape::large(),
+    ));
 
     v
 }
@@ -361,17 +802,36 @@ mod tests {
         let ids: HashSet<_> = s.iter().map(|w| w.id.clone()).collect();
         assert_eq!(ids.len(), 29);
         let seeds: HashSet<_> = s.iter().map(|w| w.seed).collect();
-        assert_eq!(seeds.len(), 29, "seeds must be unique for trace independence");
+        assert_eq!(
+            seeds.len(),
+            29,
+            "seeds must be unique for trace independence"
+        );
     }
 
     #[test]
     fn suite_covers_all_classes() {
         let s = suite();
-        for class in [WorkloadClass::Proprietary, WorkloadClass::Cloud, WorkloadClass::Open, WorkloadClass::Spec2017] {
+        for class in [
+            WorkloadClass::Proprietary,
+            WorkloadClass::Cloud,
+            WorkloadClass::Open,
+            WorkloadClass::Spec2017,
+        ] {
             assert!(s.iter().any(|w| w.class == class));
         }
-        assert_eq!(s.iter().filter(|w| w.class == WorkloadClass::Proprietary).count(), 13);
-        assert_eq!(s.iter().filter(|w| w.class == WorkloadClass::Spec2017).count(), 10);
+        assert_eq!(
+            s.iter()
+                .filter(|w| w.class == WorkloadClass::Proprietary)
+                .count(),
+            13
+        );
+        assert_eq!(
+            s.iter()
+                .filter(|w| w.class == WorkloadClass::Spec2017)
+                .count(),
+            10
+        );
     }
 
     #[test]
@@ -385,7 +845,15 @@ mod tests {
             assert!(b.cond_frac + b.uncond_frac + b.indirect_frac <= 1.0 + 1e-5);
             for p in &w.phases {
                 let m = p.mix;
-                let total = m.alu + m.mul + m.div + m.fp_alu + m.fp_mul + m.fp_div + m.load + m.store + m.nop;
+                let total = m.alu
+                    + m.mul
+                    + m.div
+                    + m.fp_alu
+                    + m.fp_mul
+                    + m.fp_div
+                    + m.load
+                    + m.store
+                    + m.nop;
                 assert!(total > 0.0, "{}: empty mix", w.id);
                 assert!(p.mem.wss_bytes >= 1024);
             }

@@ -32,9 +32,19 @@ fn main() {
     let lq_first = ablation_deltas(sim, &base, &target, &groups, &[1, 0]);
     let shapley = shapley_exact(sim, &base, &target, &groups);
 
-    println!("baseline CPI {:.3} → target CPI {:.3}\n", shapley.base_value, shapley.target_value);
-    println!("{:<14} {:>10} {:>12}", "attribution", "caches", "load queue");
-    for (name, a) in [("cache → LQ", &cache_first), ("LQ → cache", &lq_first), ("Shapley", &shapley)] {
+    println!(
+        "baseline CPI {:.3} → target CPI {:.3}\n",
+        shapley.base_value, shapley.target_value
+    );
+    println!(
+        "{:<14} {:>10} {:>12}",
+        "attribution", "caches", "load queue"
+    );
+    for (name, a) in [
+        ("cache → LQ", &cache_first),
+        ("LQ → cache", &lq_first),
+        ("Shapley", &shapley),
+    ] {
         println!("{name:<14} {:>+10.3} {:>+12.3}", a.values[0], a.values[1]);
     }
     println!(

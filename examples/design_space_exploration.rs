@@ -30,12 +30,19 @@ fn main() {
     let t_pre = t0.elapsed();
 
     println!("{} on a ROB x LQ grid (base: ARM N1)\n", spec.name);
-    println!("{:>6} {:>6} | {:>12} {:>14} | {:>12}", "ROB", "LQ", "sim CPI", "sim time", "bound CPI");
+    println!(
+        "{:>6} {:>6} | {:>12} {:>14} | {:>12}",
+        "ROB", "LQ", "sim CPI", "sim time", "bound CPI"
+    );
     let mut t_sim_total = std::time::Duration::ZERO;
     let mut t_bound_total = std::time::Duration::ZERO;
     for &rob in &robs {
         for &lq in &lqs {
-            let arch = MicroArch { rob_size: rob, lq_size: lq, ..MicroArch::arm_n1() };
+            let arch = MicroArch {
+                rob_size: rob,
+                lq_size: lq,
+                ..MicroArch::arm_n1()
+            };
             let t1 = Instant::now();
             let sim = simulate_warmed(warmup, region, &arch, SimOptions::default());
             let t_sim = t1.elapsed();
@@ -43,7 +50,10 @@ fn main() {
             let t2 = Instant::now();
             let bound = store.min_bound_cpi(&arch);
             t_bound_total += t2.elapsed();
-            println!("{rob:>6} {lq:>6} | {:>12.3} {t_sim:>14.2?} | {bound:>12.3}", sim.cpi());
+            println!(
+                "{rob:>6} {lq:>6} | {:>12.3} {t_sim:>14.2?} | {bound:>12.3}",
+                sim.cpi()
+            );
         }
     }
     println!(

@@ -24,7 +24,10 @@ fn main() {
     let full = generate_region(&spec, 0, 0, program_len);
     let truth = simulate(&full.instrs, &arch, SimOptions::default());
     let t_sim = t0.elapsed();
-    println!("full simulation of {program_len} instructions: CPI {:.3} in {t_sim:.2?}", truth.cpi());
+    println!(
+        "full simulation of {program_len} instructions: CPI {:.3} in {t_sim:.2?}",
+        truth.cpi()
+    );
 
     // Region-sampled estimates.
     let mut rng = ChaCha12Rng::seed_from_u64(9);

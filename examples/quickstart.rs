@@ -25,11 +25,18 @@ fn main() {
     // 2. Ground truth from the cycle-level simulator on ARM N1.
     let arch = MicroArch::arm_n1();
     let sim = simulate_warmed(warmup, region, &arch, SimOptions::default());
-    println!("cycle-level simulator: CPI = {:.3} ({} cycles)", sim.cpi(), sim.cycles);
+    println!(
+        "cycle-level simulator: CPI = {:.3} ({} cycles)",
+        sim.cpi(),
+        sim.cycles
+    );
 
     // 3. Concorde's analytical stage: per-resource performance distributions.
     let store = FeatureStore::precompute(warmup, region, &SweepConfig::for_arch(&arch), &profile);
-    println!("analytical min-bound estimate: CPI = {:.3}", store.min_bound_cpi(&arch));
+    println!(
+        "analytical min-bound estimate: CPI = {:.3}",
+        store.min_bound_cpi(&arch)
+    );
 
     // 4. Train a small Concorde model on a few labelled samples and predict.
     println!("training a small demonstration model (~1 minute)…");

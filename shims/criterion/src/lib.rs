@@ -1,0 +1,274 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Provides the same authoring API (`criterion_group!`, `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups, `iter`/`iter_batched`) with
+//! a simple warmup + timed-samples measurement loop that prints mean/median
+//! per-iteration times. Statistical machinery (outlier analysis, HTML
+//! reports) is intentionally out of scope; the numbers it prints are honest
+//! wall-clock measurements suitable for comparing implementations in-repo.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` treats the setup product (accepted, not acted on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for parameterized benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration nanoseconds of the final sample run.
+    pub(crate) result_ns: f64,
+    pub(crate) median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs ~10ms.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters_per_sample =
+            ((Duration::from_millis(10).as_nanos() / once.as_nanos()).max(1) as u64).min(1_000_000);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            sample_ns.push(ns);
+        }
+        self.finish_samples(sample_ns);
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        let per_sample = 8u32;
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            sample_ns.push(total.as_nanos() as f64 / f64::from(per_sample));
+        }
+        self.finish_samples(sample_ns);
+    }
+
+    fn finish_samples(&mut self, mut sample_ns: Vec<f64>) {
+        sample_ns.sort_by(f64::total_cmp);
+        self.median_ns = sample_ns[sample_ns.len() / 2];
+        self.result_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API parity; the shim keys everything off sample counts.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result_ns: 0.0,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{id:<44} time: [mean {} median {}]",
+            fmt_ns(b.result_ns),
+            fmt_ns(b.median_ns)
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let per_sec = n as f64 / (b.result_ns / 1e9);
+            line.push_str(&format!("  thrpt: {per_sec:.0} elem/s"));
+        }
+        if let Some(Throughput::Bytes(n)) = throughput {
+            let per_sec = n as f64 / (b.result_ns / 1e9);
+            line.push_str(&format!(
+                "  thrpt: {:.1} MiB/s",
+                per_sec / (1024.0 * 1024.0)
+            ));
+        }
+        println!("{line}");
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let t = self.throughput;
+        self.parent.run_one(&full, t, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let t = self.throughput;
+        self.parent.run_one(&full, t, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

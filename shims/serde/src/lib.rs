@@ -1,0 +1,394 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Real `serde` drives (de)serialization through visitor traits so formats
+//! can stream. This shim collapses that machinery into one self-describing
+//! tree, [`Content`]: `Serialize` renders a value into a `Content`,
+//! `Deserialize` rebuilds a value from one, and format crates (the
+//! `serde_json` shim) convert `Content` to and from bytes. The `derive`
+//! macros (from the sibling `serde_derive` shim) generate impls against this
+//! simplified model. Semantics intentionally mirror serde's JSON conventions:
+//! structs become maps, unit enum variants become strings, and data-carrying
+//! variants become single-entry maps — with one deviation: maps with
+//! non-string keys serialize as sequences of `[key, value]` pairs instead of
+//! erroring.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized tree (the shim's entire data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (negative values).
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with string keys, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map accessor used by generated code.
+    pub fn as_map(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence accessor.
+    pub fn as_seq(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in an entry list (linear scan; struct arity is small).
+pub fn map_get<'a>(m: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// (De)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into a [`Content`] tree.
+pub trait Serialize {
+    /// The whole serialization contract of this shim.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds `Self` from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// The whole deserialization contract of this shim.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+/// Mirrors `serde::de` for the `DeserializeOwned` bound.
+pub mod de {
+    /// Owned deserialization marker; blanket-implemented.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirrors `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v).map_err(|_| Error::custom("int overflow"))?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::custom(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = f64::from(*self);
+                if v.is_finite() { Content::F64(v) } else { Content::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let v: Vec<T> = Deserialize::from_content(c)?;
+        <[T; N]>::try_from(v).map_err(|_| Error::custom("wrong array length"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let s = c.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let expected = [$( stringify!($n) ),+].len();
+                if s.len() != expected {
+                    return Err(Error::custom("wrong tuple arity"));
+                }
+                Ok(($($t::from_content(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// Maps serialize as a sequence of [key, value] pairs unless the key is a
+// string (JSON objects can only have string keys; the workspace keys feature
+// stores by integer tuples).
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected map pair sequence"))?;
+        let mut out = HashMap::with_capacity_and_hasher(s.len(), S::default());
+        for pair in s {
+            let p = pair
+                .as_seq()
+                .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+            if p.len() != 2 {
+                return Err(Error::custom("expected [key, value] pair"));
+            }
+            out.insert(K::from_content(&p[0])?, V::from_content(&p[1])?);
+        }
+        Ok(out)
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let c = v.to_content();
+        assert_eq!(Vec::<(u32, f64)>::from_content(&c).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert((1u32, 2u32), vec![1.0f32, 2.0]);
+        let c = m.to_content();
+        assert_eq!(
+            HashMap::<(u32, u32), Vec<f32>>::from_content(&c).unwrap(),
+            m
+        );
+
+        let arr = [vec![1u8], vec![2, 3], vec![]];
+        let back: [Vec<u8>; 3] = Deserialize::from_content(&arr.to_content()).unwrap();
+        assert_eq!(back, arr);
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline stand-in for the subset of `serde_json` this workspace uses:
+//! [`Value`]/[`Map`], the [`json!`] macro, [`to_value`], [`to_writer`],
+//! [`from_reader`], [`to_string`], and [`from_str`].
+//!
+//! Values round-trip through the `serde` shim's `Content` tree. One encoding
+//! deviation from upstream: maps with non-string keys (the feature stores key
+//! by integer tuples) serialize as arrays of `[key, value]` pairs rather than
+//! erroring — both directions of this shim agree on that convention.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use serde::{Content, Serialize};
+
+mod parse;
+mod value;
+
+pub use parse::from_str_value;
+pub use value::{Map, Number, Value};
+
+/// Error type shared by parsing and conversion.
+pub type Error = serde::Error;
+
+/// Serializes any `Serialize` value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails in this shim (the signature mirrors upstream).
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(Value::from_content(value.to_content()))
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not match `T`'s shape.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_content(&value.into_content())
+}
+
+/// Serializes `value` as compact JSON text.
+///
+/// # Errors
+///
+/// Never fails in this shim (the signature mirrors upstream).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content());
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+///
+/// # Errors
+///
+/// Returns any I/O error from `writer`.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), std::io::Error> {
+    let s = to_string(value).expect("serialization is infallible in the shim");
+    writer.write_all(s.as_bytes())
+}
+
+/// Parses a typed value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let v = parse::from_str_value(s)?;
+    T::from_content(&v.into_content())
+}
+
+/// Parses a typed value from a reader.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, malformed JSON, or a shape mismatch.
+pub fn from_reader<R: Read, T: serde::de::DeserializeOwned>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(Error::custom)?;
+    from_str(&buf)
+}
+
+pub(crate) fn write_content(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Content::I64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Content::F64(v) => {
+            if v.is_finite() {
+                let s = format!("{v}");
+                out.push_str(&s);
+                // Keep floats distinguishable from integers on re-parse.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_content(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_content(&mut s, &self.clone().into_content());
+        f.write_str(&s)
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax with expression interpolation.
+///
+/// Token-tree muncher modelled on upstream `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => { $crate::json_internal!($($json)+) };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // -------------------- array --------------------
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // -------------------- object --------------------
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // -------------------- primary --------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serialization")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let n = 3u32;
+        let xs = vec![1.5f64, 2.5];
+        let v = json!({
+            "a": n,
+            "b": [1, 2, n],
+            "nested": { "c": xs, "flag": true, "nothing": null },
+            "expr": n as f64 * 2.0,
+        });
+        assert_eq!(v["a"].as_f64(), Some(3.0));
+        assert_eq!(v["b"].as_array().unwrap().len(), 3);
+        assert_eq!(v["nested"]["c"].as_array().unwrap().len(), 2);
+        assert_eq!(v["expr"].as_f64(), Some(6.0));
+        assert!(v["nested"]["nothing"].is_null());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = json!({ "s": "a \"quoted\"\nline", "i": -3, "u": 7, "f": 0.25, "arr": [[1], []] });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(to_string(&back).unwrap(), s);
+    }
+
+    #[test]
+    fn typed_roundtrip_via_text() {
+        let pairs: Vec<(u32, f32)> = vec![(1, 0.5), (2, 1.25)];
+        let s = to_string(&pairs).unwrap();
+        let back: Vec<(u32, f32)> = from_str(&s).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn float_integer_values_stay_floats() {
+        let s = to_string(&vec![2.0f64]).unwrap();
+        assert_eq!(s, "[2.0]");
+    }
+}

@@ -5,28 +5,85 @@
 //! concorde bound     <workload> [--arch n1|big] [--len N]   analytical min-bound CPI
 //! concorde sweep     <workload> <param> v1,v2,…             CPI across one parameter
 //! concorde attribute <workload>                             Shapley: big core → N1
-//! concorde workloads                                        list the 29-program suite
+//! concorde workloads [--json]                               list the 29-program suite
+//! concorde serve     [--addr A] [--model P] [options]       prediction service (TCP)
+//! concorde predict   <workload> [--addr A] [options]        query CPI (local or remote)
 //! ```
 //!
-//! All commands are deterministic and need no trained model (they use the
-//! cycle-level simulator and the analytical stage; the learned predictor is
-//! exercised by the `concorde-bench` binaries).
+//! `simulate`/`bound`/`sweep`/`attribute` are deterministic and need no
+//! trained model. `serve` and `predict` exercise the learned predictor
+//! through `concorde-serve`: `serve` loads (or quickly trains) a model and
+//! speaks line-delimited JSON over TCP; `predict` either queries a running
+//! server or spins the service up in-process.
+
+use std::time::Duration;
 
 use concorde_suite::prelude::*;
+use concorde_suite::serve::workload_catalog;
+
+fn usage_text() -> &'static str {
+    "concorde — CPU performance modeling reproduction\n\n\
+         usage:\n  concorde workloads [--json]\n  \
+         concorde simulate  <workload> [--arch n1|big] [--len N]\n  \
+         concorde bound     <workload> [--arch n1|big] [--len N]\n  \
+         concorde sweep     <workload> <param> v1,v2,… [--arch n1|big] [--len N]\n  \
+         concorde attribute <workload> [--len N]\n  \
+         concorde serve     [--addr HOST:PORT] [--model PATH] [--save-model PATH]\n             \
+         [--profile quick|default] [--train-samples N] [--workers N]\n             \
+         [--max-batch N] [--deadline-us N] [--cache N] [--sweep arch|quantized]\n  \
+         concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
+         [--trace N] [--start N] [--count N]"
+}
+
+fn usage() -> ! {
+    eprintln!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    usage();
+}
+
+/// Value of `--flag <value>`, or a usage error naming the flag.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| bail(&format!("{flag} needs a value")))
+            .as_str()
+    })
+}
 
 fn parse_arch(args: &[String]) -> MicroArch {
-    match args.iter().position(|a| a == "--arch").map(|i| args[i + 1].as_str()) {
+    match flag_value(args, "--arch") {
+        None | Some("n1") => MicroArch::arm_n1(),
         Some("big") => MicroArch::big_core(),
-        _ => MicroArch::arm_n1(),
+        Some(other) => bail(&format!("unknown --arch `{other}` (expected n1 or big)")),
     }
 }
 
 fn parse_len(args: &[String], default: usize) -> usize {
-    args.iter()
-        .position(|a| a == "--len")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match flag_value(args, "--len") {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| bail(&format!("--len `{v}` is not a number"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| bail(&format!("{flag} `{v}` is not a number"))),
+    }
+}
+
+fn operand<'a>(args: &'a [String], idx: usize, what: &str) -> &'a str {
+    args.get(idx)
+        .unwrap_or_else(|| bail(&format!("missing {what}")))
+        .as_str()
 }
 
 fn region_of(id: &str, len: usize) -> (Vec<Instruction>, Vec<Instruction>) {
@@ -60,12 +117,175 @@ fn apply_param(arch: &mut MicroArch, param: &str, v: u32) -> bool {
     true
 }
 
+/// Loads `--model` if given, otherwise trains a small model on the fly.
+fn obtain_model(args: &[String], profile: &ReproProfile) -> ConcordePredictor {
+    if let Some(path) = flag_value(args, "--model") {
+        return ConcordePredictor::load(std::path::Path::new(path))
+            .unwrap_or_else(|e| bail(&format!("cannot load model from {path}: {e}")));
+    }
+    let n = parse_num(args, "--train-samples", 96usize);
+    eprintln!("[serve] no --model given; training a {n}-sample model (pass --model for quality) …");
+    let t0 = std::time::Instant::now();
+    let data = generate_dataset(&DatasetConfig::random(profile.clone(), n, 1));
+    let model = train_model(&data, profile, &TrainOptions::default());
+    eprintln!(
+        "[serve] model ready in {:?} ({} params)",
+        t0.elapsed(),
+        model.mlp.num_params()
+    );
+    if let Some(path) = flag_value(args, "--save-model") {
+        match model.save(std::path::Path::new(path)) {
+            Ok(()) => eprintln!("[serve] model saved to {path}"),
+            Err(e) => eprintln!("[serve] warning: could not save model: {e}"),
+        }
+    }
+    model
+}
+
+fn serve_profile(args: &[String]) -> ReproProfile {
+    match flag_value(args, "--profile") {
+        None | Some("quick") => ReproProfile::quick(),
+        Some("default") => ReproProfile::default_repro(),
+        Some(other) => bail(&format!(
+            "unknown --profile `{other}` (expected quick or default)"
+        )),
+    }
+}
+
+fn serve_config(args: &[String]) -> ServeConfig {
+    let sweep = match flag_value(args, "--sweep") {
+        None | Some("arch") => SweepScope::PerArch,
+        Some("quantized") => SweepScope::Quantized,
+        Some(other) => bail(&format!(
+            "unknown --sweep `{other}` (expected arch or quantized)"
+        )),
+    };
+    ServeConfig {
+        workers: parse_num(args, "--workers", 0usize),
+        queue_capacity: parse_num(args, "--queue", 4096usize),
+        max_batch: parse_num(args, "--max-batch", 128usize),
+        batch_deadline: Duration::from_micros(parse_num(args, "--deadline-us", 1000u64)),
+        cache_capacity: parse_num(args, "--cache", 128usize),
+        sweep,
+    }
+}
+
+fn arch_spec_from_args(args: &[String]) -> ArchSpec {
+    let mut spec = match flag_value(args, "--arch") {
+        None => ArchSpec::default(),
+        Some(base @ ("n1" | "big")) => ArchSpec::base(base),
+        Some(other) => bail(&format!("unknown --arch `{other}` (expected n1 or big)")),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--set" {
+            let kv = operand(args, i + 1, "--set value (param=value)");
+            let (k, v) = kv
+                .split_once('=')
+                .unwrap_or_else(|| bail(&format!("--set `{kv}` is not param=value")));
+            let v: u32 = v
+                .parse()
+                .unwrap_or_else(|_| bail(&format!("--set value `{v}` is not a number")));
+            let ok = match k {
+                "rob" => {
+                    spec.rob = Some(v);
+                    true
+                }
+                "lq" => {
+                    spec.lq = Some(v);
+                    true
+                }
+                "sq" => {
+                    spec.sq = Some(v);
+                    true
+                }
+                "alu" => {
+                    spec.alu = Some(v);
+                    true
+                }
+                "fp" => {
+                    spec.fp = Some(v);
+                    true
+                }
+                "ls" => {
+                    spec.ls = Some(v);
+                    true
+                }
+                "fetch" => {
+                    spec.fetch = Some(v);
+                    true
+                }
+                "decode" => {
+                    spec.decode = Some(v);
+                    true
+                }
+                "rename" => {
+                    spec.rename = Some(v);
+                    true
+                }
+                "commit" => {
+                    spec.commit = Some(v);
+                    true
+                }
+                "l1d" => {
+                    spec.l1d = Some(v);
+                    true
+                }
+                "l1i" => {
+                    spec.l1i = Some(v);
+                    true
+                }
+                "l2" => {
+                    spec.l2 = Some(v);
+                    true
+                }
+                "prefetch" => {
+                    spec.prefetch = Some(v);
+                    true
+                }
+                _ => false,
+            };
+            if !ok {
+                bail(&format!("unknown --set parameter `{k}`"));
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    spec
+}
+
+fn print_response(resp: &PredictResponse) {
+    match (&resp.cpi, &resp.error) {
+        (Some(cpi), _) => println!(
+            "id {:>4}: CPI {cpi:.4}  ({}, {} µs)",
+            resp.id,
+            if resp.cached {
+                "cache hit"
+            } else {
+                "precomputed"
+            },
+            resp.micros
+        ),
+        (None, Some(e)) => println!("id {:>4}: error: {e}", resp.id),
+        (None, None) => println!("id {:>4}: empty response", resp.id),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "workloads" => {
-            println!("{:<5} {:<28} {:<12} traces  instr(M)", "id", "name", "class");
+            if args.iter().any(|a| a == "--json") {
+                println!("{}", workload_catalog());
+                return;
+            }
+            println!(
+                "{:<5} {:<28} {:<12} traces  instr(M)",
+                "id", "name", "class"
+            );
             for w in suite() {
                 println!(
                     "{:<5} {:<28} {:<12} {:>6}  {:>8.1}",
@@ -78,7 +298,7 @@ fn main() {
             }
         }
         "simulate" => {
-            let id = args.get(1).expect("usage: concorde simulate <workload>");
+            let id = operand(&args, 1, "workload (usage: concorde simulate <workload>)");
             let arch = parse_arch(&args);
             let len = parse_len(&args, 24_000);
             let (w, r) = region_of(id, len);
@@ -96,7 +316,7 @@ fn main() {
             );
         }
         "bound" => {
-            let id = args.get(1).expect("usage: concorde bound <workload>");
+            let id = operand(&args, 1, "workload (usage: concorde bound <workload>)");
             let arch = parse_arch(&args);
             let len = parse_len(&args, 24_000);
             let (w, r) = region_of(id, len);
@@ -111,13 +331,22 @@ fn main() {
             );
         }
         "sweep" => {
-            let id = args.get(1).expect("usage: concorde sweep <workload> <param> v1,v2,..");
-            let param = args.get(2).expect("missing parameter (rob|lq|sq|alu|fp|ls|fetch|decode|rename|commit|l1d|l1i|l2)");
-            let values: Vec<u32> = args
-                .get(3)
-                .expect("missing value list")
+            let id = operand(
+                &args,
+                1,
+                "workload (usage: concorde sweep <workload> <param> v1,v2,…)",
+            );
+            let param = operand(
+                &args,
+                2,
+                "parameter (rob|lq|sq|alu|fp|ls|fetch|decode|rename|commit|l1d|l1i|l2)",
+            );
+            let values: Vec<u32> = operand(&args, 3, "value list (e.g. 32,64,128)")
                 .split(',')
-                .map(|v| v.parse().expect("values must be integers"))
+                .map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| bail(&format!("sweep value `{v}` is not an integer")))
+                })
                 .collect();
             let len = parse_len(&args, 24_000);
             let (w, r) = region_of(id, len);
@@ -125,22 +354,25 @@ fn main() {
             for v in values {
                 let mut arch = parse_arch(&args);
                 if !apply_param(&mut arch, param, v) {
-                    eprintln!("unknown parameter '{param}'");
-                    std::process::exit(2);
+                    bail(&format!("unknown parameter `{param}`"));
                 }
                 let res = simulate_warmed(&w, &r, &arch, SimOptions::default());
                 println!("  {param} = {v:>5}: CPI {:.3}", res.cpi());
             }
         }
         "attribute" => {
-            let id = args.get(1).expect("usage: concorde attribute <workload>");
+            let id = operand(&args, 1, "workload (usage: concorde attribute <workload>)");
             let len = parse_len(&args, 16_000);
             let (w, r) = region_of(id, len);
             let base = MicroArch::big_core();
             let target = MicroArch::arm_n1();
             // 6-group game on the simulator directly (exact Shapley).
             let groups: Vec<ParamGroup> = default_groups().into_iter().take(6).collect();
-            println!("{id}: exact Shapley over {} groups (big core → ARM N1), 2^{} simulator runs…", groups.len(), groups.len());
+            println!(
+                "{id}: exact Shapley over {} groups (big core → ARM N1), 2^{} simulator runs…",
+                groups.len(),
+                groups.len()
+            );
             let f = |a: &MicroArch| simulate_warmed(&w, &r, a, SimOptions::default()).cpi();
             let s = shapley_exact(f, &base, &target, &groups);
             println!(
@@ -150,16 +382,79 @@ fn main() {
             for (label, v) in s.labels.iter().zip(&s.values) {
                 println!("  {label:<20} {v:>+8.3}");
             }
-            println!("  {:<20} {:>+8.3}  (= ΔCPI)", "Σ", s.values.iter().sum::<f64>());
-        }
-        _ => {
             println!(
-                "concorde — CPU performance modeling reproduction\n\n\
-                 usage:\n  concorde workloads\n  concorde simulate  <workload> [--arch n1|big] [--len N]\n  \
-                 concorde bound     <workload> [--arch n1|big] [--len N]\n  \
-                 concorde sweep     <workload> <param> v1,v2,… [--len N]\n  \
-                 concorde attribute <workload> [--len N]"
+                "  {:<20} {:>+8.3}  (= ΔCPI)",
+                "Σ",
+                s.values.iter().sum::<f64>()
             );
         }
+        "serve" => {
+            let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7878");
+            let profile = serve_profile(&args);
+            let model = obtain_model(&args, &profile);
+            let cfg = serve_config(&args);
+            let service = PredictionService::start(model, profile, cfg);
+            let listener = std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
+            eprintln!(
+                "[serve] listening on {addr} ({} workers); protocol: one JSON request per line",
+                service.workers()
+            );
+            eprintln!(
+                "[serve] try: echo '{{\"workload\": \"S5\", \"arch\": {{\"base\": \"n1\"}}}}' | nc {addr}"
+            );
+            if let Err(e) = service.serve_tcp(listener) {
+                bail(&format!("server error: {e}"));
+            }
+        }
+        "predict" => {
+            let id = operand(&args, 1, "workload (usage: concorde predict <workload>)");
+            let spec = arch_spec_from_args(&args);
+            let count: usize = parse_num(&args, "--count", 1usize);
+            let trace: u32 = parse_num(&args, "--trace", 0u32);
+            let start: u64 = parse_num(&args, "--start", 0u64);
+            let reqs: Vec<PredictRequest> = (0..count)
+                .map(|i| PredictRequest {
+                    id: i as u64,
+                    workload: id.to_string(),
+                    trace,
+                    start,
+                    len: 0,
+                    arch: spec.clone(),
+                })
+                .collect();
+            if let Some(addr) = flag_value(&args, "--addr") {
+                let mut client = TcpClient::connect(addr)
+                    .unwrap_or_else(|e| bail(&format!("cannot connect to {addr}: {e}")));
+                let resps = client
+                    .predict_many(&reqs)
+                    .unwrap_or_else(|e| bail(&format!("request failed: {e}")));
+                for r in &resps {
+                    print_response(r);
+                }
+            } else {
+                eprintln!("[predict] no --addr; starting an in-process service");
+                let profile = serve_profile(&args);
+                let model = obtain_model(&args, &profile);
+                let service = PredictionService::start(model, profile, serve_config(&args));
+                let client = service.client();
+                let resps = client
+                    .predict_many(reqs)
+                    .unwrap_or_else(|e| bail(&format!("request failed: {e}")));
+                for r in &resps {
+                    print_response(r);
+                }
+                let m = service.metrics();
+                eprintln!(
+                    "[predict] {} served: {} batches (avg {:.1}/batch), cache {:.0}% hit",
+                    m.completed,
+                    m.batches,
+                    m.avg_batch,
+                    m.cache_hit_rate * 100.0
+                );
+            }
+        }
+        "help" | "--help" | "-h" => println!("{}", usage_text()),
+        _ => usage(),
     }
 }

@@ -17,6 +17,7 @@
 //! | [`core`] | `concorde-core` | the Concorde model itself |
 //! | [`attribution`] | `concorde-attribution` | Shapley performance attribution |
 //! | [`baseline`] | `concorde-baseline` | TAO-like sequence baseline |
+//! | [`serve`] | `concorde-serve` | batched, cached inference serving (TCP + in-process) |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use concorde_cache as cache;
 pub use concorde_core as core;
 pub use concorde_cyclesim as cyclesim;
 pub use concorde_ml as ml;
+pub use concorde_serve as serve;
 pub use concorde_trace as trace;
 
 /// One-stop imports for examples and downstream users.
@@ -55,7 +57,11 @@ pub mod prelude {
         design_space_size, quantized_space_size, simulate, simulate_warmed, MicroArch, ParamId,
         SimOptions, SimResult,
     };
-    pub use concorde_ml::{AdamW, ErrorStats, HalvingSchedule, LstmRegressor, Mlp};
+    pub use concorde_ml::{AdamW, ErrorStats, HalvingSchedule, LstmRegressor, Mlp, MlpScratch};
+    pub use concorde_serve::{
+        ArchSpec, Client, PredictRequest, PredictResponse, PredictionService, ServeConfig,
+        SweepScope, TcpClient,
+    };
     pub use concorde_trace::{
         by_id, generate_region, sample_region, suite, DynTrace, Instruction, OpClass, RegionRef,
         WorkloadSpec,

@@ -19,10 +19,22 @@ fn rob_model_upper_bounds_simulator_ipc() {
     // the same ROB size when all other resources are maxed.
     let (w, r) = warmed("S5", 16_000, 8_000);
     let info = analyze_static(&r);
-    let data = analyze_data(&w, &r, MemConfig { l1i_kb: 256, l1d_kb: 256, l2_kb: 4096, prefetch_degree: 4 });
+    let data = analyze_data(
+        &w,
+        &r,
+        MemConfig {
+            l1i_kb: 256,
+            l1d_kb: 256,
+            l2_kb: 4096,
+            prefetch_degree: 4,
+        },
+    );
     for rob in [16u32, 64, 256] {
         let model_thr = rob_model(&info, &data, rob).overall_throughput();
-        let arch = MicroArch { rob_size: rob, ..MicroArch::big_core() };
+        let arch = MicroArch {
+            rob_size: rob,
+            ..MicroArch::big_core()
+        };
         let sim = simulate_warmed(&w, &r, &arch, SimOptions::default());
         assert!(
             model_thr >= sim.ipc() * 0.8,
@@ -53,7 +65,10 @@ fn min_bound_correlates_with_simulated_cpi_across_workloads() {
     };
     let rb = rank(&bounds);
     let rs = rank(&sims);
-    assert_eq!(rb[0], rs[0], "fastest workload must match: bounds {bounds:?} sims {sims:?}");
+    assert_eq!(
+        rb[0], rs[0],
+        "fastest workload must match: bounds {bounds:?} sims {sims:?}"
+    );
     assert_eq!(
         rb[rb.len() - 1],
         rs[rs.len() - 1],
@@ -70,7 +85,10 @@ fn feature_store_is_finite_for_random_architectures() {
         let arch = MicroArch::sample(&mut rng);
         let store = FeatureStore::precompute(&w, &r, &SweepConfig::for_arch(&arch), &profile);
         let f = store.features(&arch, FeatureVariant::Full);
-        assert!(f.iter().all(|x| x.is_finite()), "non-finite feature for {arch:?}");
+        assert!(
+            f.iter().all(|x| x.is_finite()),
+            "non-finite feature for {arch:?}"
+        );
         assert!(store.min_bound_cpi(&arch).is_finite());
     }
 }
@@ -83,7 +101,10 @@ fn branch_rate_feature_matches_simulator_rates() {
     let info = analyze_branches(&w, &r);
     for pct in [10u8, 50] {
         let kind = PredictorKind::Simple { miss_pct: pct };
-        let arch = MicroArch { predictor: kind, ..MicroArch::arm_n1() };
+        let arch = MicroArch {
+            predictor: kind,
+            ..MicroArch::arm_n1()
+        };
         let sim = simulate_warmed(&w, &r, &arch, SimOptions::default());
         let analytic_rate = info.mispredict_rate(kind);
         let sim_rate = sim.branch.mispredict_rate();
@@ -117,7 +138,12 @@ fn quantized_store_predictions_stay_close_to_exact() {
     // whose min-bound CPI is close to the exact-value store's.
     let profile = ReproProfile::quick();
     let (w, r) = warmed("S2", profile.warmup_len, profile.region_len);
-    let arch = MicroArch { rob_size: 100, lq_size: 22, sq_size: 30, ..MicroArch::arm_n1() };
+    let arch = MicroArch {
+        rob_size: 100,
+        lq_size: 22,
+        sq_size: 30,
+        ..MicroArch::arm_n1()
+    };
     let exact = FeatureStore::precompute(&w, &r, &SweepConfig::for_arch(&arch), &profile);
     let quant = FeatureStore::precompute(&w, &r, &SweepConfig::quantized(), &profile);
     let a = exact.min_bound_cpi(&arch);

@@ -17,7 +17,14 @@ fn cpi(w: &[Instruction], r: &[Instruction], arch: &MicroArch) -> f64 {
 }
 
 /// Asserts `shrink(base)` is at least `factor`× slower than `base`.
-fn assert_hurts(w: &[Instruction], r: &[Instruction], base: MicroArch, shrink: impl Fn(&mut MicroArch), factor: f64, what: &str) {
+fn assert_hurts(
+    w: &[Instruction],
+    r: &[Instruction],
+    base: MicroArch,
+    shrink: impl Fn(&mut MicroArch),
+    factor: f64,
+    what: &str,
+) {
     let mut small = base;
     shrink(&mut small);
     let big_cpi = cpi(w, r, &base);
@@ -31,7 +38,14 @@ fn assert_hurts(w: &[Instruction], r: &[Instruction], base: MicroArch, shrink: i
 #[test]
 fn rob_size_matters_on_mlp_workload() {
     let (w, r) = warmed("P13", 16_000, 10_000);
-    assert_hurts(&w, &r, MicroArch::big_core(), |a| a.rob_size = 8, 1.3, "ROB");
+    assert_hurts(
+        &w,
+        &r,
+        MicroArch::big_core(),
+        |a| a.rob_size = 8,
+        1.3,
+        "ROB",
+    );
 }
 
 #[test]
@@ -49,27 +63,60 @@ fn store_queue_matters_on_store_heavy_workload() {
 #[test]
 fn alu_width_matters_on_int_workload() {
     let (w, r) = warmed("O1", 16_000, 10_000);
-    assert_hurts(&w, &r, MicroArch::big_core(), |a| a.alu_width = 1, 1.2, "ALU width");
+    assert_hurts(
+        &w,
+        &r,
+        MicroArch::big_core(),
+        |a| a.alu_width = 1,
+        1.2,
+        "ALU width",
+    );
 }
 
 #[test]
 fn fp_width_matters_on_pure_fp_stream() {
     // Hand-crafted: independent FP adds — FP issue width binds exactly.
     let r: Vec<Instruction> = (0..4000u64)
-        .map(|i| Instruction::compute(0x1000 + i % 512 * 4, OpClass::FpAlu, [None, None], Some((32 + (i % 16)) as u8)))
+        .map(|i| {
+            Instruction::compute(
+                0x1000 + i % 512 * 4,
+                OpClass::FpAlu,
+                [None, None],
+                Some((32 + (i % 16)) as u8),
+            )
+        })
         .collect();
     // Warm the I-cache with the same stream so fetch fills don't dominate.
-    let cpi_of = |fp: u32| cpi(&r, &r, &MicroArch { fp_width: fp, ..MicroArch::big_core() });
+    let cpi_of = |fp: u32| {
+        cpi(
+            &r,
+            &r,
+            &MicroArch {
+                fp_width: fp,
+                ..MicroArch::big_core()
+            },
+        )
+    };
     let one = cpi_of(1);
     let eight = cpi_of(8);
     assert!(one > 0.9, "FP width 1 must serialize the stream: {one:.3}");
-    assert!(eight < one / 3.0, "FP width 8 must parallelize: {eight:.3} vs {one:.3}");
+    assert!(
+        eight < one / 3.0,
+        "FP width 8 must parallelize: {eight:.3} vs {one:.3}"
+    );
 }
 
 #[test]
 fn ls_width_and_pipes_matter_on_memory_workload() {
     let (w, r) = warmed("P10", 16_000, 10_000);
-    assert_hurts(&w, &r, MicroArch::big_core(), |a| a.ls_width = 1, 1.02, "LS width");
+    assert_hurts(
+        &w,
+        &r,
+        MicroArch::big_core(),
+        |a| a.ls_width = 1,
+        1.02,
+        "LS width",
+    );
     assert_hurts(
         &w,
         &r,
@@ -87,10 +134,26 @@ fn ls_width_and_pipes_matter_on_memory_workload() {
 fn ls_width_binds_exactly_on_pure_load_stream() {
     // Hand-crafted: independent L1-resident loads — LS width is the bottleneck.
     let r: Vec<Instruction> = (0..4000u64)
-        .map(|i| Instruction::load(0x1000 + i % 64 * 4, 0x10_0000 + (i % 64) * 64, [None, None], Some((i % 16) as u8)))
+        .map(|i| {
+            Instruction::load(
+                0x1000 + i % 64 * 4,
+                0x10_0000 + (i % 64) * 64,
+                [None, None],
+                Some((i % 16) as u8),
+            )
+        })
         .collect();
     // Warm both caches with the same stream first.
-    let cpi_of = |ls: u32| cpi(&r, &r, &MicroArch { ls_width: ls, ..MicroArch::big_core() });
+    let cpi_of = |ls: u32| {
+        cpi(
+            &r,
+            &r,
+            &MicroArch {
+                ls_width: ls,
+                ..MicroArch::big_core()
+            },
+        )
+    };
     let one = cpi_of(1);
     let four = cpi_of(4);
     assert!(one > 0.9, "LS width 1 must serialize loads: {one:.3}");
@@ -101,10 +164,22 @@ fn ls_width_binds_exactly_on_pure_load_stream() {
 fn frontend_widths_matter_on_high_ipc_workload() {
     let (w, r) = warmed("O1", 16_000, 10_000);
     for (what, f) in [
-        ("fetch width", Box::new(|a: &mut MicroArch| a.fetch_width = 1) as Box<dyn Fn(&mut MicroArch)>),
-        ("decode width", Box::new(|a: &mut MicroArch| a.decode_width = 1)),
-        ("rename width", Box::new(|a: &mut MicroArch| a.rename_width = 1)),
-        ("commit width", Box::new(|a: &mut MicroArch| a.commit_width = 1)),
+        (
+            "fetch width",
+            Box::new(|a: &mut MicroArch| a.fetch_width = 1) as Box<dyn Fn(&mut MicroArch)>,
+        ),
+        (
+            "decode width",
+            Box::new(|a: &mut MicroArch| a.decode_width = 1),
+        ),
+        (
+            "rename width",
+            Box::new(|a: &mut MicroArch| a.rename_width = 1),
+        ),
+        (
+            "commit width",
+            Box::new(|a: &mut MicroArch| a.commit_width = 1),
+        ),
     ] {
         assert_hurts(&w, &r, MicroArch::big_core(), |a| f(a), 1.3, what);
     }
@@ -117,9 +192,26 @@ fn icache_fills_never_invert() {
     // simulator-side effect (documented limitation, DESIGN.md §5; the
     // analytical fills model covers the parameter's feature-side behaviour).
     let (w, r) = warmed("S10", 16_000, 10_000);
-    let f1 = cpi(&w, &r, &MicroArch { max_icache_fills: 1, ..MicroArch::big_core() });
-    let f32_ = cpi(&w, &r, &MicroArch { max_icache_fills: 32, ..MicroArch::big_core() });
-    assert!(f32_ <= f1 + 1e-9, "more fill slots must not slow fetch: {f32_:.3} vs {f1:.3}");
+    let f1 = cpi(
+        &w,
+        &r,
+        &MicroArch {
+            max_icache_fills: 1,
+            ..MicroArch::big_core()
+        },
+    );
+    let f32_ = cpi(
+        &w,
+        &r,
+        &MicroArch {
+            max_icache_fills: 32,
+            ..MicroArch::big_core()
+        },
+    );
+    assert!(
+        f32_ <= f1 + 1e-9,
+        "more fill slots must not slow fetch: {f32_:.3} vs {f1:.3}"
+    );
 }
 
 #[test]
@@ -128,16 +220,43 @@ fn fetch_buffers_never_invert() {
     // capacity only (L1i hits are not charged per line — a documented
     // simplification), so the effect is weak; it must never be inverted.
     let (w, r) = warmed("S10", 16_000, 10_000);
-    let b1 = cpi(&w, &r, &MicroArch { fetch_buffers: 1, ..MicroArch::big_core() });
-    let b8 = cpi(&w, &r, &MicroArch { fetch_buffers: 8, ..MicroArch::big_core() });
-    assert!(b8 <= b1 + 1e-9, "more fetch buffers must not slow fetch: {b8:.3} vs {b1:.3}");
+    let b1 = cpi(
+        &w,
+        &r,
+        &MicroArch {
+            fetch_buffers: 1,
+            ..MicroArch::big_core()
+        },
+    );
+    let b8 = cpi(
+        &w,
+        &r,
+        &MicroArch {
+            fetch_buffers: 8,
+            ..MicroArch::big_core()
+        },
+    );
+    assert!(
+        b8 <= b1 + 1e-9,
+        "more fetch buffers must not slow fetch: {b8:.3} vs {b1:.3}"
+    );
 }
 
 #[test]
 fn branch_predictor_matters_on_branchy_workload() {
     let (w, r) = warmed("S4", 24_000, 10_000);
-    let base = MicroArch { predictor: PredictorKind::Simple { miss_pct: 0 }, ..MicroArch::big_core() };
-    assert_hurts(&w, &r, base, |a| a.predictor = PredictorKind::Simple { miss_pct: 60 }, 1.25, "branch predictor");
+    let base = MicroArch {
+        predictor: PredictorKind::Simple { miss_pct: 0 },
+        ..MicroArch::big_core()
+    };
+    assert_hurts(
+        &w,
+        &r,
+        base,
+        |a| a.predictor = PredictorKind::Simple { miss_pct: 60 },
+        1.25,
+        "branch predictor",
+    );
 }
 
 #[test]
@@ -164,7 +283,14 @@ fn cache_sizes_matter_on_cache_sensitive_workload() {
 fn l1i_matters_on_big_code_workload() {
     // N1 base (narrow frontend, 8 fills): I-cache misses actually stall fetch.
     let (w, r) = warmed("P2", 24_000, 10_000);
-    assert_hurts(&w, &r, MicroArch::arm_n1(), |a| a.mem.l1i_kb = 16, 1.003, "L1i");
+    assert_hurts(
+        &w,
+        &r,
+        MicroArch::arm_n1(),
+        |a| a.mem.l1i_kb = 16,
+        1.003,
+        "L1i",
+    );
 }
 
 #[test]
@@ -185,9 +311,20 @@ fn prefetcher_helps_streaming_workload() {
 #[test]
 fn load_pipes_relieve_ls_pipe_pressure() {
     let (w, r) = warmed("P11", 16_000, 10_000);
-    let no_lp = MicroArch { ls_pipes: 1, load_pipes: 0, ..MicroArch::big_core() };
-    let with_lp = MicroArch { ls_pipes: 1, load_pipes: 8, ..MicroArch::big_core() };
+    let no_lp = MicroArch {
+        ls_pipes: 1,
+        load_pipes: 0,
+        ..MicroArch::big_core()
+    };
+    let with_lp = MicroArch {
+        ls_pipes: 1,
+        load_pipes: 8,
+        ..MicroArch::big_core()
+    };
     let a = cpi(&w, &r, &no_lp);
     let b = cpi(&w, &r, &with_lp);
-    assert!(b < a, "dedicated load pipes must relieve pressure: {b:.3} vs {a:.3}");
+    assert!(
+        b < a,
+        "dedicated load pipes must relieve pressure: {b:.3} vs {a:.3}"
+    );
 }

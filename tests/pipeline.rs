@@ -34,7 +34,12 @@ fn end_to_end_pipeline_beats_naive_predictor() {
         stats.p50,
         naive.p50
     );
-    assert!(stats.mean < naive.mean * 3.0, "mean {:.3} vs naive {:.3}", stats.mean, naive.mean);
+    assert!(
+        stats.mean < naive.mean * 3.0,
+        "mean {:.3} vs naive {:.3}",
+        stats.mean,
+        naive.mean
+    );
 
     // And its predictions must be usable via the FeatureStore path too.
     let suite = suite();
@@ -42,7 +47,12 @@ fn end_to_end_pipeline_beats_naive_predictor() {
     let spec = &suite[s0.workload as usize];
     let warm_start = s0.region.start.saturating_sub(profile.warmup_len as u64);
     let warm_len = (s0.region.start - warm_start) as usize;
-    let full = generate_region(spec, s0.region.trace_idx, warm_start, warm_len + profile.region_len);
+    let full = generate_region(
+        spec,
+        s0.region.trace_idx,
+        warm_start,
+        warm_len + profile.region_len,
+    );
     let (w, r) = full.instrs.split_at(warm_len);
     let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&s0.arch), &profile);
     let via_store = model.predict(&store, &s0.arch);
@@ -65,7 +75,14 @@ fn model_artifacts_roundtrip_through_disk() {
         threads: 0,
     };
     let data = generate_dataset(&cfg);
-    let model = train_model(&data, &profile, &TrainOptions { epochs: Some(3), ..TrainOptions::default() });
+    let model = train_model(
+        &data,
+        &profile,
+        &TrainOptions {
+            epochs: Some(3),
+            ..TrainOptions::default()
+        },
+    );
     let path = std::env::temp_dir().join("concorde_integration_model.json");
     model.save(&path).unwrap();
     let loaded = ConcordePredictor::load(&path).unwrap();
@@ -109,7 +126,14 @@ fn long_program_estimator_runs_end_to_end() {
         threads: 0,
     };
     let data = generate_dataset(&cfg);
-    let model = train_model(&data, &profile, &TrainOptions { epochs: Some(10), ..TrainOptions::default() });
+    let model = train_model(
+        &data,
+        &profile,
+        &TrainOptions {
+            epochs: Some(10),
+            ..TrainOptions::default()
+        },
+    );
     let spec = by_id("O2").unwrap();
     let res = long_program_experiment(&spec, &arch, &model, &profile, 60_000, &[2, 6], 1);
     assert!(res.true_cpi > 0.1 && res.true_cpi < 50.0);

@@ -124,6 +124,23 @@ proptest! {
         prop_assert_eq!(a.instrs, b.instrs);
     }
 
+    /// Batched MLP inference is bitwise identical to the per-sample path for
+    /// random shapes, batch sizes, and inputs (the serving engine's core
+    /// correctness contract).
+    #[test]
+    fn mlp_batch_matches_single_bitwise(seed in any::<u64>(), n in 1usize..24, din in 1usize..16, dh in 2usize..12) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[din, dh, 1], &mut rng);
+        let mut scratch = MlpScratch::default();
+        let xs: Vec<f32> = (0..n * din).map(|i| ((i as f32) * 0.37 + seed as f32 % 7.0).sin() * 4.0).collect();
+        let mut batch = vec![0.0f32; n];
+        mlp.predict_batch_into(&xs, &mut batch, &mut scratch);
+        for s in 0..n {
+            let single = mlp.predict(&xs[s * din..(s + 1) * din]);
+            prop_assert_eq!(single.to_bits(), batch[s].to_bits(), "row {} diverged", s);
+        }
+    }
+
     /// Bigger L1d never increases the in-order miss count.
     #[test]
     fn cache_miss_monotone(wl in 0usize..29) {

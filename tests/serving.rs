@@ -1,0 +1,258 @@
+//! End-to-end tests of the `concorde-serve` engine: served predictions must
+//! equal direct `ConcordePredictor::predict` results exactly, across mixed
+//! workloads, and the TCP protocol must round-trip.
+
+use std::time::Duration;
+
+use concorde_suite::core::cache::{sweep_content_hash, FeatureKey};
+use concorde_suite::prelude::*;
+
+/// Small but real model + profile shared by the tests (trained once).
+fn tiny_service_parts() -> (ConcordePredictor, ReproProfile) {
+    let mut profile = ReproProfile::quick();
+    profile.region_len = 2_048;
+    profile.warmup_len = 2_048;
+    profile.epochs = 2;
+    let data = generate_dataset(&DatasetConfig {
+        profile: profile.clone(),
+        n: 16,
+        seed: 11,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15, 20]),
+        threads: 0,
+    });
+    let model = train_model(&data, &profile, &TrainOptions::default());
+    (model, profile)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 64,
+        batch_deadline: Duration::from_millis(2),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn served_predictions_equal_direct_predictions() {
+    let (model, profile) = tiny_service_parts();
+    let direct_model = model.clone();
+    let service = PredictionService::start(model, profile.clone(), quick_config());
+    let client = service.client();
+
+    // Mixed workloads × architectures, ids interleaved.
+    let workloads = ["S5", "O1", "C1"];
+    let mut specs = Vec::new();
+    for rob in [64u32, 256] {
+        let mut s = ArchSpec::base("n1");
+        s.rob = Some(rob);
+        specs.push(s);
+    }
+    specs.push(ArchSpec::base("big"));
+    let mut reqs: Vec<PredictRequest> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, w)| {
+            specs
+                .iter()
+                .enumerate()
+                .map(move |(si, spec)| PredictRequest {
+                    id: (wi * 10 + si) as u64,
+                    workload: w.to_string(),
+                    trace: 0,
+                    start: 0,
+                    len: 0,
+                    arch: spec.clone(),
+                })
+        })
+        .collect();
+    // A mid-trace region: exercises the warmup-before-start convention.
+    reqs.push(PredictRequest {
+        id: 99,
+        workload: "S5".to_string(),
+        trace: 1,
+        start: 8_192,
+        len: 0,
+        arch: ArchSpec::base("n1"),
+    });
+
+    let resps = client.predict_many(reqs.clone()).expect("batch prediction");
+    assert_eq!(resps.len(), reqs.len());
+
+    for (req, resp) in reqs.iter().zip(&resps) {
+        assert_eq!(resp.id, req.id, "responses must come back in request order");
+        let cpi = resp
+            .cpi
+            .unwrap_or_else(|| panic!("id {} errored: {:?}", resp.id, resp.error));
+
+        // Rebuild the exact same store directly (dataset.rs region/warmup
+        // convention: region at [start, start+len), warmup just before it)
+        // and compare bitwise.
+        let arch = req.arch.resolve().unwrap();
+        let spec = by_id(&req.workload).unwrap();
+        let warm_start = req.start.saturating_sub(profile.warmup_len as u64);
+        let warm_len = (req.start - warm_start) as usize;
+        let full = generate_region(&spec, req.trace, warm_start, warm_len + profile.region_len);
+        let (w, r) = full.instrs.split_at(warm_len);
+        let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &profile);
+        let direct = direct_model.predict(&store, &arch);
+        assert_eq!(
+            direct.to_bits(),
+            cpi.to_bits(),
+            "id {}: served {cpi} != direct {direct}",
+            resp.id
+        );
+    }
+
+    let m = service.metrics();
+    assert_eq!(m.completed, reqs.len() as u64);
+    assert_eq!(m.errored, 0);
+    assert!(m.batches >= 1);
+    assert!(
+        m.cache_misses >= 1,
+        "first touch of each group must precompute"
+    );
+}
+
+#[test]
+fn repeated_queries_hit_the_cache() {
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(model, profile, quick_config());
+    let client = service.client();
+    let req = PredictRequest::new(1, "S5", ArchSpec::base("n1"));
+
+    let first = client.predict(req.clone()).unwrap();
+    assert!(!first.cached, "first query must precompute");
+    let second = client.predict(req).unwrap();
+    assert!(second.cached, "second query must reuse the cached store");
+    assert_eq!(first.cpi.unwrap().to_bits(), second.cpi.unwrap().to_bits());
+
+    let m = service.metrics();
+    assert!(m.cache_hits >= 1);
+}
+
+#[test]
+fn unknown_workload_and_bad_arch_error_cleanly() {
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(model, profile, quick_config());
+    let client = service.client();
+
+    let bad_wl = client
+        .predict(PredictRequest::new(7, "ZZ", ArchSpec::default()))
+        .unwrap();
+    assert!(bad_wl.cpi.is_none());
+    assert!(bad_wl
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("unknown workload"));
+
+    let bad_arch = client
+        .predict(PredictRequest::new(8, "S5", ArchSpec::base("epyc")))
+        .unwrap();
+    assert!(bad_arch
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("unknown base arch"));
+
+    // Zero-sized resources must be request errors, not worker panics: the
+    // analytic models assert rob >= 1, and a panicking worker would shrink
+    // the pool until the service wedged.
+    let mut zero_rob = ArchSpec::base("n1");
+    zero_rob.rob = Some(0);
+    let bad_value = client
+        .predict(PredictRequest::new(9, "S5", zero_rob))
+        .unwrap();
+    assert!(bad_value
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("out of range"));
+
+    // Oversized region lengths are request errors, not multi-gigabyte
+    // allocations inside a worker.
+    let mut huge = PredictRequest::new(11, "S5", ArchSpec::base("n1"));
+    huge.len = u32::MAX;
+    let too_big = client.predict(huge).unwrap();
+    assert!(too_big
+        .error
+        .as_deref()
+        .unwrap_or("")
+        .contains("exceeds the served maximum"));
+
+    // The pool must still serve normal traffic afterwards.
+    let ok = client
+        .predict(PredictRequest::new(10, "S5", ArchSpec::base("n1")))
+        .unwrap();
+    assert!(
+        ok.cpi.is_some(),
+        "service must survive bad-value requests: {:?}",
+        ok.error
+    );
+
+    let m = service.metrics();
+    assert_eq!(m.errored, 4);
+}
+
+#[test]
+fn feature_key_matches_service_grouping() {
+    // The cache key the service derives for two equal requests must be equal,
+    // and differ across sweeps.
+    let n1 = SweepConfig::for_arch(&MicroArch::arm_n1());
+    let big = SweepConfig::for_arch(&MicroArch::big_core());
+    let key = |sweep: &SweepConfig| FeatureKey {
+        workload: "S5".into(),
+        trace: 0,
+        start: 0,
+        region_len: 2048,
+        sweep_hash: sweep_content_hash(sweep),
+    };
+    assert_eq!(key(&n1), key(&n1));
+    assert_ne!(key(&n1), key(&big));
+}
+
+#[test]
+fn tcp_protocol_roundtrip() {
+    let (model, profile) = tiny_service_parts();
+    let service = Box::leak(Box::new(PredictionService::start(
+        model,
+        profile,
+        quick_config(),
+    )));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = service.serve_tcp(listener);
+    });
+
+    let mut client = TcpClient::connect(&addr).expect("connect to in-test server");
+
+    // Single request.
+    let resp = client
+        .predict(&PredictRequest::new(3, "S5", ArchSpec::base("n1")))
+        .unwrap();
+    assert_eq!(resp.id, 3);
+    assert!(resp.cpi.unwrap() > 0.0);
+
+    // Array request → array response, in order.
+    let reqs = vec![
+        PredictRequest::new(10, "S5", ArchSpec::base("n1")),
+        PredictRequest::new(11, "O1", ArchSpec::base("big")),
+    ];
+    let resps = client.predict_many(&reqs).unwrap();
+    assert_eq!(resps.len(), 2);
+    assert_eq!(resps[0].id, 10);
+    assert_eq!(resps[1].id, 11);
+    assert!(
+        resps[0].cached,
+        "S5/n1 store was cached by the first request"
+    );
+
+    // Metrics and catalog commands.
+    let m = client.metrics().unwrap();
+    assert!(m.completed >= 3);
+    let wl = client.workloads().unwrap();
+    assert_eq!(wl.as_array().map(Vec::len), Some(suite().len()));
+}
