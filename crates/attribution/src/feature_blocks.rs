@@ -1,0 +1,291 @@
+//! Shapley attribution over *feature blocks* — the players are spans of the
+//! ML input vector, defined by the [`FeatureSchema`] instead of hand-kept
+//! index ranges.
+//!
+//! Where [`shapley`](crate::shapley) asks "which microarchitecture parameters
+//! explain the CPI difference between two designs?", this module asks "which
+//! feature blocks explain the difference between two model inputs?": a
+//! coalition substitutes the target's values for its member blocks into the
+//! baseline vector, and the value function is the model's prediction on the
+//! blended vector. Because the players come straight from the schema, the
+//! game stays correct whenever the layout evolves (the schema version is the
+//! contract).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use concorde_core::schema::{BlockGroup, FeatureSchema};
+use rand::seq::SliceRandom;
+use rand_chacha::ChaCha12Rng;
+
+use crate::shapley::Attribution;
+
+/// A feature-space Shapley game: one player per named span of the vector.
+#[derive(Debug, Clone)]
+pub struct FeatureBlockGame {
+    /// Player labels (block or group names).
+    pub labels: Vec<String>,
+    /// Vector span owned by each player.
+    pub ranges: Vec<Range<usize>>,
+    /// Total vector dimension the game was built for.
+    pub dim: usize,
+}
+
+impl FeatureBlockGame {
+    /// One player per schema block (the finest-grained game; usually played
+    /// with [`feature_shapley_mc`] since a full schema has >20 blocks).
+    pub fn per_block(schema: &FeatureSchema) -> Self {
+        FeatureBlockGame {
+            labels: schema.blocks().iter().map(|b| b.name.clone()).collect(),
+            ranges: schema.blocks().iter().map(|b| b.range()).collect(),
+            dim: schema.dim(),
+        }
+    }
+
+    /// One player per [`BlockGroup`] present in the schema (≤5 players, so
+    /// [`feature_shapley_exact`] is cheap).
+    pub fn per_group(schema: &FeatureSchema) -> Self {
+        let mut labels = Vec::new();
+        let mut ranges = Vec::new();
+        for g in BlockGroup::ALL {
+            if let Some(r) = schema.group_range(g) {
+                labels.push(format!("{g:?}"));
+                ranges.push(r);
+            }
+        }
+        FeatureBlockGame {
+            labels,
+            ranges,
+            dim: schema.dim(),
+        }
+    }
+
+    /// Number of players.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the game has no players.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Bound on memoized coalition values. Exact enumeration fits well inside
+/// it (≤2^20 masks); Monte Carlo permutation prefixes are almost all unique,
+/// so past this point caching buys nothing — stop inserting rather than let
+/// a long MC run grow the map without limit.
+const MEMO_CAP: usize = 1 << 20;
+
+/// Memoizing evaluator: coalition mask → prediction on the blended vector.
+struct BlendEval<'a, F> {
+    f: F,
+    base: &'a [f32],
+    target: &'a [f32],
+    game: &'a FeatureBlockGame,
+    scratch: Vec<f32>,
+    cache: HashMap<u64, f64>,
+    evals: usize,
+}
+
+impl<'a, F: FnMut(&[f32]) -> f64> BlendEval<'a, F> {
+    fn new(f: F, base: &'a [f32], target: &'a [f32], game: &'a FeatureBlockGame) -> Self {
+        assert_eq!(base.len(), game.dim, "baseline vector dimension");
+        assert_eq!(target.len(), game.dim, "target vector dimension");
+        assert!(game.len() <= 64, "mask-based games cap at 64 players");
+        BlendEval {
+            f,
+            base,
+            target,
+            game,
+            scratch: base.to_vec(),
+            cache: HashMap::new(),
+            evals: 0,
+        }
+    }
+
+    fn value(&mut self, mask: u64) -> f64 {
+        if let Some(&v) = self.cache.get(&mask) {
+            return v;
+        }
+        self.scratch.copy_from_slice(self.base);
+        for (g, range) in self.game.ranges.iter().enumerate() {
+            if mask & (1 << g) != 0 {
+                self.scratch[range.clone()].copy_from_slice(&self.target[range.clone()]);
+            }
+        }
+        let v = (self.f)(&self.scratch);
+        if self.cache.len() < MEMO_CAP {
+            self.cache.insert(mask, v);
+        }
+        self.evals += 1;
+        v
+    }
+}
+
+/// Exact feature-block Shapley values by subset enumeration.
+///
+/// # Panics
+///
+/// Panics if the game has more than 20 players (use
+/// [`feature_shapley_mc`]) or if the vectors don't match the game dimension.
+pub fn feature_shapley_exact<F: FnMut(&[f32]) -> f64>(
+    f: F,
+    base: &[f32],
+    target: &[f32],
+    game: &FeatureBlockGame,
+) -> Attribution {
+    let d = game.len();
+    assert!(d <= 20, "exact Shapley is exponential; got {d} players");
+    let mut eval = BlendEval::new(f, base, target, game);
+    let mut fact = vec![1.0f64; d + 1];
+    for i in 1..=d {
+        fact[i] = fact[i - 1] * i as f64;
+    }
+    let mut values = vec![0.0f64; d];
+    for mask in 0u64..(1 << d) {
+        let s = mask.count_ones() as usize;
+        let v_s = eval.value(mask);
+        for (g, value) in values.iter_mut().enumerate() {
+            if mask & (1 << g) == 0 {
+                let w = fact[s] * fact[d - 1 - s] / fact[d];
+                let v_si = eval.value(mask | (1 << g));
+                *value += w * (v_si - v_s);
+            }
+        }
+    }
+    let base_value = eval.value(0);
+    let target_value = eval.value((1u64 << d) - 1);
+    Attribution {
+        labels: game.labels.clone(),
+        values,
+        base_value,
+        target_value,
+        evaluations: eval.evals,
+    }
+}
+
+/// Monte Carlo feature-block Shapley over `n_perms` random orderings. Each
+/// permutation telescopes, so values sum exactly to
+/// `f(target) − f(base)` at any sample size.
+///
+/// # Panics
+///
+/// Panics if `n_perms == 0` or the vectors don't match the game dimension.
+pub fn feature_shapley_mc<F: FnMut(&[f32]) -> f64>(
+    f: F,
+    base: &[f32],
+    target: &[f32],
+    game: &FeatureBlockGame,
+    n_perms: usize,
+    rng: &mut ChaCha12Rng,
+) -> Attribution {
+    assert!(n_perms > 0, "need at least one permutation");
+    let d = game.len();
+    let mut eval = BlendEval::new(f, base, target, game);
+    let mut values = vec![0.0f64; d];
+    let mut order: Vec<usize> = (0..d).collect();
+    for _ in 0..n_perms {
+        order.shuffle(rng);
+        let mut mask = 0u64;
+        let mut prev = eval.value(0);
+        for &g in &order {
+            mask |= 1 << g;
+            let v = eval.value(mask);
+            values[g] += v - prev;
+            prev = v;
+        }
+    }
+    for v in &mut values {
+        *v /= n_perms as f64;
+    }
+    let base_value = eval.value(0);
+    let target_value = eval.value(if d == 64 { u64::MAX } else { (1u64 << d) - 1 });
+    Attribution {
+        labels: game.labels.clone(),
+        values,
+        base_value,
+        target_value,
+        evaluations: eval.evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use concorde_analytic::distribution::Encoding;
+    use concorde_core::features::FeatureVariant;
+    use rand::SeedableRng;
+
+    fn schema() -> FeatureSchema {
+        FeatureSchema::new(Encoding { levels: 4 }, FeatureVariant::Full)
+    }
+
+    /// Model that only reads the first dim of the "rob" block and the
+    /// mispredict scalar — attribution must land on exactly those blocks.
+    fn two_block_model(schema: &FeatureSchema) -> impl FnMut(&[f32]) -> f64 {
+        let rob = schema.range("rob").unwrap().start;
+        let mis = schema.range("mispredict").unwrap().start;
+        move |x: &[f32]| f64::from(x[rob]) * 2.0 + f64::from(x[mis]) * 3.0
+    }
+
+    #[test]
+    fn exact_attribution_lands_on_the_read_blocks() {
+        let s = schema();
+        let game = FeatureBlockGame::per_group(&s);
+        assert_eq!(game.len(), 5);
+        let base = vec![0.0f32; s.dim()];
+        let mut target = vec![0.0f32; s.dim()];
+        target[s.range("rob").unwrap().start] = 1.0;
+        target[s.range("mispredict").unwrap().start] = 1.0;
+        let attr = feature_shapley_exact(two_block_model(&s), &base, &target, &game);
+        let total: f64 = attr.values.iter().sum();
+        assert!((total - (attr.target_value - attr.base_value)).abs() < 1e-9);
+        // Primary gets the ×2 effect, Mispredict the ×3; the rest nothing.
+        let by_label: HashMap<&str, f64> = attr
+            .labels
+            .iter()
+            .map(String::as_str)
+            .zip(attr.values.iter().copied())
+            .collect();
+        assert!((by_label["Primary"] - 2.0).abs() < 1e-9);
+        assert!((by_label["Mispredict"] - 3.0).abs() < 1e-9);
+        assert!(by_label["Latency"].abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_matches_exact_and_telescopes() {
+        let s = schema();
+        let game = FeatureBlockGame::per_group(&s);
+        let base = vec![0.1f32; s.dim()];
+        let target = vec![0.9f32; s.dim()];
+        let exact = feature_shapley_exact(two_block_model(&s), &base, &target, &game);
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        let mc = feature_shapley_mc(two_block_model(&s), &base, &target, &game, 64, &mut rng);
+        for (e, m) in exact.values.iter().zip(&mc.values) {
+            assert!((e - m).abs() < 0.05, "exact {e} vs mc {m}");
+        }
+        let total: f64 = mc.values.iter().sum();
+        assert!((total - (mc.target_value - mc.base_value)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_block_game_covers_the_whole_vector() {
+        let s = schema();
+        let game = FeatureBlockGame::per_block(&s);
+        assert_eq!(game.len(), s.blocks().len());
+        let covered: usize = game.ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, s.dim());
+        assert!(!game.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn dimension_mismatch_is_rejected() {
+        let s = schema();
+        let game = FeatureBlockGame::per_group(&s);
+        let base = vec![0.0f32; 3];
+        let target = vec![0.0f32; s.dim()];
+        let _ = feature_shapley_exact(|_| 0.0, &base, &target, &game);
+    }
+}

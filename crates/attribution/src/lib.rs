@@ -24,8 +24,10 @@
 
 #![warn(missing_docs)]
 
+pub mod feature_blocks;
 pub mod groups;
 pub mod shapley;
 
+pub use feature_blocks::{feature_shapley_exact, feature_shapley_mc, FeatureBlockGame};
 pub use groups::{arch_for_mask, cache_vs_lq_groups, default_groups, ParamGroup};
 pub use shapley::{ablation_deltas, shapley_exact, shapley_mc, Attribution};

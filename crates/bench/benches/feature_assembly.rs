@@ -1,0 +1,91 @@
+//! Criterion benches for the feature pipeline: assembly ns/vector
+//! (allocating `features` vs zero-allocation `features_into`), nearest-grid
+//! quantized lookups under the quantized sweep, and `precompute` wall time
+//! at 1 vs 4 threads (the §5.2.3 serve-cache-miss long tail).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use concorde_core::prelude::*;
+use concorde_cyclesim::MicroArch;
+use concorde_trace::Instruction;
+
+struct Setup {
+    profile: ReproProfile,
+    warm: Vec<Instruction>,
+    region: Vec<Instruction>,
+    store: FeatureStore,
+    arch: MicroArch,
+}
+
+fn setup() -> Setup {
+    let profile = ReproProfile::quick();
+    let spec = concorde_trace::by_id("S5").unwrap();
+    let full =
+        concorde_trace::generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let arch = MicroArch::arm_n1();
+    let store = FeatureStore::precompute(
+        w,
+        r,
+        &SweepConfig::for_pair(&MicroArch::big_core(), &arch),
+        &profile,
+    );
+    Setup {
+        profile,
+        warm: w.to_vec(),
+        region: r.to_vec(),
+        store,
+        arch,
+    }
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let s = setup();
+    let dim = FeatureSchema::dim_for(s.profile.encoding, FeatureVariant::Full);
+    // Off-grid query: every lookup pays the nearest-grid search.
+    let mut off = s.arch;
+    off.rob_size = 200;
+    off.lq_size = 40;
+    off.alu_width = 5;
+
+    let mut g = c.benchmark_group("feature_assembly");
+    g.bench_function("features_alloc_full", |b| {
+        b.iter(|| s.store.features(&s.arch, FeatureVariant::Full))
+    });
+    let mut buf = vec![0.0f32; dim];
+    g.bench_function("features_into_full", |b| {
+        b.iter(|| {
+            s.store
+                .features_into(&s.arch, FeatureVariant::Full, &mut buf)
+        })
+    });
+    g.bench_function("features_into_full_offgrid", |b| {
+        b.iter(|| s.store.features_into(&off, FeatureVariant::Full, &mut buf))
+    });
+    let base_dim = FeatureSchema::dim_for(s.profile.encoding, FeatureVariant::Base);
+    let mut base_buf = vec![0.0f32; base_dim];
+    g.bench_function("features_into_base", |b| {
+        b.iter(|| {
+            s.store
+                .features_into(&s.arch, FeatureVariant::Base, &mut base_buf)
+        })
+    });
+    g.finish();
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let s = setup();
+    let sweep = SweepConfig::for_pair(&MicroArch::big_core(), &s.arch);
+    let mut g = c.benchmark_group("precompute");
+    g.sample_size(10);
+    g.bench_function("pair_sweep_1_thread", |b| {
+        b.iter(|| FeatureStore::precompute_threaded(&s.warm, &s.region, &sweep, &s.profile, 1))
+    });
+    g.bench_function("pair_sweep_4_threads", |b| {
+        b.iter(|| FeatureStore::precompute_threaded(&s.warm, &s.region, &sweep, &s.profile, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_assembly, bench_precompute);
+criterion_main!(benches);

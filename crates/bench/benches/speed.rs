@@ -67,12 +67,16 @@ fn bench_speed(c: &mut Criterion) {
     });
 
     c.bench_function("feature_precompute_single_arch", |b| {
+        // One thread: this measures the serial per-training-sample cost
+        // (dataset generation precomputes single-threaded); the 1-vs-4
+        // thread scaling lives in the feature_assembly bench.
         b.iter(|| {
-            FeatureStore::precompute(
+            FeatureStore::precompute_threaded(
                 &s.warm,
                 &s.region,
                 &SweepConfig::for_arch(&s.arch),
                 &s.profile,
+                1,
             )
         });
     });

@@ -23,41 +23,28 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
     let min_pairs: Vec<(f64, f64)> = {
         let profile = ctx.profile.clone();
         let suite = concorde_trace::suite();
-        let idx: Vec<usize> = (0..nsub).collect();
-        let results: Vec<parking_lot::Mutex<Option<(f64, f64)>>> =
-            (0..nsub).map(|_| parking_lot::Mutex::new(None)).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= idx.len() {
-                        break;
-                    }
-                    let smp = &data.test[idx[i]];
-                    let spec = &suite[smp.workload as usize];
-                    let warm_start = smp.region.start.saturating_sub(profile.warmup_len as u64);
-                    let warm_len = (smp.region.start - warm_start) as usize;
-                    let full = concorde_trace::generate_region(
-                        spec,
-                        smp.region.trace_idx,
-                        warm_start,
-                        warm_len + profile.region_len,
-                    );
-                    let (w, r) = full.instrs.split_at(warm_len);
-                    let store =
-                        FeatureStore::precompute(w, r, &SweepConfig::for_arch(&smp.arch), &profile);
-                    *results[i].lock() = Some((store.min_bound_cpi(&smp.arch), smp.cpi));
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|m| m.into_inner().unwrap())
-            .collect()
+        parallel_map_all(nsub, |i| {
+            let smp = &data.test[i];
+            let spec = &suite[smp.workload as usize];
+            let warm_start = smp.region.start.saturating_sub(profile.warmup_len as u64);
+            let warm_len = (smp.region.start - warm_start) as usize;
+            let full = concorde_trace::generate_region(
+                spec,
+                smp.region.trace_idx,
+                warm_start,
+                warm_len + profile.region_len,
+            );
+            let (w, r) = full.instrs.split_at(warm_len);
+            // One thread per store: samples already run in parallel.
+            let store = FeatureStore::precompute_threaded(
+                w,
+                r,
+                &SweepConfig::for_arch(&smp.arch),
+                &profile,
+                1,
+            );
+            (store.min_bound_cpi(&smp.arch), smp.cpi)
+        })
     };
     let min_stats = ErrorStats::from_pairs(&min_pairs);
     rows.push(vec![
@@ -98,6 +85,56 @@ pub fn fig12(ctx: &Ctx) -> serde_json::Value {
     }
     print_table(&["Model", "Mean err", ">10% err"], &rows);
     println!("(paper ordering: 65% → 3.32% → 2.4% → 2.03%)");
+
+    // Schema-block knockout ablation: zero each named block of the Full
+    // input and measure the error shift — finer-grained than the variant
+    // ablation above, and driven entirely by the versioned schema (new
+    // blocks show up here without touching this experiment).
+    println!("\n-- schema-block knockout ablation (v{SCHEMA_VERSION}) --");
+    let schema = FeatureSchema::new(ctx.profile.encoding, FeatureVariant::Full);
+    let nblk = data.test.len().min(128);
+    let baseline_pairs: Vec<(f64, f64)> = data.test[..nblk]
+        .iter()
+        .map(|s| (data.model.predict_features(&s.features), s.cpi))
+        .collect();
+    let baseline = ErrorStats::from_pairs(&baseline_pairs);
+    let mut block_rows = Vec::new();
+    let mut block_out = Vec::new();
+    for block in schema.blocks() {
+        let pairs: Vec<(f64, f64)> = data.test[..nblk]
+            .iter()
+            .map(|s| {
+                let mut x = s.features.clone();
+                x[block.range()].fill(0.0);
+                (data.model.predict_features(&x), s.cpi)
+            })
+            .collect();
+        let stats = ErrorStats::from_pairs(&pairs);
+        block_rows.push(vec![
+            block.name.clone(),
+            format!("{:?}", block.group),
+            block.len.to_string(),
+            format!("{:.2}%", stats.mean * 100.0),
+            format!("{:+.2}%", (stats.mean - baseline.mean) * 100.0),
+        ]);
+        block_out.push(json!({
+            "block": block.name,
+            "group": format!("{:?}", block.group),
+            "dims": block.len,
+            "mean": stats.mean,
+            "delta_vs_full": stats.mean - baseline.mean,
+        }));
+    }
+    print_table(
+        &["Block", "Group", "Dims", "Mean err", "Δ vs full"],
+        &block_rows,
+    );
+    println!(
+        "(full-model baseline on the same {nblk} samples: {:.2}%)",
+        baseline.mean * 100.0
+    );
+    out.insert("block_knockout".into(), json!(block_out));
+    out.insert("block_baseline_mean".into(), json!(baseline.mean));
 
     // §5.2.2 model-size ablation.
     println!("\n-- §5.2.2: model-size ablation --");

@@ -19,7 +19,8 @@ fn region_store(ctx: &Ctx, id: &str, trace: u32, start: u64, sweep: &SweepConfig
     let full =
         concorde_trace::generate_region(&spec, trace, warm_start, warm_len + profile.region_len);
     let (w, r) = full.instrs.split_at(warm_len);
-    FeatureStore::precompute(w, r, sweep, profile)
+    // One thread per store: the callers parallelize across regions.
+    FeatureStore::precompute_threaded(w, r, sweep, profile, 1)
 }
 
 /// Figure 15: order-dependent ablations vs the Shapley attribution for the

@@ -81,31 +81,23 @@ pub fn tab02(ctx: &Ctx) -> serde_json::Value {
     report
 }
 
-/// Table 3: ML input dimension breakdown.
+/// Table 3: ML input dimension breakdown, straight from the schema.
 pub fn tab03(ctx: &Ctx) -> serde_json::Value {
-    println!("\n== Table 3: ML input layout ==");
+    println!("\n== Table 3: ML input layout (schema v{SCHEMA_VERSION}) ==");
     let mut rows = Vec::new();
     for (name, enc) in [
         ("paper (101-dim)", Encoding::paper()),
         ("default (33-dim)", ctx.profile.encoding),
     ] {
-        let e = enc.dim();
-        let primary = 11 * e;
-        let stalls = 4 * e + 1 + 11;
-        let latency = 23 * e;
-        let params = 23;
-        let full = FeatureLayout {
-            encoding: enc,
-            variant: FeatureVariant::Full,
-        }
-        .dim();
+        let schema = FeatureSchema::new(enc, FeatureVariant::Full);
+        let width = |g: BlockGroup| schema.group_range(g).map_or(0, |r| r.len());
         rows.push(vec![
             name.to_string(),
-            format!("11x{e}={primary}"),
-            format!("4x{e}+1+11={stalls}"),
-            format!("23x{e}={latency}"),
-            params.to_string(),
-            full.to_string(),
+            width(BlockGroup::Primary).to_string(),
+            (width(BlockGroup::Mispredict) + width(BlockGroup::Stall)).to_string(),
+            width(BlockGroup::Latency).to_string(),
+            width(BlockGroup::Params).to_string(),
+            schema.dim().to_string(),
         ]);
     }
     print_table(
@@ -143,15 +135,20 @@ pub fn tab_preproc(ctx: &Ctx) -> serde_json::Value {
     let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
     let (w, r) = full.instrs.split_at(profile.warmup_len);
 
-    // Single-arch precompute (the per-training-sample cost).
+    // Single-arch precompute (the per-training-sample cost). One thread:
+    // the paper statistic is the serial analytic cost per sample, and
+    // dataset generation runs its precomputes single-threaded too.
     let arch = MicroArch::arm_n1();
     let t0 = Instant::now();
-    let s_single = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), profile);
+    let s_single =
+        FeatureStore::precompute_threaded(w, r, &SweepConfig::for_arch(&arch), profile, 1);
     let t_single = t0.elapsed();
 
-    // Quantized full-space sweep (§5.2.3's 1.8e18-combination variant).
+    // Quantized full-space sweep (§5.2.3's 1.8e18-combination variant),
+    // also single-threaded so the "≈ N cycle-level simulations" ratio
+    // compares like with like (the simulator below is serial).
     let t1 = Instant::now();
-    let s_quant = FeatureStore::precompute(w, r, &SweepConfig::quantized(), profile);
+    let s_quant = FeatureStore::precompute_threaded(w, r, &SweepConfig::quantized(), profile, 1);
     let t_quant = t1.elapsed();
 
     // Reference: one cycle-level simulation of the same region.

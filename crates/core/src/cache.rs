@@ -8,9 +8,11 @@
 //! skip the analytic stage entirely.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use crate::features::FeatureStore;
+use crate::schema::SCHEMA_VERSION;
 use crate::sweep::SweepConfig;
 
 /// Identity of one precomputed feature store.
@@ -137,6 +139,123 @@ impl FeatureStoreCache {
         self.hits = 0;
         self.misses = 0;
         self.tick = 0;
+    }
+}
+
+/// A persisted feature store plus the identity it was precomputed for — the
+/// on-disk artifact `concorde precompute` writes and `concorde serve
+/// --preload` boots from, so a server starts warm instead of re-running the
+/// analytic stage per region.
+///
+/// File layout (little-endian): `"CCFA"`, artifact-format version,
+/// [`SCHEMA_VERSION`], the [`FeatureKey`] fields, then the store in
+/// [`FeatureStore::to_bytes`] form. Round-trips bit-exactly.
+#[derive(Debug, Clone)]
+pub struct StoreArtifact {
+    /// Region + sweep identity of the store.
+    pub key: FeatureKey,
+    /// Feature-schema version the store was built under.
+    pub schema_version: u32,
+    /// The precomputed store.
+    pub store: FeatureStore,
+}
+
+/// Magic bytes opening a [`StoreArtifact`] file.
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"CCFA";
+/// Artifact container format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+impl StoreArtifact {
+    /// Wraps a freshly precomputed store under the current schema version.
+    pub fn new(key: FeatureKey, store: FeatureStore) -> Self {
+        StoreArtifact {
+            key,
+            schema_version: SCHEMA_VERSION,
+            store,
+        }
+    }
+
+    /// Serializes the artifact (header + store) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let store_bytes = self.store.to_bytes();
+        let mut buf = Vec::with_capacity(64 + self.key.workload.len() + store_bytes.len());
+        buf.extend_from_slice(&ARTIFACT_MAGIC);
+        buf.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.schema_version.to_le_bytes());
+        buf.extend_from_slice(&(self.key.workload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.key.workload.as_bytes());
+        buf.extend_from_slice(&self.key.trace.to_le_bytes());
+        buf.extend_from_slice(&self.key.start.to_le_bytes());
+        buf.extend_from_slice(&self.key.region_len.to_le_bytes());
+        buf.extend_from_slice(&self.key.sweep_hash.to_le_bytes());
+        buf.extend_from_slice(&store_bytes);
+        buf
+    }
+
+    /// Deserializes an artifact written by [`StoreArtifact::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, an unsupported container or schema
+    /// version, or a corrupt store payload.
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<StoreArtifact> {
+        use crate::features::ByteReader;
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(4)? != ARTIFACT_MAGIC {
+            return Err(bad("not a Concorde store artifact (bad magic)"));
+        }
+        let version = r.u32()?;
+        if version != ARTIFACT_VERSION {
+            return Err(bad(&format!(
+                "unsupported artifact version {version} (this build reads {ARTIFACT_VERSION})"
+            )));
+        }
+        let schema_version = r.u32()?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(bad(&format!(
+                "artifact was built under feature-schema version {schema_version}; \
+                 this build serves version {SCHEMA_VERSION} — re-run `concorde precompute`"
+            )));
+        }
+        let wl_len = r.u32()? as usize;
+        let workload = String::from_utf8(r.bytes(wl_len)?.to_vec())
+            .map_err(|_| bad("artifact workload id is not UTF-8"))?;
+        let trace = r.u32()?;
+        let start = r.u64()?;
+        let region_len = r.u32()?;
+        let sweep_hash = r.u64()?;
+        let remaining = r.remaining();
+        let store = FeatureStore::from_bytes(r.bytes(remaining)?)?;
+        Ok(StoreArtifact {
+            key: FeatureKey {
+                workload,
+                trace,
+                start,
+                region_len,
+                sweep_hash,
+            },
+            schema_version,
+            store,
+        })
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, plus the [`StoreArtifact::from_bytes`] validations.
+    pub fn load(path: &Path) -> std::io::Result<StoreArtifact> {
+        Self::from_bytes(&std::fs::read(path)?)
     }
 }
 

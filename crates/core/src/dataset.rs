@@ -16,6 +16,7 @@ use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::features::{FeatureStore, FeatureVariant};
+use crate::schema::FeatureSchema;
 use crate::sweep::{ReproProfile, SweepConfig};
 use concorde_analytic::distribution::Encoding;
 
@@ -122,7 +123,9 @@ fn generate_sample(cfg: &DatasetConfig, suite: &[WorkloadSpec], index: usize) ->
             seed: rng.gen(),
         },
     );
-    let store = FeatureStore::precompute(warm, reg, &SweepConfig::for_arch(&arch), profile);
+    // One precompute thread: generation already parallelizes across samples.
+    let store =
+        FeatureStore::precompute_threaded(warm, reg, &SweepConfig::for_arch(&arch), profile, 1);
     let features = store.features(&arch, FeatureVariant::Full);
     let est = store.load_exec_estimate(arch.mem).max(1);
 
@@ -175,31 +178,70 @@ pub fn generate_dataset(cfg: &DatasetConfig) -> Vec<Sample> {
         .collect()
 }
 
+/// Reusable projection from full-variant vectors onto an ablation variant:
+/// the schema lookups happen once here, so per-sample projection is a few
+/// `memcpy`s (build one per training/evaluation run, not per sample).
+#[derive(Debug, Clone)]
+pub struct FeatureProjection {
+    /// Source ranges to copy, adjacent schema blocks coalesced.
+    ranges: Vec<std::ops::Range<usize>>,
+    src_dim: usize,
+    dim: usize,
+}
+
+impl FeatureProjection {
+    /// Builds the projection for `variant` out of the full-variant schema.
+    pub fn new(encoding: Encoding, variant: FeatureVariant) -> Self {
+        let source = FeatureSchema::new(encoding, FeatureVariant::Full);
+        let target = FeatureSchema::new(encoding, variant);
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        for block in target.blocks() {
+            let src = source
+                .block(&block.name)
+                .expect("every target block exists in the full schema")
+                .range();
+            debug_assert_eq!(src.len(), block.len);
+            match ranges.last_mut() {
+                Some(prev) if prev.end == src.start => prev.end = src.end,
+                _ => ranges.push(src),
+            }
+        }
+        FeatureProjection {
+            ranges,
+            src_dim: source.dim(),
+            dim: target.dim(),
+        }
+    }
+
+    /// Projected (target-variant) dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Projects one full-variant vector.
+    pub fn project(&self, full: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(full.len(), self.src_dim);
+        let mut out = Vec::with_capacity(self.dim);
+        for r in &self.ranges {
+            out.extend_from_slice(&full[r.clone()]);
+        }
+        debug_assert_eq!(out.len(), self.dim);
+        out
+    }
+}
+
 /// Projects a stored full-variant feature vector onto an ablation variant
 /// (Figure 12) without re-running the analytical models.
 ///
-/// Layout (see `FeatureStore::features`): `[11E primary][1 mispred]
-/// [4E+11 stalls][23E latency][23 params]`.
+/// Schema-driven: the target variant's blocks are copied out of the
+/// full-variant vector by name, so the projection stays correct whatever the
+/// layout becomes. Batch callers should build a [`FeatureProjection`] once
+/// instead.
 pub fn project_features(full: &[f32], encoding: Encoding, variant: FeatureVariant) -> Vec<f32> {
-    let e = encoding.dim();
-    let primary_end = 11 * e + 1;
-    let stalls_end = primary_end + 4 * e + 11;
-    let latency_end = stalls_end + 23 * e;
-    let params = &full[latency_end..];
-    debug_assert_eq!(params.len(), MicroArch::ENCODED_DIM);
-    match variant {
-        FeatureVariant::Full => full.to_vec(),
-        FeatureVariant::BaseBranch => {
-            let mut v = full[..stalls_end].to_vec();
-            v.extend_from_slice(params);
-            v
-        }
-        FeatureVariant::Base => {
-            let mut v = full[..primary_end].to_vec();
-            v.extend_from_slice(params);
-            v
-        }
+    if variant == FeatureVariant::Full {
+        return full.to_vec();
     }
+    FeatureProjection::new(encoding, variant).project(full)
 }
 
 /// Per-workload average train/test region overlap (Figure 4): for each test

@@ -4,13 +4,22 @@
 //! one program region, the encoded per-resource throughput distributions for
 //! every parameter value in a [`SweepConfig`] (paper §3.2.1), the auxiliary
 //! pipeline-stall and latency-distribution features (§3.2.2), and enough raw
-//! series for the no-ML minimum-bound baseline and Figure 1. Given any
-//! microarchitecture whose values fall on (or near — lookups quantize to the
-//! nearest grid point) the sweep, [`FeatureStore::features`] assembles the ML
-//! model's input vector in microseconds, which is what makes design-space
-//! sweeps and Shapley attribution cheap.
+//! series for the no-ML minimum-bound baseline and Figure 1.
+//!
+//! Storage is a set of flat arenas — one contiguous `f32` buffer for encoded
+//! distributions and one `f64` buffer for raw window series per table —
+//! indexed by *grid position*: every sweep value is known up front, so a
+//! lookup is a nearest-grid-index search over a tiny array plus a computed
+//! offset, never a hash. [`FeatureStore::features_into`] assembles the ML
+//! input vector into a caller-owned buffer with zero heap allocations, which
+//! is what makes design-space sweeps and Shapley attribution cheap (§5.2.3).
+//! [`FeatureStore::precompute`] parallelizes internally across memory
+//! configurations and sweep points, and stores round-trip through a compact
+//! binary artifact format ([`FeatureStore::to_bytes`]) so servers can boot
+//! from prebuilt stores. The vector layout itself is owned by
+//! [`FeatureSchema`](crate::schema::FeatureSchema).
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 use concorde_analytic::prelude::*;
 use concorde_branch::PredictorKind;
@@ -19,6 +28,8 @@ use concorde_cyclesim::MicroArch;
 use concorde_trace::{BranchKind, Instruction};
 use serde::{Deserialize, Serialize};
 
+use crate::parallel::parallel_map;
+use crate::schema::FeatureSchema;
 use crate::sweep::{ReproProfile, SweepConfig};
 
 /// Which feature groups feed the ML model (the Figure 12 ablation axis).
@@ -64,6 +75,23 @@ impl Resource {
         Resource::FetchBuffers,
         Resource::MemLatency,
     ];
+
+    /// Stable schema block name for this resource.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Resource::Rob => "rob",
+            Resource::LoadQueue => "load_queue",
+            Resource::StoreQueue => "store_queue",
+            Resource::AluWidth => "alu_width",
+            Resource::FpWidth => "fp_width",
+            Resource::LsWidth => "ls_width",
+            Resource::PipesLower => "pipes_lower",
+            Resource::PipesUpper => "pipes_upper",
+            Resource::IcacheFills => "icache_fills",
+            Resource::FetchBuffers => "fetch_buffers",
+            Resource::MemLatency => "mem_latency",
+        }
+    }
 }
 
 /// Feature-vector layout for a variant and encoding width.
@@ -77,59 +105,33 @@ pub struct FeatureLayout {
 
 impl FeatureLayout {
     /// Total input dimension (paper Table 3 computes 3873 for the paper
-    /// encoding and the `Full` variant).
+    /// encoding and the `Full` variant). Delegates to the schema — the single
+    /// source of truth for the layout.
     pub fn dim(&self) -> usize {
-        let e = self.encoding.dim();
-        let base = 11 * e + 1 + MicroArch::ENCODED_DIM;
-        match self.variant {
-            FeatureVariant::Base => base,
-            FeatureVariant::BaseBranch => base + 4 * e + 11,
-            FeatureVariant::Full => base + 4 * e + 11 + 23 * e,
-        }
+        FeatureSchema::dim_for(self.encoding, self.variant)
+    }
+
+    /// The full block-level schema for this layout.
+    pub fn schema(&self) -> FeatureSchema {
+        FeatureSchema::new(self.encoding, self.variant)
     }
 }
 
 type DKey = (u32, u32, u32);
 type IKey = (u32, u32);
 
-/// A stored throughput distribution: encoded features plus the raw window
-/// series (for the min-bound baseline and Figure 1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ThrEntry {
-    /// Percentile-encoded distribution.
-    pub enc: Vec<f32>,
-    /// Raw per-window throughput bounds.
-    pub raw: Vec<f64>,
-}
-
-/// Precomputed performance distributions for one region.
+/// Precomputed performance distributions for one region, stored as flat
+/// grid-indexed arenas (see the module docs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FeatureStore {
     k: usize,
     encoding: Encoding,
     n_instr: usize,
-    rob_thr: HashMap<(DKey, u32), ThrEntry>,
-    lq_thr: HashMap<(DKey, u32), ThrEntry>,
-    sq_thr: HashMap<(DKey, u32), ThrEntry>,
-    rob_curve: HashMap<DKey, Vec<f32>>,
-    exec_lat: HashMap<DKey, Vec<f32>>,
-    issue_lat: HashMap<(DKey, u32), Vec<f32>>,
-    commit_lat: HashMap<(DKey, u32), Vec<f32>>,
-    mem_lat: HashMap<DKey, ThrEntry>,
-    load_exec_est: HashMap<DKey, u64>,
-    alu_thr: HashMap<u32, ThrEntry>,
-    fp_thr: HashMap<u32, ThrEntry>,
-    ls_thr: HashMap<u32, ThrEntry>,
-    pipes_lo: HashMap<(u32, u32), ThrEntry>,
-    pipes_hi: HashMap<(u32, u32), ThrEntry>,
-    fills_thr: HashMap<(IKey, u32), ThrEntry>,
-    buffers_thr: HashMap<(IKey, u32), ThrEntry>,
-    isb_dist: Vec<f32>,
-    branch_dists: [Vec<f32>; 3],
-    branch_info_branches: u64,
-    branch_info_cond: u64,
-    branch_info_tage: u64,
-    branch_info_indirect: u64,
+    /// Length of every raw per-window series (identical across tables: all
+    /// series are windowed over the same region with the same `k`).
+    n_windows: usize,
+    // Sweep grids. `rob_grid` is sorted (sweep ∪ ROB_SWEEP); the others keep
+    // their sweep order, which fixes nearest-lookup tie-breaking.
     rob_grid: Vec<u32>,
     lq_grid: Vec<u32>,
     sq_grid: Vec<u32>,
@@ -141,35 +143,75 @@ pub struct FeatureStore {
     buffers_grid: Vec<u32>,
     d_keys: Vec<DKey>,
     i_keys: Vec<IKey>,
+    // Arenas. `*_enc` strides by `encoding.dim()`, `*_raw` by `n_windows`.
+    // Two-axis tables index as `outer * inner_grid_len + inner`.
+    rob_enc: Vec<f32>,
+    rob_raw: Vec<f64>,
+    lq_enc: Vec<f32>,
+    lq_raw: Vec<f64>,
+    sq_enc: Vec<f32>,
+    sq_raw: Vec<f64>,
+    mem_enc: Vec<f32>,
+    mem_raw: Vec<f64>,
+    alu_enc: Vec<f32>,
+    alu_raw: Vec<f64>,
+    fp_enc: Vec<f32>,
+    fp_raw: Vec<f64>,
+    ls_enc: Vec<f32>,
+    ls_raw: Vec<f64>,
+    pipes_lo_enc: Vec<f32>,
+    pipes_lo_raw: Vec<f64>,
+    pipes_hi_enc: Vec<f32>,
+    pipes_hi_raw: Vec<f64>,
+    fills_enc: Vec<f32>,
+    fills_raw: Vec<f64>,
+    buffers_enc: Vec<f32>,
+    buffers_raw: Vec<f64>,
+    rob_curve: Vec<f32>,  // [n_d][ROB_SWEEP.len()]
+    exec_lat: Vec<f32>,   // [n_d][e]
+    issue_lat: Vec<f32>,  // [n_d][ROB_SWEEP.len()][e]
+    commit_lat: Vec<f32>, // [n_d][ROB_SWEEP.len()][e]
+    load_exec_est: Vec<u64>,
+    isb_dist: Vec<f32>,
+    branch_dists: [Vec<f32>; 3],
+    branch_info_branches: u64,
+    branch_info_cond: u64,
+    branch_info_tage: u64,
+    branch_info_indirect: u64,
 }
 
-fn nearest(grid: &[u32], v: u32) -> u32 {
-    *grid
-        .iter()
-        .min_by_key(|&&g| {
-            // Ratio distance in fixed point, robust for size-like parameters.
+/// Index of the grid value nearest `v` under the ratio distance (fixed
+/// point), robust for size-like parameters. Ties resolve to the first
+/// minimal grid entry — the same element the value-keyed `min_by_key`
+/// selection always picked.
+fn nearest_idx(grid: &[u32], v: u32) -> usize {
+    grid.iter()
+        .enumerate()
+        .min_by_key(|&(_, &g)| {
             let (a, b) = (g.max(1) as u64, v.max(1) as u64);
             let (hi, lo) = if a > b { (a, b) } else { (b, a) };
             (hi * 1024 / lo, hi)
         })
         .expect("grid must be non-empty")
+        .0
 }
 
-fn nearest_pair(grid: &[(u32, u32)], v: (u32, u32)) -> (u32, u32) {
-    *grid
-        .iter()
-        .min_by_key(|&&(a, b)| {
+fn nearest_pair_idx(grid: &[(u32, u32)], v: (u32, u32)) -> usize {
+    grid.iter()
+        .enumerate()
+        .min_by_key(|&(_, &(a, b))| {
             let d1 = (i64::from(a) - i64::from(v.0)).abs();
             let d2 = (i64::from(b) - i64::from(v.1)).abs();
             (d1 + d2, a, b)
         })
         .expect("pipes grid must be non-empty")
+        .0
 }
 
-fn nearest_dkey(keys: &[DKey], v: DKey) -> DKey {
-    *keys
-        .iter()
-        .min_by_key(|&&(a, b, c)| {
+fn nearest_dkey_idx(keys: &[DKey], v: DKey) -> usize {
+    keys.iter()
+        .enumerate()
+        .min_by_key(|&(_, &(a, b, c))| {
             (
                 (i64::from(a) - i64::from(v.0)).abs(),
                 (i64::from(b) - i64::from(v.1)).abs(),
@@ -177,22 +219,60 @@ fn nearest_dkey(keys: &[DKey], v: DKey) -> DKey {
             )
         })
         .expect("d_cfgs must be non-empty")
+        .0
 }
 
-fn nearest_ikey(keys: &[IKey], v: IKey) -> IKey {
-    *keys
-        .iter()
-        .min_by_key(|&&(a, b)| {
+fn nearest_ikey_idx(keys: &[IKey], v: IKey) -> usize {
+    keys.iter()
+        .enumerate()
+        .min_by_key(|&(_, &(a, b))| {
             (
                 (i64::from(a) - i64::from(v.0)).abs(),
                 (i64::from(b) - i64::from(v.1)).abs(),
             )
         })
         .expect("i_cfgs must be non-empty")
+        .0
+}
+
+/// Staged result of one analytic run: encoded + raw series.
+struct Thr {
+    enc: Vec<f32>,
+    raw: Vec<f64>,
+}
+
+/// Output of one precompute task (see the task list in `precompute_threaded`).
+enum TaskOut {
+    Thr(Thr),
+    Mem {
+        thr: Thr,
+        est: u64,
+    },
+    Pipes {
+        lo: Thr,
+        hi: Thr,
+    },
+    Rob {
+        thr: Thr,
+        curve: Option<f32>,
+        issue: Option<Vec<f32>>,
+        commit: Option<Vec<f32>>,
+        exec: Option<Vec<f32>>,
+    },
+}
+
+impl TaskOut {
+    fn thr(self) -> Thr {
+        match self {
+            TaskOut::Thr(t) => t,
+            _ => unreachable!("task section mismatch"),
+        }
+    }
 }
 
 impl FeatureStore {
-    /// Precomputes the store for `instrs` (after `warmup`) over `sweep`.
+    /// Precomputes the store for `instrs` (after `warmup`) over `sweep`,
+    /// using all available cores.
     ///
     /// Cost scales with `|d_cfgs| × (|rob ∪ ROB_SWEEP| + |lq| + |sq|)` ROB-model
     /// runs plus cheap width/pipe/frontend analyses (paper §5.2.3's cost
@@ -203,8 +283,31 @@ impl FeatureStore {
         sweep: &SweepConfig,
         profile: &ReproProfile,
     ) -> FeatureStore {
+        Self::precompute_threaded(warmup, instrs, sweep, profile, 0)
+    }
+
+    /// [`FeatureStore::precompute`] with an explicit thread count (`0` = all
+    /// available). Callers that already parallelize across regions (dataset
+    /// generation, experiment harnesses) pass `1`; the serving path passes
+    /// `0` so a single cold region uses every core. The result is bitwise
+    /// identical for any thread count.
+    pub fn precompute_threaded(
+        warmup: &[Instruction],
+        instrs: &[Instruction],
+        sweep: &SweepConfig,
+        profile: &ReproProfile,
+        threads: usize,
+    ) -> FeatureStore {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
         let k = profile.window_k;
         let enc = profile.encoding;
+        let e = enc.dim();
         let info = analyze_static(instrs);
         let n = info.len();
         let binfo = analyze_branches(warmup, instrs);
@@ -223,229 +326,211 @@ impl FeatureStore {
             })),
         ];
 
-        // Arch-independent: issue widths and pipes.
-        let mut alu_thr = HashMap::new();
-        let mut fp_thr = HashMap::new();
-        let mut ls_thr = HashMap::new();
-        for (grid, map, class) in [
-            (&sweep.alu, &mut alu_thr, IssueClass::Alu),
-            (&sweep.fp, &mut fp_thr, IssueClass::Fp),
-            (&sweep.ls, &mut ls_thr, IssueClass::LoadStore),
-        ] {
-            for &w in grid.iter() {
-                let raw = issue_width_bound(&info, class, w, k);
-                map.insert(
-                    w,
-                    ThrEntry {
-                        enc: enc.encode(&raw),
-                        raw,
-                    },
-                );
-            }
-        }
-        let mut pipes_lo = HashMap::new();
-        let mut pipes_hi = HashMap::new();
-        for &(lsp, lp) in &sweep.pipes {
-            let b = pipe_bounds(&info, lsp, lp, k);
-            pipes_lo.insert(
-                (lsp, lp),
-                ThrEntry {
-                    enc: enc.encode(&b.lower),
-                    raw: b.lower,
-                },
-            );
-            pipes_hi.insert(
-                (lsp, lp),
-                ThrEntry {
-                    enc: enc.encode(&b.upper),
-                    raw: b.upper,
-                },
-            );
-        }
-
-        // Per D-side configuration: ROB / LQ / SQ models + latency features.
-        let mut rob_thr = HashMap::new();
-        let mut lq_thr = HashMap::new();
-        let mut sq_thr = HashMap::new();
-        let mut rob_curve = HashMap::new();
-        let mut exec_lat = HashMap::new();
-        let mut issue_lat = HashMap::new();
-        let mut commit_lat = HashMap::new();
-        let mut mem_lat = HashMap::new();
-        let mut load_exec_est = HashMap::new();
+        // Deduplicate memory configurations up front (first occurrence wins,
+        // preserving sweep order — the lookup tie-break order).
         let mut d_keys: Vec<DKey> = Vec::new();
-
-        let mut rob_vals: Vec<u32> = sweep.rob.iter().copied().chain(ROB_SWEEP).collect();
-        rob_vals.sort_unstable();
-        rob_vals.dedup();
-
+        let mut d_cfgs: Vec<MemConfig> = Vec::new();
+        let mut seen_d: HashSet<DKey> = HashSet::new();
         for cfg in &sweep.d_cfgs {
-            let key = cfg.data_key();
-            if d_keys.contains(&key) {
-                continue;
+            if seen_d.insert(cfg.data_key()) {
+                d_keys.push(cfg.data_key());
+                d_cfgs.push(*cfg);
             }
-            d_keys.push(key);
-            let data = analyze_data(warmup, instrs, *cfg);
+        }
+        let mut i_keys: Vec<IKey> = Vec::new();
+        let mut i_cfgs: Vec<MemConfig> = Vec::new();
+        let mut seen_i: HashSet<IKey> = HashSet::new();
+        for cfg in &sweep.i_cfgs {
+            if seen_i.insert(cfg.inst_key()) {
+                i_keys.push(cfg.inst_key());
+                i_cfgs.push(*cfg);
+            }
+        }
 
-            // 11th primary feature: per-window mean estimated load latency —
-            // Table 3's resource count is 11 but the paper does not name all
-            // of them; this memory-latency distribution carries the same
-            // information the L1d/L2/prefetch parameters act on (DESIGN.md).
-            let mem_series: Vec<f64> = {
-                let mut out = Vec::new();
-                let mut start = 0;
-                while start < n {
-                    let end = (start + k).min(n);
-                    if end - start < k && !out.is_empty() {
-                        break;
-                    }
-                    let (mut sum, mut cnt) = (0u64, 0u64);
-                    for i in start..end {
-                        if info.ops[i].is_load() {
-                            sum += u64::from(data.exec_latency[i]);
-                            cnt += 1;
+        let rob_grid: Vec<u32> = {
+            let mut g: Vec<u32> = sweep.rob.iter().copied().chain(ROB_SWEEP).collect();
+            g.sort_unstable();
+            g.dedup();
+            g
+        };
+        let rob_last = *ROB_SWEEP.last().expect("ROB_SWEEP is non-empty");
+
+        // Stage 1: the per-memory-configuration trace analyses every model
+        // run below depends on.
+        let datas = parallel_map(d_cfgs.len(), threads, |di| {
+            analyze_data(warmup, instrs, d_cfgs[di])
+        });
+        let insts = parallel_map(i_cfgs.len(), threads, |ii| {
+            analyze_inst(warmup, instrs, i_cfgs[ii])
+        });
+
+        // Stage 2: one flat task list over every (configuration, sweep
+        // point), so even a single-d_cfg store (a serve cache miss) spreads
+        // its dominant ROB-model runs across cores.
+        #[derive(Clone, Copy)]
+        enum Task {
+            Mem(usize),
+            Rob(usize, usize),
+            Lq(usize, usize),
+            Sq(usize, usize),
+            Width(usize, usize),
+            Pipes(usize),
+            Fill(usize, usize),
+            Buffer(usize, usize),
+        }
+        let (n_d, n_i) = (d_cfgs.len(), i_cfgs.len());
+        let (n_rob, n_lq, n_sq) = (rob_grid.len(), sweep.lq.len(), sweep.sq.len());
+        let width_grids: [&[u32]; 3] = [&sweep.alu, &sweep.fp, &sweep.ls];
+        let width_classes = [IssueClass::Alu, IssueClass::Fp, IssueClass::LoadStore];
+        let mut tasks: Vec<Task> = Vec::new();
+        let mem0 = tasks.len();
+        tasks.extend((0..n_d).map(Task::Mem));
+        let rob0 = tasks.len();
+        tasks.extend((0..n_d).flat_map(|d| (0..n_rob).map(move |r| Task::Rob(d, r))));
+        let lq0 = tasks.len();
+        tasks.extend((0..n_d).flat_map(|d| (0..n_lq).map(move |q| Task::Lq(d, q))));
+        let sq0 = tasks.len();
+        tasks.extend((0..n_d).flat_map(|d| (0..n_sq).map(move |q| Task::Sq(d, q))));
+        let width0 = tasks.len();
+        tasks.extend(
+            (0..3usize).flat_map(|c| (0..width_grids[c].len()).map(move |w| Task::Width(c, w))),
+        );
+        let pipes0 = tasks.len();
+        tasks.extend((0..sweep.pipes.len()).map(Task::Pipes));
+        let fill0 = tasks.len();
+        tasks.extend((0..n_i).flat_map(|i| (0..sweep.fills.len()).map(move |v| Task::Fill(i, v))));
+        let buf0 = tasks.len();
+        tasks.extend(
+            (0..n_i).flat_map(|i| (0..sweep.buffers.len()).map(move |v| Task::Buffer(i, v))),
+        );
+
+        let run = |t: usize| -> TaskOut {
+            match tasks[t] {
+                Task::Mem(d) => {
+                    // 11th primary feature: per-window mean estimated load
+                    // latency — Table 3's resource count is 11 but the paper
+                    // does not name all of them; this memory-latency
+                    // distribution carries the same information the
+                    // L1d/L2/prefetch parameters act on (DESIGN.md).
+                    let data = &datas[d];
+                    let mut raw = Vec::new();
+                    let mut start = 0;
+                    while start < n {
+                        let end = (start + k).min(n);
+                        if end - start < k && !raw.is_empty() {
+                            break;
                         }
+                        let (mut sum, mut cnt) = (0u64, 0u64);
+                        for i in start..end {
+                            if info.ops[i].is_load() {
+                                sum += u64::from(data.exec_latency[i]);
+                                cnt += 1;
+                            }
+                        }
+                        raw.push(if cnt == 0 {
+                            0.0
+                        } else {
+                            sum as f64 / cnt as f64
+                        });
+                        start = end;
                     }
-                    out.push(if cnt == 0 {
-                        0.0
-                    } else {
-                        sum as f64 / cnt as f64
-                    });
-                    start = end;
-                }
-                out
-            };
-            mem_lat.insert(
-                key,
-                ThrEntry {
-                    enc: enc.encode(&mem_series),
-                    raw: mem_series,
-                },
-            );
-            load_exec_est.insert(
-                key,
-                (0..n)
-                    .filter(|&i| info.ops[i].is_load())
-                    .map(|i| u64::from(data.exec_latency[i]))
-                    .sum(),
-            );
-
-            let mut curve = Vec::with_capacity(ROB_SWEEP.len());
-            for &rv in &rob_vals {
-                let r = rob_model(&info, &data, rv);
-                if sweep.rob.contains(&rv) || ROB_SWEEP.contains(&rv) {
-                    let raw = throughput_from_marks(&r.commit_cycles, k);
-                    rob_thr.insert(
-                        (key, rv),
-                        ThrEntry {
+                    let est = (0..n)
+                        .filter(|&i| info.ops[i].is_load())
+                        .map(|i| u64::from(data.exec_latency[i]))
+                        .sum();
+                    TaskOut::Mem {
+                        thr: Thr {
                             enc: enc.encode(&raw),
                             raw,
                         },
-                    );
-                }
-                if ROB_SWEEP.contains(&rv) {
-                    curve.push(r.overall_throughput() as f32);
-                    issue_lat.insert((key, rv), enc.encode_u32(&r.issue_latency));
-                    commit_lat.insert((key, rv), enc.encode_u32(&r.commit_latency));
-                    if rv == *ROB_SWEEP.last().unwrap() {
-                        exec_lat.insert(key, enc.encode_u32(&r.exec_latency));
+                        est,
                     }
                 }
+                Task::Rob(d, ri) => {
+                    let rv = rob_grid[ri];
+                    let r = rob_model(&info, &datas[d], rv);
+                    let raw = throughput_from_marks(&r.commit_cycles, k);
+                    let in_sweep = ROB_SWEEP.contains(&rv);
+                    TaskOut::Rob {
+                        thr: Thr {
+                            enc: enc.encode(&raw),
+                            raw,
+                        },
+                        curve: in_sweep.then(|| r.overall_throughput() as f32),
+                        issue: in_sweep.then(|| enc.encode_u32(&r.issue_latency)),
+                        commit: in_sweep.then(|| enc.encode_u32(&r.commit_latency)),
+                        exec: (rv == rob_last).then(|| enc.encode_u32(&r.exec_latency)),
+                    }
+                }
+                Task::Lq(d, qi) => {
+                    let marks = queue_model(&info, &datas[d], sweep.lq[qi], QueueKind::Load);
+                    let raw = throughput_from_marks(&marks, k);
+                    TaskOut::Thr(Thr {
+                        enc: enc.encode(&raw),
+                        raw,
+                    })
+                }
+                Task::Sq(d, qi) => {
+                    let marks = queue_model(&info, &datas[d], sweep.sq[qi], QueueKind::Store);
+                    let raw = throughput_from_marks(&marks, k);
+                    TaskOut::Thr(Thr {
+                        enc: enc.encode(&raw),
+                        raw,
+                    })
+                }
+                Task::Width(c, wi) => {
+                    let raw = issue_width_bound(&info, width_classes[c], width_grids[c][wi], k);
+                    TaskOut::Thr(Thr {
+                        enc: enc.encode(&raw),
+                        raw,
+                    })
+                }
+                Task::Pipes(p) => {
+                    let (lsp, lp) = sweep.pipes[p];
+                    let b = pipe_bounds(&info, lsp, lp, k);
+                    TaskOut::Pipes {
+                        lo: Thr {
+                            enc: enc.encode(&b.lower),
+                            raw: b.lower,
+                        },
+                        hi: Thr {
+                            enc: enc.encode(&b.upper),
+                            raw: b.upper,
+                        },
+                    }
+                }
+                Task::Fill(i, vi) => {
+                    let marks = icache_fills_model(&info, &insts[i], sweep.fills[vi]);
+                    let raw = throughput_from_marks(&marks, k);
+                    TaskOut::Thr(Thr {
+                        enc: enc.encode(&raw),
+                        raw,
+                    })
+                }
+                Task::Buffer(i, vi) => {
+                    let marks = fetch_buffers_model(&info, &insts[i], sweep.buffers[vi]);
+                    let raw = throughput_from_marks(&marks, k);
+                    TaskOut::Thr(Thr {
+                        enc: enc.encode(&raw),
+                        raw,
+                    })
+                }
             }
-            rob_curve.insert(key, curve);
+        };
+        let mut outs: Vec<Option<TaskOut>> = parallel_map(tasks.len(), threads, run)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut take = |idx: usize| outs[idx].take().expect("each task consumed once");
 
-            for &qv in &sweep.lq {
-                let marks = queue_model(&info, &data, qv, QueueKind::Load);
-                let raw = throughput_from_marks(&marks, k);
-                lq_thr.insert(
-                    (key, qv),
-                    ThrEntry {
-                        enc: enc.encode(&raw),
-                        raw,
-                    },
-                );
-            }
-            for &qv in &sweep.sq {
-                let marks = queue_model(&info, &data, qv, QueueKind::Store);
-                let raw = throughput_from_marks(&marks, k);
-                sq_thr.insert(
-                    (key, qv),
-                    ThrEntry {
-                        enc: enc.encode(&raw),
-                        raw,
-                    },
-                );
-            }
-        }
-
-        // Per I-side configuration: fills + fetch buffers.
-        let mut fills_thr = HashMap::new();
-        let mut buffers_thr = HashMap::new();
-        let mut i_keys: Vec<IKey> = Vec::new();
-        for cfg in &sweep.i_cfgs {
-            let key = cfg.inst_key();
-            if i_keys.contains(&key) {
-                continue;
-            }
-            i_keys.push(key);
-            let inst = analyze_inst(warmup, instrs, *cfg);
-            for &fv in &sweep.fills {
-                let marks = icache_fills_model(&info, &inst, fv);
-                let raw = throughput_from_marks(&marks, k);
-                fills_thr.insert(
-                    (key, fv),
-                    ThrEntry {
-                        enc: enc.encode(&raw),
-                        raw,
-                    },
-                );
-            }
-            for &bv in &sweep.buffers {
-                let marks = fetch_buffers_model(&info, &inst, bv);
-                let raw = throughput_from_marks(&marks, k);
-                buffers_thr.insert(
-                    (key, bv),
-                    ThrEntry {
-                        enc: enc.encode(&raw),
-                        raw,
-                    },
-                );
-            }
-        }
-
-        FeatureStore {
+        // Deterministic serial fill of the arenas, in grid order.
+        let s_len = ROB_SWEEP.len();
+        let mut store = FeatureStore {
             k,
             encoding: enc,
             n_instr: n,
-            rob_thr,
-            lq_thr,
-            sq_thr,
-            rob_curve,
-            exec_lat,
-            issue_lat,
-            commit_lat,
-            mem_lat,
-            load_exec_est,
-            alu_thr,
-            fp_thr,
-            ls_thr,
-            pipes_lo,
-            pipes_hi,
-            fills_thr,
-            buffers_thr,
-            isb_dist,
-            branch_dists,
-            branch_info_branches: binfo.branches,
-            branch_info_cond: binfo.conditional,
-            branch_info_tage: binfo.tage_cond_misses,
-            branch_info_indirect: binfo.indirect_misses,
-            rob_grid: {
-                let mut g = sweep.rob.clone();
-                g.extend(ROB_SWEEP);
-                g.sort_unstable();
-                g.dedup();
-                g
-            },
+            n_windows: 0,
+            rob_grid,
             lq_grid: sweep.lq.clone(),
             sq_grid: sweep.sq.clone(),
             alu_grid: sweep.alu.clone(),
@@ -456,7 +541,185 @@ impl FeatureStore {
             buffers_grid: sweep.buffers.clone(),
             d_keys,
             i_keys,
+            rob_enc: Vec::with_capacity(n_d * n_rob * e),
+            rob_raw: Vec::new(),
+            lq_enc: Vec::with_capacity(n_d * n_lq * e),
+            lq_raw: Vec::new(),
+            sq_enc: Vec::with_capacity(n_d * n_sq * e),
+            sq_raw: Vec::new(),
+            mem_enc: Vec::with_capacity(n_d * e),
+            mem_raw: Vec::new(),
+            alu_enc: Vec::new(),
+            alu_raw: Vec::new(),
+            fp_enc: Vec::new(),
+            fp_raw: Vec::new(),
+            ls_enc: Vec::new(),
+            ls_raw: Vec::new(),
+            pipes_lo_enc: Vec::new(),
+            pipes_lo_raw: Vec::new(),
+            pipes_hi_enc: Vec::new(),
+            pipes_hi_raw: Vec::new(),
+            fills_enc: Vec::new(),
+            fills_raw: Vec::new(),
+            buffers_enc: Vec::new(),
+            buffers_raw: Vec::new(),
+            rob_curve: vec![0.0; n_d * s_len],
+            exec_lat: vec![0.0; n_d * e],
+            issue_lat: vec![0.0; n_d * s_len * e],
+            commit_lat: vec![0.0; n_d * s_len * e],
+            load_exec_est: Vec::with_capacity(n_d),
+            isb_dist,
+            branch_dists,
+            branch_info_branches: binfo.branches,
+            branch_info_cond: binfo.conditional,
+            branch_info_tage: binfo.tage_cond_misses,
+            branch_info_indirect: binfo.indirect_misses,
+        };
+
+        let push = |enc_arena: &mut Vec<f32>, raw_arena: &mut Vec<f64>, t: Thr| {
+            enc_arena.extend_from_slice(&t.enc);
+            raw_arena.extend_from_slice(&t.raw);
+            t.raw.len()
+        };
+        for d in 0..n_d {
+            match take(mem0 + d) {
+                TaskOut::Mem { thr, est } => {
+                    store.n_windows = push(&mut store.mem_enc, &mut store.mem_raw, thr);
+                    store.load_exec_est.push(est);
+                }
+                _ => unreachable!("task section mismatch"),
+            }
         }
+        // Snapshot of the grid: the loop below needs `&mut store` for the
+        // arena pushes while iterating grid values.
+        let rob_grid_vals = store.rob_grid.clone();
+        for d in 0..n_d {
+            for (ri, &rv) in rob_grid_vals.iter().enumerate() {
+                match take(rob0 + d * n_rob + ri) {
+                    TaskOut::Rob {
+                        thr,
+                        curve,
+                        issue,
+                        commit,
+                        exec,
+                    } => {
+                        push(&mut store.rob_enc, &mut store.rob_raw, thr);
+                        if let Some(j) = ROB_SWEEP.iter().position(|&s| s == rv) {
+                            store.rob_curve[d * s_len + j] = curve.expect("curve for sweep point");
+                            let at = (d * s_len + j) * e;
+                            store.issue_lat[at..at + e]
+                                .copy_from_slice(&issue.expect("issue for sweep point"));
+                            store.commit_lat[at..at + e]
+                                .copy_from_slice(&commit.expect("commit for sweep point"));
+                        }
+                        if let Some(x) = exec {
+                            store.exec_lat[d * e..(d + 1) * e].copy_from_slice(&x);
+                        }
+                    }
+                    _ => unreachable!("task section mismatch"),
+                }
+            }
+            for qi in 0..n_lq {
+                let t = take(lq0 + d * n_lq + qi).thr();
+                push(&mut store.lq_enc, &mut store.lq_raw, t);
+            }
+            for qi in 0..n_sq {
+                let t = take(sq0 + d * n_sq + qi).thr();
+                push(&mut store.sq_enc, &mut store.sq_raw, t);
+            }
+        }
+        let mut w_at = width0;
+        for (c, grid) in width_grids.iter().enumerate() {
+            for _ in 0..grid.len() {
+                let t = take(w_at).thr();
+                w_at += 1;
+                match c {
+                    0 => push(&mut store.alu_enc, &mut store.alu_raw, t),
+                    1 => push(&mut store.fp_enc, &mut store.fp_raw, t),
+                    _ => push(&mut store.ls_enc, &mut store.ls_raw, t),
+                };
+            }
+        }
+        for p in 0..sweep.pipes.len() {
+            match take(pipes0 + p) {
+                TaskOut::Pipes { lo, hi } => {
+                    push(&mut store.pipes_lo_enc, &mut store.pipes_lo_raw, lo);
+                    push(&mut store.pipes_hi_enc, &mut store.pipes_hi_raw, hi);
+                }
+                _ => unreachable!("task section mismatch"),
+            }
+        }
+        for i in 0..n_i {
+            for vi in 0..sweep.fills.len() {
+                let t = take(fill0 + i * sweep.fills.len() + vi).thr();
+                push(&mut store.fills_enc, &mut store.fills_raw, t);
+            }
+        }
+        for i in 0..n_i {
+            for vi in 0..sweep.buffers.len() {
+                let t = take(buf0 + i * sweep.buffers.len() + vi).thr();
+                push(&mut store.buffers_enc, &mut store.buffers_raw, t);
+            }
+        }
+        debug_assert!(store.arena_lengths_consistent());
+        store
+    }
+
+    /// Internal consistency of arena lengths vs grid sizes (used by loads
+    /// and debug assertions).
+    fn arena_lengths_consistent(&self) -> bool {
+        let e = self.encoding.dim();
+        let w = self.n_windows;
+        let (n_d, n_i, s) = (self.d_keys.len(), self.i_keys.len(), ROB_SWEEP.len());
+        self.rob_enc.len() == n_d * self.rob_grid.len() * e
+            && self.rob_raw.len() == n_d * self.rob_grid.len() * w
+            && self.lq_enc.len() == n_d * self.lq_grid.len() * e
+            && self.lq_raw.len() == n_d * self.lq_grid.len() * w
+            && self.sq_enc.len() == n_d * self.sq_grid.len() * e
+            && self.sq_raw.len() == n_d * self.sq_grid.len() * w
+            && self.mem_enc.len() == n_d * e
+            && self.mem_raw.len() == n_d * w
+            && self.alu_enc.len() == self.alu_grid.len() * e
+            && self.alu_raw.len() == self.alu_grid.len() * w
+            && self.fp_enc.len() == self.fp_grid.len() * e
+            && self.fp_raw.len() == self.fp_grid.len() * w
+            && self.ls_enc.len() == self.ls_grid.len() * e
+            && self.ls_raw.len() == self.ls_grid.len() * w
+            && self.pipes_lo_enc.len() == self.pipes_grid.len() * e
+            && self.pipes_lo_raw.len() == self.pipes_grid.len() * w
+            && self.pipes_hi_enc.len() == self.pipes_grid.len() * e
+            && self.pipes_hi_raw.len() == self.pipes_grid.len() * w
+            && self.fills_enc.len() == n_i * self.fills_grid.len() * e
+            && self.fills_raw.len() == n_i * self.fills_grid.len() * w
+            && self.buffers_enc.len() == n_i * self.buffers_grid.len() * e
+            && self.buffers_raw.len() == n_i * self.buffers_grid.len() * w
+            && self.rob_curve.len() == n_d * s
+            && self.exec_lat.len() == n_d * e
+            && self.issue_lat.len() == n_d * s * e
+            && self.commit_lat.len() == n_d * s * e
+            && self.load_exec_est.len() == n_d
+            && self.isb_dist.len() == e
+            && self.branch_dists.iter().all(|b| b.len() == e)
+    }
+
+    /// Distribution encoding the store was built with.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Number of instructions in the analyzed region.
+    pub fn n_instr(&self) -> usize {
+        self.n_instr
+    }
+
+    /// Length of every raw per-window series.
+    pub fn n_windows(&self) -> usize {
+        self.n_windows
+    }
+
+    /// The block-level schema of vectors this store assembles for `variant`.
+    pub fn schema(&self, variant: FeatureVariant) -> FeatureSchema {
+        FeatureSchema::new(self.encoding, variant)
     }
 
     /// Branch misprediction rate (per instruction ×1000, i.e. MPKI-scaled to
@@ -473,132 +736,171 @@ impl FeatureStore {
         (per_instr * 10.0) as f32 // scale ~[0, 1]
     }
 
-    fn dkey(&self, mem: MemConfig) -> DKey {
-        nearest_dkey(&self.d_keys, mem.data_key())
+    fn d_idx(&self, mem: MemConfig) -> usize {
+        nearest_dkey_idx(&self.d_keys, mem.data_key())
+    }
+
+    fn i_idx(&self, mem: MemConfig) -> usize {
+        nearest_ikey_idx(&self.i_keys, mem.inst_key())
     }
 
     /// Trace-analysis estimate of the total load execution time under `mem`
     /// (the denominator of Figure 11's discrepancy ratio).
     pub fn load_exec_estimate(&self, mem: MemConfig) -> u64 {
-        self.load_exec_est[&self.dkey(mem)]
+        self.load_exec_est[self.d_idx(mem)]
     }
 
-    fn ikey(&self, mem: MemConfig) -> IKey {
-        nearest_ikey(&self.i_keys, mem.inst_key())
+    /// Arena entry index for `res` under `arch`: nearest grid position on
+    /// each axis, combined into the flat table offset.
+    fn entry_idx(&self, res: Resource, arch: &MicroArch) -> usize {
+        self.entry_idx_with(res, arch, self.d_idx(arch.mem), self.i_idx(arch.mem))
+    }
+
+    /// [`FeatureStore::entry_idx`] with precomputed memory-configuration
+    /// indices, so assembly resolves `d_idx`/`i_idx` once per vector instead
+    /// of once per resource.
+    fn entry_idx_with(&self, res: Resource, arch: &MicroArch, di: usize, ii: usize) -> usize {
+        match res {
+            Resource::Rob => di * self.rob_grid.len() + nearest_idx(&self.rob_grid, arch.rob_size),
+            Resource::LoadQueue => {
+                di * self.lq_grid.len() + nearest_idx(&self.lq_grid, arch.lq_size)
+            }
+            Resource::StoreQueue => {
+                di * self.sq_grid.len() + nearest_idx(&self.sq_grid, arch.sq_size)
+            }
+            Resource::AluWidth => nearest_idx(&self.alu_grid, arch.alu_width),
+            Resource::FpWidth => nearest_idx(&self.fp_grid, arch.fp_width),
+            Resource::LsWidth => nearest_idx(&self.ls_grid, arch.ls_width),
+            Resource::PipesLower | Resource::PipesUpper => {
+                nearest_pair_idx(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))
+            }
+            Resource::IcacheFills => {
+                ii * self.fills_grid.len() + nearest_idx(&self.fills_grid, arch.max_icache_fills)
+            }
+            Resource::FetchBuffers => {
+                ii * self.buffers_grid.len() + nearest_idx(&self.buffers_grid, arch.fetch_buffers)
+            }
+            Resource::MemLatency => di,
+        }
+    }
+
+    fn raw_arena(&self, res: Resource) -> &[f64] {
+        match res {
+            Resource::Rob => &self.rob_raw,
+            Resource::LoadQueue => &self.lq_raw,
+            Resource::StoreQueue => &self.sq_raw,
+            Resource::AluWidth => &self.alu_raw,
+            Resource::FpWidth => &self.fp_raw,
+            Resource::LsWidth => &self.ls_raw,
+            Resource::PipesLower => &self.pipes_lo_raw,
+            Resource::PipesUpper => &self.pipes_hi_raw,
+            Resource::IcacheFills => &self.fills_raw,
+            Resource::FetchBuffers => &self.buffers_raw,
+            Resource::MemLatency => &self.mem_raw,
+        }
+    }
+
+    fn enc_arena(&self, res: Resource) -> &[f32] {
+        match res {
+            Resource::Rob => &self.rob_enc,
+            Resource::LoadQueue => &self.lq_enc,
+            Resource::StoreQueue => &self.sq_enc,
+            Resource::AluWidth => &self.alu_enc,
+            Resource::FpWidth => &self.fp_enc,
+            Resource::LsWidth => &self.ls_enc,
+            Resource::PipesLower => &self.pipes_lo_enc,
+            Resource::PipesUpper => &self.pipes_hi_enc,
+            Resource::IcacheFills => &self.fills_enc,
+            Resource::FetchBuffers => &self.buffers_enc,
+            Resource::MemLatency => &self.mem_enc,
+        }
     }
 
     /// Raw per-window throughput-bound series for a resource under `arch`
     /// (used by Figure 1 and the min-bound baseline).
     pub fn raw_series(&self, res: Resource, arch: &MicroArch) -> &[f64] {
-        let dk = self.dkey(arch.mem);
-        let ik = self.ikey(arch.mem);
-        match res {
-            Resource::Rob => &self.rob_thr[&(dk, nearest(&self.rob_grid, arch.rob_size))].raw,
-            Resource::LoadQueue => &self.lq_thr[&(dk, nearest(&self.lq_grid, arch.lq_size))].raw,
-            Resource::StoreQueue => &self.sq_thr[&(dk, nearest(&self.sq_grid, arch.sq_size))].raw,
-            Resource::AluWidth => &self.alu_thr[&nearest(&self.alu_grid, arch.alu_width)].raw,
-            Resource::FpWidth => &self.fp_thr[&nearest(&self.fp_grid, arch.fp_width)].raw,
-            Resource::LsWidth => &self.ls_thr[&nearest(&self.ls_grid, arch.ls_width)].raw,
-            Resource::PipesLower => {
-                &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
-                    .raw
-            }
-            Resource::PipesUpper => {
-                &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
-                    .raw
-            }
-            Resource::IcacheFills => {
-                &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].raw
-            }
-            Resource::FetchBuffers => {
-                &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].raw
-            }
-            Resource::MemLatency => &self.mem_lat[&dk].raw,
-        }
-    }
-
-    fn enc_of(&self, res: Resource, arch: &MicroArch) -> &[f32] {
-        let dk = self.dkey(arch.mem);
-        let ik = self.ikey(arch.mem);
-        match res {
-            Resource::Rob => &self.rob_thr[&(dk, nearest(&self.rob_grid, arch.rob_size))].enc,
-            Resource::LoadQueue => &self.lq_thr[&(dk, nearest(&self.lq_grid, arch.lq_size))].enc,
-            Resource::StoreQueue => &self.sq_thr[&(dk, nearest(&self.sq_grid, arch.sq_size))].enc,
-            Resource::AluWidth => &self.alu_thr[&nearest(&self.alu_grid, arch.alu_width)].enc,
-            Resource::FpWidth => &self.fp_thr[&nearest(&self.fp_grid, arch.fp_width)].enc,
-            Resource::LsWidth => &self.ls_thr[&nearest(&self.ls_grid, arch.ls_width)].enc,
-            Resource::PipesLower => {
-                &self.pipes_lo[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
-                    .enc
-            }
-            Resource::PipesUpper => {
-                &self.pipes_hi[&nearest_pair(&self.pipes_grid, (arch.ls_pipes, arch.load_pipes))]
-                    .enc
-            }
-            Resource::IcacheFills => {
-                &self.fills_thr[&(ik, nearest(&self.fills_grid, arch.max_icache_fills))].enc
-            }
-            Resource::FetchBuffers => {
-                &self.buffers_thr[&(ik, nearest(&self.buffers_grid, arch.fetch_buffers))].enc
-            }
-            Resource::MemLatency => &self.mem_lat[&dk].enc,
-        }
+        let idx = self.entry_idx(res, arch);
+        let w = self.n_windows;
+        &self.raw_arena(res)[idx * w..(idx + 1) * w]
     }
 
     /// Assembles the ML input vector for `arch` under `variant`.
     ///
     /// Layout: 11 primary distributions → misprediction rate → (stall
-    /// features → latency distributions, per variant) → 23 parameter dims.
+    /// features → latency distributions, per variant) → 23 parameter dims
+    /// (see [`FeatureSchema`]).
     pub fn features(&self, arch: &MicroArch, variant: FeatureVariant) -> Vec<f32> {
-        let layout = FeatureLayout {
-            encoding: self.encoding,
-            variant,
-        };
-        let mut out = Vec::with_capacity(layout.dim());
+        let mut out = vec![0.0f32; FeatureSchema::dim_for(self.encoding, variant)];
+        self.features_into(arch, variant, &mut out);
+        out
+    }
+
+    /// Assembles the ML input vector into `out` with zero heap allocations —
+    /// the hot path under `predict_batch*` and the serving workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the schema dimension for
+    /// `(self.encoding(), variant)`.
+    pub fn features_into(&self, arch: &MicroArch, variant: FeatureVariant, out: &mut [f32]) {
+        let e = self.encoding.dim();
+        let s_len = ROB_SWEEP.len();
+        assert_eq!(
+            out.len(),
+            FeatureSchema::dim_for(self.encoding, variant),
+            "output buffer does not match the schema dimension"
+        );
+        // Resolve the memory-configuration indices once: every d/i-keyed
+        // lookup below reuses them instead of rescanning the key lists.
+        let di = self.d_idx(arch.mem);
+        let ii = self.i_idx(arch.mem);
+        let mut pos = 0usize;
         for res in Resource::ALL {
-            out.extend_from_slice(self.enc_of(res, arch));
+            let idx = self.entry_idx_with(res, arch, di, ii);
+            out[pos..pos + e].copy_from_slice(&self.enc_arena(res)[idx * e..(idx + 1) * e]);
+            pos += e;
         }
-        out.push(self.mispredict_feature(arch.predictor));
+        out[pos] = self.mispredict_feature(arch.predictor);
+        pos += 1;
         if variant != FeatureVariant::Base {
-            out.extend_from_slice(&self.isb_dist);
+            out[pos..pos + e].copy_from_slice(&self.isb_dist);
+            pos += e;
             for d in &self.branch_dists {
-                out.extend_from_slice(d);
+                out[pos..pos + e].copy_from_slice(d);
+                pos += e;
             }
-            out.extend_from_slice(&self.rob_curve[&self.dkey(arch.mem)]);
+            out[pos..pos + s_len].copy_from_slice(&self.rob_curve[di * s_len..(di + 1) * s_len]);
+            pos += s_len;
         }
         if variant == FeatureVariant::Full {
-            let dk = self.dkey(arch.mem);
-            out.extend_from_slice(&self.exec_lat[&dk]);
-            for &rv in &ROB_SWEEP {
-                out.extend_from_slice(&self.issue_lat[&(dk, rv)]);
-            }
-            for &rv in &ROB_SWEEP {
-                out.extend_from_slice(&self.commit_lat[&(dk, rv)]);
-            }
+            out[pos..pos + e].copy_from_slice(&self.exec_lat[di * e..(di + 1) * e]);
+            pos += e;
+            let lat = s_len * e;
+            out[pos..pos + lat].copy_from_slice(&self.issue_lat[di * lat..(di + 1) * lat]);
+            pos += lat;
+            out[pos..pos + lat].copy_from_slice(&self.commit_lat[di * lat..(di + 1) * lat]);
+            pos += lat;
         }
-        out.extend(arch.encode());
-        debug_assert_eq!(out.len(), layout.dim());
-        out
+        arch.encode_into(&mut out[pos..]);
+        pos += MicroArch::ENCODED_DIM;
+        debug_assert_eq!(pos, out.len());
     }
 
     /// The pure-analytical CPI estimate: per window, take the minimum of all
     /// per-resource throughput bounds (and the static widths), then average
     /// window CPIs (the pink "min bound" line of Figure 12).
     pub fn min_bound_cpi(&self, arch: &MicroArch) -> f64 {
-        let series: Vec<&[f64]> = [
-            Resource::Rob,
-            Resource::LoadQueue,
-            Resource::StoreQueue,
-            Resource::AluWidth,
-            Resource::FpWidth,
-            Resource::LsWidth,
-            Resource::PipesUpper,
-            Resource::IcacheFills,
-            Resource::FetchBuffers,
-        ]
-        .iter()
-        .map(|r| self.raw_series(*r, arch))
-        .collect();
+        let series: [&[f64]; 9] = [
+            self.raw_series(Resource::Rob, arch),
+            self.raw_series(Resource::LoadQueue, arch),
+            self.raw_series(Resource::StoreQueue, arch),
+            self.raw_series(Resource::AluWidth, arch),
+            self.raw_series(Resource::FpWidth, arch),
+            self.raw_series(Resource::LsWidth, arch),
+            self.raw_series(Resource::PipesUpper, arch),
+            self.raw_series(Resource::IcacheFills, arch),
+            self.raw_series(Resource::FetchBuffers, arch),
+        ];
         let static_bound = f64::from(
             arch.commit_width
                 .min(arch.fetch_width)
@@ -623,26 +925,395 @@ impl FeatureStore {
     /// Approximate in-memory footprint of the encoded features (bytes) — the
     /// §5.2.3 "precomputed performance features occupy …" statistic.
     pub fn encoded_bytes(&self) -> usize {
-        fn thr<'a, I: Iterator<Item = &'a ThrEntry>>(it: I) -> usize {
-            it.map(|e| e.enc.len() * 4).sum()
+        [
+            &self.rob_enc,
+            &self.lq_enc,
+            &self.sq_enc,
+            &self.fills_enc,
+            &self.buffers_enc,
+            &self.alu_enc,
+            &self.fp_enc,
+            &self.ls_enc,
+            &self.pipes_lo_enc,
+            &self.pipes_hi_enc,
+            &self.mem_enc,
+            &self.issue_lat,
+            &self.commit_lat,
+            &self.exec_lat,
+        ]
+        .iter()
+        .map(|a| a.len() * 4)
+        .sum()
+    }
+
+    /// Total raw-series footprint (bytes): the part of the store a serving
+    /// deployment carries for the min-bound baseline.
+    pub fn raw_bytes(&self) -> usize {
+        [
+            &self.rob_raw,
+            &self.lq_raw,
+            &self.sq_raw,
+            &self.fills_raw,
+            &self.buffers_raw,
+            &self.alu_raw,
+            &self.fp_raw,
+            &self.ls_raw,
+            &self.pipes_lo_raw,
+            &self.pipes_hi_raw,
+            &self.mem_raw,
+        ]
+        .iter()
+        .map(|a| a.len() * 8)
+        .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact binary artifact serialization.
+// ---------------------------------------------------------------------------
+
+/// Magic bytes opening a serialized [`FeatureStore`].
+pub const STORE_MAGIC: [u8; 4] = *b"CFS\x02";
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
+    put_u64(buf, xs.len() as u64);
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
+    put_u64(buf, xs.len() as u64);
+    for &x in xs {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_f64s(buf: &mut Vec<u8>, xs: &[f64]) {
+    put_u64(buf, xs.len() as u64);
+    for &x in xs {
+        buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, xs: &[u64]) {
+    put_u64(buf, xs.len() as u64);
+    for &x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounded little-endian reader over a byte slice.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+fn truncated() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated store artifact")
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, at: 0 }
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> std::io::Result<&'a [u8]> {
+        let end = self.at.checked_add(n).ok_or_else(truncated)?;
+        if end > self.buf.len() {
+            return Err(truncated());
         }
-        fn lat<'a, I: Iterator<Item = &'a Vec<f32>>>(it: I) -> usize {
-            it.map(|e| e.len() * 4).sum()
+        let out = &self.buf[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u32(&mut self) -> std::io::Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> std::io::Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn len_prefix(&mut self, elem_bytes: usize) -> std::io::Result<usize> {
+        let n = self.u64()? as usize;
+        // Reject lengths that cannot fit in the remaining input before
+        // allocating (a corrupt header must not trigger an OOM).
+        if n.checked_mul(elem_bytes).ok_or_else(truncated)? > self.buf.len() - self.at {
+            return Err(truncated());
         }
-        thr(self.rob_thr.values())
-            + thr(self.lq_thr.values())
-            + thr(self.sq_thr.values())
-            + thr(self.fills_thr.values())
-            + thr(self.buffers_thr.values())
-            + thr(self.alu_thr.values())
-            + thr(self.fp_thr.values())
-            + thr(self.ls_thr.values())
-            + thr(self.pipes_lo.values())
-            + thr(self.pipes_hi.values())
-            + thr(self.mem_lat.values())
-            + lat(self.issue_lat.values())
-            + lat(self.commit_lat.values())
-            + lat(self.exec_lat.values())
+        Ok(n)
+    }
+
+    fn u32s(&mut self) -> std::io::Result<Vec<u32>> {
+        let n = self.len_prefix(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn f32s(&mut self) -> std::io::Result<Vec<f32>> {
+        let n = self.len_prefix(4)?;
+        (0..n).map(|_| Ok(f32::from_bits(self.u32()?))).collect()
+    }
+
+    fn f64s(&mut self) -> std::io::Result<Vec<f64>> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| Ok(f64::from_bits(self.u64()?))).collect()
+    }
+
+    fn u64s(&mut self) -> std::io::Result<Vec<u64>> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+impl FeatureStore {
+    /// Serializes the store to the compact binary artifact format
+    /// (little-endian, bit-exact for every float).
+    ///
+    /// The field order here is the wire contract: [`FeatureStore::from_bytes`]
+    /// reads the same sequence. Any reorder must change both lists together
+    /// — the `artifact_roundtrip_is_bitwise_identical` golden test compares
+    /// features of a loaded store against the original, so a writer/reader
+    /// mismatch fails loudly there.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.encoded_bytes() + self.raw_bytes() * 2);
+        buf.extend_from_slice(&STORE_MAGIC);
+        put_u64(&mut buf, self.k as u64);
+        put_u64(&mut buf, self.encoding.levels as u64);
+        put_u64(&mut buf, self.n_instr as u64);
+        put_u64(&mut buf, self.n_windows as u64);
+        for v in [
+            self.branch_info_branches,
+            self.branch_info_cond,
+            self.branch_info_tage,
+            self.branch_info_indirect,
+        ] {
+            put_u64(&mut buf, v);
+        }
+        for g in [
+            &self.rob_grid,
+            &self.lq_grid,
+            &self.sq_grid,
+            &self.alu_grid,
+            &self.fp_grid,
+            &self.ls_grid,
+            &self.fills_grid,
+            &self.buffers_grid,
+        ] {
+            put_u32s(&mut buf, g);
+        }
+        let pipes_flat: Vec<u32> = self.pipes_grid.iter().flat_map(|&(a, b)| [a, b]).collect();
+        put_u32s(&mut buf, &pipes_flat);
+        let d_flat: Vec<u32> = self
+            .d_keys
+            .iter()
+            .flat_map(|&(a, b, c)| [a, b, c])
+            .collect();
+        put_u32s(&mut buf, &d_flat);
+        let i_flat: Vec<u32> = self.i_keys.iter().flat_map(|&(a, b)| [a, b]).collect();
+        put_u32s(&mut buf, &i_flat);
+        for a in [
+            &self.rob_enc,
+            &self.lq_enc,
+            &self.sq_enc,
+            &self.mem_enc,
+            &self.alu_enc,
+            &self.fp_enc,
+            &self.ls_enc,
+            &self.pipes_lo_enc,
+            &self.pipes_hi_enc,
+            &self.fills_enc,
+            &self.buffers_enc,
+            &self.rob_curve,
+            &self.exec_lat,
+            &self.issue_lat,
+            &self.commit_lat,
+            &self.isb_dist,
+            &self.branch_dists[0],
+            &self.branch_dists[1],
+            &self.branch_dists[2],
+        ] {
+            put_f32s(&mut buf, a);
+        }
+        for a in [
+            &self.rob_raw,
+            &self.lq_raw,
+            &self.sq_raw,
+            &self.mem_raw,
+            &self.alu_raw,
+            &self.fp_raw,
+            &self.ls_raw,
+            &self.pipes_lo_raw,
+            &self.pipes_hi_raw,
+            &self.fills_raw,
+            &self.buffers_raw,
+        ] {
+            put_f64s(&mut buf, a);
+        }
+        put_u64s(&mut buf, &self.load_exec_est);
+        buf
+    }
+
+    /// Deserializes a store written by [`FeatureStore::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, truncation, or inconsistent arena
+    /// lengths.
+    pub fn from_bytes(bytes: &[u8]) -> std::io::Result<FeatureStore> {
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(4)? != STORE_MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a Concorde feature-store artifact (bad magic)",
+            ));
+        }
+        let k = r.u64()? as usize;
+        let levels = r.u64()? as usize;
+        let n_instr = r.u64()? as usize;
+        let n_windows = r.u64()? as usize;
+        let branch_info_branches = r.u64()?;
+        let branch_info_cond = r.u64()?;
+        let branch_info_tage = r.u64()?;
+        let branch_info_indirect = r.u64()?;
+        let rob_grid = r.u32s()?;
+        let lq_grid = r.u32s()?;
+        let sq_grid = r.u32s()?;
+        let alu_grid = r.u32s()?;
+        let fp_grid = r.u32s()?;
+        let ls_grid = r.u32s()?;
+        let fills_grid = r.u32s()?;
+        let buffers_grid = r.u32s()?;
+        let pipes_flat = r.u32s()?;
+        if !pipes_flat.len().is_multiple_of(2) {
+            return Err(truncated());
+        }
+        let pipes_grid = pipes_flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let d_flat = r.u32s()?;
+        if !d_flat.len().is_multiple_of(3) {
+            return Err(truncated());
+        }
+        let d_keys = d_flat.chunks_exact(3).map(|c| (c[0], c[1], c[2])).collect();
+        let i_flat = r.u32s()?;
+        if !i_flat.len().is_multiple_of(2) {
+            return Err(truncated());
+        }
+        let i_keys = i_flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let rob_enc = r.f32s()?;
+        let lq_enc = r.f32s()?;
+        let sq_enc = r.f32s()?;
+        let mem_enc = r.f32s()?;
+        let alu_enc = r.f32s()?;
+        let fp_enc = r.f32s()?;
+        let ls_enc = r.f32s()?;
+        let pipes_lo_enc = r.f32s()?;
+        let pipes_hi_enc = r.f32s()?;
+        let fills_enc = r.f32s()?;
+        let buffers_enc = r.f32s()?;
+        let rob_curve = r.f32s()?;
+        let exec_lat = r.f32s()?;
+        let issue_lat = r.f32s()?;
+        let commit_lat = r.f32s()?;
+        let isb_dist = r.f32s()?;
+        let branch_dists = [r.f32s()?, r.f32s()?, r.f32s()?];
+        let rob_raw = r.f64s()?;
+        let lq_raw = r.f64s()?;
+        let sq_raw = r.f64s()?;
+        let mem_raw = r.f64s()?;
+        let alu_raw = r.f64s()?;
+        let fp_raw = r.f64s()?;
+        let ls_raw = r.f64s()?;
+        let pipes_lo_raw = r.f64s()?;
+        let pipes_hi_raw = r.f64s()?;
+        let fills_raw = r.f64s()?;
+        let buffers_raw = r.f64s()?;
+        let load_exec_est = r.u64s()?;
+        let store = FeatureStore {
+            k,
+            encoding: Encoding { levels },
+            n_instr,
+            n_windows,
+            rob_grid,
+            lq_grid,
+            sq_grid,
+            alu_grid,
+            fp_grid,
+            ls_grid,
+            pipes_grid,
+            fills_grid,
+            buffers_grid,
+            d_keys,
+            i_keys,
+            rob_enc,
+            rob_raw,
+            lq_enc,
+            lq_raw,
+            sq_enc,
+            sq_raw,
+            mem_enc,
+            mem_raw,
+            alu_enc,
+            alu_raw,
+            fp_enc,
+            fp_raw,
+            ls_enc,
+            ls_raw,
+            pipes_lo_enc,
+            pipes_lo_raw,
+            pipes_hi_enc,
+            pipes_hi_raw,
+            fills_enc,
+            fills_raw,
+            buffers_enc,
+            buffers_raw,
+            rob_curve,
+            exec_lat,
+            issue_lat,
+            commit_lat,
+            load_exec_est,
+            isb_dist,
+            branch_dists,
+            branch_info_branches,
+            branch_info_cond,
+            branch_info_tage,
+            branch_info_indirect,
+        };
+        if !store.arena_lengths_consistent() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "store artifact arena lengths are inconsistent with its grids",
+            ));
+        }
+        // Lookups assume non-empty grids and key lists (a precompute always
+        // produces them); reject degenerate artifacts at load time rather
+        // than panicking inside `nearest_*` on the first matching request.
+        if store.d_keys.is_empty()
+            || store.i_keys.is_empty()
+            || store.rob_grid.is_empty()
+            || store.lq_grid.is_empty()
+            || store.sq_grid.is_empty()
+            || store.alu_grid.is_empty()
+            || store.fp_grid.is_empty()
+            || store.ls_grid.is_empty()
+            || store.pipes_grid.is_empty()
+            || store.fills_grid.is_empty()
+            || store.buffers_grid.is_empty()
+        {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "store artifact has an empty sweep grid or memory-key list",
+            ));
+        }
+        Ok(store)
     }
 }
 
@@ -703,12 +1374,46 @@ mod tests {
     }
 
     #[test]
+    fn features_into_matches_features_bitwise() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        let mut off = arch;
+        off.rob_size = 77;
+        off.mem.l1d_kb = 48;
+        for a in [arch, off] {
+            for v in [
+                FeatureVariant::Base,
+                FeatureVariant::BaseBranch,
+                FeatureVariant::Full,
+            ] {
+                let alloc = store.features(&a, v);
+                let mut buf = vec![7.0f32; alloc.len()];
+                store.features_into(&a, v, &mut buf);
+                assert_eq!(
+                    alloc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "{v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "schema dimension")]
+    fn features_into_rejects_misshapen_buffers() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        let mut buf = vec![0.0f32; 3];
+        store.features_into(&arch, FeatureVariant::Base, &mut buf);
+    }
+
+    #[test]
     fn quantization_finds_nearest_grid_point() {
-        assert_eq!(nearest(&[1, 2, 4, 8], 3), 4);
-        assert_eq!(nearest(&[1, 2, 4, 8], 5), 4);
-        assert_eq!(nearest(&[1, 2, 4, 8], 7), 8);
-        assert_eq!(nearest(&[16, 64, 256], 100), 64);
-        assert_eq!(nearest_pair(&[(2, 0), (8, 8)], (3, 1)), (2, 0));
+        assert_eq!(nearest_idx(&[1, 2, 4, 8], 3), 2);
+        assert_eq!(nearest_idx(&[1, 2, 4, 8], 5), 2);
+        assert_eq!(nearest_idx(&[1, 2, 4, 8], 7), 3);
+        assert_eq!(nearest_idx(&[16, 64, 256], 100), 1);
+        assert_eq!(nearest_pair_idx(&[(2, 0), (8, 8)], (3, 1)), 0);
     }
 
     #[test]
@@ -741,5 +1446,61 @@ mod tests {
             assert!(!store.raw_series(r, &arch).is_empty(), "{r:?}");
         }
         assert!(store.encoded_bytes() > 0);
+        assert!(store.raw_bytes() > 0);
+    }
+
+    #[test]
+    fn threaded_precompute_is_bitwise_deterministic() {
+        let profile = ReproProfile::quick();
+        let arch = MicroArch::arm_n1();
+        let full = generate_region(&by_id("S5").unwrap(), 0, 0, 6_000).instrs;
+        let (w, r) = full.split_at(2_000);
+        let sweep = SweepConfig::for_pair(&MicroArch::big_core(), &arch);
+        let serial = FeatureStore::precompute_threaded(w, r, &sweep, &profile, 1);
+        let par = FeatureStore::precompute_threaded(w, r, &sweep, &profile, 4);
+        assert_eq!(serial.to_bytes(), par.to_bytes());
+    }
+
+    #[test]
+    fn duplicate_sweep_configs_are_deduplicated() {
+        let profile = ReproProfile::quick();
+        let arch = MicroArch::arm_n1();
+        let mut sweep = SweepConfig::for_arch(&arch);
+        sweep.d_cfgs.push(sweep.d_cfgs[0]);
+        sweep.d_cfgs.push(sweep.d_cfgs[0]);
+        sweep.i_cfgs.push(sweep.i_cfgs[0]);
+        let full = generate_region(&by_id("S5").unwrap(), 0, 0, 4_096).instrs;
+        let (w, r) = full.split_at(2_048);
+        let store = FeatureStore::precompute(w, r, &sweep, &profile);
+        assert_eq!(store.d_keys.len(), 1);
+        assert_eq!(store.i_keys.len(), 1);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bitwise_identical() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        let bytes = store.to_bytes();
+        let back = FeatureStore::from_bytes(&bytes).unwrap();
+        assert_eq!(bytes, back.to_bytes());
+        let a = store.features(&arch, FeatureVariant::Full);
+        let b = back.features(&arch, FeatureVariant::Full);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(store.min_bound_cpi(&arch), back.min_bound_cpi(&arch));
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected() {
+        let arch = MicroArch::arm_n1();
+        let store = quick_store(&arch);
+        let bytes = store.to_bytes();
+        assert!(FeatureStore::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(FeatureStore::from_bytes(b"nope").is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(FeatureStore::from_bytes(&bad_magic).is_err());
     }
 }

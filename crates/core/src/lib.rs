@@ -36,19 +36,24 @@ pub mod features;
 pub mod longrun;
 pub mod metrics;
 pub mod model;
+pub mod parallel;
+pub mod schema;
 pub mod sweep;
 pub mod trainer;
 
 /// Convenient re-exports of the crate's primary API.
 pub mod prelude {
-    pub use crate::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache};
+    pub use crate::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache, StoreArtifact};
     pub use crate::dataset::{
-        generate_dataset, overlap_report, project_features, ArchSampling, DatasetConfig, Sample,
+        generate_dataset, overlap_report, project_features, ArchSampling, DatasetConfig,
+        FeatureProjection, Sample,
     };
     pub use crate::features::{FeatureLayout, FeatureStore, FeatureVariant, Resource};
     pub use crate::longrun::{long_program_experiment, LongRunResult};
     pub use crate::metrics::{bucketed, per_program, GroupStats};
     pub use crate::model::{ConcordePredictor, Normalizer};
+    pub use crate::parallel::{parallel_map, parallel_map_all};
+    pub use crate::schema::{BlockGroup, FeatureBlock, FeatureSchema, SCHEMA_VERSION};
     pub use crate::sweep::{pow2_sweep, ReproProfile, SweepConfig};
     pub use crate::trainer::{
         predict_all, predict_all_with_labels, train_and_evaluate, train_model,

@@ -72,34 +72,17 @@ pub fn long_program_experiment(
         })
         .collect();
 
-    let preds: Vec<f64> = {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let out: Vec<parking_lot::Mutex<f64>> =
-            (0..max_n).map(|_| parking_lot::Mutex::new(0.0)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..threads.min(max_n.max(1)) {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= max_n {
-                        break;
-                    }
-                    let start = starts[i];
-                    let warm_start = start.saturating_sub(warmup_len as u64);
-                    let warm_len = (start - warm_start) as usize;
-                    let region =
-                        generate_region(spec, 0, warm_start, warm_len + profile.region_len);
-                    let (w, r) = region.instrs.split_at(warm_len);
-                    let store =
-                        FeatureStore::precompute(w, r, &SweepConfig::for_arch(arch), profile);
-                    *out[i].lock() = predictor.predict(&store, arch);
-                });
-            }
-        });
-        out.into_iter().map(|m| m.into_inner()).collect()
-    };
+    let preds: Vec<f64> = crate::parallel::parallel_map_all(max_n, |i| {
+        let start = starts[i];
+        let warm_start = start.saturating_sub(warmup_len as u64);
+        let warm_len = (start - warm_start) as usize;
+        let region = generate_region(spec, 0, warm_start, warm_len + profile.region_len);
+        let (w, r) = region.instrs.split_at(warm_len);
+        // One thread per store: regions already run in parallel.
+        let store =
+            FeatureStore::precompute_threaded(w, r, &SweepConfig::for_arch(arch), profile, 1);
+        predictor.predict(&store, arch)
+    });
 
     let estimates = sample_counts
         .iter()

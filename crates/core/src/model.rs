@@ -175,9 +175,11 @@ impl ConcordePredictor {
         scratch: &mut MlpScratch,
     ) -> Vec<f64> {
         let dim = self.layout.dim();
-        let mut xs = Vec::with_capacity(archs.len() * dim);
-        for arch in archs {
-            xs.extend(store.features(arch, self.layout.variant));
+        // One buffer for the whole batch; each row is assembled in place by
+        // the zero-allocation `features_into` path.
+        let mut xs = vec![0.0f32; archs.len() * dim];
+        for (arch, row) in archs.iter().zip(xs.chunks_exact_mut(dim)) {
+            store.features_into(arch, self.layout.variant, row);
         }
         self.predict_features_batch(&mut xs, scratch)
     }

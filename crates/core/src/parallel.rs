@@ -1,0 +1,64 @@
+//! Tiny deterministic parallel-map used across the crate's compute paths.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..n)` across `threads` scoped workers (work-stealing by atomic
+/// counter); falls back to a serial loop for one thread or tiny `n`. Output
+/// order is by index, so results are deterministic regardless of scheduling.
+pub fn parallel_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, threads: usize, f: F) -> Vec<T> {
+    let threads = threads.min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("all tasks completed")
+        })
+        .collect()
+}
+
+/// `parallel_map` over all available cores.
+pub fn parallel_map_all<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    parallel_map(n, threads, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_ordered_for_any_thread_count() {
+        let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for threads in [1, 2, 4, 9] {
+            assert_eq!(parallel_map(100, threads, |i| i * i), want);
+        }
+        assert_eq!(parallel_map_all(100, |i| i * i), want);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        assert_eq!(parallel_map(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -10,7 +10,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
-use crate::dataset::{project_features, Sample};
+use crate::dataset::{FeatureProjection, Sample};
 use crate::features::{FeatureLayout, FeatureVariant};
 use crate::model::{ConcordePredictor, Normalizer};
 use crate::sweep::ReproProfile;
@@ -78,14 +78,11 @@ pub fn train_model_with_labels(
     let dim = layout.dim();
     let n = samples.len();
 
-    // Project + flatten features once.
+    // Project + flatten features once (one projection for the whole set).
+    let projection = FeatureProjection::new(profile.encoding, opts.variant);
     let mut xs = Vec::with_capacity(n * dim);
     for s in samples {
-        xs.extend(project_features(
-            &s.features,
-            profile.encoding,
-            opts.variant,
-        ));
+        xs.extend(projection.project(&s.features));
     }
     let normalizer = Normalizer::fit(&xs, dim, true);
     normalizer.apply_batch(&mut xs);
@@ -198,10 +195,11 @@ pub fn predict_all(
     samples: &[Sample],
     profile: &ReproProfile,
 ) -> Vec<(f64, f64)> {
+    let projection = FeatureProjection::new(profile.encoding, pred.variant());
     samples
         .iter()
         .map(|s| {
-            let x = project_features(&s.features, profile.encoding, pred.variant());
+            let x = projection.project(&s.features);
             (pred.predict_features(&x), s.cpi)
         })
         .collect()
@@ -214,11 +212,12 @@ pub fn predict_all_with_labels(
     labels: &[f64],
     profile: &ReproProfile,
 ) -> Vec<(f64, f64)> {
+    let projection = FeatureProjection::new(profile.encoding, pred.variant());
     samples
         .iter()
         .zip(labels)
         .map(|(s, &y)| {
-            let x = project_features(&s.features, profile.encoding, pred.variant());
+            let x = projection.project(&s.features);
             (pred.predict_features(&x), y)
         })
         .collect()

@@ -144,12 +144,24 @@ impl MicroArch {
     /// parameter vector (paper Table 3, last column): 19 normalized scalars
     /// plus one-hot pairs for predictor type and prefetcher state.
     pub fn encode(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; Self::ENCODED_DIM];
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`MicroArch::encode`] into a caller-owned buffer — the zero-allocation
+    /// path used by feature assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::ENCODED_DIM`.
+    pub fn encode_into(&self, out: &mut [f32]) {
         let norm = |v: u32, max: u32| v as f32 / max as f32;
         let (simple, simple_pct) = match self.predictor {
             PredictorKind::Simple { miss_pct } => (1.0, f32::from(miss_pct) / 100.0),
             PredictorKind::Tage => (0.0, 0.0),
         };
-        vec![
+        let vals = [
             norm(self.rob_size, 1024),
             norm(self.commit_width, 12),
             norm(self.lq_size, 256),
@@ -183,7 +195,8 @@ impl MicroArch {
             } else {
                 1.0
             },
-        ]
+        ];
+        out.copy_from_slice(&vals);
     }
 
     /// Dimension of [`MicroArch::encode`]'s output.

@@ -52,6 +52,11 @@ impl Client {
         crate::service::metrics_snapshot(&self.shared)
     }
 
+    /// Feature schema (version + named blocks) of the served model.
+    pub fn schema(&self) -> concorde_core::schema::FeatureSchema {
+        crate::service::schema_of(&self.shared)
+    }
+
     /// Predicts a whole batch, blocking until every response arrives.
     ///
     /// Responses come back in request order. Submission applies gentle
@@ -166,6 +171,17 @@ impl TcpClient {
     /// Socket errors.
     pub fn workloads(&mut self) -> std::io::Result<serde_json::Value> {
         let resp = self.roundtrip_line(r#"{"cmd": "workloads"}"#)?;
+        serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+
+    /// Fetches the server's feature schema (version + named blocks), letting
+    /// programmatic clients validate the layout they featurize against.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level error decoded into `io::Error`.
+    pub fn schema(&mut self) -> std::io::Result<concorde_core::schema::FeatureSchema> {
+        let resp = self.roundtrip_line(r#"{"cmd": "schema"}"#)?;
         serde_json::from_str(&resp).map_err(std::io::Error::other)
     }
 }

@@ -9,6 +9,7 @@
 //! - `{"cmd": "ping"}` → `{"ok": true}`
 //! - `{"cmd": "metrics"}` → metrics snapshot
 //! - `{"cmd": "workloads"}` → the served workload catalog
+//! - `{"cmd": "schema"}` → the served feature schema (version + blocks)
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -99,6 +100,7 @@ fn handle_line(client: &Client, line: &str) -> Value {
                     serde_json::to_value(&client.service_metrics()).expect("serialize metrics")
                 }
                 Some("workloads") => workload_catalog(),
+                Some("schema") => serde_json::to_value(&client.schema()).expect("serialize schema"),
                 other => json!({ "error": format!("unknown cmd {other:?}") }),
             }
         }

@@ -15,9 +15,10 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use concorde_core::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache};
+use concorde_core::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache, StoreArtifact};
 use concorde_core::features::FeatureStore;
 use concorde_core::model::ConcordePredictor;
+use concorde_core::schema::FeatureSchema;
 use concorde_core::sweep::{ReproProfile, SweepConfig};
 use concorde_cyclesim::MicroArch;
 use concorde_ml::MlpScratch;
@@ -214,6 +215,10 @@ pub(crate) struct Shared {
     cache: Mutex<FeatureStoreCache>,
     metrics: Metrics,
     shutdown: AtomicBool,
+    /// Cache-miss precomputes currently running; divides the per-precompute
+    /// thread budget so concurrent misses share the cores instead of each
+    /// spawning `available_parallelism` threads.
+    active_precomputes: AtomicUsize,
 }
 
 /// The serving engine; dropping it drains the workers.
@@ -238,6 +243,7 @@ impl PredictionService {
             notify: Condvar::new(),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
+            active_precomputes: AtomicUsize::new(0),
         });
         let workers = (0..n_workers)
             .map(|i| {
@@ -254,6 +260,68 @@ impl PredictionService {
     /// Live metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The feature schema (version + named blocks) this service's model
+    /// consumes; served to clients as `{"cmd": "schema"}`.
+    pub fn schema(&self) -> FeatureSchema {
+        self.shared.model.layout.schema()
+    }
+
+    /// Seeds the feature-store cache with a prebuilt store, so queries
+    /// against that region skip the analytic precompute from the first
+    /// request on.
+    pub fn preload(&self, key: FeatureKey, store: FeatureStore) {
+        let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
+        cache.insert(key, Arc::new(store));
+    }
+
+    /// Loads a `concorde precompute` artifact from `path` into the cache.
+    ///
+    /// # Errors
+    ///
+    /// I/O and format errors from [`StoreArtifact::load`]; a mismatch
+    /// between the artifact's encoding and the served model's (a store built
+    /// at a different encoding width would assemble misshapen vectors); or a
+    /// sweep-scope mismatch that would make the artifact unreachable by any
+    /// request key (preloading it would silently leave the server cold).
+    pub fn preload_artifact(&self, path: &std::path::Path) -> std::io::Result<FeatureKey> {
+        let artifact = StoreArtifact::load(path)?;
+        let model_enc = self.shared.model.layout.encoding;
+        if artifact.store.encoding() != model_enc {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "artifact encoding ({} levels) does not match the served model ({} levels)",
+                    artifact.store.encoding().levels,
+                    model_enc.levels
+                ),
+            ));
+        }
+        // Request keys embed the sweep hash the server computes per request,
+        // so an artifact built for the wrong sweep scope can never be hit.
+        let quantized_hash = sweep_content_hash(&SweepConfig::quantized());
+        let is_quantized_artifact = artifact.key.sweep_hash == quantized_hash;
+        match self.shared.cfg.sweep {
+            SweepScope::Quantized if !is_quantized_artifact => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "artifact was not built for the quantized sweep this server runs; \
+                     rebuild with `concorde precompute --sweep quantized`",
+                ));
+            }
+            SweepScope::PerArch if is_quantized_artifact => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "artifact was built for the quantized sweep but this server runs \
+                     per-arch sweeps (start it with `--sweep quantized`)",
+                ));
+            }
+            _ => {}
+        }
+        let key = artifact.key.clone();
+        self.preload(artifact.key, artifact.store);
+        Ok(key)
     }
 
     /// Number of worker threads.
@@ -314,6 +382,10 @@ pub(crate) fn submit(
 
 pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
     shared.metrics.snapshot()
+}
+
+pub(crate) fn schema_of(shared: &Shared) -> FeatureSchema {
+    shared.model.layout.schema()
 }
 
 /// Collects one micro-batch: blocks for the first job, then keeps draining
@@ -537,6 +609,17 @@ fn compute_group(
     )
 }
 
+/// Decrements the active-precompute counter even if the precompute panics
+/// (the worker's unwind guard keeps serving afterwards, so a leaked count
+/// would permanently shrink every later precompute's thread budget).
+struct PrecomputeSlot<'a>(&'a AtomicUsize);
+
+impl Drop for PrecomputeSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> FeatureStore {
     let spec = concorde_trace::by_id(&key.workload).expect("validated before grouping");
     // Same convention as `dataset.rs`: the region is [start, start + len),
@@ -550,7 +633,16 @@ fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> F
         warm_len + key.region_len as usize,
     );
     let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
-    FeatureStore::precompute(w, r, sweep, &shared.profile)
+    // Share the cores across concurrent misses: a lone miss uses every core,
+    // while N simultaneous misses get ~cores/N threads each instead of
+    // oversubscribing the machine N-fold.
+    let active = shared.active_precomputes.fetch_add(1, Ordering::SeqCst) + 1;
+    let _slot = PrecomputeSlot(&shared.active_precomputes);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads = (cores / active).max(1);
+    FeatureStore::precompute_threaded(w, r, sweep, &shared.profile, threads)
 }
 
 #[cfg(test)]

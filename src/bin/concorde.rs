@@ -28,9 +28,13 @@ fn usage_text() -> &'static str {
          concorde bound     <workload> [--arch n1|big] [--len N]\n  \
          concorde sweep     <workload> <param> v1,v2,… [--arch n1|big] [--len N]\n  \
          concorde attribute <workload> [--len N]\n  \
+         concorde precompute <workload> --out FILE [--trace N] [--start N] [--len N]\n             \
+         [--profile quick|default] [--sweep arch|quantized] [--arch n1|big]\n  \
+         concorde inspect   <FILE>\n  \
          concorde serve     [--addr HOST:PORT] [--model PATH] [--save-model PATH]\n             \
          [--profile quick|default] [--train-samples N] [--workers N]\n             \
-         [--max-batch N] [--deadline-us N] [--cache N] [--sweep arch|quantized]\n  \
+         [--max-batch N] [--deadline-us N] [--cache N] [--sweep arch|quantized]\n             \
+         [--preload FILE]…\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
          [--trace N] [--start N] [--count N]"
 }
@@ -52,6 +56,19 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
             .unwrap_or_else(|| bail(&format!("{flag} needs a value")))
             .as_str()
     })
+}
+
+/// Every value of a repeatable `--flag <value>`.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .map(|(i, _)| {
+            args.get(i + 1)
+                .unwrap_or_else(|| bail(&format!("{flag} needs a value")))
+                .as_str()
+        })
+        .collect()
 }
 
 fn parse_arch(args: &[String]) -> MicroArch {
@@ -388,12 +405,131 @@ fn main() {
                 s.values.iter().sum::<f64>()
             );
         }
+        "precompute" => {
+            let id = operand(
+                &args,
+                1,
+                "workload (usage: concorde precompute <workload> --out FILE)",
+            );
+            let out =
+                flag_value(&args, "--out").unwrap_or_else(|| bail("precompute needs --out FILE"));
+            let profile = serve_profile(&args);
+            let trace: u32 = parse_num(&args, "--trace", 0u32);
+            let start: u64 = parse_num(&args, "--start", 0u64);
+            let len = parse_len(&args, profile.region_len) as u32;
+            let arch = parse_arch(&args);
+            let sweep = match flag_value(&args, "--sweep") {
+                None | Some("arch") => SweepConfig::for_arch(&arch),
+                Some("quantized") => SweepConfig::quantized(),
+                Some(other) => bail(&format!(
+                    "unknown --sweep `{other}` (expected arch or quantized)"
+                )),
+            };
+            let spec = by_id(id).unwrap_or_else(|| {
+                bail(&format!(
+                    "unknown workload '{id}'; run `concorde workloads` for the list"
+                ))
+            });
+            let warm_start = start.saturating_sub(profile.warmup_len as u64);
+            let warm_len = (start - warm_start) as usize;
+            let region = generate_region(&spec, trace, warm_start, warm_len + len as usize);
+            let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
+            let t0 = std::time::Instant::now();
+            let store = FeatureStore::precompute(w, r, &sweep, &profile);
+            let precompute_time = t0.elapsed();
+            let key = FeatureKey {
+                workload: id.to_string(),
+                trace,
+                start,
+                region_len: len,
+                sweep_hash: sweep_content_hash(&sweep),
+            };
+            let artifact = StoreArtifact::new(key, store);
+            let path = std::path::Path::new(out);
+            artifact
+                .save(path)
+                .unwrap_or_else(|e| bail(&format!("cannot write {out}: {e}")));
+            let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "{id}: precomputed in {precompute_time:?} (schema v{SCHEMA_VERSION}); \
+                 {} encoded bytes, {} raw bytes, artifact {out} ({file_bytes} bytes)",
+                artifact.store.encoded_bytes(),
+                artifact.store.raw_bytes()
+            );
+            println!(
+                "serve it with: concorde serve --preload {out}{}",
+                if flag_value(&args, "--sweep") == Some("quantized") {
+                    " --sweep quantized"
+                } else {
+                    ""
+                }
+            );
+        }
+        "inspect" => {
+            let path = operand(&args, 1, "artifact path (usage: concorde inspect <FILE>)");
+            let artifact = StoreArtifact::load(std::path::Path::new(path))
+                .unwrap_or_else(|e| bail(&format!("cannot load {path}: {e}")));
+            let store = &artifact.store;
+            let schema = store.schema(FeatureVariant::Full);
+            let report = serde_json::json!({
+                "artifact": {
+                    "path": path,
+                    "schema_version": artifact.schema_version,
+                    "workload": artifact.key.workload,
+                    "trace": artifact.key.trace,
+                    "start": artifact.key.start,
+                    "region_len": artifact.key.region_len,
+                    "sweep_hash": format!("{:#018x}", artifact.key.sweep_hash),
+                },
+                "store": {
+                    "n_instr": store.n_instr(),
+                    "n_windows": store.n_windows(),
+                    "encoding_levels": store.encoding().levels,
+                    "encoding_dim": store.encoding().dim(),
+                    "encoded_bytes": store.encoded_bytes(),
+                    "raw_bytes": store.raw_bytes(),
+                },
+                "schema": schema,
+            });
+            println!(
+                "{}",
+                serde_json::to_string(&report).expect("serialize report")
+            );
+        }
         "serve" => {
             let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7878");
-            let profile = serve_profile(&args);
-            let model = obtain_model(&args, &profile);
+            let service_profile = serve_profile(&args);
+            let model = obtain_model(&args, &service_profile);
             let cfg = serve_config(&args);
-            let service = PredictionService::start(model, profile, cfg);
+            let cache_capacity = cfg.cache_capacity;
+            let service = PredictionService::start(model, service_profile.clone(), cfg);
+            let preloads = flag_values(&args, "--preload");
+            if preloads.len() > cache_capacity {
+                eprintln!(
+                    "[serve] warning: {} --preload artifacts but --cache {cache_capacity}; \
+                     the LRU will evict the earliest preloads before any request arrives",
+                    preloads.len()
+                );
+            }
+            for path in preloads {
+                match service.preload_artifact(std::path::Path::new(path)) {
+                    Ok(key) => {
+                        eprintln!(
+                            "[serve] preloaded {path}: {} trace {} @{} len {}",
+                            key.workload, key.trace, key.start, key.region_len
+                        );
+                        if key.region_len as usize != service_profile.region_len {
+                            eprintln!(
+                                "[serve] warning: {path} covers a {}-instruction region but \
+                                 default requests use {}; only requests passing `len: {}` \
+                                 explicitly will hit it",
+                                key.region_len, service_profile.region_len, key.region_len
+                            );
+                        }
+                    }
+                    Err(e) => bail(&format!("cannot preload {path}: {e}")),
+                }
+            }
             let listener = std::net::TcpListener::bind(addr)
                 .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
             eprintln!(

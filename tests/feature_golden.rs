@@ -1,0 +1,184 @@
+//! Golden equivalence tests for the feature pipeline.
+//!
+//! The FNV-1a hashes below were generated from the seed (pre-refactor)
+//! nested-HashMap `FeatureStore` implementation on this exact deterministic
+//! input. They pin that the arena-backed, schema-driven rewrite assembles
+//! **bitwise-identical** feature vectors across all three variants, for
+//! on-grid and off-grid (nearest-grid quantized) queries, and that the
+//! binary artifact format round-trips without perturbing a single bit.
+
+use concorde_suite::prelude::*;
+
+fn fnv1a(xs: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Fixture {
+    s1: FeatureStore,
+    s2: FeatureStore,
+    n1: MicroArch,
+    big: MicroArch,
+    off: MicroArch,
+}
+
+fn fixture() -> Fixture {
+    let profile = ReproProfile::quick();
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let n1 = MicroArch::arm_n1();
+    let big = MicroArch::big_core();
+    let s1 = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&n1), &profile);
+    let s2 = FeatureStore::precompute(w, r, &SweepConfig::for_pair(&big, &n1), &profile);
+    let mut off = n1;
+    off.rob_size = 200; // off-grid on every axis: lookups must quantize
+    off.lq_size = 40;
+    off.mem.l1d_kb = 96;
+    off.alu_width = 5;
+    Fixture {
+        s1,
+        s2,
+        n1,
+        big,
+        off,
+    }
+}
+
+/// `(store, arch, variant) → (hash, dim)` pinned from the seed assembly.
+const GOLDEN: &[(&str, u64)] = &[
+    ("s1_n1_Base", 0x0e3b40bbf7f4f771),
+    ("s2_n1_Base", 0x0e3b40bbf7f4f771),
+    ("s2_big_Base", 0xbecc9ab1f5e6cc9e),
+    ("s2_off_Base", 0x85d6b38a93dff90b),
+    ("s1_n1_BaseBranch", 0xe73942636aa1b6df),
+    ("s2_n1_BaseBranch", 0xe73942636aa1b6df),
+    ("s2_big_BaseBranch", 0xec4a917ccea90119),
+    ("s2_off_BaseBranch", 0xf0dc62c0ba60cba5),
+    ("s1_n1_Full", 0xedecbc54bd8154ec),
+    ("s2_n1_Full", 0xedecbc54bd8154ec),
+    ("s2_big_Full", 0xf9d9aa8d1fa0f75f),
+    ("s2_off_Full", 0x4002bf319679ae42),
+];
+
+#[test]
+fn feature_vectors_match_seed_assembly_bitwise() {
+    let f = fixture();
+    let mut got = Vec::new();
+    for v in [
+        FeatureVariant::Base,
+        FeatureVariant::BaseBranch,
+        FeatureVariant::Full,
+    ] {
+        let tag = |s| format!("{s}_{v:?}");
+        got.push((tag("s1_n1"), fnv1a(&f.s1.features(&f.n1, v))));
+        got.push((tag("s2_n1"), fnv1a(&f.s2.features(&f.n1, v))));
+        got.push((tag("s2_big"), fnv1a(&f.s2.features(&f.big, v))));
+        got.push((tag("s2_off"), fnv1a(&f.s2.features(&f.off, v))));
+    }
+    for (name, want) in GOLDEN {
+        let (_, have) = got
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("every golden case is exercised");
+        assert_eq!(
+            have, want,
+            "{name}: feature vector diverged from the seed assembly"
+        );
+    }
+    // Seed dims for the quick (levels: 8 → 17-dim) encoding.
+    assert_eq!(f.s1.features(&f.n1, FeatureVariant::Base).len(), 211);
+    assert_eq!(f.s1.features(&f.n1, FeatureVariant::BaseBranch).len(), 290);
+    assert_eq!(f.s1.features(&f.n1, FeatureVariant::Full).len(), 681);
+}
+
+#[test]
+fn scalar_outputs_match_seed_values() {
+    let f = fixture();
+    // Exact values printed by the seed implementation.
+    assert_eq!(f.s1.min_bound_cpi(&f.n1), 2.950_439_453_125);
+    assert_eq!(f.s2.min_bound_cpi(&f.off), 2.838_134_765_625);
+    assert_eq!(f.s1.encoded_bytes(), 2992);
+    assert_eq!(f.s2.encoded_bytes(), 23256);
+    assert_eq!(f.s1.load_exec_estimate(f.n1.mem), 42126);
+}
+
+#[test]
+fn features_into_is_bitwise_equal_to_features() {
+    let f = fixture();
+    for arch in [f.n1, f.big, f.off] {
+        for v in [
+            FeatureVariant::Base,
+            FeatureVariant::BaseBranch,
+            FeatureVariant::Full,
+        ] {
+            let alloc = f.s2.features(&arch, v);
+            let mut buf = vec![f32::NAN; alloc.len()];
+            f.s2.features_into(&arch, v, &mut buf);
+            assert_eq!(
+                alloc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn artifact_roundtrip_is_bitwise_identical() {
+    let f = fixture();
+    for (i, store) in [&f.s1, &f.s2].into_iter().enumerate() {
+        let key = FeatureKey {
+            workload: "S5".to_string(),
+            trace: 0,
+            start: 0,
+            region_len: 4096,
+            sweep_hash: 7 + i as u64,
+        };
+        let artifact = StoreArtifact::new(key.clone(), store.clone());
+        let bytes = artifact.to_bytes();
+        let back = StoreArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.key, key);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.store.to_bytes(), store.to_bytes());
+        for v in [FeatureVariant::Base, FeatureVariant::Full] {
+            assert_eq!(
+                store
+                    .features(&f.off, v)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                back.store
+                    .features(&f.off, v)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "{v:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_precompute_matches_serial_bitwise() {
+    let profile = ReproProfile::quick();
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let sweep = SweepConfig::for_pair(&MicroArch::big_core(), &MicroArch::arm_n1());
+    let serial = FeatureStore::precompute_threaded(w, r, &sweep, &profile, 1);
+    for threads in [2, 4, 8] {
+        let par = FeatureStore::precompute_threaded(w, r, &sweep, &profile, threads);
+        assert_eq!(
+            serial.to_bytes(),
+            par.to_bytes(),
+            "{threads}-thread precompute diverged"
+        );
+    }
+}

@@ -154,4 +154,121 @@ proptest! {
             prev_hits = res.stats.d_l1;
         }
     }
+
+    /// Arena-indexed quantized lookups agree with the seed's value-keyed
+    /// HashMap semantics: assembling features for an off-grid design is
+    /// bitwise identical to assembling for the design with every parameter
+    /// snapped to its nearest grid value by the seed's `nearest` functions.
+    #[test]
+    fn quantized_lookup_matches_value_keyed_reference(
+        rob in 1u32..2048,
+        lq in 1u32..512,
+        sq in 1u32..512,
+        alu in 1u32..12,
+        fp in 1u32..12,
+        ls in 1u32..12,
+        lsp in 1u32..12,
+        lp in 0u32..12,
+        fills in 1u32..64,
+        buffers in 1u32..12,
+    ) {
+        let (store, sweep) = quantized_fixture();
+        let mut arch = MicroArch::arm_n1();
+        arch.rob_size = rob;
+        arch.lq_size = lq;
+        arch.sq_size = sq;
+        arch.alu_width = alu;
+        arch.fp_width = fp;
+        arch.ls_width = ls;
+        arch.ls_pipes = lsp;
+        arch.load_pipes = lp;
+        arch.max_icache_fills = fills;
+        arch.fetch_buffers = buffers;
+
+        // Seed-reference quantization (ratio distance for sizes, L1 distance
+        // for pipe pairs), applied to values — the old HashMap keys.
+        let mut rob_grid: Vec<u32> = sweep.rob.iter().copied().chain(ROB_SWEEP).collect();
+        rob_grid.sort_unstable();
+        rob_grid.dedup();
+        let mut snapped = arch;
+        snapped.rob_size = seed_nearest(&rob_grid, arch.rob_size);
+        snapped.lq_size = seed_nearest(&sweep.lq, arch.lq_size);
+        snapped.sq_size = seed_nearest(&sweep.sq, arch.sq_size);
+        snapped.alu_width = seed_nearest(&sweep.alu, arch.alu_width);
+        snapped.fp_width = seed_nearest(&sweep.fp, arch.fp_width);
+        snapped.ls_width = seed_nearest(&sweep.ls, arch.ls_width);
+        let (slsp, slp) = seed_nearest_pair(&sweep.pipes, (arch.ls_pipes, arch.load_pipes));
+        snapped.ls_pipes = slsp;
+        snapped.load_pipes = slp;
+        snapped.max_icache_fills = seed_nearest(&sweep.fills, arch.max_icache_fills);
+        snapped.fetch_buffers = seed_nearest(&sweep.buffers, arch.fetch_buffers);
+
+        for v in [FeatureVariant::Base, FeatureVariant::Full] {
+            let raw = store.features(&arch, v);
+            let snap = store.features(&snapped, v);
+            // Everything except the parameter tail must be identical (the
+            // tail encodes the *requested* values, not the snapped ones).
+            let dims = raw.len() - MicroArch::ENCODED_DIM;
+            for i in 0..dims {
+                prop_assert_eq!(raw[i].to_bits(), snap[i].to_bits(), "dim {} of {:?}", i, v);
+            }
+        }
+        for res in Resource::ALL {
+            let a = store.raw_series(res, &arch);
+            let b = store.raw_series(res, &snapped);
+            prop_assert_eq!(a, b, "{:?}", res);
+        }
+    }
+}
+
+/// Shared quantized-sweep store for the lookup property (built once).
+fn quantized_fixture() -> (&'static FeatureStore, &'static SweepConfig) {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<(FeatureStore, SweepConfig)> = OnceLock::new();
+    let (s, c) = FIXTURE.get_or_init(|| {
+        let profile = ReproProfile::quick();
+        let spec = by_id("S5").unwrap();
+        let full = generate_region(&spec, 0, 0, 2 * 4_096);
+        let (w, r) = full.instrs.split_at(4_096);
+        // A small multi-point sweep: pow-2 grids on every axis, one memory
+        // configuration (the property leaves `mem` on-grid).
+        let arch = MicroArch::arm_n1();
+        let mut sweep = SweepConfig::for_arch(&arch);
+        sweep.rob = vec![32, 128, 512];
+        sweep.lq = vec![8, 32, 128];
+        sweep.sq = vec![8, 32, 128];
+        sweep.alu = vec![1, 2, 4, 8];
+        sweep.fp = vec![1, 2, 4, 8];
+        sweep.ls = vec![1, 2, 4, 8];
+        sweep.pipes = vec![(1, 0), (2, 2), (4, 4), (8, 8)];
+        sweep.fills = vec![1, 4, 16];
+        sweep.buffers = vec![2, 4, 8];
+        let store = FeatureStore::precompute(w, r, &sweep, &ReproProfile { ..profile });
+        (store, sweep)
+    });
+    (s, c)
+}
+
+/// The seed implementation's ratio-distance nearest-value selection.
+fn seed_nearest(grid: &[u32], v: u32) -> u32 {
+    *grid
+        .iter()
+        .min_by_key(|&&g| {
+            let (a, b) = (g.max(1) as u64, v.max(1) as u64);
+            let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+            (hi * 1024 / lo, hi)
+        })
+        .expect("grid must be non-empty")
+}
+
+/// The seed implementation's L1-distance nearest pipe pair.
+fn seed_nearest_pair(grid: &[(u32, u32)], v: (u32, u32)) -> (u32, u32) {
+    *grid
+        .iter()
+        .min_by_key(|&&(a, b)| {
+            let d1 = (i64::from(a) - i64::from(v.0)).abs();
+            let d2 = (i64::from(b) - i64::from(v.1)).abs();
+            (d1 + d2, a, b)
+        })
+        .expect("pipes grid must be non-empty")
 }

@@ -133,6 +133,85 @@ fn repeated_queries_hit_the_cache() {
 }
 
 #[test]
+fn preloaded_artifact_makes_the_first_query_a_cache_hit() {
+    let (model, profile) = tiny_service_parts();
+
+    // Build the store offline, exactly as `concorde precompute` does.
+    let arch = MicroArch::arm_n1();
+    let sweep = SweepConfig::for_arch(&arch);
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.region_len);
+    let store = FeatureStore::precompute(&[], &full.instrs, &sweep, &profile);
+    let key = FeatureKey {
+        workload: "S5".to_string(),
+        trace: 0,
+        start: 0,
+        region_len: profile.region_len as u32,
+        sweep_hash: sweep_content_hash(&sweep),
+    };
+    let path = std::env::temp_dir().join("concorde_preload_test.cfa");
+    StoreArtifact::new(key, store).save(&path).unwrap();
+
+    let service = PredictionService::start(model, profile, quick_config());
+    let loaded_key = service.preload_artifact(&path).unwrap();
+    assert_eq!(loaded_key.workload, "S5");
+    std::fs::remove_file(&path).ok();
+
+    // An artifact keyed to the quantized sweep can never be hit by this
+    // per-arch server: preloading it must fail loudly, not go silently cold.
+    // (Validation reads the key, so a cheap per-arch store body suffices.)
+    let quantized_key = FeatureKey {
+        sweep_hash: sweep_content_hash(&SweepConfig::quantized()),
+        ..loaded_key.clone()
+    };
+    let tiny_profile = ReproProfile {
+        region_len: 512,
+        warmup_len: 0,
+        ..ReproProfile::quick()
+    };
+    let tiny_region = generate_region(&spec, 0, 0, 512);
+    let tiny_store = FeatureStore::precompute(&[], &tiny_region.instrs, &sweep, &tiny_profile);
+    let bad_path = std::env::temp_dir().join("concorde_preload_mismatch.cfa");
+    StoreArtifact::new(quantized_key, tiny_store)
+        .save(&bad_path)
+        .unwrap();
+    let err = service.preload_artifact(&bad_path).unwrap_err();
+    assert!(err.to_string().contains("quantized"), "{err}");
+    std::fs::remove_file(&bad_path).ok();
+
+    let client = service.client();
+    let resp = client
+        .predict(PredictRequest::new(1, "S5", ArchSpec::base("n1")))
+        .unwrap();
+    assert!(
+        resp.cached,
+        "first query against a preloaded region must skip the precompute"
+    );
+    let m = service.metrics();
+    assert_eq!(m.cache_misses, 0);
+    assert!(m.cache_hits >= 1);
+}
+
+#[test]
+fn served_schema_names_every_block() {
+    let (model, profile) = tiny_service_parts();
+    let encoding = profile.encoding;
+    let service = PredictionService::start(model, profile, quick_config());
+    let schema = service.schema();
+    assert_eq!(schema.version, SCHEMA_VERSION);
+    assert_eq!(
+        schema.dim(),
+        FeatureSchema::dim_for(encoding, schema.variant)
+    );
+    for res in Resource::ALL {
+        assert!(schema.block(res.name()).is_some(), "{res:?}");
+    }
+    assert!(schema.block("params").is_some());
+    // The in-process client serves the identical schema.
+    assert_eq!(service.client().schema(), schema);
+}
+
+#[test]
 fn unknown_workload_and_bad_arch_error_cleanly() {
     let (model, profile) = tiny_service_parts();
     let service = PredictionService::start(model, profile, quick_config());
