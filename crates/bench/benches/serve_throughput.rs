@@ -1,19 +1,34 @@
-//! Criterion bench for the serving engine: sequential single-sample
-//! prediction vs. the batched `concorde-serve` path at batch sizes 1/16/128.
+//! Criterion bench for the serving engine, two scenarios:
 //!
-//! All requests hit a warmed feature-store cache, so the comparison isolates
-//! the serving overhead + evaluation: per-request feature assembly and a
-//! single-threaded MLP forward on the sequential side, versus queueing,
-//! micro-batching, and the worker pool's batched forward on the service
-//! side. Expected shape: batch=1 pays the queueing tax; by batch ≥ 16 the
-//! batched path's throughput (elem/s) exceeds the sequential baseline.
+//! 1. `serve_throughput` — sequential single-sample prediction vs. the
+//!    batched `concorde-serve` path at batch sizes 1/16/128. All requests
+//!    hit a warmed feature-store cache, so the comparison isolates the
+//!    serving overhead + evaluation: per-request feature assembly and a
+//!    single-threaded MLP forward on the sequential side, versus queueing,
+//!    micro-batching, and the worker pool's batched forward on the service
+//!    side. Expected shape: batch=1 pays the queueing tax; by batch ≥ 16
+//!    the batched path's throughput (elem/s) exceeds the sequential
+//!    baseline.
+//!
+//! 2. `serve_cold_warm` — the mixed cold/warm shape the precompute pool
+//!    exists for: each iteration fires one *cold*-region request
+//!    (fire-and-forget) and then measures a 16-request *warm* (cache-hit)
+//!    batch, on a single batch worker. Under `inline_miss` the worker
+//!    builds the cold store itself, so the warm batch stalls behind a full
+//!    analytic precompute; under `async_pool` the miss parks on the
+//!    dedicated pool and warm latency stays flat. The reported medians are
+//!    the hit-path p50 under cold-region churn — expect the async-pool
+//!    median to be ≥2× (typically orders of magnitude) better.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use concorde_core::prelude::*;
-use concorde_serve::{ArchSpec, PredictRequest, PredictionService, ServeConfig, SweepScope};
+use concorde_serve::{
+    ArchSpec, MissPolicy, PredictRequest, PredictionService, ServeConfig, SweepScope,
+};
 use concorde_trace::by_id;
 
 struct Setup {
@@ -119,9 +134,89 @@ fn bench_serve(c: &mut Criterion) {
     g.finish();
 }
 
+/// `n` warm requests against one fixed arch — a single per-arch store, so
+/// every request is a cache hit once the store is warmed.
+fn warm_requests(n: usize) -> Vec<PredictRequest> {
+    (0..n)
+        .map(|i| PredictRequest::new(i as u64, "S5", ArchSpec::base("n1")))
+        .collect()
+}
+
+fn bench_cold_warm(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("serve_cold_warm");
+
+    // The cheap per-arch sweep keeps each cold build to a few milliseconds,
+    // so both policies complete in sane bench time; the *ratio* between them
+    // is the result. One store per distinct region start.
+    let arch = concorde_cyclesim::MicroArch::arm_n1();
+    let warm_store_bytes = {
+        let spec = by_id("S5").unwrap();
+        let full = concorde_trace::generate_region(
+            &spec,
+            0,
+            0,
+            s.profile.warmup_len + s.profile.region_len,
+        );
+        let (w, r) = full.instrs.split_at(s.profile.warmup_len);
+        FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &s.profile).approx_bytes()
+    };
+
+    for (name, policy) in [
+        ("async_pool", MissPolicy::AsyncPool),
+        ("inline_miss", MissPolicy::Inline),
+    ] {
+        let service = PredictionService::start(
+            s.model.clone(),
+            s.profile.clone(),
+            ServeConfig {
+                // ONE batch worker: an inline miss stalls the entire hit
+                // path; the async pool leaves it free.
+                workers: 1,
+                precompute_workers: 1,
+                max_batch: 16,
+                batch_deadline: Duration::from_micros(200),
+                // Budget for ~2 stores on one shard: the hot warm store
+                // stays resident while each landing cold store evicts the
+                // previous one, so the cold keys in the ring below stay
+                // genuinely cold across iterations.
+                cache_shards: 1,
+                cache_bytes: warm_store_bytes * 5 / 2,
+                miss_policy: policy,
+                sweep: SweepScope::PerArch,
+                ..ServeConfig::default()
+            },
+        );
+        let client = service.client();
+        client
+            .predict(warm_requests(1).pop().unwrap())
+            .expect("warm the S5 store");
+
+        let cold_seq = AtomicU64::new(0);
+        g.throughput(Throughput::Elements(16));
+        g.bench_function(format!("warm16_p50_under_cold_churn/{name}"), |b| {
+            b.iter(|| {
+                // Fire one cold-region request and do not wait for it; a
+                // small ring of starts keeps pool backlog bounded (repeat
+                // submissions coalesce onto the in-flight build) while the
+                // tight byte budget above keeps the ring cold.
+                let i = cold_seq.fetch_add(1, Ordering::Relaxed);
+                let mut cold = PredictRequest::new(1_000_000 + i, "S5", ArchSpec::base("n1"));
+                cold.start = 1_000_000 * (1 + i % 4);
+                let _cold_rx = client.submit(cold).expect("submit cold");
+                // Measured: the warm 16-request batch (the hit path).
+                client.predict_many(warm_requests(16)).expect("warm batch")
+            });
+        });
+        drop(client);
+        drop(service);
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = serve;
     config = Criterion::default().sample_size(12);
-    targets = bench_serve
+    targets = bench_serve, bench_cold_warm
 }
 criterion_main!(serve);

@@ -1,4 +1,5 @@
-//! LRU cache of precomputed [`FeatureStore`]s for serving.
+//! Sharded, byte-budgeted LRU cache of precomputed [`FeatureStore`]s for
+//! serving.
 //!
 //! `FeatureStore::precompute` is the expensive analytic stage (trace
 //! generation + per-resource models); a prediction against a cached store is
@@ -6,10 +7,23 @@
 //! coordinates, sweep-config hash)* so repeated queries against the same
 //! region — the design-space-exploration access pattern the paper targets —
 //! skip the analytic stage entirely.
+//!
+//! The cache is split into N independently locked shards (selected by the
+//! [`FeatureKey`] hash), so lookups against hot regions never contend with
+//! insertions landing for cold regions. Each shard admits by a **byte
+//! budget** ([`FeatureStore::approx_bytes`]) rather than a store count —
+//! stores vary by orders of magnitude between per-arch and quantized sweeps,
+//! so a count budget either wastes memory or overcommits it — and maintains
+//! recency with an intrusive doubly-linked LRU list over a slab: get, insert,
+//! and evict are all O(1).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
 
 use crate::features::FeatureStore;
 use crate::schema::SCHEMA_VERSION;
@@ -30,62 +44,157 @@ pub struct FeatureKey {
     pub sweep_hash: u64,
 }
 
-struct Entry {
-    store: Arc<FeatureStore>,
-    last_used: u64,
+/// Aggregate counters across every shard of a [`ShardedStoreCache`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a store.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Stores evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Resident stores.
+    pub stores: usize,
+    /// Resident bytes ([`FeatureStore::approx_bytes`] sum).
+    pub bytes: usize,
 }
 
-/// Bounded LRU cache of [`FeatureStore`]s, shared via [`Arc`] so readers can
-/// keep using an evicted store.
-pub struct FeatureStoreCache {
-    capacity: usize,
-    map: HashMap<FeatureKey, Entry>,
-    tick: u64,
+/// Point-in-time occupancy and counters of one cache shard — the
+/// `{"cmd": "stats"}` per-shard report operators size `--cache-bytes` with.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Resident stores.
+    pub stores: usize,
+    /// Resident bytes.
+    pub bytes: usize,
+    /// Lookups that found a store in this shard.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Stores this shard evicted.
+    pub evictions: u64,
+}
+
+/// Sentinel index terminating the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: FeatureKey,
+    store: Arc<FeatureStore>,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// One independently locked shard: hash map for identity, slab + intrusive
+/// doubly-linked list for recency. Every operation is O(1); eviction pops
+/// the list tail — no scan.
+struct Shard {
+    map: HashMap<FeatureKey, usize>,
+    slab: Vec<Option<Node>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
-impl FeatureStoreCache {
-    /// Creates a cache holding at most `capacity` stores (min 1).
-    pub fn new(capacity: usize) -> Self {
-        FeatureStoreCache {
-            capacity: capacity.max(1),
+impl Shard {
+    fn new() -> Self {
+        Shard {
             map: HashMap::new(),
-            tick: 0,
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
-    /// Number of cached stores.
-    pub fn len(&self) -> usize {
-        self.map.len()
+    fn node(&self, i: usize) -> &Node {
+        self.slab[i].as_ref().expect("linked node is populated")
     }
 
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+    fn node_mut(&mut self, i: usize) -> &mut Node {
+        self.slab[i].as_mut().expect("linked node is populated")
     }
 
-    /// Total lookups that found a store.
-    pub fn hits(&self) -> u64 {
-        self.hits
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let n = self.node(i);
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            x => self.node_mut(x).prev = prev,
+        }
     }
 
-    /// Total lookups that had to build a store.
-    pub fn misses(&self) -> u64 {
-        self.misses
+    fn push_front(&mut self, i: usize) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(i);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = i,
+            h => self.node_mut(h).prev = i,
+        }
+        self.head = i;
     }
 
-    /// Looks up `key`, marking it most-recently-used.
-    pub fn get(&mut self, key: &FeatureKey) -> Option<Arc<FeatureStore>> {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.map.get_mut(key) {
-            Some(e) => {
-                e.last_used = tick;
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Some(node);
+                i
+            }
+            None => {
+                self.slab.push(Some(node));
+                self.slab.len() - 1
+            }
+        }
+    }
+
+    /// Removes and returns the least-recently-used entry.
+    fn pop_lru(&mut self) -> Option<FeatureKey> {
+        let i = self.tail;
+        if i == NIL {
+            return None;
+        }
+        self.unlink(i);
+        let node = self.slab[i].take().expect("tail node is populated");
+        self.free.push(i);
+        self.map.remove(&node.key);
+        self.bytes -= node.bytes;
+        Some(node.key)
+    }
+
+    fn get(&mut self, key: &FeatureKey) -> Option<Arc<FeatureStore>> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.touch(i);
                 self.hits += 1;
-                Some(Arc::clone(&e.store))
+                Some(Arc::clone(&self.node(i).store))
             }
             None => {
                 self.misses += 1;
@@ -94,51 +203,185 @@ impl FeatureStoreCache {
         }
     }
 
-    /// Inserts a store, evicting the least-recently-used entry on overflow.
-    pub fn insert(&mut self, key: FeatureKey, store: Arc<FeatureStore>) {
-        self.tick += 1;
-        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            // O(len) eviction scan; capacities are small (tens to hundreds)
-            // and insertion only happens after a multi-millisecond precompute.
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&victim);
+    /// Inserts `store`, then evicts LRU entries until the shard is back
+    /// under `budget` — but always keeps at least one store, so a region
+    /// larger than the whole budget is still cacheable.
+    fn insert(
+        &mut self,
+        key: FeatureKey,
+        store: Arc<FeatureStore>,
+        budget: usize,
+    ) -> Vec<FeatureKey> {
+        let bytes = store.approx_bytes();
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.bytes = self.bytes - self.node(i).bytes + bytes;
+                let n = self.node_mut(i);
+                n.store = store;
+                n.bytes = bytes;
+                self.touch(i);
+            }
+            None => {
+                let i = self.alloc(Node {
+                    key: key.clone(),
+                    store,
+                    bytes,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.push_front(i);
+                self.map.insert(key, i);
+                self.bytes += bytes;
             }
         }
-        self.map.insert(
-            key,
-            Entry {
-                store,
-                last_used: self.tick,
-            },
-        );
+        let mut evicted = Vec::new();
+        while self.bytes > budget && self.map.len() > 1 {
+            let victim = self.pop_lru().expect("len > 1 implies a tail");
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+}
+
+/// Sharded, byte-budgeted LRU cache of [`FeatureStore`]s, shared via [`Arc`]
+/// so readers can keep using an evicted store.
+///
+/// All methods take `&self`: each shard carries its own lock, so concurrent
+/// lookups against different shards never contend, and a hit on one shard is
+/// never blocked by an insertion landing on another.
+pub struct ShardedStoreCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    budget: usize,
+}
+
+impl ShardedStoreCache {
+    /// Creates a cache of `shards` independently locked shards (min 1)
+    /// admitting `byte_budget` total bytes of stores (split evenly across
+    /// shards; each shard always retains at least one store).
+    pub fn new(shards: usize, byte_budget: usize) -> Self {
+        let n = shards.max(1);
+        let budget = byte_budget.max(1);
+        ShardedStoreCache {
+            shards: (0..n).map(|_| Mutex::new(Shard::new())).collect(),
+            shard_budget: (budget / n).max(1),
+            budget,
+        }
     }
 
-    /// Returns the cached store for `key`, or builds one with `build` and
-    /// caches it. The boolean is `true` on a hit.
-    pub fn get_or_insert_with<F: FnOnce() -> FeatureStore>(
-        &mut self,
-        key: &FeatureKey,
-        build: F,
-    ) -> (Arc<FeatureStore>, bool) {
-        if let Some(store) = self.get(key) {
-            return (store, true);
-        }
-        let store = Arc::new(build());
-        self.insert(key.clone(), Arc::clone(&store));
-        (store, false)
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total byte budget across all shards.
+    pub fn byte_budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Byte budget of each shard.
+    pub fn shard_budget(&self) -> usize {
+        self.shard_budget
+    }
+
+    /// Index of the shard `key` lives on.
+    pub fn shard_of(&self, key: &FeatureKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn shard(&self, key: &FeatureKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of cached stores.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total resident bytes across shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).bytes)
+            .sum()
+    }
+
+    /// Looks up `key`, marking it most-recently-used within its shard.
+    pub fn get(&self, key: &FeatureKey) -> Option<Arc<FeatureStore>> {
+        self.shard(key).get(key)
+    }
+
+    /// Inserts a store, evicting its shard's least-recently-used entries
+    /// until the shard is back under its byte budget. Returns the evicted
+    /// keys in eviction (LRU-first) order.
+    pub fn insert(&self, key: FeatureKey, store: Arc<FeatureStore>) -> Vec<FeatureKey> {
+        let budget = self.shard_budget;
+        self.shard(&key).insert(key, store, budget)
     }
 
     /// Drops all entries and counters.
-    pub fn clear(&mut self) {
-        self.map.clear();
-        self.hits = 0;
-        self.misses = 0;
-        self.tick = 0;
+    pub fn clear(&self) {
+        for s in &self.shards {
+            *s.lock().unwrap_or_else(|e| e.into_inner()) = Shard::new();
+        }
+    }
+
+    /// Aggregate counters across every shard.
+    pub fn stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for s in &self.shards {
+            let s = s.lock().unwrap_or_else(|e| e.into_inner());
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.evictions += s.evictions;
+            out.stores += s.map.len();
+            out.bytes += s.bytes;
+        }
+        out
+    }
+
+    /// Per-shard occupancy and counters.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let s = s.lock().unwrap_or_else(|e| e.into_inner());
+                ShardStats {
+                    shard: i,
+                    stores: s.map.len(),
+                    bytes: s.bytes,
+                    hits: s.hits,
+                    misses: s.misses,
+                    evictions: s.evictions,
+                }
+            })
+            .collect()
+    }
+
+    /// Slab length of one shard (test-only): bounds amortized-O(1) eviction —
+    /// a scan-free LRU reuses freed slots, so the slab never grows past the
+    /// high-water resident count.
+    #[cfg(test)]
+    fn slab_len(&self, shard: usize) -> usize {
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .slab
+            .len()
     }
 }
 
@@ -327,40 +570,138 @@ mod tests {
         }
     }
 
-    fn tiny_store() -> FeatureStore {
+    fn tiny_store() -> Arc<FeatureStore> {
         let profile = ReproProfile::quick();
         let arch = MicroArch::arm_n1();
         let full = generate_region(&by_id("S5").unwrap(), 0, 0, 2048).instrs;
         let (w, r) = full.split_at(1024);
-        FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &profile)
+        Arc::new(FeatureStore::precompute(
+            w,
+            r,
+            &SweepConfig::for_arch(&arch),
+            &profile,
+        ))
+    }
+
+    /// A one-shard cache whose budget fits exactly `n` copies of `store`.
+    fn cache_of(n: usize, store: &Arc<FeatureStore>) -> ShardedStoreCache {
+        ShardedStoreCache::new(1, n * store.approx_bytes() + store.approx_bytes() / 2)
     }
 
     #[test]
     fn hit_miss_accounting_and_reuse() {
-        let mut cache = FeatureStoreCache::new(4);
-        let store = Arc::new(tiny_store());
+        let store = tiny_store();
+        let cache = cache_of(4, &store);
         assert!(cache.get(&key("S5", 0)).is_none());
         cache.insert(key("S5", 0), Arc::clone(&store));
-        let (again, hit) = cache.get_or_insert_with(&key("S5", 0), || unreachable!("must hit"));
-        assert!(hit);
+        let again = cache.get(&key("S5", 0)).expect("must hit");
         assert!(Arc::ptr_eq(&again, &store));
-        assert_eq!(cache.hits(), 1);
-        assert_eq!(cache.misses(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.bytes, store.approx_bytes());
+        assert_eq!(cache.bytes(), store.approx_bytes());
     }
 
     #[test]
-    fn lru_evicts_the_coldest() {
-        let mut cache = FeatureStoreCache::new(2);
-        let store = Arc::new(tiny_store());
-        cache.insert(key("S5", 0), Arc::clone(&store));
-        cache.insert(key("S5", 1), Arc::clone(&store));
+    fn byte_budget_evicts_the_coldest() {
+        let store = tiny_store();
+        let cache = cache_of(2, &store);
+        assert!(cache.insert(key("S5", 0), Arc::clone(&store)).is_empty());
+        assert!(cache.insert(key("S5", 1), Arc::clone(&store)).is_empty());
         // Touch entry 0 so entry 1 becomes the LRU victim.
         assert!(cache.get(&key("S5", 0)).is_some());
-        cache.insert(key("S5", 2), Arc::clone(&store));
+        let evicted = cache.insert(key("S5", 2), Arc::clone(&store));
+        assert_eq!(evicted, vec![key("S5", 1)]);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&key("S5", 0)).is_some());
         assert!(cache.get(&key("S5", 1)).is_none());
         assert!(cache.get(&key("S5", 2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_follows_exact_lru_order() {
+        // Regression for the old O(len) `iter().min_by_key` eviction scan:
+        // the intrusive list must reproduce exact tick order, including after
+        // interleaved touches, with no scan helper left to fall back on.
+        let store = tiny_store();
+        let cache = cache_of(3, &store);
+        for start in 0..3 {
+            cache.insert(key("S5", start), Arc::clone(&store));
+        }
+        // Recency now (MRU→LRU): 2, 1, 0. Touch 0 → 0, 2, 1.
+        assert!(cache.get(&key("S5", 0)).is_some());
+        let evicted = cache.insert(key("S5", 3), Arc::clone(&store));
+        assert_eq!(evicted, vec![key("S5", 1)]);
+        let evicted = cache.insert(key("S5", 4), Arc::clone(&store));
+        assert_eq!(evicted, vec![key("S5", 2)]);
+        // Re-inserting a resident key must refresh, not duplicate or evict.
+        assert!(cache.insert(key("S5", 0), Arc::clone(&store)).is_empty());
+        assert_eq!(cache.len(), 3);
+        let evicted = cache.insert(key("S5", 5), Arc::clone(&store));
+        assert_eq!(evicted, vec![key("S5", 3)]);
+    }
+
+    #[test]
+    fn eviction_reuses_slots_without_slab_growth() {
+        // Amortized-O(1) eviction: freed slots are recycled, so churning many
+        // keys through a 2-store budget keeps the slab at the high-water
+        // resident count instead of growing per insert (as a scan-based or
+        // tombstoning implementation would).
+        let store = tiny_store();
+        let cache = cache_of(2, &store);
+        for start in 0..100 {
+            cache.insert(key("S5", start), Arc::clone(&store));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 98);
+        assert!(
+            cache.slab_len(0) <= 3,
+            "slab grew to {} slots for 2 resident stores",
+            cache.slab_len(0)
+        );
+    }
+
+    #[test]
+    fn oversized_store_is_still_cached_alone() {
+        // A store larger than the entire shard budget must still be
+        // admitted (and evict everything else), not bounce forever.
+        let store = tiny_store();
+        let cache = ShardedStoreCache::new(1, 16);
+        cache.insert(key("S5", 0), Arc::clone(&store));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key("S5", 0)).is_some());
+        let evicted = cache.insert(key("S5", 1), Arc::clone(&store));
+        assert_eq!(evicted, vec![key("S5", 0)]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shards_partition_keys_consistently() {
+        let store = tiny_store();
+        let cache = ShardedStoreCache::new(4, 64 * store.approx_bytes());
+        assert_eq!(cache.shard_count(), 4);
+        for start in 0..32 {
+            let k = key("S5", start);
+            assert_eq!(cache.shard_of(&k), cache.shard_of(&k.clone()));
+            cache.insert(k, Arc::clone(&store));
+        }
+        assert_eq!(cache.len(), 32);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.stores).sum::<usize>(), 32);
+        assert_eq!(
+            per_shard.iter().map(|s| s.bytes).sum::<usize>(),
+            cache.bytes()
+        );
+        // Every key must be found on its own shard.
+        for start in 0..32 {
+            assert!(cache.get(&key("S5", start)).is_some());
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

@@ -946,6 +946,36 @@ impl FeatureStore {
         .sum()
     }
 
+    /// Total approximate in-memory footprint of the store (bytes): every
+    /// encoded arena, raw series, grid, latency table, and distribution plus
+    /// the struct header. This is the statistic the serving cache's byte
+    /// budget (`--cache-bytes`) admits against.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::{size_of, size_of_val};
+        size_of::<Self>()
+            + self.encoded_bytes()
+            + self.raw_bytes()
+            + size_of_val(&self.rob_grid[..])
+            + size_of_val(&self.lq_grid[..])
+            + size_of_val(&self.sq_grid[..])
+            + size_of_val(&self.alu_grid[..])
+            + size_of_val(&self.fp_grid[..])
+            + size_of_val(&self.ls_grid[..])
+            + size_of_val(&self.pipes_grid[..])
+            + size_of_val(&self.fills_grid[..])
+            + size_of_val(&self.buffers_grid[..])
+            + size_of_val(&self.d_keys[..])
+            + size_of_val(&self.i_keys[..])
+            + size_of_val(&self.rob_curve[..])
+            + size_of_val(&self.load_exec_est[..])
+            + size_of_val(&self.isb_dist[..])
+            + self
+                .branch_dists
+                .iter()
+                .map(|d| size_of_val(&d[..]))
+                .sum::<usize>()
+    }
+
     /// Total raw-series footprint (bytes): the part of the store a serving
     /// deployment carries for the min-bound baseline.
     pub fn raw_bytes(&self) -> usize {
@@ -1447,6 +1477,9 @@ mod tests {
         }
         assert!(store.encoded_bytes() > 0);
         assert!(store.raw_bytes() > 0);
+        // The full footprint strictly dominates its encoded + raw parts
+        // (grids, curves, and distributions all contribute).
+        assert!(store.approx_bytes() > store.encoded_bytes() + store.raw_bytes());
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod trainer;
 
 /// Convenient re-exports of the crate's primary API.
 pub mod prelude {
-    pub use crate::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache, StoreArtifact};
+    pub use crate::cache::{
+        sweep_content_hash, CacheStats, FeatureKey, ShardStats, ShardedStoreCache, StoreArtifact,
+    };
     pub use crate::dataset::{
         generate_dataset, overlap_report, project_features, ArchSampling, DatasetConfig,
         FeatureProjection, Sample,

@@ -52,6 +52,12 @@ impl Client {
         crate::service::metrics_snapshot(&self.shared)
     }
 
+    /// Full stats (metrics + cache budget and per-shard occupancy) of the
+    /// service this client feeds.
+    pub fn service_stats(&self) -> crate::ServiceStats {
+        crate::service::service_stats(&self.shared)
+    }
+
     /// Feature schema (version + named blocks) of the served model.
     pub fn schema(&self) -> concorde_core::schema::FeatureSchema {
         crate::service::schema_of(&self.shared)
@@ -161,6 +167,18 @@ impl TcpClient {
     /// Socket errors, or a protocol-level error decoded into `io::Error`.
     pub fn metrics(&mut self) -> std::io::Result<crate::MetricsSnapshot> {
         let resp = self.roundtrip_line(r#"{"cmd": "metrics"}"#)?;
+        serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+
+    /// Fetches the server's full stats: metrics plus cache budget and
+    /// per-shard occupancy (the `{"cmd": "stats"}` reply) — the numbers an
+    /// operator sizes `--cache-bytes` and `--cache-shards` with.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level error decoded into `io::Error`.
+    pub fn stats(&mut self) -> std::io::Result<crate::ServiceStats> {
+        let resp = self.roundtrip_line(r#"{"cmd": "stats"}"#)?;
         serde_json::from_str(&resp).map_err(std::io::Error::other)
     }
 

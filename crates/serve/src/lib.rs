@@ -8,8 +8,10 @@
 //! precomputed analytic feature stores.
 //!
 //! Pipeline: bounded queue → micro-batching collector (flush on batch size
-//! or deadline) → worker pool → per-region feature-store cache → one batched
-//! forward pass per region group.
+//! or deadline) → worker pool → sharded, byte-budgeted feature-store cache →
+//! one batched forward pass per region group. Cache misses are parked on a
+//! single-flight registry and built by a dedicated precompute pool, so a
+//! cold region never stalls the hit path (see [`service`]).
 //!
 //! Entry points:
 //!
@@ -42,5 +44,6 @@ pub use client::{Client, TcpClient};
 pub use protocol::{ArchSpec, PredictRequest, PredictResponse};
 pub use server::workload_catalog;
 pub use service::{
-    MetricsSnapshot, PredictionService, ServeConfig, ServeError, SweepScope, MAX_REGION_LEN,
+    CacheReport, MetricsSnapshot, MissPolicy, PredictionService, ServeConfig, ServeError,
+    ServiceStats, SweepScope, MAX_REGION_LEN,
 };

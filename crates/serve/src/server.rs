@@ -1,6 +1,7 @@
 //! TCP front end: line-delimited JSON over a listener, one thread per
-//! connection, all connections feeding the shared batching queue (so
-//! concurrent clients batch together).
+//! connection (bounded by [`ServeConfig::max_connections`](crate::ServeConfig::max_connections)),
+//! all connections feeding the shared batching queue (so concurrent clients
+//! batch together).
 //!
 //! Protocol, one JSON document per line:
 //!
@@ -8,11 +9,18 @@
 //! - `[{...}, ...]` → batch of requests → one array response line
 //! - `{"cmd": "ping"}` → `{"ok": true}`
 //! - `{"cmd": "metrics"}` → metrics snapshot
+//! - `{"cmd": "stats"}` → metrics + cache budget and per-shard occupancy
 //! - `{"cmd": "workloads"}` → the served workload catalog
 //! - `{"cmd": "schema"}` → the served feature schema (version + blocks)
+//!
+//! A connection arriving past the cap is answered with one typed error line
+//! — `{"error": ..., "type": "busy", ...}` — and closed, so clients can
+//! distinguish "retry later" from a protocol failure.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use serde_json::{json, Value};
 
@@ -37,20 +45,69 @@ pub fn workload_catalog() -> Value {
     json!(entries)
 }
 
+/// Decrements the live-connection count when a connection thread ends,
+/// however it ends.
+struct ConnSlot {
+    active: Arc<AtomicUsize>,
+    service: Arc<crate::service::Shared>,
+}
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        let now = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        self.service
+            .metrics
+            .conn_active
+            .store(now, Ordering::Relaxed);
+    }
+}
+
 impl PredictionService {
-    /// Serves the protocol on `listener` until the process exits.
+    /// Serves the protocol on `listener` until the process exits, admitting
+    /// at most [`ServeConfig::max_connections`](crate::ServeConfig::max_connections)
+    /// concurrent connections; excess connections receive one typed `busy`
+    /// error line and are closed.
     ///
     /// # Errors
     ///
     /// Returns accept-loop errors; per-connection errors only end that
     /// connection.
     pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        let limit = self.config().max_connections.max(1);
+        let active = Arc::new(AtomicUsize::new(0));
         for stream in listener.incoming() {
-            let stream = stream?;
+            let mut stream = stream?;
+            if active
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < limit).then_some(n + 1)
+                })
+                .is_err()
+            {
+                self.shared
+                    .metrics
+                    .busy_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let reply = json!({
+                    "error": format!("server busy: connection limit {limit} reached"),
+                    "type": "busy",
+                    "max_connections": limit,
+                });
+                let _ = writeln!(stream, "{reply}");
+                continue;
+            }
+            self.shared
+                .metrics
+                .conn_active
+                .store(active.load(Ordering::SeqCst), Ordering::Relaxed);
+            let slot = ConnSlot {
+                active: Arc::clone(&active),
+                service: Arc::clone(&self.shared),
+            };
             let client = self.client();
             std::thread::Builder::new()
                 .name("concorde-serve-conn".to_string())
                 .spawn(move || {
+                    let _slot = slot;
                     let _ = handle_connection(client, stream);
                 })
                 .expect("spawn connection handler");
@@ -98,6 +155,9 @@ fn handle_line(client: &Client, line: &str) -> Value {
                 Some("ping") => json!({ "ok": true }),
                 Some("metrics") => {
                     serde_json::to_value(&client.service_metrics()).expect("serialize metrics")
+                }
+                Some("stats") => {
+                    serde_json::to_value(&client.service_stats()).expect("serialize stats")
                 }
                 Some("workloads") => workload_catalog(),
                 Some("schema") => serde_json::to_value(&client.schema()).expect("serialize schema"),

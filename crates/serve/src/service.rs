@@ -1,13 +1,28 @@
 //! The prediction engine: bounded queue → micro-batching collector → worker
-//! pool → batched model evaluation over cached feature stores.
+//! pool → batched model evaluation over sharded, byte-budgeted feature-store
+//! caching, with misses routed to a dedicated precompute pool.
 //!
 //! Requests enter a bounded FIFO. Each worker drains up to
 //! [`ServeConfig::max_batch`] requests, waiting at most
 //! [`ServeConfig::batch_deadline`] for stragglers (flush-on-size-or-deadline
-//! micro-batching), groups the batch by region feature-store key, obtains
-//! each group's [`FeatureStore`] through the shared LRU cache (hits skip the
-//! analytic precompute entirely), and runs one batched MLP forward pass per
-//! group through a worker-owned scratch arena.
+//! micro-batching), groups the batch by region feature-store key, and probes
+//! the shared [`ShardedStoreCache`]:
+//!
+//! - **Hit** → one batched MLP forward pass per group through a worker-owned
+//!   scratch arena; the response leaves in microseconds.
+//! - **Miss** (under [`MissPolicy::AsyncPool`], the default) → the group
+//!   *parks*: its jobs are attached to a single-flight in-flight entry for
+//!   the key and the build is queued to the dedicated precompute pool. The
+//!   worker moves straight on to the next batch, so **a cold region never
+//!   stalls the hit path**. Concurrent misses on the same key coalesce onto
+//!   the one in-flight build instead of each computing (or each blocking).
+//!   When the store lands in the cache, the parked jobs are re-enqueued at
+//!   the front of the request queue and complete as ordinary hits (reported
+//!   with `cached: false` — their store was built on demand).
+//! - **Miss** (under [`MissPolicy::Inline`]) → the worker that took the
+//!   batch builds the store itself, blocking its batch — the pre-pool
+//!   behavior, kept as the baseline the `serve_cold_warm` bench compares
+//!   against.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -15,7 +30,9 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use concorde_core::cache::{sweep_content_hash, FeatureKey, FeatureStoreCache, StoreArtifact};
+use concorde_core::cache::{
+    sweep_content_hash, CacheStats, FeatureKey, ShardStats, ShardedStoreCache, StoreArtifact,
+};
 use concorde_core::features::FeatureStore;
 use concorde_core::model::ConcordePredictor;
 use concorde_core::schema::FeatureSchema;
@@ -43,6 +60,18 @@ pub enum SweepScope {
     PerArch,
 }
 
+/// What a worker does with a batch group whose feature store is not cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissPolicy {
+    /// Park the group on a single-flight in-flight entry and hand the build
+    /// to the dedicated precompute pool; the worker keeps serving hits.
+    #[default]
+    AsyncPool,
+    /// Build the store inline on the worker that took the batch, blocking
+    /// it (the pre-pool behavior; the bench baseline).
+    Inline,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -54,8 +83,20 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Flush a collecting batch at this age even if not full.
     pub batch_deadline: Duration,
-    /// Feature-store LRU capacity (stores, not bytes).
-    pub cache_capacity: usize,
+    /// Feature-store cache shard count (0 = 8). Each shard has its own lock,
+    /// so hot-region lookups don't contend with cold-region insertions.
+    pub cache_shards: usize,
+    /// Feature-store cache byte budget across all shards
+    /// ([`FeatureStore::approx_bytes`] accounting).
+    pub cache_bytes: usize,
+    /// Dedicated precompute-pool threads for cache misses
+    /// (0 = half the cores, at least 1). Unused under [`MissPolicy::Inline`].
+    pub precompute_workers: usize,
+    /// What a worker does with a batch group whose store is not cached.
+    pub miss_policy: MissPolicy,
+    /// Concurrent TCP connections accepted before new ones get a typed
+    /// `busy` error (min 1).
+    pub max_connections: usize,
     /// Sweep each store precomputes.
     pub sweep: SweepScope,
 }
@@ -67,14 +108,19 @@ impl Default for ServeConfig {
             queue_capacity: 4096,
             max_batch: 128,
             batch_deadline: Duration::from_millis(1),
-            cache_capacity: 128,
+            cache_shards: 0,
+            cache_bytes: 512 << 20,
+            precompute_workers: 0,
+            miss_policy: MissPolicy::AsyncPool,
+            max_connections: 256,
             sweep: SweepScope::PerArch,
         }
     }
 }
 
 impl ServeConfig {
-    fn effective_workers(&self) -> usize {
+    /// Worker threads a service started with this config runs.
+    pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             return self.workers;
         }
@@ -82,6 +128,28 @@ impl ServeConfig {
             .map(|p| p.get())
             .unwrap_or(2)
             .saturating_sub(1)
+            .max(1)
+    }
+
+    /// Cache shards a service started with this config uses.
+    pub fn effective_cache_shards(&self) -> usize {
+        if self.cache_shards > 0 {
+            self.cache_shards
+        } else {
+            8
+        }
+    }
+
+    /// Precompute-pool threads a service started with this config runs
+    /// (ignored under [`MissPolicy::Inline`]).
+    pub fn effective_precompute_workers(&self) -> usize {
+        if self.precompute_workers > 0 {
+            return self.precompute_workers;
+        }
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .div_ceil(2)
             .max(1)
     }
 }
@@ -109,7 +177,7 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Live engine counters (all monotonic except `queue_depth`).
+/// Live engine counters (all monotonic except the `*_depth`/gauge fields).
 #[derive(Debug, Default)]
 pub struct Metrics {
     submitted: AtomicU64,
@@ -120,10 +188,15 @@ pub struct Metrics {
     batch_requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    precomputes: AtomicU64,
+    parked: AtomicUsize,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
     latency_us_sum: AtomicU64,
     latency_us_max: AtomicU64,
+    pub(crate) busy_rejected: AtomicU64,
+    pub(crate) conn_active: AtomicUsize,
 }
 
 impl Metrics {
@@ -132,8 +205,9 @@ impl Metrics {
         self.latency_us_max.fetch_max(us, Ordering::Relaxed);
     }
 
-    /// Consistent-enough point-in-time copy for reporting.
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    /// Consistent-enough point-in-time copy of the atomic counters; the
+    /// in-flight and cache fields are filled in by [`Shared::snapshot`].
+    fn counters(&self) -> MetricsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batch_requests = self.batch_requests.load(Ordering::Relaxed);
@@ -157,6 +231,15 @@ impl Metrics {
             } else {
                 hits as f64 / (hits + misses) as f64
             },
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            precomputes: self.precomputes.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            inflight_builds: 0,
+            cache_evictions: 0,
+            cache_bytes: 0,
+            cache_stores: 0,
+            busy_rejected: self.busy_rejected.load(Ordering::Relaxed),
+            active_connections: self.conn_active.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             avg_latency_us: if completed == 0 {
@@ -184,12 +267,40 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Mean requests per batch.
     pub avg_batch: f64,
-    /// Feature-store cache hits.
+    /// Batch groups whose feature store was cached.
     pub cache_hits: u64,
-    /// Feature-store cache misses (precomputes).
+    /// Batch groups that triggered a new precompute.
     pub cache_misses: u64,
     /// `hits / (hits + misses)`.
     pub cache_hit_rate: f64,
+    /// Requests that joined an already in-flight precompute for their key
+    /// instead of triggering their own (single-flight deduplication).
+    #[serde(default)]
+    pub coalesced: u64,
+    /// Feature-store builds executed (pool or inline).
+    #[serde(default)]
+    pub precomputes: u64,
+    /// Requests currently parked awaiting an in-flight precompute (gauge).
+    #[serde(default)]
+    pub parked: usize,
+    /// Precomputes currently in flight (gauge).
+    #[serde(default)]
+    pub inflight_builds: usize,
+    /// Stores evicted from the cache to stay within the byte budget.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Resident cache bytes.
+    #[serde(default)]
+    pub cache_bytes: usize,
+    /// Resident cached stores.
+    #[serde(default)]
+    pub cache_stores: usize,
+    /// TCP connections turned away with a `busy` error.
+    #[serde(default)]
+    pub busy_rejected: u64,
+    /// Currently open TCP connections (gauge).
+    #[serde(default)]
+    pub active_connections: usize,
     /// Current queue depth.
     pub queue_depth: usize,
     /// High-water queue depth.
@@ -200,49 +311,129 @@ pub struct MetricsSnapshot {
     pub max_latency_us: u64,
 }
 
+/// The `{"cmd": "stats"}` reply: metrics plus the cache occupancy report
+/// operators size `--cache-bytes` and `--cache-shards` with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Engine counters.
+    pub metrics: MetricsSnapshot,
+    /// Cache budget + per-shard occupancy.
+    pub cache: CacheReport,
+    /// Worker threads serving batches.
+    pub workers: usize,
+    /// Dedicated precompute-pool threads.
+    pub precompute_workers: usize,
+    /// Concurrent TCP connection cap.
+    pub max_connections: usize,
+}
+
+/// Cache shape + occupancy section of [`ServiceStats`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Configured byte budget across all shards.
+    pub budget_bytes: usize,
+    /// Shard count.
+    pub shard_count: usize,
+    /// Aggregate counters.
+    pub totals: CacheStats,
+    /// Per-shard occupancy and counters.
+    pub per_shard: Vec<ShardStats>,
+}
+
 struct Job {
     req: PredictRequest,
     enqueued: Instant,
     tx: mpsc::Sender<PredictResponse>,
+    /// True once the job has been parked on an in-flight precompute and
+    /// re-enqueued: its store was built on demand, so the response must
+    /// report `cached: false` even though the re-run finds a cache hit.
+    parked: bool,
+}
+
+/// A queued cache-miss build for the precompute pool.
+struct PrecomputeTask {
+    key: FeatureKey,
+    sweep: SweepConfig,
 }
 
 pub(crate) struct Shared {
-    cfg: ServeConfig,
+    pub(crate) cfg: ServeConfig,
     model: ConcordePredictor,
     profile: ReproProfile,
     queue: Mutex<VecDeque<Job>>,
     notify: Condvar,
-    cache: Mutex<FeatureStoreCache>,
-    metrics: Metrics,
+    cache: ShardedStoreCache,
+    /// Single-flight registry: key → jobs parked on that key's in-flight
+    /// build. Presence of an entry means exactly one build is queued or
+    /// running for the key.
+    inflight: Mutex<HashMap<FeatureKey, Vec<Job>>>,
+    /// Number of in-flight precomputes; workers may only exit at shutdown
+    /// once this reaches zero (parked jobs still need re-enqueuing).
+    inflight_builds: AtomicUsize,
+    pre_queue: Mutex<VecDeque<PrecomputeTask>>,
+    pre_notify: Condvar,
+    pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
+    /// Second-phase shutdown: set only after the batch workers have drained,
+    /// so the pool never abandons a build whose parked jobs a worker is
+    /// still waiting to serve.
+    pool_shutdown: AtomicBool,
     /// Cache-miss precomputes currently running; divides the per-precompute
     /// thread budget so concurrent misses share the cores instead of each
     /// spawning `available_parallelism` threads.
     active_precomputes: AtomicUsize,
 }
 
+impl Shared {
+    /// Metrics merged with live cache + in-flight state.
+    fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_with(&self.cache.stats())
+    }
+
+    /// Like [`Shared::snapshot`] but reusing an already-taken cache-stats
+    /// sample, so one `{"cmd": "stats"}` reply is internally consistent.
+    fn snapshot_with(&self, cache: &CacheStats) -> MetricsSnapshot {
+        let mut snap = self.metrics.counters();
+        snap.inflight_builds = self.inflight_builds.load(Ordering::Relaxed);
+        snap.cache_evictions = cache.evictions;
+        snap.cache_bytes = cache.bytes;
+        snap.cache_stores = cache.stores;
+        snap
+    }
+}
+
 /// The serving engine; dropping it drains the workers.
 pub struct PredictionService {
-    shared: Arc<Shared>,
+    pub(crate) shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    pool: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl PredictionService {
-    /// Starts the worker pool around a trained model.
+    /// Starts the worker + precompute pools around a trained model.
     ///
     /// `profile` must be the profile the model was trained with (it fixes
     /// the encoding width and the served region/warmup lengths).
     pub fn start(model: ConcordePredictor, profile: ReproProfile, cfg: ServeConfig) -> Self {
         let n_workers = cfg.effective_workers();
+        let n_pool = match cfg.miss_policy {
+            MissPolicy::AsyncPool => cfg.effective_precompute_workers(),
+            MissPolicy::Inline => 0,
+        };
         let shared = Arc::new(Shared {
-            cache: Mutex::new(FeatureStoreCache::new(cfg.cache_capacity)),
+            cache: ShardedStoreCache::new(cfg.effective_cache_shards(), cfg.cache_bytes),
             cfg,
             model,
             profile,
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            inflight_builds: AtomicUsize::new(0),
+            pre_queue: Mutex::new(VecDeque::new()),
+            pre_notify: Condvar::new(),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
+            pool_shutdown: AtomicBool::new(false),
             active_precomputes: AtomicUsize::new(0),
         });
         let workers = (0..n_workers)
@@ -254,12 +445,40 @@ impl PredictionService {
                     .expect("spawn serve worker")
             })
             .collect();
-        PredictionService { shared, workers }
+        let pool = (0..n_pool)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("concorde-precompute-{i}"))
+                    .spawn(move || precompute_loop(&shared))
+                    .expect("spawn precompute worker")
+            })
+            .collect();
+        PredictionService {
+            shared,
+            workers,
+            pool,
+        }
     }
 
     /// Live metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.shared.snapshot()
+    }
+
+    /// Full stats: metrics plus cache budget and per-shard occupancy.
+    pub fn stats(&self) -> ServiceStats {
+        service_stats(&self.shared)
+    }
+
+    /// Aggregate feature-store cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// The engine configuration this service runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
     }
 
     /// The feature schema (version + named blocks) this service's model
@@ -272,8 +491,7 @@ impl PredictionService {
     /// against that region skip the analytic precompute from the first
     /// request on.
     pub fn preload(&self, key: FeatureKey, store: FeatureStore) {
-        let mut cache = self.shared.cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.insert(key, Arc::new(store));
+        self.shared.cache.insert(key, Arc::new(store));
     }
 
     /// Loads a `concorde precompute` artifact from `path` into the cache.
@@ -329,6 +547,11 @@ impl PredictionService {
         self.workers.len()
     }
 
+    /// Number of dedicated precompute-pool threads.
+    pub fn precompute_workers(&self) -> usize {
+        self.pool.len()
+    }
+
     /// An in-process client handle (cheap to clone, independent lifetime).
     pub fn client(&self) -> crate::Client {
         crate::Client::new(Arc::clone(&self.shared))
@@ -337,9 +560,21 @@ impl PredictionService {
 
 impl Drop for PredictionService {
     fn drop(&mut self) {
+        // Phase 1: stop accepting submissions and drain the batch workers.
+        // They only exit once the queue is empty AND no precompute is in
+        // flight, so every parked job is re-enqueued and answered first —
+        // the pool must still be alive to land those stores.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.notify.notify_all();
+        self.shared.pre_notify.notify_all();
         for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Phase 2: with the workers gone nothing can queue new builds;
+        // release the pool.
+        self.shared.pool_shutdown.store(true, Ordering::SeqCst);
+        self.shared.pre_notify.notify_all();
+        for w in self.pool.drain(..) {
             let _ = w.join();
         }
     }
@@ -367,6 +602,7 @@ pub(crate) fn submit(
             req,
             enqueued: Instant::now(),
             tx,
+            parked: false,
         });
         let depth = q.len();
         shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -381,7 +617,26 @@ pub(crate) fn submit(
 }
 
 pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
-    shared.metrics.snapshot()
+    shared.snapshot()
+}
+
+pub(crate) fn service_stats(shared: &Shared) -> ServiceStats {
+    let totals = shared.cache.stats();
+    ServiceStats {
+        metrics: shared.snapshot_with(&totals),
+        cache: CacheReport {
+            budget_bytes: shared.cache.byte_budget(),
+            shard_count: shared.cache.shard_count(),
+            totals,
+            per_shard: shared.cache.shard_stats(),
+        },
+        workers: shared.cfg.effective_workers(),
+        precompute_workers: match shared.cfg.miss_policy {
+            MissPolicy::AsyncPool => shared.cfg.effective_precompute_workers(),
+            MissPolicy::Inline => 0,
+        },
+        max_connections: shared.cfg.max_connections.max(1),
+    }
 }
 
 pub(crate) fn schema_of(shared: &Shared) -> FeatureSchema {
@@ -390,17 +645,30 @@ pub(crate) fn schema_of(shared: &Shared) -> FeatureSchema {
 
 /// Collects one micro-batch: blocks for the first job, then keeps draining
 /// until the batch is full or the deadline passes.
+///
+/// Returns an empty batch only at shutdown, and then only once the queue is
+/// empty *and* no precompute is in flight — parked jobs get re-enqueued when
+/// their store lands, so a worker exiting earlier could strand them.
 fn collect_batch(shared: &Shared) -> Vec<Job> {
     let mut batch = Vec::new();
     let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
     loop {
-        if shared.shutdown.load(Ordering::SeqCst) && q.is_empty() {
+        if shared.shutdown.load(Ordering::SeqCst)
+            && q.is_empty()
+            && shared.inflight_builds.load(Ordering::SeqCst) == 0
+        {
             return batch;
         }
         if !q.is_empty() {
             break;
         }
-        q = shared.notify.wait(q).unwrap_or_else(|e| e.into_inner());
+        // Timed wait: robust against lost wakeups during shutdown and while
+        // awaiting re-enqueued parked jobs.
+        let (qq, _) = shared
+            .notify
+            .wait_timeout(q, Duration::from_millis(50))
+            .unwrap_or_else(|e| e.into_inner());
+        q = qq;
     }
     let deadline = Instant::now() + shared.cfg.batch_deadline;
     loop {
@@ -534,36 +802,110 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut MlpScratch) {
     }
 }
 
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "prediction panicked".to_string())
+}
+
+/// Counts a found-in-cache group toward `cache_hits`, unless the group is
+/// purely re-enqueued parked jobs — their miss was already counted when they
+/// registered the build, so counting the post-build "hit" too would inflate
+/// `cache_hit_rate` (a fully cold workload would report 50%).
+fn note_group_hit(shared: &Shared, jobs: &[(Job, MicroArch)]) {
+    if jobs.iter().any(|(j, _)| !j.parked) {
+        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 fn run_group(shared: &Shared, group: Group, scratch: &mut MlpScratch) {
     let Group { key, sweep, jobs } = group;
+    if matches!(shared.cfg.miss_policy, MissPolicy::AsyncPool) {
+        match shared.cache.get(&key) {
+            Some(store) => {
+                note_group_hit(shared, &jobs);
+                eval_group(shared, &store, &jobs, scratch, true);
+            }
+            // Miss: park the whole group on the key's single-flight entry
+            // and move on — this worker never blocks on the build.
+            None => park_group(shared, key, sweep, jobs, scratch),
+        }
+        return;
+    }
+
+    // Inline policy: fetch-or-build on this worker (the baseline path).
+    // A panic anywhere in the analytic stage must not kill the worker
+    // thread (a poisoned request could otherwise shrink the pool one
+    // request at a time until the service wedges): isolate the build,
+    // answer the group's requests with an error, and keep serving.
+    // Evaluation itself is guarded inside `eval_group`.
+    let (store, was_cached) = match shared.cache.get(&key) {
+        Some(s) => {
+            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            (s, true)
+        }
+        None => {
+            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Arc::new(precompute_store(shared, &key, &sweep))
+            }));
+            match outcome {
+                Ok(store) => {
+                    shared.metrics.precomputes.fetch_add(1, Ordering::Relaxed);
+                    shared.cache.insert(key.clone(), Arc::clone(&store));
+                    (store, false)
+                }
+                Err(panic) => {
+                    let msg = panic_message(panic);
+                    for (job, _) in &jobs {
+                        let us = job.enqueued.elapsed().as_micros() as u64;
+                        respond(
+                            shared,
+                            job,
+                            PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    };
+    eval_group(shared, &store, &jobs, scratch, was_cached);
+}
+
+/// One batched forward pass for a group whose store is in hand, with the
+/// worker's unwind guard around the evaluation.
+fn eval_group(
+    shared: &Shared,
+    store: &Arc<FeatureStore>,
+    jobs: &[(Job, MicroArch)],
+    scratch: &mut MlpScratch,
+    was_cached: bool,
+) {
     let archs: Vec<MicroArch> = jobs.iter().map(|(_, a)| *a).collect();
-    // A panic anywhere in the analytic stage or model evaluation must not
-    // kill the worker thread (a poisoned request could otherwise shrink the
-    // pool one request at a time until the service wedges): isolate the
-    // compute, answer the group's requests with an error, and keep serving.
-    // The scratch arena is plain resizable buffers, fully rewritten by each
-    // batch, so reusing it after an unwind is sound.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        compute_group(shared, &key, &sweep, &archs, scratch)
+        shared.model.predict_batch_with(store, &archs, scratch)
     }));
     match outcome {
-        Ok((cpis, was_cached)) => {
+        Ok(cpis) => {
             for ((job, _), cpi) in jobs.iter().zip(cpis) {
                 let us = job.enqueued.elapsed().as_micros() as u64;
+                // A job that parked on this store's build sees a "hit" only
+                // because its own miss triggered the build — report it as
+                // the precompute it was.
+                let cached = was_cached && !job.parked;
                 respond(
                     shared,
                     job,
-                    PredictResponse::ok(job.req.id, cpi, was_cached, us),
+                    PredictResponse::ok(job.req.id, cpi, cached, us),
                 );
             }
         }
         Err(panic) => {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "prediction panicked".to_string());
-            for (job, _) in &jobs {
+            let msg = panic_message(panic);
+            for (job, _) in jobs {
                 let us = job.enqueued.elapsed().as_micros() as u64;
                 respond(
                     shared,
@@ -575,42 +917,145 @@ fn run_group(shared: &Shared, group: Group, scratch: &mut MlpScratch) {
     }
 }
 
-/// Store fetch/build + batched evaluation for one region group.
-fn compute_group(
+/// Parks a missed group: joins the key's in-flight build if one exists
+/// (single-flight deduplication), otherwise registers a new one and queues
+/// it to the precompute pool. If the store landed between the cache probe
+/// and the registry lock, evaluates immediately instead.
+fn park_group(
     shared: &Shared,
-    key: &FeatureKey,
-    sweep: &SweepConfig,
-    archs: &[MicroArch],
+    key: FeatureKey,
+    sweep: SweepConfig,
+    jobs: Vec<(Job, MicroArch)>,
     scratch: &mut MlpScratch,
-) -> (Vec<f64>, bool) {
-    // Fetch or build the store. The build runs outside any lock so other
-    // workers keep serving cache hits during a precompute; at worst two
-    // workers race to build the same store and one result wins.
-    let cached = {
-        let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
-        cache.get(key)
-    };
-    let (store, was_cached) = match cached {
-        Some(s) => {
-            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            (s, true)
+) {
+    let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = inflight.get_mut(&key) {
+        shared
+            .metrics
+            .coalesced
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        shared
+            .metrics
+            .parked
+            .fetch_add(jobs.len(), Ordering::Relaxed);
+        entry.extend(jobs.into_iter().map(|(j, _)| j));
+        return;
+    }
+    // No entry: the build either never ran or already completed. Builds land
+    // in the cache *before* their registry entry is removed, so re-probing
+    // under this lock cannot miss a completed build.
+    if let Some(store) = shared.cache.get(&key) {
+        drop(inflight);
+        note_group_hit(shared, &jobs);
+        eval_group(shared, &store, &jobs, scratch, true);
+        return;
+    }
+    shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .parked
+        .fetch_add(jobs.len(), Ordering::Relaxed);
+    inflight.insert(key.clone(), jobs.into_iter().map(|(j, _)| j).collect());
+    shared.inflight_builds.fetch_add(1, Ordering::SeqCst);
+    drop(inflight);
+    {
+        let mut pq = shared.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
+        pq.push_back(PrecomputeTask { key, sweep });
+    }
+    shared.pre_notify.notify_one();
+}
+
+/// Removes the key's in-flight entry and returns its parked jobs.
+fn take_parked(shared: &Shared, key: &FeatureKey) -> Vec<Job> {
+    shared
+        .inflight
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(key)
+        .unwrap_or_default()
+}
+
+/// Re-enqueues parked jobs at the front of the request queue (they have
+/// waited the longest) and releases the in-flight slot. The decrement runs
+/// under the queue lock so a shutting-down worker can never observe "queue
+/// empty, no builds in flight" between the two.
+fn requeue_parked(shared: &Shared, jobs: Vec<Job>) {
+    let n = jobs.len();
+    {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for mut job in jobs.into_iter().rev() {
+            job.parked = true;
+            q.push_front(job);
         }
-        None => {
-            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let store = Arc::new(precompute_store(shared, key, sweep));
-            let mut cache = shared.cache.lock().unwrap_or_else(|e| e.into_inner());
-            cache.insert(key.clone(), Arc::clone(&store));
-            (store, false)
+        shared.metrics.parked.fetch_sub(n, Ordering::Relaxed);
+        shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+        shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
+    }
+    shared.notify.notify_all();
+}
+
+/// The dedicated precompute pool: pops missed keys, builds their stores,
+/// lands them in the cache, and re-enqueues the parked jobs.
+fn precompute_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                // `pool_shutdown` (not `shutdown`): batch workers may still
+                // queue rebuilds while draining, and their parked jobs would
+                // strand if the pool left early. The service drop joins the
+                // workers first, then sets this flag.
+                if shared.pool_shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (qq, _) = shared
+                    .pre_notify
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = qq;
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            precompute_store(shared, &task.key, &task.sweep)
+        }));
+        match outcome {
+            Ok(store) => {
+                shared.metrics.precomputes.fetch_add(1, Ordering::Relaxed);
+                // Land the store before removing the in-flight entry: a
+                // worker that finds no entry must be able to trust a cache
+                // re-probe (see `park_group`).
+                shared.cache.insert(task.key.clone(), Arc::new(store));
+                let jobs = take_parked(shared, &task.key);
+                requeue_parked(shared, jobs);
+            }
+            Err(panic) => {
+                let msg = panic_message(panic);
+                let jobs = take_parked(shared, &task.key);
+                let n = jobs.len();
+                for job in &jobs {
+                    let us = job.enqueued.elapsed().as_micros() as u64;
+                    respond(
+                        shared,
+                        job,
+                        PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
+                    );
+                }
+                {
+                    let _q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                    shared.metrics.parked.fetch_sub(n, Ordering::Relaxed);
+                    shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
+                }
+                shared.notify.notify_all();
+            }
         }
-    };
-    (
-        shared.model.predict_batch_with(&store, archs, scratch),
-        was_cached,
-    )
+    }
 }
 
 /// Decrements the active-precompute counter even if the precompute panics
-/// (the worker's unwind guard keeps serving afterwards, so a leaked count
+/// (the pool's unwind guard keeps serving afterwards, so a leaked count
 /// would permanently shrink every later precompute's thread budget).
 struct PrecomputeSlot<'a>(&'a AtomicUsize);
 
@@ -653,8 +1098,13 @@ mod tests {
     fn default_config_is_sane() {
         let cfg = ServeConfig::default();
         assert!(cfg.effective_workers() >= 1);
+        assert!(cfg.effective_cache_shards() >= 1);
+        assert!(cfg.effective_precompute_workers() >= 1);
         assert!(cfg.queue_capacity > 0);
         assert!(cfg.max_batch > 1);
+        assert!(cfg.cache_bytes > 0);
+        assert!(cfg.max_connections >= 1);
+        assert_eq!(cfg.miss_policy, MissPolicy::AsyncPool);
     }
 
     #[test]

@@ -33,8 +33,9 @@ fn usage_text() -> &'static str {
          concorde inspect   <FILE>\n  \
          concorde serve     [--addr HOST:PORT] [--model PATH] [--save-model PATH]\n             \
          [--profile quick|default] [--train-samples N] [--workers N]\n             \
-         [--max-batch N] [--deadline-us N] [--cache N] [--sweep arch|quantized]\n             \
-         [--preload FILE]…\n  \
+         [--max-batch N] [--deadline-us N] [--cache-bytes N[k|m|g]] [--cache-shards N]\n             \
+         [--precompute-workers N] [--inline-miss] [--max-conns N]\n             \
+         [--sweep arch|quantized] [--preload FILE]…\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
          [--trace N] [--start N] [--count N]"
 }
@@ -169,7 +170,33 @@ fn serve_profile(args: &[String]) -> ReproProfile {
     }
 }
 
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (e.g. `512m`).
+fn parse_bytes(flag: &str, v: &str) -> usize {
+    let digits = v.trim_end_matches(|c: char| c.is_ascii_alphabetic());
+    let suffix = &v[digits.len()..];
+    let n: usize = digits
+        .parse()
+        .unwrap_or_else(|_| bail(&format!("{flag} `{v}` is not a byte size")));
+    let mult = match suffix.to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" => 1 << 10,
+        "m" | "mb" => 1 << 20,
+        "g" | "gb" => 1 << 30,
+        other => bail(&format!(
+            "{flag} suffix `{other}` is not one of k, m, g (got `{v}`)"
+        )),
+    };
+    n.saturating_mul(mult)
+}
+
 fn serve_config(args: &[String]) -> ServeConfig {
+    if args.iter().any(|a| a == "--cache") {
+        bail(
+            "--cache <stores> was replaced: the cache now admits by a byte budget — \
+             use --cache-bytes N[k|m|g] (and --cache-shards N); size it from \
+             `concorde inspect` approx_bytes or `{\"cmd\": \"stats\"}`",
+        );
+    }
     let sweep = match flag_value(args, "--sweep") {
         None | Some("arch") => SweepScope::PerArch,
         Some("quantized") => SweepScope::Quantized,
@@ -177,12 +204,23 @@ fn serve_config(args: &[String]) -> ServeConfig {
             "unknown --sweep `{other}` (expected arch or quantized)"
         )),
     };
+    let defaults = ServeConfig::default();
     ServeConfig {
         workers: parse_num(args, "--workers", 0usize),
-        queue_capacity: parse_num(args, "--queue", 4096usize),
-        max_batch: parse_num(args, "--max-batch", 128usize),
+        queue_capacity: parse_num(args, "--queue", defaults.queue_capacity),
+        max_batch: parse_num(args, "--max-batch", defaults.max_batch),
         batch_deadline: Duration::from_micros(parse_num(args, "--deadline-us", 1000u64)),
-        cache_capacity: parse_num(args, "--cache", 128usize),
+        cache_shards: parse_num(args, "--cache-shards", 0usize),
+        cache_bytes: flag_value(args, "--cache-bytes")
+            .map(|v| parse_bytes("--cache-bytes", v))
+            .unwrap_or(defaults.cache_bytes),
+        precompute_workers: parse_num(args, "--precompute-workers", 0usize),
+        miss_policy: if args.iter().any(|a| a == "--inline-miss") {
+            MissPolicy::Inline
+        } else {
+            MissPolicy::AsyncPool
+        },
+        max_connections: parse_num(args, "--max-conns", defaults.max_connections),
         sweep,
     }
 }
@@ -488,6 +526,10 @@ fn main() {
                     "encoding_dim": store.encoding().dim(),
                     "encoded_bytes": store.encoded_bytes(),
                     "raw_bytes": store.raw_bytes(),
+                    // Full resident footprint: what the serving cache's byte
+                    // budget charges for this store — size `--cache-bytes`
+                    // from this.
+                    "approx_bytes": store.approx_bytes(),
                 },
                 "schema": schema,
             });
@@ -499,18 +541,11 @@ fn main() {
         "serve" => {
             let addr = flag_value(&args, "--addr").unwrap_or("127.0.0.1:7878");
             let service_profile = serve_profile(&args);
-            let model = obtain_model(&args, &service_profile);
+            // Validate flags before the (potentially slow) model load/train.
             let cfg = serve_config(&args);
-            let cache_capacity = cfg.cache_capacity;
+            let model = obtain_model(&args, &service_profile);
             let service = PredictionService::start(model, service_profile.clone(), cfg);
             let preloads = flag_values(&args, "--preload");
-            if preloads.len() > cache_capacity {
-                eprintln!(
-                    "[serve] warning: {} --preload artifacts but --cache {cache_capacity}; \
-                     the LRU will evict the earliest preloads before any request arrives",
-                    preloads.len()
-                );
-            }
             for path in preloads {
                 match service.preload_artifact(std::path::Path::new(path)) {
                     Ok(key) => {
@@ -530,11 +565,26 @@ fn main() {
                     Err(e) => bail(&format!("cannot preload {path}: {e}")),
                 }
             }
+            let cache = service.cache_stats();
+            if cache.evictions > 0 {
+                eprintln!(
+                    "[serve] warning: preloaded artifacts exceed --cache-bytes {} \
+                     ({} bytes resident, {} stores already evicted); the earliest \
+                     preloads are cold again",
+                    service.config().cache_bytes,
+                    cache.bytes,
+                    cache.evictions
+                );
+            }
             let listener = std::net::TcpListener::bind(addr)
                 .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
             eprintln!(
-                "[serve] listening on {addr} ({} workers); protocol: one JSON request per line",
-                service.workers()
+                "[serve] listening on {addr} ({} workers, {} precompute threads); \
+                 cache: {} shards, {} byte budget; protocol: one JSON request per line",
+                service.workers(),
+                service.precompute_workers(),
+                service.config().effective_cache_shards(),
+                service.config().cache_bytes,
             );
             eprintln!(
                 "[serve] try: echo '{{\"workload\": \"S5\", \"arch\": {{\"base\": \"n1\"}}}}' | nc {addr}"
@@ -571,8 +621,9 @@ fn main() {
             } else {
                 eprintln!("[predict] no --addr; starting an in-process service");
                 let profile = serve_profile(&args);
+                let cfg = serve_config(&args);
                 let model = obtain_model(&args, &profile);
-                let service = PredictionService::start(model, profile, serve_config(&args));
+                let service = PredictionService::start(model, profile, cfg);
                 let client = service.client();
                 let resps = client
                     .predict_many(reqs)

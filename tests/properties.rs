@@ -272,3 +272,104 @@ fn seed_nearest_pair(grid: &[(u32, u32)], v: (u32, u32)) -> (u32, u32) {
         })
         .expect("pipes grid must be non-empty")
 }
+
+// ---------------------------------------------------------------------------
+// Sharded, byte-budgeted store cache (serving).
+// ---------------------------------------------------------------------------
+
+/// One real (tiny) feature store shared by every cache property case; the
+/// cache only reads `approx_bytes`, so one store under many keys exercises
+/// the full admission/eviction space.
+fn cache_test_store() -> std::sync::Arc<FeatureStore> {
+    use std::sync::{Arc, OnceLock};
+    static STORE: OnceLock<Arc<FeatureStore>> = OnceLock::new();
+    Arc::clone(STORE.get_or_init(|| {
+        let profile = ReproProfile::quick();
+        let arch = MicroArch::arm_n1();
+        let full = generate_region(&by_id("S5").unwrap(), 0, 0, 2048).instrs;
+        let (w, r) = full.split_at(1024);
+        Arc::new(FeatureStore::precompute(
+            w,
+            r,
+            &SweepConfig::for_arch(&arch),
+            &profile,
+        ))
+    }))
+}
+
+fn cache_key(start: u64) -> FeatureKey {
+    FeatureKey {
+        workload: "S5".to_string(),
+        trace: 0,
+        start,
+        region_len: 2048,
+        sweep_hash: 7,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The sharded byte-budget cache behaves exactly like a reference
+    /// per-shard LRU: same membership, same bytes, same eviction victims in
+    /// the same order, under arbitrary interleavings of inserts and gets.
+    #[test]
+    fn sharded_cache_matches_reference_lru(
+        shards in 1usize..4,
+        capacity in 1usize..5,
+        ops in proptest::collection::vec((0u64..24, any::<bool>()), 1..60),
+    ) {
+        let store = cache_test_store();
+        let b = store.approx_bytes();
+        // Per-shard budget fits exactly `capacity` stores (plus half a store
+        // of slack so the boundary is unambiguous).
+        let shard_budget = capacity * b + b / 2;
+        let cache = ShardedStoreCache::new(shards, shards * shard_budget);
+        prop_assert_eq!(cache.shard_budget(), shard_budget);
+
+        // Reference model: per shard, keys in MRU→LRU order.
+        let mut model: Vec<Vec<FeatureKey>> = vec![Vec::new(); shards];
+        let mut expected_evictions = 0u64;
+        for (start, is_insert) in ops {
+            let k = cache_key(start);
+            let s = cache.shard_of(&k);
+            let m = &mut model[s];
+            if is_insert {
+                let evicted = cache.insert(k.clone(), std::sync::Arc::clone(&store));
+                if let Some(pos) = m.iter().position(|x| *x == k) {
+                    m.remove(pos);
+                }
+                m.insert(0, k);
+                let mut expect = Vec::new();
+                while m.len() > capacity && m.len() > 1 {
+                    expect.push(m.pop().unwrap());
+                }
+                expected_evictions += expect.len() as u64;
+                prop_assert_eq!(evicted, expect, "eviction victims/order diverged");
+            } else {
+                let got = cache.get(&k);
+                match m.iter().position(|x| *x == k) {
+                    Some(pos) => {
+                        prop_assert!(got.is_some(), "model says resident, cache missed");
+                        let k = m.remove(pos);
+                        m.insert(0, k);
+                    }
+                    None => prop_assert!(got.is_none(), "model says absent, cache hit"),
+                }
+            }
+        }
+        let resident: usize = model.iter().map(Vec::len).sum();
+        prop_assert_eq!(cache.len(), resident);
+        prop_assert_eq!(cache.bytes(), resident * b);
+        let stats = cache.stats();
+        prop_assert_eq!(stats.evictions, expected_evictions);
+        prop_assert_eq!(stats.stores, resident);
+        // Every key the model holds must still be resident (get is
+        // order-mutating but membership-preserving, so this is safe).
+        for m in &model {
+            for k in m {
+                prop_assert!(cache.get(k).is_some(), "resident key {:?} lost", k);
+            }
+        }
+    }
+}

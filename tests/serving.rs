@@ -276,6 +276,279 @@ fn unknown_workload_and_bad_arch_error_cleanly() {
 }
 
 #[test]
+fn concurrent_misses_coalesce_into_one_precompute() {
+    // Single-flight deduplication: K concurrent misses on one FeatureKey
+    // must trigger exactly one precompute, with every request answered from
+    // the one build.
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(
+        model,
+        profile,
+        ServeConfig {
+            workers: 4,
+            // Every request becomes its own batch group, so the dedup must
+            // happen at the in-flight registry, not the batch grouper.
+            max_batch: 1,
+            batch_deadline: Duration::from_micros(1),
+            precompute_workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let client = service.client();
+    let rxs: Vec<_> = (0..8u64)
+        .map(|i| {
+            let mut r = PredictRequest::new(i, "S5", ArchSpec::base("n1"));
+            r.id = i;
+            client.submit(r).expect("submit")
+        })
+        .collect();
+    let resps: Vec<PredictResponse> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
+    let first = resps[0].cpi.expect("first response has a CPI");
+    for (i, r) in resps.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "responses must match their submission ids");
+        assert_eq!(
+            r.cpi.expect("cpi").to_bits(),
+            first.to_bits(),
+            "all coalesced requests share the one store's prediction"
+        );
+    }
+    let m = service.metrics();
+    assert_eq!(
+        m.precomputes, 1,
+        "8 concurrent misses on one key must run exactly one precompute"
+    );
+    assert_eq!(m.cache_misses, 1, "only the registering group is a miss");
+    assert_eq!(m.completed, 8);
+    assert_eq!(m.parked, 0, "no request may remain parked after completion");
+}
+
+#[test]
+fn hits_are_served_while_a_cold_miss_builds() {
+    // The tentpole property: with ONE batch worker, a cold-region build on
+    // the precompute pool must not stop that worker from answering cache
+    // hits. Under the old inline-miss path this test would stall for the
+    // whole precompute before the first warm response.
+    let (model, profile) = tiny_service_parts();
+    let direct_model = model.clone();
+    let service = PredictionService::start(
+        model,
+        profile.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(50),
+            precompute_workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let client = service.client();
+    let warm = PredictRequest::new(0, "S5", ArchSpec::base("n1"));
+    let warm_cpi = client.predict(warm.clone()).unwrap().cpi.unwrap();
+
+    // A cold region big enough that its build dominates the warm loop below
+    // (larger in release, where the precompute is fast enough that a small
+    // region could land before the warm round trips finish).
+    let mut cold = PredictRequest::new(1, "O1", ArchSpec::base("n1"));
+    cold.start = 4096;
+    cold.len = if cfg!(debug_assertions) {
+        16_384
+    } else {
+        131_072
+    };
+    let cold_rx = client.submit(cold.clone()).unwrap();
+
+    for i in 0..10u64 {
+        let mut r = warm.clone();
+        r.id = 10 + i;
+        let resp = client.predict(r).unwrap();
+        assert!(resp.cached, "warm requests must stay cache hits");
+        assert_eq!(resp.cpi.unwrap().to_bits(), warm_cpi.to_bits());
+    }
+    assert!(
+        matches!(
+            cold_rx.try_recv(),
+            Err(std::sync::mpsc::TryRecvError::Empty)
+        ),
+        "cold build finished before 10 warm hits — the hit path likely waited on the miss"
+    );
+
+    let cold_resp = cold_rx.recv().unwrap();
+    assert!(!cold_resp.cached, "the cold request triggered the build");
+    // The parked-and-re-enqueued path must still be bitwise identical to a
+    // direct prediction over the same region/warmup convention.
+    let arch = cold.arch.resolve().unwrap();
+    let spec = by_id("O1").unwrap();
+    let warm_start = cold.start - profile.warmup_len as u64;
+    let full = generate_region(&spec, 0, warm_start, profile.warmup_len + cold.len as usize);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &profile);
+    assert_eq!(
+        cold_resp.cpi.unwrap().to_bits(),
+        direct_model.predict(&store, &arch).to_bits()
+    );
+    let m = service.metrics();
+    assert_eq!(m.parked, 0);
+    assert_eq!(m.errored, 0);
+}
+
+#[test]
+fn parked_requests_keep_their_ids_and_archs() {
+    // K requests with distinct architectures and shuffled ids all park on
+    // ONE quantized-store build; each response must carry its own id and its
+    // own architecture's prediction (no cross-wiring through the park →
+    // re-enqueue path).
+    let (model, profile) = tiny_service_parts();
+    let direct_model = model.clone();
+    let service = PredictionService::start(
+        model,
+        profile.clone(),
+        ServeConfig {
+            workers: 2,
+            // Small batches: the wave splits into several groups, so some
+            // groups register the build and the rest coalesce onto it.
+            max_batch: 2,
+            batch_deadline: Duration::from_micros(50),
+            sweep: SweepScope::Quantized,
+            ..ServeConfig::default()
+        },
+    );
+    let client = service.client();
+    let robs = [64u32, 128, 256];
+    let reqs: Vec<PredictRequest> = (0..9usize)
+        .map(|i| {
+            let mut spec = ArchSpec::base("n1");
+            spec.rob = Some(robs[i % robs.len()]);
+            let mut r = PredictRequest::new(100 - i as u64, "S5", spec);
+            r.id = 100 - i as u64;
+            r
+        })
+        .collect();
+    let resps = client.predict_many(reqs.clone()).expect("batch prediction");
+
+    // One quantized store serves every architecture; rebuild it directly.
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.region_len);
+    let store = FeatureStore::precompute(&[], &full.instrs, &SweepConfig::quantized(), &profile);
+    for (req, resp) in reqs.iter().zip(&resps) {
+        assert_eq!(resp.id, req.id, "responses must match submission ids");
+        let arch = req.arch.resolve().unwrap();
+        let direct = direct_model.predict(&store, &arch);
+        assert_eq!(
+            resp.cpi.expect("cpi").to_bits(),
+            direct.to_bits(),
+            "id {}: parked response must match its own arch's prediction",
+            resp.id
+        );
+    }
+    let m = service.metrics();
+    assert_eq!(m.precomputes, 1, "one key → one build, however many groups");
+    assert_eq!(m.parked, 0);
+}
+
+#[test]
+fn stats_report_cache_occupancy_and_bytes() {
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(
+        model,
+        profile,
+        ServeConfig {
+            workers: 2,
+            cache_shards: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let client = service.client();
+    client
+        .predict(PredictRequest::new(1, "S5", ArchSpec::base("n1")))
+        .unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.cache.shard_count, 4);
+    assert_eq!(stats.cache.per_shard.len(), 4);
+    assert_eq!(stats.cache.totals.stores, 1);
+    assert!(
+        stats.cache.totals.bytes > 0,
+        "resident bytes must be tracked"
+    );
+    assert_eq!(stats.cache.budget_bytes, ServeConfig::default().cache_bytes);
+    assert_eq!(
+        stats.cache.per_shard.iter().map(|s| s.bytes).sum::<usize>(),
+        stats.cache.totals.bytes,
+        "per-shard occupancy must sum to the aggregate"
+    );
+    assert_eq!(stats.metrics.cache_stores, 1);
+    assert_eq!(stats.metrics.cache_bytes, stats.cache.totals.bytes);
+    assert_eq!(stats.workers, 2);
+    assert!(stats.precompute_workers >= 1);
+    // The in-process client serves the identical report.
+    let via_client = client.service_stats();
+    assert_eq!(via_client.cache.totals.stores, 1);
+    assert_eq!(via_client.cache.totals.bytes, stats.cache.totals.bytes);
+}
+
+#[test]
+fn connection_cap_returns_typed_busy_error() {
+    use std::io::BufRead;
+
+    let (model, profile) = tiny_service_parts();
+    let service = Box::leak(Box::new(PredictionService::start(
+        model,
+        profile,
+        ServeConfig {
+            workers: 1,
+            max_connections: 1,
+            ..ServeConfig::default()
+        },
+    )));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service: &PredictionService = service;
+    std::thread::spawn(move || {
+        let _ = service.serve_tcp(listener);
+    });
+
+    let mut first = TcpClient::connect(&addr).expect("first connection");
+    // A roundtrip guarantees the accept loop has registered the connection.
+    first.metrics().expect("first connection is served");
+
+    // The second concurrent connection must receive one typed busy line.
+    let second = std::net::TcpStream::connect(&addr).unwrap();
+    let mut reader = std::io::BufReader::new(second);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v: serde_json::Value = serde_json::from_str(&line).expect("busy reply is JSON");
+    assert_eq!(
+        v["type"].as_str(),
+        Some("busy"),
+        "reply must be typed: {line}"
+    );
+    assert!(v["error"].as_str().unwrap_or("").contains("busy"));
+    assert_eq!(v["max_connections"].as_u64(), Some(1));
+    let mut end = String::new();
+    assert_eq!(
+        reader.read_line(&mut end).unwrap(),
+        0,
+        "busy connection must be closed after the error line"
+    );
+
+    let m = service.metrics();
+    assert!(m.busy_rejected >= 1);
+
+    // Once the admitted connection closes, its slot frees up.
+    drop(first);
+    let mut admitted = false;
+    for _ in 0..100 {
+        if let Ok(mut c) = TcpClient::connect(&addr) {
+            if c.metrics().is_ok() {
+                admitted = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(admitted, "slot must free after the first connection closes");
+}
+
+#[test]
 fn feature_key_matches_service_grouping() {
     // The cache key the service derives for two equal requests must be equal,
     // and differ across sweeps.
@@ -329,9 +602,13 @@ fn tcp_protocol_roundtrip() {
         "S5/n1 store was cached by the first request"
     );
 
-    // Metrics and catalog commands.
+    // Metrics, stats, and catalog commands.
     let m = client.metrics().unwrap();
     assert!(m.completed >= 3);
+    let stats = client.stats().unwrap();
+    assert!(stats.cache.totals.stores >= 1);
+    assert!(stats.cache.totals.bytes > 0);
+    assert_eq!(stats.cache.per_shard.len(), stats.cache.shard_count);
     let wl = client.workloads().unwrap();
     assert_eq!(wl.as_array().map(Vec::len), Some(suite().len()));
 }
