@@ -390,9 +390,13 @@ impl ShardedStoreCache {
 /// --preload` boots from, so a server starts warm instead of re-running the
 /// analytic stage per region.
 ///
-/// File layout (little-endian): `"CCFA"`, artifact-format version,
-/// [`SCHEMA_VERSION`], the [`FeatureKey`] fields, then the store in
-/// [`FeatureStore::to_bytes`] form. Round-trips bit-exactly.
+/// File layout v3 (little-endian): `"CCFA"`, artifact-format version,
+/// [`SCHEMA_VERSION`], the [`FeatureKey`] fields, zero padding to the next
+/// 8-byte boundary, then the store in [`FeatureStore::to_bytes`] layout-v3
+/// form. The padding guarantees the store blob (and therefore every arena
+/// payload inside it) is 8-byte aligned in the file, which is what lets
+/// [`StoreArtifact::map`] mmap the file and point the arenas straight into
+/// the mapping without copying a byte. Round-trips bit-exactly.
 #[derive(Debug, Clone)]
 pub struct StoreArtifact {
     /// Region + sweep identity of the store.
@@ -405,8 +409,53 @@ pub struct StoreArtifact {
 
 /// Magic bytes opening a [`StoreArtifact`] file.
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"CCFA";
-/// Artifact container format version.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Artifact container format version (v3: arena encodings + aligned,
+/// mmap-able store layout; matches [`SCHEMA_VERSION`]).
+pub const ARTIFACT_VERSION: u32 = 3;
+
+/// Parses the artifact header, returning the key, schema version, and the
+/// 8-aligned offset where the store blob begins.
+fn parse_artifact_header(bytes: &[u8]) -> std::io::Result<(FeatureKey, u32, usize)> {
+    use crate::features::ByteReader;
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut r = ByteReader::new(bytes);
+    if r.bytes(4)? != ARTIFACT_MAGIC {
+        return Err(bad("not a Concorde store artifact (bad magic)"));
+    }
+    let version = r.u32()?;
+    if version != ARTIFACT_VERSION {
+        return Err(bad(&format!(
+            "unsupported artifact version {version} (this build reads {ARTIFACT_VERSION}); \
+             re-run `concorde precompute`"
+        )));
+    }
+    let schema_version = r.u32()?;
+    if schema_version != SCHEMA_VERSION {
+        return Err(bad(&format!(
+            "artifact was built under feature-schema version {schema_version}; \
+             this build serves version {SCHEMA_VERSION} — re-run `concorde precompute`"
+        )));
+    }
+    let wl_len = r.u32()? as usize;
+    let workload = String::from_utf8(r.bytes(wl_len)?.to_vec())
+        .map_err(|_| bad("artifact workload id is not UTF-8"))?;
+    let trace = r.u32()?;
+    let start = r.u64()?;
+    let region_len = r.u32()?;
+    let sweep_hash = r.u64()?;
+    r.align8()?;
+    Ok((
+        FeatureKey {
+            workload,
+            trace,
+            start,
+            region_len,
+            sweep_hash,
+        },
+        schema_version,
+        r.pos(),
+    ))
+}
 
 impl StoreArtifact {
     /// Wraps a freshly precomputed store under the current schema version.
@@ -418,7 +467,7 @@ impl StoreArtifact {
         }
     }
 
-    /// Serializes the artifact (header + store) to bytes.
+    /// Serializes the artifact (header + padding + store) to bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
         let store_bytes = self.store.to_bytes();
         let mut buf = Vec::with_capacity(64 + self.key.workload.len() + store_bytes.len());
@@ -431,53 +480,25 @@ impl StoreArtifact {
         buf.extend_from_slice(&self.key.start.to_le_bytes());
         buf.extend_from_slice(&self.key.region_len.to_le_bytes());
         buf.extend_from_slice(&self.key.sweep_hash.to_le_bytes());
+        // 8-align the store blob so every arena payload inside it lands on
+        // the boundary `FeatureStore::parse` (and an mmap view) expects.
+        crate::features::pad8(&mut buf);
         buf.extend_from_slice(&store_bytes);
         buf
     }
 
-    /// Deserializes an artifact written by [`StoreArtifact::to_bytes`].
+    /// Deserializes an artifact written by [`StoreArtifact::to_bytes`],
+    /// copying the store payload into owned memory.
     ///
     /// # Errors
     ///
     /// `InvalidData` on a bad magic, an unsupported container or schema
     /// version, or a corrupt store payload.
     pub fn from_bytes(bytes: &[u8]) -> std::io::Result<StoreArtifact> {
-        use crate::features::ByteReader;
-        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
-        let mut r = ByteReader::new(bytes);
-        if r.bytes(4)? != ARTIFACT_MAGIC {
-            return Err(bad("not a Concorde store artifact (bad magic)"));
-        }
-        let version = r.u32()?;
-        if version != ARTIFACT_VERSION {
-            return Err(bad(&format!(
-                "unsupported artifact version {version} (this build reads {ARTIFACT_VERSION})"
-            )));
-        }
-        let schema_version = r.u32()?;
-        if schema_version != SCHEMA_VERSION {
-            return Err(bad(&format!(
-                "artifact was built under feature-schema version {schema_version}; \
-                 this build serves version {SCHEMA_VERSION} — re-run `concorde precompute`"
-            )));
-        }
-        let wl_len = r.u32()? as usize;
-        let workload = String::from_utf8(r.bytes(wl_len)?.to_vec())
-            .map_err(|_| bad("artifact workload id is not UTF-8"))?;
-        let trace = r.u32()?;
-        let start = r.u64()?;
-        let region_len = r.u32()?;
-        let sweep_hash = r.u64()?;
-        let remaining = r.remaining();
-        let store = FeatureStore::from_bytes(r.bytes(remaining)?)?;
+        let (key, schema_version, store_off) = parse_artifact_header(bytes)?;
+        let store = FeatureStore::from_bytes(&bytes[store_off..])?;
         Ok(StoreArtifact {
-            key: FeatureKey {
-                workload,
-                trace,
-                start,
-                region_len,
-                sweep_hash,
-            },
+            key,
             schema_version,
             store,
         })
@@ -492,13 +513,38 @@ impl StoreArtifact {
         std::fs::write(path, self.to_bytes())
     }
 
-    /// Loads an artifact from `path`.
+    /// Loads an artifact from `path` into owned memory (one copy of the
+    /// file). Prefer [`StoreArtifact::map`] for large artifacts.
     ///
     /// # Errors
     ///
     /// Any I/O error, plus the [`StoreArtifact::from_bytes`] validations.
     pub fn load(path: &Path) -> std::io::Result<StoreArtifact> {
         Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Memory-maps an artifact file and backs the store's arenas by views
+    /// into the mapping — **no arena bytes are copied through the heap**, so
+    /// preloading a fleet of artifacts costs page faults, not reads. The
+    /// mapping is shared by the returned store and every clone of it; when
+    /// the last reference drops (e.g. the serving cache evicts the store and
+    /// in-flight readers finish), the region is `munmap`ed.
+    ///
+    /// On non-unix targets this transparently falls back to an owned read.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O / mmap error, plus the [`StoreArtifact::from_bytes`]
+    /// validations.
+    pub fn map(path: &Path) -> std::io::Result<StoreArtifact> {
+        let region = crate::arena::MappedStore::open(path)?;
+        let (key, schema_version, store_off) = parse_artifact_header(region.bytes())?;
+        let store = FeatureStore::parse(&region, store_off)?;
+        Ok(StoreArtifact {
+            key,
+            schema_version,
+            store,
+        })
     }
 }
 

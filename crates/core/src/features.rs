@@ -19,7 +19,9 @@
 //! from prebuilt stores. The vector layout itself is owned by
 //! [`FeatureSchema`](crate::schema::FeatureSchema).
 
+use std::borrow::Cow;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use concorde_analytic::prelude::*;
 use concorde_branch::PredictorKind;
@@ -28,6 +30,7 @@ use concorde_cyclesim::MicroArch;
 use concorde_trace::{BranchKind, Instruction};
 use serde::{Deserialize, Serialize};
 
+use crate::arena::{ArenaEncoding, Buf, EncArena, MappedStore, RawArena};
 use crate::parallel::parallel_map;
 use crate::schema::FeatureSchema;
 use crate::sweep::{ReproProfile, SweepConfig};
@@ -121,11 +124,15 @@ type DKey = (u32, u32, u32);
 type IKey = (u32, u32);
 
 /// Precomputed performance distributions for one region, stored as flat
-/// grid-indexed arenas (see the module docs).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// grid-indexed arenas (see the module docs) under a pluggable
+/// [`ArenaEncoding`] — lossless `f32` (the precompute output), or `f16`/`int8`
+/// quantized via [`FeatureStore::reencoded`]. Arenas may be owned or backed
+/// by a shared [`MappedStore`] region (zero-copy artifact loading).
+#[derive(Debug, Clone)]
 pub struct FeatureStore {
     k: usize,
     encoding: Encoding,
+    arena_encoding: ArenaEncoding,
     n_instr: usize,
     /// Length of every raw per-window series (identical across tables: all
     /// series are windowed over the same region with the same `k`).
@@ -145,35 +152,35 @@ pub struct FeatureStore {
     i_keys: Vec<IKey>,
     // Arenas. `*_enc` strides by `encoding.dim()`, `*_raw` by `n_windows`.
     // Two-axis tables index as `outer * inner_grid_len + inner`.
-    rob_enc: Vec<f32>,
-    rob_raw: Vec<f64>,
-    lq_enc: Vec<f32>,
-    lq_raw: Vec<f64>,
-    sq_enc: Vec<f32>,
-    sq_raw: Vec<f64>,
-    mem_enc: Vec<f32>,
-    mem_raw: Vec<f64>,
-    alu_enc: Vec<f32>,
-    alu_raw: Vec<f64>,
-    fp_enc: Vec<f32>,
-    fp_raw: Vec<f64>,
-    ls_enc: Vec<f32>,
-    ls_raw: Vec<f64>,
-    pipes_lo_enc: Vec<f32>,
-    pipes_lo_raw: Vec<f64>,
-    pipes_hi_enc: Vec<f32>,
-    pipes_hi_raw: Vec<f64>,
-    fills_enc: Vec<f32>,
-    fills_raw: Vec<f64>,
-    buffers_enc: Vec<f32>,
-    buffers_raw: Vec<f64>,
-    rob_curve: Vec<f32>,  // [n_d][ROB_SWEEP.len()]
-    exec_lat: Vec<f32>,   // [n_d][e]
-    issue_lat: Vec<f32>,  // [n_d][ROB_SWEEP.len()][e]
-    commit_lat: Vec<f32>, // [n_d][ROB_SWEEP.len()][e]
+    rob_enc: EncArena,
+    rob_raw: RawArena,
+    lq_enc: EncArena,
+    lq_raw: RawArena,
+    sq_enc: EncArena,
+    sq_raw: RawArena,
+    mem_enc: EncArena,
+    mem_raw: RawArena,
+    alu_enc: EncArena,
+    alu_raw: RawArena,
+    fp_enc: EncArena,
+    fp_raw: RawArena,
+    ls_enc: EncArena,
+    ls_raw: RawArena,
+    pipes_lo_enc: EncArena,
+    pipes_lo_raw: RawArena,
+    pipes_hi_enc: EncArena,
+    pipes_hi_raw: RawArena,
+    fills_enc: EncArena,
+    fills_raw: RawArena,
+    buffers_enc: EncArena,
+    buffers_raw: RawArena,
+    rob_curve: EncArena,  // entries n_d, stride ROB_SWEEP.len()
+    exec_lat: EncArena,   // entries n_d, stride e
+    issue_lat: EncArena,  // entries n_d × ROB_SWEEP.len(), stride e
+    commit_lat: EncArena, // entries n_d × ROB_SWEEP.len(), stride e
     load_exec_est: Vec<u64>,
-    isb_dist: Vec<f32>,
-    branch_dists: [Vec<f32>; 3],
+    isb_dist: EncArena,          // 1 entry, stride e
+    branch_dists: [EncArena; 3], // 1 entry each, stride e
     branch_info_branches: u64,
     branch_info_cond: u64,
     branch_info_tage: u64,
@@ -523,13 +530,131 @@ impl FeatureStore {
             .collect();
         let mut take = |idx: usize| outs[idx].take().expect("each task consumed once");
 
-        // Deterministic serial fill of the arenas, in grid order.
+        // Deterministic serial fill of the arenas, in grid order, into plain
+        // vectors; the lossless `f32` arenas are built at the end (quantized
+        // stores come from `reencoded`, never straight from a precompute).
         let s_len = ROB_SWEEP.len();
-        let mut store = FeatureStore {
+        let mut n_windows = 0usize;
+        let mut rob_enc_v = Vec::with_capacity(n_d * n_rob * e);
+        let mut rob_raw_v = Vec::new();
+        let mut lq_enc_v = Vec::with_capacity(n_d * n_lq * e);
+        let mut lq_raw_v = Vec::new();
+        let mut sq_enc_v = Vec::with_capacity(n_d * n_sq * e);
+        let mut sq_raw_v = Vec::new();
+        let mut mem_enc_v = Vec::with_capacity(n_d * e);
+        let mut mem_raw_v = Vec::new();
+        let mut alu_enc_v = Vec::new();
+        let mut alu_raw_v = Vec::new();
+        let mut fp_enc_v = Vec::new();
+        let mut fp_raw_v = Vec::new();
+        let mut ls_enc_v = Vec::new();
+        let mut ls_raw_v = Vec::new();
+        let mut pipes_lo_enc_v = Vec::new();
+        let mut pipes_lo_raw_v = Vec::new();
+        let mut pipes_hi_enc_v = Vec::new();
+        let mut pipes_hi_raw_v = Vec::new();
+        let mut fills_enc_v = Vec::new();
+        let mut fills_raw_v = Vec::new();
+        let mut buffers_enc_v = Vec::new();
+        let mut buffers_raw_v = Vec::new();
+        let mut rob_curve_v = vec![0.0f32; n_d * s_len];
+        let mut exec_lat_v = vec![0.0f32; n_d * e];
+        let mut issue_lat_v = vec![0.0f32; n_d * s_len * e];
+        let mut commit_lat_v = vec![0.0f32; n_d * s_len * e];
+        let mut load_exec_est = Vec::with_capacity(n_d);
+
+        let push = |enc_arena: &mut Vec<f32>, raw_arena: &mut Vec<f64>, t: Thr| {
+            enc_arena.extend_from_slice(&t.enc);
+            raw_arena.extend_from_slice(&t.raw);
+            t.raw.len()
+        };
+        for d in 0..n_d {
+            match take(mem0 + d) {
+                TaskOut::Mem { thr, est } => {
+                    n_windows = push(&mut mem_enc_v, &mut mem_raw_v, thr);
+                    load_exec_est.push(est);
+                }
+                _ => unreachable!("task section mismatch"),
+            }
+        }
+        for d in 0..n_d {
+            for (ri, &rv) in rob_grid.iter().enumerate() {
+                match take(rob0 + d * n_rob + ri) {
+                    TaskOut::Rob {
+                        thr,
+                        curve,
+                        issue,
+                        commit,
+                        exec,
+                    } => {
+                        push(&mut rob_enc_v, &mut rob_raw_v, thr);
+                        if let Some(j) = ROB_SWEEP.iter().position(|&s| s == rv) {
+                            rob_curve_v[d * s_len + j] = curve.expect("curve for sweep point");
+                            let at = (d * s_len + j) * e;
+                            issue_lat_v[at..at + e]
+                                .copy_from_slice(&issue.expect("issue for sweep point"));
+                            commit_lat_v[at..at + e]
+                                .copy_from_slice(&commit.expect("commit for sweep point"));
+                        }
+                        if let Some(x) = exec {
+                            exec_lat_v[d * e..(d + 1) * e].copy_from_slice(&x);
+                        }
+                    }
+                    _ => unreachable!("task section mismatch"),
+                }
+            }
+            for qi in 0..n_lq {
+                let t = take(lq0 + d * n_lq + qi).thr();
+                push(&mut lq_enc_v, &mut lq_raw_v, t);
+            }
+            for qi in 0..n_sq {
+                let t = take(sq0 + d * n_sq + qi).thr();
+                push(&mut sq_enc_v, &mut sq_raw_v, t);
+            }
+        }
+        let mut w_at = width0;
+        for (c, grid) in width_grids.iter().enumerate() {
+            for _ in 0..grid.len() {
+                let t = take(w_at).thr();
+                w_at += 1;
+                match c {
+                    0 => push(&mut alu_enc_v, &mut alu_raw_v, t),
+                    1 => push(&mut fp_enc_v, &mut fp_raw_v, t),
+                    _ => push(&mut ls_enc_v, &mut ls_raw_v, t),
+                };
+            }
+        }
+        for p in 0..sweep.pipes.len() {
+            match take(pipes0 + p) {
+                TaskOut::Pipes { lo, hi } => {
+                    push(&mut pipes_lo_enc_v, &mut pipes_lo_raw_v, lo);
+                    push(&mut pipes_hi_enc_v, &mut pipes_hi_raw_v, hi);
+                }
+                _ => unreachable!("task section mismatch"),
+            }
+        }
+        for i in 0..n_i {
+            for vi in 0..sweep.fills.len() {
+                let t = take(fill0 + i * sweep.fills.len() + vi).thr();
+                push(&mut fills_enc_v, &mut fills_raw_v, t);
+            }
+        }
+        for i in 0..n_i {
+            for vi in 0..sweep.buffers.len() {
+                let t = take(buf0 + i * sweep.buffers.len() + vi).thr();
+                push(&mut buffers_enc_v, &mut buffers_raw_v, t);
+            }
+        }
+
+        let ae = ArenaEncoding::F32;
+        let ea = |v: &[f32]| EncArena::from_f32(v, e, ae);
+        let ra = |v: &[f64]| RawArena::from_f64(v, n_windows.max(1), ae);
+        let store = FeatureStore {
             k,
             encoding: enc,
+            arena_encoding: ae,
             n_instr: n,
-            n_windows: 0,
+            n_windows,
             rob_grid,
             lq_grid: sweep.lq.clone(),
             sq_grid: sweep.sq.clone(),
@@ -541,170 +666,149 @@ impl FeatureStore {
             buffers_grid: sweep.buffers.clone(),
             d_keys,
             i_keys,
-            rob_enc: Vec::with_capacity(n_d * n_rob * e),
-            rob_raw: Vec::new(),
-            lq_enc: Vec::with_capacity(n_d * n_lq * e),
-            lq_raw: Vec::new(),
-            sq_enc: Vec::with_capacity(n_d * n_sq * e),
-            sq_raw: Vec::new(),
-            mem_enc: Vec::with_capacity(n_d * e),
-            mem_raw: Vec::new(),
-            alu_enc: Vec::new(),
-            alu_raw: Vec::new(),
-            fp_enc: Vec::new(),
-            fp_raw: Vec::new(),
-            ls_enc: Vec::new(),
-            ls_raw: Vec::new(),
-            pipes_lo_enc: Vec::new(),
-            pipes_lo_raw: Vec::new(),
-            pipes_hi_enc: Vec::new(),
-            pipes_hi_raw: Vec::new(),
-            fills_enc: Vec::new(),
-            fills_raw: Vec::new(),
-            buffers_enc: Vec::new(),
-            buffers_raw: Vec::new(),
-            rob_curve: vec![0.0; n_d * s_len],
-            exec_lat: vec![0.0; n_d * e],
-            issue_lat: vec![0.0; n_d * s_len * e],
-            commit_lat: vec![0.0; n_d * s_len * e],
-            load_exec_est: Vec::with_capacity(n_d),
-            isb_dist,
-            branch_dists,
+            rob_enc: ea(&rob_enc_v),
+            rob_raw: ra(&rob_raw_v),
+            lq_enc: ea(&lq_enc_v),
+            lq_raw: ra(&lq_raw_v),
+            sq_enc: ea(&sq_enc_v),
+            sq_raw: ra(&sq_raw_v),
+            mem_enc: ea(&mem_enc_v),
+            mem_raw: ra(&mem_raw_v),
+            alu_enc: ea(&alu_enc_v),
+            alu_raw: ra(&alu_raw_v),
+            fp_enc: ea(&fp_enc_v),
+            fp_raw: ra(&fp_raw_v),
+            ls_enc: ea(&ls_enc_v),
+            ls_raw: ra(&ls_raw_v),
+            pipes_lo_enc: ea(&pipes_lo_enc_v),
+            pipes_lo_raw: ra(&pipes_lo_raw_v),
+            pipes_hi_enc: ea(&pipes_hi_enc_v),
+            pipes_hi_raw: ra(&pipes_hi_raw_v),
+            fills_enc: ea(&fills_enc_v),
+            fills_raw: ra(&fills_raw_v),
+            buffers_enc: ea(&buffers_enc_v),
+            buffers_raw: ra(&buffers_raw_v),
+            rob_curve: EncArena::from_f32(&rob_curve_v, s_len, ae),
+            exec_lat: ea(&exec_lat_v),
+            issue_lat: ea(&issue_lat_v),
+            commit_lat: ea(&commit_lat_v),
+            load_exec_est,
+            isb_dist: ea(&isb_dist),
+            branch_dists: [
+                ea(&branch_dists[0]),
+                ea(&branch_dists[1]),
+                ea(&branch_dists[2]),
+            ],
             branch_info_branches: binfo.branches,
             branch_info_cond: binfo.conditional,
             branch_info_tage: binfo.tage_cond_misses,
             branch_info_indirect: binfo.indirect_misses,
         };
-
-        let push = |enc_arena: &mut Vec<f32>, raw_arena: &mut Vec<f64>, t: Thr| {
-            enc_arena.extend_from_slice(&t.enc);
-            raw_arena.extend_from_slice(&t.raw);
-            t.raw.len()
-        };
-        for d in 0..n_d {
-            match take(mem0 + d) {
-                TaskOut::Mem { thr, est } => {
-                    store.n_windows = push(&mut store.mem_enc, &mut store.mem_raw, thr);
-                    store.load_exec_est.push(est);
-                }
-                _ => unreachable!("task section mismatch"),
-            }
-        }
-        // Snapshot of the grid: the loop below needs `&mut store` for the
-        // arena pushes while iterating grid values.
-        let rob_grid_vals = store.rob_grid.clone();
-        for d in 0..n_d {
-            for (ri, &rv) in rob_grid_vals.iter().enumerate() {
-                match take(rob0 + d * n_rob + ri) {
-                    TaskOut::Rob {
-                        thr,
-                        curve,
-                        issue,
-                        commit,
-                        exec,
-                    } => {
-                        push(&mut store.rob_enc, &mut store.rob_raw, thr);
-                        if let Some(j) = ROB_SWEEP.iter().position(|&s| s == rv) {
-                            store.rob_curve[d * s_len + j] = curve.expect("curve for sweep point");
-                            let at = (d * s_len + j) * e;
-                            store.issue_lat[at..at + e]
-                                .copy_from_slice(&issue.expect("issue for sweep point"));
-                            store.commit_lat[at..at + e]
-                                .copy_from_slice(&commit.expect("commit for sweep point"));
-                        }
-                        if let Some(x) = exec {
-                            store.exec_lat[d * e..(d + 1) * e].copy_from_slice(&x);
-                        }
-                    }
-                    _ => unreachable!("task section mismatch"),
-                }
-            }
-            for qi in 0..n_lq {
-                let t = take(lq0 + d * n_lq + qi).thr();
-                push(&mut store.lq_enc, &mut store.lq_raw, t);
-            }
-            for qi in 0..n_sq {
-                let t = take(sq0 + d * n_sq + qi).thr();
-                push(&mut store.sq_enc, &mut store.sq_raw, t);
-            }
-        }
-        let mut w_at = width0;
-        for (c, grid) in width_grids.iter().enumerate() {
-            for _ in 0..grid.len() {
-                let t = take(w_at).thr();
-                w_at += 1;
-                match c {
-                    0 => push(&mut store.alu_enc, &mut store.alu_raw, t),
-                    1 => push(&mut store.fp_enc, &mut store.fp_raw, t),
-                    _ => push(&mut store.ls_enc, &mut store.ls_raw, t),
-                };
-            }
-        }
-        for p in 0..sweep.pipes.len() {
-            match take(pipes0 + p) {
-                TaskOut::Pipes { lo, hi } => {
-                    push(&mut store.pipes_lo_enc, &mut store.pipes_lo_raw, lo);
-                    push(&mut store.pipes_hi_enc, &mut store.pipes_hi_raw, hi);
-                }
-                _ => unreachable!("task section mismatch"),
-            }
-        }
-        for i in 0..n_i {
-            for vi in 0..sweep.fills.len() {
-                let t = take(fill0 + i * sweep.fills.len() + vi).thr();
-                push(&mut store.fills_enc, &mut store.fills_raw, t);
-            }
-        }
-        for i in 0..n_i {
-            for vi in 0..sweep.buffers.len() {
-                let t = take(buf0 + i * sweep.buffers.len() + vi).thr();
-                push(&mut store.buffers_enc, &mut store.buffers_raw, t);
-            }
-        }
         debug_assert!(store.arena_lengths_consistent());
         store
     }
 
-    /// Internal consistency of arena lengths vs grid sizes (used by loads
+    /// Internal consistency of arena shapes vs grid sizes (used by loads
     /// and debug assertions).
     fn arena_lengths_consistent(&self) -> bool {
         let e = self.encoding.dim();
         let w = self.n_windows;
         let (n_d, n_i, s) = (self.d_keys.len(), self.i_keys.len(), ROB_SWEEP.len());
-        self.rob_enc.len() == n_d * self.rob_grid.len() * e
-            && self.rob_raw.len() == n_d * self.rob_grid.len() * w
-            && self.lq_enc.len() == n_d * self.lq_grid.len() * e
-            && self.lq_raw.len() == n_d * self.lq_grid.len() * w
-            && self.sq_enc.len() == n_d * self.sq_grid.len() * e
-            && self.sq_raw.len() == n_d * self.sq_grid.len() * w
-            && self.mem_enc.len() == n_d * e
-            && self.mem_raw.len() == n_d * w
-            && self.alu_enc.len() == self.alu_grid.len() * e
-            && self.alu_raw.len() == self.alu_grid.len() * w
-            && self.fp_enc.len() == self.fp_grid.len() * e
-            && self.fp_raw.len() == self.fp_grid.len() * w
-            && self.ls_enc.len() == self.ls_grid.len() * e
-            && self.ls_raw.len() == self.ls_grid.len() * w
-            && self.pipes_lo_enc.len() == self.pipes_grid.len() * e
-            && self.pipes_lo_raw.len() == self.pipes_grid.len() * w
-            && self.pipes_hi_enc.len() == self.pipes_grid.len() * e
-            && self.pipes_hi_raw.len() == self.pipes_grid.len() * w
-            && self.fills_enc.len() == n_i * self.fills_grid.len() * e
-            && self.fills_raw.len() == n_i * self.fills_grid.len() * w
-            && self.buffers_enc.len() == n_i * self.buffers_grid.len() * e
-            && self.buffers_raw.len() == n_i * self.buffers_grid.len() * w
-            && self.rob_curve.len() == n_d * s
-            && self.exec_lat.len() == n_d * e
-            && self.issue_lat.len() == n_d * s * e
-            && self.commit_lat.len() == n_d * s * e
+        let enc_ok = |a: &EncArena, entries: usize| a.stride() == e && a.entries() == entries;
+        let raw_ok = |a: &RawArena, entries: usize| {
+            a.stride() == w.max(1) && (a.entries() == entries || (w == 0 && a.entries() == 0))
+        };
+        enc_ok(&self.rob_enc, n_d * self.rob_grid.len())
+            && raw_ok(&self.rob_raw, n_d * self.rob_grid.len())
+            && enc_ok(&self.lq_enc, n_d * self.lq_grid.len())
+            && raw_ok(&self.lq_raw, n_d * self.lq_grid.len())
+            && enc_ok(&self.sq_enc, n_d * self.sq_grid.len())
+            && raw_ok(&self.sq_raw, n_d * self.sq_grid.len())
+            && enc_ok(&self.mem_enc, n_d)
+            && raw_ok(&self.mem_raw, n_d)
+            && enc_ok(&self.alu_enc, self.alu_grid.len())
+            && raw_ok(&self.alu_raw, self.alu_grid.len())
+            && enc_ok(&self.fp_enc, self.fp_grid.len())
+            && raw_ok(&self.fp_raw, self.fp_grid.len())
+            && enc_ok(&self.ls_enc, self.ls_grid.len())
+            && raw_ok(&self.ls_raw, self.ls_grid.len())
+            && enc_ok(&self.pipes_lo_enc, self.pipes_grid.len())
+            && raw_ok(&self.pipes_lo_raw, self.pipes_grid.len())
+            && enc_ok(&self.pipes_hi_enc, self.pipes_grid.len())
+            && raw_ok(&self.pipes_hi_raw, self.pipes_grid.len())
+            && enc_ok(&self.fills_enc, n_i * self.fills_grid.len())
+            && raw_ok(&self.fills_raw, n_i * self.fills_grid.len())
+            && enc_ok(&self.buffers_enc, n_i * self.buffers_grid.len())
+            && raw_ok(&self.buffers_raw, n_i * self.buffers_grid.len())
+            && self.rob_curve.stride() == s
+            && self.rob_curve.entries() == n_d
+            && enc_ok(&self.exec_lat, n_d)
+            && enc_ok(&self.issue_lat, n_d * s)
+            && enc_ok(&self.commit_lat, n_d * s)
             && self.load_exec_est.len() == n_d
-            && self.isb_dist.len() == e
-            && self.branch_dists.iter().all(|b| b.len() == e)
+            && enc_ok(&self.isb_dist, 1)
+            && self.branch_dists.iter().all(|b| enc_ok(b, 1))
     }
 
     /// Distribution encoding the store was built with.
     pub fn encoding(&self) -> Encoding {
         self.encoding
+    }
+
+    /// How the store's arenas are encoded in memory (`f32`/`f16`/`int8`).
+    pub fn arena_encoding(&self) -> ArenaEncoding {
+        self.arena_encoding
+    }
+
+    /// Whether the store's arenas are backed by a live `mmap` region.
+    pub fn is_mapped(&self) -> bool {
+        self.rob_enc.is_mapped()
+    }
+
+    /// Re-encodes every arena under `enc` (e.g. to quantize a freshly
+    /// precomputed lossless store before caching or writing an artifact).
+    /// `F32 → F32` is bit-exact; quantized→quantized re-encodes the
+    /// *dequantized* values, so always re-encode from the `F32` original
+    /// when one is available.
+    pub fn reencoded(&self, enc: ArenaEncoding) -> FeatureStore {
+        let ea = |a: &EncArena| EncArena::from_f32(&a.to_f32_vec(), a.stride(), enc);
+        let ra = |a: &RawArena| RawArena::from_f64(&a.to_f64_vec(), a.stride(), enc);
+        FeatureStore {
+            arena_encoding: enc,
+            rob_enc: ea(&self.rob_enc),
+            rob_raw: ra(&self.rob_raw),
+            lq_enc: ea(&self.lq_enc),
+            lq_raw: ra(&self.lq_raw),
+            sq_enc: ea(&self.sq_enc),
+            sq_raw: ra(&self.sq_raw),
+            mem_enc: ea(&self.mem_enc),
+            mem_raw: ra(&self.mem_raw),
+            alu_enc: ea(&self.alu_enc),
+            alu_raw: ra(&self.alu_raw),
+            fp_enc: ea(&self.fp_enc),
+            fp_raw: ra(&self.fp_raw),
+            ls_enc: ea(&self.ls_enc),
+            ls_raw: ra(&self.ls_raw),
+            pipes_lo_enc: ea(&self.pipes_lo_enc),
+            pipes_lo_raw: ra(&self.pipes_lo_raw),
+            pipes_hi_enc: ea(&self.pipes_hi_enc),
+            pipes_hi_raw: ra(&self.pipes_hi_raw),
+            fills_enc: ea(&self.fills_enc),
+            fills_raw: ra(&self.fills_raw),
+            buffers_enc: ea(&self.buffers_enc),
+            buffers_raw: ra(&self.buffers_raw),
+            rob_curve: ea(&self.rob_curve),
+            exec_lat: ea(&self.exec_lat),
+            issue_lat: ea(&self.issue_lat),
+            commit_lat: ea(&self.commit_lat),
+            isb_dist: ea(&self.isb_dist),
+            branch_dists: [
+                ea(&self.branch_dists[0]),
+                ea(&self.branch_dists[1]),
+                ea(&self.branch_dists[2]),
+            ],
+            ..self.clone()
+        }
     }
 
     /// Number of instructions in the analyzed region.
@@ -717,9 +821,10 @@ impl FeatureStore {
         self.n_windows
     }
 
-    /// The block-level schema of vectors this store assembles for `variant`.
+    /// The block-level schema of vectors this store assembles for `variant`,
+    /// annotated with the store's arena encoding.
     pub fn schema(&self, variant: FeatureVariant) -> FeatureSchema {
-        FeatureSchema::new(self.encoding, variant)
+        FeatureSchema::new(self.encoding, variant).with_arena_encoding(self.arena_encoding)
     }
 
     /// Branch misprediction rate (per instruction ×1000, i.e. MPKI-scaled to
@@ -784,7 +889,7 @@ impl FeatureStore {
         }
     }
 
-    fn raw_arena(&self, res: Resource) -> &[f64] {
+    fn raw_arena(&self, res: Resource) -> &RawArena {
         match res {
             Resource::Rob => &self.rob_raw,
             Resource::LoadQueue => &self.lq_raw,
@@ -800,7 +905,7 @@ impl FeatureStore {
         }
     }
 
-    fn enc_arena(&self, res: Resource) -> &[f32] {
+    fn enc_arena(&self, res: Resource) -> &EncArena {
         match res {
             Resource::Rob => &self.rob_enc,
             Resource::LoadQueue => &self.lq_enc,
@@ -817,11 +922,12 @@ impl FeatureStore {
     }
 
     /// Raw per-window throughput-bound series for a resource under `arch`
-    /// (used by Figure 1 and the min-bound baseline).
-    pub fn raw_series(&self, res: Resource, arch: &MicroArch) -> &[f64] {
+    /// (used by Figure 1 and the min-bound baseline). Lossless stores borrow
+    /// straight from the arena; quantized stores dequantize into an owned
+    /// buffer.
+    pub fn raw_series(&self, res: Resource, arch: &MicroArch) -> Cow<'_, [f64]> {
         let idx = self.entry_idx(res, arch);
-        let w = self.n_windows;
-        &self.raw_arena(res)[idx * w..(idx + 1) * w]
+        self.raw_arena(res).series(idx)
     }
 
     /// Assembles the ML input vector for `arch` under `variant`.
@@ -857,29 +963,34 @@ impl FeatureStore {
         let mut pos = 0usize;
         for res in Resource::ALL {
             let idx = self.entry_idx_with(res, arch, di, ii);
-            out[pos..pos + e].copy_from_slice(&self.enc_arena(res)[idx * e..(idx + 1) * e]);
+            self.enc_arena(res).write_entry(idx, &mut out[pos..pos + e]);
             pos += e;
         }
         out[pos] = self.mispredict_feature(arch.predictor);
         pos += 1;
         if variant != FeatureVariant::Base {
-            out[pos..pos + e].copy_from_slice(&self.isb_dist);
+            self.isb_dist.write_entry(0, &mut out[pos..pos + e]);
             pos += e;
             for d in &self.branch_dists {
-                out[pos..pos + e].copy_from_slice(d);
+                d.write_entry(0, &mut out[pos..pos + e]);
                 pos += e;
             }
-            out[pos..pos + s_len].copy_from_slice(&self.rob_curve[di * s_len..(di + 1) * s_len]);
+            self.rob_curve.write_entry(di, &mut out[pos..pos + s_len]);
             pos += s_len;
         }
         if variant == FeatureVariant::Full {
-            out[pos..pos + e].copy_from_slice(&self.exec_lat[di * e..(di + 1) * e]);
+            self.exec_lat.write_entry(di, &mut out[pos..pos + e]);
             pos += e;
-            let lat = s_len * e;
-            out[pos..pos + lat].copy_from_slice(&self.issue_lat[di * lat..(di + 1) * lat]);
-            pos += lat;
-            out[pos..pos + lat].copy_from_slice(&self.commit_lat[di * lat..(di + 1) * lat]);
-            pos += lat;
+            for j in 0..s_len {
+                self.issue_lat
+                    .write_entry(di * s_len + j, &mut out[pos..pos + e]);
+                pos += e;
+            }
+            for j in 0..s_len {
+                self.commit_lat
+                    .write_entry(di * s_len + j, &mut out[pos..pos + e]);
+                pos += e;
+            }
         }
         arch.encode_into(&mut out[pos..]);
         pos += MicroArch::ENCODED_DIM;
@@ -890,7 +1001,7 @@ impl FeatureStore {
     /// per-resource throughput bounds (and the static widths), then average
     /// window CPIs (the pink "min bound" line of Figure 12).
     pub fn min_bound_cpi(&self, arch: &MicroArch) -> f64 {
-        let series: [&[f64]; 9] = [
+        let series: [Cow<'_, [f64]>; 9] = [
             self.raw_series(Resource::Rob, arch),
             self.raw_series(Resource::LoadQueue, arch),
             self.raw_series(Resource::StoreQueue, arch),
@@ -922,9 +1033,7 @@ impl FeatureStore {
         cpi_sum / windows as f64
     }
 
-    /// Approximate in-memory footprint of the encoded features (bytes) — the
-    /// §5.2.3 "precomputed performance features occupy …" statistic.
-    pub fn encoded_bytes(&self) -> usize {
+    fn enc_arenas(&self) -> [&EncArena; 14] {
         [
             &self.rob_enc,
             &self.lq_enc,
@@ -941,15 +1050,45 @@ impl FeatureStore {
             &self.commit_lat,
             &self.exec_lat,
         ]
-        .iter()
-        .map(|a| a.len() * 4)
-        .sum()
+    }
+
+    fn raw_arenas(&self) -> [&RawArena; 11] {
+        [
+            &self.rob_raw,
+            &self.lq_raw,
+            &self.sq_raw,
+            &self.fills_raw,
+            &self.buffers_raw,
+            &self.alu_raw,
+            &self.fp_raw,
+            &self.ls_raw,
+            &self.pipes_lo_raw,
+            &self.pipes_hi_raw,
+            &self.mem_raw,
+        ]
+    }
+
+    /// In-memory footprint of the encoded features (bytes) under the store's
+    /// arena encoding — the §5.2.3 "precomputed performance features occupy…"
+    /// statistic. Quantized stores report their *quantized* payload (plus
+    /// dequantization params), so the cache byte budget admits what is
+    /// actually resident.
+    pub fn encoded_bytes(&self) -> usize {
+        self.enc_arenas().iter().map(|a| a.payload_bytes()).sum()
+    }
+
+    /// What [`FeatureStore::encoded_bytes`] would be at lossless `f32` — the
+    /// denominator of the compression ratio `concorde inspect` reports.
+    pub fn encoded_bytes_f32(&self) -> usize {
+        self.enc_arenas().iter().map(|a| a.f32_bytes()).sum()
     }
 
     /// Total approximate in-memory footprint of the store (bytes): every
     /// encoded arena, raw series, grid, latency table, and distribution plus
-    /// the struct header. This is the statistic the serving cache's byte
-    /// budget (`--cache-bytes`) admits against.
+    /// the struct header — all at their *quantized* sizes. This is the
+    /// statistic the serving cache's byte budget (`--cache-bytes`) admits
+    /// against, so an `int8` store packs ~4× more regions under the same
+    /// budget than its `f32` original.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::{size_of, size_of_val};
         size_of::<Self>()
@@ -966,44 +1105,36 @@ impl FeatureStore {
             + size_of_val(&self.buffers_grid[..])
             + size_of_val(&self.d_keys[..])
             + size_of_val(&self.i_keys[..])
-            + size_of_val(&self.rob_curve[..])
+            + self.rob_curve.payload_bytes()
             + size_of_val(&self.load_exec_est[..])
-            + size_of_val(&self.isb_dist[..])
+            + self.isb_dist.payload_bytes()
             + self
                 .branch_dists
                 .iter()
-                .map(|d| size_of_val(&d[..]))
+                .map(|d| d.payload_bytes())
                 .sum::<usize>()
     }
 
-    /// Total raw-series footprint (bytes): the part of the store a serving
-    /// deployment carries for the min-bound baseline.
+    /// Total raw-series footprint (bytes) at the store's arena encoding: the
+    /// part of the store a serving deployment carries for the min-bound
+    /// baseline.
     pub fn raw_bytes(&self) -> usize {
-        [
-            &self.rob_raw,
-            &self.lq_raw,
-            &self.sq_raw,
-            &self.fills_raw,
-            &self.buffers_raw,
-            &self.alu_raw,
-            &self.fp_raw,
-            &self.ls_raw,
-            &self.pipes_lo_raw,
-            &self.pipes_hi_raw,
-            &self.mem_raw,
-        ]
-        .iter()
-        .map(|a| a.len() * 8)
-        .sum()
+        self.raw_arenas().iter().map(|a| a.payload_bytes()).sum()
+    }
+
+    /// What [`FeatureStore::raw_bytes`] would be at lossless `f64`.
+    pub fn raw_bytes_f64(&self) -> usize {
+        self.raw_arenas().iter().map(|a| a.f64_bytes()).sum()
     }
 }
 
 // ---------------------------------------------------------------------------
-// Compact binary artifact serialization.
+// Compact binary artifact serialization (layout v3).
 // ---------------------------------------------------------------------------
 
-/// Magic bytes opening a serialized [`FeatureStore`].
-pub const STORE_MAGIC: [u8; 4] = *b"CFS\x02";
+/// Magic bytes opening a serialized [`FeatureStore`] (layout v3: pluggable
+/// arena encoding, 8-byte-aligned arena payloads for zero-copy mmap loads).
+pub const STORE_MAGIC: [u8; 4] = *b"CFS\x03";
 
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -1016,25 +1147,47 @@ fn put_u32s(buf: &mut Vec<u8>, xs: &[u32]) {
     }
 }
 
-fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
-    put_u64(buf, xs.len() as u64);
-    for &x in xs {
-        buf.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
-}
-
-fn put_f64s(buf: &mut Vec<u8>, xs: &[f64]) {
-    put_u64(buf, xs.len() as u64);
-    for &x in xs {
-        buf.extend_from_slice(&x.to_bits().to_le_bytes());
-    }
-}
-
 fn put_u64s(buf: &mut Vec<u8>, xs: &[u64]) {
     put_u64(buf, xs.len() as u64);
     for &x in xs {
         buf.extend_from_slice(&x.to_le_bytes());
     }
+}
+
+/// Zero-pads `buf` to the next 8-byte boundary (relative to the store base,
+/// which the artifact container places at an 8-aligned file offset; the
+/// container writer reuses this to establish that offset).
+pub(crate) fn pad8(buf: &mut Vec<u8>) {
+    while !buf.len().is_multiple_of(8) {
+        buf.push(0);
+    }
+}
+
+/// One arena record: `stride | entries | data_len | pad⁸ | data |
+/// params_len | pad⁸ | params`. The pads make every payload 8-byte aligned
+/// within the store blob, so a mapped load can point arenas straight into
+/// the file.
+fn put_arena(buf: &mut Vec<u8>, stride: usize, entries: usize, data: &Buf, params: &Buf) {
+    put_u64(buf, stride as u64);
+    put_u64(buf, entries as u64);
+    let data = data.bytes();
+    put_u64(buf, data.len() as u64);
+    pad8(buf);
+    buf.extend_from_slice(data);
+    let params = params.bytes();
+    put_u64(buf, params.len() as u64);
+    pad8(buf);
+    buf.extend_from_slice(params);
+}
+
+fn put_enc_arena(buf: &mut Vec<u8>, a: &EncArena) {
+    let (data, params) = a.raw_parts();
+    put_arena(buf, a.stride(), a.entries(), data, params);
+}
+
+fn put_raw_arena(buf: &mut Vec<u8>, a: &RawArena) {
+    let (data, params) = a.raw_parts();
+    put_arena(buf, a.stride(), a.entries(), data, params);
 }
 
 /// Bounded little-endian reader over a byte slice.
@@ -1085,38 +1238,86 @@ impl<'a> ByteReader<'a> {
         (0..n).map(|_| self.u32()).collect()
     }
 
-    fn f32s(&mut self) -> std::io::Result<Vec<f32>> {
-        let n = self.len_prefix(4)?;
-        (0..n).map(|_| Ok(f32::from_bits(self.u32()?))).collect()
-    }
-
-    fn f64s(&mut self) -> std::io::Result<Vec<f64>> {
-        let n = self.len_prefix(8)?;
-        (0..n).map(|_| Ok(f64::from_bits(self.u64()?))).collect()
-    }
-
     fn u64s(&mut self) -> std::io::Result<Vec<u64>> {
         let n = self.len_prefix(8)?;
         (0..n).map(|_| self.u64()).collect()
     }
 
-    pub(crate) fn remaining(&self) -> usize {
-        self.buf.len() - self.at
+    /// Current offset from the start of the slice.
+    pub(crate) fn pos(&self) -> usize {
+        self.at
+    }
+
+    /// Skips to the next 8-byte boundary (the writer's `pad8`).
+    pub(crate) fn align8(&mut self) -> std::io::Result<()> {
+        let rem = self.at % 8;
+        if rem != 0 {
+            self.bytes(8 - rem)?;
+        }
+        Ok(())
     }
 }
 
+/// Reads one arena record written by `put_arena`, returning views into
+/// `region` (offsets are absolute: `base` + the reader's position).
+fn read_arena_views(
+    r: &mut ByteReader,
+    region: &Arc<MappedStore>,
+    base: usize,
+) -> std::io::Result<(usize, usize, Buf, Buf)> {
+    let stride = r.u64()? as usize;
+    let entries = r.u64()? as usize;
+    let data_len = r.u64()? as usize;
+    r.align8()?;
+    let data_off = base + r.pos();
+    r.bytes(data_len)?;
+    let params_len = r.u64()? as usize;
+    r.align8()?;
+    let params_off = base + r.pos();
+    r.bytes(params_len)?;
+    Ok((
+        stride,
+        entries,
+        Buf::view(region, data_off, data_len),
+        Buf::view(region, params_off, params_len),
+    ))
+}
+
+fn read_enc_arena(
+    r: &mut ByteReader,
+    region: &Arc<MappedStore>,
+    base: usize,
+    enc: ArenaEncoding,
+) -> std::io::Result<EncArena> {
+    let (stride, entries, data, params) = read_arena_views(r, region, base)?;
+    EncArena::from_views(enc, stride, entries, data, params)
+}
+
+fn read_raw_arena(
+    r: &mut ByteReader,
+    region: &Arc<MappedStore>,
+    base: usize,
+    enc: ArenaEncoding,
+) -> std::io::Result<RawArena> {
+    let (stride, entries, data, params) = read_arena_views(r, region, base)?;
+    RawArena::from_views(enc, stride, entries, data, params)
+}
+
 impl FeatureStore {
-    /// Serializes the store to the compact binary artifact format
-    /// (little-endian, bit-exact for every float).
+    /// Serializes the store to the compact binary artifact layout v3
+    /// (little-endian; bit-exact for every value under the store's arena
+    /// encoding; arena payloads padded to 8-byte boundaries so a mapped
+    /// load can reference them in place).
     ///
-    /// The field order here is the wire contract: [`FeatureStore::from_bytes`]
+    /// The field order here is the wire contract: [`FeatureStore::parse`]
     /// reads the same sequence. Any reorder must change both lists together
     /// — the `artifact_roundtrip_is_bitwise_identical` golden test compares
     /// features of a loaded store against the original, so a writer/reader
     /// mismatch fails loudly there.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(64 + self.encoded_bytes() + self.raw_bytes() * 2);
+        let mut buf = Vec::with_capacity(256 + self.encoded_bytes() + self.raw_bytes() * 2);
         buf.extend_from_slice(&STORE_MAGIC);
+        buf.extend_from_slice(&(self.arena_encoding.tag() as u32).to_le_bytes());
         put_u64(&mut buf, self.k as u64);
         put_u64(&mut buf, self.encoding.levels as u64);
         put_u64(&mut buf, self.n_instr as u64);
@@ -1151,6 +1352,7 @@ impl FeatureStore {
         put_u32s(&mut buf, &d_flat);
         let i_flat: Vec<u32> = self.i_keys.iter().flat_map(|&(a, b)| [a, b]).collect();
         put_u32s(&mut buf, &i_flat);
+        put_u64s(&mut buf, &self.load_exec_est);
         for a in [
             &self.rob_enc,
             &self.lq_enc,
@@ -1172,7 +1374,7 @@ impl FeatureStore {
             &self.branch_dists[1],
             &self.branch_dists[2],
         ] {
-            put_f32s(&mut buf, a);
+            put_enc_arena(&mut buf, a);
         }
         for a in [
             &self.rob_raw,
@@ -1187,26 +1389,46 @@ impl FeatureStore {
             &self.fills_raw,
             &self.buffers_raw,
         ] {
-            put_f64s(&mut buf, a);
+            put_raw_arena(&mut buf, a);
         }
-        put_u64s(&mut buf, &self.load_exec_est);
         buf
     }
 
-    /// Deserializes a store written by [`FeatureStore::to_bytes`].
+    /// Deserializes a store written by [`FeatureStore::to_bytes`], copying
+    /// the payload once into an owned aligned region. Use
+    /// [`FeatureStore::parse`] with a mapped region for zero-copy loads.
     ///
     /// # Errors
     ///
     /// `InvalidData` on a bad magic, truncation, or inconsistent arena
     /// lengths.
     pub fn from_bytes(bytes: &[u8]) -> std::io::Result<FeatureStore> {
-        let mut r = ByteReader::new(bytes);
+        Self::parse(&MappedStore::from_bytes(bytes), 0)
+    }
+
+    /// Parses a store blob starting at `base` within a shared region,
+    /// backing every arena by a view into it — **no arena bytes are copied**.
+    /// `base` must be 8-byte aligned (the artifact container pads to
+    /// guarantee this), so the writer's payload padding holds absolutely.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on a bad magic, unknown arena encoding, truncation,
+    /// misalignment, or inconsistent arena shapes.
+    pub fn parse(region: &Arc<MappedStore>, base: usize) -> std::io::Result<FeatureStore> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        if !base.is_multiple_of(8) || base > region.bytes().len() {
+            return Err(bad("store blob is not 8-byte aligned within its region"));
+        }
+        let mut r = ByteReader::new(&region.bytes()[base..]);
         if r.bytes(4)? != STORE_MAGIC {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "not a Concorde feature-store artifact (bad magic)",
+            return Err(bad(
+                "not a Concorde feature-store blob (bad magic; layout v3 is `CFS\\x03` — \
+                 re-run `concorde precompute` for older artifacts)",
             ));
         }
+        let arena_encoding = ArenaEncoding::from_tag(u64::from(r.u32()?))
+            .ok_or_else(|| bad("store blob declares an unknown arena encoding"))?;
         let k = r.u64()? as usize;
         let levels = r.u64()? as usize;
         let n_instr = r.u64()? as usize;
@@ -1238,38 +1460,41 @@ impl FeatureStore {
             return Err(truncated());
         }
         let i_keys = i_flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
-        let rob_enc = r.f32s()?;
-        let lq_enc = r.f32s()?;
-        let sq_enc = r.f32s()?;
-        let mem_enc = r.f32s()?;
-        let alu_enc = r.f32s()?;
-        let fp_enc = r.f32s()?;
-        let ls_enc = r.f32s()?;
-        let pipes_lo_enc = r.f32s()?;
-        let pipes_hi_enc = r.f32s()?;
-        let fills_enc = r.f32s()?;
-        let buffers_enc = r.f32s()?;
-        let rob_curve = r.f32s()?;
-        let exec_lat = r.f32s()?;
-        let issue_lat = r.f32s()?;
-        let commit_lat = r.f32s()?;
-        let isb_dist = r.f32s()?;
-        let branch_dists = [r.f32s()?, r.f32s()?, r.f32s()?];
-        let rob_raw = r.f64s()?;
-        let lq_raw = r.f64s()?;
-        let sq_raw = r.f64s()?;
-        let mem_raw = r.f64s()?;
-        let alu_raw = r.f64s()?;
-        let fp_raw = r.f64s()?;
-        let ls_raw = r.f64s()?;
-        let pipes_lo_raw = r.f64s()?;
-        let pipes_hi_raw = r.f64s()?;
-        let fills_raw = r.f64s()?;
-        let buffers_raw = r.f64s()?;
         let load_exec_est = r.u64s()?;
+        let enc_a = |r: &mut ByteReader| read_enc_arena(r, region, base, arena_encoding);
+        let rob_enc = enc_a(&mut r)?;
+        let lq_enc = enc_a(&mut r)?;
+        let sq_enc = enc_a(&mut r)?;
+        let mem_enc = enc_a(&mut r)?;
+        let alu_enc = enc_a(&mut r)?;
+        let fp_enc = enc_a(&mut r)?;
+        let ls_enc = enc_a(&mut r)?;
+        let pipes_lo_enc = enc_a(&mut r)?;
+        let pipes_hi_enc = enc_a(&mut r)?;
+        let fills_enc = enc_a(&mut r)?;
+        let buffers_enc = enc_a(&mut r)?;
+        let rob_curve = enc_a(&mut r)?;
+        let exec_lat = enc_a(&mut r)?;
+        let issue_lat = enc_a(&mut r)?;
+        let commit_lat = enc_a(&mut r)?;
+        let isb_dist = enc_a(&mut r)?;
+        let branch_dists = [enc_a(&mut r)?, enc_a(&mut r)?, enc_a(&mut r)?];
+        let raw_a = |r: &mut ByteReader| read_raw_arena(r, region, base, arena_encoding);
+        let rob_raw = raw_a(&mut r)?;
+        let lq_raw = raw_a(&mut r)?;
+        let sq_raw = raw_a(&mut r)?;
+        let mem_raw = raw_a(&mut r)?;
+        let alu_raw = raw_a(&mut r)?;
+        let fp_raw = raw_a(&mut r)?;
+        let ls_raw = raw_a(&mut r)?;
+        let pipes_lo_raw = raw_a(&mut r)?;
+        let pipes_hi_raw = raw_a(&mut r)?;
+        let fills_raw = raw_a(&mut r)?;
+        let buffers_raw = raw_a(&mut r)?;
         let store = FeatureStore {
             k,
             encoding: Encoding { levels },
+            arena_encoding,
             n_instr,
             n_windows,
             rob_grid,
@@ -1318,9 +1543,8 @@ impl FeatureStore {
             branch_info_indirect,
         };
         if !store.arena_lengths_consistent() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "store artifact arena lengths are inconsistent with its grids",
+            return Err(bad(
+                "store artifact arena shapes are inconsistent with its grids",
             ));
         }
         // Lookups assume non-empty grids and key lists (a precompute always
@@ -1338,8 +1562,7 @@ impl FeatureStore {
             || store.fills_grid.is_empty()
             || store.buffers_grid.is_empty()
         {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
+            return Err(bad(
                 "store artifact has an empty sweep grid or memory-key list",
             ));
         }

@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod dataset;
 pub mod features;
@@ -43,6 +44,7 @@ pub mod trainer;
 
 /// Convenient re-exports of the crate's primary API.
 pub mod prelude {
+    pub use crate::arena::{ArenaEncoding, EncArena, MappedStore, RawArena};
     pub use crate::cache::{
         sweep_content_hash, CacheStats, FeatureKey, ShardStats, ShardedStoreCache, StoreArtifact,
     };

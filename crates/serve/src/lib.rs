@@ -35,11 +35,13 @@
 
 #![warn(missing_docs)]
 
+pub mod bytesize;
 mod client;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
+pub use bytesize::{parse_byte_size, ByteSizeError};
 pub use client::{Client, TcpClient};
 pub use protocol::{ArchSpec, PredictRequest, PredictResponse};
 pub use server::workload_catalog;

@@ -30,6 +30,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use concorde_core::arena::ArenaEncoding;
 use concorde_core::cache::{
     sweep_content_hash, CacheStats, FeatureKey, ShardStats, ShardedStoreCache, StoreArtifact,
 };
@@ -99,6 +100,11 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Sweep each store precomputes.
     pub sweep: SweepScope,
+    /// Arena encoding for stores built on the miss path (`--encoding`):
+    /// `f16`/`int8` shrink the per-region footprint 2–4×, multiplying how
+    /// many regions fit under [`ServeConfig::cache_bytes`] at a small,
+    /// bounded prediction drift. Preloaded artifacts keep their own encoding.
+    pub store_encoding: ArenaEncoding,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +120,7 @@ impl Default for ServeConfig {
             miss_policy: MissPolicy::AsyncPool,
             max_connections: 256,
             sweep: SweepScope::PerArch,
+            store_encoding: ArenaEncoding::F32,
         }
     }
 }
@@ -325,6 +332,9 @@ pub struct ServiceStats {
     pub precompute_workers: usize,
     /// Concurrent TCP connection cap.
     pub max_connections: usize,
+    /// Arena encoding of stores built on the miss path (`--encoding`).
+    #[serde(default)]
+    pub store_encoding: Option<ArenaEncoding>,
 }
 
 /// Cache shape + occupancy section of [`ServiceStats`].
@@ -354,6 +364,43 @@ struct Job {
 struct PrecomputeTask {
     key: FeatureKey,
     sweep: SweepConfig,
+    /// Arrival order, the FIFO tie-breaker when parked counts are equal.
+    seq: u64,
+    /// Times a pop chose a different task over this one; at
+    /// [`MAX_BYPASS`] the task is built regardless of parked counts.
+    bypassed: u32,
+}
+
+/// How many pops may skip a queued build before it is forced to run —
+/// bounds waiter latency so parked-count priority cannot starve a
+/// single-waiter cold key under a stream of hotter ones.
+const MAX_BYPASS: u32 = 4;
+
+/// Picks the next build: the task with the most parked requests, FIFO on
+/// ties — hot cold-keys (many coalesced waiters) build before lukewarm ones,
+/// and a key nobody waits on anymore (waiters errored out) sinks last.
+/// Exception: a task bypassed [`MAX_BYPASS`] times is picked first (oldest
+/// such), guaranteeing the progress the old FIFO queue gave.
+fn pick_task(tasks: &[PrecomputeTask], parked_count: impl Fn(&FeatureKey) -> usize) -> usize {
+    if let Some((i, _)) = tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.bypassed >= MAX_BYPASS)
+        .min_by_key(|(_, t)| t.seq)
+    {
+        return i;
+    }
+    let mut best = 0usize;
+    let mut best_key = (0usize, u64::MAX);
+    for (i, t) in tasks.iter().enumerate() {
+        let count = parked_count(&t.key);
+        // More parked wins; equal parked → earlier seq wins.
+        if count > best_key.0 || (count == best_key.0 && t.seq < best_key.1) {
+            best = i;
+            best_key = (count, t.seq);
+        }
+    }
+    best
 }
 
 pub(crate) struct Shared {
@@ -370,7 +417,11 @@ pub(crate) struct Shared {
     /// Number of in-flight precomputes; workers may only exit at shutdown
     /// once this reaches zero (parked jobs still need re-enqueuing).
     inflight_builds: AtomicUsize,
-    pre_queue: Mutex<VecDeque<PrecomputeTask>>,
+    /// Pending builds, popped by parked-request count (see [`pick_task`]),
+    /// not FIFO — the small scan is cheap next to any single build.
+    pre_queue: Mutex<Vec<PrecomputeTask>>,
+    /// Arrival stamp for queued builds (the FIFO tie-breaker).
+    pre_seq: AtomicU64,
     pre_notify: Condvar,
     pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
@@ -429,7 +480,8 @@ impl PredictionService {
             notify: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
             inflight_builds: AtomicUsize::new(0),
-            pre_queue: Mutex::new(VecDeque::new()),
+            pre_queue: Mutex::new(Vec::new()),
+            pre_seq: AtomicU64::new(0),
             pre_notify: Condvar::new(),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
@@ -482,9 +534,10 @@ impl PredictionService {
     }
 
     /// The feature schema (version + named blocks) this service's model
-    /// consumes; served to clients as `{"cmd": "schema"}`.
+    /// consumes, annotated with the miss-path arena encoding; served to
+    /// clients as `{"cmd": "schema"}`.
     pub fn schema(&self) -> FeatureSchema {
-        self.shared.model.layout.schema()
+        schema_of(&self.shared)
     }
 
     /// Seeds the feature-store cache with a prebuilt store, so queries
@@ -494,17 +547,19 @@ impl PredictionService {
         self.shared.cache.insert(key, Arc::new(store));
     }
 
-    /// Loads a `concorde precompute` artifact from `path` into the cache.
+    /// Memory-maps a `concorde precompute` artifact from `path` into the
+    /// cache (zero-copy: the cached store's arenas point into the mapping,
+    /// which is released when the store is evicted and unreferenced).
     ///
     /// # Errors
     ///
-    /// I/O and format errors from [`StoreArtifact::load`]; a mismatch
+    /// I/O and format errors from [`StoreArtifact::map`]; a mismatch
     /// between the artifact's encoding and the served model's (a store built
     /// at a different encoding width would assemble misshapen vectors); or a
     /// sweep-scope mismatch that would make the artifact unreachable by any
     /// request key (preloading it would silently leave the server cold).
     pub fn preload_artifact(&self, path: &std::path::Path) -> std::io::Result<FeatureKey> {
-        let artifact = StoreArtifact::load(path)?;
+        let artifact = StoreArtifact::map(path)?;
         let model_enc = self.shared.model.layout.encoding;
         if artifact.store.encoding() != model_enc {
             return Err(std::io::Error::new(
@@ -636,11 +691,16 @@ pub(crate) fn service_stats(shared: &Shared) -> ServiceStats {
             MissPolicy::Inline => 0,
         },
         max_connections: shared.cfg.max_connections.max(1),
+        store_encoding: Some(shared.cfg.store_encoding),
     }
 }
 
 pub(crate) fn schema_of(shared: &Shared) -> FeatureSchema {
-    shared.model.layout.schema()
+    shared
+        .model
+        .layout
+        .schema()
+        .with_arena_encoding(shared.cfg.store_encoding)
 }
 
 /// Collects one micro-batch: blocks for the first job, then keeps draining
@@ -960,7 +1020,12 @@ fn park_group(
     drop(inflight);
     {
         let mut pq = shared.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
-        pq.push_back(PrecomputeTask { key, sweep });
+        pq.push(PrecomputeTask {
+            key,
+            sweep,
+            seq: shared.pre_seq.fetch_add(1, Ordering::Relaxed),
+            bypassed: 0,
+        });
     }
     shared.pre_notify.notify_one();
 }
@@ -994,15 +1059,30 @@ fn requeue_parked(shared: &Shared, jobs: Vec<Job>) {
     shared.notify.notify_all();
 }
 
-/// The dedicated precompute pool: pops missed keys, builds their stores,
-/// lands them in the cache, and re-enqueues the parked jobs.
+/// The dedicated precompute pool: pops the missed key with the most parked
+/// requests (hot cold-keys first), builds its store, lands it in the cache,
+/// and re-enqueues the parked jobs.
 fn precompute_loop(shared: &Shared) {
     loop {
         let task = {
             let mut q = shared.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(t) = q.pop_front() {
-                    break t;
+                if !q.is_empty() {
+                    let idx = if q.len() == 1 {
+                        0
+                    } else {
+                        // Snapshot parked counts under the registry lock.
+                        // Lock order pre_queue → inflight is safe: park_group
+                        // releases the registry lock before queueing.
+                        let inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+                        pick_task(&q, |k| inflight.get(k).map_or(0, Vec::len))
+                    };
+                    for (i, t) in q.iter_mut().enumerate() {
+                        if i != idx {
+                            t.bypassed += 1;
+                        }
+                    }
+                    break q.remove(idx);
                 }
                 // `pool_shutdown` (not `shutdown`): batch workers may still
                 // queue rebuilds while draining, and their parked jobs would
@@ -1087,7 +1167,13 @@ fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> F
         .map(|p| p.get())
         .unwrap_or(1);
     let threads = (cores / active).max(1);
-    FeatureStore::precompute_threaded(w, r, sweep, &shared.profile, threads)
+    let store = FeatureStore::precompute_threaded(w, r, sweep, &shared.profile, threads);
+    // Quantize before caching: the byte budget then admits the compressed
+    // footprint, so f16/int8 servers hold 2–4× more regions resident.
+    match shared.cfg.store_encoding {
+        ArenaEncoding::F32 => store,
+        enc => store.reencoded(enc),
+    }
 }
 
 #[cfg(test)]
@@ -1111,5 +1197,61 @@ mod tests {
     fn error_display() {
         assert!(ServeError::QueueFull.to_string().contains("full"));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+
+    fn task(start: u64, seq: u64) -> PrecomputeTask {
+        PrecomputeTask {
+            key: FeatureKey {
+                workload: "S5".to_string(),
+                trace: 0,
+                start,
+                region_len: 2048,
+                sweep_hash: 7,
+            },
+            sweep: SweepConfig::quantized(),
+            seq,
+            bypassed: 0,
+        }
+    }
+
+    #[test]
+    fn pick_task_prefers_most_parked_then_fifo() {
+        let tasks = vec![task(0, 0), task(1, 1), task(2, 2)];
+        // Distinct parked counts: the hottest key wins regardless of age.
+        let counts = |k: &FeatureKey| match k.start {
+            0 => 1,
+            1 => 5,
+            _ => 3,
+        };
+        assert_eq!(pick_task(&tasks, counts), 1);
+        // Ties break FIFO (lowest seq), including all-zero counts.
+        assert_eq!(pick_task(&tasks, |_| 2), 0);
+        assert_eq!(pick_task(&tasks, |_| 0), 0);
+        // FIFO holds even when the queue order is not seq order.
+        let shuffled = vec![task(0, 9), task(1, 4), task(2, 6)];
+        assert_eq!(pick_task(&shuffled, |_| 1), 1);
+        // A key with no registry entry (waiters gone) sinks below any key
+        // that still has parked requests.
+        let counts = |k: &FeatureKey| if k.start == 2 { 1 } else { 0 };
+        assert_eq!(pick_task(&tasks, counts), 2);
+    }
+
+    #[test]
+    fn bypassed_tasks_cannot_starve() {
+        // A lone-waiter key skipped MAX_BYPASS times is built next even
+        // while hotter keys keep arriving — priority never starves a task.
+        let mut starved = task(0, 0);
+        starved.bypassed = MAX_BYPASS;
+        let mut also_starved = task(1, 1);
+        also_starved.bypassed = MAX_BYPASS + 3;
+        let tasks = vec![task(9, 9), starved, also_starved];
+        // Without aging, key 9 (5 waiters) would win; with it, the oldest
+        // over-bypassed task (seq 0) must.
+        let counts = |k: &FeatureKey| if k.start == 9 { 5 } else { 1 };
+        assert_eq!(pick_task(&tasks, counts), 1);
+        // Below the threshold, priority order still applies.
+        let mut fresh = task(0, 0);
+        fresh.bypassed = MAX_BYPASS - 1;
+        assert_eq!(pick_task(&[fresh, task(9, 9)], counts), 1);
     }
 }

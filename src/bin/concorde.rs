@@ -29,13 +29,14 @@ fn usage_text() -> &'static str {
          concorde sweep     <workload> <param> v1,v2,… [--arch n1|big] [--len N]\n  \
          concorde attribute <workload> [--len N]\n  \
          concorde precompute <workload> --out FILE [--trace N] [--start N] [--len N]\n             \
-         [--profile quick|default] [--sweep arch|quantized] [--arch n1|big]\n  \
+         [--profile quick|default] [--sweep arch|quantized] [--arch n1|big]\n             \
+         [--encoding f32|f16|int8]\n  \
          concorde inspect   <FILE>\n  \
          concorde serve     [--addr HOST:PORT] [--model PATH] [--save-model PATH]\n             \
          [--profile quick|default] [--train-samples N] [--workers N]\n             \
          [--max-batch N] [--deadline-us N] [--cache-bytes N[k|m|g]] [--cache-shards N]\n             \
          [--precompute-workers N] [--inline-miss] [--max-conns N]\n             \
-         [--sweep arch|quantized] [--preload FILE]…\n  \
+         [--sweep arch|quantized] [--encoding f32|f16|int8] [--preload FILE]…\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
          [--trace N] [--start N] [--count N]"
 }
@@ -170,23 +171,22 @@ fn serve_profile(args: &[String]) -> ReproProfile {
     }
 }
 
-/// Parses a byte size with an optional `k`/`m`/`g` suffix (e.g. `512m`).
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (e.g. `512m`),
+/// rejecting zero and overflow with the parser's typed error.
 fn parse_bytes(flag: &str, v: &str) -> usize {
-    let digits = v.trim_end_matches(|c: char| c.is_ascii_alphabetic());
-    let suffix = &v[digits.len()..];
-    let n: usize = digits
-        .parse()
-        .unwrap_or_else(|_| bail(&format!("{flag} `{v}` is not a byte size")));
-    let mult = match suffix.to_ascii_lowercase().as_str() {
-        "" | "b" => 1,
-        "k" | "kb" => 1 << 10,
-        "m" | "mb" => 1 << 20,
-        "g" | "gb" => 1 << 30,
-        other => bail(&format!(
-            "{flag} suffix `{other}` is not one of k, m, g (got `{v}`)"
-        )),
-    };
-    n.saturating_mul(mult)
+    parse_byte_size(v).unwrap_or_else(|e| bail(&format!("{flag}: {e}")))
+}
+
+/// Parses `--encoding f32|f16|int8` (default `f32`).
+fn parse_encoding(args: &[String]) -> ArenaEncoding {
+    match flag_value(args, "--encoding") {
+        None => ArenaEncoding::F32,
+        Some(v) => ArenaEncoding::parse(v).unwrap_or_else(|| {
+            bail(&format!(
+                "unknown --encoding `{v}` (expected f32, f16, or int8)"
+            ))
+        }),
+    }
 }
 
 fn serve_config(args: &[String]) -> ServeConfig {
@@ -222,6 +222,7 @@ fn serve_config(args: &[String]) -> ServeConfig {
         },
         max_connections: parse_num(args, "--max-conns", defaults.max_connections),
         sweep,
+        store_encoding: parse_encoding(args),
     }
 }
 
@@ -468,12 +469,16 @@ fn main() {
                     "unknown workload '{id}'; run `concorde workloads` for the list"
                 ))
             });
+            let encoding = parse_encoding(&args);
             let warm_start = start.saturating_sub(profile.warmup_len as u64);
             let warm_len = (start - warm_start) as usize;
             let region = generate_region(&spec, trace, warm_start, warm_len + len as usize);
             let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
             let t0 = std::time::Instant::now();
-            let store = FeatureStore::precompute(w, r, &sweep, &profile);
+            let mut store = FeatureStore::precompute(w, r, &sweep, &profile);
+            if encoding != ArenaEncoding::F32 {
+                store = store.reencoded(encoding);
+            }
             let precompute_time = t0.elapsed();
             let key = FeatureKey {
                 workload: id.to_string(),
@@ -488,11 +493,15 @@ fn main() {
                 .save(path)
                 .unwrap_or_else(|e| bail(&format!("cannot write {out}: {e}")));
             let file_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            let f32_equiv = artifact.store.encoded_bytes_f32() + artifact.store.raw_bytes_f64();
+            let quantized = artifact.store.encoded_bytes() + artifact.store.raw_bytes();
             println!(
-                "{id}: precomputed in {precompute_time:?} (schema v{SCHEMA_VERSION}); \
-                 {} encoded bytes, {} raw bytes, artifact {out} ({file_bytes} bytes)",
+                "{id}: precomputed in {precompute_time:?} (schema v{SCHEMA_VERSION}, \
+                 encoding {encoding}); {} encoded bytes, {} raw bytes \
+                 ({:.2}x vs f32), artifact {out} ({file_bytes} bytes)",
                 artifact.store.encoded_bytes(),
-                artifact.store.raw_bytes()
+                artifact.store.raw_bytes(),
+                f32_equiv as f64 / quantized.max(1) as f64,
             );
             println!(
                 "serve it with: concorde serve --preload {out}{}",
@@ -505,10 +514,14 @@ fn main() {
         }
         "inspect" => {
             let path = operand(&args, 1, "artifact path (usage: concorde inspect <FILE>)");
-            let artifact = StoreArtifact::load(std::path::Path::new(path))
+            // Inspect maps rather than reads: O(page faults) even for a
+            // fleet-sized artifact, and it proves the file is mmap-servable.
+            let artifact = StoreArtifact::map(std::path::Path::new(path))
                 .unwrap_or_else(|e| bail(&format!("cannot load {path}: {e}")));
             let store = &artifact.store;
             let schema = store.schema(FeatureVariant::Full);
+            let f32_equiv = store.encoded_bytes_f32() + store.raw_bytes_f64();
+            let quantized = store.encoded_bytes() + store.raw_bytes();
             let report = serde_json::json!({
                 "artifact": {
                     "path": path,
@@ -518,14 +531,18 @@ fn main() {
                     "start": artifact.key.start,
                     "region_len": artifact.key.region_len,
                     "sweep_hash": format!("{:#018x}", artifact.key.sweep_hash),
+                    "mmap": store.is_mapped(),
                 },
                 "store": {
                     "n_instr": store.n_instr(),
                     "n_windows": store.n_windows(),
                     "encoding_levels": store.encoding().levels,
                     "encoding_dim": store.encoding().dim(),
+                    "arena_encoding": store.arena_encoding().name(),
                     "encoded_bytes": store.encoded_bytes(),
                     "raw_bytes": store.raw_bytes(),
+                    "f32_equivalent_bytes": f32_equiv,
+                    "compression_ratio": f32_equiv as f64 / quantized.max(1) as f64,
                     // Full resident footprint: what the serving cache's byte
                     // budget charges for this store — size `--cache-bytes`
                     // from this.
@@ -580,11 +597,13 @@ fn main() {
                 .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
             eprintln!(
                 "[serve] listening on {addr} ({} workers, {} precompute threads); \
-                 cache: {} shards, {} byte budget; protocol: one JSON request per line",
+                 cache: {} shards, {} byte budget, {} stores; \
+                 protocol: one JSON request per line",
                 service.workers(),
                 service.precompute_workers(),
                 service.config().effective_cache_shards(),
                 service.config().cache_bytes,
+                service.config().store_encoding,
             );
             eprintln!(
                 "[serve] try: echo '{{\"workload\": \"S5\", \"arch\": {{\"base\": \"n1\"}}}}' | nc {addr}"

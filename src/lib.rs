@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use concorde_ml::{AdamW, ErrorStats, HalvingSchedule, LstmRegressor, Mlp, MlpScratch};
     pub use concorde_serve::{
-        ArchSpec, Client, MissPolicy, PredictRequest, PredictResponse, PredictionService,
-        ServeConfig, ServiceStats, SweepScope, TcpClient,
+        parse_byte_size, ArchSpec, ByteSizeError, Client, MissPolicy, PredictRequest,
+        PredictResponse, PredictionService, ServeConfig, ServiceStats, SweepScope, TcpClient,
     };
     pub use concorde_trace::{
         by_id, generate_region, sample_region, suite, DynTrace, Instruction, OpClass, RegionRef,

@@ -44,27 +44,33 @@ fn features_into_allocates_nothing() {
     off.lq_size = 40;
     off.alu_width = 5;
 
-    for arch in [n1, big, off] {
-        for v in [
-            FeatureVariant::Base,
-            FeatureVariant::BaseBranch,
-            FeatureVariant::Full,
-        ] {
-            let mut buf = vec![0.0f32; FeatureSchema::dim_for(profile.encoding, v)];
-            // Warm once (first call has nothing left to lazily set up, but
-            // keep the measurement honest anyway).
-            store.features_into(&arch, v, &mut buf);
-            let before = ALLOCS.load(Ordering::SeqCst);
-            for _ in 0..16 {
+    // The zero-allocation guarantee must hold for every arena encoding:
+    // f16/f32 conversion and int8 affine dequantization happen in-place on
+    // the caller's buffer, never through a temporary.
+    for enc in ArenaEncoding::ALL {
+        let store = store.reencoded(enc);
+        for arch in [n1, big, off] {
+            for v in [
+                FeatureVariant::Base,
+                FeatureVariant::BaseBranch,
+                FeatureVariant::Full,
+            ] {
+                let mut buf = vec![0.0f32; FeatureSchema::dim_for(profile.encoding, v)];
+                // Warm once (first call has nothing left to lazily set up,
+                // but keep the measurement honest anyway).
                 store.features_into(&arch, v, &mut buf);
+                let before = ALLOCS.load(Ordering::SeqCst);
+                for _ in 0..16 {
+                    store.features_into(&arch, v, &mut buf);
+                }
+                let after = ALLOCS.load(Ordering::SeqCst);
+                assert_eq!(
+                    after - before,
+                    0,
+                    "features_into allocated {} times for {v:?} under {enc}",
+                    after - before
+                );
             }
-            let after = ALLOCS.load(Ordering::SeqCst);
-            assert_eq!(
-                after - before,
-                0,
-                "features_into allocated {} times for {v:?}",
-                after - before
-            );
         }
     }
 }

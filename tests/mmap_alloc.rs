@@ -1,0 +1,148 @@
+//! Proves the zero-copy claims of `StoreArtifact::map`:
+//!
+//! 1. Mapping an artifact allocates only metadata (grids, keys, the struct) —
+//!    **no arena bytes pass through the heap** — measured with a
+//!    byte-counting global allocator against the owned `load` baseline.
+//! 2. Evicting a mapped store from the serving cache (and dropping the last
+//!    reader) releases the mapping (`munmap`), observed via the live-mapping
+//!    counter and `/proc/self/maps`.
+//!
+//! Kept as a single test in its own binary so no concurrent test's
+//! allocations or mappings race the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use concorde_suite::core::cache::{FeatureKey, ShardedStoreCache};
+use concorde_suite::prelude::*;
+
+struct Counting;
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+fn allocated<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOC_BYTES.load(Ordering::SeqCst);
+    let out = f();
+    (out, ALLOC_BYTES.load(Ordering::SeqCst) - before)
+}
+
+#[cfg(target_os = "linux")]
+fn maps_mention(path: &std::path::Path) -> bool {
+    std::fs::read_to_string("/proc/self/maps")
+        .map(|m| m.contains(path.file_name().unwrap().to_str().unwrap()))
+        .unwrap_or(false)
+}
+
+#[test]
+#[cfg_attr(
+    not(unix),
+    ignore = "mmap loading is unix-only; other targets read owned"
+)]
+fn mapped_preload_copies_no_arena_bytes_and_eviction_unmaps() {
+    // A store with enough arena payload that a copy would dominate any
+    // metadata allocation by orders of magnitude.
+    let profile = ReproProfile {
+        window_k: 64,
+        ..ReproProfile::quick()
+    };
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let n1 = MicroArch::arm_n1();
+    let big = MicroArch::big_core();
+    let store = FeatureStore::precompute(w, r, &SweepConfig::for_pair(&big, &n1), &profile);
+    let key = FeatureKey {
+        workload: "S5".to_string(),
+        trace: 0,
+        start: 0,
+        region_len: profile.region_len as u32,
+        sweep_hash: 5,
+    };
+    let path = std::env::temp_dir().join(format!("concorde_mmap_alloc_{}.cfa", std::process::id()));
+    StoreArtifact::new(key.clone(), store).save(&path).unwrap();
+    let file_bytes = std::fs::metadata(&path).unwrap().len();
+    assert!(file_bytes > 64 * 1024, "fixture too small: {file_bytes} B");
+
+    // Owned load allocates at least the whole file (read buffer) plus the
+    // aligned arena copy; the map must stay an order of magnitude under it.
+    let (owned, owned_bytes) = allocated(|| StoreArtifact::load(&path).unwrap());
+    assert!(owned_bytes >= file_bytes, "owned load reads the file");
+    let maps_before = MappedStore::live_mmap_count();
+    let (mapped, map_bytes) = allocated(|| StoreArtifact::map(&path).unwrap());
+    assert!(mapped.store.is_mapped());
+    assert_eq!(MappedStore::live_mmap_count(), maps_before + 1);
+    assert!(
+        map_bytes * 8 < owned_bytes,
+        "mapping must not copy arena bytes: map allocated {map_bytes} B \
+         vs owned {owned_bytes} B (file {file_bytes} B)"
+    );
+    assert!(
+        map_bytes < file_bytes / 4,
+        "map-time allocations ({map_bytes} B) must be metadata-sized, \
+         not payload-sized (file {file_bytes} B)"
+    );
+    #[cfg(target_os = "linux")]
+    assert!(
+        maps_mention(&path),
+        "mapping must appear in /proc/self/maps"
+    );
+
+    // Mapped and owned stores must agree bit-for-bit.
+    let a = mapped.store.features(&n1, FeatureVariant::Full);
+    let b = owned.store.features(&n1, FeatureVariant::Full);
+    assert_eq!(
+        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+    );
+
+    // Cache admission accounts the quantized/mapped store like any other,
+    // and *evicting* it releases the mapping once the last reader drops.
+    let mapped_store = Arc::new(mapped.store);
+    let bytes = mapped_store.approx_bytes();
+    let cache = ShardedStoreCache::new(1, bytes + bytes / 2);
+    cache.insert(key.clone(), Arc::clone(&mapped_store));
+    drop(mapped_store); // the cache now holds the only reference
+    assert_eq!(
+        MappedStore::live_mmap_count(),
+        maps_before + 1,
+        "resident cache entry keeps the mapping alive"
+    );
+    // Insert a second store under the same budget → the mapped one is LRU.
+    let evicted_key = FeatureKey {
+        start: 1,
+        ..key.clone()
+    };
+    let evicted = cache.insert(evicted_key, Arc::new(owned.store.clone()));
+    assert_eq!(evicted, vec![key]);
+    assert_eq!(
+        MappedStore::live_mmap_count(),
+        maps_before,
+        "eviction must munmap once no reader holds the store"
+    );
+    #[cfg(target_os = "linux")]
+    assert!(
+        !maps_mention(&path),
+        "released mapping must leave /proc/self/maps"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,299 @@
+//! Quantized-arena coverage: per-block dequantization error bounds
+//! (proptest), end-to-end prediction drift under `f16`/`int8` vs the `f32`
+//! reference, footprint shrinkage, and bit-exact artifact round-trips for
+//! every encoding — including mmap-vs-owned load equivalence.
+
+use concorde_suite::core::cache::FeatureKey;
+use concorde_suite::prelude::*;
+
+fn quick_profile() -> ReproProfile {
+    // window_k 64 → 64 raw windows per series: the representative shape for
+    // footprint ratios (the default profile's k=256 over 24k-instruction
+    // regions yields a similar windows-per-series count).
+    ReproProfile {
+        window_k: 64,
+        ..ReproProfile::quick()
+    }
+}
+
+/// One quick two-config store (the `for_pair` sweep exercises multi-d_cfg
+/// tables, including the latency arenas).
+fn reference_store() -> (FeatureStore, MicroArch, MicroArch) {
+    let profile = quick_profile();
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let n1 = MicroArch::arm_n1();
+    let big = MicroArch::big_core();
+    let store = FeatureStore::precompute(w, r, &SweepConfig::for_pair(&big, &n1), &profile);
+    (store, n1, big)
+}
+
+#[test]
+fn f32_reencode_is_bitwise_identity() {
+    let (store, n1, _) = reference_store();
+    let same = store.reencoded(ArenaEncoding::F32);
+    assert_eq!(store.to_bytes(), same.to_bytes());
+    assert_eq!(
+        store
+            .features(&n1, FeatureVariant::Full)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>(),
+        same.features(&n1, FeatureVariant::Full)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn int8_store_shrinks_approx_bytes_at_least_3x() {
+    let (store, _, _) = reference_store();
+    let int8 = store.reencoded(ArenaEncoding::Int8);
+    let f16 = store.reencoded(ArenaEncoding::F16);
+    let (b32, b16, b8) = (
+        store.approx_bytes(),
+        f16.approx_bytes(),
+        int8.approx_bytes(),
+    );
+    assert!(
+        b32 >= 3 * b8,
+        "int8 must shrink the cache-accounted footprint ≥3×: f32 {b32} vs int8 {b8}"
+    );
+    assert!(
+        b32 > b16 && b16 > b8,
+        "footprints must order f32 > f16 > int8: {b32} / {b16} / {b8}"
+    );
+    // The quantized store reports its quantized encoded payload too.
+    assert!(store.encoded_bytes() > int8.encoded_bytes() * 2);
+    assert_eq!(store.encoded_bytes_f32(), int8.encoded_bytes_f32());
+}
+
+/// Max |a-b| over a feature vector, with the index for diagnostics.
+fn max_abs_diff(a: &[f32], b: &[f32]) -> (f32, usize) {
+    let mut worst = (0.0f32, 0usize);
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let d = (x - y).abs();
+        if d > worst.0 {
+            worst = (d, i);
+        }
+    }
+    worst
+}
+
+#[test]
+fn quantized_feature_vectors_stay_near_the_f32_reference() {
+    let (store, n1, big) = reference_store();
+    for arch in [n1, big] {
+        let reference = store.features(&arch, FeatureVariant::Full);
+        let scale = reference.iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let f16 = store
+            .reencoded(ArenaEncoding::F16)
+            .features(&arch, FeatureVariant::Full);
+        let (d16, i16) = max_abs_diff(&reference, &f16);
+        assert!(
+            d16 <= scale * 5e-4 + 1e-6,
+            "f16 drift {d16} at dim {i16} (scale {scale})"
+        );
+        let int8 = store
+            .reencoded(ArenaEncoding::Int8)
+            .features(&arch, FeatureVariant::Full);
+        let (d8, i8_) = max_abs_diff(&reference, &int8);
+        // Per-block affine: error ≤ half a step of that block's range, which
+        // is bounded by the global value scale / 255 / 2 (plus float slack).
+        assert!(
+            d8 <= scale / 255.0 * 0.51 + 1e-4,
+            "int8 drift {d8} at dim {i8_} (scale {scale})"
+        );
+    }
+}
+
+fn tiny_model(profile: &ReproProfile) -> ConcordePredictor {
+    let mut p = profile.clone();
+    p.epochs = 3;
+    let data = generate_dataset(&DatasetConfig {
+        profile: p.clone(),
+        n: 16,
+        seed: 23,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15, 20]),
+        threads: 0,
+    });
+    train_model(&data, &p, &TrainOptions::default())
+}
+
+/// Golden-tolerance drift pin: predictions from quantized stores must stay
+/// within a small relative CPI delta of the f32 reference. The assert
+/// message reports the measured delta so a regression names its magnitude.
+#[test]
+fn prediction_drift_f16_below_1pct_int8_below_5pct() {
+    let profile = quick_profile();
+    let model = tiny_model(&profile);
+    let (store, n1, big) = reference_store();
+    let mut off = n1;
+    off.rob_size = 200;
+    off.lq_size = 40;
+    for arch in [n1, big, off] {
+        let reference = model.predict(&store, &arch);
+        assert!(reference.is_finite() && reference > 0.0);
+        for (enc, tol) in [(ArenaEncoding::F16, 0.01), (ArenaEncoding::Int8, 0.05)] {
+            let q = model.predict(&store.reencoded(enc), &arch);
+            let delta = (q - reference).abs() / reference;
+            assert!(
+                delta <= tol,
+                "{enc} CPI drift {:.4}% exceeds {:.1}% (f32 CPI {reference:.4} → {enc} {q:.4})",
+                delta * 100.0,
+                tol * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn min_bound_survives_quantization_approximately() {
+    // The analytic min-bound takes a per-window min over 9 raw series, which
+    // amplifies per-series quantization error (every series' negative error
+    // can win a window) — so its tolerance is looser than the ML path's,
+    // which normalizes its inputs. Measured drift on this fixture: f16
+    // ≈0.001%, int8 ≈8%.
+    let (store, n1, _) = reference_store();
+    let reference = store.min_bound_cpi(&n1);
+    for (enc, tol) in [(ArenaEncoding::F16, 0.01), (ArenaEncoding::Int8, 0.15)] {
+        let q = store.reencoded(enc).min_bound_cpi(&n1);
+        let delta = (q - reference).abs() / reference;
+        assert!(
+            delta < tol,
+            "{enc} min-bound drift {delta:.4} (f32 {reference} vs {q})"
+        );
+    }
+}
+
+#[test]
+fn artifact_roundtrip_is_bitwise_for_every_encoding() {
+    let (store, n1, _) = reference_store();
+    for enc in ArenaEncoding::ALL {
+        let encoded = store.reencoded(enc);
+        let key = FeatureKey {
+            workload: "S5".to_string(),
+            trace: 0,
+            start: 0,
+            region_len: 4096,
+            sweep_hash: 11,
+        };
+        let artifact = StoreArtifact::new(key.clone(), encoded.clone());
+        let bytes = artifact.to_bytes();
+        // Owned round-trip: container + store re-serialize to identical
+        // bytes, and assembled features match bit-for-bit.
+        let back = StoreArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.key, key, "{enc}");
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.store.to_bytes(), encoded.to_bytes(), "{enc}");
+        assert_eq!(back.store.arena_encoding(), enc);
+        let reference: Vec<u32> = encoded
+            .features(&n1, FeatureVariant::Full)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let owned: Vec<u32> = back
+            .store
+            .features(&n1, FeatureVariant::Full)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(reference, owned, "{enc}: owned load diverged");
+
+        // Mapped round-trip: identical bits without copying arena payloads.
+        let path =
+            std::env::temp_dir().join(format!("concorde_quant_{}_{}.cfa", enc, std::process::id()));
+        artifact.save(&path).unwrap();
+        let mapped = StoreArtifact::map(&path).unwrap();
+        assert_eq!(mapped.key, key);
+        assert_eq!(mapped.store.arena_encoding(), enc);
+        if cfg!(unix) {
+            assert!(mapped.store.is_mapped(), "{enc}: unix load must be mmap");
+        }
+        let via_map: Vec<u32> = mapped
+            .store
+            .features(&n1, FeatureVariant::Full)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(reference, via_map, "{enc}: mapped load diverged");
+        assert_eq!(mapped.store.to_bytes(), encoded.to_bytes(), "{enc}");
+        assert_eq!(
+            mapped.store.min_bound_cpi(&n1).to_bits(),
+            back.store.min_bound_cpi(&n1).to_bits(),
+            "{enc}: raw series must read identically mapped vs owned"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn schema_reports_the_arena_encoding() {
+    let (store, _, _) = reference_store();
+    assert_eq!(
+        store.schema(FeatureVariant::Full).arena_encoding,
+        ArenaEncoding::F32
+    );
+    let int8 = store.reencoded(ArenaEncoding::Int8);
+    let schema = int8.schema(FeatureVariant::Full);
+    assert_eq!(schema.version, SCHEMA_VERSION);
+    assert_eq!(schema.arena_encoding, ArenaEncoding::Int8);
+    // The annotation must survive the wire (serde round-trip).
+    let json = serde_json::to_string(&schema).unwrap();
+    let back: FeatureSchema = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.arena_encoding, ArenaEncoding::Int8);
+    assert_eq!(back, schema);
+}
+
+mod block_error_bounds {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Per-block int8 bound: every dequantized element sits within half
+        /// a quantization step of the block's own min/max range.
+        #[test]
+        fn int8_block_error_is_at_most_half_a_step(
+            vals in proptest::collection::vec(-1.0e4f32..1.0e4, 1..96),
+        ) {
+            let stride = vals.len();
+            let arena = EncArena::from_f32(&vals, stride, ArenaEncoding::Int8);
+            let mut out = vec![0f32; stride];
+            arena.write_entry(0, &mut out);
+            let lo = vals.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = vals.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let step = (f64::from(hi) - f64::from(lo)) / 255.0;
+            for (o, d) in vals.iter().zip(&out) {
+                let err = (f64::from(*o) - f64::from(*d)).abs();
+                prop_assert!(
+                    err <= step * 0.501 + 1e-3,
+                    "err {err} exceeds half-step {} (block range {lo}..{hi})", step / 2.0
+                );
+            }
+        }
+
+        /// f16 bound: ≤ 2⁻¹¹ relative error for normal-range values (the
+        /// round-to-nearest half-precision guarantee), checked per element.
+        #[test]
+        fn f16_block_error_is_within_half_ulp(
+            vals in proptest::collection::vec(-6.0e4f32..6.0e4, 1..96),
+        ) {
+            let stride = vals.len();
+            let arena = EncArena::from_f32(&vals, stride, ArenaEncoding::F16);
+            let mut out = vec![0f32; stride];
+            arena.write_entry(0, &mut out);
+            for (o, d) in vals.iter().zip(&out) {
+                let err = (o - d).abs();
+                prop_assert!(
+                    err <= o.abs() * 4.9e-4 + 6.0e-5,
+                    "{o} → {d}: err {err}"
+                );
+            }
+        }
+    }
+}

@@ -446,6 +446,120 @@ fn parked_requests_keep_their_ids_and_archs() {
 }
 
 #[test]
+fn hot_cold_keys_build_before_lonely_ones() {
+    // Miss-pool prioritization: with the single pool worker pinned on a slow
+    // build (A), a cold key with 3 parked requests (C) must build before a
+    // cold key with 1 parked request (B) submitted *earlier* — parked-count
+    // order, not FIFO.
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(
+        model,
+        profile,
+        ServeConfig {
+            workers: 2,
+            max_batch: 1,
+            batch_deadline: Duration::from_micros(1),
+            precompute_workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let client = service.client();
+    let mut a = PredictRequest::new(0, "S5", ArchSpec::base("n1"));
+    a.len = if cfg!(debug_assertions) {
+        16_384
+    } else {
+        131_072
+    };
+    let a_rx = client.submit(a).unwrap();
+
+    // B first (1 waiter), then C (3 waiters on one key).
+    let mut b = PredictRequest::new(1, "O1", ArchSpec::base("n1"));
+    b.start = 65_536;
+    b.len = 512;
+    let b_rx = client.submit(b).unwrap();
+    let c_rxs: Vec<_> = (0..3u64)
+        .map(|i| {
+            let mut c = PredictRequest::new(10 + i, "C1", ArchSpec::base("n1"));
+            c.start = 65_536;
+            c.len = 512;
+            client.submit(c).unwrap()
+        })
+        .collect();
+    // Guard: the ordering below is only meaningful if the pool was still
+    // busy with A while B and C queued. A's build takes orders of magnitude
+    // longer than these submissions, so this effectively never skips.
+    let contended = service.metrics().precomputes == 0;
+
+    let b_resp = b_rx.recv().unwrap();
+    let c_resps: Vec<PredictResponse> = c_rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
+    let a_resp = a_rx.recv().unwrap();
+    for r in c_resps.iter().chain([&b_resp, &a_resp]) {
+        assert!(r.cpi.is_some(), "id {}: {:?}", r.id, r.error);
+    }
+    if contended {
+        // `micros` is enqueue→response latency; B was enqueued *before*
+        // every C, so B finishing after C implies strictly larger latency.
+        let c_max = c_resps.iter().map(|r| r.micros).max().unwrap();
+        assert!(
+            b_resp.micros > c_max,
+            "the 3-waiter key must build before the earlier 1-waiter key \
+             (B {}µs vs C max {}µs)",
+            b_resp.micros,
+            c_max
+        );
+        let m = service.metrics();
+        assert_eq!(m.coalesced, 2, "C's extra requests must coalesce");
+        assert_eq!(m.precomputes, 3, "three keys → three builds");
+        assert_eq!(m.parked, 0);
+    }
+}
+
+#[test]
+fn int8_serving_matches_f32_within_tolerance() {
+    // `--encoding int8` end to end: the miss path quantizes built stores, the
+    // schema + stats report it, and predictions stay within the drift bound
+    // pinned by tests/quantization.rs.
+    let (model, profile) = tiny_service_parts();
+    let f32_model = model.clone();
+    let service = PredictionService::start(
+        model,
+        profile.clone(),
+        ServeConfig {
+            store_encoding: ArenaEncoding::Int8,
+            ..quick_config()
+        },
+    );
+    let client = service.client();
+    let req = PredictRequest::new(1, "S5", ArchSpec::base("n1"));
+    let first = client.predict(req.clone()).unwrap();
+    let cpi = first.cpi.expect("int8 serving must answer");
+    // Reference: the same region through an f32 store, predicted directly.
+    let arch = req.arch.resolve().unwrap();
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.region_len);
+    let store =
+        FeatureStore::precompute(&[], &full.instrs, &SweepConfig::for_arch(&arch), &profile);
+    let direct = f32_model.predict(&store, &arch);
+    assert!(
+        (cpi - direct).abs() / direct < 0.05,
+        "int8-served CPI {cpi} vs f32 direct {direct}"
+    );
+    // The quantized store is what's resident: it must be smaller than its
+    // f32 equivalent would be.
+    let stats = service.stats();
+    assert_eq!(stats.store_encoding, Some(ArenaEncoding::Int8));
+    // Strictly smaller resident footprint than the f32 equivalent (this
+    // tiny 2048-instruction fixture is dominated by fixed struct overhead;
+    // the ≥3× arena shrinkage is pinned in tests/quantization.rs).
+    assert!(stats.cache.totals.bytes < store.approx_bytes());
+    assert_eq!(service.schema().arena_encoding, ArenaEncoding::Int8);
+    // Repeat queries hit the quantized store bitwise-stably.
+    let second = client.predict(req).unwrap();
+    assert!(second.cached);
+    assert_eq!(second.cpi.unwrap().to_bits(), cpi.to_bits());
+}
+
+#[test]
 fn stats_report_cache_occupancy_and_bytes() {
     let (model, profile) = tiny_service_parts();
     let service = PredictionService::start(
