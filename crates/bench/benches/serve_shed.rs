@@ -1,0 +1,164 @@
+//! Criterion bench for SLO-aware miss load-shedding: cold-storm tail
+//! latency with shedding on vs off.
+//!
+//! Scenario: a single batch worker and a single precompute worker, a byte
+//! budget that keeps a ring of cold regions permanently evicted, and every
+//! measured request carrying a tight `deadline_ms`. Each iteration first
+//! fires a fire-and-forget cold request (keeping the pool backlogged), then
+//! measures a deadline-carrying cold request end to end:
+//!
+//! - `shed_off` — no SLO: the measured request parks until its full
+//!   feature-store build lands, so its latency is one-to-two precompute
+//!   builds (it queues behind the storm).
+//! - `shed_on` — the same load with `--miss-slo-ms`-style deadlines: the
+//!   backlogged miss is answered immediately with the flagged analytic
+//!   min-bound, so the reported median IS the bounded degraded-answer
+//!   latency (trace analysis at one grid point, no store build).
+//!
+//! After the measured scenarios the bench prints the shed rate each service
+//! observed and the analytic-vs-exact CPI gap for the cold region, so the
+//! accuracy cost of the bounded tail is visible next to the latency win.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use concorde_core::prelude::*;
+use concorde_serve::{ArchSpec, PredictRequest, PredictionService, ServeConfig, SweepScope};
+use concorde_trace::by_id;
+
+struct Setup {
+    model: ConcordePredictor,
+    profile: ReproProfile,
+}
+
+fn setup() -> Setup {
+    let profile = ReproProfile::quick();
+    let data = generate_dataset(&DatasetConfig {
+        profile: profile.clone(),
+        n: 48,
+        seed: 1,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15, 16]),
+        threads: 0,
+    });
+    let model = train_model(
+        &data,
+        &profile,
+        &TrainOptions {
+            epochs: Some(3),
+            ..TrainOptions::default()
+        },
+    );
+    Setup { model, profile }
+}
+
+/// The cold-storm request ring: distinct far-apart region starts, so each
+/// submission is a genuine miss once the tight budget has evicted its store.
+fn cold_request(id: u64, slot: u64, deadline_ms: Option<u64>) -> PredictRequest {
+    let mut r = PredictRequest::new(id, "S5", ArchSpec::base("n1"));
+    r.start = 1_000_000 * (1 + slot % 4);
+    r.deadline_ms = deadline_ms;
+    r
+}
+
+fn bench_shed(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("serve_shed");
+
+    let arch = concorde_cyclesim::MicroArch::arm_n1();
+    let cold_store_bytes = {
+        let spec = by_id("S5").unwrap();
+        let full = concorde_trace::generate_region(
+            &spec,
+            0,
+            1_000_000 - s.profile.warmup_len as u64,
+            s.profile.warmup_len + s.profile.region_len,
+        );
+        let (w, r) = full.instrs.split_at(s.profile.warmup_len);
+        FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &s.profile).approx_bytes()
+    };
+
+    for (name, deadline_ms) in [("shed_off", None), ("shed_on", Some(2u64))] {
+        let service = PredictionService::start(
+            s.model.clone(),
+            s.profile.clone(),
+            ServeConfig {
+                workers: 1,
+                precompute_workers: 1,
+                max_batch: 8,
+                batch_deadline: Duration::from_micros(200),
+                // Budget below ~2 cold stores on one shard: each landing
+                // build evicts an earlier ring member, so the storm never
+                // warms up.
+                cache_shards: 1,
+                cache_bytes: cold_store_bytes * 3 / 2,
+                sweep: SweepScope::PerArch,
+                ..ServeConfig::default()
+            },
+        );
+        let client = service.client();
+        // Seed the build-latency EWMA (the shed decision is conservative
+        // until one build has been observed).
+        client
+            .predict(cold_request(0, 0, None))
+            .expect("seed the EWMA");
+
+        let seq = AtomicU64::new(1);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function(format!("cold_storm_deadline_p50/{name}"), |b| {
+            b.iter(|| {
+                let i = seq.fetch_add(2, Ordering::Relaxed);
+                // Keep the pool backlogged: one fire-and-forget cold miss…
+                let _storm = client.submit(cold_request(1_000_000 + i, i, None));
+                // …then the measured deadline-carrying cold request.
+                client
+                    .predict(cold_request(2_000_000 + i, i + 1, deadline_ms))
+                    .expect("measured cold request")
+            });
+        });
+
+        let m = service.metrics();
+        eprintln!(
+            "[serve_shed] {name}: shed {} of {} completed ({:.1}% shed rate), \
+             build EWMA {}µs, inflight builds at end {}",
+            m.shed,
+            m.completed,
+            100.0 * m.shed as f64 / m.completed.max(1) as f64,
+            m.build_ewma_us,
+            m.inflight_builds,
+        );
+        drop(client);
+        drop(service);
+    }
+    g.finish();
+
+    // Accuracy cost of a shed answer for one cold ring region: the exact
+    // model prediction vs the analytic min-bound the shed path returns.
+    let spec = by_id("S5").unwrap();
+    let start = 1_000_000u64;
+    let warm_start = start - s.profile.warmup_len as u64;
+    let full = concorde_trace::generate_region(
+        &spec,
+        0,
+        warm_start,
+        s.profile.warmup_len + s.profile.region_len,
+    );
+    let (w, r) = full.instrs.split_at(s.profile.warmup_len);
+    let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &s.profile);
+    let exact = s.model.predict(&store, &arch);
+    let bound = analytic_min_bound_cpi(w, r, &arch, &s.profile);
+    eprintln!(
+        "[serve_shed] analytic-vs-exact CPI gap on the cold region: \
+         exact {exact:.4}, min-bound {bound:.4} ({:+.1}% relative)",
+        100.0 * (bound - exact) / exact
+    );
+}
+
+criterion_group! {
+    name = shed;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shed
+}
+criterion_main!(shed);

@@ -1000,6 +1000,11 @@ impl FeatureStore {
     /// The pure-analytical CPI estimate: per window, take the minimum of all
     /// per-resource throughput bounds (and the static widths), then average
     /// window CPIs (the pink "min bound" line of Figure 12).
+    ///
+    /// The combination is shared with
+    /// [`MinBoundEstimator`](crate::minbound::MinBoundEstimator), the
+    /// store-free fast path: for an architecture exactly on this store's
+    /// grid the two are bitwise identical.
     pub fn min_bound_cpi(&self, arch: &MicroArch) -> f64 {
         let series: [Cow<'_, [f64]>; 9] = [
             self.raw_series(Resource::Rob, arch),
@@ -1012,25 +1017,7 @@ impl FeatureStore {
             self.raw_series(Resource::IcacheFills, arch),
             self.raw_series(Resource::FetchBuffers, arch),
         ];
-        let static_bound = f64::from(
-            arch.commit_width
-                .min(arch.fetch_width)
-                .min(arch.decode_width)
-                .min(arch.rename_width),
-        );
-        let windows = series.iter().map(|s| s.len()).min().unwrap_or(0);
-        if windows == 0 {
-            return 1.0;
-        }
-        let mut cpi_sum = 0.0;
-        for j in 0..windows {
-            let mut thr = static_bound;
-            for s in &series {
-                thr = thr.min(s[j]);
-            }
-            cpi_sum += 1.0 / thr.max(1e-6);
-        }
-        cpi_sum / windows as f64
+        crate::minbound::combine_min_bound(&series.each_ref().map(|s| s.as_ref()), arch)
     }
 
     fn enc_arenas(&self) -> [&EncArena; 14] {

@@ -36,6 +36,7 @@ pub mod dataset;
 pub mod features;
 pub mod longrun;
 pub mod metrics;
+pub mod minbound;
 pub mod model;
 pub mod parallel;
 pub mod schema;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::features::{FeatureLayout, FeatureStore, FeatureVariant, Resource};
     pub use crate::longrun::{long_program_experiment, LongRunResult};
     pub use crate::metrics::{bucketed, per_program, GroupStats};
+    pub use crate::minbound::{analytic_min_bound_cpi, MinBoundEstimator};
     pub use crate::model::{ConcordePredictor, Normalizer};
     pub use crate::parallel::{parallel_map, parallel_map_all};
     pub use crate::schema::{BlockGroup, FeatureBlock, FeatureSchema, SCHEMA_VERSION};

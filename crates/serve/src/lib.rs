@@ -46,6 +46,6 @@ pub use client::{Client, TcpClient};
 pub use protocol::{ArchSpec, PredictRequest, PredictResponse};
 pub use server::workload_catalog;
 pub use service::{
-    CacheReport, MetricsSnapshot, MissPolicy, PredictionService, ServeConfig, ServeError,
-    ServiceStats, SweepScope, MAX_REGION_LEN,
+    shed_decision, CacheReport, MetricsSnapshot, MissPolicy, PredictionService, ServeConfig,
+    ServeError, ServiceStats, SweepScope, MAX_REGION_LEN,
 };

@@ -189,6 +189,15 @@ pub struct PredictRequest {
     /// Microarchitecture to predict for.
     #[serde(default)]
     pub arch: ArchSpec,
+    /// Miss-wait deadline in milliseconds. On a cache miss, if the projected
+    /// wait for this request's feature-store build exceeds the deadline, the
+    /// service answers the analytic min-bound immediately (`approx: true`,
+    /// `reason: "shed"`) instead of parking — see
+    /// [`ServeConfig::miss_slo`](crate::ServeConfig::miss_slo). Overrides the
+    /// server's `--miss-slo-ms` for this request; absent means the server
+    /// default applies. Ignored on cache hits, which are always exact.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
 }
 
 impl PredictRequest {
@@ -201,6 +210,7 @@ impl PredictRequest {
             start: 0,
             len: 0,
             arch,
+            deadline_ms: None,
         }
     }
 }
@@ -219,19 +229,46 @@ pub struct PredictResponse {
     /// Whether the region's feature store was already cached.
     #[serde(default)]
     pub cached: bool,
+    /// True when `cpi` is a degraded estimate (the analytic min-bound), not
+    /// the exact model prediction — see `reason`. Never set on a cache hit:
+    /// hits are always answered exactly.
+    #[serde(default)]
+    pub approx: bool,
+    /// Why the answer is approximate (currently only `"shed"`: the
+    /// precompute-pool backlog exceeded the request's miss-wait deadline).
+    /// `null` on exact answers — test `approx`, not key presence, to
+    /// distinguish the two.
+    #[serde(default)]
+    pub reason: Option<String>,
     /// End-to-end service latency in microseconds (enqueue → response).
     #[serde(default)]
     pub micros: u64,
 }
 
 impl PredictResponse {
-    /// Successful response.
+    /// Successful (exact) response.
     pub fn ok(id: u64, cpi: f64, cached: bool, micros: u64) -> Self {
         PredictResponse {
             id,
             cpi: Some(cpi),
             error: None,
             cached,
+            approx: false,
+            reason: None,
+            micros,
+        }
+    }
+
+    /// Degraded (load-shed) response: the analytic min-bound CPI, flagged so
+    /// clients can distinguish it from an exact answer.
+    pub fn shed(id: u64, cpi: f64, micros: u64) -> Self {
+        PredictResponse {
+            id,
+            cpi: Some(cpi),
+            error: None,
+            cached: false,
+            approx: true,
+            reason: Some("shed".to_string()),
             micros,
         }
     }
@@ -243,6 +280,8 @@ impl PredictResponse {
             cpi: None,
             error: Some(msg.into()),
             cached: false,
+            approx: false,
+            reason: None,
             micros,
         }
     }
@@ -285,5 +324,27 @@ mod tests {
         let sparse: PredictRequest = serde_json::from_str(r#"{"workload": "C1"}"#).unwrap();
         assert_eq!(sparse.trace, 0);
         assert_eq!(sparse.arch, ArchSpec::default());
+        assert_eq!(sparse.deadline_ms, None);
+        // An explicit deadline round-trips.
+        let tight: PredictRequest =
+            serde_json::from_str(r#"{"workload": "C1", "deadline_ms": 5}"#).unwrap();
+        assert_eq!(tight.deadline_ms, Some(5));
+    }
+
+    #[test]
+    fn shed_response_is_flagged_approximate() {
+        let shed = PredictResponse::shed(4, 1.5, 12);
+        assert!(shed.approx && !shed.cached);
+        assert_eq!(shed.reason.as_deref(), Some("shed"));
+        let back: PredictResponse =
+            serde_json::from_str(&serde_json::to_string(&shed).unwrap()).unwrap();
+        assert!(back.approx);
+        assert_eq!(back.reason.as_deref(), Some("shed"));
+        // Exact responses never carry the flag, and legacy response lines
+        // (no `approx` field) parse as exact.
+        assert!(!PredictResponse::ok(1, 1.0, true, 1).approx);
+        let legacy: PredictResponse =
+            serde_json::from_str(r#"{"id": 1, "cpi": 2.0, "cached": true}"#).unwrap();
+        assert!(!legacy.approx && legacy.reason.is_none());
     }
 }

@@ -6,6 +6,8 @@
 //! Protocol, one JSON document per line:
 //!
 //! - `{...}` with a `workload` field → [`PredictRequest`] → one response line
+//!   (an optional `deadline_ms` caps the miss wait: past it the server sheds
+//!   the request to the flagged analytic min-bound, `"approx": true`)
 //! - `[{...}, ...]` → batch of requests → one array response line
 //! - `{"cmd": "ping"}` → `{"ok": true}`
 //! - `{"cmd": "metrics"}` → metrics snapshot

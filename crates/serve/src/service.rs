@@ -19,6 +19,13 @@
 //!   When the store lands in the cache, the parked jobs are re-enqueued at
 //!   the front of the request queue and complete as ordinary hits (reported
 //!   with `cached: false` — their store was built on demand).
+//! - **Miss under load** (with [`ServeConfig::miss_slo`] or a per-request
+//!   `deadline_ms`) → if the projected wait (pool backlog × the observed
+//!   per-build latency EWMA, see [`shed_decision`]) exceeds the deadline,
+//!   the request is *shed*: answered immediately with the analytic
+//!   min-bound CPI computed directly from the trace (no store build),
+//!   flagged `{"approx": true, "reason": "shed"}`. The exact build still
+//!   runs, so follow-up queries get exact cache hits.
 //! - **Miss** (under [`MissPolicy::Inline`]) → the worker that took the
 //!   batch builds the store itself, blocking its batch — the pre-pool
 //!   behavior, kept as the baseline the `serve_cold_warm` bench compares
@@ -35,6 +42,7 @@ use concorde_core::cache::{
     sweep_content_hash, CacheStats, FeatureKey, ShardStats, ShardedStoreCache, StoreArtifact,
 };
 use concorde_core::features::FeatureStore;
+use concorde_core::minbound::MinBoundEstimator;
 use concorde_core::model::ConcordePredictor;
 use concorde_core::schema::FeatureSchema;
 use concorde_core::sweep::{ReproProfile, SweepConfig};
@@ -105,6 +113,17 @@ pub struct ServeConfig {
     /// many regions fit under [`ServeConfig::cache_bytes`] at a small,
     /// bounded prediction drift. Preloaded artifacts keep their own encoding.
     pub store_encoding: ArenaEncoding,
+    /// Miss-wait SLO (`--miss-slo-ms`): on a cache miss, if the projected
+    /// wait for the feature-store build (precompute-pool backlog × the
+    /// observed per-build latency EWMA, per pool worker — see
+    /// [`shed_decision`]) exceeds this, the request is *shed*: answered
+    /// immediately with the analytic min-bound CPI, flagged
+    /// `{"approx": true, "reason": "shed"}`, while the exact build still
+    /// runs and lands in the cache for later requests. A per-request
+    /// `deadline_ms` overrides this default. `None` (the default) disables
+    /// shedding — misses park until their store lands, exactly the pre-SLO
+    /// behavior. Only meaningful under [`MissPolicy::AsyncPool`].
+    pub miss_slo: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +140,7 @@ impl Default for ServeConfig {
             max_connections: 256,
             sweep: SweepScope::PerArch,
             store_encoding: ArenaEncoding::F32,
+            miss_slo: None,
         }
     }
 }
@@ -161,6 +181,39 @@ impl ServeConfig {
     }
 }
 
+/// The load-shedding decision: should a cache-miss request be answered with
+/// the degraded analytic min-bound now, instead of parking on the precompute
+/// pool until its exact feature store lands?
+///
+/// `backlog` is the number of builds the request would wait behind (its own
+/// included) *per pool worker*; `ewma_us` is the observed per-build latency
+/// EWMA in microseconds; `deadline_us` is the request's own deadline (wire
+/// `deadline_ms`, converted), which overrides the server-wide `slo_us`
+/// (`--miss-slo-ms`). The request is shed iff a limit is configured and the
+/// projected wait `backlog × ewma_us` exceeds it.
+///
+/// Guarantees (pinned by the monotonicity proptest in `tests/serving_shed.rs`):
+///
+/// - **Monotone in load**: growing `backlog` or `ewma_us` never flips an
+///   already-shed request back to waiting.
+/// - **Monotone in urgency**: tightening the effective deadline never flips
+///   shed → wait.
+/// - **Conservative bootstrap**: with no limit configured, or before any
+///   build has been observed (`ewma_us == 0`), nothing is shed.
+pub fn shed_decision(
+    backlog: usize,
+    ewma_us: u64,
+    slo_us: Option<u64>,
+    deadline_us: Option<u64>,
+) -> bool {
+    let Some(limit_us) = deadline_us.or(slo_us) else {
+        return false;
+    };
+    // u128: usize × u64 cannot overflow, so the product is exact and the
+    // decision stays monotone even at absurd backlog/EWMA values.
+    (backlog as u128) * u128::from(ewma_us) > u128::from(limit_us)
+}
+
 /// Why a submission was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
@@ -197,7 +250,8 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     coalesced: AtomicU64,
     precomputes: AtomicU64,
-    parked: AtomicUsize,
+    shed: AtomicU64,
+    shed_build_skips: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
     latency_us_sum: AtomicU64,
@@ -240,7 +294,13 @@ impl Metrics {
             },
             coalesced: self.coalesced.load(Ordering::Relaxed),
             precomputes: self.precomputes.load(Ordering::Relaxed),
-            parked: self.parked.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            shed_build_skips: self.shed_build_skips.load(Ordering::Relaxed),
+            // Miss-path gauges (parked, backlog, EWMA) are filled in by
+            // [`Shared::snapshot_with`] under a consistent lock pair.
+            parked: 0,
+            miss_backlog: 0,
+            build_ewma_us: 0,
             inflight_builds: 0,
             cache_evictions: 0,
             cache_bytes: 0,
@@ -287,9 +347,30 @@ pub struct MetricsSnapshot {
     /// Feature-store builds executed (pool or inline).
     #[serde(default)]
     pub precomputes: u64,
+    /// Cache-miss requests answered with the degraded analytic min-bound
+    /// (`approx: true`) because their projected wait exceeded the SLO or
+    /// their `deadline_ms`.
+    #[serde(default)]
+    pub shed: u64,
+    /// Speculative builds (fully-shed groups, nobody waiting) skipped
+    /// because the pool backlog already exceeded the backstop — a non-zero
+    /// value means a cold storm is outrunning the precompute pool.
+    #[serde(default)]
+    pub shed_build_skips: u64,
     /// Requests currently parked awaiting an in-flight precompute (gauge).
+    /// Read under the same locks as [`MetricsSnapshot::miss_backlog`], so one
+    /// snapshot's pair is mutually consistent.
     #[serde(default)]
     pub parked: usize,
+    /// Builds waiting in the precompute-pool queue, not yet picked up by a
+    /// pool worker (gauge; consistent with [`MetricsSnapshot::parked`]).
+    #[serde(default)]
+    pub miss_backlog: usize,
+    /// Observed per-build latency EWMA in microseconds — the multiplier of
+    /// the [`shed_decision`] projected-wait estimate (0 until the first
+    /// build completes).
+    #[serde(default)]
+    pub build_ewma_us: u64,
     /// Precomputes currently in flight (gauge).
     #[serde(default)]
     pub inflight_builds: usize,
@@ -335,6 +416,10 @@ pub struct ServiceStats {
     /// Arena encoding of stores built on the miss path (`--encoding`).
     #[serde(default)]
     pub store_encoding: Option<ArenaEncoding>,
+    /// Miss-wait SLO in milliseconds (`--miss-slo-ms`); `None` = shedding
+    /// disabled unless a request carries its own `deadline_ms`.
+    #[serde(default)]
+    pub miss_slo_ms: Option<u64>,
 }
 
 /// Cache shape + occupancy section of [`ServiceStats`].
@@ -375,6 +460,23 @@ struct PrecomputeTask {
 /// bounds waiter latency so parked-count priority cannot starve a
 /// single-waiter cold key under a stream of hotter ones.
 const MAX_BYPASS: u32 = 4;
+
+/// Per-pool-worker cap on builds outstanding before a *fully-shed* group
+/// (no job waits on the result) skips registering its build. A parked
+/// waiter applies natural backpressure — its client blocks until the store
+/// lands — but shed clients get an answer in milliseconds and can keep
+/// firing cold keys faster than the pool builds them; past this backlog
+/// the speculative builds are pure queue growth (the byte budget would
+/// evict them unread), so they are skipped and a later request for the key
+/// simply registers the build then.
+const SPECULATIVE_BACKLOG_MAX: usize = 32;
+
+/// Size caps for the shed-answer memo ([`Shared::shed_cache`]): at most
+/// this many keys (the map is cleared wholesale beyond it — the values are
+/// deterministic, so a re-computation is a cost, never an error) and at
+/// most this many architectures remembered per key.
+const SHED_CACHE_MAX_KEYS: usize = 256;
+const SHED_CACHE_MAX_ARCHS: usize = 64;
 
 /// Picks the next build: the task with the most parked requests, FIFO on
 /// ties — hot cold-keys (many coalesced waiters) build before lukewarm ones,
@@ -423,6 +525,22 @@ pub(crate) struct Shared {
     /// Arrival stamp for queued builds (the FIFO tie-breaker).
     pre_seq: AtomicU64,
     pre_notify: Condvar,
+    /// Precompute-pool threads serving this engine (0 under
+    /// [`MissPolicy::Inline`]) — the divisor of the shed projected-wait
+    /// estimate.
+    n_pool: usize,
+    /// Observed per-build latency EWMA (µs, α = 1/4); 0 until the first
+    /// build completes, which keeps [`shed_decision`] conservative before
+    /// any latency has been observed.
+    build_ewma_us: AtomicU64,
+    /// Min-bound answers already computed for shed keys: key → (arch, CPI)
+    /// pairs, so a storm of repeated shed requests on one key pays the
+    /// trace analysis once instead of per request. Entries are dropped when
+    /// the key's exact build lands (the bound is then obsolete — the store
+    /// answers exactly), and the map is size-capped (see
+    /// [`SHED_CACHE_MAX_KEYS`]) so skipped speculative builds cannot grow
+    /// it without bound.
+    shed_cache: Mutex<HashMap<FeatureKey, Vec<(MicroArch, f64)>>>,
     pub(crate) metrics: Metrics,
     shutdown: AtomicBool,
     /// Second-phase shutdown: set only after the batch workers have drained,
@@ -445,6 +563,17 @@ impl Shared {
     /// sample, so one `{"cmd": "stats"}` reply is internally consistent.
     fn snapshot_with(&self, cache: &CacheStats) -> MetricsSnapshot {
         let mut snap = self.metrics.counters();
+        // Pool-queue depth and parked-request count are read under the same
+        // two locks (pre_queue → inflight, the pool's own order), so one
+        // stats reply cannot report a parked request whose build the same
+        // reply says is neither queued nor in flight.
+        {
+            let pq = self.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
+            let inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            snap.miss_backlog = pq.len();
+            snap.parked = inflight.values().map(Vec::len).sum();
+        }
+        snap.build_ewma_us = self.build_ewma_us.load(Ordering::Relaxed);
         snap.inflight_builds = self.inflight_builds.load(Ordering::Relaxed);
         snap.cache_evictions = cache.evictions;
         snap.cache_bytes = cache.bytes;
@@ -483,6 +612,9 @@ impl PredictionService {
             pre_queue: Mutex::new(Vec::new()),
             pre_seq: AtomicU64::new(0),
             pre_notify: Condvar::new(),
+            n_pool,
+            build_ewma_us: AtomicU64::new(0),
+            shed_cache: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
             shutdown: AtomicBool::new(false),
             pool_shutdown: AtomicBool::new(false),
@@ -692,6 +824,7 @@ pub(crate) fn service_stats(shared: &Shared) -> ServiceStats {
         },
         max_connections: shared.cfg.max_connections.max(1),
         store_encoding: Some(shared.cfg.store_encoding),
+        miss_slo_ms: shared.cfg.miss_slo.map(|d| d.as_millis() as u64),
     }
 }
 
@@ -776,11 +909,14 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// A missed group's jobs with their resolved architectures.
+type ArchJobs = Vec<(Job, MicroArch)>;
+
 /// A batch group: jobs sharing one feature store.
 struct Group {
     key: FeatureKey,
     sweep: SweepConfig,
-    jobs: Vec<(Job, MicroArch)>,
+    jobs: ArchJobs,
 }
 
 fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
@@ -977,10 +1113,147 @@ fn eval_group(
     }
 }
 
+/// Splits a missed group into the jobs that park (wait for the exact store)
+/// and the jobs that shed (answer the analytic min-bound now), per
+/// [`shed_decision`]. `registers_build` adds the group's own build to the
+/// backlog estimate when no in-flight entry exists yet.
+fn split_shed(shared: &Shared, jobs: ArchJobs, registers_build: bool) -> (ArchJobs, ArchJobs) {
+    let slo_us = shared.cfg.miss_slo.map(|d| d.as_micros() as u64);
+    // Cheap early-out: shedding entirely unconfigured (the common case) —
+    // skip the per-job scan and preserve the pre-SLO behavior exactly.
+    if slo_us.is_none() && jobs.iter().all(|(j, _)| j.req.deadline_ms.is_none()) {
+        return (jobs, Vec::new());
+    }
+    let ewma_us = shared.build_ewma_us.load(Ordering::Relaxed);
+    let backlog = shared.inflight_builds.load(Ordering::SeqCst) + usize::from(registers_build);
+    let per_worker = backlog.div_ceil(shared.n_pool.max(1));
+    let mut parked = Vec::new();
+    let mut shed = Vec::new();
+    for (job, arch) in jobs {
+        let deadline_us = job.req.deadline_ms.map(|ms| ms.saturating_mul(1_000));
+        if shed_decision(per_worker, ewma_us, slo_us, deadline_us) {
+            shed.push((job, arch));
+        } else {
+            parked.push((job, arch));
+        }
+    }
+    (parked, shed)
+}
+
+/// Answers shed jobs with the analytic min-bound CPI for their region —
+/// computed directly (no [`FeatureStore`] build) via [`MinBoundEstimator`],
+/// flagged `approx: true` so clients can tell the degraded answer from an
+/// exact one. The exact build these jobs declined to wait for keeps running
+/// on the pool (unless the speculative backstop skipped it — see
+/// `park_group`).
+///
+/// The bound is deterministic per `(key, arch)`, so answers are memoized in
+/// [`Shared::shed_cache`]: a storm of repeated shed requests on one cold
+/// key pays the trace generation + analysis once, not per request — the
+/// worker thread computing here is a hit-path worker, and N× recomputation
+/// would reintroduce the stall shedding exists to avoid.
+fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) {
+    shared
+        .metrics
+        .shed
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    let mut answers: Vec<Option<f64>> = {
+        let sc = shared.shed_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = sc.get(key);
+        jobs.iter()
+            .map(|(_, arch)| {
+                entry.and_then(|v| v.iter().find(|(a, _)| a == arch).map(|(_, cpi)| *cpi))
+            })
+            .collect()
+    };
+    // One entry per *distinct* uncached architecture: a batched storm of
+    // identical requests forms one group, and the analytic models must run
+    // once for it, not once per job.
+    let mut missing: Vec<(Vec<usize>, MicroArch)> = Vec::new();
+    for (i, answer) in answers.iter().enumerate() {
+        if answer.is_some() {
+            continue;
+        }
+        let arch = jobs[i].1;
+        match missing.iter_mut().find(|(_, a)| *a == arch) {
+            Some((idxs, _)) => idxs.push(i),
+            None => missing.push((vec![i], arch)),
+        }
+    }
+    if !missing.is_empty() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let spec = concorde_trace::by_id(&key.workload).expect("validated before grouping");
+            // Same region/warmup convention as `precompute_store`, so the
+            // min-bound is computed over exactly the instructions the exact
+            // store will cover.
+            let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);
+            let warm_len = (key.start - warm_start) as usize;
+            let region = concorde_trace::generate_region(
+                &spec,
+                key.trace,
+                warm_start,
+                warm_len + key.region_len as usize,
+            );
+            let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
+            let mut est = MinBoundEstimator::new(w, r, &shared.profile);
+            missing
+                .iter()
+                .map(|(_, arch)| est.min_bound_cpi(arch))
+                .collect::<Vec<f64>>()
+        }));
+        match outcome {
+            Ok(cpis) => {
+                {
+                    let mut sc = shared.shed_cache.lock().unwrap_or_else(|e| e.into_inner());
+                    if sc.len() >= SHED_CACHE_MAX_KEYS && !sc.contains_key(key) {
+                        sc.clear();
+                    }
+                    let entry = sc.entry(key.clone()).or_default();
+                    for ((_, arch), cpi) in missing.iter().zip(&cpis) {
+                        if entry.len() >= SHED_CACHE_MAX_ARCHS {
+                            break;
+                        }
+                        entry.push((*arch, *cpi));
+                    }
+                }
+                for ((idxs, _), cpi) in missing.iter().zip(&cpis) {
+                    for i in idxs {
+                        answers[*i] = Some(*cpi);
+                    }
+                }
+            }
+            Err(panic) => {
+                // Jobs whose bound was already cached still get it below;
+                // only the ones that needed the failed computation error.
+                let msg = panic_message(panic);
+                for i in missing.iter().flat_map(|(idxs, _)| idxs) {
+                    let (job, _) = &jobs[*i];
+                    let us = job.enqueued.elapsed().as_micros() as u64;
+                    respond(
+                        shared,
+                        job,
+                        PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
+                    );
+                }
+            }
+        }
+    }
+    for ((job, _), answer) in jobs.iter().zip(&answers) {
+        if let Some(cpi) = answer {
+            let us = job.enqueued.elapsed().as_micros() as u64;
+            respond(shared, job, PredictResponse::shed(job.req.id, *cpi, us));
+        }
+    }
+}
+
 /// Parks a missed group: joins the key's in-flight build if one exists
 /// (single-flight deduplication), otherwise registers a new one and queues
 /// it to the precompute pool. If the store landed between the cache probe
-/// and the registry lock, evaluates immediately instead.
+/// and the registry lock, evaluates immediately instead. Jobs whose
+/// projected wait exceeds their miss-wait deadline ([`shed_decision`]) do
+/// not park: they are answered immediately with the flagged analytic
+/// min-bound, while the build itself is still registered/queued so the
+/// exact store lands for later requests.
 fn park_group(
     shared: &Shared,
     key: FeatureKey,
@@ -990,15 +1263,16 @@ fn park_group(
 ) {
     let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(entry) = inflight.get_mut(&key) {
+        let (parked, shed) = split_shed(shared, jobs, false);
         shared
             .metrics
             .coalesced
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        shared
-            .metrics
-            .parked
-            .fetch_add(jobs.len(), Ordering::Relaxed);
-        entry.extend(jobs.into_iter().map(|(j, _)| j));
+            .fetch_add(parked.len() as u64, Ordering::Relaxed);
+        entry.extend(parked.into_iter().map(|(j, _)| j));
+        drop(inflight);
+        if !shed.is_empty() {
+            answer_shed(shared, &key, shed);
+        }
         return;
     }
     // No entry: the build either never ran or already completed. Builds land
@@ -1011,23 +1285,45 @@ fn park_group(
         return;
     }
     shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    shared
-        .metrics
-        .parked
-        .fetch_add(jobs.len(), Ordering::Relaxed);
-    inflight.insert(key.clone(), jobs.into_iter().map(|(j, _)| j).collect());
+    let (parked, shed) = split_shed(shared, jobs, true);
+    // A fully-shed group would register a *speculative* build nobody waits
+    // on. Parked waiters bound the build queue naturally (their clients
+    // block), but shed clients are answered in milliseconds and can submit
+    // cold keys faster than the pool retires them — past the backstop
+    // backlog, skip the registration so a sustained cold storm cannot grow
+    // the pool queue without bound. A later request for the key re-misses
+    // and registers the build then.
+    if parked.is_empty()
+        && shared.inflight_builds.load(Ordering::SeqCst)
+            >= SPECULATIVE_BACKLOG_MAX.saturating_mul(shared.n_pool.max(1))
+    {
+        shared
+            .metrics
+            .shed_build_skips
+            .fetch_add(1, Ordering::Relaxed);
+        drop(inflight);
+        answer_shed(shared, &key, shed);
+        return;
+    }
+    // Otherwise register the build even if every job shed: the shed
+    // answers are stop-gaps, and the exact store must still land so
+    // follow-up queries for the key become cache hits.
+    inflight.insert(key.clone(), parked.into_iter().map(|(j, _)| j).collect());
     shared.inflight_builds.fetch_add(1, Ordering::SeqCst);
     drop(inflight);
     {
         let mut pq = shared.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
         pq.push(PrecomputeTask {
-            key,
+            key: key.clone(),
             sweep,
             seq: shared.pre_seq.fetch_add(1, Ordering::Relaxed),
             bypassed: 0,
         });
     }
     shared.pre_notify.notify_one();
+    if !shed.is_empty() {
+        answer_shed(shared, &key, shed);
+    }
 }
 
 /// Removes the key's in-flight entry and returns its parked jobs.
@@ -1045,14 +1341,12 @@ fn take_parked(shared: &Shared, key: &FeatureKey) -> Vec<Job> {
 /// under the queue lock so a shutting-down worker can never observe "queue
 /// empty, no builds in flight" between the two.
 fn requeue_parked(shared: &Shared, jobs: Vec<Job>) {
-    let n = jobs.len();
     {
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         for mut job in jobs.into_iter().rev() {
             job.parked = true;
             q.push_front(job);
         }
-        shared.metrics.parked.fetch_sub(n, Ordering::Relaxed);
         shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
         shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
     }
@@ -1098,23 +1392,44 @@ fn precompute_loop(shared: &Shared) {
                 q = qq;
             }
         };
+        let t0 = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             precompute_store(shared, &task.key, &task.sweep)
         }));
         match outcome {
             Ok(store) => {
+                // Fold the observed build latency into the EWMA (α = 1/4)
+                // that prices the shed decision's projected wait; the first
+                // observation seeds it directly (floored at 1µs so a
+                // measured build never resets the "nothing observed yet"
+                // bootstrap state).
+                let us = (t0.elapsed().as_micros() as u64).max(1);
+                let prev = shared.build_ewma_us.load(Ordering::Relaxed);
+                let next = if prev == 0 { us } else { (prev * 3 + us) / 4 };
+                shared.build_ewma_us.store(next.max(1), Ordering::Relaxed);
                 shared.metrics.precomputes.fetch_add(1, Ordering::Relaxed);
                 // Land the store before removing the in-flight entry: a
                 // worker that finds no entry must be able to trust a cache
                 // re-probe (see `park_group`).
                 shared.cache.insert(task.key.clone(), Arc::new(store));
+                // The memoized shed bounds for the key are obsolete now —
+                // the next probe answers exactly from the store.
+                shared
+                    .shed_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&task.key);
                 let jobs = take_parked(shared, &task.key);
                 requeue_parked(shared, jobs);
             }
             Err(panic) => {
                 let msg = panic_message(panic);
+                shared
+                    .shed_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&task.key);
                 let jobs = take_parked(shared, &task.key);
-                let n = jobs.len();
                 for job in &jobs {
                     let us = job.enqueued.elapsed().as_micros() as u64;
                     respond(
@@ -1125,7 +1440,6 @@ fn precompute_loop(shared: &Shared) {
                 }
                 {
                     let _q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                    shared.metrics.parked.fetch_sub(n, Ordering::Relaxed);
                     shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
                 }
                 shared.notify.notify_all();
@@ -1191,6 +1505,27 @@ mod tests {
         assert!(cfg.cache_bytes > 0);
         assert!(cfg.max_connections >= 1);
         assert_eq!(cfg.miss_policy, MissPolicy::AsyncPool);
+        assert_eq!(cfg.miss_slo, None, "shedding must default off");
+    }
+
+    #[test]
+    fn shed_decision_limits_and_bootstrap() {
+        // No limit configured → never shed, whatever the load.
+        assert!(!shed_decision(usize::MAX, u64::MAX, None, None));
+        // No observed build latency yet → never shed (conservative
+        // bootstrap), even with a zero deadline.
+        assert!(!shed_decision(100, 0, Some(1), Some(0)));
+        // Projected wait 3 × 500µs = 1500µs against a 1000µs SLO → shed.
+        assert!(shed_decision(3, 500, Some(1_000), None));
+        // The same load against a roomier SLO → wait.
+        assert!(!shed_decision(3, 500, Some(2_000), None));
+        // A per-request deadline overrides the SLO in both directions.
+        assert!(shed_decision(3, 500, Some(2_000), Some(1_000)));
+        assert!(!shed_decision(3, 500, Some(1_000), Some(2_000)));
+        // Boundary: projected == limit is a wait, not a shed.
+        assert!(!shed_decision(2, 500, Some(1_000), None));
+        // Huge values must not overflow into a wrong answer.
+        assert!(shed_decision(usize::MAX, u64::MAX, Some(u64::MAX), None));
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn usage_text() -> &'static str {
     "concorde — CPU performance modeling reproduction\n\n\
          usage:\n  concorde workloads [--json]\n  \
          concorde simulate  <workload> [--arch n1|big] [--len N]\n  \
-         concorde bound     <workload> [--arch n1|big] [--len N]\n  \
+         concorde bound     <workload> [--arch n1|big] [--len N] [--fast]\n  \
          concorde sweep     <workload> <param> v1,v2,… [--arch n1|big] [--len N]\n  \
          concorde attribute <workload> [--len N]\n  \
          concorde precompute <workload> --out FILE [--trace N] [--start N] [--len N]\n             \
@@ -35,10 +35,10 @@ fn usage_text() -> &'static str {
          concorde serve     [--addr HOST:PORT] [--model PATH] [--save-model PATH]\n             \
          [--profile quick|default] [--train-samples N] [--workers N]\n             \
          [--max-batch N] [--deadline-us N] [--cache-bytes N[k|m|g]] [--cache-shards N]\n             \
-         [--precompute-workers N] [--inline-miss] [--max-conns N]\n             \
+         [--precompute-workers N] [--inline-miss] [--max-conns N] [--miss-slo-ms N]\n             \
          [--sweep arch|quantized] [--encoding f32|f16|int8] [--preload FILE]…\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
-         [--trace N] [--start N] [--count N]"
+         [--trace N] [--start N] [--count N] [--deadline-ms N]"
 }
 
 fn usage() -> ! {
@@ -223,6 +223,21 @@ fn serve_config(args: &[String]) -> ServeConfig {
         max_connections: parse_num(args, "--max-conns", defaults.max_connections),
         sweep,
         store_encoding: parse_encoding(args),
+        miss_slo: flag_value(args, "--miss-slo-ms").map(|v| {
+            let ms: u64 = v
+                .parse()
+                .unwrap_or_else(|_| bail(&format!("--miss-slo-ms `{v}` is not a number")));
+            if ms == 0 {
+                bail("--miss-slo-ms must be > 0 (omit the flag to disable shedding)");
+            }
+            if args.iter().any(|a| a == "--inline-miss") {
+                bail(
+                    "--miss-slo-ms requires the async precompute pool; \
+                     --inline-miss builds misses on the batch worker and never sheds",
+                );
+            }
+            Duration::from_millis(ms)
+        }),
     }
 }
 
@@ -317,7 +332,9 @@ fn print_response(resp: &PredictResponse) {
         (Some(cpi), _) => println!(
             "id {:>4}: CPI {cpi:.4}  ({}, {} µs)",
             resp.id,
-            if resp.cached {
+            if resp.approx {
+                "analytic min-bound, shed"
+            } else if resp.cached {
                 "cache hit"
             } else {
                 "precomputed"
@@ -378,10 +395,21 @@ fn main() {
             let (w, r) = region_of(id, len);
             let profile = ReproProfile::default_repro();
             let t0 = std::time::Instant::now();
-            let store = FeatureStore::precompute(&w, &r, &SweepConfig::for_arch(&arch), &profile);
+            // `--fast` runs the analytic models at the queried architecture
+            // only (the serving shed path); the store route sweeps the full
+            // per-arch grid first. Both produce the identical bound.
+            let (bound, how) = if args.iter().any(|a| a == "--fast") {
+                (
+                    analytic_min_bound_cpi(&w, &r, &arch, &profile),
+                    "direct analytic",
+                )
+            } else {
+                let store =
+                    FeatureStore::precompute(&w, &r, &SweepConfig::for_arch(&arch), &profile);
+                (store.min_bound_cpi(&arch), "precompute")
+            };
             println!(
-                "{id}: analytical min-bound CPI {:.3} (precompute {:?}); simulator says {:.3}",
-                store.min_bound_cpi(&arch),
+                "{id}: analytical min-bound CPI {bound:.3} ({how} {:?}); simulator says {:.3}",
                 t0.elapsed(),
                 simulate_warmed(&w, &r, &arch, SimOptions::default()).cpi()
             );
@@ -597,13 +625,20 @@ fn main() {
                 .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
             eprintln!(
                 "[serve] listening on {addr} ({} workers, {} precompute threads); \
-                 cache: {} shards, {} byte budget, {} stores; \
+                 cache: {} shards, {} byte budget, {} stores; miss SLO: {}; \
                  protocol: one JSON request per line",
                 service.workers(),
                 service.precompute_workers(),
                 service.config().effective_cache_shards(),
                 service.config().cache_bytes,
                 service.config().store_encoding,
+                match service.config().miss_slo {
+                    Some(d) => format!(
+                        "{}ms (backlogged misses shed to the analytic bound)",
+                        d.as_millis()
+                    ),
+                    None => "off (misses park until their store lands)".to_string(),
+                },
             );
             eprintln!(
                 "[serve] try: echo '{{\"workload\": \"S5\", \"arch\": {{\"base\": \"n1\"}}}}' | nc {addr}"
@@ -618,6 +653,10 @@ fn main() {
             let count: usize = parse_num(&args, "--count", 1usize);
             let trace: u32 = parse_num(&args, "--trace", 0u32);
             let start: u64 = parse_num(&args, "--start", 0u64);
+            let deadline_ms: Option<u64> = flag_value(&args, "--deadline-ms").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| bail(&format!("--deadline-ms `{v}` is not a number")))
+            });
             let reqs: Vec<PredictRequest> = (0..count)
                 .map(|i| PredictRequest {
                     id: i as u64,
@@ -626,6 +665,7 @@ fn main() {
                     start,
                     len: 0,
                     arch: spec.clone(),
+                    deadline_ms,
                 })
                 .collect();
             if let Some(addr) = flag_value(&args, "--addr") {

@@ -60,10 +60,8 @@ fn served_predictions_equal_direct_predictions() {
                 .map(move |(si, spec)| PredictRequest {
                     id: (wi * 10 + si) as u64,
                     workload: w.to_string(),
-                    trace: 0,
-                    start: 0,
-                    len: 0,
                     arch: spec.clone(),
+                    ..PredictRequest::default()
                 })
         })
         .collect();
@@ -73,8 +71,8 @@ fn served_predictions_equal_direct_predictions() {
         workload: "S5".to_string(),
         trace: 1,
         start: 8_192,
-        len: 0,
         arch: ArchSpec::base("n1"),
+        ..PredictRequest::default()
     });
 
     let resps = client.predict_many(reqs.clone()).expect("batch prediction");
