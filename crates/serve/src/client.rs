@@ -36,7 +36,31 @@ impl Client {
         submit(&self.shared, req)
     }
 
+    /// Like [`Client::submit`], but waits out a full queue instead of
+    /// failing (gentle backpressure; the wait is a short sleep-poll).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] during teardown.
+    pub fn submit_blocking(
+        &self,
+        req: PredictRequest,
+    ) -> Result<mpsc::Receiver<PredictResponse>, ServeError> {
+        loop {
+            match self.submit(req.clone()) {
+                Ok(rx) => return Ok(rx),
+                Err(ServeError::QueueFull) => std::thread::sleep(Duration::from_micros(200)),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
     /// Predicts one request, blocking for the response.
+    ///
+    /// For a `notify: true` request answered with a shed (`approx`)
+    /// response, the follow-up `{"type":"upgrade"}` line arrives later on
+    /// the same channel — use [`Client::submit`] and hold the receiver to
+    /// observe it; this convenience call drops it.
     ///
     /// # Errors
     ///
@@ -50,6 +74,12 @@ impl Client {
     /// Metrics snapshot of the service this client feeds.
     pub fn service_metrics(&self) -> crate::MetricsSnapshot {
         crate::service::metrics_snapshot(&self.shared)
+    }
+
+    /// The service's full Prometheus text exposition — the same document
+    /// `GET /metrics` serves.
+    pub fn prometheus_metrics(&self) -> String {
+        crate::service::prometheus_text(&self.shared)
     }
 
     /// Full stats (metrics + cache budget and per-shard occupancy) of the
@@ -100,9 +130,26 @@ impl Client {
 }
 
 /// Blocking TCP client for the line-delimited JSON protocol.
+///
+/// The server may *push* `{"type":"upgrade"}` lines (exact answers landing
+/// after a `notify: true` shed reply) at any point; request/response calls
+/// stash them internally, and [`TcpClient::wait_upgrade`] hands them out.
 pub struct TcpClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Upgrade lines read while awaiting some other reply, FIFO.
+    pending_upgrades: std::collections::VecDeque<PredictResponse>,
+}
+
+/// True for a pushed `{"type":"upgrade"}` line (checked on the raw JSON so
+/// non-response replies — metrics maps, stats — are never misclassified).
+fn is_upgrade_line(line: &str) -> bool {
+    serde_json::from_str::<serde_json::Value>(line)
+        .ok()
+        .as_ref()
+        .and_then(|v| v.get("type"))
+        .and_then(serde_json::Value::as_str)
+        == Some("upgrade")
 }
 
 impl TcpClient {
@@ -117,22 +164,68 @@ impl TcpClient {
         Ok(TcpClient {
             reader,
             writer: stream,
+            pending_upgrades: std::collections::VecDeque::new(),
         })
+    }
+
+    fn read_reply_line(&mut self) -> std::io::Result<String> {
+        loop {
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp)?;
+            if resp.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            // An upgrade push racing a request's reply: stash it for
+            // `wait_upgrade` and keep reading for the actual reply.
+            if is_upgrade_line(&resp) {
+                if let Ok(up) = serde_json::from_str(&resp) {
+                    self.pending_upgrades.push_back(up);
+                }
+                continue;
+            }
+            return Ok(resp);
+        }
     }
 
     fn roundtrip_line(&mut self, line: &str) -> std::io::Result<String> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
-        let mut resp = String::new();
-        self.reader.read_line(&mut resp)?;
-        if resp.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed connection",
-            ));
+        self.read_reply_line()
+    }
+
+    /// Blocks for the next pushed `{"type":"upgrade"}` line — the exact CPI
+    /// promised to a `notify: true` request that was answered with a shed
+    /// (`approx`) reply. Returns a stashed upgrade immediately if one
+    /// already arrived interleaved with other replies.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; `UnexpectedEof` if the server closes first. Callers
+    /// should set a read timeout on the socket if they cannot wait
+    /// indefinitely.
+    pub fn wait_upgrade(&mut self) -> std::io::Result<PredictResponse> {
+        if let Some(up) = self.pending_upgrades.pop_front() {
+            return Ok(up);
         }
-        Ok(resp)
+        loop {
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp)?;
+            if resp.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ));
+            }
+            if is_upgrade_line(&resp) {
+                return serde_json::from_str(&resp).map_err(std::io::Error::other);
+            }
+            // Any non-upgrade line here is a reply nobody is waiting for
+            // (protocol misuse); drop it rather than deadlock.
+        }
     }
 
     /// Predicts one request over the wire.
@@ -168,6 +261,22 @@ impl TcpClient {
     pub fn metrics(&mut self) -> std::io::Result<crate::MetricsSnapshot> {
         let resp = self.roundtrip_line(r#"{"cmd": "metrics"}"#)?;
         serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+
+    /// Fetches the server's Prometheus text exposition over the JSON
+    /// protocol (`{"cmd": "metrics", "format": "prometheus"}`) — the same
+    /// document `GET /metrics` serves, for clients already speaking TCP.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or a protocol-level error decoded into `io::Error`.
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let resp = self.roundtrip_line(r#"{"cmd": "metrics", "format": "prometheus"}"#)?;
+        let v: serde_json::Value = serde_json::from_str(&resp).map_err(std::io::Error::other)?;
+        v.get("text")
+            .and_then(serde_json::Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| std::io::Error::other("reply carried no text field"))
     }
 
     /// Fetches the server's full stats: metrics plus cache budget and

@@ -1,0 +1,134 @@
+//! Minimal HTTP/1.1 `GET /metrics` endpoint (`--metrics-addr`).
+//!
+//! Prometheus scrapes speak plain HTTP, not this crate's line-delimited
+//! JSON protocol, so the metrics endpoint gets its own single-threaded
+//! listener: accept, parse the request line, answer one response, close.
+//! That is the entire protocol surface — no keep-alive, no chunking, no
+//! routing beyond `/metrics` — which keeps the handler a screen of code and
+//! leaves nothing for a scraper to exploit. Scrape traffic is a request
+//! every few seconds, so the sequential accept loop is never the
+//! bottleneck; the exposition itself reads the same lock-free atomics the
+//! JSON stats do and cannot stall the serving hot path.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::service::{prometheus_text, PredictionService, Shared};
+
+/// The exposition-format content type Prometheus expects.
+const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// A running `/metrics` HTTP listener; dropping it stops the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address the listener actually bound (resolves `:0` port
+    /// requests, so tests can bind ephemerally and ask where they landed).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl PredictionService {
+    /// Starts the Prometheus `/metrics` HTTP listener on `addr` (e.g.
+    /// `127.0.0.1:9184`; port `0` binds ephemerally). The listener runs on
+    /// its own thread for the life of the returned [`MetricsServer`] and
+    /// serves the same text the TCP protocol returns for
+    /// `{"cmd": "metrics", "format": "prometheus"}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, bad addr).
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        // Non-blocking accept + poll: the loop notices the shutdown flag
+        // within one poll interval without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&self.shared);
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("concorde-metrics-http".to_string())
+            .spawn(move || accept_loop(&listener, &shared, &flag))
+            .expect("spawn metrics listener");
+        Ok(MetricsServer {
+            addr: bound,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &AtomicBool) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One slow or malformed scraper must not wedge the loop:
+                // bound the read, answer, close. Errors are per-connection.
+                let _ = handle_scrape(stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Reads one request head (through the blank line) and writes one response.
+fn handle_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nonblocking(false)?;
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    // 8 KiB head cap: a real scrape request is a few hundred bytes.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+    let request_line = head
+        .split(|b| *b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).trim().to_string())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    // Scrape paths may carry query params (`/metrics?foo=1`); match the path
+    // component only.
+    let path = path.split('?').next().unwrap_or("");
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path != "/metrics" {
+        ("404 Not Found", "try /metrics\n".to_string())
+    } else {
+        ("200 OK", prometheus_text(shared))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}

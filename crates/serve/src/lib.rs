@@ -37,15 +37,18 @@
 
 pub mod bytesize;
 mod client;
+pub mod http;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
 
 pub use bytesize::{parse_byte_size, ByteSizeError};
 pub use client::{Client, TcpClient};
-pub use protocol::{ArchSpec, PredictRequest, PredictResponse};
+pub use http::MetricsServer;
+pub use protocol::{ArchSpec, PredictRequest, PredictResponse, RequestClass};
 pub use server::workload_catalog;
 pub use service::{
-    shed_decision, CacheReport, MetricsSnapshot, MissPolicy, PredictionService, ServeConfig,
-    ServeError, ServiceStats, SweepScope, MAX_REGION_LEN,
+    shed_decision, CacheReport, ClassSlo, MetricsSnapshot, MissPolicy, PredictionService,
+    ServeConfig, ServeError, ServiceStats, SweepScope, MAX_REGION_LEN,
 };

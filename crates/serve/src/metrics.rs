@@ -1,0 +1,364 @@
+//! Dependency-free Prometheus primitives: lock-free histograms with fixed
+//! log-spaced buckets and a text-exposition writer.
+//!
+//! Like every external-facing layer of this workspace the module is
+//! hand-rolled — no `prometheus` crate — but the output is strict [text
+//! exposition format 0.0.4]: each metric family is `# HELP`/`# TYPE`d
+//! exactly once, histograms render cumulative `_bucket{le="..."}` series
+//! ending in `le="+Inf"` plus `_sum`/`_count`, and label values are escaped.
+//! `tests/serving_metrics.rs` scrapes a live server and re-validates those
+//! invariants with a strict parser, so a formatting regression fails CI.
+//!
+//! [text exposition format 0.0.4]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+//!
+//! The recording side is designed for the serving hot path: one atomic
+//! increment per bucket observation (bucket search is a handful of `f64`
+//! compares over a fixed array), a CAS loop only for the `f64` sum, and no
+//! locks anywhere — scrapes read the same atomics without stopping writers.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket histogram recording non-negative `f64` observations.
+///
+/// Buckets are defined by their inclusive upper bounds (`le`); one implicit
+/// overflow bucket (`+Inf`) catches everything beyond the last bound. The
+/// sum is a CAS-maintained `f64` and the maximum is kept exactly (the
+/// non-negative IEEE-754 bit pattern is order-preserving, so `fetch_max` on
+/// the bits is `fetch_max` on the values) — which lets the legacy
+/// `max_latency_us` stat derive from the histogram instead of drifting
+/// beside it.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One counter per bound plus the overflow (`+Inf`) bucket; NOT
+    /// cumulative — the render step accumulates.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// IEEE-754 bits of the running sum (CAS-updated).
+    sum_bits: AtomicU64,
+    /// IEEE-754 bits of the largest observation.
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over explicit upper bounds (must be finite, positive, and
+    /// strictly increasing; the `+Inf` bucket is implicit).
+    pub fn new(bounds: Vec<f64>) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        for w in bounds.windows(2) {
+            assert!(w[0] < w[1], "histogram bounds must strictly increase");
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite() && *b > 0.0),
+            "histogram bounds must be finite and positive"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// `n` log-spaced buckets: `start, start·factor, start·factor², …`.
+    ///
+    /// The fixed-log-bucket shape keeps relative (not absolute) resolution
+    /// constant across decades — right for latencies that span microseconds
+    /// to seconds.
+    pub fn log_buckets(start: f64, factor: f64, n: usize) -> Histogram {
+        assert!(start > 0.0 && factor > 1.0 && n > 0);
+        let mut bounds = Vec::with_capacity(n);
+        let mut b = start;
+        for _ in 0..n {
+            bounds.push(b);
+            b *= factor;
+        }
+        Histogram::new(bounds)
+    }
+
+    /// Records one observation (clamped to zero if negative — durations and
+    /// sizes are non-negative by construction, but a clamp beats a corrupt
+    /// max-bits ordering).
+    pub fn observe(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy for rendering and for deriving legacy stats.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One consistent-enough read of a [`Histogram`]'s atomics.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (`le` values, excluding `+Inf`).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; last entry is the overflow.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another snapshot of an identically-bucketed histogram (used to
+    /// aggregate per-class histograms into the legacy global stats).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        debug_assert_eq!(self.bounds, other.bounds);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a label set (`{a="x",b="y"}`), empty string for no labels.
+fn render_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Builds one Prometheus text-exposition document.
+///
+/// Families must be emitted in one shot (`counter`/`gauge`/`histogram` take
+/// every labelled series of the family at once), which makes the "each
+/// metric is `# TYPE`d exactly once" invariant structural rather than a
+/// caller discipline.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// Empty document.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A counter family: every `(labels, value)` series at once.
+    pub fn counter(&mut self, name: &str, help: &str, series: &[(Vec<(&str, String)>, u64)]) {
+        self.header(name, help, "counter");
+        for (labels, v) in series {
+            let _ = writeln!(self.out, "{name}{} {v}", render_labels(labels));
+        }
+    }
+
+    /// A gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, series: &[(Vec<(&str, String)>, f64)]) {
+        self.header(name, help, "gauge");
+        for (labels, v) in series {
+            let _ = writeln!(self.out, "{name}{} {}", render_labels(labels), fmt_f64(*v));
+        }
+    }
+
+    /// A histogram family: cumulative `_bucket` series (ending `+Inf`),
+    /// `_sum`, and `_count` per label set.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        series: &[(Vec<(&str, String)>, HistogramSnapshot)],
+    ) {
+        self.header(name, help, "histogram");
+        for (labels, snap) in series {
+            let mut cumulative = 0u64;
+            for (bound, n) in snap.bounds.iter().zip(&snap.buckets) {
+                cumulative += n;
+                let mut with_le: Vec<(&str, String)> = labels.clone();
+                with_le.push(("le", fmt_f64(*bound)));
+                let _ = writeln!(
+                    self.out,
+                    "{name}_bucket{} {cumulative}",
+                    render_labels(&with_le)
+                );
+            }
+            cumulative += snap.buckets.last().copied().unwrap_or(0);
+            let mut with_le: Vec<(&str, String)> = labels.clone();
+            with_le.push(("le", "+Inf".to_string()));
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{} {cumulative}",
+                render_labels(&with_le)
+            );
+            let ls = render_labels(labels);
+            let _ = writeln!(self.out, "{name}_sum{ls} {}", fmt_f64(snap.sum));
+            let _ = writeln!(self.out, "{name}_count{ls} {}", snap.count);
+        }
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Formats an `f64` so it survives a strict-parser round trip: Rust's
+/// shortest-roundtrip `Display`, which Prometheus parses for both plain
+/// decimals and exponent notation (the writer's inputs are finite by
+/// construction).
+fn fmt_f64(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_buckets_cover_decades() {
+        let h = Histogram::log_buckets(1e-5, 2.0, 20);
+        assert_eq!(h.bounds.len(), 20);
+        assert!(h.bounds[0] == 1e-5);
+        assert!(h.bounds[19] > 5.0, "last bound {}", h.bounds[19]);
+    }
+
+    #[test]
+    fn observe_counts_sum_and_max() {
+        let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![1, 1, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 105.0).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
+        // Boundary: a value exactly on a bound lands in that bucket (le is
+        // inclusive).
+        h.observe(2.0);
+        assert_eq!(h.snapshot().buckets[1], 2);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_observations_clamp() {
+        let h = Histogram::new(vec![1.0]);
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.sum, 0.0);
+    }
+
+    #[test]
+    fn render_histogram_is_cumulative_with_inf() {
+        let h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(9.0);
+        let mut w = PromWriter::new();
+        w.histogram(
+            "x_seconds",
+            "test",
+            &[(vec![("class", "interactive".to_string())], h.snapshot())],
+        );
+        let text = w.finish();
+        assert!(text.contains("# TYPE x_seconds histogram"));
+        assert!(text.contains("x_seconds_bucket{class=\"interactive\",le=\"1\"} 1"));
+        assert!(text.contains("x_seconds_bucket{class=\"interactive\",le=\"2\"} 2"));
+        assert!(text.contains("x_seconds_bucket{class=\"interactive\",le=\"+Inf\"} 3"));
+        assert!(text.contains("x_seconds_count{class=\"interactive\"} 3"));
+        assert!(text.contains("x_seconds_sum{class=\"interactive\"} 11"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.counter(
+            "c_total",
+            "test",
+            &[(vec![("k", "a\"b\\c\nd".to_string())], 1)],
+        );
+        let text = w.finish();
+        assert!(text.contains(r#"c_total{k="a\"b\\c\nd"} 1"#));
+    }
+
+    #[test]
+    fn merge_aggregates_identical_shapes() {
+        let a = Histogram::new(vec![1.0, 2.0]);
+        let b = Histogram::new(vec![1.0, 2.0]);
+        a.observe(0.5);
+        b.observe(1.5);
+        b.observe(50.0);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets, vec![1, 1, 1]);
+        assert_eq!(s.max, 50.0);
+    }
+}

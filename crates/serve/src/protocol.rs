@@ -10,7 +10,82 @@
 //! ```
 
 use concorde_cyclesim::MicroArch;
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
+
+/// QoS class of a request, carried on the wire as `"class"`.
+///
+/// The class labels every latency histogram the server exports and selects
+/// the per-class miss-wait SLO (`--slo interactive=25,batch=500`):
+/// interactive traffic is the latency-sensitive point-query path, batch is
+/// sweep/backfill traffic that tolerates parking. Default: `interactive`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestClass {
+    /// Latency-sensitive point queries (the default).
+    #[default]
+    Interactive,
+    /// Throughput-oriented sweep/backfill traffic.
+    Batch,
+}
+
+/// Number of request classes (sizes the per-class metric arrays).
+pub const N_CLASSES: usize = 2;
+
+impl RequestClass {
+    /// All classes, indexable by [`RequestClass::index`].
+    pub const ALL: [RequestClass; N_CLASSES] = [RequestClass::Interactive, RequestClass::Batch];
+
+    /// Dense index for per-class metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RequestClass::Interactive => 0,
+            RequestClass::Batch => 1,
+        }
+    }
+
+    /// Wire / label name (`"interactive"` / `"batch"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Batch => "batch",
+        }
+    }
+
+    /// Parses a wire / CLI name.
+    pub fn parse(s: &str) -> Option<RequestClass> {
+        match s {
+            "interactive" => Some(RequestClass::Interactive),
+            "batch" => Some(RequestClass::Batch),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// Manual (de)serialization: the derive shim would emit the Rust variant
+// names (`"Interactive"`); the wire contract is the lowercase label names.
+impl Serialize for RequestClass {
+    fn to_content(&self) -> Content {
+        Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for RequestClass {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        match c {
+            Content::Str(s) => RequestClass::parse(s).ok_or_else(|| {
+                serde::Error::custom(format!(
+                    "unknown request class `{s}` (expected `interactive` or `batch`)"
+                ))
+            }),
+            _ => Err(serde::Error::custom("request class must be a string")),
+        }
+    }
+}
 
 /// Architecture selector: a named base design plus per-parameter overrides.
 ///
@@ -198,6 +273,25 @@ pub struct PredictRequest {
     /// default applies. Ignored on cache hits, which are always exact.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// QoS class: labels this request's latency histograms and selects the
+    /// per-class miss-wait SLO and EDF deadline (`interactive` default,
+    /// `batch` for sweep traffic).
+    #[serde(default)]
+    pub class: RequestClass,
+    /// Shed-answer upgrade signaling: when `true` and this request is shed
+    /// (`approx: true`), the server sends a follow-up
+    /// `{"type": "upgrade", "cpi": ...}` line with the exact prediction once
+    /// the feature store lands — so the client need not poll. A notify
+    /// request always keeps its exact build registered (it counts as a
+    /// waiter for the speculative-build backstop).
+    #[serde(default)]
+    pub notify: bool,
+    /// Feature-schema version pin: when present, the request is answered
+    /// with a typed `{"type": "error", "reason": "schema_mismatch"}` unless
+    /// it equals the server's `SCHEMA_VERSION` — a layout drift surfaces as
+    /// an explicit error instead of a silently wrong store layout.
+    #[serde(default)]
+    pub schema_version: Option<u32>,
 }
 
 impl PredictRequest {
@@ -211,38 +305,88 @@ impl PredictRequest {
             len: 0,
             arch,
             deadline_ms: None,
+            class: RequestClass::Interactive,
+            notify: false,
+            schema_version: None,
         }
     }
 }
 
 /// Prediction result (or error) for one request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PredictResponse {
     /// Echo of the request id.
     pub id: u64,
     /// Predicted CPI; absent on error.
-    #[serde(default)]
     pub cpi: Option<f64>,
     /// Error message; absent on success.
-    #[serde(default)]
     pub error: Option<String>,
     /// Whether the region's feature store was already cached.
-    #[serde(default)]
     pub cached: bool,
     /// True when `cpi` is a degraded estimate (the analytic min-bound), not
     /// the exact model prediction — see `reason`. Never set on a cache hit:
     /// hits are always answered exactly.
-    #[serde(default)]
     pub approx: bool,
-    /// Why the answer is approximate (currently only `"shed"`: the
-    /// precompute-pool backlog exceeded the request's miss-wait deadline).
-    /// `null` on exact answers — test `approx`, not key presence, to
-    /// distinguish the two.
-    #[serde(default)]
+    /// Why the answer is approximate or what kind of error this is:
+    /// `"shed"` (the precompute-pool backlog exceeded the request's
+    /// miss-wait deadline) on degraded answers, `"schema_mismatch"` on the
+    /// typed schema-pin error. `null` otherwise — test `approx`/`error`,
+    /// not key presence, to classify a response.
     pub reason: Option<String>,
+    /// Message kind, serialized as `"type"`: `None` for ordinary replies,
+    /// `"upgrade"` for the out-of-band exact-answer follow-up to a shed
+    /// response with `notify: true`, `"error"` for typed errors
+    /// (e.g. `reason: "schema_mismatch"`).
+    pub kind: Option<String>,
     /// End-to-end service latency in microseconds (enqueue → response).
-    #[serde(default)]
     pub micros: u64,
+}
+
+// Manual (de)serialization: the derive shim has no `rename`, and the wire
+// field for `kind` must be `"type"` (`{"type": "upgrade"}` /
+// `{"type": "error"}` — the same convention as the TCP `busy` line). Field
+// set and defaults otherwise mirror what the derive produced, so legacy
+// response lines parse unchanged.
+impl Serialize for PredictResponse {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("id".to_string(), self.id.to_content()),
+            ("cpi".to_string(), self.cpi.to_content()),
+            ("error".to_string(), self.error.to_content()),
+            ("cached".to_string(), self.cached.to_content()),
+            ("approx".to_string(), self.approx.to_content()),
+            ("reason".to_string(), self.reason.to_content()),
+            ("type".to_string(), self.kind.to_content()),
+            ("micros".to_string(), self.micros.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for PredictResponse {
+    fn from_content(c: &Content) -> Result<Self, serde::Error> {
+        let m = c
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("PredictResponse must be a map"))?;
+        fn field<T: Deserialize + Default>(
+            m: &[(String, Content)],
+            key: &str,
+        ) -> Result<T, serde::Error> {
+            match serde::map_get(m, key) {
+                None | Some(Content::Null) => Ok(T::default()),
+                Some(v) => T::from_content(v),
+            }
+        }
+        Ok(PredictResponse {
+            id: field(m, "id")?,
+            cpi: field(m, "cpi")?,
+            error: field(m, "error")?,
+            cached: field(m, "cached")?,
+            approx: field(m, "approx")?,
+            reason: field(m, "reason")?,
+            kind: field(m, "type")?,
+            micros: field(m, "micros")?,
+        })
+    }
 }
 
 impl PredictResponse {
@@ -255,6 +399,7 @@ impl PredictResponse {
             cached,
             approx: false,
             reason: None,
+            kind: None,
             micros,
         }
     }
@@ -269,6 +414,23 @@ impl PredictResponse {
             cached: false,
             approx: true,
             reason: Some("shed".to_string()),
+            kind: None,
+            micros,
+        }
+    }
+
+    /// Out-of-band follow-up to a shed answer for a `notify: true` request:
+    /// the exact model CPI, pushed once the feature store lands. `micros` is
+    /// the total enqueue → upgrade latency.
+    pub fn upgrade(id: u64, cpi: f64, micros: u64) -> Self {
+        PredictResponse {
+            id,
+            cpi: Some(cpi),
+            error: None,
+            cached: false,
+            approx: false,
+            reason: None,
+            kind: Some("upgrade".to_string()),
             micros,
         }
     }
@@ -282,8 +444,33 @@ impl PredictResponse {
             cached: false,
             approx: false,
             reason: None,
+            kind: None,
             micros,
         }
+    }
+
+    /// Typed schema-pin rejection: the request's `schema_version` does not
+    /// match the server's `SCHEMA_VERSION`. Carries `type: "error"` and
+    /// `reason: "schema_mismatch"` so clients can branch without string
+    /// matching the human-readable message.
+    pub fn schema_mismatch(id: u64, requested: u32, served: u32, micros: u64) -> Self {
+        PredictResponse {
+            id,
+            cpi: None,
+            error: Some(format!(
+                "schema mismatch: request pinned v{requested}, server speaks v{served}"
+            )),
+            cached: false,
+            approx: false,
+            reason: Some("schema_mismatch".to_string()),
+            kind: Some("error".to_string()),
+            micros,
+        }
+    }
+
+    /// True for typed `{"type":"upgrade"}` follow-up lines.
+    pub fn is_upgrade(&self) -> bool {
+        self.kind.as_deref() == Some("upgrade")
     }
 }
 
@@ -329,6 +516,68 @@ mod tests {
         let tight: PredictRequest =
             serde_json::from_str(r#"{"workload": "C1", "deadline_ms": 5}"#).unwrap();
         assert_eq!(tight.deadline_ms, Some(5));
+        // QoS fields default off…
+        assert_eq!(sparse.class, RequestClass::Interactive);
+        assert!(!sparse.notify);
+        assert_eq!(sparse.schema_version, None);
+        // …and round-trip when set.
+        let qos: PredictRequest = serde_json::from_str(
+            r#"{"workload": "C1", "class": "batch", "notify": true, "schema_version": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(qos.class, RequestClass::Batch);
+        assert!(qos.notify);
+        assert_eq!(qos.schema_version, Some(3));
+        let line = serde_json::to_string(&qos).unwrap();
+        let back: PredictRequest = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.class, RequestClass::Batch);
+        assert!(back.notify);
+    }
+
+    #[test]
+    fn request_class_rejects_unknown_names() {
+        assert!(
+            serde_json::from_str::<PredictRequest>(r#"{"workload": "C1", "class": "vip"}"#)
+                .is_err()
+        );
+        assert_eq!(
+            RequestClass::parse("interactive"),
+            Some(RequestClass::Interactive)
+        );
+        assert_eq!(RequestClass::parse("batch"), Some(RequestClass::Batch));
+        assert_eq!(RequestClass::parse("Batch"), None);
+        for (i, c) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(RequestClass::parse(c.name()), Some(*c));
+        }
+    }
+
+    #[test]
+    fn upgrade_and_typed_error_roundtrip() {
+        let up = PredictResponse::upgrade(7, 1.25, 900);
+        assert!(up.is_upgrade() && !up.approx);
+        let line = serde_json::to_string(&up).unwrap();
+        // The wire key is `type`, not `kind`.
+        assert!(line.contains(r#""type":"upgrade""#), "{line}");
+        assert!(!line.contains("kind"), "{line}");
+        let back: PredictResponse = serde_json::from_str(&line).unwrap();
+        assert!(back.is_upgrade());
+        assert_eq!(back.cpi, Some(1.25));
+
+        let err = PredictResponse::schema_mismatch(3, 2, 3, 10);
+        assert_eq!(err.kind.as_deref(), Some("error"));
+        assert_eq!(err.reason.as_deref(), Some("schema_mismatch"));
+        let back: PredictResponse =
+            serde_json::from_str(&serde_json::to_string(&err).unwrap()).unwrap();
+        assert_eq!(back.kind.as_deref(), Some("error"));
+        assert_eq!(back.reason.as_deref(), Some("schema_mismatch"));
+        assert!(back.error.unwrap().contains("v2"));
+        // Ordinary replies carry `type: null` and parse as kind = None.
+        let ok: PredictResponse = serde_json::from_str(
+            &serde_json::to_string(&PredictResponse::ok(1, 1.0, false, 2)).unwrap(),
+        )
+        .unwrap();
+        assert!(ok.kind.is_none() && !ok.is_upgrade());
     }
 
     #[test]

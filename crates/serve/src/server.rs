@@ -7,26 +7,35 @@
 //!
 //! - `{...}` with a `workload` field → [`PredictRequest`] → one response line
 //!   (an optional `deadline_ms` caps the miss wait: past it the server sheds
-//!   the request to the flagged analytic min-bound, `"approx": true`)
+//!   the request to the flagged analytic min-bound, `"approx": true`; a
+//!   `"notify": true` request that was shed additionally receives a later
+//!   pushed `{"type": "upgrade"}` line carrying the exact CPI once its
+//!   feature store lands)
 //! - `[{...}, ...]` → batch of requests → one array response line
 //! - `{"cmd": "ping"}` → `{"ok": true}`
-//! - `{"cmd": "metrics"}` → metrics snapshot
+//! - `{"cmd": "metrics"}` → metrics snapshot (JSON); with
+//!   `"format": "prometheus"`, `{"text": "..."}` carrying the same
+//!   Prometheus exposition `GET /metrics` serves
 //! - `{"cmd": "stats"}` → metrics + cache budget and per-shard occupancy
 //! - `{"cmd": "workloads"}` → the served workload catalog
 //! - `{"cmd": "schema"}` → the served feature schema (version + blocks)
 //!
 //! A connection arriving past the cap is answered with one typed error line
 //! — `{"error": ..., "type": "busy", ...}` — and closed, so clients can
-//! distinguish "retry later" from a protocol failure.
+//! distinguish "retry later" from a protocol failure. Because upgrade lines
+//! are pushed whenever their store lands, replies on a connection that uses
+//! `notify` are not strictly request-ordered — clients dispatch on the
+//! `type` field (see [`TcpClient::wait_upgrade`](crate::TcpClient::wait_upgrade)).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 use serde_json::{json, Value};
 
-use crate::protocol::PredictRequest;
+use crate::protocol::{PredictRequest, PredictResponse};
 use crate::service::PredictionService;
 use crate::Client;
 
@@ -118,25 +127,68 @@ impl PredictionService {
     }
 }
 
+/// The write half of a connection, shared between the request/reply loop
+/// and any upgrade-push waiter threads (pushed lines must not interleave
+/// mid-reply, so every line goes out under this lock).
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+fn write_line(writer: &SharedWriter, line: &str) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Holds a shed-and-notified request's response channel until the exact
+/// answer lands, then pushes the `{"type":"upgrade"}` line. One short-lived
+/// thread per notified shed answer: it spends its life blocked on the
+/// channel, and the channel closes (ending the thread) as soon as the
+/// service answers or drops the job.
+fn spawn_upgrade_waiter(rx: mpsc::Receiver<PredictResponse>, writer: SharedWriter) {
+    let _ = std::thread::Builder::new()
+        .name("concorde-upgrade-push".to_string())
+        .spawn(move || {
+            if let Ok(resp) = rx.recv() {
+                if resp.is_upgrade() {
+                    let line = serde_json::to_string(&resp).expect("serialize upgrade");
+                    let _ = write_line(&writer, &line);
+                }
+            }
+        });
+}
+
+/// Waits for a submitted request's first response; if it was shed and the
+/// request asked to be notified, leaves a waiter behind to push the
+/// eventual upgrade line.
+fn recv_first(
+    rx: mpsc::Receiver<PredictResponse>,
+    notify: bool,
+    writer: &SharedWriter,
+) -> Result<PredictResponse, crate::ServeError> {
+    let resp = rx.recv().map_err(|_| crate::ServeError::Disconnected)?;
+    if notify && resp.approx {
+        spawn_upgrade_waiter(rx, Arc::clone(writer));
+    }
+    Ok(resp)
+}
+
 fn handle_connection(client: Client, stream: TcpStream) -> std::io::Result<()> {
     let peer = stream.peer_addr()?;
-    let mut writer = stream.try_clone()?;
+    let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let reply = handle_line(&client, &line);
-        writer.write_all(reply.to_string().as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let reply = handle_line(&client, &line, &writer);
+        write_line(&writer, &reply.to_string())?;
     }
     let _ = peer;
     Ok(())
 }
 
-fn handle_line(client: &Client, line: &str) -> Value {
+fn handle_line(client: &Client, line: &str, writer: &SharedWriter) -> Value {
     let parsed: Value = match serde_json::from_str(line) {
         Ok(v) => v,
         Err(e) => return json!({ "error": format!("malformed JSON: {e}") }),
@@ -147,16 +199,35 @@ fn handle_line(client: &Client, line: &str) -> Value {
                 Ok(r) => r,
                 Err(e) => return json!({ "error": format!("bad request batch: {e}") }),
             };
-            match client.predict_many(reqs) {
-                Ok(resps) => serde_json::to_value(&resps).expect("serialize responses"),
-                Err(e) => json!({ "error": e.to_string() }),
+            // Mirrors `Client::predict_many` (submit all with backpressure,
+            // then collect in order), but keeps each receiver so notified
+            // shed answers can leave an upgrade waiter behind.
+            let mut pending = Vec::with_capacity(reqs.len());
+            for req in reqs {
+                let notify = req.notify;
+                match client.submit_blocking(req) {
+                    Ok(rx) => pending.push((rx, notify)),
+                    Err(e) => return json!({ "error": e.to_string() }),
+                }
             }
+            let mut resps = Vec::with_capacity(pending.len());
+            for (rx, notify) in pending {
+                match recv_first(rx, notify, writer) {
+                    Ok(resp) => resps.push(resp),
+                    Err(e) => return json!({ "error": e.to_string() }),
+                }
+            }
+            serde_json::to_value(&resps).expect("serialize responses")
         }
         Value::Object(ref obj) if obj.contains_key("cmd") => {
             match obj.get("cmd").and_then(Value::as_str) {
                 Some("ping") => json!({ "ok": true }),
                 Some("metrics") => {
-                    serde_json::to_value(&client.service_metrics()).expect("serialize metrics")
+                    if obj.get("format").and_then(Value::as_str) == Some("prometheus") {
+                        json!({ "text": client.prometheus_metrics() })
+                    } else {
+                        serde_json::to_value(&client.service_metrics()).expect("serialize metrics")
+                    }
                 }
                 Some("stats") => {
                     serde_json::to_value(&client.service_stats()).expect("serialize stats")
@@ -171,7 +242,11 @@ fn handle_line(client: &Client, line: &str) -> Value {
                 Ok(r) => r,
                 Err(e) => return json!({ "error": format!("bad request: {e}") }),
             };
-            match client.predict(req) {
+            let notify = req.notify;
+            let result = client
+                .submit(req)
+                .and_then(|rx| recv_first(rx, notify, writer));
+            match result {
                 Ok(resp) => serde_json::to_value(&resp).expect("serialize response"),
                 Err(e) => json!({ "error": e.to_string() }),
             }

@@ -44,13 +44,14 @@ use concorde_core::cache::{
 use concorde_core::features::FeatureStore;
 use concorde_core::minbound::MinBoundEstimator;
 use concorde_core::model::ConcordePredictor;
-use concorde_core::schema::FeatureSchema;
+use concorde_core::schema::{FeatureSchema, SCHEMA_VERSION};
 use concorde_core::sweep::{ReproProfile, SweepConfig};
 use concorde_cyclesim::MicroArch;
 use concorde_ml::MlpScratch;
 use serde::{Deserialize, Serialize};
 
-use crate::protocol::{PredictRequest, PredictResponse};
+use crate::metrics::{Histogram, HistogramSnapshot, PromWriter};
+use crate::protocol::{PredictRequest, PredictResponse, RequestClass, N_CLASSES};
 
 /// Largest per-request region length the service will generate (the paper's
 /// full-scale regions are 100k instructions; this leaves ample headroom
@@ -79,6 +80,64 @@ pub enum MissPolicy {
     /// Build the store inline on the worker that took the batch, blocking
     /// it (the pre-pool behavior; the bench baseline).
     Inline,
+}
+
+/// Per-class miss-wait SLOs (`--slo interactive=25,batch=500`, milliseconds).
+///
+/// A request's *effective deadline* resolves per job as: its own wire
+/// `deadline_ms`, else its class's SLO here, else the server-wide
+/// [`ServeConfig::miss_slo`]. The deadline feeds both the shed decision
+/// ([`shed_decision`]) and the precompute pool's EDF ordering
+/// ([`pick_task`]) — a class with no SLO configured behaves exactly as
+/// before this knob existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassSlo {
+    slos: [Option<Duration>; N_CLASSES],
+}
+
+impl ClassSlo {
+    /// Sets one class's SLO.
+    pub fn set(&mut self, class: RequestClass, slo: Duration) {
+        self.slos[class.index()] = Some(slo);
+    }
+
+    /// The SLO configured for `class`, if any.
+    pub fn get(&self, class: RequestClass) -> Option<Duration> {
+        self.slos[class.index()]
+    }
+
+    /// True when no class has an SLO (the default: per-class QoS off).
+    pub fn is_empty(&self) -> bool {
+        self.slos.iter().all(Option::is_none)
+    }
+
+    /// Parses the `--slo` flag syntax: comma-separated `class=millis`
+    /// entries, e.g. `interactive=25,batch=500`. Unlisted classes keep no
+    /// SLO; listing a class twice is an error (a silent last-wins would
+    /// hide operator typos).
+    pub fn parse(s: &str) -> Result<ClassSlo, String> {
+        let mut out = ClassSlo::default();
+        for entry in s.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, ms) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("`{entry}`: expected class=millis"))?;
+            let class = RequestClass::parse(name.trim())
+                .ok_or_else(|| format!("`{name}`: unknown request class (interactive | batch)"))?;
+            let ms: u64 = ms
+                .trim()
+                .parse()
+                .map_err(|_| format!("`{ms}`: not a millisecond count"))?;
+            if out.get(class).is_some() {
+                return Err(format!("class `{class}` listed twice"));
+            }
+            out.set(class, Duration::from_millis(ms));
+        }
+        Ok(out)
+    }
 }
 
 /// Engine configuration.
@@ -124,6 +183,10 @@ pub struct ServeConfig {
     /// shedding — misses park until their store lands, exactly the pre-SLO
     /// behavior. Only meaningful under [`MissPolicy::AsyncPool`].
     pub miss_slo: Option<Duration>,
+    /// Per-class miss-wait SLOs (`--slo`): a middle resolution tier between
+    /// a request's own `deadline_ms` and the server-wide
+    /// [`ServeConfig::miss_slo`]. Empty by default (per-class QoS off).
+    pub class_slo: ClassSlo,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +204,7 @@ impl Default for ServeConfig {
             sweep: SweepScope::PerArch,
             store_encoding: ArenaEncoding::F32,
             miss_slo: None,
+            class_slo: ClassSlo::default(),
         }
     }
 }
@@ -237,8 +301,12 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// Live engine counters (all monotonic except the `*_depth`/gauge fields).
-#[derive(Debug, Default)]
+/// Live engine counters (all monotonic except the `*_depth`/gauge fields),
+/// plus the per-class request-path histograms the `/metrics` exposition
+/// renders. The legacy `avg_latency_us`/`max_latency_us` stats are *derived*
+/// from the latency histogram (see [`Metrics::latency_merged`]) so the JSON
+/// stats and the Prometheus scrape can never disagree.
+#[derive(Debug)]
 pub struct Metrics {
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -250,33 +318,96 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     coalesced: AtomicU64,
     precomputes: AtomicU64,
-    shed: AtomicU64,
+    /// Shed answers, by request class.
+    shed: [AtomicU64; N_CLASSES],
     shed_build_skips: AtomicU64,
+    /// `{"type":"upgrade"}` follow-up lines pushed (exact answers landing
+    /// after a `notify: true` shed reply). Not counted in `completed` — the
+    /// primary response already was.
+    upgrades: AtomicU64,
+    /// Requests rejected for pinning a `schema_version` the server does not
+    /// speak.
+    schema_mismatches: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
-    latency_us_sum: AtomicU64,
-    latency_us_max: AtomicU64,
+    /// End-to-end latency (enqueue → response, seconds), by request class.
+    latency: [Histogram; N_CLASSES],
+    /// Enqueue → batch-collection wait (seconds), by request class. First
+    /// pass only: a re-enqueued parked job is not re-observed (its park time
+    /// shows up in end-to-end latency, not queue wait).
+    queue_wait: [Histogram; N_CLASSES],
+    /// Requests per executed batch.
+    batch_size: Histogram,
+    /// Feature-store build latency (seconds), pool and inline builds alike.
+    store_build: Histogram,
     pub(crate) busy_rejected: AtomicU64,
     pub(crate) conn_active: AtomicUsize,
 }
 
+/// Latency/queue-wait bucket layout: 10µs → ~84s in ×2 steps, constant
+/// relative resolution across the hit-path-µs to cold-build-s span.
+fn latency_histogram() -> Histogram {
+    Histogram::log_buckets(1e-5, 2.0, 23)
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errored: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            precomputes: AtomicU64::new(0),
+            shed: std::array::from_fn(|_| AtomicU64::new(0)),
+            shed_build_skips: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
+            schema_mismatches: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            latency: std::array::from_fn(|_| latency_histogram()),
+            queue_wait: std::array::from_fn(|_| latency_histogram()),
+            // 1, 2, 4, … 256 requests — brackets `max_batch` defaults.
+            batch_size: Histogram::log_buckets(1.0, 2.0, 9),
+            // 1ms → ~32s: cold feature-store builds are milliseconds-to-
+            // seconds scale.
+            store_build: Histogram::log_buckets(1e-3, 2.0, 16),
+            busy_rejected: AtomicU64::new(0),
+            conn_active: AtomicUsize::new(0),
+        }
+    }
+}
+
 impl Metrics {
-    fn observe_latency(&self, us: u64) {
-        self.latency_us_sum.fetch_add(us, Ordering::Relaxed);
-        self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+    fn observe_latency(&self, class: RequestClass, us: u64) {
+        self.latency[class.index()].observe(us as f64 / 1e6);
+    }
+
+    /// All classes' latency histograms merged — the single source of the
+    /// legacy global `avg_latency_us`/`max_latency_us` stats.
+    fn latency_merged(&self) -> HistogramSnapshot {
+        let mut merged = self.latency[0].snapshot();
+        for h in &self.latency[1..] {
+            merged.merge(&h.snapshot());
+        }
+        merged
     }
 
     /// Consistent-enough point-in-time copy of the atomic counters; the
     /// in-flight and cache fields are filled in by [`Shared::snapshot`].
     fn counters(&self) -> MetricsSnapshot {
-        let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batch_requests = self.batch_requests.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
+        let latency = self.latency_merged();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
-            completed,
+            completed: self.completed.load(Ordering::Relaxed),
             errored: self.errored.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             batches,
@@ -294,8 +425,10 @@ impl Metrics {
             },
             coalesced: self.coalesced.load(Ordering::Relaxed),
             precomputes: self.precomputes.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            shed: self.shed.iter().map(|c| c.load(Ordering::Relaxed)).sum(),
             shed_build_skips: self.shed_build_skips.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+            schema_mismatches: self.schema_mismatches.load(Ordering::Relaxed),
             // Miss-path gauges (parked, backlog, EWMA) are filled in by
             // [`Shared::snapshot_with`] under a consistent lock pair.
             parked: 0,
@@ -309,12 +442,12 @@ impl Metrics {
             active_connections: self.conn_active.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            avg_latency_us: if completed == 0 {
-                0.0
-            } else {
-                self.latency_us_sum.load(Ordering::Relaxed) as f64 / completed as f64
-            },
-            max_latency_us: self.latency_us_max.load(Ordering::Relaxed),
+            // Derived from the histogram, not tracked beside it: the two
+            // reporting paths cannot drift. Observations are whole-µs
+            // durations recorded in seconds, so ×1e6 + round recovers them
+            // exactly (f64 is exact for integers up to 2^53).
+            avg_latency_us: latency.mean() * 1e6,
+            max_latency_us: (latency.max * 1e6).round() as u64,
         }
     }
 }
@@ -357,6 +490,14 @@ pub struct MetricsSnapshot {
     /// value means a cold storm is outrunning the precompute pool.
     #[serde(default)]
     pub shed_build_skips: u64,
+    /// `{"type":"upgrade"}` exact-answer follow-ups pushed to `notify: true`
+    /// shed requests (not counted in `completed` — their shed reply was).
+    #[serde(default)]
+    pub upgrades: u64,
+    /// Requests rejected with the typed `schema_mismatch` error for pinning
+    /// a `schema_version` the server does not speak.
+    #[serde(default)]
+    pub schema_mismatches: u64,
     /// Requests currently parked awaiting an in-flight precompute (gauge).
     /// Read under the same locks as [`MetricsSnapshot::miss_backlog`], so one
     /// snapshot's pair is mutually consistent.
@@ -443,6 +584,30 @@ struct Job {
     /// re-enqueued: its store was built on demand, so the response must
     /// report `cached: false` even though the re-run finds a cache hit.
     parked: bool,
+    /// Effective deadline for QoS: `enqueued` + the first of the request's
+    /// own `deadline_ms`, its class SLO ([`ServeConfig::class_slo`]), or the
+    /// server-wide [`ServeConfig::miss_slo`]. `None` when none is
+    /// configured. Drives the precompute pool's EDF ordering; the shed
+    /// decision derives the same resolution independently (it needs the
+    /// duration, not the instant).
+    deadline: Option<Instant>,
+    /// True for a `notify: true` job that already received its shed answer
+    /// and is parked again only to be *upgraded*: when the exact store
+    /// lands, it gets a `{"type":"upgrade"}` line instead of an ordinary
+    /// response, and it must never be shed again.
+    upgrade: bool,
+}
+
+impl Job {
+    /// The request's effective miss-wait budget in µs for [`shed_decision`]
+    /// (the same resolution chain as [`Job::deadline`], minus the
+    /// server-wide tier, which `shed_decision` applies itself as `slo_us`).
+    fn deadline_us(&self, class_slo: &ClassSlo) -> Option<u64> {
+        self.req
+            .deadline_ms
+            .map(|ms| ms.saturating_mul(1_000))
+            .or_else(|| class_slo.get(self.req.class).map(|d| d.as_micros() as u64))
+    }
 }
 
 /// A queued cache-miss build for the precompute pool.
@@ -478,12 +643,20 @@ const SPECULATIVE_BACKLOG_MAX: usize = 32;
 const SHED_CACHE_MAX_KEYS: usize = 256;
 const SHED_CACHE_MAX_ARCHS: usize = 64;
 
-/// Picks the next build: the task with the most parked requests, FIFO on
-/// ties — hot cold-keys (many coalesced waiters) build before lukewarm ones,
-/// and a key nobody waits on anymore (waiters errored out) sinks last.
-/// Exception: a task bypassed [`MAX_BYPASS`] times is picked first (oldest
-/// such), guaranteeing the progress the old FIFO queue gave.
-fn pick_task(tasks: &[PrecomputeTask], parked_count: impl Fn(&FeatureKey) -> usize) -> usize {
+/// Picks the next build, earliest-effective-deadline-first (EDF): `prio`
+/// maps a key to (earliest deadline among its parked waiters, parked
+/// count). The task with the earliest deadline builds first; a key with any
+/// deadline beats a key with none; ties (including the no-SLO
+/// configuration, where every deadline is `None`) fall back to the prior
+/// policy — most parked waiters, then FIFO on seq — so QoS-off servers
+/// schedule exactly as before. Exception: a task bypassed [`MAX_BYPASS`]
+/// times is picked first (oldest such), guaranteeing the progress the old
+/// FIFO queue gave — a starving key's waiters have blown any deadline
+/// already, so the backstop outranks EDF.
+fn pick_task(
+    tasks: &[PrecomputeTask],
+    prio: impl Fn(&FeatureKey) -> (Option<Instant>, usize),
+) -> usize {
     if let Some((i, _)) = tasks
         .iter()
         .enumerate()
@@ -492,17 +665,24 @@ fn pick_task(tasks: &[PrecomputeTask], parked_count: impl Fn(&FeatureKey) -> usi
     {
         return i;
     }
-    let mut best = 0usize;
-    let mut best_key = (0usize, u64::MAX);
-    for (i, t) in tasks.iter().enumerate() {
-        let count = parked_count(&t.key);
-        // More parked wins; equal parked → earlier seq wins.
-        if count > best_key.0 || (count == best_key.0 && t.seq < best_key.1) {
-            best = i;
-            best_key = (count, t.seq);
-        }
-    }
-    best
+    // Placeholder instant for "no deadline": the leading `is_none` tuple
+    // component already ranks those last, so the value only ever compares
+    // against itself.
+    let far = Instant::now();
+    tasks
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| {
+            let (deadline, count) = prio(&t.key);
+            (
+                deadline.is_none(),
+                deadline.unwrap_or(far),
+                std::cmp::Reverse(count),
+                t.seq,
+            )
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 pub(crate) struct Shared {
@@ -785,11 +965,23 @@ pub(crate) fn submit(
             shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::QueueFull);
         }
+        let enqueued = Instant::now();
+        // Effective deadline: the request's own deadline_ms, else its
+        // class's SLO, else the server-wide miss SLO — the EDF key the
+        // precompute pool orders builds by.
+        let deadline = req
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or_else(|| shared.cfg.class_slo.get(req.class))
+            .or(shared.cfg.miss_slo)
+            .map(|d| enqueued + d);
         q.push_back(Job {
             req,
-            enqueued: Instant::now(),
+            enqueued,
             tx,
             parked: false,
+            deadline,
+            upgrade: false,
         });
         let depth = q.len();
         shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
@@ -834,6 +1026,212 @@ pub(crate) fn schema_of(shared: &Shared) -> FeatureSchema {
         .layout
         .schema()
         .with_arena_encoding(shared.cfg.store_encoding)
+}
+
+/// Renders the full engine state as one Prometheus text-exposition document
+/// — the `GET /metrics` body and the `{"cmd":"metrics","format":
+/// "prometheus"}` reply. Reads the same atomics/locks as the JSON snapshot,
+/// so the two report the same world.
+pub(crate) fn prometheus_text(shared: &Shared) -> String {
+    let m = &shared.metrics;
+    let snap = shared.snapshot();
+    let per_shard = shared.cache.shard_stats();
+    let class_label = |c: RequestClass| vec![("class", c.name().to_string())];
+    let shard_label = |s: usize| vec![("shard", s.to_string())];
+    let global = Vec::new;
+
+    let mut w = PromWriter::new();
+    w.gauge(
+        "concorde_build_info",
+        "Constant 1; labels carry the served feature-schema version and miss-path arena encoding.",
+        &[(
+            vec![
+                ("schema_version", SCHEMA_VERSION.to_string()),
+                (
+                    "encoding",
+                    format!("{:?}", shared.cfg.store_encoding).to_lowercase(),
+                ),
+            ],
+            1.0,
+        )],
+    );
+    w.counter(
+        "concorde_requests_submitted_total",
+        "Requests accepted into the queue.",
+        &[(global(), snap.submitted)],
+    );
+    w.counter(
+        "concorde_requests_rejected_total",
+        "Submissions rejected for a full queue.",
+        &[(global(), snap.rejected)],
+    );
+    let responses: Vec<_> = RequestClass::ALL
+        .iter()
+        .map(|c| (class_label(*c), m.latency[c.index()].snapshot().count))
+        .collect();
+    w.counter(
+        "concorde_responses_total",
+        "Responses delivered (success, shed, or error), by request class.",
+        &responses,
+    );
+    w.counter(
+        "concorde_errors_total",
+        "Error responses among the completed ones.",
+        &[(global(), snap.errored)],
+    );
+    let shed: Vec<_> = RequestClass::ALL
+        .iter()
+        .map(|c| (class_label(*c), m.shed[c.index()].load(Ordering::Relaxed)))
+        .collect();
+    w.counter(
+        "concorde_shed_total",
+        "Cache-miss requests answered with the degraded analytic min-bound, by request class.",
+        &shed,
+    );
+    w.counter(
+        "concorde_upgrades_total",
+        "Exact-answer upgrade lines pushed to notify-requesting shed clients.",
+        &[(global(), snap.upgrades)],
+    );
+    w.counter(
+        "concorde_schema_mismatch_total",
+        "Requests rejected for pinning a schema_version the server does not speak.",
+        &[(global(), snap.schema_mismatches)],
+    );
+    w.counter(
+        "concorde_coalesced_total",
+        "Requests that joined an already in-flight precompute for their key.",
+        &[(global(), snap.coalesced)],
+    );
+    w.counter(
+        "concorde_precomputes_total",
+        "Feature-store builds executed (pool or inline).",
+        &[(global(), snap.precomputes)],
+    );
+    w.counter(
+        "concorde_shed_build_skips_total",
+        "Speculative builds skipped past the backstop backlog.",
+        &[(global(), snap.shed_build_skips)],
+    );
+    w.counter(
+        "concorde_batches_total",
+        "Micro-batches executed.",
+        &[(global(), snap.batches)],
+    );
+    w.counter(
+        "concorde_busy_rejected_total",
+        "TCP connections turned away with a busy error.",
+        &[(global(), snap.busy_rejected)],
+    );
+    let hits: Vec<_> = per_shard
+        .iter()
+        .map(|s| (shard_label(s.shard), s.hits))
+        .collect();
+    w.counter(
+        "concorde_cache_hits_total",
+        "Feature-store cache lookups that found a store, by shard.",
+        &hits,
+    );
+    let misses: Vec<_> = per_shard
+        .iter()
+        .map(|s| (shard_label(s.shard), s.misses))
+        .collect();
+    w.counter(
+        "concorde_cache_misses_total",
+        "Feature-store cache lookups that did not, by shard.",
+        &misses,
+    );
+    let evictions: Vec<_> = per_shard
+        .iter()
+        .map(|s| (shard_label(s.shard), s.evictions))
+        .collect();
+    w.counter(
+        "concorde_cache_evictions_total",
+        "Stores evicted to stay within the byte budget, by shard.",
+        &evictions,
+    );
+    let bytes: Vec<_> = per_shard
+        .iter()
+        .map(|s| (shard_label(s.shard), s.bytes as f64))
+        .collect();
+    w.gauge(
+        "concorde_cache_bytes",
+        "Resident cache bytes, by shard.",
+        &bytes,
+    );
+    let stores: Vec<_> = per_shard
+        .iter()
+        .map(|s| (shard_label(s.shard), s.stores as f64))
+        .collect();
+    w.gauge(
+        "concorde_cache_stores",
+        "Resident cached stores, by shard.",
+        &stores,
+    );
+    w.gauge(
+        "concorde_queue_depth",
+        "Current request-queue depth.",
+        &[(global(), snap.queue_depth as f64)],
+    );
+    w.gauge(
+        "concorde_queue_depth_max",
+        "High-water request-queue depth.",
+        &[(global(), snap.max_queue_depth as f64)],
+    );
+    w.gauge(
+        "concorde_parked_requests",
+        "Requests parked awaiting an in-flight precompute.",
+        &[(global(), snap.parked as f64)],
+    );
+    w.gauge(
+        "concorde_miss_backlog",
+        "Builds waiting in the precompute-pool queue.",
+        &[(global(), snap.miss_backlog as f64)],
+    );
+    w.gauge(
+        "concorde_inflight_builds",
+        "Precomputes currently queued or running.",
+        &[(global(), snap.inflight_builds as f64)],
+    );
+    w.gauge(
+        "concorde_active_connections",
+        "Currently open TCP connections.",
+        &[(global(), snap.active_connections as f64)],
+    );
+    w.gauge(
+        "concorde_build_ewma_seconds",
+        "Observed per-build latency EWMA (the shed decision's multiplier).",
+        &[(global(), snap.build_ewma_us as f64 / 1e6)],
+    );
+    let latency: Vec<_> = RequestClass::ALL
+        .iter()
+        .map(|c| (class_label(*c), m.latency[c.index()].snapshot()))
+        .collect();
+    w.histogram(
+        "concorde_request_latency_seconds",
+        "End-to-end latency, enqueue to response, by request class.",
+        &latency,
+    );
+    let queue_wait: Vec<_> = RequestClass::ALL
+        .iter()
+        .map(|c| (class_label(*c), m.queue_wait[c.index()].snapshot()))
+        .collect();
+    w.histogram(
+        "concorde_queue_wait_seconds",
+        "Enqueue to batch-collection wait (first pass), by request class.",
+        &queue_wait,
+    );
+    w.histogram(
+        "concorde_batch_size",
+        "Requests per executed micro-batch.",
+        &[(global(), m.batch_size.snapshot())],
+    );
+    w.histogram(
+        "concorde_store_build_seconds",
+        "Feature-store build latency (pool and inline builds).",
+        &[(global(), m.store_build.snapshot())],
+    );
+    w.finish()
 }
 
 /// Collects one micro-batch: blocks for the first job, then keeps draining
@@ -905,6 +1303,7 @@ fn worker_loop(shared: &Shared) {
             .metrics
             .batch_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shared.metrics.batch_size.observe(batch.len() as f64);
         process_batch(shared, batch, &mut scratch);
     }
 }
@@ -920,13 +1319,20 @@ struct Group {
 }
 
 fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
+    if resp.is_upgrade() {
+        // The job's primary (shed) response was already counted; the
+        // upgrade is a push, not a completion — only its own counter moves.
+        shared.metrics.upgrades.fetch_add(1, Ordering::Relaxed);
+        let _ = job.tx.send(resp);
+        return;
+    }
     if resp.error.is_some() {
         shared.metrics.errored.fetch_add(1, Ordering::Relaxed);
     }
     shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
     shared
         .metrics
-        .observe_latency(job.enqueued.elapsed().as_micros() as u64);
+        .observe_latency(job.req.class, job.enqueued.elapsed().as_micros() as u64);
     let _ = job.tx.send(resp);
 }
 
@@ -935,6 +1341,30 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut MlpScratch) {
     let mut groups: Vec<Group> = Vec::new();
     let mut index: HashMap<FeatureKey, usize> = HashMap::new();
     for job in batch {
+        // First pass only: a re-enqueued parked job's wait is park time, not
+        // queue time, and is visible in end-to-end latency instead.
+        if !job.parked {
+            shared.metrics.queue_wait[job.req.class.index()]
+                .observe(job.enqueued.elapsed().as_secs_f64());
+        }
+        // Schema pinning: a client that demands a specific feature-schema
+        // version gets a typed refusal, never a silently different layout.
+        if let Some(v) = job.req.schema_version {
+            if v != SCHEMA_VERSION {
+                shared
+                    .metrics
+                    .schema_mismatches
+                    .fetch_add(1, Ordering::Relaxed);
+                let id = job.req.id;
+                let us = job.enqueued.elapsed().as_micros() as u64;
+                respond(
+                    shared,
+                    &job,
+                    PredictResponse::schema_mismatch(id, v, SCHEMA_VERSION, us),
+                );
+                continue;
+            }
+        }
         let arch = match job.req.arch.resolve() {
             Ok(a) => a,
             Err(msg) => {
@@ -1044,11 +1474,16 @@ fn run_group(shared: &Shared, group: Group, scratch: &mut MlpScratch) {
         }
         None => {
             shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 Arc::new(precompute_store(shared, &key, &sweep))
             }));
             match outcome {
                 Ok(store) => {
+                    shared
+                        .metrics
+                        .store_build
+                        .observe(t0.elapsed().as_secs_f64());
                     shared.metrics.precomputes.fetch_add(1, Ordering::Relaxed);
                     shared.cache.insert(key.clone(), Arc::clone(&store));
                     (store, false)
@@ -1088,20 +1523,27 @@ fn eval_group(
         Ok(cpis) => {
             for ((job, _), cpi) in jobs.iter().zip(cpis) {
                 let us = job.enqueued.elapsed().as_micros() as u64;
-                // A job that parked on this store's build sees a "hit" only
-                // because its own miss triggered the build — report it as
-                // the precompute it was.
-                let cached = was_cached && !job.parked;
-                respond(
-                    shared,
-                    job,
-                    PredictResponse::ok(job.req.id, cpi, cached, us),
-                );
+                let resp = if job.upgrade {
+                    // This job was already answered with the shed min-bound;
+                    // the exact CPI goes out as the promised follow-up line.
+                    PredictResponse::upgrade(job.req.id, cpi, us)
+                } else {
+                    // A job that parked on this store's build sees a "hit"
+                    // only because its own miss triggered the build — report
+                    // it as the precompute it was.
+                    PredictResponse::ok(job.req.id, cpi, was_cached && !job.parked, us)
+                };
+                respond(shared, job, resp);
             }
         }
         Err(panic) => {
             let msg = panic_message(panic);
             for (job, _) in jobs {
+                // An upgrade job already holds a (shed) answer: failing to
+                // improve on it is not an error worth a second reply line.
+                if job.upgrade {
+                    continue;
+                }
                 let us = job.enqueued.elapsed().as_micros() as u64;
                 respond(
                     shared,
@@ -1121,7 +1563,10 @@ fn split_shed(shared: &Shared, jobs: ArchJobs, registers_build: bool) -> (ArchJo
     let slo_us = shared.cfg.miss_slo.map(|d| d.as_micros() as u64);
     // Cheap early-out: shedding entirely unconfigured (the common case) —
     // skip the per-job scan and preserve the pre-SLO behavior exactly.
-    if slo_us.is_none() && jobs.iter().all(|(j, _)| j.req.deadline_ms.is_none()) {
+    if slo_us.is_none()
+        && shared.cfg.class_slo.is_empty()
+        && jobs.iter().all(|(j, _)| j.req.deadline_ms.is_none())
+    {
         return (jobs, Vec::new());
     }
     let ewma_us = shared.build_ewma_us.load(Ordering::Relaxed);
@@ -1130,8 +1575,10 @@ fn split_shed(shared: &Shared, jobs: ArchJobs, registers_build: bool) -> (ArchJo
     let mut parked = Vec::new();
     let mut shed = Vec::new();
     for (job, arch) in jobs {
-        let deadline_us = job.req.deadline_ms.map(|ms| ms.saturating_mul(1_000));
-        if shed_decision(per_worker, ewma_us, slo_us, deadline_us) {
+        // A re-parked upgrade job already holds its shed answer; shedding
+        // it again would send a duplicate — it always waits for the store.
+        let deadline_us = job.deadline_us(&shared.cfg.class_slo);
+        if !job.upgrade && shed_decision(per_worker, ewma_us, slo_us, deadline_us) {
             shed.push((job, arch));
         } else {
             parked.push((job, arch));
@@ -1152,11 +1599,14 @@ fn split_shed(shared: &Shared, jobs: ArchJobs, registers_build: bool) -> (ArchJo
 /// key pays the trace generation + analysis once, not per request — the
 /// worker thread computing here is a hit-path worker, and N× recomputation
 /// would reintroduce the stall shedding exists to avoid.
-fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) {
-    shared
-        .metrics
-        .shed
-        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+///
+/// Returns the answered `notify: true` jobs, flagged for upgrade — the
+/// caller parks them back on the key's in-flight build
+/// ([`park_for_upgrade`]) so the exact CPI is pushed when the store lands.
+fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) -> Vec<Job> {
+    for (job, _) in &jobs {
+        shared.metrics.shed[job.req.class.index()].fetch_add(1, Ordering::Relaxed);
+    }
     let mut answers: Vec<Option<f64>> = {
         let sc = shared.shed_cache.lock().unwrap_or_else(|e| e.into_inner());
         let entry = sc.get(key);
@@ -1238,12 +1688,51 @@ fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) {
             }
         }
     }
-    for ((job, _), answer) in jobs.iter().zip(&answers) {
+    let mut upgraders = Vec::new();
+    for ((mut job, _), answer) in jobs.into_iter().zip(answers) {
         if let Some(cpi) = answer {
             let us = job.enqueued.elapsed().as_micros() as u64;
-            respond(shared, job, PredictResponse::shed(job.req.id, *cpi, us));
+            respond(shared, &job, PredictResponse::shed(job.req.id, cpi, us));
+            if job.req.notify {
+                job.upgrade = true;
+                job.parked = true;
+                upgraders.push(job);
+            }
         }
     }
+    upgraders
+}
+
+/// Parks answered `notify: true` shed jobs back on the key's in-flight
+/// entry, so the store's landing re-enqueues them and [`eval_group`] pushes
+/// their `{"type":"upgrade"}` line. If the build landed (or errored) in the
+/// window since the shed answer, the entry is gone — then the jobs re-enter
+/// the request queue directly and upgrade via an ordinary cache probe.
+fn park_for_upgrade(shared: &Shared, key: &FeatureKey, jobs: Vec<Job>) {
+    if jobs.is_empty() {
+        return;
+    }
+    let leftover = {
+        let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match inflight.get_mut(key) {
+            Some(entry) => {
+                entry.extend(jobs);
+                Vec::new()
+            }
+            None => jobs,
+        }
+    };
+    if leftover.is_empty() {
+        return;
+    }
+    {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for job in leftover.into_iter().rev() {
+            q.push_front(job);
+        }
+        shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+    }
+    shared.notify.notify_all();
 }
 
 /// Parks a missed group: joins the key's in-flight build if one exists
@@ -1271,7 +1760,8 @@ fn park_group(
         entry.extend(parked.into_iter().map(|(j, _)| j));
         drop(inflight);
         if !shed.is_empty() {
-            answer_shed(shared, &key, shed);
+            let upgraders = answer_shed(shared, &key, shed);
+            park_for_upgrade(shared, &key, upgraders);
         }
         return;
     }
@@ -1293,7 +1783,10 @@ fn park_group(
     // backlog, skip the registration so a sustained cold storm cannot grow
     // the pool queue without bound. A later request for the key re-misses
     // and registers the build then.
+    // A `notify: true` shed job is owed an upgrade, which only a registered
+    // build can deliver — its group is never eligible for the skip.
     if parked.is_empty()
+        && !shed.iter().any(|(j, _)| j.req.notify)
         && shared.inflight_builds.load(Ordering::SeqCst)
             >= SPECULATIVE_BACKLOG_MAX.saturating_mul(shared.n_pool.max(1))
     {
@@ -1322,7 +1815,8 @@ fn park_group(
     }
     shared.pre_notify.notify_one();
     if !shed.is_empty() {
-        answer_shed(shared, &key, shed);
+        let upgraders = answer_shed(shared, &key, shed);
+        park_for_upgrade(shared, &key, upgraders);
     }
 }
 
@@ -1365,11 +1859,18 @@ fn precompute_loop(shared: &Shared) {
                     let idx = if q.len() == 1 {
                         0
                     } else {
-                        // Snapshot parked counts under the registry lock.
-                        // Lock order pre_queue → inflight is safe: park_group
-                        // releases the registry lock before queueing.
+                        // Snapshot deadlines + parked counts under the
+                        // registry lock. Lock order pre_queue → inflight is
+                        // safe: park_group releases the registry lock before
+                        // queueing.
                         let inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
-                        pick_task(&q, |k| inflight.get(k).map_or(0, Vec::len))
+                        pick_task(&q, |k| {
+                            let waiters = inflight.get(k);
+                            (
+                                waiters.and_then(|v| v.iter().filter_map(|j| j.deadline).min()),
+                                waiters.map_or(0, Vec::len),
+                            )
+                        })
                     };
                     for (i, t) in q.iter_mut().enumerate() {
                         if i != idx {
@@ -1403,6 +1904,10 @@ fn precompute_loop(shared: &Shared) {
                 // observation seeds it directly (floored at 1µs so a
                 // measured build never resets the "nothing observed yet"
                 // bootstrap state).
+                shared
+                    .metrics
+                    .store_build
+                    .observe(t0.elapsed().as_secs_f64());
                 let us = (t0.elapsed().as_micros() as u64).max(1);
                 let prev = shared.build_ewma_us.load(Ordering::Relaxed);
                 let next = if prev == 0 { us } else { (prev * 3 + us) / 4 };
@@ -1431,6 +1936,12 @@ fn precompute_loop(shared: &Shared) {
                     .remove(&task.key);
                 let jobs = take_parked(shared, &task.key);
                 for job in &jobs {
+                    // Upgrade jobs already answered with the shed bound;
+                    // dropping them (no upgrade line) beats pairing their
+                    // successful reply with a late error.
+                    if job.upgrade {
+                        continue;
+                    }
                     let us = job.enqueued.elapsed().as_micros() as u64;
                     respond(
                         shared,
@@ -1549,6 +2060,14 @@ mod tests {
         }
     }
 
+    /// Adapts a parked-count map to the EDF `prio` signature with no
+    /// deadlines anywhere — the legacy most-parked-first configuration.
+    fn counts_only(
+        f: impl Fn(&FeatureKey) -> usize,
+    ) -> impl Fn(&FeatureKey) -> (Option<Instant>, usize) {
+        move |k| (None, f(k))
+    }
+
     #[test]
     fn pick_task_prefers_most_parked_then_fifo() {
         let tasks = vec![task(0, 0), task(1, 1), task(2, 2)];
@@ -1558,17 +2077,44 @@ mod tests {
             1 => 5,
             _ => 3,
         };
-        assert_eq!(pick_task(&tasks, counts), 1);
+        assert_eq!(pick_task(&tasks, counts_only(counts)), 1);
         // Ties break FIFO (lowest seq), including all-zero counts.
-        assert_eq!(pick_task(&tasks, |_| 2), 0);
-        assert_eq!(pick_task(&tasks, |_| 0), 0);
+        assert_eq!(pick_task(&tasks, counts_only(|_| 2)), 0);
+        assert_eq!(pick_task(&tasks, counts_only(|_| 0)), 0);
         // FIFO holds even when the queue order is not seq order.
         let shuffled = vec![task(0, 9), task(1, 4), task(2, 6)];
-        assert_eq!(pick_task(&shuffled, |_| 1), 1);
+        assert_eq!(pick_task(&shuffled, counts_only(|_| 1)), 1);
         // A key with no registry entry (waiters gone) sinks below any key
         // that still has parked requests.
         let counts = |k: &FeatureKey| if k.start == 2 { 1 } else { 0 };
-        assert_eq!(pick_task(&tasks, counts), 2);
+        assert_eq!(pick_task(&tasks, counts_only(counts)), 2);
+    }
+
+    #[test]
+    fn pick_task_is_earliest_deadline_first() {
+        let tasks = vec![task(0, 0), task(1, 1), task(2, 2)];
+        let now = Instant::now();
+        // The tightest deadline wins, even against an older key with more
+        // parked waiters (key 0: 10 waiters, no deadline; key 1: loose
+        // deadline; key 2: tight deadline, youngest, fewest waiters).
+        let prio = move |k: &FeatureKey| match k.start {
+            0 => (None, 10),
+            1 => (Some(now + Duration::from_millis(500)), 2),
+            _ => (Some(now + Duration::from_millis(25)), 1),
+        };
+        assert_eq!(pick_task(&tasks, prio), 2);
+        // Any deadline beats no deadline, regardless of parked counts.
+        let prio = move |k: &FeatureKey| match k.start {
+            1 => (Some(now + Duration::from_secs(3600)), 1),
+            _ => (None, 50),
+        };
+        assert_eq!(pick_task(&tasks, prio), 1);
+        // Equal deadlines fall back to most-parked, then seq.
+        let d = now + Duration::from_millis(100);
+        let prio = move |k: &FeatureKey| (Some(d), if k.start == 1 { 5 } else { 2 });
+        assert_eq!(pick_task(&tasks, prio), 1);
+        let prio = move |_: &FeatureKey| (Some(d), 3);
+        assert_eq!(pick_task(&tasks, prio), 0);
     }
 
     #[test]
@@ -1583,10 +2129,71 @@ mod tests {
         // Without aging, key 9 (5 waiters) would win; with it, the oldest
         // over-bypassed task (seq 0) must.
         let counts = |k: &FeatureKey| if k.start == 9 { 5 } else { 1 };
-        assert_eq!(pick_task(&tasks, counts), 1);
+        assert_eq!(pick_task(&tasks, counts_only(counts)), 1);
         // Below the threshold, priority order still applies.
         let mut fresh = task(0, 0);
         fresh.bypassed = MAX_BYPASS - 1;
-        assert_eq!(pick_task(&[fresh, task(9, 9)], counts), 1);
+        assert_eq!(pick_task(&[fresh, task(9, 9)], counts_only(counts)), 1);
+        // The backstop outranks even a tight deadline elsewhere.
+        let now = Instant::now();
+        let mut starved = task(0, 7);
+        starved.bypassed = MAX_BYPASS;
+        let tasks = vec![task(1, 1), starved];
+        let prio = move |k: &FeatureKey| match k.start {
+            1 => (Some(now + Duration::from_millis(1)), 4),
+            _ => (None, 1),
+        };
+        assert_eq!(pick_task(&tasks, prio), 1);
+    }
+
+    #[test]
+    fn class_slo_parses_and_resolves() {
+        let slo = ClassSlo::parse("interactive=25,batch=500").unwrap();
+        assert_eq!(
+            slo.get(RequestClass::Interactive),
+            Some(Duration::from_millis(25))
+        );
+        assert_eq!(
+            slo.get(RequestClass::Batch),
+            Some(Duration::from_millis(500))
+        );
+        // Partial configuration leaves the other class SLO-less.
+        let slo = ClassSlo::parse(" interactive = 10 ").unwrap();
+        assert_eq!(
+            slo.get(RequestClass::Interactive),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(slo.get(RequestClass::Batch), None);
+        assert!(!slo.is_empty());
+        assert!(ClassSlo::parse("").unwrap().is_empty());
+        // Errors: bad class, bad number, missing `=`, duplicate class.
+        assert!(ClassSlo::parse("vip=1").is_err());
+        assert!(ClassSlo::parse("batch=fast").is_err());
+        assert!(ClassSlo::parse("batch").is_err());
+        assert!(ClassSlo::parse("batch=1,batch=2").is_err());
+    }
+
+    #[test]
+    fn job_deadline_us_resolution_order() {
+        let mut slo = ClassSlo::default();
+        slo.set(RequestClass::Interactive, Duration::from_millis(25));
+        let (tx, _rx) = mpsc::channel();
+        let mut job = Job {
+            req: PredictRequest::new(1, "S5", crate::ArchSpec::default()),
+            enqueued: Instant::now(),
+            tx,
+            parked: false,
+            deadline: None,
+            upgrade: false,
+        };
+        // Class SLO applies when the request carries no deadline…
+        assert_eq!(job.deadline_us(&slo), Some(25_000));
+        // …and the request's own deadline_ms overrides it.
+        job.req.deadline_ms = Some(3);
+        assert_eq!(job.deadline_us(&slo), Some(3_000));
+        // A class without an SLO resolves to none.
+        job.req.deadline_ms = None;
+        job.req.class = RequestClass::Batch;
+        assert_eq!(job.deadline_us(&slo), None);
     }
 }

@@ -36,9 +36,11 @@ fn usage_text() -> &'static str {
          [--profile quick|default] [--train-samples N] [--workers N]\n             \
          [--max-batch N] [--deadline-us N] [--cache-bytes N[k|m|g]] [--cache-shards N]\n             \
          [--precompute-workers N] [--inline-miss] [--max-conns N] [--miss-slo-ms N]\n             \
+         [--slo CLASS=MS,…] [--metrics-addr HOST:PORT]\n             \
          [--sweep arch|quantized] [--encoding f32|f16|int8] [--preload FILE]…\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
-         [--trace N] [--start N] [--count N] [--deadline-ms N]"
+         [--trace N] [--start N] [--count N] [--deadline-ms N]\n             \
+         [--class interactive|batch] [--notify] [--schema-version N]"
 }
 
 fn usage() -> ! {
@@ -238,6 +240,17 @@ fn serve_config(args: &[String]) -> ServeConfig {
             }
             Duration::from_millis(ms)
         }),
+        class_slo: flag_value(args, "--slo")
+            .map(|v| {
+                if args.iter().any(|a| a == "--inline-miss") {
+                    bail(
+                        "--slo requires the async precompute pool; \
+                         --inline-miss builds misses on the batch worker and never sheds",
+                    );
+                }
+                ClassSlo::parse(v).unwrap_or_else(|e| bail(&format!("--slo: {e}")))
+            })
+            .unwrap_or_default(),
     }
 }
 
@@ -332,7 +345,9 @@ fn print_response(resp: &PredictResponse) {
         (Some(cpi), _) => println!(
             "id {:>4}: CPI {cpi:.4}  ({}, {} µs)",
             resp.id,
-            if resp.approx {
+            if resp.is_upgrade() {
+                "exact, upgraded"
+            } else if resp.approx {
                 "analytic min-bound, shed"
             } else if resp.cached {
                 "cache hit"
@@ -623,6 +638,15 @@ fn main() {
             }
             let listener = std::net::TcpListener::bind(addr)
                 .unwrap_or_else(|e| bail(&format!("cannot bind {addr}: {e}")));
+            // Held for the life of the accept loop below; dropping it would
+            // stop the scrape endpoint.
+            let _metrics_server = flag_value(&args, "--metrics-addr").map(|maddr| {
+                let srv = service
+                    .serve_metrics(maddr)
+                    .unwrap_or_else(|e| bail(&format!("cannot bind metrics addr {maddr}: {e}")));
+                eprintln!("[serve] metrics: http://{}/metrics", srv.addr());
+                srv
+            });
             eprintln!(
                 "[serve] listening on {addr} ({} workers, {} precompute threads); \
                  cache: {} shards, {} byte budget, {} stores; miss SLO: {}; \
@@ -637,6 +661,19 @@ fn main() {
                         "{}ms (backlogged misses shed to the analytic bound)",
                         d.as_millis()
                     ),
+                    None if !service.config().class_slo.is_empty() => {
+                        let per_class: Vec<String> = RequestClass::ALL
+                            .iter()
+                            .filter_map(|c| {
+                                service
+                                    .config()
+                                    .class_slo
+                                    .get(*c)
+                                    .map(|d| format!("{c}={}ms", d.as_millis()))
+                            })
+                            .collect();
+                        format!("per-class ({})", per_class.join(", "))
+                    }
                     None => "off (misses park until their store lands)".to_string(),
                 },
             );
@@ -657,6 +694,17 @@ fn main() {
                 v.parse()
                     .unwrap_or_else(|_| bail(&format!("--deadline-ms `{v}` is not a number")))
             });
+            let class = match flag_value(&args, "--class") {
+                None => RequestClass::Interactive,
+                Some(v) => RequestClass::parse(v).unwrap_or_else(|| {
+                    bail(&format!("unknown --class `{v}` (interactive | batch)"))
+                }),
+            };
+            let notify = args.iter().any(|a| a == "--notify");
+            let schema_version: Option<u32> = flag_value(&args, "--schema-version").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| bail(&format!("--schema-version `{v}` is not a number")))
+            });
             let reqs: Vec<PredictRequest> = (0..count)
                 .map(|i| PredictRequest {
                     id: i as u64,
@@ -666,6 +714,9 @@ fn main() {
                     len: 0,
                     arch: spec.clone(),
                     deadline_ms,
+                    class,
+                    notify,
+                    schema_version,
                 })
                 .collect();
             if let Some(addr) = flag_value(&args, "--addr") {
@@ -676,6 +727,19 @@ fn main() {
                     .unwrap_or_else(|e| bail(&format!("request failed: {e}")));
                 for r in &resps {
                     print_response(r);
+                }
+                // Each shed answer to a --notify request owes one pushed
+                // upgrade line; collect them before disconnecting.
+                let owed = if notify {
+                    resps.iter().filter(|r| r.approx).count()
+                } else {
+                    0
+                };
+                for _ in 0..owed {
+                    match client.wait_upgrade() {
+                        Ok(up) => print_response(&up),
+                        Err(e) => bail(&format!("waiting for upgrade: {e}")),
+                    }
                 }
             } else {
                 eprintln!("[predict] no --addr; starting an in-process service");

@@ -59,8 +59,9 @@ pub mod prelude {
     };
     pub use concorde_ml::{AdamW, ErrorStats, HalvingSchedule, LstmRegressor, Mlp, MlpScratch};
     pub use concorde_serve::{
-        parse_byte_size, ArchSpec, ByteSizeError, Client, MissPolicy, PredictRequest,
-        PredictResponse, PredictionService, ServeConfig, ServiceStats, SweepScope, TcpClient,
+        parse_byte_size, ArchSpec, ByteSizeError, ClassSlo, Client, MetricsServer, MissPolicy,
+        PredictRequest, PredictResponse, PredictionService, RequestClass, ServeConfig,
+        ServiceStats, SweepScope, TcpClient,
     };
     pub use concorde_trace::{
         by_id, generate_region, sample_region, suite, DynTrace, Instruction, OpClass, RegionRef,

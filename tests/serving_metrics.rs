@@ -1,0 +1,622 @@
+//! Observability and QoS: the Prometheus `/metrics` exposition (validated
+//! by a strict parser), EDF miss scheduling, shed→upgrade notification, and
+//! the schema-version pin.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::mpsc::TryRecvError;
+use std::time::Duration;
+
+use concorde_suite::core::schema::SCHEMA_VERSION;
+use concorde_suite::prelude::*;
+use concorde_suite::serve::MetricsSnapshot;
+
+/// Small but real model + profile shared by the service tests (the same
+/// fixture `tests/serving_shed.rs` uses).
+fn tiny_service_parts() -> (ConcordePredictor, ReproProfile) {
+    let mut profile = ReproProfile::quick();
+    profile.region_len = 2_048;
+    profile.warmup_len = 2_048;
+    profile.epochs = 1;
+    let data = generate_dataset(&DatasetConfig {
+        profile: profile.clone(),
+        n: 8,
+        seed: 23,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15, 20]),
+        threads: 0,
+    });
+    let model = train_model(&data, &profile, &TrainOptions::default());
+    (model, profile)
+}
+
+/// A cold-region length big enough that its build outlasts everything the
+/// test does while it runs.
+fn long_len() -> u32 {
+    if cfg!(debug_assertions) {
+        16_384
+    } else {
+        131_072
+    }
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 1,
+        batch_deadline: Duration::from_micros(1),
+        precompute_workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Polls the metrics snapshot until `ready` holds (120 s cap).
+fn wait_for(service: &PredictionService, what: &str, ready: impl Fn(&MetricsSnapshot) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    loop {
+        if ready(&service.metrics()) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never reached: {what}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A strict exposition-format parser: the test-side re-implementation of the
+// invariants `PromWriter` promises structurally.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses `name{k="v",...} value` (labels optional), unescaping label
+/// values; panics with the offending line on any malformation.
+fn parse_sample(line: &str) -> Sample {
+    let (name, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .unwrap_or_else(|| panic!("unclosed labels: {line}"));
+            assert!(open < close, "bad label braces: {line}");
+            (&line[..open], {
+                let labels = &line[open + 1..close];
+                let value = line[close + 1..].trim();
+                (labels, value)
+            })
+        }
+        None => {
+            let (name, value) = line
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("sample without value: {line}"));
+            (name, ("", value.trim()))
+        }
+    };
+    let (label_text, value_text) = rest;
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty(),
+        "bad metric name in: {line}"
+    );
+    let mut labels = Vec::new();
+    let mut chars = label_text.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        assert!(!key.is_empty(), "empty label key in: {line}");
+        assert_eq!(
+            chars.next(),
+            Some('"'),
+            "label value must be quoted: {line}"
+        );
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => panic!("bad escape {other:?} in: {line}"),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => panic!("unterminated label value in: {line}"),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') | None => {}
+            other => panic!("expected `,` between labels, got {other:?} in: {line}"),
+        }
+    }
+    let value = if value_text == "+Inf" {
+        f64::INFINITY
+    } else {
+        value_text
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable sample value in: {line}"))
+    };
+    Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    }
+}
+
+/// The base family a sample belongs to under `types`: the sample name
+/// itself for counters/gauges, the `_bucket`/`_sum`/`_count`-stripped
+/// prefix for histograms.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    if types.contains_key(name) {
+        return name;
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(prefix) = name.strip_suffix(suffix) {
+            if types.get(prefix).map(String::as_str) == Some("histogram") {
+                return prefix;
+            }
+        }
+    }
+    panic!("sample `{name}` belongs to no `# TYPE`d family");
+}
+
+/// Validates one whole exposition document against the format invariants
+/// and returns the family → type map. Panics (test failure) on:
+/// - a family `# TYPE`d or `# HELP`ed more than once, or samples without one
+/// - non-finite or negative counter/bucket/count values
+/// - histogram buckets out of `le` order, non-cumulative, or missing `+Inf`
+/// - `_count` disagreeing with the `+Inf` bucket, or `_sum`/`_count` missing
+fn validate_exposition(text: &str) -> HashMap<String, String> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut helps: HashMap<String, ()> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "exposition has a blank line");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _docs) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("HELP without docs: {line}"));
+            assert!(
+                helps.insert(name.to_string(), ()).is_none(),
+                "family `{name}` HELPed twice"
+            );
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("TYPE without a type: {line}"));
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown type `{kind}` for `{name}`"
+            );
+            assert!(
+                types.insert(name.to_string(), kind.to_string()).is_none(),
+                "family `{name}` TYPEd twice"
+            );
+        } else if let Some(rest) = line.strip_prefix('#') {
+            panic!("unknown comment line: #{rest}");
+        } else {
+            samples.push(parse_sample(line));
+        }
+    }
+    assert!(!samples.is_empty(), "exposition carries no samples");
+
+    // Histogram series accumulate per (family, labels-minus-le).
+    #[derive(Default)]
+    struct HistSeries {
+        buckets: Vec<(f64, f64)>, // (le, cumulative count) in document order
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut hist: HashMap<String, HistSeries> = HashMap::new();
+    for s in &samples {
+        let family = family_of(&s.name, &types).to_string();
+        let kind = types[&family].as_str();
+        assert!(s.value.is_finite(), "non-finite sample value on {}", s.name);
+        match kind {
+            "counter" => assert!(s.value >= 0.0, "negative counter {}", s.name),
+            "gauge" => {}
+            "histogram" => {
+                let mut key_labels: Vec<(String, String)> = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                key_labels.sort();
+                let key = format!("{family}{key_labels:?}");
+                let series = hist.entry(key).or_default();
+                assert!(s.value >= 0.0, "negative histogram sample {}", s.name);
+                if s.name.ends_with("_bucket") {
+                    let le = s
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| {
+                            if v == "+Inf" {
+                                f64::INFINITY
+                            } else {
+                                v.parse().unwrap_or_else(|_| panic!("bad le `{v}`"))
+                            }
+                        })
+                        .unwrap_or_else(|| panic!("bucket without le: {}", s.name));
+                    series.buckets.push((le, s.value));
+                } else if s.name.ends_with("_sum") {
+                    assert!(series.sum.replace(s.value).is_none(), "{} twice", s.name);
+                } else {
+                    assert!(series.count.replace(s.value).is_none(), "{} twice", s.name);
+                }
+            }
+            other => unreachable!("{other}"),
+        }
+    }
+    for (key, series) in &hist {
+        assert!(
+            !series.buckets.is_empty(),
+            "{key}: histogram without buckets"
+        );
+        for w in series.buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "{key}: le bounds not increasing");
+            assert!(w[0].1 <= w[1].1, "{key}: buckets not cumulative");
+        }
+        let (last_le, inf_count) = *series.buckets.last().unwrap();
+        assert!(last_le.is_infinite(), "{key}: no +Inf bucket");
+        let count = series.count.unwrap_or_else(|| panic!("{key}: no _count"));
+        let sum = series.sum.unwrap_or_else(|| panic!("{key}: no _sum"));
+        assert_eq!(count, inf_count, "{key}: _count != +Inf bucket");
+        assert!(sum >= 0.0, "{key}: negative _sum");
+        if count == 0.0 {
+            assert_eq!(sum, 0.0, "{key}: observations without a count");
+        }
+    }
+    types
+}
+
+/// One raw HTTP/1.1 exchange against the metrics listener; returns
+/// `(status_line, headers, body)`.
+fn http_get(addr: std::net::SocketAddr, request: &str) -> (String, String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics listener");
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read full response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+#[test]
+fn http_metrics_endpoint_serves_valid_exposition() {
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(model, profile, small_config());
+    let client = service.client();
+
+    // Traffic in both classes, a repeat (cache hit), and one error, so the
+    // scrape below exercises labelled series with real counts.
+    let exact = client
+        .predict(PredictRequest::new(1, "S5", ArchSpec::base("n1")))
+        .unwrap();
+    assert!(exact.cpi.unwrap() > 0.0);
+    let hit = client
+        .predict(PredictRequest::new(2, "S5", ArchSpec::base("n1")))
+        .unwrap();
+    assert!(hit.cached);
+    let mut batch = PredictRequest::new(3, "O1", ArchSpec::base("big"));
+    batch.class = RequestClass::Batch;
+    client.predict(batch).unwrap();
+    let failed = client
+        .predict(PredictRequest::new(4, "NOPE", ArchSpec::base("n1")))
+        .unwrap();
+    assert!(failed.error.is_some());
+
+    let metrics = service.serve_metrics("127.0.0.1:0").expect("bind /metrics");
+    let addr = metrics.addr();
+    let (status, headers, body) = http_get(addr, "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 200 OK", "{status}");
+    assert!(
+        headers.contains("text/plain; version=0.0.4"),
+        "exposition content type missing: {headers}"
+    );
+    let content_length: usize = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(content_length, body.len());
+
+    // The document passes the strict format validator...
+    let types = validate_exposition(&body);
+
+    // ...and carries every family the engine promises, correctly typed.
+    let required = [
+        ("concorde_build_info", "gauge"),
+        ("concorde_requests_submitted_total", "counter"),
+        ("concorde_requests_rejected_total", "counter"),
+        ("concorde_responses_total", "counter"),
+        ("concorde_errors_total", "counter"),
+        ("concorde_shed_total", "counter"),
+        ("concorde_upgrades_total", "counter"),
+        ("concorde_schema_mismatch_total", "counter"),
+        ("concorde_coalesced_total", "counter"),
+        ("concorde_precomputes_total", "counter"),
+        ("concorde_shed_build_skips_total", "counter"),
+        ("concorde_batches_total", "counter"),
+        ("concorde_busy_rejected_total", "counter"),
+        ("concorde_cache_hits_total", "counter"),
+        ("concorde_cache_misses_total", "counter"),
+        ("concorde_cache_evictions_total", "counter"),
+        ("concorde_cache_bytes", "gauge"),
+        ("concorde_cache_stores", "gauge"),
+        ("concorde_queue_depth", "gauge"),
+        ("concorde_queue_depth_max", "gauge"),
+        ("concorde_parked_requests", "gauge"),
+        ("concorde_miss_backlog", "gauge"),
+        ("concorde_inflight_builds", "gauge"),
+        ("concorde_active_connections", "gauge"),
+        ("concorde_build_ewma_seconds", "gauge"),
+        ("concorde_request_latency_seconds", "histogram"),
+        ("concorde_queue_wait_seconds", "histogram"),
+        ("concorde_batch_size", "histogram"),
+        ("concorde_store_build_seconds", "histogram"),
+    ];
+    for (family, kind) in required {
+        assert_eq!(
+            types.get(family).map(String::as_str),
+            Some(kind),
+            "family {family} missing or mistyped"
+        );
+    }
+
+    // Per-class labelling is live: both classes appear on the latency
+    // histogram, and the interactive count covers the 3 interactive
+    // requests above (2 predictions + 1 error), batch exactly 1.
+    for (class, count) in [("interactive", 3), ("batch", 1)] {
+        assert!(
+            body.contains(&format!(
+                "concorde_request_latency_seconds_count{{class=\"{class}\"}} {count}"
+            )),
+            "per-class latency count missing for {class}:\n{body}"
+        );
+    }
+    assert!(body.contains(&format!("schema_version=\"{SCHEMA_VERSION}\"")));
+    assert!(body.contains("\nconcorde_errors_total 1\n"));
+
+    // The legacy wire stats no longer drift beside the histograms: avg/max
+    // are derived from the same per-class histograms the scrape renders.
+    let snap = service.metrics();
+    assert!(snap.avg_latency_us > 0.0);
+    assert!(snap.max_latency_us as f64 >= snap.avg_latency_us);
+
+    // Routing: wrong path 404s, wrong method 405s, and the listener
+    // survives both to serve the next scrape.
+    let (status, _, _) = http_get(addr, "GET /nope HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _, _) = http_get(addr, "POST /metrics HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+    let (status, _, body) = http_get(addr, "GET /metrics?x=1 HTTP/1.1\r\nHost: test\r\n\r\n");
+    assert_eq!(status, "HTTP/1.1 200 OK", "query params must be ignored");
+    validate_exposition(&body);
+}
+
+#[test]
+fn edf_builds_tight_deadline_key_before_earlier_parked_batch_key() {
+    let (model, profile) = tiny_service_parts();
+    let mut cfg = small_config();
+    // The interactive SLO supplies the EDF deadline. The EWMA is never
+    // seeded in this test (no build completes before the parks below), so
+    // the conservative shed bootstrap keeps everything parked — the SLO
+    // acts purely as a scheduling deadline here.
+    cfg.class_slo
+        .set(RequestClass::Interactive, Duration::from_millis(50));
+    let service = PredictionService::start(model, profile, cfg);
+    let client = service.client();
+
+    // Pin the single pool worker, and wait until it has POPPED the pinning
+    // build (backlog empty, one build in flight) so everything below queues
+    // behind it deterministically.
+    let mut pin = PredictRequest::new(0, "S5", ArchSpec::base("n1"));
+    pin.len = long_len();
+    pin.class = RequestClass::Batch; // no SLO: the pin itself has no deadline
+    let pin_rx = client.submit(pin).unwrap();
+    wait_for(&service, "pool picked up the pinning build", |m| {
+        m.miss_backlog == 0 && m.inflight_builds == 1
+    });
+
+    // Batch key B parks FIRST, with TWO waiters and a long build: the old
+    // most-parked-first policy (and plain FIFO) would both build it next.
+    let mut b = PredictRequest::new(1, "O1", ArchSpec::base("n1"));
+    b.start = 4_096;
+    b.len = long_len();
+    b.class = RequestClass::Batch;
+    let b_rx = client.submit(b.clone()).unwrap();
+    wait_for(&service, "batch key registered", |m| m.miss_backlog == 1);
+    b.id = 2;
+    let b_rx2 = client.submit(b).unwrap();
+    wait_for(&service, "second batch waiter coalesced", |m| {
+        m.coalesced == 1
+    });
+
+    // Interactive key I parks SECOND with one waiter and a short build; its
+    // class SLO gives it the only effective deadline in the queue.
+    let mut i = PredictRequest::new(3, "C1", ArchSpec::base("n1"));
+    i.start = 8_192;
+    i.len = 512;
+    let i_rx = client.submit(i).unwrap();
+    wait_for(&service, "interactive key registered", |m| {
+        m.miss_backlog == 2
+    });
+
+    let _ = pin_rx.recv().unwrap();
+    // EDF: the freed worker must pick I (has a deadline) over B (none),
+    // despite B parking earlier with more waiters and a smaller seq.
+    let i_resp = i_rx.recv().unwrap();
+    assert!(!i_resp.approx && !i_resp.cached && i_resp.error.is_none());
+    assert!(
+        matches!(b_rx.try_recv(), Err(TryRecvError::Empty)),
+        "batch key was built before the deadline-carrying interactive key"
+    );
+    let b_resp = b_rx.recv().unwrap();
+    assert!(!b_resp.approx, "nothing may shed with an unseeded EWMA");
+    let _ = b_rx2.recv().unwrap();
+    assert_eq!(service.metrics().shed, 0);
+}
+
+#[test]
+fn notify_shed_request_receives_exact_upgrade_on_same_channel() {
+    let (model, profile) = tiny_service_parts();
+    let direct_model = model.clone();
+    let service = PredictionService::start(model, profile.clone(), small_config());
+    let client = service.client();
+
+    // Seed the EWMA (first-ever build never sheds), then pin the pool.
+    let mut seed = PredictRequest::new(0, "S5", ArchSpec::base("n1"));
+    seed.deadline_ms = Some(0);
+    assert!(!client.predict(seed).unwrap().approx);
+    let mut long = PredictRequest::new(1, "O1", ArchSpec::base("n1"));
+    long.start = 4_096;
+    long.len = long_len();
+    let long_rx = client.submit(long).unwrap();
+
+    // A zero-deadline cold notify request: shed now, upgraded later.
+    let mut tight = PredictRequest::new(2, "C1", ArchSpec::base("big"));
+    tight.start = 8_192;
+    tight.deadline_ms = Some(0);
+    tight.notify = true;
+    let rx = client.submit(tight.clone()).unwrap();
+    let first = rx.recv().unwrap();
+    assert!(first.approx, "backlogged zero-deadline miss must shed");
+    assert_eq!(first.reason.as_deref(), Some("shed"));
+    assert!(!first.is_upgrade());
+
+    // The SAME channel then delivers the pushed upgrade once the store
+    // lands: typed, exact, and bitwise equal to the direct model answer.
+    let up = rx.recv().expect("upgrade line must follow a notify shed");
+    assert!(up.is_upgrade());
+    assert_eq!(up.id, 2);
+    assert!(!up.approx && !up.cached && up.error.is_none());
+    assert!(up.micros >= first.micros, "upgrade spans the full wait");
+    let arch = tight.arch.resolve().unwrap();
+    let spec = by_id("C1").unwrap();
+    let warm_start = tight.start - profile.warmup_len as u64;
+    let full = generate_region(
+        &spec,
+        0,
+        warm_start,
+        profile.warmup_len + profile.region_len,
+    );
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let store = FeatureStore::precompute(w, r, &SweepConfig::for_arch(&arch), &profile);
+    assert_eq!(
+        up.cpi.unwrap().to_bits(),
+        direct_model.predict(&store, &arch).to_bits(),
+        "upgrade must carry the exact model prediction"
+    );
+
+    let _ = long_rx.recv().unwrap();
+    let m = service.metrics();
+    assert_eq!(m.shed, 1);
+    assert_eq!(m.upgrades, 1);
+    assert_eq!(m.errored, 0);
+}
+
+#[test]
+fn tcp_notify_shed_pushes_upgrade_line() {
+    let (model, profile) = tiny_service_parts();
+    let service = Box::leak(Box::new(PredictionService::start(
+        model,
+        profile,
+        small_config(),
+    )));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service: &PredictionService = service;
+    std::thread::spawn(move || {
+        let _ = service.serve_tcp(listener);
+    });
+    let client = service.client();
+
+    // Seed the EWMA and pin the pool from the in-process side; the wire
+    // client then only sees the notify round trip under test.
+    let mut seed = PredictRequest::new(0, "S5", ArchSpec::base("n1"));
+    seed.deadline_ms = Some(0);
+    assert!(!client.predict(seed).unwrap().approx);
+    let mut long = PredictRequest::new(1, "O1", ArchSpec::base("n1"));
+    long.start = 4_096;
+    long.len = long_len();
+    let long_rx = client.submit(long).unwrap();
+
+    let mut tcp = TcpClient::connect(&addr).expect("connect");
+    let mut tight = PredictRequest::new(7, "C1", ArchSpec::base("n1"));
+    tight.start = 8_192;
+    tight.deadline_ms = Some(0);
+    tight.notify = true;
+    let first = tcp.predict(&tight).unwrap();
+    assert!(
+        first.approx,
+        "wire request must shed like an in-process one"
+    );
+    assert_eq!(first.id, 7);
+
+    // The pushed `{"type":"upgrade"}` line arrives on the same connection.
+    let up = tcp.wait_upgrade().expect("pushed upgrade line");
+    assert!(up.is_upgrade());
+    assert_eq!(up.id, 7);
+    assert!(up.cpi.unwrap() > 0.0 && !up.approx);
+
+    // The TCP metrics command serves the same strict exposition the HTTP
+    // endpoint does, with the upgrade on the books.
+    let text = tcp.metrics_text().unwrap();
+    let types = validate_exposition(&text);
+    assert_eq!(
+        types.get("concorde_upgrades_total").map(String::as_str),
+        Some("counter")
+    );
+    assert!(text.contains("\nconcorde_upgrades_total 1\n"), "{text}");
+    assert!(text.contains("concorde_shed_total{class=\"interactive\"} 1"));
+
+    let _ = long_rx.recv().unwrap();
+}
+
+#[test]
+fn schema_version_pin_mismatch_is_a_typed_error() {
+    let (model, profile) = tiny_service_parts();
+    let service = PredictionService::start(model, profile, small_config());
+    let client = service.client();
+
+    // A wrong pin gets the typed error — no prediction, no store build.
+    let mut pinned = PredictRequest::new(1, "S5", ArchSpec::base("n1"));
+    pinned.schema_version = Some(SCHEMA_VERSION + 1);
+    let resp = client.predict(pinned).unwrap();
+    assert_eq!(resp.kind.as_deref(), Some("error"));
+    assert_eq!(resp.reason.as_deref(), Some("schema_mismatch"));
+    assert!(resp.cpi.is_none());
+    let msg = resp.error.expect("mismatch carries a message");
+    assert!(
+        msg.contains(&format!("v{SCHEMA_VERSION}")),
+        "message must name the served version: {msg}"
+    );
+    let m = service.metrics();
+    assert_eq!(m.schema_mismatches, 1);
+    assert_eq!(m.cache_misses, 0, "a rejected pin must not build anything");
+
+    // The matching pin is answered normally.
+    let mut ok = PredictRequest::new(2, "S5", ArchSpec::base("n1"));
+    ok.schema_version = Some(SCHEMA_VERSION);
+    let resp = client.predict(ok).unwrap();
+    assert!(resp.kind.is_none() && resp.error.is_none());
+    assert!(resp.cpi.unwrap() > 0.0);
+    assert_eq!(service.metrics().schema_mismatches, 1);
+}
