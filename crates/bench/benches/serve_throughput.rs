@@ -131,6 +131,33 @@ fn bench_serve(c: &mut Criterion) {
             b.iter(|| client.predict_many(reqs.clone()).expect("batch prediction"));
         });
     }
+    drop(client);
+    drop(service);
+
+    // The same warm batched shape with `--model-encoding int8`: group
+    // evaluation runs the fused dequantize-assembly path instead of the
+    // f32 batched forward.
+    let int8_service = PredictionService::start(
+        s.model.clone(),
+        s.profile.clone(),
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(200),
+            sweep: SweepScope::Quantized,
+            model_encoding: concorde_core::model::ModelEncoding::Int8,
+            ..ServeConfig::default()
+        },
+    );
+    let client = int8_service.client();
+    client
+        .predict(requests(1).pop().unwrap())
+        .expect("warmup prediction");
+    g.throughput(Throughput::Elements(128));
+    g.bench_function("service_batch_128_int8", |b| {
+        let reqs = requests(128);
+        b.iter(|| client.predict_many(reqs.clone()).expect("batch prediction"));
+    });
     g.finish();
 }
 

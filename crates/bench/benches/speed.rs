@@ -90,11 +90,58 @@ fn bench_speed(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+
+    // Int8-weight inference, same store/arch: the materialized path (f32
+    // features → quantized MLP) and the fused path (encoded segments
+    // straight into the quantized first layer).
+    let qmlp = s.model.quantized();
+    let mut qbuf = concorde_ml::QuantFeatureBuf::default();
+    let mut qscratch = concorde_ml::QuantScratch::default();
+    c.bench_function("concorde_inference_int8_fused", |b| {
+        b.iter(|| {
+            s.model
+                .predict_quantized(&qmlp, &s.store, &s.arch, &mut qbuf, &mut qscratch)
+        });
+    });
+}
+
+/// The raw MLP forward at serving batch sizes, dispatched kernel vs the
+/// pinned scalar fallback (`forced_scalar`) — the SIMD speedup number,
+/// isolated from feature assembly. Runs on one thread, so the thread-local
+/// guard covers the whole measurement.
+fn bench_mlp_kernels(c: &mut Criterion) {
+    use criterion::Throughput;
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    // The serving model's shape class: wide standardized input, two hidden
+    // layers, scalar output.
+    let mlp = concorde_ml::Mlp::new(&[512, 64, 32, 1], &mut rng);
+    let qmlp = mlp.quantize();
+    let mut scratch = concorde_ml::MlpScratch::default();
+    let mut qscratch = concorde_ml::QuantScratch::default();
+    let n = 128usize;
+    let xs: Vec<f32> = (0..n * 512)
+        .map(|i| ((i as f32) * 0.37).sin() * 2.0)
+        .collect();
+    let mut out = vec![0.0f32; n];
+
+    let mut g = c.benchmark_group("mlp_kernels");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(format!("batch128/{}", concorde_ml::kernel_name()), |b| {
+        b.iter(|| mlp.predict_batch_into(&xs, &mut out, &mut scratch))
+    });
+    g.bench_function("batch128/scalar_forced", |b| {
+        let _guard = concorde_ml::forced_scalar();
+        b.iter(|| mlp.predict_batch_into(&xs, &mut out, &mut scratch));
+    });
+    g.bench_function("batch128/int8", |b| {
+        b.iter(|| qmlp.predict_batch_into(&xs, &mut out, &mut qscratch))
+    });
+    g.finish();
 }
 
 criterion_group! {
     name = speed;
     config = Criterion::default().sample_size(20);
-    targets = bench_speed
+    targets = bench_speed, bench_mlp_kernels
 }
 criterion_main!(speed);

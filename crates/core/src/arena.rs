@@ -196,10 +196,15 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 
 #[cfg(unix)]
 mod mmap_sys {
-    //! Minimal `mmap(2)` FFI against the libc the Rust runtime already
-    //! links — no external crate. Read-only private mappings.
+    //! Minimal `mmap(2)`/`mincore(2)` FFI against the libc the Rust runtime
+    //! already links — no external crate. Read-only private mappings.
     pub const PROT_READ: i32 = 1;
     pub const MAP_PRIVATE: i32 = 2;
+    /// `_SC_PAGESIZE` (Linux value; Darwin uses 29).
+    #[cfg(not(target_os = "macos"))]
+    pub const SC_PAGESIZE: i32 = 30;
+    #[cfg(target_os = "macos")]
+    pub const SC_PAGESIZE: i32 = 29;
 
     extern "C" {
         pub fn mmap(
@@ -211,6 +216,19 @@ mod mmap_sys {
             offset: i64,
         ) -> *mut core::ffi::c_void;
         pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        pub fn mincore(addr: *mut core::ffi::c_void, len: usize, vec: *mut u8) -> i32;
+        pub fn sysconf(name: i32) -> i64;
+    }
+
+    /// The system page size (4096 if `sysconf` declines to answer).
+    pub fn page_size() -> usize {
+        // SAFETY: sysconf is async-signal-safe and takes no pointers.
+        let p = unsafe { sysconf(SC_PAGESIZE) };
+        if p > 0 {
+            p as usize
+        } else {
+            4096
+        }
     }
 }
 
@@ -320,6 +338,39 @@ impl MappedStore {
     pub fn live_mmap_count() -> usize {
         LIVE_MMAPS.load(Ordering::SeqCst)
     }
+
+    /// Estimated bytes of this region actually resident in memory.
+    ///
+    /// Owned regions are fully resident by construction. For live mappings
+    /// this asks `mincore(2)` which pages are in core and charges whole
+    /// pages, so a freshly mapped artifact whose arenas have never been
+    /// touched (or whose file pages were dropped from the page cache) costs
+    /// far less than its virtual payload. Falls back to the full length if
+    /// the probe fails — over-charging is the safe direction for a cache
+    /// admission estimate.
+    pub fn resident_bytes(&self) -> usize {
+        match self.backing {
+            Backing::Owned(_) => self.len,
+            #[cfg(unix)]
+            Backing::Mmap => {
+                if self.len == 0 {
+                    return 0;
+                }
+                let page = mmap_sys::page_size();
+                let mut vec = vec![0u8; self.len.div_ceil(page)];
+                // SAFETY: ptr/len describe the live page-aligned mapping and
+                // vec holds one byte per page of it.
+                let rc = unsafe {
+                    mmap_sys::mincore(self.ptr.cast_mut().cast(), self.len, vec.as_mut_ptr())
+                };
+                if rc != 0 {
+                    return self.len;
+                }
+                let resident = vec.iter().filter(|&&b| b & 1 != 0).count();
+                (resident * page).min(self.len)
+            }
+        }
+    }
 }
 
 impl Drop for MappedStore {
@@ -383,6 +434,14 @@ impl Buf {
         match self {
             Buf::Owned(region) => region.is_mmap(),
             Buf::View { region, .. } => region.is_mmap(),
+        }
+    }
+
+    /// The backing region (the whole artifact for mapped views).
+    pub(crate) fn region(&self) -> &Arc<MappedStore> {
+        match self {
+            Buf::Owned(region) => region,
+            Buf::View { region, .. } => region,
         }
     }
 }
@@ -581,6 +640,26 @@ impl EncArena {
                 for (j, o) in out.iter_mut().enumerate() {
                     *o = offset + scale * f32::from(data[base + j]);
                 }
+            }
+        }
+    }
+
+    /// Appends block `idx` to a [`QuantFeatureBuf`] in **encoded** form —
+    /// the fused dequantize-assembly path. Int8 blocks land as their raw
+    /// payload bytes plus the block's `(scale, offset)` affine, deferring
+    /// dequantization to the consumer's first-layer GEMV; `f32`/`f16`
+    /// blocks land as (exact) `f32` values. Zero heap allocations once the
+    /// buffer's pools are warm.
+    pub fn push_entry_quant(&self, idx: usize, buf: &mut concorde_ml::QuantFeatureBuf) {
+        assert!(idx < self.entries, "arena entry out of range");
+        match self.enc {
+            ArenaEncoding::F32 | ArenaEncoding::F16 => {
+                buf.push_f32_with(self.stride, |out| self.write_entry(idx, out));
+            }
+            ArenaEncoding::Int8 => {
+                let (scale, offset) = int8_params(self.params.bytes(), idx);
+                let base = idx * self.stride;
+                buf.push_u8_block(&self.data.bytes()[base..base + self.stride], scale, offset);
             }
         }
     }

@@ -212,7 +212,9 @@ impl Shard {
         store: Arc<FeatureStore>,
         budget: usize,
     ) -> Vec<FeatureKey> {
-        let bytes = store.approx_bytes();
+        // Mapped stores are charged at their resident-page estimate, owned
+        // stores at their full footprint (see `FeatureStore::admission_bytes`).
+        let bytes = store.admission_bytes();
         match self.map.get(&key).copied() {
             Some(i) => {
                 self.bytes = self.bytes - self.node(i).bytes + bytes;

@@ -997,6 +997,57 @@ impl FeatureStore {
         debug_assert_eq!(pos, out.len());
     }
 
+    /// Assembles the ML input vector for `arch` in **encoded** form — the
+    /// fused dequantize-assembly path for int8-weight serving.
+    ///
+    /// Walks exactly the [`FeatureStore::features_into`] layout, but int8
+    /// arena blocks are appended as their raw payload bytes plus per-block
+    /// `(scale, offset)` affines instead of being dequantized here; the
+    /// consumer ([`concorde_ml::QuantizedMlp::predict_segments`]) folds
+    /// dequantization and standardization into the first layer's GEMV, so
+    /// an int8-store → int8-model request never materializes the f32
+    /// feature vector. `f32`/`f16` blocks and scalar features land as plain
+    /// `f32` segments (exactly the values `features_into` produces).
+    ///
+    /// The buffer is cleared first and its pools keep their capacity, so a
+    /// warm buffer assembles with zero heap allocations (pinned by
+    /// `tests/fused_alloc.rs`). `buf.materialize()` equals
+    /// [`FeatureStore::features`] bit for bit.
+    pub fn features_quantized_into(
+        &self,
+        arch: &MicroArch,
+        variant: FeatureVariant,
+        buf: &mut concorde_ml::QuantFeatureBuf,
+    ) {
+        buf.clear();
+        let s_len = ROB_SWEEP.len();
+        let di = self.d_idx(arch.mem);
+        let ii = self.i_idx(arch.mem);
+        for res in Resource::ALL {
+            let idx = self.entry_idx_with(res, arch, di, ii);
+            self.enc_arena(res).push_entry_quant(idx, buf);
+        }
+        buf.push_f32(self.mispredict_feature(arch.predictor));
+        if variant != FeatureVariant::Base {
+            self.isb_dist.push_entry_quant(0, buf);
+            for d in &self.branch_dists {
+                d.push_entry_quant(0, buf);
+            }
+            self.rob_curve.push_entry_quant(di, buf);
+        }
+        if variant == FeatureVariant::Full {
+            self.exec_lat.push_entry_quant(di, buf);
+            for j in 0..s_len {
+                self.issue_lat.push_entry_quant(di * s_len + j, buf);
+            }
+            for j in 0..s_len {
+                self.commit_lat.push_entry_quant(di * s_len + j, buf);
+            }
+        }
+        buf.push_f32_with(MicroArch::ENCODED_DIM, |out| arch.encode_into(out));
+        debug_assert_eq!(buf.len(), FeatureSchema::dim_for(self.encoding, variant));
+    }
+
     /// The pure-analytical CPI estimate: per window, take the minimum of all
     /// per-resource throughput bounds (and the static widths), then average
     /// window CPIs (the pink "min bound" line of Figure 12).
@@ -1100,6 +1151,48 @@ impl FeatureStore {
                 .iter()
                 .map(|d| d.payload_bytes())
                 .sum::<usize>()
+    }
+
+    /// Every arena payload byte that lives in the backing region for a
+    /// mapped store (the part of [`FeatureStore::approx_bytes`] that is
+    /// virtual, not owned, after an mmap load).
+    fn arena_payload_bytes(&self) -> usize {
+        self.encoded_bytes()
+            + self.raw_bytes()
+            + self.rob_curve.payload_bytes()
+            + self.isb_dist.payload_bytes()
+            + self
+                .branch_dists
+                .iter()
+                .map(|d| d.payload_bytes())
+                .sum::<usize>()
+    }
+
+    /// Bytes the serving cache should charge for admitting this store.
+    ///
+    /// Owned stores charge their full approximate footprint
+    /// ([`FeatureStore::approx_bytes`]) — every byte is heap-resident. For
+    /// `mmap`-backed stores the arena payloads are virtual, paged in on
+    /// first touch, so charging the full payload would evict real stores to
+    /// make room for bytes that may never exist: instead the mapped region
+    /// is charged at its **resident-page estimate**
+    /// ([`MappedStore::resident_bytes`], `mincore(2)`), plus the owned
+    /// parsing overhead (grids, keys, struct). The estimate is taken at
+    /// admission time; it can only over-count relative to a later page-out,
+    /// which is the safe direction for a byte budget.
+    ///
+    /// The resident charge is capped at the arena payload total: the region
+    /// also spans the artifact header and serialized grids, whose parsed
+    /// copies the owned overhead already counts, so a fully-resident mapping
+    /// admits at exactly `approx_bytes` — never above it.
+    pub fn admission_bytes(&self) -> usize {
+        if !self.is_mapped() {
+            return self.approx_bytes();
+        }
+        let payload = self.arena_payload_bytes();
+        let owned = self.approx_bytes().saturating_sub(payload);
+        let (data, _) = self.rob_enc.raw_parts();
+        owned + data.region().resident_bytes().min(payload)
     }
 
     /// Total raw-series footprint (bytes) at the store's arena encoding: the

@@ -3,10 +3,50 @@
 use std::path::Path;
 
 use concorde_cyclesim::MicroArch;
-use concorde_ml::{Mlp, MlpScratch};
+use concorde_ml::{Mlp, MlpScratch, QuantFeatureBuf, QuantScratch, QuantizedMlp};
 use serde::{Deserialize, Serialize};
 
 use crate::features::{FeatureLayout, FeatureStore, FeatureVariant};
+
+/// Which weight encoding the inference tier computes with (`--model-encoding`).
+///
+/// [`ModelEncoding::Int8`] serves a [`QuantizedMlp`] built from the trained
+/// f32 model at startup (per-output-channel scales, i32/f32 accumulate —
+/// see `concorde_ml::qmlp`); prediction drift against the f32 reference is
+/// pinned `< 5%` by `tests/kernel_dispatch.rs`, mirroring the int8 *arena*
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelEncoding {
+    /// Full-precision weights — the trained model as-is.
+    F32,
+    /// `i8` weights with per-output-channel scales.
+    Int8,
+}
+
+impl ModelEncoding {
+    /// Stable lowercase name for flags, logs, and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelEncoding::F32 => "f32",
+            ModelEncoding::Int8 => "int8",
+        }
+    }
+
+    /// Parses a `--model-encoding` flag value.
+    pub fn parse(s: &str) -> Option<ModelEncoding> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" => Some(ModelEncoding::F32),
+            "int8" => Some(ModelEncoding::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelEncoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Per-dimension standardization fitted on the training set.
 ///
@@ -182,6 +222,69 @@ impl ConcordePredictor {
             store.features_into(arch, self.layout.variant, row);
         }
         self.predict_features_batch(&mut xs, scratch)
+    }
+
+    /// Quantizes the MLP to `i8` weights (what an [`ModelEncoding::Int8`]
+    /// server builds once at startup).
+    pub fn quantized(&self) -> QuantizedMlp {
+        self.mlp.quantize()
+    }
+
+    /// Int8-weight [`ConcordePredictor::predict_features`]: standardizes a
+    /// copy of `features` and runs the quantized forward pass. The reference
+    /// the fused store-direct path is pinned against.
+    pub fn predict_features_quantized(
+        &self,
+        qmlp: &QuantizedMlp,
+        features: &[f32],
+        scratch: &mut QuantScratch,
+    ) -> f64 {
+        let mut z = features.to_vec();
+        self.normalizer.apply(&mut z);
+        self.postprocess(f64::from(qmlp.predict(&z, scratch)))
+    }
+
+    /// Fused int8 hot path: assembles `arch`'s features in **encoded** form
+    /// ([`FeatureStore::features_quantized_into`]) and feeds the segments
+    /// straight into the quantized first layer — dequantization and
+    /// standardization happen in registers, so no f32 feature vector is
+    /// materialized. Bitwise-identical to
+    /// [`ConcordePredictor::predict_features_quantized`] over the
+    /// materialized vector.
+    pub fn predict_quantized(
+        &self,
+        qmlp: &QuantizedMlp,
+        store: &FeatureStore,
+        arch: &MicroArch,
+        buf: &mut QuantFeatureBuf,
+        scratch: &mut QuantScratch,
+    ) -> f64 {
+        store.features_quantized_into(arch, self.layout.variant, buf);
+        let raw = qmlp.predict_segments(
+            buf,
+            &self.normalizer.mean,
+            &self.normalizer.std,
+            self.normalizer.log1p,
+            scratch,
+        );
+        self.postprocess(f64::from(raw))
+    }
+
+    /// Batched [`ConcordePredictor::predict_quantized`] over `archs` — the
+    /// serving workers' int8-model group evaluation. With warm buffers the
+    /// only allocation is the returned vector.
+    pub fn predict_batch_quantized_with(
+        &self,
+        qmlp: &QuantizedMlp,
+        store: &FeatureStore,
+        archs: &[MicroArch],
+        buf: &mut QuantFeatureBuf,
+        scratch: &mut QuantScratch,
+    ) -> Vec<f64> {
+        archs
+            .iter()
+            .map(|arch| self.predict_quantized(qmlp, store, arch, buf, scratch))
+            .collect()
     }
 
     /// Feature variant this model consumes.

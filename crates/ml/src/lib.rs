@@ -28,12 +28,18 @@
 
 pub mod adam_vec;
 pub mod adamw;
+pub mod kernel;
 pub mod loss;
 pub mod lstm;
 pub mod mlp;
+pub mod qmlp;
 
 pub use adam_vec::AdamVec;
 pub use adamw::{AdamW, HalvingSchedule};
+pub use kernel::{
+    active_kernel, detected_kernel, forced_scalar, kernel_name, ulp_distance, KernelKind,
+};
 pub use loss::{relative_error, squared_error, ErrorStats};
 pub use lstm::{LstmGrads, LstmRegressor};
 pub use mlp::{Linear, Mlp, MlpGrads, MlpScratch};
+pub use qmlp::{QuantFeatureBuf, QuantLinear, QuantScratch, QuantSeg, QuantizedMlp};

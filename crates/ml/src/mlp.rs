@@ -183,24 +183,27 @@ impl Mlp {
 
     /// Forward pass for one sample; returns the scalar prediction.
     ///
+    /// Routed through [`Mlp::predict_batch_into`] with `n = 1` over a
+    /// thread-local scratch arena, so steady-state calls perform **zero heap
+    /// allocations** (pinned by `tests/predict_alloc.rs`) and a single
+    /// prediction is bitwise-identical to the same sample inside any batch,
+    /// whatever kernel is active.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len()` differs from the input dimension.
     pub fn predict(&self, x: &[f32]) -> f32 {
         assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
-        let mut cur = x.to_vec();
-        let last = self.layers.len() - 1;
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut out = vec![0.0f32; layer.out_dim];
-            layer.forward_into(&cur, &mut out);
-            if li != last {
-                for v in &mut out {
-                    *v = v.max(0.0);
-                }
-            }
-            cur = out;
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<MlpScratch> =
+                std::cell::RefCell::new(MlpScratch::default());
         }
-        cur[0]
+        SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let mut y = [0.0f32];
+            self.predict_batch_into(x, &mut y, &mut scratch);
+            y[0]
+        })
     }
 
     /// Widest layer output dimension (scratch sizing for batched inference).
@@ -220,11 +223,22 @@ impl Mlp {
     /// throughput — and re-streams every weight matrix per sample. This
     /// kernel transposes each [`Mlp::LANES`]-sample tile of activations and
     /// evaluates the tile's dot products *simultaneously*: one weight pass
-    /// per tile, `LANES` independent accumulator chains the compiler can
-    /// vectorize. Each sample's own accumulation still runs in exactly
-    /// [`Mlp::predict`]'s order (`acc = b; acc += w·x`, left to right), so
-    /// outputs are bitwise identical to the per-sample path — interleaving
-    /// *across* samples reorders nothing *within* a sample.
+    /// per tile, `LANES` independent accumulator chains. The tile itself is
+    /// dispatched through [`crate::kernel::active_kernel`]: AVX2/FMA or NEON
+    /// when the host supports it, the scalar tile otherwise.
+    ///
+    /// Numerical contract (see the [`crate::kernel`] docs):
+    ///
+    /// - Under the **scalar** kernel, each sample's accumulation runs in
+    ///   exactly [`Mlp::predict`]'s seed order (`acc = b; acc += w·x`, left
+    ///   to right), so outputs are bitwise identical to the seed per-sample
+    ///   path — interleaving *across* samples reorders nothing *within* a
+    ///   sample.
+    /// - Under a **SIMD** kernel, summation order is unchanged but FMA
+    ///   rounds once per term; outputs are ULP-close to scalar, not equal.
+    /// - Under *any* kernel, a sample's output is bitwise-independent of the
+    ///   batch it rides in: partial tiles are zero-padded (SIMD) or
+    ///   evaluated per-sample (scalar, same arithmetic), never rerouted.
     ///
     /// # Panics
     ///
@@ -237,6 +251,7 @@ impl Mlp {
         if n == 0 {
             return;
         }
+        let kind = crate::kernel::active_kernel();
         let width = self.max_dim();
         scratch.reserve(n, width);
         let last = self.layers.len() - 1;
@@ -252,7 +267,33 @@ impl Mlp {
                 let bs = Self::LANES.min(n - block);
                 let (a, b, tile) = scratch.parts();
                 let (src, dst) = if cur_buf == 0 { (a, b) } else { (b, a) };
-                if bs == Self::LANES {
+                if kind != crate::kernel::KernelKind::Scalar {
+                    // SIMD tile, full or ragged: pad missing lanes with
+                    // zeros so every live sample's FMA chain is identical
+                    // whatever tile it lands in, then write back only the
+                    // live lanes.
+                    if bs < Self::LANES {
+                        tile[..in_dim * Self::LANES].fill(0.0);
+                    }
+                    for t in 0..bs {
+                        let row = &src[(block + t) * cur_w..(block + t) * cur_w + in_dim];
+                        for (k, &v) in row.iter().enumerate() {
+                            tile[k * Self::LANES + t] = v;
+                        }
+                    }
+                    crate::kernel::tile_forward(
+                        kind,
+                        &layer.w,
+                        &layer.b,
+                        in_dim,
+                        out_dim,
+                        tile,
+                        dst,
+                        block,
+                        bs,
+                        li != last,
+                    );
+                } else if bs == Self::LANES {
                     // Transpose the tile: tile[k * LANES + t] = sample t's
                     // feature k (contiguous lanes for the inner loop).
                     for t in 0..Self::LANES {

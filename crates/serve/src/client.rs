@@ -93,6 +93,12 @@ impl Client {
         crate::service::schema_of(&self.shared)
     }
 
+    /// Weight encoding the inference tier computes with
+    /// (`--model-encoding`).
+    pub fn model_encoding(&self) -> concorde_core::model::ModelEncoding {
+        self.shared.cfg.model_encoding
+    }
+
     /// Predicts a whole batch, blocking until every response arrives.
     ///
     /// Responses come back in request order. Submission applies gentle

@@ -233,7 +233,20 @@ fn handle_line(client: &Client, line: &str, writer: &SharedWriter) -> Value {
                     serde_json::to_value(&client.service_stats()).expect("serialize stats")
                 }
                 Some("workloads") => workload_catalog(),
-                Some("schema") => serde_json::to_value(&client.schema()).expect("serialize schema"),
+                Some("schema") => {
+                    let mut schema =
+                        serde_json::to_value(&client.schema()).expect("serialize schema");
+                    // The feature schema describes the store layout; the
+                    // model-weight encoding is a serving property, injected
+                    // here so wire clients see both in one reply.
+                    if let Value::Object(ref mut obj) = schema {
+                        obj.insert(
+                            "model_encoding".to_string(),
+                            Value::String(client.model_encoding().name().to_string()),
+                        );
+                    }
+                    schema
+                }
                 other => json!({ "error": format!("unknown cmd {other:?}") }),
             }
         }

@@ -43,11 +43,11 @@ use concorde_core::cache::{
 };
 use concorde_core::features::FeatureStore;
 use concorde_core::minbound::MinBoundEstimator;
-use concorde_core::model::ConcordePredictor;
+use concorde_core::model::{ConcordePredictor, ModelEncoding};
 use concorde_core::schema::{FeatureSchema, SCHEMA_VERSION};
 use concorde_core::sweep::{ReproProfile, SweepConfig};
 use concorde_cyclesim::MicroArch;
-use concorde_ml::MlpScratch;
+use concorde_ml::{MlpScratch, QuantFeatureBuf, QuantScratch, QuantizedMlp};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{Histogram, HistogramSnapshot, PromWriter};
@@ -187,6 +187,13 @@ pub struct ServeConfig {
     /// a request's own `deadline_ms` and the server-wide
     /// [`ServeConfig::miss_slo`]. Empty by default (per-class QoS off).
     pub class_slo: ClassSlo,
+    /// Weight encoding the inference tier computes with
+    /// (`--model-encoding`). [`ModelEncoding::Int8`] quantizes the trained
+    /// model once at startup and evaluates groups through the fused
+    /// dequantize-assembly path ([`ConcordePredictor::predict_quantized`]);
+    /// prediction drift vs `f32` is bounded `< 5%` (same contract as int8
+    /// *store* encoding, and the two compose).
+    pub model_encoding: ModelEncoding,
 }
 
 impl Default for ServeConfig {
@@ -205,6 +212,7 @@ impl Default for ServeConfig {
             store_encoding: ArenaEncoding::F32,
             miss_slo: None,
             class_slo: ClassSlo::default(),
+            model_encoding: ModelEncoding::F32,
         }
     }
 }
@@ -561,6 +569,13 @@ pub struct ServiceStats {
     /// disabled unless a request carries its own `deadline_ms`.
     #[serde(default)]
     pub miss_slo_ms: Option<u64>,
+    /// Model-weight encoding the inference tier computes with
+    /// (`--model-encoding`).
+    #[serde(default)]
+    pub model_encoding: Option<ModelEncoding>,
+    /// Active MLP microkernel (`scalar` / `avx2_fma` / `neon`).
+    #[serde(default)]
+    pub kernel: Option<String>,
 }
 
 /// Cache shape + occupancy section of [`ServiceStats`].
@@ -688,6 +703,9 @@ fn pick_task(
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
     model: ConcordePredictor,
+    /// Int8 snapshot of `model`'s MLP, built once at startup when
+    /// `cfg.model_encoding` is [`ModelEncoding::Int8`]; `None` ⇒ serve f32.
+    qmlp: Option<QuantizedMlp>,
     profile: ReproProfile,
     queue: Mutex<VecDeque<Job>>,
     notify: Condvar,
@@ -780,10 +798,15 @@ impl PredictionService {
             MissPolicy::AsyncPool => cfg.effective_precompute_workers(),
             MissPolicy::Inline => 0,
         };
+        let qmlp = match cfg.model_encoding {
+            ModelEncoding::Int8 => Some(model.quantized()),
+            ModelEncoding::F32 => None,
+        };
         let shared = Arc::new(Shared {
             cache: ShardedStoreCache::new(cfg.effective_cache_shards(), cfg.cache_bytes),
             cfg,
             model,
+            qmlp,
             profile,
             queue: Mutex::new(VecDeque::new()),
             notify: Condvar::new(),
@@ -1017,6 +1040,8 @@ pub(crate) fn service_stats(shared: &Shared) -> ServiceStats {
         max_connections: shared.cfg.max_connections.max(1),
         store_encoding: Some(shared.cfg.store_encoding),
         miss_slo_ms: shared.cfg.miss_slo.map(|d| d.as_millis() as u64),
+        model_encoding: Some(shared.cfg.model_encoding),
+        kernel: Some(concorde_ml::kernel_name().to_string()),
     }
 }
 
@@ -1043,7 +1068,7 @@ pub(crate) fn prometheus_text(shared: &Shared) -> String {
     let mut w = PromWriter::new();
     w.gauge(
         "concorde_build_info",
-        "Constant 1; labels carry the served feature-schema version and miss-path arena encoding.",
+        "Constant 1; labels carry the served feature-schema version, arena/model encodings, and active MLP kernel.",
         &[(
             vec![
                 ("schema_version", SCHEMA_VERSION.to_string()),
@@ -1051,6 +1076,11 @@ pub(crate) fn prometheus_text(shared: &Shared) -> String {
                     "encoding",
                     format!("{:?}", shared.cfg.store_encoding).to_lowercase(),
                 ),
+                (
+                    "model_encoding",
+                    shared.cfg.model_encoding.name().to_string(),
+                ),
+                ("kernel", concorde_ml::kernel_name().to_string()),
             ],
             1.0,
         )],
@@ -1288,8 +1318,18 @@ fn collect_batch(shared: &Shared) -> Vec<Job> {
     }
 }
 
+/// Per-worker reusable buffers: the f32 MLP scratch plus the fused-path
+/// quantized feature buffer and accumulators (warm after the first batch,
+/// so steady-state int8 serving allocates nothing per request).
+#[derive(Default)]
+struct WorkerScratch {
+    mlp: MlpScratch,
+    qbuf: QuantFeatureBuf,
+    quant: QuantScratch,
+}
+
 fn worker_loop(shared: &Shared) {
-    let mut scratch = MlpScratch::default();
+    let mut scratch = WorkerScratch::default();
     loop {
         let batch = collect_batch(shared);
         if batch.is_empty() {
@@ -1336,7 +1376,7 @@ fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
     let _ = job.tx.send(resp);
 }
 
-fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut MlpScratch) {
+fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut WorkerScratch) {
     // Group by feature-store key, resolving architectures up front.
     let mut groups: Vec<Group> = Vec::new();
     let mut index: HashMap<FeatureKey, usize> = HashMap::new();
@@ -1446,7 +1486,7 @@ fn note_group_hit(shared: &Shared, jobs: &[(Job, MicroArch)]) {
     }
 }
 
-fn run_group(shared: &Shared, group: Group, scratch: &mut MlpScratch) {
+fn run_group(shared: &Shared, group: Group, scratch: &mut WorkerScratch) {
     let Group { key, sweep, jobs } = group;
     if matches!(shared.cfg.miss_policy, MissPolicy::AsyncPool) {
         match shared.cache.get(&key) {
@@ -1512,12 +1552,21 @@ fn eval_group(
     shared: &Shared,
     store: &Arc<FeatureStore>,
     jobs: &[(Job, MicroArch)],
-    scratch: &mut MlpScratch,
+    scratch: &mut WorkerScratch,
     was_cached: bool,
 ) {
     let archs: Vec<MicroArch> = jobs.iter().map(|(_, a)| *a).collect();
+    let WorkerScratch { mlp, qbuf, quant } = scratch;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.model.predict_batch_with(store, &archs, scratch)
+        match &shared.qmlp {
+            // Int8 serving: fused dequantize-assembly — the store's encoded
+            // blocks feed the quantized first layer directly, never
+            // materializing the f32 feature vector.
+            Some(qmlp) => shared
+                .model
+                .predict_batch_quantized_with(qmlp, store, &archs, qbuf, quant),
+            None => shared.model.predict_batch_with(store, &archs, mlp),
+        }
     }));
     match outcome {
         Ok(cpis) => {
@@ -1748,7 +1797,7 @@ fn park_group(
     key: FeatureKey,
     sweep: SweepConfig,
     jobs: Vec<(Job, MicroArch)>,
-    scratch: &mut MlpScratch,
+    scratch: &mut WorkerScratch,
 ) {
     let mut inflight = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
     if let Some(entry) = inflight.get_mut(&key) {

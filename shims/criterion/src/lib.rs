@@ -65,6 +65,7 @@ pub struct Bencher {
     /// Mean per-iteration nanoseconds of the final sample run.
     pub(crate) result_ns: f64,
     pub(crate) median_ns: f64,
+    pub(crate) p99_ns: f64,
 }
 
 impl Bencher {
@@ -114,8 +115,33 @@ impl Bencher {
     fn finish_samples(&mut self, mut sample_ns: Vec<f64>) {
         sample_ns.sort_by(f64::total_cmp);
         self.median_ns = sample_ns[sample_ns.len() / 2];
+        // Nearest-rank p99 (for the shim's small sample counts this is the
+        // slowest or second-slowest sample — still a useful tail signal).
+        let p99_idx =
+            ((sample_ns.len() as f64 * 0.99).ceil() as usize).clamp(1, sample_ns.len()) - 1;
+        self.p99_ns = sample_ns[p99_idx];
         self.result_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
     }
+}
+
+/// Whether `BENCH_JSON` asks for machine-readable output (any non-empty
+/// value other than `0`). Checked per benchmark so tests can toggle it.
+fn json_output() -> bool {
+    std::env::var("BENCH_JSON").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -163,12 +189,44 @@ impl Criterion {
             samples: self.sample_size,
             result_ns: 0.0,
             median_ns: 0.0,
+            p99_ns: 0.0,
         };
         f(&mut b);
+        if json_output() {
+            // One JSON object per line (JSONL): stable keys, ns timings,
+            // throughput derived from the mean like the text path.
+            let mut line = format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p99_ns\":{:.1},\"samples\":{}",
+                json_escape(id),
+                b.result_ns,
+                b.median_ns,
+                b.p99_ns,
+                self.sample_size
+            );
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!(
+                        ",\"elements\":{n},\"elems_per_s\":{:.1}",
+                        n as f64 / (b.result_ns / 1e9)
+                    ));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!(
+                        ",\"bytes\":{n},\"bytes_per_s\":{:.1}",
+                        n as f64 / (b.result_ns / 1e9)
+                    ));
+                }
+                None => {}
+            }
+            line.push('}');
+            println!("{line}");
+            return;
+        }
         let mut line = format!(
-            "{id:<44} time: [mean {} median {}]",
+            "{id:<44} time: [mean {} median {} p99 {}]",
             fmt_ns(b.result_ns),
-            fmt_ns(b.median_ns)
+            fmt_ns(b.median_ns),
+            fmt_ns(b.p99_ns)
         );
         if let Some(Throughput::Elements(n)) = throughput {
             let per_sec = n as f64 / (b.result_ns / 1e9);

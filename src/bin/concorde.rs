@@ -37,7 +37,8 @@ fn usage_text() -> &'static str {
          [--max-batch N] [--deadline-us N] [--cache-bytes N[k|m|g]] [--cache-shards N]\n             \
          [--precompute-workers N] [--inline-miss] [--max-conns N] [--miss-slo-ms N]\n             \
          [--slo CLASS=MS,…] [--metrics-addr HOST:PORT]\n             \
-         [--sweep arch|quantized] [--encoding f32|f16|int8] [--preload FILE]…\n  \
+         [--sweep arch|quantized] [--encoding f32|f16|int8]\n             \
+         [--model-encoding f32|int8] [--preload FILE]…\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
          [--trace N] [--start N] [--count N] [--deadline-ms N]\n             \
          [--class interactive|batch] [--notify] [--schema-version N]"
@@ -251,6 +252,14 @@ fn serve_config(args: &[String]) -> ServeConfig {
                 ClassSlo::parse(v).unwrap_or_else(|e| bail(&format!("--slo: {e}")))
             })
             .unwrap_or_default(),
+        model_encoding: match flag_value(args, "--model-encoding") {
+            None => defaults.model_encoding,
+            Some(v) => ModelEncoding::parse(v).unwrap_or_else(|| {
+                bail(&format!(
+                    "unknown --model-encoding `{v}` (expected f32 or int8)"
+                ))
+            }),
+        },
     }
 }
 
@@ -647,6 +656,11 @@ fn main() {
                 eprintln!("[serve] metrics: http://{}/metrics", srv.addr());
                 srv
             });
+            eprintln!(
+                "[serve] inference: {} kernel, {} weights",
+                concorde_suite::ml::kernel_name(),
+                service.config().model_encoding,
+            );
             eprintln!(
                 "[serve] listening on {addr} ({} workers, {} precompute threads); \
                  cache: {} shards, {} byte budget, {} stores; miss SLO: {}; \

@@ -1,0 +1,97 @@
+//! Proves the fused int8 hot path — encoded-segment assembly
+//! (`features_quantized_into`) plus quantized prediction
+//! (`predict_quantized`) — performs **zero heap allocations** per request
+//! once the buffers are warm. Since the f32 feature vector would need a
+//! `dim`-sized allocation (or a pre-sized scratch this path does not own),
+//! zero allocations also pins the "never materializes the f32 vector"
+//! contract. Own test binary so no other test's allocations race the
+//! counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use concorde_suite::ml::{QuantFeatureBuf, QuantScratch};
+use concorde_suite::prelude::*;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+#[test]
+fn fused_int8_path_allocates_nothing_when_warm() {
+    let profile = ReproProfile {
+        window_k: 64,
+        ..ReproProfile::quick()
+    };
+    let spec = by_id("S5").unwrap();
+    let full = generate_region(&spec, 0, 0, profile.warmup_len + profile.region_len);
+    let (w, r) = full.instrs.split_at(profile.warmup_len);
+    let n1 = MicroArch::arm_n1();
+    let big = MicroArch::big_core();
+    let store = FeatureStore::precompute(w, r, &SweepConfig::for_pair(&big, &n1), &profile);
+
+    let mut p = profile.clone();
+    p.epochs = 2;
+    let data = generate_dataset(&DatasetConfig {
+        profile: p.clone(),
+        n: 8,
+        seed: 23,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15]),
+        threads: 0,
+    });
+    let model = train_model(&data, &p, &TrainOptions::default());
+    let qmlp = model.quantized();
+
+    let mut off = n1;
+    off.rob_size = 200;
+    off.lq_size = 40;
+
+    let mut buf = QuantFeatureBuf::default();
+    let mut scratch = QuantScratch::default();
+    // The contract holds for every store encoding: int8 blocks ride through
+    // as raw bytes, f16/f32 blocks as plain f32 segments.
+    for enc in ArenaEncoding::ALL {
+        let store = store.reencoded(enc);
+        for arch in [n1, big, off] {
+            // Warm: buffer pools and scratch grow to steady-state capacity.
+            let cold = model.predict_quantized(&qmlp, &store, &arch, &mut buf, &mut scratch);
+            let before = ALLOCS.load(Ordering::SeqCst);
+            let mut warm = 0.0;
+            for _ in 0..16 {
+                warm = model.predict_quantized(&qmlp, &store, &arch, &mut buf, &mut scratch);
+            }
+            let after = ALLOCS.load(Ordering::SeqCst);
+            assert_eq!(
+                after - before,
+                0,
+                "fused path allocated {} times under {enc}",
+                after - before
+            );
+            assert_eq!(
+                cold.to_bits(),
+                warm.to_bits(),
+                "warm path changed the answer"
+            );
+        }
+    }
+}

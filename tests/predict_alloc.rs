@@ -1,0 +1,66 @@
+//! Proves single-sample `Mlp::predict` performs **zero heap allocations**
+//! once its thread-local scratch is warm: the seed's per-layer `Vec`
+//! allocations were replaced by routing through `predict_batch_into` with
+//! n = 1 over reused scratch. Own test binary so no other test's
+//! allocations race the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use concorde_suite::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+#[test]
+fn predict_allocates_nothing_when_warm() {
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    // A few representative shapes, largest first so the thread-local scratch
+    // reaches steady-state capacity immediately.
+    let mlps = [
+        Mlp::new(&[96, 64, 32, 1], &mut rng),
+        Mlp::new(&[40, 24, 1], &mut rng),
+        Mlp::new(&[7, 5, 1], &mut rng),
+    ];
+    for mlp in &mlps {
+        let din = mlp.input_dim();
+        let x: Vec<f32> = (0..din).map(|i| ((i as f32) * 0.61).sin() * 3.0).collect();
+        // Warm the thread-local scratch for this shape.
+        let cold = mlp.predict(&x);
+        let before = ALLOCS.load(Ordering::SeqCst);
+        let mut warm = 0.0;
+        for _ in 0..32 {
+            warm = mlp.predict(&x);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "predict allocated {} times for dims {din}→1",
+            after - before
+        );
+        assert_eq!(cold.to_bits(), warm.to_bits());
+    }
+}

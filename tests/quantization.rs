@@ -248,6 +248,49 @@ fn schema_reports_the_arena_encoding() {
     assert_eq!(back, schema);
 }
 
+/// Cache admission for mmap'd stores charges the **resident-page estimate**
+/// (`mincore(2)`), not the full virtual payload: an owned store admits at
+/// its `approx_bytes`, a mapped one at no more than that (a freshly written
+/// artifact is typically fully page-cache-resident, so the bound is loose —
+/// the point is the accounting path, not a page-out scenario).
+#[test]
+fn mapped_store_admission_counts_resident_pages() {
+    let (store, _, _) = reference_store();
+    let encoded = store.reencoded(ArenaEncoding::Int8);
+    assert_eq!(
+        encoded.admission_bytes(),
+        encoded.approx_bytes(),
+        "owned stores admit at their full accounted footprint"
+    );
+    let key = FeatureKey {
+        workload: "S5".to_string(),
+        trace: 0,
+        start: 0,
+        region_len: 4096,
+        sweep_hash: 13,
+    };
+    let path = std::env::temp_dir().join(format!("concorde_resident_{}.cfa", std::process::id()));
+    StoreArtifact::new(key.clone(), encoded.clone())
+        .save(&path)
+        .unwrap();
+    let mapped = StoreArtifact::map(&path).unwrap();
+    if mapped.store.is_mapped() {
+        let admission = mapped.store.admission_bytes();
+        assert!(
+            admission > 0 && admission <= mapped.store.approx_bytes(),
+            "resident estimate {admission} must sit in (0, approx {}]",
+            mapped.store.approx_bytes()
+        );
+        // The shared cache accounts the mapped insert at the same estimate.
+        let cache = ShardedStoreCache::new(1, usize::MAX);
+        let store = std::sync::Arc::new(mapped.store);
+        let admission = store.admission_bytes();
+        cache.insert(key, std::sync::Arc::clone(&store));
+        assert_eq!(cache.stats().bytes, admission);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 mod block_error_bounds {
     use super::*;
     use proptest::prelude::*;
