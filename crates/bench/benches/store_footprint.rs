@@ -38,7 +38,7 @@ fn reference_store() -> (FeatureStore, ReproProfile, MicroArch) {
 
 fn key(start: u64) -> FeatureKey {
     FeatureKey {
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 0,
         start,
         region_len: 4096,

@@ -26,6 +26,7 @@ use std::sync::{Arc, Mutex};
 use serde::{Deserialize, Serialize};
 
 use crate::features::FeatureStore;
+use crate::keystr::KeyStr;
 use crate::schema::SCHEMA_VERSION;
 use crate::sweep::SweepConfig;
 
@@ -33,7 +34,7 @@ use crate::sweep::SweepConfig;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FeatureKey {
     /// Workload id (e.g. `"S5"`).
-    pub workload: String,
+    pub workload: KeyStr,
     /// Trace index within the workload.
     pub trace: u32,
     /// Region start offset (instructions).
@@ -439,7 +440,8 @@ fn parse_artifact_header(bytes: &[u8]) -> std::io::Result<(FeatureKey, u32, usiz
         )));
     }
     let wl_len = r.u32()? as usize;
-    let workload = String::from_utf8(r.bytes(wl_len)?.to_vec())
+    let workload = std::str::from_utf8(r.bytes(wl_len)?)
+        .map(KeyStr::new)
         .map_err(|_| bad("artifact workload id is not UTF-8"))?;
     let trace = r.u32()?;
     let start = r.u64()?;
@@ -610,7 +612,7 @@ mod tests {
 
     fn key(id: &str, start: u64) -> FeatureKey {
         FeatureKey {
-            workload: id.to_string(),
+            workload: KeyStr::new(id),
             trace: 0,
             start,
             region_len: 2048,

@@ -277,6 +277,35 @@ impl TaskOut {
     }
 }
 
+/// One planned assembly row: the original batch position plus the lookup
+/// indices [`FeatureStore::plan_assembly`] resolved for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssemblySlot {
+    /// Row index in the caller's architecture slice / output buffer.
+    pub row: u32,
+    /// Data-side memory-configuration index (`d_idx`).
+    pub di: u32,
+    /// Instruction-side memory-configuration index (`i_idx`).
+    pub ii: u32,
+    /// Nearest ROB-grid index — the dominant arena-address component and the
+    /// plan's primary intra-`di` sort key.
+    pub rob_idx: u32,
+}
+
+/// Reusable buffer holding a batched-assembly plan (see
+/// [`FeatureStore::plan_assembly`]). Warm reuse allocates nothing.
+#[derive(Debug, Default)]
+pub struct AssemblyScratch {
+    slots: Vec<AssemblySlot>,
+}
+
+impl AssemblyScratch {
+    /// The planned rows in assembly (arena-coherent) order.
+    pub fn slots(&self) -> &[AssemblySlot] {
+        &self.slots
+    }
+}
+
 impl FeatureStore {
     /// Precomputes the store for `instrs` (after `warmup`) over `sweep`,
     /// using all available cores.
@@ -949,6 +978,23 @@ impl FeatureStore {
     /// Panics if `out.len()` differs from the schema dimension for
     /// `(self.encoding(), variant)`.
     pub fn features_into(&self, arch: &MicroArch, variant: FeatureVariant, out: &mut [f32]) {
+        // Resolve the memory-configuration indices once: every d/i-keyed
+        // lookup below reuses them instead of rescanning the key lists.
+        let di = self.d_idx(arch.mem);
+        let ii = self.i_idx(arch.mem);
+        self.features_into_at(arch, variant, out, di, ii);
+    }
+
+    /// [`FeatureStore::features_into`] with the memory-configuration indices
+    /// already resolved — the batched-assembly inner loop.
+    fn features_into_at(
+        &self,
+        arch: &MicroArch,
+        variant: FeatureVariant,
+        out: &mut [f32],
+        di: usize,
+        ii: usize,
+    ) {
         let e = self.encoding.dim();
         let s_len = ROB_SWEEP.len();
         assert_eq!(
@@ -956,10 +1002,6 @@ impl FeatureStore {
             FeatureSchema::dim_for(self.encoding, variant),
             "output buffer does not match the schema dimension"
         );
-        // Resolve the memory-configuration indices once: every d/i-keyed
-        // lookup below reuses them instead of rescanning the key lists.
-        let di = self.d_idx(arch.mem);
-        let ii = self.i_idx(arch.mem);
         let mut pos = 0usize;
         for res in Resource::ALL {
             let idx = self.entry_idx_with(res, arch, di, ii);
@@ -1019,10 +1061,24 @@ impl FeatureStore {
         variant: FeatureVariant,
         buf: &mut concorde_ml::QuantFeatureBuf,
     ) {
-        buf.clear();
-        let s_len = ROB_SWEEP.len();
         let di = self.d_idx(arch.mem);
         let ii = self.i_idx(arch.mem);
+        self.features_quantized_into_at(arch, variant, buf, di, ii);
+    }
+
+    /// [`FeatureStore::features_quantized_into`] with the
+    /// memory-configuration indices already resolved (see
+    /// [`FeatureStore::plan_assembly`]).
+    pub(crate) fn features_quantized_into_at(
+        &self,
+        arch: &MicroArch,
+        variant: FeatureVariant,
+        buf: &mut concorde_ml::QuantFeatureBuf,
+        di: usize,
+        ii: usize,
+    ) {
+        buf.clear();
+        let s_len = ROB_SWEEP.len();
         for res in Resource::ALL {
             let idx = self.entry_idx_with(res, arch, di, ii);
             self.enc_arena(res).push_entry_quant(idx, buf);
@@ -1046,6 +1102,69 @@ impl FeatureStore {
         }
         buf.push_f32_with(MicroArch::ENCODED_DIM, |out| arch.encode_into(out));
         debug_assert_eq!(buf.len(), FeatureSchema::dim_for(self.encoding, variant));
+    }
+
+    /// Computes the per-arch lookup indices for a batch sharing this store
+    /// and orders the rows so assembly walks the arenas coherently.
+    ///
+    /// Each architecture's nearest-grid resolution (`d_idx`/`i_idx` scans
+    /// plus the ROB grid position that dominates entry addressing) happens
+    /// exactly once here, hoisted out of the per-row assembly loop; rows are
+    /// then sorted by `(d_idx, rob_idx, i_idx)` so consecutive rows copy
+    /// from adjacent arena blocks instead of striding randomly. The plan is
+    /// written into `scratch` (cleared first, capacity kept — warm calls
+    /// allocate nothing).
+    pub fn plan_assembly(&self, archs: &[MicroArch], scratch: &mut AssemblyScratch) {
+        scratch.slots.clear();
+        scratch.slots.reserve(archs.len());
+        for (row, arch) in archs.iter().enumerate() {
+            scratch.slots.push(AssemblySlot {
+                row: row as u32,
+                di: self.d_idx(arch.mem) as u32,
+                ii: self.i_idx(arch.mem) as u32,
+                rob_idx: nearest_idx(&self.rob_grid, arch.rob_size) as u32,
+            });
+        }
+        scratch
+            .slots
+            .sort_unstable_by_key(|s| (s.di, s.rob_idx, s.ii));
+    }
+
+    /// Batched [`FeatureStore::features_into`]: assembles one row per
+    /// architecture into the row-major `out` buffer (`archs.len() × dim`).
+    ///
+    /// Rows land at their original positions, but are *visited* in the
+    /// [`FeatureStore::plan_assembly`] order, with each row's layout math
+    /// resolved once up front — output bits are identical to calling
+    /// `features_into` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != archs.len() * dim` for the schema dimension.
+    pub fn features_into_many(
+        &self,
+        archs: &[MicroArch],
+        variant: FeatureVariant,
+        out: &mut [f32],
+        scratch: &mut AssemblyScratch,
+    ) {
+        let dim = FeatureSchema::dim_for(self.encoding, variant);
+        assert_eq!(
+            out.len(),
+            archs.len() * dim,
+            "output buffer does not match archs.len() × schema dimension"
+        );
+        self.plan_assembly(archs, scratch);
+        for slot in &scratch.slots {
+            let row = slot.row as usize;
+            self.features_into_at(
+                &archs[row],
+                variant,
+                &mut out[row * dim..(row + 1) * dim],
+                slot.di as usize,
+                slot.ii as usize,
+            );
+        }
     }
 
     /// The pure-analytical CPI estimate: per window, take the minimum of all

@@ -1,0 +1,313 @@
+//! Inline small-string for hot-path identifiers.
+//!
+//! Workload ids (`"S5"`), preset names (`"n1"`), and the other short strings
+//! that ride inside [`FeatureKey`](crate::cache::FeatureKey) and the wire
+//! request types are almost always a handful of bytes, yet `String` forces a
+//! heap allocation per parse and per key clone. [`KeyStr`] stores up to
+//! [`KeyStr::INLINE_CAP`] bytes inline (no heap) and falls back to a
+//! `Box<str>` only for longer values, so constructing and cloning typical
+//! keys is allocation-free — the property the serving warm path's
+//! counting-allocator test pins end to end.
+//!
+//! `KeyStr` behaves like `&str` everywhere it matters: it derefs to `str`,
+//! hashes and compares as its string contents (so `Borrow<str>` map lookups
+//! work), and serializes as a plain JSON string.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+use serde::{Content, Deserialize, Error as DeError, Serialize};
+
+/// A string that stores short values inline and long values on the heap.
+///
+/// See the [module docs](self) for rationale. The inline capacity is sized so
+/// the whole value fits in 24 bytes — the same footprint as `String` — while
+/// covering every identifier the workload catalog and arch presets use.
+pub struct KeyStr(Repr);
+
+enum Repr {
+    /// Up to `INLINE_CAP` bytes stored in place; `len` is the used prefix.
+    Inline {
+        len: u8,
+        buf: [u8; KeyStr::INLINE_CAP],
+    },
+    /// Longer values spill to the heap.
+    Heap(Box<str>),
+}
+
+impl KeyStr {
+    /// Maximum byte length stored without a heap allocation.
+    pub const INLINE_CAP: usize = 22;
+
+    /// Builds a `KeyStr` from a string slice (allocation-free when the slice
+    /// fits inline).
+    #[inline]
+    pub fn new(s: &str) -> Self {
+        if s.len() <= Self::INLINE_CAP {
+            let mut buf = [0u8; Self::INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            KeyStr(Repr::Inline {
+                len: s.len() as u8,
+                buf,
+            })
+        } else {
+            KeyStr(Repr::Heap(s.into()))
+        }
+    }
+
+    /// The string contents.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Inline { len, buf } => {
+                // `new`/`from` only store prefixes of valid `&str`s, and a
+                // prefix boundary at `len` is a char boundary by construction.
+                unsafe { std::str::from_utf8_unchecked(&buf[..*len as usize]) }
+            }
+            Repr::Heap(s) => s,
+        }
+    }
+
+    /// Byte length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_str().len()
+    }
+
+    /// Whether the string is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for KeyStr {
+    #[inline]
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Inline { len, buf } => KeyStr(Repr::Inline {
+                len: *len,
+                buf: *buf,
+            }),
+            Repr::Heap(s) => KeyStr(Repr::Heap(s.clone())),
+        }
+    }
+}
+
+impl Default for KeyStr {
+    #[inline]
+    fn default() -> Self {
+        KeyStr::new("")
+    }
+}
+
+impl Deref for KeyStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for KeyStr {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for KeyStr {
+    #[inline]
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for KeyStr {
+    #[inline]
+    fn from(s: &str) -> Self {
+        KeyStr::new(s)
+    }
+}
+
+impl From<String> for KeyStr {
+    #[inline]
+    fn from(s: String) -> Self {
+        // Reuse the existing heap allocation only when inline won't fit.
+        if s.len() <= Self::INLINE_CAP {
+            KeyStr::new(&s)
+        } else {
+            KeyStr(Repr::Heap(s.into_boxed_str()))
+        }
+    }
+}
+
+impl From<&String> for KeyStr {
+    #[inline]
+    fn from(s: &String) -> Self {
+        KeyStr::new(s)
+    }
+}
+
+impl From<&KeyStr> for KeyStr {
+    #[inline]
+    fn from(s: &KeyStr) -> Self {
+        s.clone()
+    }
+}
+
+impl PartialEq for KeyStr {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for KeyStr {}
+
+impl PartialEq<str> for KeyStr {
+    #[inline]
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for KeyStr {
+    #[inline]
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for KeyStr {
+    #[inline]
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<KeyStr> for str {
+    #[inline]
+    fn eq(&self, other: &KeyStr) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<KeyStr> for &str {
+    #[inline]
+    fn eq(&self, other: &KeyStr) -> bool {
+        *self == other.as_str()
+    }
+}
+
+// Hash must agree with `Borrow<str>`: hash exactly as the contents do.
+impl Hash for KeyStr {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for KeyStr {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyStr {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Display for KeyStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for KeyStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl Serialize for KeyStr {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for KeyStr {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(KeyStr::new(s)),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn inline_and_heap_round_trip() {
+        for s in ["", "S5", "n1", "a-22-byte-identifier!!", &"x".repeat(23)] {
+            let k = KeyStr::new(s);
+            assert_eq!(k.as_str(), s);
+            assert_eq!(k.len(), s.len());
+            assert_eq!(k, *s);
+            assert_eq!(k.clone(), k);
+        }
+    }
+
+    #[test]
+    fn inline_boundary_is_22_bytes() {
+        let inline = KeyStr::new(&"y".repeat(KeyStr::INLINE_CAP));
+        assert!(matches!(inline.0, Repr::Inline { .. }));
+        let heap = KeyStr::new(&"y".repeat(KeyStr::INLINE_CAP + 1));
+        assert!(matches!(heap.0, Repr::Heap(_)));
+    }
+
+    #[test]
+    fn hash_agrees_with_str_for_map_lookup() {
+        let mut m: HashMap<KeyStr, u32> = HashMap::new();
+        m.insert(KeyStr::new("S5"), 7);
+        assert_eq!(m.get("S5"), Some(&7));
+        assert_eq!(m.get("s5"), None);
+    }
+
+    #[test]
+    fn ordering_matches_str() {
+        let mut v = vec![KeyStr::new("b"), KeyStr::new("a"), KeyStr::new("c")];
+        v.sort();
+        assert_eq!(
+            v,
+            vec!["a", "b", "c"]
+                .into_iter()
+                .map(KeyStr::new)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let k = KeyStr::new("S5");
+        let c = k.to_content();
+        assert_eq!(KeyStr::from_content(&c).unwrap(), k);
+        assert!(KeyStr::from_content(&Content::U64(3)).is_err());
+    }
+
+    #[test]
+    fn multibyte_utf8_survives() {
+        let s = "héllo-wörld";
+        let k = KeyStr::new(s);
+        assert_eq!(k.as_str(), s);
+    }
+}

@@ -34,6 +34,7 @@ pub mod arena;
 pub mod cache;
 pub mod dataset;
 pub mod features;
+pub mod keystr;
 pub mod longrun;
 pub mod metrics;
 pub mod minbound;
@@ -53,11 +54,14 @@ pub mod prelude {
         generate_dataset, overlap_report, project_features, ArchSampling, DatasetConfig,
         FeatureProjection, Sample,
     };
-    pub use crate::features::{FeatureLayout, FeatureStore, FeatureVariant, Resource};
+    pub use crate::features::{
+        AssemblyScratch, FeatureLayout, FeatureStore, FeatureVariant, Resource,
+    };
+    pub use crate::keystr::KeyStr;
     pub use crate::longrun::{long_program_experiment, LongRunResult};
     pub use crate::metrics::{bucketed, per_program, GroupStats};
     pub use crate::minbound::{analytic_min_bound_cpi, MinBoundEstimator};
-    pub use crate::model::{ConcordePredictor, ModelEncoding, Normalizer};
+    pub use crate::model::{ConcordePredictor, ModelEncoding, Normalizer, PredictScratch};
     pub use crate::parallel::{parallel_map, parallel_map_all};
     pub use crate::schema::{BlockGroup, FeatureBlock, FeatureSchema, SCHEMA_VERSION};
     pub use crate::sweep::{pow2_sweep, ReproProfile, SweepConfig};

@@ -6,7 +6,49 @@ use concorde_cyclesim::MicroArch;
 use concorde_ml::{Mlp, MlpScratch, QuantFeatureBuf, QuantScratch, QuantizedMlp};
 use serde::{Deserialize, Serialize};
 
-use crate::features::{FeatureLayout, FeatureStore, FeatureVariant};
+use crate::features::{AssemblyScratch, FeatureLayout, FeatureStore, FeatureVariant};
+
+/// Reusable buffers for the batched serving predictors
+/// ([`ConcordePredictor::predict_batch_into`] /
+/// [`ConcordePredictor::predict_batch_quantized_into`]): activation arenas,
+/// the fused-assembly segment buffer, the assembly plan, and the arch-dedup
+/// tables. One per worker; with a warm scratch the whole group evaluation
+/// allocates nothing.
+#[derive(Default)]
+pub struct PredictScratch {
+    /// MLP activation arena (f32 forward pass).
+    pub mlp: MlpScratch,
+    /// Quantized forward-pass arena.
+    pub quant: QuantScratch,
+    /// Fused dequantize-assembly segment buffer.
+    pub qbuf: QuantFeatureBuf,
+    asm: AssemblyScratch,
+    uniq: Vec<MicroArch>,
+    map: Vec<u32>,
+    xs: Vec<f32>,
+    raw: Vec<f32>,
+    uniq_out: Vec<f64>,
+}
+
+/// Deduplicates `archs` by linear scan (`MicroArch` is `PartialEq`-only:
+/// `PredictorKind::Simple` carries a float), filling `uniq` with the
+/// distinct architectures in first-appearance order and `map` with each
+/// row's index into `uniq`.
+fn dedup_archs(archs: &[MicroArch], uniq: &mut Vec<MicroArch>, map: &mut Vec<u32>) {
+    uniq.clear();
+    map.clear();
+    map.reserve(archs.len());
+    for arch in archs {
+        let at = match uniq.iter().position(|u| u == arch) {
+            Some(i) => i,
+            None => {
+                uniq.push(*arch);
+                uniq.len() - 1
+            }
+        };
+        map.push(at as u32);
+    }
+}
 
 /// Which weight encoding the inference tier computes with (`--model-encoding`).
 ///
@@ -285,6 +327,89 @@ impl ConcordePredictor {
             .iter()
             .map(|arch| self.predict_quantized(qmlp, store, arch, buf, scratch))
             .collect()
+    }
+
+    /// Zero-allocation batched f32 prediction: the serving workers' group
+    /// evaluation path.
+    ///
+    /// Distinct architectures are deduplicated (linear scan — batches repeat
+    /// sweep points heavily), features are assembled once per distinct arch
+    /// in arena-coherent order ([`FeatureStore::features_into_many`]), one
+    /// batched forward pass covers the distinct rows, and results scatter
+    /// back to every requesting row. Per-row independence of the batch
+    /// kernel (pinned by the batch-vs-single property tests) makes the
+    /// dedup bitwise-invisible: `out` equals
+    /// [`ConcordePredictor::predict_batch_with`] exactly.
+    ///
+    /// `out` is cleared and refilled; with warm buffers nothing allocates.
+    pub fn predict_batch_into(
+        &self,
+        store: &FeatureStore,
+        archs: &[MicroArch],
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) {
+        dedup_archs(archs, &mut scratch.uniq, &mut scratch.map);
+        let dim = self.layout.dim();
+        scratch.xs.clear();
+        scratch.xs.resize(scratch.uniq.len() * dim, 0.0);
+        store.features_into_many(
+            &scratch.uniq,
+            self.layout.variant,
+            &mut scratch.xs,
+            &mut scratch.asm,
+        );
+        self.normalizer.apply_batch(&mut scratch.xs);
+        scratch.raw.clear();
+        scratch.raw.resize(scratch.uniq.len(), 0.0);
+        self.mlp
+            .predict_batch_into(&scratch.xs, &mut scratch.raw, &mut scratch.mlp);
+        scratch.uniq_out.clear();
+        scratch
+            .uniq_out
+            .extend(scratch.raw.iter().map(|&o| self.postprocess(f64::from(o))));
+        out.clear();
+        out.extend(scratch.map.iter().map(|&u| scratch.uniq_out[u as usize]));
+    }
+
+    /// Zero-allocation batched fused int8 prediction — the int8-model
+    /// counterpart of [`ConcordePredictor::predict_batch_into`]: arch dedup,
+    /// planned ([`FeatureStore::plan_assembly`]) arena-coherent assembly of
+    /// each distinct row through the shared segment buffer, scatter back.
+    /// Bitwise identical to
+    /// [`ConcordePredictor::predict_batch_quantized_with`].
+    pub fn predict_batch_quantized_into(
+        &self,
+        qmlp: &QuantizedMlp,
+        store: &FeatureStore,
+        archs: &[MicroArch],
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) {
+        dedup_archs(archs, &mut scratch.uniq, &mut scratch.map);
+        store.plan_assembly(&scratch.uniq, &mut scratch.asm);
+        scratch.uniq_out.clear();
+        scratch.uniq_out.resize(scratch.uniq.len(), 0.0);
+        for slot in scratch.asm.slots() {
+            let row = slot.row as usize;
+            store.features_quantized_into_at(
+                &scratch.uniq[row],
+                self.layout.variant,
+                &mut scratch.qbuf,
+                slot.di as usize,
+                slot.ii as usize,
+            );
+            let raw = qmlp.predict_segments(
+                &scratch.qbuf,
+                &self.normalizer.mean,
+                &self.normalizer.std,
+                self.normalizer.log1p,
+                &mut scratch.quant,
+            );
+            scratch.uniq_out[row] = self.postprocess(f64::from(raw));
+        }
+        out.clear();
+        out.extend(scratch.map.iter().map(|&u| scratch.uniq_out[u as usize]));
     }
 
     /// Feature variant this model consumes.

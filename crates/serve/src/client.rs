@@ -8,7 +8,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::protocol::{PredictRequest, PredictResponse};
-use crate::service::{submit, ServeError, Shared};
+use crate::service::{submit, submit_many, submit_slot, Job, ServeError, Shared};
+use crate::slots::SlotReceiver;
+
+/// Caller-owned scratch for [`Client::predict_batch_into`]: holds the slot
+/// receivers and job buffer between calls so a warm submit→receive round
+/// trip allocates nothing. The fields are internal; `Default::default()` is
+/// the whole API.
+#[derive(Default)]
+pub struct BatchScratch {
+    rxs: Vec<SlotReceiver>,
+    jobs: Vec<Job>,
+}
 
 /// In-process handle onto a running [`PredictionService`](crate::PredictionService).
 ///
@@ -21,6 +32,11 @@ pub struct Client {
 impl Client {
     pub(crate) fn new(shared: Arc<Shared>) -> Self {
         Client { shared }
+    }
+
+    /// The service internals, for the TCP front end's slot-based fast path.
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
     }
 
     /// Enqueues a request, returning the response receiver immediately.
@@ -111,27 +127,70 @@ impl Client {
     /// service goes away underneath the call.
     pub fn predict_many(
         &self,
-        reqs: Vec<PredictRequest>,
+        mut reqs: Vec<PredictRequest>,
     ) -> Result<Vec<PredictResponse>, ServeError> {
-        let mut pending = Vec::with_capacity(reqs.len());
-        for req in reqs {
-            loop {
-                match self.submit(req.clone()) {
-                    Ok(rx) => {
-                        pending.push(rx);
-                        break;
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::with_capacity(reqs.len());
+        self.predict_batch_into(&mut reqs, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Client::predict_many`] without the per-call allocations: drains
+    /// `reqs`, appends responses to `out` (cleared first) in request order,
+    /// and keeps every intermediate buffer in the caller-owned `scratch`.
+    /// Once `scratch`, `reqs`, and `out` are warm a round trip performs
+    /// zero heap allocations end to end — the contract
+    /// `tests/serving_alloc.rs` pins with a counting allocator.
+    ///
+    /// Submission applies the same gentle backpressure as
+    /// [`Client::predict_many`]: the whole batch enqueues under one shard
+    /// lock when it fits, else it degrades to per-request submission that
+    /// waits out a full queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] when the service goes away underneath
+    /// the call; `reqs` may then be partially drained and `out` holds no
+    /// responses (in-flight requests are answered and discarded).
+    pub fn predict_batch_into(
+        &self,
+        reqs: &mut Vec<PredictRequest>,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<PredictResponse>,
+    ) -> Result<(), ServeError> {
+        out.clear();
+        // Fast path: the whole batch enqueues under one shard lock against
+        // recycled response slots. A queue too full for the bulk
+        // reservation degrades to per-request submission with the same
+        // sleep-poll backpressure as before, which makes progress even when
+        // the batch exceeds the entire queue capacity.
+        match submit_many(&self.shared, reqs, &mut scratch.rxs, &mut scratch.jobs) {
+            Ok(()) => {}
+            Err(ServeError::QueueFull) => {
+                for req in reqs.drain(..) {
+                    loop {
+                        match submit_slot(&self.shared, req.clone()) {
+                            Ok(rx) => {
+                                scratch.rxs.push(rx);
+                                break;
+                            }
+                            Err(ServeError::QueueFull) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => {
+                                scratch.rxs.clear();
+                                return Err(e);
+                            }
+                        }
                     }
-                    Err(ServeError::QueueFull) => {
-                        std::thread::sleep(Duration::from_micros(200));
-                    }
-                    Err(e) => return Err(e),
                 }
             }
+            Err(e) => return Err(e),
         }
-        pending
-            .into_iter()
-            .map(|rx| rx.recv().map_err(|_| ServeError::Disconnected))
-            .collect()
+        // Dropping each receiver right after its response recycles the slot
+        // for the next request in the same batch.
+        out.extend(scratch.rxs.drain(..).map(|rx| rx.recv()));
+        Ok(())
     }
 }
 

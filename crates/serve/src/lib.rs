@@ -42,9 +42,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod slots;
 
 pub use bytesize::{parse_byte_size, ByteSizeError};
-pub use client::{Client, TcpClient};
+pub use client::{BatchScratch, Client, TcpClient};
 pub use http::MetricsServer;
 pub use protocol::{ArchSpec, PredictRequest, PredictResponse, RequestClass};
 pub use server::workload_catalog;

@@ -275,6 +275,17 @@ fn fmt_f64(v: f64) -> String {
     format!("{v}")
 }
 
+/// Connection-lifecycle log line for the TCP front end, routed through this
+/// module so operational logging and metrics exposition share one front
+/// door. Silent unless `CONCORDE_CONN_LOG=1` — the accept loop stays quiet
+/// in production, and the live-connection *count* is already exported as
+/// the `concorde_active_connections` gauge.
+pub fn log_connection(event: &str, peer: std::net::SocketAddr) {
+    if std::env::var_os("CONCORDE_CONN_LOG").is_some_and(|v| v == "1") {
+        eprintln!("concorde-serve: connection {event} peer={peer}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 //! {"id": 1, "cpi": 1.87, "cached": true, "micros": 112}
 //! ```
 
+use concorde_core::keystr::KeyStr;
 use concorde_cyclesim::MicroArch;
 use serde::{Content, Deserialize, Serialize};
 
@@ -95,7 +96,7 @@ impl Deserialize for RequestClass {
 pub struct ArchSpec {
     /// Base design: `"n1"` (default) or `"big"`.
     #[serde(default)]
-    pub base: Option<String>,
+    pub base: Option<KeyStr>,
     /// Reorder-buffer size.
     #[serde(default)]
     pub rob: Option<u32>,
@@ -238,7 +239,7 @@ impl ArchSpec {
     /// Spec for a named base design with no overrides.
     pub fn base(name: &str) -> ArchSpec {
         ArchSpec {
-            base: Some(name.to_string()),
+            base: Some(KeyStr::new(name)),
             ..ArchSpec::default()
         }
     }
@@ -251,7 +252,7 @@ pub struct PredictRequest {
     #[serde(default)]
     pub id: u64,
     /// Workload id from the suite (e.g. `"S5"`); see `concorde workloads`.
-    pub workload: String,
+    pub workload: KeyStr,
     /// Trace index within the workload.
     #[serde(default)]
     pub trace: u32,
@@ -299,7 +300,7 @@ impl PredictRequest {
     pub fn new(id: u64, workload: &str, arch: ArchSpec) -> Self {
         PredictRequest {
             id,
-            workload: workload.to_string(),
+            workload: KeyStr::new(workload),
             trace: 0,
             start: 0,
             len: 0,
@@ -472,6 +473,644 @@ impl PredictResponse {
     pub fn is_upgrade(&self) -> bool {
         self.kind.as_deref() == Some("upgrade")
     }
+
+    /// Appends this response's JSON encoding to `out` — byte-identical to
+    /// `serde_json::to_string(self)` but with zero heap allocations (the
+    /// warm-path encoder the per-connection reply buffer reuses).
+    pub fn encode_json_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"id\":");
+        let _ = write!(out, "{}", self.id);
+        out.push_str(",\"cpi\":");
+        encode_f64_opt(out, self.cpi);
+        out.push_str(",\"error\":");
+        encode_str_opt(out, self.error.as_deref());
+        out.push_str(",\"cached\":");
+        out.push_str(if self.cached { "true" } else { "false" });
+        out.push_str(",\"approx\":");
+        out.push_str(if self.approx { "true" } else { "false" });
+        out.push_str(",\"reason\":");
+        encode_str_opt(out, self.reason.as_deref());
+        out.push_str(",\"type\":");
+        encode_str_opt(out, self.kind.as_deref());
+        out.push_str(",\"micros\":");
+        let _ = write!(out, "{}", self.micros);
+        out.push('}');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire fast path: single-pass request decode + allocation-free reply encode
+// ---------------------------------------------------------------------------
+//
+// The slow path parses every request line twice (`serde_json::from_str` →
+// `Value` tree → `from_value::<PredictRequest>`), heap-allocating the whole
+// intermediate tree per line. The decoder below walks the line once,
+// materializing `PredictRequest`s directly (inline `KeyStr` workloads — no
+// heap for typical requests). It is *conservative*: anything it is not
+// certain it decodes exactly like the `Value` path — control objects
+// (`{"cmd":…}`), malformed JSON, type mismatches, pathological inputs —
+// returns a [`FastMiss`] and the caller re-parses on the slow path, which
+// stays the single source of truth for error messages and `cmd` handling.
+// Observable behavior is therefore identical by construction; the proptest
+// suite additionally pins value-equivalence for everything the fast path
+// does accept.
+
+/// Shape of a successfully fast-decoded request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodedShape {
+    /// The line was a single request object (one request appended).
+    Single,
+    /// The line was an array of requests (zero or more appended, in order).
+    Batch,
+}
+
+/// Why the fast decoder declined a line (caller falls back to the `Value`
+/// path, which owns error messages and control commands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastMiss {
+    /// A top-level object carrying a `"cmd"` key — the control path.
+    Cmd,
+    /// Malformed JSON, a type mismatch, or a shape the fast path does not
+    /// commit to decoding identically.
+    Fallback,
+}
+
+/// Decodes one request line in a single pass.
+///
+/// On success appends the decoded request(s) to `out` (cleared first) and
+/// returns the line shape. On [`FastMiss`] the caller must re-parse via the
+/// `Value` path; `out` is left cleared.
+///
+/// # Errors
+///
+/// [`FastMiss::Cmd`] for control objects, [`FastMiss::Fallback`] for
+/// anything the fast path declines (see the module comment).
+pub fn decode_request_line(
+    line: &str,
+    out: &mut Vec<PredictRequest>,
+) -> Result<DecodedShape, FastMiss> {
+    out.clear();
+    let mut p = FastParser {
+        b: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let shape = match p.peek() {
+        Some(b'{') => {
+            let req = p.request_obj(true)?;
+            out.push(req);
+            DecodedShape::Single
+        }
+        Some(b'[') => {
+            p.pos += 1;
+            p.skip_ws();
+            if p.peek() == Some(b']') {
+                p.pos += 1;
+            } else {
+                loop {
+                    p.skip_ws();
+                    if p.peek() != Some(b'{') {
+                        out.clear();
+                        return Err(FastMiss::Fallback);
+                    }
+                    let req = p.request_obj(false)?;
+                    out.push(req);
+                    p.skip_ws();
+                    match p.peek() {
+                        Some(b',') => p.pos += 1,
+                        Some(b']') => {
+                            p.pos += 1;
+                            break;
+                        }
+                        _ => {
+                            out.clear();
+                            return Err(FastMiss::Fallback);
+                        }
+                    }
+                }
+            }
+            DecodedShape::Batch
+        }
+        _ => return Err(FastMiss::Fallback),
+    };
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        out.clear();
+        return Err(FastMiss::Fallback);
+    }
+    Ok(shape)
+}
+
+/// Number classification mirroring the `serde_json` shim's parser: integer
+/// text becomes `U64`/`I64` (overflow falls back to `F64`), anything with a
+/// `.` or exponent is `F64`.
+#[derive(Clone, Copy)]
+enum Num {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Num {
+    /// The shim's `u64::from_content` acceptance: `U64`, non-negative `I64`,
+    /// and non-negative integral `F64` (saturating cast).
+    fn as_u64(self) -> Result<u64, FastMiss> {
+        match self {
+            Num::U(v) => Ok(v),
+            Num::I(v) if v >= 0 => Ok(v as u64),
+            Num::F(v) if v >= 0.0 && v.fract() == 0.0 => Ok(v as u64),
+            _ => Err(FastMiss::Fallback),
+        }
+    }
+
+    fn as_u32(self) -> Result<u32, FastMiss> {
+        u32::try_from(self.as_u64()?).map_err(|_| FastMiss::Fallback)
+    }
+}
+
+/// Fixed-capacity unescape buffer for keys and short string values. Longer
+/// strings set `overflow` (the parse stays valid; the caller falls back or
+/// treats the key as unknown).
+struct SmallStr {
+    buf: [u8; SMALL_STR_CAP],
+    len: usize,
+    overflow: bool,
+}
+
+const SMALL_STR_CAP: usize = 64;
+
+impl SmallStr {
+    fn new() -> Self {
+        SmallStr {
+            buf: [0; SMALL_STR_CAP],
+            len: 0,
+            overflow: false,
+        }
+    }
+
+    fn push_bytes(&mut self, s: &[u8]) {
+        if self.len + s.len() <= SMALL_STR_CAP {
+            self.buf[self.len..self.len + s.len()].copy_from_slice(s);
+            self.len += s.len();
+        } else {
+            self.overflow = true;
+        }
+    }
+
+    fn push_char(&mut self, c: char) {
+        let mut tmp = [0u8; 4];
+        self.push_bytes(c.encode_utf8(&mut tmp).as_bytes());
+    }
+
+    /// The unescaped contents, or `None` if they did not fit.
+    fn as_str(&self) -> Option<&str> {
+        if self.overflow {
+            return None;
+        }
+        // Only built from validated pushes of `&str` slices / `char`s.
+        Some(unsafe { std::str::from_utf8_unchecked(&self.buf[..self.len]) })
+    }
+}
+
+struct FastParser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FastParser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), FastMiss> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(FastMiss::Fallback)
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), FastMiss> {
+        if self.b[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(FastMiss::Fallback)
+        }
+    }
+
+    /// Parses a JSON string (validating escapes exactly like the shim
+    /// parser) into `dst`.
+    fn string_into(&mut self, dst: &mut SmallStr) -> Result<(), FastMiss> {
+        self.eat(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(FastMiss::Fallback),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(FastMiss::Fallback)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => dst.push_bytes(b"\""),
+                        b'\\' => dst.push_bytes(b"\\"),
+                        b'/' => dst.push_bytes(b"/"),
+                        b'b' => dst.push_bytes(b"\x08"),
+                        b'f' => dst.push_bytes(b"\x0c"),
+                        b'n' => dst.push_bytes(b"\n"),
+                        b'r' => dst.push_bytes(b"\r"),
+                        b't' => dst.push_bytes(b"\t"),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            // Mirror the shim's surrogate-pair combination
+                            // (including its wrapping low-half arithmetic).
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u')?;
+                                    let lo = self.hex4()?;
+                                    0x10000 + ((hi - 0xD800) << 10) + lo.wrapping_sub(0xDC00)
+                                } else {
+                                    return Err(FastMiss::Fallback);
+                                }
+                            } else {
+                                hi
+                            };
+                            dst.push_char(char::from_u32(cp).ok_or(FastMiss::Fallback)?);
+                        }
+                        _ => return Err(FastMiss::Fallback),
+                    }
+                }
+                Some(_) => {
+                    // The input is `&str`, so a raw span up to the next
+                    // quote/backslash is valid UTF-8; copy it wholesale.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"') | Some(b'\\')) {
+                        self.pos += 1;
+                    }
+                    dst.push_bytes(&self.b[start..self.pos]);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, FastMiss> {
+        if self.pos + 4 > self.b.len() {
+            return Err(FastMiss::Fallback);
+        }
+        let s =
+            std::str::from_utf8(&self.b[self.pos..self.pos + 4]).map_err(|_| FastMiss::Fallback)?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| FastMiss::Fallback)?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Consumes a number with exactly the shim parser's classification.
+    fn number(&mut self) -> Result<Num, FastMiss> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).map_err(|_| FastMiss::Fallback)?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Num::F)
+                .map_err(|_| FastMiss::Fallback)
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(v) => Ok(Num::I(v)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Num::F)
+                    .map_err(|_| FastMiss::Fallback),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(v) => Ok(Num::U(v)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Num::F)
+                    .map_err(|_| FastMiss::Fallback),
+            }
+        }
+    }
+
+    /// Validates and discards any JSON value (unknown-key payloads).
+    fn skip_value(&mut self) -> Result<(), FastMiss> {
+        match self.peek() {
+            Some(b'n') => self.literal("null"),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'"') => {
+                let mut sink = SmallStr::new();
+                self.string_into(&mut sink)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(FastMiss::Fallback),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    let mut sink = SmallStr::new();
+                    self.string_into(&mut sink)?;
+                    self.skip_ws();
+                    self.eat(b':')?;
+                    self.skip_ws();
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(FastMiss::Fallback),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number().map(|_| ()),
+            _ => Err(FastMiss::Fallback),
+        }
+    }
+
+    fn number_value(&mut self) -> Result<Num, FastMiss> {
+        match self.peek() {
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            // Wrong type (string/bool/null/object where a number belongs):
+            // the slow path owns the error message.
+            _ => Err(FastMiss::Fallback),
+        }
+    }
+
+    /// `null` → `None`, number → `Some(u64)` (shim `Option<u64>` semantics).
+    fn opt_u64_value(&mut self) -> Result<Option<u64>, FastMiss> {
+        if self.peek() == Some(b'n') {
+            self.literal("null")?;
+            return Ok(None);
+        }
+        Ok(Some(self.number_value()?.as_u64()?))
+    }
+
+    fn opt_u32_value(&mut self) -> Result<Option<u32>, FastMiss> {
+        if self.peek() == Some(b'n') {
+            self.literal("null")?;
+            return Ok(None);
+        }
+        Ok(Some(self.number_value()?.as_u32()?))
+    }
+
+    fn bool_value(&mut self) -> Result<bool, FastMiss> {
+        match self.peek() {
+            Some(b't') => self.literal("true").map(|()| true),
+            Some(b'f') => self.literal("false").map(|()| false),
+            _ => Err(FastMiss::Fallback),
+        }
+    }
+
+    /// A short string value (workload ids, base names, class labels).
+    fn small_string_value(&mut self) -> Result<SmallStr, FastMiss> {
+        if self.peek() != Some(b'"') {
+            return Err(FastMiss::Fallback);
+        }
+        let mut s = SmallStr::new();
+        self.string_into(&mut s)?;
+        if s.overflow {
+            // Valid JSON, just longer than the fast path commits to; the
+            // slow path decodes it identically.
+            return Err(FastMiss::Fallback);
+        }
+        Ok(s)
+    }
+
+    fn arch_obj(&mut self) -> Result<ArchSpec, FastMiss> {
+        self.eat(b'{')?;
+        let mut spec = ArchSpec::default();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(spec);
+        }
+        let mut key = SmallStr::new();
+        loop {
+            self.skip_ws();
+            key.len = 0;
+            key.overflow = false;
+            self.string_into(&mut key)?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            // Duplicate keys overwrite (the `Value` path's last-wins rule).
+            match key.as_str() {
+                Some("base") => {
+                    if self.peek() == Some(b'n') {
+                        self.literal("null")?;
+                        spec.base = None;
+                    } else {
+                        spec.base = Some(KeyStr::new(
+                            self.small_string_value()?
+                                .as_str()
+                                .ok_or(FastMiss::Fallback)?,
+                        ));
+                    }
+                }
+                Some("rob") => spec.rob = self.opt_u32_value()?,
+                Some("lq") => spec.lq = self.opt_u32_value()?,
+                Some("sq") => spec.sq = self.opt_u32_value()?,
+                Some("alu") => spec.alu = self.opt_u32_value()?,
+                Some("fp") => spec.fp = self.opt_u32_value()?,
+                Some("ls") => spec.ls = self.opt_u32_value()?,
+                Some("fetch") => spec.fetch = self.opt_u32_value()?,
+                Some("decode") => spec.decode = self.opt_u32_value()?,
+                Some("rename") => spec.rename = self.opt_u32_value()?,
+                Some("commit") => spec.commit = self.opt_u32_value()?,
+                Some("l1d") => spec.l1d = self.opt_u32_value()?,
+                Some("l1i") => spec.l1i = self.opt_u32_value()?,
+                Some("l2") => spec.l2 = self.opt_u32_value()?,
+                Some("prefetch") => spec.prefetch = self.opt_u32_value()?,
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(spec);
+                }
+                _ => return Err(FastMiss::Fallback),
+            }
+        }
+    }
+
+    fn request_obj(&mut self, top_level: bool) -> Result<PredictRequest, FastMiss> {
+        self.eat(b'{')?;
+        let mut req = PredictRequest::default();
+        let mut have_workload = false;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            // `{}` is a missing-`workload` error; slow path words it.
+            return Err(FastMiss::Fallback);
+        }
+        let mut key = SmallStr::new();
+        loop {
+            self.skip_ws();
+            key.len = 0;
+            key.overflow = false;
+            self.string_into(&mut key)?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                // A top-level object with a `cmd` key is a control command,
+                // whatever else it carries.
+                Some("cmd") if top_level => return Err(FastMiss::Cmd),
+                Some("id") => req.id = self.number_value()?.as_u64()?,
+                Some("workload") => {
+                    req.workload = KeyStr::new(
+                        self.small_string_value()?
+                            .as_str()
+                            .ok_or(FastMiss::Fallback)?,
+                    );
+                    have_workload = true;
+                }
+                Some("trace") => req.trace = self.number_value()?.as_u32()?,
+                Some("start") => req.start = self.number_value()?.as_u64()?,
+                Some("len") => req.len = self.number_value()?.as_u32()?,
+                Some("arch") => {
+                    if self.peek() != Some(b'{') {
+                        return Err(FastMiss::Fallback);
+                    }
+                    req.arch = self.arch_obj()?;
+                }
+                Some("deadline_ms") => req.deadline_ms = self.opt_u64_value()?,
+                Some("class") => {
+                    let s = self.small_string_value()?;
+                    req.class = RequestClass::parse(s.as_str().ok_or(FastMiss::Fallback)?)
+                        .ok_or(FastMiss::Fallback)?;
+                }
+                Some("notify") => req.notify = self.bool_value()?,
+                Some("schema_version") => req.schema_version = self.opt_u32_value()?,
+                _ => self.skip_value()?,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(FastMiss::Fallback),
+            }
+        }
+        if !have_workload {
+            return Err(FastMiss::Fallback);
+        }
+        Ok(req)
+    }
+}
+
+/// Writes `Some(v)` with the shim's exact float formatting (`{v}` plus a
+/// `.0` suffix when the text has no `.`/`e`/`E`), `None`/non-finite as
+/// `null` — without allocating.
+fn encode_f64_opt(out: &mut String, v: Option<f64>) {
+    use std::fmt::Write as _;
+    match v {
+        Some(v) if v.is_finite() => {
+            // Write straight into the output buffer, then inspect only the
+            // appended bytes. `Display` for f64 is usually ≤ 24 bytes but
+            // subnormals expand to ~770 digits — no fixed stack buffer is
+            // safe, and a reused `String` stays allocation-free once warm.
+            let start = out.len();
+            let _ = write!(out, "{v}");
+            if !out[start..].contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        _ => out.push_str("null"),
+    }
+}
+
+/// Writes `Some(s)` escaped exactly like the shim's `write_escaped`,
+/// `None` as `null`.
+fn encode_str_opt(out: &mut String, s: Option<&str>) {
+    let Some(s) = s else {
+        out.push_str("null");
+        return;
+    };
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                let v = c as u32;
+                out.push_str("\\u00");
+                out.push(HEX[(v >> 4) as usize] as char);
+                out.push(HEX[(v & 0xf) as usize] as char);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 #[cfg(test)]

@@ -20,6 +20,16 @@
 //! - `{"cmd": "workloads"}` → the served workload catalog
 //! - `{"cmd": "schema"}` → the served feature schema (version + blocks)
 //!
+//! Request lines take a zero-allocation fast path once a connection is
+//! warm: a single-pass borrowed decoder
+//! ([`decode_request_line`](crate::protocol::decode_request_line)) fills a
+//! reusable request buffer, the whole batch enqueues under one shard lock
+//! against recycled response slots, and the reply is encoded into a
+//! per-connection buffer and written with one `write` + `flush`. Control
+//! commands, malformed input, and anything the fast decoder declines fall
+//! back to the `serde_json::Value` path, which stays the single source of
+//! truth for error messages.
+//!
 //! A connection arriving past the cap is answered with one typed error line
 //! — `{"error": ..., "type": "busy", ...}` — and closed, so clients can
 //! distinguish "retry later" from a protocol failure. Because upgrade lines
@@ -32,12 +42,14 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use serde_json::{json, Value};
 
-use crate::protocol::{PredictRequest, PredictResponse};
-use crate::service::PredictionService;
-use crate::Client;
+use crate::protocol::{decode_request_line, DecodedShape, PredictRequest, PredictResponse};
+use crate::service::{submit_many, submit_slot, Job, PredictionService};
+use crate::slots::SlotReceiver;
+use crate::{Client, ServeError};
 
 /// The served workload catalog (shared with `concorde workloads --json`).
 pub fn workload_catalog() -> Value {
@@ -172,20 +184,156 @@ fn recv_first(
     Ok(resp)
 }
 
+/// Slot-path twin of [`spawn_upgrade_waiter`]: holds the shed request's
+/// [`SlotReceiver`] until the exact answer lands, then pushes the
+/// `{"type":"upgrade"}` line. Dropping the receiver afterwards retires the
+/// slot's generation and recycles it.
+fn spawn_slot_upgrade_waiter(rx: SlotReceiver, writer: SharedWriter) {
+    let _ = std::thread::Builder::new()
+        .name("concorde-upgrade-push".to_string())
+        .spawn(move || {
+            let resp = rx.recv();
+            if resp.is_upgrade() {
+                let mut line = String::new();
+                resp.encode_json_into(&mut line);
+                let _ = write_line(&writer, &line);
+            }
+        });
+}
+
+/// One reply owed by the fast path, in request order: a live response slot,
+/// or an error response minted at submit time (a failed submission keeps
+/// its place in the reply array instead of discarding the batch).
+enum Pending {
+    Rx(SlotReceiver),
+    Err(PredictResponse),
+}
+
+/// Per-connection reusable buffers. Once warm, a request line is read,
+/// decoded, submitted, received, and answered entirely out of these — zero
+/// heap allocations end to end.
+#[derive(Default)]
+struct ConnScratch {
+    reqs: Vec<PredictRequest>,
+    notify: Vec<bool>,
+    rxs: Vec<SlotReceiver>,
+    jobs: Vec<Job>,
+    pending: Vec<Pending>,
+    out: String,
+}
+
 fn handle_connection(client: Client, stream: TcpStream) -> std::io::Result<()> {
     let peer = stream.peer_addr()?;
+    crate::metrics::log_connection("open", peer);
     let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut scratch = ConnScratch::default();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let reply = handle_line(&client, &line, &writer);
-        write_line(&writer, &reply.to_string())?;
+        // Warm path: single-pass borrowed decode straight into the scratch
+        // request buffer. Anything the fast decoder declines — control
+        // objects, malformed JSON, exotic shapes — falls back to the
+        // `Value` path, which owns error messages and `cmd` handling.
+        match decode_request_line(&line, &mut scratch.reqs) {
+            Ok(shape) => handle_fast(&client, shape, &writer, &mut scratch)?,
+            Err(_) => {
+                let reply = handle_line(&client, &line, &writer);
+                write_line(&writer, &reply.to_string())?;
+            }
+        }
     }
-    let _ = peer;
+    crate::metrics::log_connection("close", peer);
     Ok(())
+}
+
+/// The warm wire path: a fast-decoded request line is submitted as one
+/// batch against recycled response slots, and the reply is encoded into the
+/// connection's reusable buffer — one `write` + `flush` for the whole
+/// batch. Submission failures are answered per request, in place, so one
+/// failed enqueue never drops replies to requests already submitted.
+fn handle_fast(
+    client: &Client,
+    shape: DecodedShape,
+    writer: &SharedWriter,
+    s: &mut ConnScratch,
+) -> std::io::Result<()> {
+    let shared = client.shared();
+    s.notify.clear();
+    s.notify.extend(s.reqs.iter().map(|r| r.notify));
+    s.pending.clear();
+    match submit_many(shared, &mut s.reqs, &mut s.rxs, &mut s.jobs) {
+        Ok(()) => s.pending.extend(s.rxs.drain(..).map(Pending::Rx)),
+        Err(e) if shape == DecodedShape::Single => {
+            // Single requests keep the legacy contract: an immediate
+            // `{"error": ...}` object (no retry) when the queue is full or
+            // the service is shutting down.
+            s.reqs.clear();
+            let reply = json!({ "error": e.to_string() });
+            return write_line(writer, &reply.to_string());
+        }
+        Err(ServeError::QueueFull) => {
+            // The bulk all-or-nothing reservation did not fit; degrade to
+            // per-request submission with the same sleep-poll backpressure
+            // as `Client::submit_blocking`, which makes progress even when
+            // the batch exceeds the entire queue capacity.
+            for req in s.reqs.drain(..) {
+                let pend = loop {
+                    match submit_slot(shared, req.clone()) {
+                        Ok(rx) => break Pending::Rx(rx),
+                        Err(ServeError::QueueFull) => {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Err(e) => {
+                            break Pending::Err(PredictResponse::err(req.id, e.to_string(), 0))
+                        }
+                    }
+                };
+                s.pending.push(pend);
+            }
+        }
+        Err(e) => {
+            // Shutting down before anything enqueued: every request in the
+            // batch gets its own error response, in order.
+            for req in s.reqs.drain(..) {
+                s.pending
+                    .push(Pending::Err(PredictResponse::err(req.id, e.to_string(), 0)));
+            }
+        }
+    }
+    s.out.clear();
+    let batch = shape == DecodedShape::Batch;
+    if batch {
+        s.out.push('[');
+    }
+    for (i, pend) in s.pending.drain(..).enumerate() {
+        if i > 0 {
+            s.out.push(',');
+        }
+        match pend {
+            Pending::Err(resp) => resp.encode_json_into(&mut s.out),
+            Pending::Rx(rx) => {
+                let resp = rx.recv();
+                resp.encode_json_into(&mut s.out);
+                if s.notify[i] && resp.approx {
+                    spawn_slot_upgrade_waiter(rx, Arc::clone(writer));
+                }
+            }
+        }
+    }
+    if batch {
+        s.out.push(']');
+    }
+    s.out.push('\n');
+    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+    w.write_all(s.out.as_bytes())?;
+    w.flush()
 }
 
 fn handle_line(client: &Client, line: &str, writer: &SharedWriter) -> Value {
@@ -201,20 +349,23 @@ fn handle_line(client: &Client, line: &str, writer: &SharedWriter) -> Value {
             };
             // Mirrors `Client::predict_many` (submit all with backpressure,
             // then collect in order), but keeps each receiver so notified
-            // shed answers can leave an upgrade waiter behind.
+            // shed answers can leave an upgrade waiter behind. A submission
+            // or delivery failure is answered per request, in place — it
+            // used to collapse the whole reply into one error object,
+            // silently dropping the responses of requests already
+            // submitted (and leaving the client unable to match replies to
+            // requests).
             let mut pending = Vec::with_capacity(reqs.len());
             for req in reqs {
                 let notify = req.notify;
-                match client.submit_blocking(req) {
-                    Ok(rx) => pending.push((rx, notify)),
-                    Err(e) => return json!({ "error": e.to_string() }),
-                }
+                let id = req.id;
+                pending.push((id, notify, client.submit_blocking(req)));
             }
             let mut resps = Vec::with_capacity(pending.len());
-            for (rx, notify) in pending {
-                match recv_first(rx, notify, writer) {
+            for (id, notify, sub) in pending {
+                match sub.and_then(|rx| recv_first(rx, notify, writer)) {
                     Ok(resp) => resps.push(resp),
-                    Err(e) => return json!({ "error": e.to_string() }),
+                    Err(e) => resps.push(PredictResponse::err(id, e.to_string(), 0)),
                 }
             }
             serde_json::to_value(&resps).expect("serialize responses")

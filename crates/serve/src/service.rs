@@ -43,15 +43,16 @@ use concorde_core::cache::{
 };
 use concorde_core::features::FeatureStore;
 use concorde_core::minbound::MinBoundEstimator;
-use concorde_core::model::{ConcordePredictor, ModelEncoding};
+use concorde_core::model::{ConcordePredictor, ModelEncoding, PredictScratch};
 use concorde_core::schema::{FeatureSchema, SCHEMA_VERSION};
 use concorde_core::sweep::{ReproProfile, SweepConfig};
 use concorde_cyclesim::MicroArch;
-use concorde_ml::{MlpScratch, QuantFeatureBuf, QuantScratch, QuantizedMlp};
+use concorde_ml::QuantizedMlp;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::{Histogram, HistogramSnapshot, PromWriter};
 use crate::protocol::{PredictRequest, PredictResponse, RequestClass, N_CLASSES};
+use crate::slots::{SlotPool, SlotReceiver, SlotSender};
 
 /// Largest per-request region length the service will generate (the paper's
 /// full-scale regions are 100k instructions; this leaves ample headroom
@@ -591,10 +592,32 @@ pub struct CacheReport {
     pub per_shard: Vec<ShardStats>,
 }
 
-struct Job {
+/// Where a job's response goes: a recycled slot from the service's
+/// [`SlotPool`] (the warm path — no per-request channel allocation), or a
+/// plain mpsc sender (the compatibility shim behind [`crate::Client::submit`],
+/// whose public signature returns an `mpsc::Receiver`).
+pub(crate) enum ResponseTx {
+    /// Generation-tagged slab slot (see [`crate::slots`]).
+    Slot(SlotSender),
+    /// Legacy per-request channel.
+    Mpsc(mpsc::Sender<PredictResponse>),
+}
+
+impl ResponseTx {
+    fn send(&self, resp: PredictResponse) {
+        match self {
+            ResponseTx::Slot(tx) => tx.send(resp),
+            ResponseTx::Mpsc(tx) => {
+                let _ = tx.send(resp);
+            }
+        }
+    }
+}
+
+pub(crate) struct Job {
     req: PredictRequest,
     enqueued: Instant,
-    tx: mpsc::Sender<PredictResponse>,
+    tx: ResponseTx,
     /// True once the job has been parked on an in-flight precompute and
     /// re-enqueued: its store was built on demand, so the response must
     /// report `cached: false` even though the re-run finds a cache hit.
@@ -628,7 +651,7 @@ impl Job {
 /// A queued cache-miss build for the precompute pool.
 struct PrecomputeTask {
     key: FeatureKey,
-    sweep: SweepConfig,
+    sweep: Arc<SweepConfig>,
     /// Arrival order, the FIFO tie-breaker when parked counts are equal.
     seq: u64,
     /// Times a pop chose a different task over this one; at
@@ -700,6 +723,24 @@ fn pick_task(
         .unwrap_or(0)
 }
 
+/// One run-queue shard: its own lock and wakeup channel. Submitters spread
+/// jobs round-robin across shards; each worker drains "its" shard first and
+/// steals from the others when it comes up empty, so steady-state submission
+/// and collection never serialize on one global queue lock.
+struct Shard {
+    q: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
     model: ConcordePredictor,
@@ -707,8 +748,22 @@ pub(crate) struct Shared {
     /// `cfg.model_encoding` is [`ModelEncoding::Int8`]; `None` ⇒ serve f32.
     qmlp: Option<QuantizedMlp>,
     profile: ReproProfile,
-    queue: Mutex<VecDeque<Job>>,
-    notify: Condvar,
+    /// Per-worker run-queue shards (see [`Shard`]).
+    shards: Vec<Shard>,
+    /// Jobs across all shards, *including* slots reserved by an in-progress
+    /// push — the capacity check, the depth gauge, and the shutdown drain
+    /// test all read this instead of sweeping every shard lock.
+    queue_len: AtomicUsize,
+    /// Round-robin shard cursor for submissions.
+    rr: AtomicUsize,
+    /// Recycled response slots (the warm path's channel replacement).
+    slot_pool: Arc<SlotPool>,
+    /// The §5.2.3 quantized sweep + its content hash, computed once at
+    /// startup: under [`SweepScope::Quantized`] every request shares this
+    /// one config, so the hot path neither rebuilds the grids nor re-hashes
+    /// them per job.
+    quant_sweep: Arc<SweepConfig>,
+    quant_sweep_hash: u64,
     cache: ShardedStoreCache,
     /// Single-flight registry: key → jobs parked on that key's in-flight
     /// build. Presence of an entry means exactly one build is queued or
@@ -802,14 +857,20 @@ impl PredictionService {
             ModelEncoding::Int8 => Some(model.quantized()),
             ModelEncoding::F32 => None,
         };
+        let quant_sweep = Arc::new(SweepConfig::quantized());
+        let quant_sweep_hash = sweep_content_hash(&quant_sweep);
         let shared = Arc::new(Shared {
             cache: ShardedStoreCache::new(cfg.effective_cache_shards(), cfg.cache_bytes),
             cfg,
             model,
             qmlp,
             profile,
-            queue: Mutex::new(VecDeque::new()),
-            notify: Condvar::new(),
+            shards: (0..n_workers).map(|_| Shard::new()).collect(),
+            queue_len: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            slot_pool: Arc::new(SlotPool::default()),
+            quant_sweep,
+            quant_sweep_hash,
             inflight: Mutex::new(HashMap::new()),
             inflight_builds: AtomicUsize::new(0),
             pre_queue: Mutex::new(Vec::new()),
@@ -828,7 +889,7 @@ impl PredictionService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("concorde-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -955,10 +1016,34 @@ impl Drop for PredictionService {
         // flight, so every parked job is re-enqueued and answered first —
         // the pool must still be alive to land those stores.
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.notify.notify_all();
+        for s in &self.shared.shards {
+            s.cv.notify_all();
+        }
         self.shared.pre_notify.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // A submitter that passed the shutdown check just before the flag
+        // landed may have pushed after the last worker's final empty check;
+        // answer those jobs instead of stranding their waiters. No new
+        // builds can register (the workers are gone), so nothing refills
+        // the shards after this sweep.
+        for shard in &self.shared.shards {
+            loop {
+                let job = shard
+                    .q
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                let Some(job) = job else { break };
+                self.shared.queue_len.fetch_sub(1, Ordering::SeqCst);
+                let us = job.enqueued.elapsed().as_micros() as u64;
+                respond(
+                    &self.shared,
+                    &job,
+                    PredictResponse::err(job.req.id, ServeError::ShuttingDown.to_string(), us),
+                );
+            }
         }
         // Phase 2: with the workers gone nothing can queue new builds;
         // release the pool.
@@ -970,52 +1055,146 @@ impl Drop for PredictionService {
     }
 }
 
+/// Builds a [`Job`] around `req`, resolving its effective deadline (the
+/// request's own `deadline_ms`, else its class's SLO, else the server-wide
+/// miss SLO — the EDF key the precompute pool orders builds by).
+fn make_job(shared: &Shared, req: PredictRequest, tx: ResponseTx) -> Job {
+    let enqueued = Instant::now();
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or_else(|| shared.cfg.class_slo.get(req.class))
+        .or(shared.cfg.miss_slo)
+        .map(|d| enqueued + d);
+    Job {
+        req,
+        enqueued,
+        tx,
+        parked: false,
+        deadline,
+        upgrade: false,
+    }
+}
+
+/// Reserves `n` queue slots against the bounded capacity (all-or-nothing,
+/// so a wire batch enqueues atomically or not at all).
+fn reserve(shared: &Shared, n: usize) -> Result<(), ServeError> {
+    // Racing the flag (instead of checking under a global queue lock, which
+    // no longer exists) can strand at most the handful of jobs pushed in the
+    // window between the last worker's final empty check and the flag
+    // landing — the service `Drop` sweeps the shards and answers those.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(ServeError::ShuttingDown);
+    }
+    shared
+        .queue_len
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |len| {
+            (len + n <= shared.cfg.queue_capacity).then_some(len + n)
+        })
+        .map_err(|_| {
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            ServeError::QueueFull
+        })?;
+    Ok(())
+}
+
+/// Publishes the depth gauge and wakes workers after `n` jobs landed on
+/// shard `idx`. A batch bigger than one worker's `max_batch` also pokes the
+/// other shards so their (possibly sleeping) workers come steal the spill.
+fn notify_enqueued(shared: &Shared, idx: usize, n: usize) {
+    let depth = shared.queue_len.load(Ordering::SeqCst);
+    shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
+    shared
+        .metrics
+        .max_queue_depth
+        .fetch_max(depth, Ordering::Relaxed);
+    shared.shards[idx].cv.notify_all();
+    if n > shared.cfg.max_batch {
+        for (i, s) in shared.shards.iter().enumerate() {
+            if i != idx {
+                s.cv.notify_one();
+            }
+        }
+    }
+}
+
+/// Enqueues one job on the next round-robin shard. Capacity must already be
+/// reserved.
+fn push_one(shared: &Shared, job: Job) {
+    let idx = shared.rr.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
+    shared.shards[idx]
+        .q
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push_back(job);
+    shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+    notify_enqueued(shared, idx, 1);
+}
+
+/// Submit via the legacy per-request mpsc channel — the compatibility shim
+/// behind [`crate::Client::submit`], whose public signature returns an
+/// `mpsc::Receiver`. The warm wire path uses [`submit_slot`]/[`submit_many`]
+/// instead.
 pub(crate) fn submit(
     shared: &Shared,
     req: PredictRequest,
 ) -> Result<mpsc::Receiver<PredictResponse>, ServeError> {
     let (tx, rx) = mpsc::channel();
-    {
-        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        // Checked under the queue lock: workers make their final
-        // shutdown-and-empty check under this same lock, so a job enqueued
-        // here is guaranteed to be either drained or rejected — never
-        // stranded after the last worker exits.
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Err(ServeError::ShuttingDown);
-        }
-        if q.len() >= shared.cfg.queue_capacity {
-            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(ServeError::QueueFull);
-        }
-        let enqueued = Instant::now();
-        // Effective deadline: the request's own deadline_ms, else its
-        // class's SLO, else the server-wide miss SLO — the EDF key the
-        // precompute pool orders builds by.
-        let deadline = req
-            .deadline_ms
-            .map(Duration::from_millis)
-            .or_else(|| shared.cfg.class_slo.get(req.class))
-            .or(shared.cfg.miss_slo)
-            .map(|d| enqueued + d);
-        q.push_back(Job {
-            req,
-            enqueued,
-            tx,
-            parked: false,
-            deadline,
-            upgrade: false,
-        });
-        let depth = q.len();
-        shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.queue_depth.store(depth, Ordering::Relaxed);
-        shared
-            .metrics
-            .max_queue_depth
-            .fetch_max(depth, Ordering::Relaxed);
-    }
-    shared.notify.notify_one();
+    reserve(shared, 1)?;
+    push_one(shared, make_job(shared, req, ResponseTx::Mpsc(tx)));
     Ok(rx)
+}
+
+/// Submit against a recycled response slot (no per-request allocation once
+/// the slab is warm). Dropping the returned receiver releases the slot.
+pub(crate) fn submit_slot(
+    shared: &Shared,
+    req: PredictRequest,
+) -> Result<SlotReceiver, ServeError> {
+    reserve(shared, 1)?;
+    let rx = shared.slot_pool.acquire();
+    push_one(shared, make_job(shared, req, ResponseTx::Slot(rx.sender())));
+    Ok(rx)
+}
+
+/// Enqueues a whole wire batch under **one** shard lock: one capacity
+/// reservation, one lock acquisition, one wakeup — instead of N global
+/// queue round-trips. All-or-nothing: on `Err` nothing was enqueued and
+/// `reqs` is untouched (callers fall back to per-request submission, which
+/// makes progress even when the batch exceeds the whole queue capacity).
+///
+/// On success `reqs` is drained; a slot receiver per request is appended to
+/// `rxs` in request order. `jobs` is caller-owned scratch so the warm path
+/// reuses its capacity.
+pub(crate) fn submit_many(
+    shared: &Shared,
+    reqs: &mut Vec<PredictRequest>,
+    rxs: &mut Vec<SlotReceiver>,
+    jobs: &mut Vec<Job>,
+) -> Result<(), ServeError> {
+    let n = reqs.len();
+    if n == 0 {
+        return Ok(());
+    }
+    reserve(shared, n)?;
+    jobs.clear();
+    for req in reqs.drain(..) {
+        let rx = shared.slot_pool.acquire();
+        jobs.push(make_job(shared, req, ResponseTx::Slot(rx.sender())));
+        rxs.push(rx);
+    }
+    let idx = shared.rr.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
+    shared.shards[idx]
+        .q
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .extend(jobs.drain(..));
+    shared
+        .metrics
+        .submitted
+        .fetch_add(n as u64, Ordering::Relaxed);
+    notify_enqueued(shared, idx, n);
+    Ok(())
 }
 
 pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
@@ -1264,76 +1443,147 @@ pub(crate) fn prometheus_text(shared: &Shared) -> String {
     w.finish()
 }
 
-/// Collects one micro-batch: blocks for the first job, then keeps draining
-/// until the batch is full or the deadline passes.
-///
-/// Returns an empty batch only at shutdown, and then only once the queue is
-/// empty *and* no precompute is in flight — parked jobs get re-enqueued when
-/// their store lands, so a worker exiting earlier could strand them.
-fn collect_batch(shared: &Shared) -> Vec<Job> {
-    let mut batch = Vec::new();
-    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst)
-            && q.is_empty()
-            && shared.inflight_builds.load(Ordering::SeqCst) == 0
-        {
-            return batch;
+/// True once every shutdown-drain obligation is met. Read order matters:
+/// [`requeue_parked`] pushes its jobs (growing `queue_len`) *before*
+/// releasing the build slot (`inflight_builds -= 1`), so a thread that
+/// observes zero in-flight builds first and then an empty queue cannot have
+/// raced past a requeue — if all decrements had landed, so had their pushes,
+/// and the length read (sequenced after) would have seen them.
+fn drained_for_shutdown(shared: &Shared) -> bool {
+    shared.shutdown.load(Ordering::SeqCst)
+        && shared.inflight_builds.load(Ordering::SeqCst) == 0
+        && shared.queue_len.load(Ordering::SeqCst) == 0
+}
+
+/// Pops up to `max - batch.len()` jobs off a locked shard queue, keeping the
+/// global length counter and depth gauge in step.
+fn drain_locked(shared: &Shared, q: &mut VecDeque<Job>, batch: &mut Vec<Job>, max: usize) {
+    let mut taken = 0usize;
+    while batch.len() < max {
+        match q.pop_front() {
+            Some(j) => {
+                batch.push(j);
+                taken += 1;
+            }
+            None => break,
         }
-        if !q.is_empty() {
-            break;
-        }
-        // Timed wait: robust against lost wakeups during shutdown and while
-        // awaiting re-enqueued parked jobs.
-        let (qq, _) = shared
-            .notify
-            .wait_timeout(q, Duration::from_millis(50))
-            .unwrap_or_else(|e| e.into_inner());
-        q = qq;
     }
-    let deadline = Instant::now() + shared.cfg.batch_deadline;
-    loop {
-        while batch.len() < shared.cfg.max_batch {
-            match q.pop_front() {
-                Some(j) => batch.push(j),
-                None => break,
+    if taken > 0 {
+        let after = shared.queue_len.fetch_sub(taken, Ordering::SeqCst) - taken;
+        shared.metrics.queue_depth.store(after, Ordering::Relaxed);
+    }
+}
+
+/// Collects one micro-batch into `batch` (cleared first): waits on the
+/// worker's own shard, drains it, steals front-first from the other shards
+/// when it comes up empty, then holds the batch open until full or
+/// [`ServeConfig::batch_deadline`] for stragglers.
+///
+/// Leaves `batch` empty only when there was nothing to take — at shutdown
+/// (the worker loop re-checks [`drained_for_shutdown`] before exiting, so a
+/// parked job awaiting its store can never strand) or when a steal raced
+/// another worker to the same jobs.
+fn collect_batch(shared: &Shared, wid: usize, batch: &mut Vec<Job>) {
+    batch.clear();
+    let nsh = shared.shards.len();
+    let my = &shared.shards[wid % nsh];
+    {
+        let mut q = my.q.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !q.is_empty() {
+                break;
+            }
+            if shared.queue_len.load(Ordering::SeqCst) > 0 {
+                break; // work on some other shard: go steal it
+            }
+            if drained_for_shutdown(shared) {
+                return;
+            }
+            // Timed wait: robust against lost wakeups during shutdown and
+            // while awaiting re-enqueued parked jobs.
+            let (qq, _) = my
+                .cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            q = qq;
+        }
+        drain_locked(shared, &mut q, batch, shared.cfg.max_batch);
+    }
+    if batch.is_empty() {
+        for off in 1..nsh {
+            let sh = &shared.shards[(wid + off) % nsh];
+            let mut q = sh.q.lock().unwrap_or_else(|e| e.into_inner());
+            drain_locked(shared, &mut q, batch, shared.cfg.max_batch);
+            drop(q);
+            if !batch.is_empty() {
+                break;
             }
         }
-        shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
+        if batch.is_empty() {
+            return;
+        }
+    }
+    if batch.len() >= shared.cfg.max_batch || shared.shutdown.load(Ordering::SeqCst) {
+        return;
+    }
+    // Straggler window: keep the batch open on this worker's own shard until
+    // it fills or the deadline passes (flush-on-size-or-deadline).
+    let deadline = Instant::now() + shared.cfg.batch_deadline;
+    let mut q = my.q.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        drain_locked(shared, &mut q, batch, shared.cfg.max_batch);
         if batch.len() >= shared.cfg.max_batch || shared.shutdown.load(Ordering::SeqCst) {
-            return batch;
+            return;
         }
         let now = Instant::now();
         if now >= deadline {
-            return batch;
+            return;
         }
-        let (qq, timeout) = shared
-            .notify
+        let (qq, timeout) = my
+            .cv
             .wait_timeout(q, deadline - now)
             .unwrap_or_else(|e| e.into_inner());
         q = qq;
         if timeout.timed_out() && q.is_empty() {
-            return batch;
+            return;
         }
     }
 }
 
-/// Per-worker reusable buffers: the f32 MLP scratch plus the fused-path
-/// quantized feature buffer and accumulators (warm after the first batch,
-/// so steady-state int8 serving allocates nothing per request).
+/// Per-worker reusable buffers: batch/group staging plus the full
+/// prediction scratch ([`PredictScratch`]: MLP activations, quantized
+/// feature buffer, assembly plan, dedup tables). Warm after the first
+/// batch, so steady-state serving allocates nothing per request.
 #[derive(Default)]
 struct WorkerScratch {
-    mlp: MlpScratch,
-    qbuf: QuantFeatureBuf,
-    quant: QuantScratch,
+    predict: PredictScratch,
+    batch: Vec<Job>,
+    groups: Vec<Group>,
+    group_idx: HashMap<FeatureKey, usize>,
+    /// Recycled per-group job vectors (capacity-retaining).
+    spare_jobs: Vec<ArchJobs>,
+    archs: Vec<MicroArch>,
+    outs: Vec<f64>,
+    /// Per-arch sweep memo for [`SweepScope::PerArch`]: repeated
+    /// microarchitectures reuse the built `SweepConfig` + content hash
+    /// instead of re-allocating the grid per request (linear scan —
+    /// `MicroArch` is `PartialEq`-only — over a small FIFO window).
+    sweep_memo: Vec<(MicroArch, Arc<SweepConfig>, u64)>,
 }
 
-fn worker_loop(shared: &Shared) {
+/// Entries kept in [`WorkerScratch::sweep_memo`] before the oldest is
+/// evicted. Covers typical steady-state arch working sets; misses just pay
+/// the old build-per-request cost.
+const SWEEP_MEMO_CAP: usize = 32;
+
+fn worker_loop(shared: &Shared, wid: usize) {
     let mut scratch = WorkerScratch::default();
     loop {
-        let batch = collect_batch(shared);
+        let mut batch = std::mem::take(&mut scratch.batch);
+        collect_batch(shared, wid, &mut batch);
         if batch.is_empty() {
-            if shared.shutdown.load(Ordering::SeqCst) {
+            scratch.batch = batch;
+            if drained_for_shutdown(shared) {
                 return;
             }
             continue;
@@ -1344,17 +1594,20 @@ fn worker_loop(shared: &Shared) {
             .batch_requests
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         shared.metrics.batch_size.observe(batch.len() as f64);
-        process_batch(shared, batch, &mut scratch);
+        process_batch(shared, &mut batch, &mut scratch);
+        scratch.batch = batch;
     }
 }
 
 /// A missed group's jobs with their resolved architectures.
 type ArchJobs = Vec<(Job, MicroArch)>;
 
-/// A batch group: jobs sharing one feature store.
+/// A batch group: jobs sharing one feature store. The sweep is shared, not
+/// owned: under [`SweepScope::Quantized`] every group aliases the one
+/// startup-built config instead of re-deriving its grids per batch.
 struct Group {
     key: FeatureKey,
-    sweep: SweepConfig,
+    sweep: Arc<SweepConfig>,
     jobs: ArchJobs,
 }
 
@@ -1363,7 +1616,7 @@ fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
         // The job's primary (shed) response was already counted; the
         // upgrade is a push, not a completion — only its own counter moves.
         shared.metrics.upgrades.fetch_add(1, Ordering::Relaxed);
-        let _ = job.tx.send(resp);
+        job.tx.send(resp);
         return;
     }
     if resp.error.is_some() {
@@ -1373,14 +1626,15 @@ fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
     shared
         .metrics
         .observe_latency(job.req.class, job.enqueued.elapsed().as_micros() as u64);
-    let _ = job.tx.send(resp);
+    job.tx.send(resp);
 }
 
-fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut WorkerScratch) {
-    // Group by feature-store key, resolving architectures up front.
-    let mut groups: Vec<Group> = Vec::new();
-    let mut index: HashMap<FeatureKey, usize> = HashMap::new();
-    for job in batch {
+fn process_batch(shared: &Shared, batch: &mut Vec<Job>, scratch: &mut WorkerScratch) {
+    // Group by feature-store key, resolving architectures up front. The
+    // group table and index live in the worker scratch: cleared each batch,
+    // capacity (and the recycled per-group job vectors) retained.
+    let mut groups = std::mem::take(&mut scratch.groups);
+    for job in batch.drain(..) {
         // First pass only: a re-enqueued parked job's wait is park time, not
         // queue time, and is visible in end-to-end latency instead.
         if !job.parked {
@@ -1414,16 +1668,31 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut WorkerScratch) 
                 continue;
             }
         };
-        if concorde_trace::by_id(&job.req.workload).is_none() {
+        if concorde_trace::by_id_ref(&job.req.workload).is_none() {
             let id = job.req.id;
             let msg = format!("unknown workload `{}`", job.req.workload);
             let us = job.enqueued.elapsed().as_micros() as u64;
             respond(shared, &job, PredictResponse::err(id, msg, us));
             continue;
         }
-        let sweep = match shared.cfg.sweep {
-            SweepScope::Quantized => SweepConfig::quantized(),
-            SweepScope::PerArch => SweepConfig::for_arch(&arch),
+        // Quantized scope (the design-space-exploration shape) reuses the
+        // startup-built sweep + hash: no grid rebuild, no re-hash per job.
+        let (sweep, sweep_hash) = match shared.cfg.sweep {
+            SweepScope::Quantized => (Arc::clone(&shared.quant_sweep), shared.quant_sweep_hash),
+            SweepScope::PerArch => {
+                if let Some(i) = scratch.sweep_memo.iter().position(|(a, _, _)| *a == arch) {
+                    let (_, s, h) = &scratch.sweep_memo[i];
+                    (Arc::clone(s), *h)
+                } else {
+                    let s = Arc::new(SweepConfig::for_arch(&arch));
+                    let h = sweep_content_hash(&s);
+                    if scratch.sweep_memo.len() >= SWEEP_MEMO_CAP {
+                        scratch.sweep_memo.remove(0);
+                    }
+                    scratch.sweep_memo.push((arch, Arc::clone(&s), h));
+                    (s, h)
+                }
+            }
         };
         // Bound wire-controlled work: an unchecked `len` would let one
         // request allocate/generate gigabytes of trace (an allocation abort
@@ -1448,24 +1717,29 @@ fn process_batch(shared: &Shared, batch: Vec<Job>, scratch: &mut WorkerScratch) 
             trace: job.req.trace,
             start: job.req.start,
             region_len,
-            sweep_hash: sweep_content_hash(&sweep),
+            sweep_hash,
         };
-        match index.get(&key) {
+        match scratch.group_idx.get(&key) {
             Some(&g) => groups[g].jobs.push((job, arch)),
             None => {
-                index.insert(key.clone(), groups.len());
-                groups.push(Group {
-                    key,
-                    sweep,
-                    jobs: vec![(job, arch)],
-                });
+                scratch.group_idx.insert(key.clone(), groups.len());
+                let mut jobs = scratch.spare_jobs.pop().unwrap_or_default();
+                jobs.push((job, arch));
+                groups.push(Group { key, sweep, jobs });
             }
         }
     }
 
-    for group in groups {
+    for group in &mut groups {
         run_group(shared, group, scratch);
     }
+    for group in groups.drain(..) {
+        let mut jobs = group.jobs;
+        jobs.clear();
+        scratch.spare_jobs.push(jobs);
+    }
+    scratch.groups = groups;
+    scratch.group_idx.clear();
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
@@ -1486,20 +1760,30 @@ fn note_group_hit(shared: &Shared, jobs: &[(Job, MicroArch)]) {
     }
 }
 
-fn run_group(shared: &Shared, group: Group, scratch: &mut WorkerScratch) {
-    let Group { key, sweep, jobs } = group;
+fn run_group(shared: &Shared, group: &mut Group, scratch: &mut WorkerScratch) {
     if matches!(shared.cfg.miss_policy, MissPolicy::AsyncPool) {
-        match shared.cache.get(&key) {
+        match shared.cache.get(&group.key) {
             Some(store) => {
-                note_group_hit(shared, &jobs);
-                eval_group(shared, &store, &jobs, scratch, true);
+                note_group_hit(shared, &group.jobs);
+                eval_group(shared, &store, &group.jobs, scratch, true);
+                group.jobs.clear();
             }
             // Miss: park the whole group on the key's single-flight entry
-            // and move on — this worker never blocks on the build.
-            None => park_group(shared, key, sweep, jobs, scratch),
+            // and move on — this worker never blocks on the build. The cold
+            // path owns its allocations (key clone is inline, the job list
+            // moves into the registry).
+            None => {
+                let key = group.key.clone();
+                let sweep = Arc::clone(&group.sweep);
+                let jobs = std::mem::take(&mut group.jobs);
+                park_group(shared, key, sweep, jobs, scratch);
+            }
         }
         return;
     }
+    let key = &group.key;
+    let sweep = &group.sweep;
+    let jobs = &group.jobs;
 
     // Inline policy: fetch-or-build on this worker (the baseline path).
     // A panic anywhere in the analytic stage must not kill the worker
@@ -1507,7 +1791,7 @@ fn run_group(shared: &Shared, group: Group, scratch: &mut WorkerScratch) {
     // request at a time until the service wedges): isolate the build,
     // answer the group's requests with an error, and keep serving.
     // Evaluation itself is guarded inside `eval_group`.
-    let (store, was_cached) = match shared.cache.get(&key) {
+    let (store, was_cached) = match shared.cache.get(key) {
         Some(s) => {
             shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             (s, true)
@@ -1516,7 +1800,7 @@ fn run_group(shared: &Shared, group: Group, scratch: &mut WorkerScratch) {
             shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Arc::new(precompute_store(shared, &key, &sweep))
+                Arc::new(precompute_store(shared, key, sweep))
             }));
             match outcome {
                 Ok(store) => {
@@ -1530,7 +1814,7 @@ fn run_group(shared: &Shared, group: Group, scratch: &mut WorkerScratch) {
                 }
                 Err(panic) => {
                     let msg = panic_message(panic);
-                    for (job, _) in &jobs {
+                    for (job, _) in jobs {
                         let us = job.enqueued.elapsed().as_micros() as u64;
                         respond(
                             shared,
@@ -1538,12 +1822,14 @@ fn run_group(shared: &Shared, group: Group, scratch: &mut WorkerScratch) {
                             PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
                         );
                     }
+                    group.jobs.clear();
                     return;
                 }
             }
         }
     };
-    eval_group(shared, &store, &jobs, scratch, was_cached);
+    eval_group(shared, &store, jobs, scratch, was_cached);
+    group.jobs.clear();
 }
 
 /// One batched forward pass for a group whose store is in hand, with the
@@ -1555,22 +1841,27 @@ fn eval_group(
     scratch: &mut WorkerScratch,
     was_cached: bool,
 ) {
-    let archs: Vec<MicroArch> = jobs.iter().map(|(_, a)| *a).collect();
-    let WorkerScratch { mlp, qbuf, quant } = scratch;
+    let archs = &mut scratch.archs;
+    archs.clear();
+    archs.extend(jobs.iter().map(|(_, a)| *a));
+    let predict = &mut scratch.predict;
+    let outs = &mut scratch.outs;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         match &shared.qmlp {
             // Int8 serving: fused dequantize-assembly — the store's encoded
             // blocks feed the quantized first layer directly, never
-            // materializing the f32 feature vector.
+            // materializing the f32 feature vector. Both paths dedup
+            // repeated architectures and walk the arena in grid order
+            // (batched assembly), writing into the reused output buffer.
             Some(qmlp) => shared
                 .model
-                .predict_batch_quantized_with(qmlp, store, &archs, qbuf, quant),
-            None => shared.model.predict_batch_with(store, &archs, mlp),
+                .predict_batch_quantized_into(qmlp, store, archs, predict, outs),
+            None => shared.model.predict_batch_into(store, archs, predict, outs),
         }
     }));
     match outcome {
-        Ok(cpis) => {
-            for ((job, _), cpi) in jobs.iter().zip(cpis) {
+        Ok(()) => {
+            for ((job, _), &cpi) in jobs.iter().zip(scratch.outs.iter()) {
                 let us = job.enqueued.elapsed().as_micros() as u64;
                 let resp = if job.upgrade {
                     // This job was already answered with the shed min-bound;
@@ -1681,14 +1972,14 @@ fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) -> Vec<Job> {
     }
     if !missing.is_empty() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let spec = concorde_trace::by_id(&key.workload).expect("validated before grouping");
+            let spec = concorde_trace::by_id_ref(&key.workload).expect("validated before grouping");
             // Same region/warmup convention as `precompute_store`, so the
             // min-bound is computed over exactly the instructions the exact
             // store will cover.
             let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);
             let warm_len = (key.start - warm_start) as usize;
             let region = concorde_trace::generate_region(
-                &spec,
+                spec,
                 key.trace,
                 warm_start,
                 warm_len + key.region_len as usize,
@@ -1771,17 +2062,31 @@ fn park_for_upgrade(shared: &Shared, key: &FeatureKey, jobs: Vec<Job>) {
             None => jobs,
         }
     };
-    if leftover.is_empty() {
+    push_front_batch(shared, leftover);
+}
+
+/// Re-enqueues jobs at the *front* of one round-robin shard (they have
+/// waited the longest, and keeping a parked group together lets it re-batch
+/// onto its now-cached store in one forward pass). Bypasses the capacity
+/// check, like the single-queue push_front it replaces — these jobs already
+/// held queue slots once.
+fn push_front_batch(shared: &Shared, jobs: Vec<Job>) {
+    if jobs.is_empty() {
         return;
     }
+    let n = jobs.len();
+    shared.queue_len.fetch_add(n, Ordering::SeqCst);
+    let idx = shared.rr.fetch_add(1, Ordering::Relaxed) % shared.shards.len();
     {
-        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        for job in leftover.into_iter().rev() {
+        let mut q = shared.shards[idx]
+            .q
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for job in jobs.into_iter().rev() {
             q.push_front(job);
         }
-        shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
     }
-    shared.notify.notify_all();
+    notify_enqueued(shared, idx, n);
 }
 
 /// Parks a missed group: joins the key's in-flight build if one exists
@@ -1795,7 +2100,7 @@ fn park_for_upgrade(shared: &Shared, key: &FeatureKey, jobs: Vec<Job>) {
 fn park_group(
     shared: &Shared,
     key: FeatureKey,
-    sweep: SweepConfig,
+    sweep: Arc<SweepConfig>,
     jobs: Vec<(Job, MicroArch)>,
     scratch: &mut WorkerScratch,
 ) {
@@ -1879,21 +2184,23 @@ fn take_parked(shared: &Shared, key: &FeatureKey) -> Vec<Job> {
         .unwrap_or_default()
 }
 
-/// Re-enqueues parked jobs at the front of the request queue (they have
-/// waited the longest) and releases the in-flight slot. The decrement runs
-/// under the queue lock so a shutting-down worker can never observe "queue
-/// empty, no builds in flight" between the two.
-fn requeue_parked(shared: &Shared, jobs: Vec<Job>) {
-    {
-        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-        for mut job in jobs.into_iter().rev() {
-            job.parked = true;
-            q.push_front(job);
-        }
-        shared.metrics.queue_depth.store(q.len(), Ordering::Relaxed);
-        shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
+/// Re-enqueues parked jobs at the front of a shard (they have waited the
+/// longest) and releases the in-flight slot. Ordering contract with
+/// [`drained_for_shutdown`]: the jobs are pushed — `queue_len` grown —
+/// *before* the `inflight_builds` decrement, so a shutting-down worker that
+/// reads "no builds in flight, queue empty" in that order can never have
+/// raced between the two and stranded these jobs.
+fn requeue_parked(shared: &Shared, mut jobs: Vec<Job>) {
+    for job in &mut jobs {
+        job.parked = true;
     }
-    shared.notify.notify_all();
+    push_front_batch(shared, jobs);
+    shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
+    // Wake every worker: sleepers re-check the drain condition, and any
+    // shard can steal the re-enqueued group.
+    for s in &shared.shards {
+        s.cv.notify_all();
+    }
 }
 
 /// The dedicated precompute pool: pops the missed key with the most parked
@@ -1998,11 +2305,12 @@ fn precompute_loop(shared: &Shared) {
                         PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
                     );
                 }
-                {
-                    let _q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-                    shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
+                // Every job was answered directly (nothing re-enqueued), so
+                // the bare decrement upholds the drain ordering trivially.
+                shared.inflight_builds.fetch_sub(1, Ordering::SeqCst);
+                for s in &shared.shards {
+                    s.cv.notify_all();
                 }
-                shared.notify.notify_all();
             }
         }
     }
@@ -2020,13 +2328,13 @@ impl Drop for PrecomputeSlot<'_> {
 }
 
 fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> FeatureStore {
-    let spec = concorde_trace::by_id(&key.workload).expect("validated before grouping");
+    let spec = concorde_trace::by_id_ref(&key.workload).expect("validated before grouping");
     // Same convention as `dataset.rs`: the region is [start, start + len),
     // functionally warmed by the up-to-`warmup_len` instructions before it.
     let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);
     let warm_len = (key.start - warm_start) as usize;
     let region = concorde_trace::generate_region(
-        &spec,
+        spec,
         key.trace,
         warm_start,
         warm_len + key.region_len as usize,
@@ -2097,13 +2405,13 @@ mod tests {
     fn task(start: u64, seq: u64) -> PrecomputeTask {
         PrecomputeTask {
             key: FeatureKey {
-                workload: "S5".to_string(),
+                workload: "S5".into(),
                 trace: 0,
                 start,
                 region_len: 2048,
                 sweep_hash: 7,
             },
-            sweep: SweepConfig::quantized(),
+            sweep: Arc::new(SweepConfig::quantized()),
             seq,
             bypassed: 0,
         }
@@ -2230,7 +2538,7 @@ mod tests {
         let mut job = Job {
             req: PredictRequest::new(1, "S5", crate::ArchSpec::default()),
             enqueued: Instant::now(),
-            tx,
+            tx: ResponseTx::Mpsc(tx),
             parked: false,
             deadline: None,
             upgrade: false,

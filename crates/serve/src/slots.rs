@@ -1,0 +1,231 @@
+//! Reusable response slots: the warm path's replacement for per-request
+//! `mpsc::channel()` pairs.
+//!
+//! `submit()` used to allocate a fresh mpsc channel (sender + receiver +
+//! internal queue) for every request. A [`SlotPool`] instead recycles a slab
+//! of [`SlotInner`]s: acquiring a slot pops a free index (no allocation when
+//! warm), the worker delivers through an [`SlotSender`], and dropping the
+//! [`SlotReceiver`] bumps the slot's **generation** and returns it to the
+//! free list. A parked, shed, or upgrade job can hold its sender arbitrarily
+//! long: if the receiver has moved on, the generation no longer matches and
+//! the late delivery is discarded instead of leaking into a recycled
+//! request. The legacy mpsc path stays available as a compatibility shim via
+//! [`crate::service::ResponseTx`].
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::protocol::PredictResponse;
+
+/// One response slot: a tiny generation-tagged mailbox.
+///
+/// A slot holds at most a handful of messages per generation (the first
+/// answer plus an optional `{"type":"upgrade"}` push), so the queue keeps
+/// its capacity across recycles and warm deliveries never allocate.
+#[derive(Debug)]
+struct SlotInner {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    /// Bumped every time the receiver releases the slot; senders carrying a
+    /// stale generation are ignored.
+    gen: u64,
+    msgs: VecDeque<PredictResponse>,
+}
+
+/// A recycling slab of response slots. One per service.
+#[derive(Debug, Default)]
+pub struct SlotPool {
+    inner: Mutex<PoolInner>,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    slots: Vec<Arc<SlotInner>>,
+    free: Vec<u32>,
+}
+
+impl SlotPool {
+    /// Acquires a slot, growing the slab only when the free list is empty.
+    pub fn acquire(self: &Arc<Self>) -> SlotReceiver {
+        let (slot, idx) = {
+            let mut p = self.inner.lock().unwrap();
+            match p.free.pop() {
+                Some(idx) => (Arc::clone(&p.slots[idx as usize]), idx),
+                None => {
+                    let slot = Arc::new(SlotInner {
+                        state: Mutex::new(SlotState {
+                            gen: 0,
+                            msgs: VecDeque::with_capacity(2),
+                        }),
+                        cv: Condvar::new(),
+                    });
+                    p.slots.push(Arc::clone(&slot));
+                    (slot, (p.slots.len() - 1) as u32)
+                }
+            }
+        };
+        let gen = slot.state.lock().unwrap().gen;
+        SlotReceiver {
+            slot,
+            gen,
+            idx,
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Slots currently live (acquired at least once).
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().slots.len()
+    }
+}
+
+/// Receiving half of a slot, held by the submitter. Dropping it retires the
+/// generation and recycles the slot.
+#[derive(Debug)]
+pub struct SlotReceiver {
+    slot: Arc<SlotInner>,
+    gen: u64,
+    idx: u32,
+    pool: Arc<SlotPool>,
+}
+
+impl SlotReceiver {
+    /// A sender delivering into this slot's current generation.
+    pub fn sender(&self) -> SlotSender {
+        SlotSender {
+            slot: Arc::clone(&self.slot),
+            gen: self.gen,
+        }
+    }
+
+    /// Blocks until a response is delivered.
+    pub fn recv(&self) -> PredictResponse {
+        let mut st = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(r) = st.msgs.pop_front() {
+                return r;
+            }
+            st = self.slot.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Blocks until a response is delivered or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<PredictResponse> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(r) = st.msgs.pop_front() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self.slot.cv.wait_timeout(st, deadline - now).unwrap();
+            st = g;
+        }
+    }
+
+    /// A response if one is already waiting (non-blocking).
+    pub fn try_recv(&self) -> Option<PredictResponse> {
+        self.slot.state.lock().unwrap().msgs.pop_front()
+    }
+}
+
+impl Drop for SlotReceiver {
+    fn drop(&mut self) {
+        {
+            let mut st = self.slot.state.lock().unwrap();
+            // Retire this generation: any sender still holding it becomes a
+            // no-op, and leftover messages never leak into the next request.
+            st.gen = st.gen.wrapping_add(1);
+            st.msgs.clear();
+        }
+        self.pool.inner.lock().unwrap().free.push(self.idx);
+    }
+}
+
+/// Sending half of a slot, carried inside a queued/parked job. Cloneable;
+/// deliveries against a retired generation are silently dropped (the same
+/// contract as sending on a closed mpsc channel).
+#[derive(Debug, Clone)]
+pub struct SlotSender {
+    slot: Arc<SlotInner>,
+    gen: u64,
+}
+
+impl SlotSender {
+    /// Delivers `resp` unless the receiver has already released the slot.
+    pub fn send(&self, resp: PredictResponse) {
+        let mut st = self.slot.state.lock().unwrap();
+        if st.gen == self.gen {
+            st.msgs.push_back(resp);
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_order_and_recycles() {
+        let pool = Arc::new(SlotPool::default());
+        let rx = pool.acquire();
+        let tx = rx.sender();
+        tx.send(PredictResponse::ok(1, 1.0, false, 5));
+        tx.send(PredictResponse::upgrade(1, 2.0, 9));
+        assert_eq!(rx.recv().cpi, Some(1.0));
+        assert!(rx.recv().is_upgrade());
+        drop(rx);
+        // Same slab slot is reused.
+        let rx2 = pool.acquire();
+        assert_eq!(pool.capacity(), 1);
+        drop(rx2);
+    }
+
+    #[test]
+    fn stale_generation_is_dropped() {
+        let pool = Arc::new(SlotPool::default());
+        let rx = pool.acquire();
+        let stale = rx.sender();
+        drop(rx); // retire the generation
+        let rx2 = pool.acquire(); // recycles the same slot
+        stale.send(PredictResponse::ok(7, 1.0, false, 1));
+        assert!(rx2.try_recv().is_none(), "stale delivery must not leak");
+        let fresh = rx2.sender();
+        fresh.send(PredictResponse::ok(8, 2.0, false, 1));
+        assert_eq!(rx2.recv().id, 8);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let pool = Arc::new(SlotPool::default());
+        let rx = pool.acquire();
+        assert!(rx.recv_timeout(Duration::from_millis(5)).is_none());
+        let tx = rx.sender();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(PredictResponse::ok(3, 1.5, true, 2));
+        });
+        let got = rx.recv_timeout(Duration::from_secs(5)).expect("delivered");
+        assert_eq!(got.id, 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let pool = Arc::new(SlotPool::default());
+        let rx = pool.acquire();
+        let tx = rx.sender();
+        let h = std::thread::spawn(move || tx.send(PredictResponse::ok(9, 0.5, false, 1)));
+        assert_eq!(rx.recv().id, 9);
+        h.join().unwrap();
+    }
+}

@@ -40,6 +40,6 @@ pub use pattern::AddressPattern;
 pub use program::{BasicBlock, BlockId, BranchBehavior, StaticProgram, Terminator};
 pub use region::{sample_region, DynTrace, RegionRef};
 pub use workload::{
-    by_id, suite, BranchProfile, CodeShape, MemProfile, OpMix, PhaseSpec, WorkloadClass,
-    WorkloadSpec,
+    by_id, by_id_ref, suite, suite_cached, BranchProfile, CodeShape, MemProfile, OpMix, PhaseSpec,
+    WorkloadClass, WorkloadSpec,
 };

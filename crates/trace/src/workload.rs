@@ -785,9 +785,26 @@ pub fn suite() -> Vec<WorkloadSpec> {
     v
 }
 
-/// Looks up a suite workload by its short id (e.g. `"S1"`).
+/// The suite catalog, built once and cached for the lifetime of the
+/// process. The serving hot path validates every request's workload against
+/// the catalog, so lookups must not rebuild 29 specs' worth of `String`s
+/// per request — borrow from here instead.
+pub fn suite_cached() -> &'static [WorkloadSpec] {
+    static SUITE: std::sync::OnceLock<Vec<WorkloadSpec>> = std::sync::OnceLock::new();
+    SUITE.get_or_init(suite)
+}
+
+/// Looks up a suite workload by its short id (e.g. `"S1"`), borrowing from
+/// the cached catalog — the allocation-free lookup the serving warm path
+/// uses.
+pub fn by_id_ref(id: &str) -> Option<&'static WorkloadSpec> {
+    suite_cached().iter().find(|w| w.id == id)
+}
+
+/// Looks up a suite workload by its short id (e.g. `"S1"`), cloning the
+/// spec. Prefer [`by_id_ref`] anywhere allocation or lookup cost matters.
 pub fn by_id(id: &str) -> Option<WorkloadSpec> {
-    suite().into_iter().find(|w| w.id == id)
+    by_id_ref(id).cloned()
 }
 
 #[cfg(test)]

@@ -533,7 +533,7 @@ fn main() {
             }
             let precompute_time = t0.elapsed();
             let key = FeatureKey {
-                workload: id.to_string(),
+                workload: id.into(),
                 trace,
                 start,
                 region_len: len,
@@ -722,7 +722,7 @@ fn main() {
             let reqs: Vec<PredictRequest> = (0..count)
                 .map(|i| PredictRequest {
                     id: i as u64,
-                    workload: id.to_string(),
+                    workload: id.into(),
                     trace,
                     start,
                     len: 0,

@@ -135,7 +135,7 @@ fn artifact_roundtrip_is_bitwise_identical() {
     let f = fixture();
     for (i, store) in [&f.s1, &f.s2].into_iter().enumerate() {
         let key = FeatureKey {
-            workload: "S5".to_string(),
+            workload: "S5".into(),
             trace: 0,
             start: 0,
             region_len: 4096,

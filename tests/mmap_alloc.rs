@@ -72,7 +72,7 @@ fn mapped_preload_copies_no_arena_bytes_and_eviction_unmaps() {
     let big = MicroArch::big_core();
     let store = FeatureStore::precompute(w, r, &SweepConfig::for_pair(&big, &n1), &profile);
     let key = FeatureKey {
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 0,
         start: 0,
         region_len: profile.region_len as u32,

@@ -299,7 +299,7 @@ fn cache_test_store() -> std::sync::Arc<FeatureStore> {
 
 fn cache_key(start: u64) -> FeatureKey {
     FeatureKey {
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 0,
         start,
         region_len: 2048,

@@ -175,7 +175,7 @@ fn artifact_roundtrip_is_bitwise_for_every_encoding() {
     for enc in ArenaEncoding::ALL {
         let encoded = store.reencoded(enc);
         let key = FeatureKey {
-            workload: "S5".to_string(),
+            workload: "S5".into(),
             trace: 0,
             start: 0,
             region_len: 4096,
@@ -263,7 +263,7 @@ fn mapped_store_admission_counts_resident_pages() {
         "owned stores admit at their full accounted footprint"
     );
     let key = FeatureKey {
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 0,
         start: 0,
         region_len: 4096,

@@ -59,7 +59,7 @@ fn served_predictions_equal_direct_predictions() {
                 .enumerate()
                 .map(move |(si, spec)| PredictRequest {
                     id: (wi * 10 + si) as u64,
-                    workload: w.to_string(),
+                    workload: (*w).into(),
                     arch: spec.clone(),
                     ..PredictRequest::default()
                 })
@@ -68,7 +68,7 @@ fn served_predictions_equal_direct_predictions() {
     // A mid-trace region: exercises the warmup-before-start convention.
     reqs.push(PredictRequest {
         id: 99,
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 1,
         start: 8_192,
         arch: ArchSpec::base("n1"),
@@ -141,7 +141,7 @@ fn preloaded_artifact_makes_the_first_query_a_cache_hit() {
     let full = generate_region(&spec, 0, 0, profile.region_len);
     let store = FeatureStore::precompute(&[], &full.instrs, &sweep, &profile);
     let key = FeatureKey {
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 0,
         start: 0,
         region_len: profile.region_len as u32,
@@ -580,7 +580,7 @@ fn int8_model_serving_equals_direct_fused_prediction() {
     for (id, spec) in [(1u64, ArchSpec::base("n1")), (2, big_spec)] {
         let req = PredictRequest {
             id,
-            workload: "S5".to_string(),
+            workload: "S5".into(),
             arch: spec,
             ..PredictRequest::default()
         };

@@ -61,7 +61,7 @@ fn churn_request(rng: &mut ChaCha12Rng, id: u64) -> PredictRequest {
 }
 
 /// Identity of an exact answer: everything that determines the CPI bits.
-fn answer_key(req: &PredictRequest) -> (String, u32, u64, u32, Option<u32>) {
+fn answer_key(req: &PredictRequest) -> (KeyStr, u32, u64, u32, Option<u32>) {
     (
         req.workload.clone(),
         req.trace,
@@ -97,7 +97,7 @@ fn soak_churn_drains_clean_with_stable_answers() {
     let hot_store = FeatureStore::precompute(&[], &full.instrs, &sweep, &profile);
     let hot_bytes = hot_store.approx_bytes();
     let key = FeatureKey {
-        workload: "S5".to_string(),
+        workload: "S5".into(),
         trace: 0,
         start: 0,
         region_len: profile.region_len as u32,
