@@ -393,13 +393,18 @@ impl ShardedStoreCache {
 /// --preload` boots from, so a server starts warm instead of re-running the
 /// analytic stage per region.
 ///
-/// File layout v3 (little-endian): `"CCFA"`, artifact-format version,
+/// File layout v4 (little-endian): `"CCFA"`, artifact-format version,
 /// [`SCHEMA_VERSION`], the [`FeatureKey`] fields, zero padding to the next
-/// 8-byte boundary, then the store in [`FeatureStore::to_bytes`] layout-v3
-/// form. The padding guarantees the store blob (and therefore every arena
-/// payload inside it) is 8-byte aligned in the file, which is what lets
-/// [`StoreArtifact::map`] mmap the file and point the arenas straight into
-/// the mapping without copying a byte. Round-trips bit-exactly.
+/// 8-byte boundary, the store in [`FeatureStore::to_bytes`] layout-v3 form,
+/// zero padding to the next 8-byte boundary, and finally an 8-byte FNV-1a
+/// checksum of every preceding byte. The padding guarantees the store blob
+/// (and therefore every arena payload inside it) is 8-byte aligned in the
+/// file, which is what lets [`StoreArtifact::map`] mmap the file and point
+/// the arenas straight into the mapping without copying a byte. The checksum
+/// is verified once at load time ([`StoreArtifact::from_bytes`] /
+/// [`StoreArtifact::map`]) — never on the per-request path — so a bit-flipped
+/// file is rejected with a typed error instead of producing a wrong-shape
+/// arena or silently wrong answers. Round-trips bit-exactly.
 #[derive(Debug, Clone)]
 pub struct StoreArtifact {
     /// Region + sweep identity of the store.
@@ -412,9 +417,63 @@ pub struct StoreArtifact {
 
 /// Magic bytes opening a [`StoreArtifact`] file.
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"CCFA";
-/// Artifact container format version (v3: arena encodings + aligned,
-/// mmap-able store layout; matches [`SCHEMA_VERSION`]).
-pub const ARTIFACT_VERSION: u32 = 3;
+/// Artifact container format version (v4: v3's arena encodings + aligned,
+/// mmap-able store layout, plus an FNV-1a integrity checksum footer).
+pub const ARTIFACT_VERSION: u32 = 4;
+
+/// FNV-1a over a byte slice — the artifact integrity checksum. Same constants
+/// as [`sweep_content_hash`]; this one runs over raw file bytes.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Verifies the v4 checksum footer: the trailing 8 bytes must equal the
+/// FNV-1a hash of everything before them.
+fn verify_artifact_checksum(bytes: &[u8]) -> std::io::Result<()> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    if bytes.len() < 8 {
+        return Err(bad(
+            "artifact checksum mismatch: file truncated before the checksum footer".to_string(),
+        ));
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8-byte footer"));
+    let computed = fnv1a_bytes(body);
+    if stored != computed {
+        return Err(bad(format!(
+            "artifact checksum mismatch (stored {stored:#018x}, computed {computed:#018x}): \
+             the file is corrupt or was truncated — re-run `concorde precompute`"
+        )));
+    }
+    Ok(())
+}
+
+/// Re-serializes a store and checks it parses back cleanly — the opt-in
+/// `CONCORDE_VERIFY_STORES=1` integrity re-check run at cache-insert time.
+/// Touches every arena byte, so it also surfaces corruption of an mmap'd
+/// store whose backing file changed after load.
+///
+/// # Errors
+///
+/// `InvalidData` if the round-trip fails to parse.
+pub fn verify_store(store: &FeatureStore) -> std::io::Result<()> {
+    let bytes = store.to_bytes();
+    FeatureStore::from_bytes(&bytes).map(|_| ())
+}
+
+/// Whether `CONCORDE_VERIFY_STORES=1` is set (checked once per process).
+pub fn verify_stores_enabled() -> bool {
+    use std::sync::OnceLock;
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("CONCORDE_VERIFY_STORES").as_deref() == Ok("1"))
+}
 
 /// Parses the artifact header, returning the key, schema version, and the
 /// 8-aligned offset where the store blob begins.
@@ -488,6 +547,12 @@ impl StoreArtifact {
         // the boundary `FeatureStore::parse` (and an mmap view) expects.
         crate::features::pad8(&mut buf);
         buf.extend_from_slice(&store_bytes);
+        // v4 footer: pad to 8, then FNV-1a over every preceding byte. The
+        // store parser reads by length prefixes and tolerates trailing
+        // bytes, so the footer is invisible to it.
+        crate::features::pad8(&mut buf);
+        let sum = fnv1a_bytes(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
         buf
     }
 
@@ -500,6 +565,7 @@ impl StoreArtifact {
     /// version, or a corrupt store payload.
     pub fn from_bytes(bytes: &[u8]) -> std::io::Result<StoreArtifact> {
         let (key, schema_version, store_off) = parse_artifact_header(bytes)?;
+        verify_artifact_checksum(bytes)?;
         let store = FeatureStore::from_bytes(&bytes[store_off..])?;
         Ok(StoreArtifact {
             key,
@@ -543,6 +609,7 @@ impl StoreArtifact {
     pub fn map(path: &Path) -> std::io::Result<StoreArtifact> {
         let region = crate::arena::MappedStore::open(path)?;
         let (key, schema_version, store_off) = parse_artifact_header(region.bytes())?;
+        verify_artifact_checksum(region.bytes())?;
         let store = FeatureStore::parse(&region, store_off)?;
         Ok(StoreArtifact {
             key,
@@ -760,5 +827,62 @@ mod tests {
         let b = SweepConfig::for_arch(&MicroArch::big_core());
         assert_eq!(sweep_content_hash(&a), sweep_content_hash(&a));
         assert_ne!(sweep_content_hash(&a), sweep_content_hash(&b));
+    }
+
+    fn tiny_artifact_bytes() -> Vec<u8> {
+        let store = tiny_store();
+        StoreArtifact::new(key("S5", 0), (*store).clone()).to_bytes()
+    }
+
+    #[test]
+    fn artifact_v4_roundtrips_and_is_checksummed() {
+        let bytes = tiny_artifact_bytes();
+        // 8-aligned end-to-end: footer included.
+        assert_eq!(bytes.len() % 8, 0);
+        let loaded = StoreArtifact::from_bytes(&bytes).expect("clean load");
+        assert_eq!(loaded.key, key("S5", 0));
+        assert_eq!(loaded.store.to_bytes(), tiny_store().to_bytes());
+    }
+
+    #[test]
+    fn artifact_payload_corruption_is_a_typed_checksum_error() {
+        let mut bytes = tiny_artifact_bytes();
+        // Flip a bit deep in the store payload — past every header field.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = StoreArtifact::from_bytes(&bytes).expect_err("must reject");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("checksum mismatch"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn artifact_truncation_is_rejected() {
+        let bytes = tiny_artifact_bytes();
+        for keep in [0, 3, 16, bytes.len() - 1] {
+            let err = StoreArtifact::from_bytes(&bytes[..keep]).expect_err("must reject");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn old_artifact_version_gets_the_version_error_not_a_checksum_one() {
+        let mut bytes = tiny_artifact_bytes();
+        // Rewrite the version field to v3: the reader must say "unsupported
+        // version", not confuse the user with a checksum complaint.
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let err = StoreArtifact::from_bytes(&bytes).expect_err("must reject");
+        assert!(
+            err.to_string().contains("unsupported artifact version 3"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn verify_store_roundtrip_is_clean() {
+        let store = tiny_store();
+        verify_store(&store).expect("a freshly built store must verify");
     }
 }

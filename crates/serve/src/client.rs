@@ -115,6 +115,16 @@ impl Client {
         self.shared.cfg.model_encoding
     }
 
+    /// Begins a graceful drain of the service this client feeds — the same
+    /// switch the wire's `{"cmd": "drain"}` and the CLI's SIGTERM watcher
+    /// flip. `serve_tcp` stops accepting, live connections answer their
+    /// in-flight requests and close, and `/readyz` turns 503.
+    pub fn begin_drain(&self) {
+        self.shared
+            .draining
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
     /// Predicts a whole batch, blocking until every response arrives.
     ///
     /// Responses come back in request order. Submission applies gentle
@@ -206,6 +216,36 @@ pub struct TcpClient {
     pending_upgrades: std::collections::VecDeque<PredictResponse>,
 }
 
+/// One round of splitmix64 — the jitter source for [`backoff_delay`].
+/// Statistical quality is irrelevant here; what matters is that the same
+/// input always yields the same output (reproducible schedules) and that
+/// nearby inputs decorrelate (concurrent clients fan out).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The delay before retry number `attempt` (0-based) of a reconnect:
+/// exponential doubling from `base`, capped at `cap`, with a deterministic
+/// ±25% jitter derived from `seed` and the attempt index. Clients with
+/// different seeds spread their retries (no thundering herd on a server
+/// restart), while a given seed's schedule is exactly reproducible — the
+/// property the unit test pins.
+pub fn backoff_delay(base: Duration, cap: Duration, seed: u64, attempt: u32) -> Duration {
+    let base_ns = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let cap_ns = cap.as_nanos().min(i64::MAX as u128) as u64;
+    let nominal = ((u128::from(base_ns)) << attempt.min(63)).min(u128::from(cap_ns)) as u64;
+    let spread = nominal / 4;
+    if spread == 0 {
+        return Duration::from_nanos(nominal);
+    }
+    let r = splitmix64(seed.wrapping_add(u64::from(attempt)));
+    let offset = (r % (2 * spread + 1)) as i64 - spread as i64;
+    Duration::from_nanos((nominal as i64 + offset).max(0) as u64)
+}
+
 /// True for a pushed `{"type":"upgrade"}` line (checked on the raw JSON so
 /// non-response replies — metrics maps, stats — are never misclassified).
 fn is_upgrade_line(line: &str) -> bool {
@@ -231,6 +271,42 @@ impl TcpClient {
             writer: stream,
             pending_upgrades: std::collections::VecDeque::new(),
         })
+    }
+
+    /// Like [`TcpClient::connect`], but retries a failed connect up to
+    /// `attempts` times with the bounded, jittered exponential backoff of
+    /// [`backoff_delay`] (seeded from `addr`, so the schedule is
+    /// deterministic per endpoint). This is how the CLI `predict` and the
+    /// soak harnesses ride out a server restart instead of dying on the
+    /// first `ECONNREFUSED`.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error once every attempt is exhausted.
+    pub fn connect_with_retry(
+        addr: &str,
+        attempts: u32,
+        base: Duration,
+        cap: Duration,
+    ) -> std::io::Result<TcpClient> {
+        let attempts = attempts.max(1);
+        // FNV-1a over the address: any stable per-endpoint value works.
+        let seed = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        let mut last = None;
+        for attempt in 0..attempts {
+            match TcpClient::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    last = Some(e);
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(backoff_delay(base, cap, seed, attempt));
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
     }
 
     fn read_reply_line(&mut self) -> std::io::Result<String> {
@@ -375,5 +451,50 @@ impl TcpClient {
     pub fn schema(&mut self) -> std::io::Result<concorde_core::schema::FeatureSchema> {
         let resp = self.roundtrip_line(r#"{"cmd": "schema"}"#)?;
         serde_json::from_str(&resp).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_jittered_and_capped() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let schedule: Vec<Duration> = (0..8).map(|i| backoff_delay(base, cap, 42, i)).collect();
+        // Exactly reproducible: same seed, same schedule.
+        let again: Vec<Duration> = (0..8).map(|i| backoff_delay(base, cap, 42, i)).collect();
+        assert_eq!(schedule, again);
+        // Every delay sits within ±25% of min(base · 2^i, cap).
+        for (i, d) in schedule.iter().enumerate() {
+            let nominal = std::cmp::min(base * (1u32 << i.min(5)), cap);
+            assert!(*d >= nominal.mul_f64(0.749), "attempt {i}: {d:?} < -25%");
+            assert!(*d <= nominal.mul_f64(1.251), "attempt {i}: {d:?} > +25%");
+        }
+        // A different seed jitters differently somewhere in the schedule.
+        let other: Vec<Duration> = (0..8).map(|i| backoff_delay(base, cap, 43, i)).collect();
+        assert_ne!(schedule, other);
+        // Degenerate inputs stay sane: zero base never panics or sleeps.
+        assert_eq!(backoff_delay(Duration::ZERO, cap, 1, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn connect_with_retry_exhausts_attempts_then_reports_the_last_error() {
+        // Bind then drop a listener: the port is (momentarily) refusing.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let tiny = Duration::from_micros(100);
+        let err = match TcpClient::connect_with_retry(&addr, 3, tiny, tiny) {
+            Err(e) => e,
+            Ok(_) => panic!("connect to a dropped listener should fail"),
+        };
+        assert_ne!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+        // A live listener connects on the first attempt.
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let live = l.local_addr().unwrap().to_string();
+        assert!(TcpClient::connect_with_retry(&live, 3, tiny, tiny).is_ok());
     }
 }

@@ -1,10 +1,14 @@
-//! Minimal HTTP/1.1 `GET /metrics` endpoint (`--metrics-addr`).
+//! Minimal HTTP/1.1 `GET /metrics` endpoint (`--metrics-addr`), plus the
+//! orchestrator probes `GET /healthz` (liveness: 200 while the process
+//! serves) and `GET /readyz` (readiness: 200 normally, 503 once the
+//! service begins draining, so load balancers stop routing before the
+//! listener closes).
 //!
 //! Prometheus scrapes speak plain HTTP, not this crate's line-delimited
 //! JSON protocol, so the metrics endpoint gets its own single-threaded
 //! listener: accept, parse the request line, answer one response, close.
 //! That is the entire protocol surface — no keep-alive, no chunking, no
-//! routing beyond `/metrics` — which keeps the handler a screen of code and
+//! routing beyond the three paths — which keeps the handler a screen of code and
 //! leaves nothing for a scraper to exploit. Scrape traffic is a request
 //! every few seconds, so the sequential accept loop is never the
 //! bottleneck; the exposition itself reads the same lock-free atomics the
@@ -120,8 +124,22 @@ fn handle_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
     let path = path.split('?').next().unwrap_or("");
     let (status, body) = if method != "GET" {
         ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else if path == "/healthz" {
+        // Liveness: the listener thread is running, so the process is.
+        ("200 OK", "ok\n".to_string())
+    } else if path == "/readyz" {
+        // Readiness flips to 503 the moment a drain begins, so a load
+        // balancer stops routing before the serving listener closes.
+        if shared.draining.load(Ordering::SeqCst) {
+            ("503 Service Unavailable", "draining\n".to_string())
+        } else {
+            ("200 OK", "ready\n".to_string())
+        }
     } else if path != "/metrics" {
-        ("404 Not Found", "try /metrics\n".to_string())
+        (
+            "404 Not Found",
+            "try /metrics, /healthz, or /readyz\n".to_string(),
+        )
     } else {
         ("200 OK", prometheus_text(shared))
     };

@@ -37,6 +37,7 @@
 
 pub mod bytesize;
 mod client;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod protocol;
@@ -46,6 +47,7 @@ pub mod slots;
 
 pub use bytesize::{parse_byte_size, ByteSizeError};
 pub use client::{BatchScratch, Client, TcpClient};
+pub use fault::FaultPlan;
 pub use http::MetricsServer;
 pub use protocol::{ArchSpec, PredictRequest, PredictResponse, RequestClass};
 pub use server::workload_catalog;

@@ -469,6 +469,23 @@ impl PredictResponse {
         }
     }
 
+    /// Typed internal-failure response: a worker or build panicked while
+    /// serving the request. Carries `type: "error"` and `reason: "internal"`
+    /// so clients can branch (e.g. retry) without string-matching the
+    /// human-readable message.
+    pub fn internal(id: u64, msg: impl std::fmt::Display, micros: u64) -> Self {
+        PredictResponse {
+            id,
+            cpi: None,
+            error: Some(format!("internal error: {msg}")),
+            cached: false,
+            approx: false,
+            reason: Some("internal".to_string()),
+            kind: Some("error".to_string()),
+            micros,
+        }
+    }
+
     /// True for typed `{"type":"upgrade"}` follow-up lines.
     pub fn is_upgrade(&self) -> bool {
         self.kind.as_deref() == Some("upgrade")
@@ -1217,6 +1234,19 @@ mod tests {
         )
         .unwrap();
         assert!(ok.kind.is_none() && !ok.is_upgrade());
+
+        // A worker-panic answer is the typed `reason: "internal"` error.
+        let internal = PredictResponse::internal(9, "eval panicked", 42);
+        assert_eq!(internal.kind.as_deref(), Some("error"));
+        assert_eq!(internal.reason.as_deref(), Some("internal"));
+        assert!(internal.cpi.is_none() && !internal.approx);
+        let back: PredictResponse =
+            serde_json::from_str(&serde_json::to_string(&internal).unwrap()).unwrap();
+        assert_eq!(back.reason.as_deref(), Some("internal"));
+        assert!(back
+            .error
+            .unwrap()
+            .contains("internal error: eval panicked"));
     }
 
     #[test]

@@ -19,6 +19,17 @@
 //! - `{"cmd": "stats"}` → metrics + cache budget and per-shard occupancy
 //! - `{"cmd": "workloads"}` → the served workload catalog
 //! - `{"cmd": "schema"}` → the served feature schema (version + blocks)
+//! - `{"cmd": "drain"}` → begins a graceful drain: the listener stops
+//!   accepting, live connections answer their in-flight requests and
+//!   close, and [`PredictionService::serve_tcp`] returns
+//!
+//! Connections are hardened against abuse: request lines are read through
+//! a bounded reader that never buffers more than
+//! [`ServeConfig::max_line_bytes`](crate::ServeConfig::max_line_bytes) for
+//! one line (oversized → one typed `{"reason": "oversized"}` error line +
+//! close), and a connection idle longer than
+//! [`ServeConfig::read_timeout`](crate::ServeConfig::read_timeout) (when
+//! configured) is reaped.
 //!
 //! Request lines take a zero-allocation fast path once a connection is
 //! warm: a single-pass borrowed decoder
@@ -42,7 +53,7 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde_json::{json, Value};
 
@@ -86,10 +97,16 @@ impl Drop for ConnSlot {
 }
 
 impl PredictionService {
-    /// Serves the protocol on `listener` until the process exits, admitting
-    /// at most [`ServeConfig::max_connections`](crate::ServeConfig::max_connections)
+    /// Serves the protocol on `listener` until the service drains
+    /// ([`PredictionService::begin_drain`], the CLI's `SIGTERM` handler, or
+    /// a client's `{"cmd": "drain"}`), admitting at most
+    /// [`ServeConfig::max_connections`](crate::ServeConfig::max_connections)
     /// concurrent connections; excess connections receive one typed `busy`
     /// error line and are closed.
+    ///
+    /// On drain the listener stops accepting, live connections answer
+    /// their in-flight requests and close, and the call returns once the
+    /// last connection ends (with a 60 s backstop for a wedged client).
     ///
     /// # Errors
     ///
@@ -98,8 +115,23 @@ impl PredictionService {
     pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
         let limit = self.config().max_connections.max(1);
         let active = Arc::new(AtomicUsize::new(0));
-        for stream in listener.incoming() {
-            let mut stream = stream?;
+        // Non-blocking accept + poll: the loop notices a drain begun on
+        // another thread (signal watcher, drain cmd handler) within one
+        // poll interval, without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        while !self.is_draining() {
+            let mut stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            // Accepted sockets must block again: the per-connection reader
+            // paces itself with read timeouts, not `O_NONBLOCK`.
+            stream.set_nonblocking(false)?;
             if active
                 .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
                     (n < limit).then_some(n + 1)
@@ -127,15 +159,118 @@ impl PredictionService {
                 service: Arc::clone(&self.shared),
             };
             let client = self.client();
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name("concorde-serve-conn".to_string())
                 .spawn(move || {
                     let _slot = slot;
                     let _ = handle_connection(client, stream);
-                })
-                .expect("spawn connection handler");
+                });
+            if let Err(e) = spawned {
+                // Thread exhaustion is wire-reachable pressure (a connection
+                // flood racing the cap): answer like `busy` and keep
+                // accepting instead of killing the listener. The moved
+                // stream is gone, so the client simply sees the close; the
+                // `ConnSlot` it carried has already released the count.
+                eprintln!("[serve] cannot spawn connection handler: {e}");
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+        // Drain: live connections observe the flag within one read-timeout
+        // poll, answer their in-flight line, and close. The backstop bounds
+        // a wedged handler, not the common case.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
         }
         Ok(())
+    }
+}
+
+/// Poll interval for per-connection socket reads: short enough that a
+/// drain (or the idle clock) is noticed promptly, long enough to stay off
+/// the CPU while a connection sits quiet.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// Outcome of one bounded, timed protocol-line read.
+enum LineRead {
+    /// A complete line (newline stripped) is in the buffer.
+    Line,
+    /// Clean EOF — the client closed.
+    Eof,
+    /// The line exceeded the byte cap; the connection must close.
+    TooLong,
+    /// No bytes arrived for longer than the configured idle timeout.
+    IdleTimeout,
+    /// The server is draining and the connection is idle between lines.
+    Draining,
+}
+
+/// Reads one `\n`-terminated line into `buf` (newline stripped), enforcing
+/// the byte cap and idle timeout. Unlike `BufReader::read_line`, this never
+/// buffers more than roughly `max_len` bytes for one line — a malicious
+/// client cannot balloon memory with an endless unterminated line — and it
+/// works on raw bytes, so a read timeout splitting a multi-byte UTF-8
+/// character mid-line cannot corrupt the eventual parse.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max_len: usize,
+    idle_after: Option<Duration>,
+    draining: impl Fn() -> bool,
+) -> std::io::Result<LineRead> {
+    buf.clear();
+    let mut last_progress = Instant::now();
+    loop {
+        let (consumed, complete) = {
+            let available = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if buf.is_empty() && draining() {
+                        return Ok(LineRead::Draining);
+                    }
+                    if let Some(limit) = idle_after {
+                        if last_progress.elapsed() >= limit {
+                            return Ok(LineRead::IdleTimeout);
+                        }
+                    }
+                    continue;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF. A trailing unterminated line still parses, matching
+                // the old `read_line` semantics.
+                return Ok(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                });
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..i]);
+                    (i + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        last_progress = Instant::now();
+        if buf.len() > max_len {
+            return Ok(LineRead::TooLong);
+        }
+        if complete {
+            return Ok(LineRead::Line);
+        }
     }
 }
 
@@ -225,15 +360,43 @@ struct ConnScratch {
 fn handle_connection(client: Client, stream: TcpStream) -> std::io::Result<()> {
     let peer = stream.peer_addr()?;
     crate::metrics::log_connection("open", peer);
+    let shared = Arc::clone(client.shared());
+    let idle_after = shared.cfg.read_timeout;
+    let max_line = shared.cfg.max_line_bytes.max(1);
+    // Socket reads always time out at the poll interval (never longer than
+    // the idle timeout): the handler re-checks the drain flag and the idle
+    // clock between blocking reads.
+    let poll = idle_after.map_or(READ_POLL, |t| t.min(READ_POLL));
+    stream.set_read_timeout(Some(poll))?;
     let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut raw = Vec::new();
     let mut scratch = ConnScratch::default();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break;
+        match read_bounded_line(&mut reader, &mut raw, max_line, idle_after, || {
+            shared.draining.load(Ordering::SeqCst)
+        })? {
+            LineRead::Line => {}
+            LineRead::Eof | LineRead::Draining | LineRead::IdleTimeout => break,
+            LineRead::TooLong => {
+                let reply = json!({
+                    "error": format!("request line exceeds {max_line} bytes"),
+                    "type": "error",
+                    "reason": "oversized",
+                    "max_line_bytes": max_line,
+                });
+                let _ = write_line(&writer, &reply.to_string());
+                break;
+            }
         }
+        let line = match std::str::from_utf8(&raw) {
+            Ok(l) => l,
+            Err(e) => {
+                let reply = json!({ "error": format!("malformed JSON: invalid UTF-8: {e}") });
+                let _ = write_line(&writer, &reply.to_string());
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -241,12 +404,22 @@ fn handle_connection(client: Client, stream: TcpStream) -> std::io::Result<()> {
         // request buffer. Anything the fast decoder declines — control
         // objects, malformed JSON, exotic shapes — falls back to the
         // `Value` path, which owns error messages and `cmd` handling.
-        match decode_request_line(&line, &mut scratch.reqs) {
+        match decode_request_line(line, &mut scratch.reqs) {
             Ok(shape) => handle_fast(&client, shape, &writer, &mut scratch)?,
             Err(_) => {
-                let reply = handle_line(&client, &line, &writer);
+                let reply = handle_line(&client, line, &writer);
+                if shared.faults.on_reply() {
+                    // Injected mid-reply socket drop: the engine answered,
+                    // but the client sees the connection die first.
+                    break;
+                }
                 write_line(&writer, &reply.to_string())?;
             }
+        }
+        // A draining server finishes the in-flight line, answers it, and
+        // closes; the client's next request must reconnect elsewhere.
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
         }
     }
     crate::metrics::log_connection("close", peer);
@@ -331,6 +504,14 @@ fn handle_fast(
         s.out.push(']');
     }
     s.out.push('\n');
+    if shared.faults.on_reply() {
+        // Injected mid-reply socket drop: the engine already answered every
+        // slot; the client sees the connection die instead of the reply.
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected fault: reply dropped",
+        ));
+    }
     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
     w.write_all(s.out.as_bytes())?;
     w.flush()
@@ -382,6 +563,13 @@ fn handle_line(client: &Client, line: &str, writer: &SharedWriter) -> Value {
                 }
                 Some("stats") => {
                     serde_json::to_value(&client.service_stats()).expect("serialize stats")
+                }
+                Some("drain") => {
+                    // Same flag `begin_drain` / the CLI's SIGTERM watcher
+                    // set: the accept loop stops admitting, handlers close
+                    // after their in-flight line, `serve_tcp` returns.
+                    client.shared().draining.store(true, Ordering::SeqCst);
+                    json!({ "ok": true, "draining": true })
                 }
                 Some("workloads") => workload_catalog(),
                 Some("schema") => {

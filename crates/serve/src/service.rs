@@ -50,6 +50,7 @@ use concorde_cyclesim::MicroArch;
 use concorde_ml::QuantizedMlp;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::metrics::{Histogram, HistogramSnapshot, PromWriter};
 use crate::protocol::{PredictRequest, PredictResponse, RequestClass, N_CLASSES};
 use crate::slots::{SlotPool, SlotReceiver, SlotSender};
@@ -195,6 +196,19 @@ pub struct ServeConfig {
     /// prediction drift vs `f32` is bounded `< 5%` (same contract as int8
     /// *store* encoding, and the two compose).
     pub model_encoding: ModelEncoding,
+    /// Idle-connection reap timeout (`--read-timeout-ms`): a TCP connection
+    /// that sends no complete request line for this long is closed. `None`
+    /// (the default) never reaps — connections may idle forever, the
+    /// pre-hardening behavior. Independent of drain: a draining server
+    /// closes idle connections immediately.
+    pub read_timeout: Option<Duration>,
+    /// Maximum accepted request-line length in bytes (`--max-line-bytes`).
+    /// A connection that exceeds it mid-line gets a typed `oversized` error
+    /// and is closed — the server never buffers an unbounded line.
+    pub max_line_bytes: usize,
+    /// Deterministic fault-injection plan for the chaos harness (tests pass
+    /// one here; operators set `CONCORDE_FAULT_PLAN`). `None` = no faults.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -214,6 +228,9 @@ impl Default for ServeConfig {
             miss_slo: None,
             class_slo: ClassSlo::default(),
             model_encoding: ModelEncoding::F32,
+            read_timeout: None,
+            max_line_bytes: 1 << 20,
+            fault_plan: None,
         }
     }
 }
@@ -337,6 +354,13 @@ pub struct Metrics {
     /// Requests rejected for pinning a `schema_version` the server does not
     /// speak.
     schema_mismatches: AtomicU64,
+    /// Panics caught anywhere in worker/pool job execution (each one
+    /// answered its jobs with typed `reason: "internal"` errors instead of
+    /// taking the thread down or stranding waiters).
+    pub(crate) worker_panics: AtomicU64,
+    /// Worker/pool loops restarted by the supervisor after a panic escaped
+    /// the per-job guards.
+    pub(crate) worker_restarts: AtomicU64,
     queue_depth: AtomicUsize,
     max_queue_depth: AtomicUsize,
     /// End-to-end latency (enqueue → response, seconds), by request class.
@@ -376,6 +400,8 @@ impl Default for Metrics {
             shed_build_skips: AtomicU64::new(0),
             upgrades: AtomicU64::new(0),
             schema_mismatches: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             max_queue_depth: AtomicUsize::new(0),
             latency: std::array::from_fn(|_| latency_histogram()),
@@ -438,6 +464,8 @@ impl Metrics {
             shed_build_skips: self.shed_build_skips.load(Ordering::Relaxed),
             upgrades: self.upgrades.load(Ordering::Relaxed),
             schema_mismatches: self.schema_mismatches.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
             // Miss-path gauges (parked, backlog, EWMA) are filled in by
             // [`Shared::snapshot_with`] under a consistent lock pair.
             parked: 0,
@@ -507,6 +535,14 @@ pub struct MetricsSnapshot {
     /// a `schema_version` the server does not speak.
     #[serde(default)]
     pub schema_mismatches: u64,
+    /// Panics caught during worker/pool job execution; each answered its
+    /// jobs with typed `reason: "internal"` errors instead of poisoning a
+    /// lock or stranding waiters.
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Worker/pool loops restarted by the panic supervisor.
+    #[serde(default)]
+    pub worker_restarts: u64,
     /// Requests currently parked awaiting an in-flight precompute (gauge).
     /// Read under the same locks as [`MetricsSnapshot::miss_backlog`], so one
     /// snapshot's pair is mutually consistent.
@@ -657,7 +693,18 @@ struct PrecomputeTask {
     /// Times a pop chose a different task over this one; at
     /// [`MAX_BYPASS`] the task is built regardless of parked counts.
     bypassed: u32,
+    /// Times this build has already crashed and been re-queued; at
+    /// [`MAX_BUILD_RETRIES`] the waiters are failed with a typed error
+    /// instead of retrying again.
+    retries: u32,
 }
+
+/// How many times a panicking store build is re-queued (keeping its
+/// single-flight entry and parked waiters) before the waiters are answered
+/// with a typed internal error. One retry absorbs transient faults — an
+/// injected chaos panic, an OOM-killed helper thread — while a
+/// deterministic crash still fails fast.
+const MAX_BUILD_RETRIES: u32 = 1;
 
 /// How many pops may skip a queued build before it is forced to run —
 /// bounds waiter latency so parked-count priority cannot starve a
@@ -795,6 +842,13 @@ pub(crate) struct Shared {
     /// it without bound.
     shed_cache: Mutex<HashMap<FeatureKey, Vec<(MicroArch, f64)>>>,
     pub(crate) metrics: Metrics,
+    /// Fault-injection plan (the chaos harness's hooks); the default empty
+    /// plan costs one branch per hook.
+    pub(crate) faults: Arc<FaultPlan>,
+    /// Graceful-drain flag: set by `{"cmd":"drain"}` / SIGTERM. The TCP
+    /// accept loop stops accepting, connection handlers close once idle,
+    /// and `/readyz` flips to 503; in-flight work still completes.
+    pub(crate) draining: AtomicBool,
     shutdown: AtomicBool,
     /// Second-phase shutdown: set only after the batch workers have drained,
     /// so the pool never abandons a build whose parked jobs a worker is
@@ -859,6 +913,20 @@ impl PredictionService {
         };
         let quant_sweep = Arc::new(SweepConfig::quantized());
         let quant_sweep_hash = sweep_content_hash(&quant_sweep);
+        // Chaos hooks: an explicit plan from the config wins; otherwise the
+        // environment may arm one (operators smoke-testing a deployment).
+        let faults = cfg.fault_plan.clone().unwrap_or_else(|| {
+            std::env::var("CONCORDE_FAULT_PLAN")
+                .ok()
+                .and_then(|spec| match FaultPlan::parse(&spec) {
+                    Ok(plan) => Some(Arc::new(plan)),
+                    Err(e) => {
+                        eprintln!("ignoring CONCORDE_FAULT_PLAN: {e}");
+                        None
+                    }
+                })
+                .unwrap_or_default()
+        });
         let shared = Arc::new(Shared {
             cache: ShardedStoreCache::new(cfg.effective_cache_shards(), cfg.cache_bytes),
             cfg,
@@ -880,6 +948,8 @@ impl PredictionService {
             build_ewma_us: AtomicU64::new(0),
             shed_cache: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
+            faults,
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             pool_shutdown: AtomicBool::new(false),
             active_precomputes: AtomicUsize::new(0),
@@ -889,7 +959,7 @@ impl PredictionService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("concorde-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .spawn(move || supervise(&shared, false, || worker_loop(&shared, i)))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -898,7 +968,7 @@ impl PredictionService {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("concorde-precompute-{i}"))
-                    .spawn(move || precompute_loop(&shared))
+                    .spawn(move || supervise(&shared, true, || precompute_loop(&shared)))
                     .expect("spawn precompute worker")
             })
             .collect();
@@ -988,6 +1058,18 @@ impl PredictionService {
             }
             _ => {}
         }
+        // Opt-in paranoia (`CONCORDE_VERIFY_STORES=1`): re-verify the store
+        // at insert time by round-tripping it through its own serialization
+        // — touches every arena byte beyond what the load-time checksum
+        // already proved.
+        if concorde_core::cache::verify_stores_enabled() {
+            concorde_core::cache::verify_store(&artifact.store).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("store verification failed (CONCORDE_VERIFY_STORES=1): {e}"),
+                )
+            })?;
+        }
         let key = artifact.key.clone();
         self.preload(artifact.key, artifact.store);
         Ok(key)
@@ -1006,6 +1088,21 @@ impl PredictionService {
     /// An in-process client handle (cheap to clone, independent lifetime).
     pub fn client(&self) -> crate::Client {
         crate::Client::new(Arc::clone(&self.shared))
+    }
+
+    /// Begins a graceful drain: [`PredictionService::serve_tcp`] stops
+    /// accepting, open connections close once their in-flight requests are
+    /// answered, and `/readyz` flips to 503. The engine itself keeps
+    /// serving (queues flush, parked jobs are answered) until the service
+    /// is dropped. Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`PredictionService::begin_drain`] (or the wire
+    /// `{"cmd":"drain"}` / a SIGTERM handler) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
     }
 }
 
@@ -1332,6 +1429,28 @@ pub(crate) fn prometheus_text(shared: &Shared) -> String {
         "TCP connections turned away with a busy error.",
         &[(global(), snap.busy_rejected)],
     );
+    w.counter(
+        "concorde_worker_panics_total",
+        "Panics caught by worker/pool unwind guards; affected jobs were answered with typed internal errors.",
+        &[(global(), snap.worker_panics)],
+    );
+    w.counter(
+        "concorde_worker_restarts_total",
+        "Worker/pool loop restarts by the panic supervisor.",
+        &[(global(), snap.worker_restarts)],
+    );
+    w.gauge(
+        "concorde_draining",
+        "1 while the server is draining (stopped accepting, flushing in-flight work), else 0.",
+        &[(
+            global(),
+            if shared.draining.load(Ordering::SeqCst) {
+                1.0
+            } else {
+                0.0
+            },
+        )],
+    );
     let hits: Vec<_> = per_shard
         .iter()
         .map(|s| (shard_label(s.shard), s.hits))
@@ -1576,6 +1695,35 @@ struct WorkerScratch {
 /// the old build-per-request cost.
 const SWEEP_MEMO_CAP: usize = 32;
 
+/// Thread supervisor: runs `body` (a worker or precompute loop) until it
+/// returns cleanly, restarting it when a panic escapes the per-job unwind
+/// guards. The restarted loop starts with fresh scratch state; the shared
+/// engine state holds no lock across a loop iteration boundary, so a
+/// restart never observes a poisoned invariant. `pool` selects which
+/// shutdown flag ends the supervision (workers drain before the pool).
+fn supervise(shared: &Shared, pool: bool, body: impl Fn()) {
+    loop {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(&body)) {
+            Ok(()) => return,
+            Err(_) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                let stop = if pool {
+                    &shared.pool_shutdown
+                } else {
+                    &shared.shutdown
+                };
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared
+                    .metrics
+                    .worker_restarts
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, wid: usize) {
     let mut scratch = WorkerScratch::default();
     loop {
@@ -1813,14 +1961,11 @@ fn run_group(shared: &Shared, group: &mut Group, scratch: &mut WorkerScratch) {
                     (store, false)
                 }
                 Err(panic) => {
+                    shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                     let msg = panic_message(panic);
                     for (job, _) in jobs {
                         let us = job.enqueued.elapsed().as_micros() as u64;
-                        respond(
-                            shared,
-                            job,
-                            PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
-                        );
+                        respond(shared, job, PredictResponse::internal(job.req.id, &msg, us));
                     }
                     group.jobs.clear();
                     return;
@@ -1847,6 +1992,7 @@ fn eval_group(
     let predict = &mut scratch.predict;
     let outs = &mut scratch.outs;
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.faults.on_eval();
         match &shared.qmlp {
             // Int8 serving: fused dequantize-assembly — the store's encoded
             // blocks feed the quantized first layer directly, never
@@ -1877,6 +2023,7 @@ fn eval_group(
             }
         }
         Err(panic) => {
+            shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
             let msg = panic_message(panic);
             for (job, _) in jobs {
                 // An upgrade job already holds a (shed) answer: failing to
@@ -1885,11 +2032,7 @@ fn eval_group(
                     continue;
                 }
                 let us = job.enqueued.elapsed().as_micros() as u64;
-                respond(
-                    shared,
-                    job,
-                    PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
-                );
+                respond(shared, job, PredictResponse::internal(job.req.id, &msg, us));
             }
         }
     }
@@ -2015,15 +2158,12 @@ fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) -> Vec<Job> {
             Err(panic) => {
                 // Jobs whose bound was already cached still get it below;
                 // only the ones that needed the failed computation error.
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                 let msg = panic_message(panic);
                 for i in missing.iter().flat_map(|(idxs, _)| idxs) {
                     let (job, _) = &jobs[*i];
                     let us = job.enqueued.elapsed().as_micros() as u64;
-                    respond(
-                        shared,
-                        job,
-                        PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
-                    );
+                    respond(shared, job, PredictResponse::internal(job.req.id, &msg, us));
                 }
             }
         }
@@ -2165,6 +2305,7 @@ fn park_group(
             sweep,
             seq: shared.pre_seq.fetch_add(1, Ordering::Relaxed),
             bypassed: 0,
+            retries: 0,
         });
     }
     shared.pre_notify.notify_one();
@@ -2284,7 +2425,28 @@ fn precompute_loop(shared: &Shared) {
                 requeue_parked(shared, jobs);
             }
             Err(panic) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                 let msg = panic_message(panic);
+                if task.retries < MAX_BUILD_RETRIES {
+                    // Failover: re-queue the build once with a fresh seq.
+                    // The single-flight entry stays — waiters stay parked,
+                    // new requests for the key keep coalescing — and
+                    // `inflight_builds` is NOT decremented, because a build
+                    // is still owed; the drain ordering contract holds
+                    // unchanged. The pool loop only exits on an empty queue,
+                    // so a retry queued during shutdown still runs.
+                    let mut pq = shared.pre_queue.lock().unwrap_or_else(|e| e.into_inner());
+                    pq.push(PrecomputeTask {
+                        key: task.key.clone(),
+                        sweep: task.sweep,
+                        seq: shared.pre_seq.fetch_add(1, Ordering::Relaxed),
+                        bypassed: 0,
+                        retries: task.retries + 1,
+                    });
+                    drop(pq);
+                    shared.pre_notify.notify_one();
+                    continue;
+                }
                 shared
                     .shed_cache
                     .lock()
@@ -2299,11 +2461,7 @@ fn precompute_loop(shared: &Shared) {
                         continue;
                     }
                     let us = job.enqueued.elapsed().as_micros() as u64;
-                    respond(
-                        shared,
-                        job,
-                        PredictResponse::err(job.req.id, format!("internal error: {msg}"), us),
-                    );
+                    respond(shared, job, PredictResponse::internal(job.req.id, &msg, us));
                 }
                 // Every job was answered directly (nothing re-enqueued), so
                 // the bare decrement upholds the drain ordering trivially.
@@ -2328,6 +2486,9 @@ impl Drop for PrecomputeSlot<'_> {
 }
 
 fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> FeatureStore {
+    // Chaos hook: may stall and/or panic here, inside the caller's unwind
+    // guard (pool loop or inline-build catch).
+    shared.faults.on_build();
     let spec = concorde_trace::by_id_ref(&key.workload).expect("validated before grouping");
     // Same convention as `dataset.rs`: the region is [start, start + len),
     // functionally warmed by the up-to-`warmup_len` instructions before it.
@@ -2352,10 +2513,20 @@ fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> F
     let store = FeatureStore::precompute_threaded(w, r, sweep, &shared.profile, threads);
     // Quantize before caching: the byte budget then admits the compressed
     // footprint, so f16/int8 servers hold 2–4× more regions resident.
-    match shared.cfg.store_encoding {
+    let store = match shared.cfg.store_encoding {
         ArenaEncoding::F32 => store,
         enc => store.reencoded(enc),
+    };
+    // `CONCORDE_VERIFY_STORES=1`: round-trip the freshly built store through
+    // its own serialization before it lands in the cache. A failure panics
+    // into the caller's unwind guard — retried once, then the waiters get a
+    // typed internal error rather than a corrupt store.
+    if concorde_core::cache::verify_stores_enabled() {
+        if let Err(e) = concorde_core::cache::verify_store(&store) {
+            panic!("store verification failed (CONCORDE_VERIFY_STORES=1): {e}");
+        }
     }
+    store
 }
 
 #[cfg(test)]
@@ -2414,6 +2585,7 @@ mod tests {
             sweep: Arc::new(SweepConfig::quantized()),
             seq,
             bypassed: 0,
+            retries: 0,
         }
     }
 

@@ -53,7 +53,7 @@ impl SlotPool {
     /// Acquires a slot, growing the slab only when the free list is empty.
     pub fn acquire(self: &Arc<Self>) -> SlotReceiver {
         let (slot, idx) = {
-            let mut p = self.inner.lock().unwrap();
+            let mut p = self.inner.lock().unwrap_or_else(|e| e.into_inner());
             match p.free.pop() {
                 Some(idx) => (Arc::clone(&p.slots[idx as usize]), idx),
                 None => {
@@ -69,7 +69,7 @@ impl SlotPool {
                 }
             }
         };
-        let gen = slot.state.lock().unwrap().gen;
+        let gen = slot.state.lock().unwrap_or_else(|e| e.into_inner()).gen;
         SlotReceiver {
             slot,
             gen,
@@ -80,7 +80,11 @@ impl SlotPool {
 
     /// Slots currently live (acquired at least once).
     pub fn capacity(&self) -> usize {
-        self.inner.lock().unwrap().slots.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .slots
+            .len()
     }
 }
 
@@ -105,19 +109,19 @@ impl SlotReceiver {
 
     /// Blocks until a response is delivered.
     pub fn recv(&self) -> PredictResponse {
-        let mut st = self.slot.state.lock().unwrap();
+        let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(r) = st.msgs.pop_front() {
                 return r;
             }
-            st = self.slot.cv.wait(st).unwrap();
+            st = self.slot.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Blocks until a response is delivered or `timeout` elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<PredictResponse> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.slot.state.lock().unwrap();
+        let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(r) = st.msgs.pop_front() {
                 return Some(r);
@@ -126,27 +130,41 @@ impl SlotReceiver {
             if now >= deadline {
                 return None;
             }
-            let (g, _) = self.slot.cv.wait_timeout(st, deadline - now).unwrap();
+            let (g, _) = self
+                .slot
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
             st = g;
         }
     }
 
     /// A response if one is already waiting (non-blocking).
     pub fn try_recv(&self) -> Option<PredictResponse> {
-        self.slot.state.lock().unwrap().msgs.pop_front()
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .msgs
+            .pop_front()
     }
 }
 
 impl Drop for SlotReceiver {
     fn drop(&mut self) {
         {
-            let mut st = self.slot.state.lock().unwrap();
+            let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
             // Retire this generation: any sender still holding it becomes a
             // no-op, and leftover messages never leak into the next request.
             st.gen = st.gen.wrapping_add(1);
             st.msgs.clear();
         }
-        self.pool.inner.lock().unwrap().free.push(self.idx);
+        self.pool
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .free
+            .push(self.idx);
     }
 }
 
@@ -162,7 +180,7 @@ pub struct SlotSender {
 impl SlotSender {
     /// Delivers `resp` unless the receiver has already released the slot.
     pub fn send(&self, resp: PredictResponse) {
-        let mut st = self.slot.state.lock().unwrap();
+        let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         if st.gen == self.gen {
             st.msgs.push_back(resp);
             self.slot.cv.notify_all();

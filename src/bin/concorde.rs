@@ -16,6 +16,7 @@
 //! speaks line-delimited JSON over TCP; `predict` either queries a running
 //! server or spins the service up in-process.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use concorde_suite::prelude::*;
@@ -38,7 +39,8 @@ fn usage_text() -> &'static str {
          [--precompute-workers N] [--inline-miss] [--max-conns N] [--miss-slo-ms N]\n             \
          [--slo CLASS=MS,…] [--metrics-addr HOST:PORT]\n             \
          [--sweep arch|quantized] [--encoding f32|f16|int8]\n             \
-         [--model-encoding f32|int8] [--preload FILE]…\n  \
+         [--model-encoding f32|int8] [--preload FILE]…\n             \
+         [--read-timeout-ms N] [--max-line-bytes N[k|m|g]]\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
          [--trace N] [--start N] [--count N] [--deadline-ms N]\n             \
          [--class interactive|batch] [--notify] [--schema-version N]"
@@ -260,8 +262,47 @@ fn serve_config(args: &[String]) -> ServeConfig {
                 ))
             }),
         },
+        read_timeout: flag_value(args, "--read-timeout-ms").map(|v| {
+            let ms: u64 = v
+                .parse()
+                .unwrap_or_else(|_| bail(&format!("--read-timeout-ms `{v}` is not a number")));
+            if ms == 0 {
+                bail("--read-timeout-ms must be > 0 (omit the flag to keep idle connections)");
+            }
+            Duration::from_millis(ms)
+        }),
+        max_line_bytes: flag_value(args, "--max-line-bytes")
+            .map(|v| parse_bytes("--max-line-bytes", v))
+            .unwrap_or(defaults.max_line_bytes),
+        fault_plan: None,
     }
 }
+
+/// Flipped by the `SIGTERM` handler; the watcher thread in `serve` begins
+/// the graceful drain when it sees the flag.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    // Async-signal-safe by construction: the handler is one atomic store.
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs the `SIGTERM` → drain flag handler. A raw `signal(2)` binding
+/// keeps the tree dependency-free; `SIGINT` (Ctrl-C) keeps its default
+/// hard-kill behavior so an operator can still bail out of a stuck drain.
+#[cfg(unix)]
+fn install_term_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_term_handler() {}
 
 fn arch_spec_from_args(args: &[String]) -> ArchSpec {
     let mut spec = match flag_value(args, "--arch") {
@@ -694,9 +735,31 @@ fn main() {
             eprintln!(
                 "[serve] try: echo '{{\"workload\": \"S5\", \"arch\": {{\"base\": \"n1\"}}}}' | nc {addr}"
             );
+            // SIGTERM → graceful drain: the handler only flips a flag; this
+            // watcher does the real work from a normal thread.
+            install_term_handler();
+            let drain_client = service.client();
+            std::thread::Builder::new()
+                .name("concorde-term-watch".to_string())
+                .spawn(move || loop {
+                    if TERM.load(Ordering::SeqCst) {
+                        eprintln!(
+                            "[serve] SIGTERM: draining (stop accepting, answer in-flight, exit)"
+                        );
+                        drain_client.begin_drain();
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                })
+                .expect("spawn signal watcher");
             if let Err(e) = service.serve_tcp(listener) {
                 bail(&format!("server error: {e}"));
             }
+            // serve_tcp returns only on drain. Dropping the service flushes
+            // the queues and answers any straggling parked jobs before the
+            // clean exit the drain contract promises.
+            eprintln!("[serve] drained; shutting down");
+            drop(service);
         }
         "predict" => {
             let id = operand(&args, 1, "workload (usage: concorde predict <workload>)");
@@ -734,8 +797,16 @@ fn main() {
                 })
                 .collect();
             if let Some(addr) = flag_value(&args, "--addr") {
-                let mut client = TcpClient::connect(addr)
-                    .unwrap_or_else(|e| bail(&format!("cannot connect to {addr}: {e}")));
+                // Retry with jittered exponential backoff: a server mid-
+                // restart answers the 2nd–5th attempt instead of failing
+                // the whole command on one ECONNREFUSED.
+                let mut client = TcpClient::connect_with_retry(
+                    addr,
+                    5,
+                    Duration::from_millis(50),
+                    Duration::from_secs(1),
+                )
+                .unwrap_or_else(|e| bail(&format!("cannot connect to {addr}: {e}")));
                 let resps = client
                     .predict_many(&reqs)
                     .unwrap_or_else(|e| bail(&format!("request failed: {e}")));

@@ -1,0 +1,78 @@
+//! Property test: flipping any single bit anywhere in a v4 store artifact
+//! — header, store blob, padding, or checksum footer, at every arena
+//! encoding — must surface as a typed `io::Error` from
+//! [`StoreArtifact::from_bytes`]. Never a panic, never a silently wrong
+//! store. The FNV-1a footer covers every byte before it, so a blob flip
+//! changes the computed sum and a footer flip changes the stored one;
+//! header flips may instead trip the (bounds-checked) header parser, which
+//! is equally acceptable as long as the failure is a typed error.
+
+use std::sync::OnceLock;
+
+use concorde_suite::prelude::*;
+use proptest::prelude::*;
+
+/// One small artifact per arena encoding, serialized once and shared by
+/// every proptest case (precompute dominates the cost otherwise).
+fn encoded_artifacts() -> &'static [Vec<u8>; 3] {
+    static CACHE: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut profile = ReproProfile::quick();
+        profile.region_len = 512;
+        profile.warmup_len = 512;
+        let spec = by_id("S5").unwrap();
+        let region = generate_region(&spec, 0, 0, profile.region_len);
+        let sweep = SweepConfig::quantized();
+        let store = FeatureStore::precompute(&[], &region.instrs, &sweep, &profile);
+        let key = |enc: &str| FeatureKey {
+            workload: format!("S5-{enc}").into(),
+            trace: 0,
+            start: 0,
+            region_len: profile.region_len as u32,
+            sweep_hash: 0,
+        };
+        [ArenaEncoding::F32, ArenaEncoding::F16, ArenaEncoding::Int8]
+            .map(|enc| StoreArtifact::new(key(enc.name()), store.reencoded(enc)).to_bytes())
+    })
+}
+
+use concorde_suite::core::cache::{FeatureKey, StoreArtifact};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_single_bit_flip_is_rejected_with_a_typed_error(
+        enc_idx in 0usize..3,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let pristine = &encoded_artifacts()[enc_idx];
+        // Sanity: the untouched bytes still load (also proves any failure
+        // below comes from the flip, not the fixture).
+        prop_assert!(StoreArtifact::from_bytes(pristine).is_ok());
+
+        let mut corrupt = pristine.clone();
+        let pos = ((pos_frac * corrupt.len() as f64) as usize).min(corrupt.len() - 1);
+        corrupt[pos] ^= 1u8 << bit;
+
+        // A flipped bit anywhere must fail typed — from_bytes returning Err
+        // here means no panic and no silently-wrong store.
+        let result = StoreArtifact::from_bytes(&corrupt);
+        prop_assert!(
+            result.is_err(),
+            "flip at byte {} bit {} (encoding #{}) loaded as a valid artifact",
+            pos, bit, enc_idx
+        );
+        let err = result.unwrap_err();
+        // Past the fixed-size header every flip is caught by the checksum
+        // itself, with the actionable message operators see on `--preload`.
+        if pos >= 64 {
+            let msg = err.to_string();
+            prop_assert!(
+                msg.contains("checksum mismatch"),
+                "blob/footer flip at {pos} gave a non-checksum error: {msg}"
+            );
+        }
+    }
+}
