@@ -1,0 +1,531 @@
+//! Tiny RV32IM assembler and ELF writer.
+//!
+//! The container has no RISC-V cross toolchain, so the vendored test
+//! binaries under `riscv-testdata/` are produced by this module: raw
+//! instruction encoders (one function per mnemonic), a label-fixup
+//! program builder for writing loops and calls without hand-computing
+//! branch offsets, and [`build_elf`] which wraps the encoded words in a
+//! minimal ELF32 executable the front end can load. It is test/tooling
+//! infrastructure, not part of the ingestion path.
+
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Raw format encoders
+// ---------------------------------------------------------------------------
+
+/// R-type: `funct7 | rs2 | rs1 | funct3 | rd | opcode`.
+#[inline]
+pub fn enc_r(opcode: u32, funct3: u32, funct7: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    (funct7 << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+/// I-type: `imm[11:0] | rs1 | funct3 | rd | opcode`.
+#[inline]
+pub fn enc_i(opcode: u32, funct3: u32, rd: u8, rs1: u8, imm: i32) -> u32 {
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "I-immediate out of range: {imm}"
+    );
+    (((imm as u32) & 0xfff) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+/// S-type: `imm[11:5] | rs2 | rs1 | funct3 | imm[4:0] | opcode`.
+#[inline]
+pub fn enc_s(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+    debug_assert!(
+        (-2048..=2047).contains(&imm),
+        "S-immediate out of range: {imm}"
+    );
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
+}
+
+/// B-type: branch offset in bytes (must be even, ±4 KiB).
+#[inline]
+pub fn enc_b(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+    debug_assert!(imm % 2 == 0, "branch offset must be even: {imm}");
+    debug_assert!(
+        (-4096..=4094).contains(&imm),
+        "B-immediate out of range: {imm}"
+    );
+    let imm = imm as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | ((rs2 as u32) << 20)
+        | ((rs1 as u32) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+/// U-type: `imm[31:12] | rd | opcode` (`imm20` is the *upper* 20 bits).
+#[inline]
+pub fn enc_u(opcode: u32, rd: u8, imm20: u32) -> u32 {
+    debug_assert!(imm20 < (1 << 20), "U-immediate out of range: {imm20:#x}");
+    (imm20 << 12) | ((rd as u32) << 7) | opcode
+}
+
+/// J-type: jump offset in bytes (must be even, ±1 MiB).
+#[inline]
+pub fn enc_j(opcode: u32, rd: u8, imm: i32) -> u32 {
+    debug_assert!(imm % 2 == 0, "jump offset must be even: {imm}");
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&imm),
+        "J-immediate out of range: {imm}"
+    );
+    let imm = imm as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | ((rd as u32) << 7)
+        | opcode
+}
+
+// ---------------------------------------------------------------------------
+// Mnemonics
+// ---------------------------------------------------------------------------
+
+#[allow(missing_docs)]
+pub fn lui(rd: u8, imm20: u32) -> u32 {
+    enc_u(0x37, rd, imm20)
+}
+#[allow(missing_docs)]
+pub fn auipc(rd: u8, imm20: u32) -> u32 {
+    enc_u(0x17, rd, imm20)
+}
+#[allow(missing_docs)]
+pub fn jal(rd: u8, offset: i32) -> u32 {
+    enc_j(0x6f, rd, offset)
+}
+#[allow(missing_docs)]
+pub fn jalr(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x67, 0, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn beq(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    enc_b(0x63, 0, rs1, rs2, offset)
+}
+#[allow(missing_docs)]
+pub fn bne(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    enc_b(0x63, 1, rs1, rs2, offset)
+}
+#[allow(missing_docs)]
+pub fn blt(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    enc_b(0x63, 4, rs1, rs2, offset)
+}
+#[allow(missing_docs)]
+pub fn bge(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    enc_b(0x63, 5, rs1, rs2, offset)
+}
+#[allow(missing_docs)]
+pub fn bltu(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    enc_b(0x63, 6, rs1, rs2, offset)
+}
+#[allow(missing_docs)]
+pub fn bgeu(rs1: u8, rs2: u8, offset: i32) -> u32 {
+    enc_b(0x63, 7, rs1, rs2, offset)
+}
+#[allow(missing_docs)]
+pub fn lb(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x03, 0, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn lh(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x03, 1, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn lw(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x03, 2, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn lbu(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x03, 4, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn lhu(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x03, 5, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn sb(rs1: u8, rs2: u8, imm: i32) -> u32 {
+    enc_s(0x23, 0, rs1, rs2, imm)
+}
+#[allow(missing_docs)]
+pub fn sh(rs1: u8, rs2: u8, imm: i32) -> u32 {
+    enc_s(0x23, 1, rs1, rs2, imm)
+}
+#[allow(missing_docs)]
+pub fn sw(rs1: u8, rs2: u8, imm: i32) -> u32 {
+    enc_s(0x23, 2, rs1, rs2, imm)
+}
+#[allow(missing_docs)]
+pub fn addi(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x13, 0, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn slti(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x13, 2, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn sltiu(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x13, 3, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn xori(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x13, 4, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn ori(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x13, 6, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn andi(rd: u8, rs1: u8, imm: i32) -> u32 {
+    enc_i(0x13, 7, rd, rs1, imm)
+}
+#[allow(missing_docs)]
+pub fn slli(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    enc_r(0x13, 1, 0x00, rd, rs1, shamt)
+}
+#[allow(missing_docs)]
+pub fn srli(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    enc_r(0x13, 5, 0x00, rd, rs1, shamt)
+}
+#[allow(missing_docs)]
+pub fn srai(rd: u8, rs1: u8, shamt: u8) -> u32 {
+    enc_r(0x13, 5, 0x20, rd, rs1, shamt)
+}
+#[allow(missing_docs)]
+pub fn add(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 0, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn sub(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 0, 0x20, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn sll(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 1, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn slt(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 2, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn sltu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 3, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn xor(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 4, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn srl(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 5, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn sra(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 5, 0x20, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn or(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 6, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn and(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 7, 0x00, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn mul(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 0, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn mulh(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 1, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn mulhu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 3, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn div(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 4, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn divu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 5, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn rem(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 6, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn remu(rd: u8, rs1: u8, rs2: u8) -> u32 {
+    enc_r(0x33, 7, 0x01, rd, rs1, rs2)
+}
+#[allow(missing_docs)]
+pub fn fence() -> u32 {
+    0x0000_000f
+}
+#[allow(missing_docs)]
+pub fn ecall() -> u32 {
+    0x0000_0073
+}
+#[allow(missing_docs)]
+pub fn ebreak() -> u32 {
+    0x0010_0073
+}
+
+/// Canonical `nop` (`addi x0, x0, 0`).
+pub fn nop() -> u32 {
+    addi(0, 0, 0)
+}
+
+/// Loads an arbitrary 32-bit constant into `rd` (always emits the
+/// `lui`+`addi` pair so instruction counts stay offset-independent).
+pub fn li(rd: u8, value: i32) -> [u32; 2] {
+    let v = value as u32;
+    let lo = (v & 0xfff) as i32;
+    let lo = if lo >= 2048 { lo - 4096 } else { lo };
+    let hi = v.wrapping_sub(lo as u32) >> 12;
+    [lui(rd, hi & 0xfffff), addi(rd, rd, lo)]
+}
+
+// ---------------------------------------------------------------------------
+// Program builder with labels
+// ---------------------------------------------------------------------------
+
+/// A branch/jump target patched in at [`Prog::assemble`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+enum Item {
+    Word(u32),
+    /// B-type branch to a label: (opcode, funct3, rs1, rs2, label).
+    Branch(u32, u32, u8, u8, Label),
+    /// JAL to a label: (rd, label).
+    Jump(u8, Label),
+}
+
+/// Two-pass assembler: append instructions and forward/backward label
+/// references, then [`Prog::assemble`] resolves every offset.
+#[derive(Default)]
+pub struct Prog {
+    items: Vec<Item>,
+    labels: HashMap<Label, usize>,
+    next_label: usize,
+}
+
+impl Prog {
+    /// Empty program.
+    pub fn new() -> Self {
+        Prog::default()
+    }
+
+    /// Appends one already-encoded instruction word.
+    pub fn push(&mut self, word: u32) -> &mut Self {
+        self.items.push(Item::Word(word));
+        self
+    }
+
+    /// Appends several encoded words (e.g. a [`li`] pair).
+    pub fn push_all(&mut self, words: &[u32]) -> &mut Self {
+        for &w in words {
+            self.push(w);
+        }
+        self
+    }
+
+    /// Allocates a label that can be referenced before it is bound.
+    pub fn label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let prev = self.labels.insert(label, self.items.len());
+        assert!(prev.is_none(), "label bound twice");
+        self
+    }
+
+    /// Conditional branch to a label. `funct3` follows the B-type table
+    /// (0=beq 1=bne 4=blt 5=bge 6=bltu 7=bgeu).
+    pub fn branch(&mut self, funct3: u32, rs1: u8, rs2: u8, target: Label) -> &mut Self {
+        self.items
+            .push(Item::Branch(0x63, funct3, rs1, rs2, target));
+        self
+    }
+
+    /// `jal rd, target`.
+    pub fn jal(&mut self, rd: u8, target: Label) -> &mut Self {
+        self.items.push(Item::Jump(rd, target));
+        self
+    }
+
+    /// Resolves all labels and returns the encoded instruction words.
+    ///
+    /// # Panics
+    ///
+    /// If a referenced label was never bound (a bug in the test program).
+    pub fn assemble(&self) -> Vec<u32> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(idx, item)| match item {
+                Item::Word(w) => *w,
+                Item::Branch(opcode, funct3, rs1, rs2, label) => {
+                    let target = *self.labels.get(label).expect("unbound branch label");
+                    let offset = (target as i64 - idx as i64) * 4;
+                    enc_b(*opcode, *funct3, *rs1, *rs2, offset as i32)
+                }
+                Item::Jump(rd, label) => {
+                    let target = *self.labels.get(label).expect("unbound jump label");
+                    let offset = (target as i64 - idx as i64) * 4;
+                    jal(*rd, offset as i32)
+                }
+            })
+            .collect()
+    }
+
+    /// Assembles into little-endian bytes (the ELF segment payload).
+    pub fn assemble_bytes(&self) -> Vec<u8> {
+        self.assemble()
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ELF writer
+// ---------------------------------------------------------------------------
+
+/// Builds a minimal ELF32 little-endian `ET_EXEC` RISC-V image.
+///
+/// `segments` is `(vaddr, data, memsz, flags)` per loadable segment;
+/// `memsz` may exceed `data.len()` to describe zero-filled BSS. The
+/// output round-trips through [`crate::elf::parse_elf32`].
+pub fn build_elf(entry: u32, segments: &[(u32, &[u8], u32, u32)]) -> Vec<u8> {
+    const EHSIZE: usize = 52;
+    const PHENTSIZE: usize = 32;
+    let phoff = EHSIZE;
+    let data_off = EHSIZE + segments.len() * PHENTSIZE;
+
+    let mut out = Vec::new();
+    // e_ident
+    out.extend_from_slice(&[0x7f, b'E', b'L', b'F']);
+    out.push(1); // ELFCLASS32
+    out.push(1); // ELFDATA2LSB
+    out.push(1); // EV_CURRENT
+    out.extend_from_slice(&[0u8; 9]); // padding
+    out.extend_from_slice(&2u16.to_le_bytes()); // e_type = ET_EXEC
+    out.extend_from_slice(&243u16.to_le_bytes()); // e_machine = EM_RISCV
+    out.extend_from_slice(&1u32.to_le_bytes()); // e_version
+    out.extend_from_slice(&entry.to_le_bytes()); // e_entry
+    out.extend_from_slice(&(phoff as u32).to_le_bytes()); // e_phoff
+    out.extend_from_slice(&0u32.to_le_bytes()); // e_shoff
+    out.extend_from_slice(&0u32.to_le_bytes()); // e_flags
+    out.extend_from_slice(&(EHSIZE as u16).to_le_bytes()); // e_ehsize
+    out.extend_from_slice(&(PHENTSIZE as u16).to_le_bytes()); // e_phentsize
+    out.extend_from_slice(&(segments.len() as u16).to_le_bytes()); // e_phnum
+    out.extend_from_slice(&0u16.to_le_bytes()); // e_shentsize
+    out.extend_from_slice(&0u16.to_le_bytes()); // e_shnum
+    out.extend_from_slice(&0u16.to_le_bytes()); // e_shstrndx
+    debug_assert_eq!(out.len(), EHSIZE);
+
+    // Program headers.
+    let mut offset = data_off;
+    for (vaddr, data, memsz, flags) in segments {
+        out.extend_from_slice(&1u32.to_le_bytes()); // p_type = PT_LOAD
+        out.extend_from_slice(&(offset as u32).to_le_bytes()); // p_offset
+        out.extend_from_slice(&vaddr.to_le_bytes()); // p_vaddr
+        out.extend_from_slice(&vaddr.to_le_bytes()); // p_paddr
+        out.extend_from_slice(&(data.len() as u32).to_le_bytes()); // p_filesz
+        out.extend_from_slice(&memsz.to_le_bytes()); // p_memsz
+        out.extend_from_slice(&flags.to_le_bytes()); // p_flags
+        out.extend_from_slice(&4u32.to_le_bytes()); // p_align
+        offset += data.len();
+    }
+
+    // Segment payloads, in order.
+    for (_, data, _, _) in segments {
+        out.extend_from_slice(data);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_round_trips_edge_values() {
+        // Values whose low 12 bits look negative exercise the hi/lo split.
+        for v in [
+            0i32,
+            1,
+            -1,
+            2047,
+            2048,
+            -2048,
+            0x1234_5678,
+            i32::MIN,
+            i32::MAX,
+        ] {
+            let [hi, lo] = li(5, v);
+            // Emulate: lui then addi.
+            let r = ((hi & 0xffff_f000) as i32).wrapping_add((lo as i32) >> 20);
+            assert_eq!(r, v, "li({v:#x}) mis-assembled");
+        }
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut p = Prog::new();
+        let top = p.label();
+        let done = p.label();
+        p.push_all(&li(5, 3));
+        p.bind(top);
+        p.push(addi(5, 5, -1)); // x5 -= 1
+        p.branch(1, 5, 0, top); // bne x5, x0, top (backward)
+        p.branch(0, 0, 0, done); // beq x0, x0, done (forward)
+        p.push(nop());
+        p.bind(done);
+        p.push(ecall());
+        let words = p.assemble();
+        assert_eq!(words.len(), 7);
+        // Backward branch: from index 3 to index 2 → offset -4.
+        let d = crate::decode::decode(words[3]).unwrap();
+        assert_eq!(d.imm, -4);
+        // Forward branch: from index 4 to index 6 → offset +8.
+        let d = crate::decode::decode(words[4]).unwrap();
+        assert_eq!(d.imm, 8);
+    }
+
+    #[test]
+    fn built_elf_is_parseable() {
+        let mut p = Prog::new();
+        p.push(nop()).push(ecall());
+        let elf = build_elf(0x8000, &[(0x8000, &p.assemble_bytes(), 8, 5)]);
+        let img = crate::elf::parse_elf32(&elf).unwrap();
+        assert_eq!(img.entry, 0x8000);
+        assert_eq!(img.segments[0].data.len(), 8);
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the vendored RV32 test binaries under `riscv-testdata/`.
+//!
+//! Usage: `cargo run -p concorde-riscv --bin gen-riscv-testdata [out-dir]`
+//! (default `riscv-testdata`). Output is deterministic; CI and the test
+//! suite assert the committed files match what this produces.
+
+use std::path::PathBuf;
+
+fn main() {
+    let out: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "riscv-testdata".to_string())
+        .into();
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("error: cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    for (name, bytes) in concorde_riscv::testdata::programs() {
+        let path = out.join(format!("{name}.elf"));
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {} ({} bytes)", path.display(), bytes.len());
+    }
+}

@@ -1,0 +1,382 @@
+//! RV32IM instruction decoder.
+//!
+//! Decodes the 32-bit base integer ISA plus the M extension into a flat
+//! `(op, rd, rs1, rs2, imm)` form the interpreter executes directly.
+//! Compressed (RVC) encodings and every other extension decode to a typed
+//! error — the interpreter turns that into a deterministic halt rather
+//! than guessing at semantics.
+
+use std::fmt;
+
+/// Decoded RV32IM operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Op {
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    Sb,
+    Sh,
+    Sw,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Fence,
+    FenceI,
+    Ecall,
+    Ebreak,
+}
+
+/// One decoded instruction: operation plus its register/immediate fields
+/// (fields an operation does not use are zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decoded {
+    /// The operation.
+    pub op: Op,
+    /// Destination register index (0–31).
+    pub rd: u8,
+    /// First source register index.
+    pub rs1: u8,
+    /// Second source register index.
+    pub rs2: u8,
+    /// Sign-extended immediate (shift amount for `Slli`/`Srli`/`Srai`).
+    pub imm: i32,
+}
+
+/// An encoding the decoder does not understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The raw instruction word.
+    pub raw: u32,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.raw, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn rd(raw: u32) -> u8 {
+    ((raw >> 7) & 0x1f) as u8
+}
+
+#[inline]
+fn rs1(raw: u32) -> u8 {
+    ((raw >> 15) & 0x1f) as u8
+}
+
+#[inline]
+fn rs2(raw: u32) -> u8 {
+    ((raw >> 20) & 0x1f) as u8
+}
+
+#[inline]
+fn funct3(raw: u32) -> u32 {
+    (raw >> 12) & 7
+}
+
+#[inline]
+fn funct7(raw: u32) -> u32 {
+    raw >> 25
+}
+
+/// I-type immediate: bits 31:20, sign-extended.
+#[inline]
+fn imm_i(raw: u32) -> i32 {
+    (raw as i32) >> 20
+}
+
+/// S-type immediate: bits 31:25 | 11:7, sign-extended.
+#[inline]
+fn imm_s(raw: u32) -> i32 {
+    let v = ((raw >> 25) << 5) | ((raw >> 7) & 0x1f);
+    ((v << 20) as i32) >> 20
+}
+
+/// B-type immediate: {31, 7, 30:25, 11:8, 0}, sign-extended.
+#[inline]
+fn imm_b(raw: u32) -> i32 {
+    let v = (((raw >> 31) & 1) << 12)
+        | (((raw >> 7) & 1) << 11)
+        | (((raw >> 25) & 0x3f) << 5)
+        | (((raw >> 8) & 0xf) << 1);
+    ((v << 19) as i32) >> 19
+}
+
+/// U-type immediate: bits 31:12 shifted into place (not sign-extended —
+/// already occupies the top bits).
+#[inline]
+fn imm_u(raw: u32) -> i32 {
+    (raw & 0xffff_f000) as i32
+}
+
+/// J-type immediate: {31, 19:12, 20, 30:21, 0}, sign-extended.
+#[inline]
+fn imm_j(raw: u32) -> i32 {
+    let v = (((raw >> 31) & 1) << 20)
+        | (((raw >> 12) & 0xff) << 12)
+        | (((raw >> 20) & 1) << 11)
+        | (((raw >> 21) & 0x3ff) << 1);
+    ((v << 11) as i32) >> 11
+}
+
+/// Decodes one 32-bit RV32IM instruction word.
+///
+/// # Errors
+///
+/// [`DecodeError`] for compressed encodings, unknown opcodes, and unknown
+/// funct3/funct7 combinations.
+pub fn decode(raw: u32) -> Result<Decoded, DecodeError> {
+    if raw & 3 != 3 {
+        return Err(DecodeError {
+            raw,
+            reason: "compressed (RVC) or invalid encoding; only 32-bit RV32IM is supported",
+        });
+    }
+    let opcode = raw & 0x7f;
+    let d = |op: Op, rd_v: u8, rs1_v: u8, rs2_v: u8, imm: i32| {
+        Ok(Decoded {
+            op,
+            rd: rd_v,
+            rs1: rs1_v,
+            rs2: rs2_v,
+            imm,
+        })
+    };
+    match opcode {
+        0x37 => d(Op::Lui, rd(raw), 0, 0, imm_u(raw)),
+        0x17 => d(Op::Auipc, rd(raw), 0, 0, imm_u(raw)),
+        0x6f => d(Op::Jal, rd(raw), 0, 0, imm_j(raw)),
+        0x67 => match funct3(raw) {
+            0 => d(Op::Jalr, rd(raw), rs1(raw), 0, imm_i(raw)),
+            _ => Err(DecodeError {
+                raw,
+                reason: "JALR funct3 must be 0",
+            }),
+        },
+        0x63 => {
+            let op = match funct3(raw) {
+                0 => Op::Beq,
+                1 => Op::Bne,
+                4 => Op::Blt,
+                5 => Op::Bge,
+                6 => Op::Bltu,
+                7 => Op::Bgeu,
+                _ => {
+                    return Err(DecodeError {
+                        raw,
+                        reason: "unknown branch funct3",
+                    })
+                }
+            };
+            d(op, 0, rs1(raw), rs2(raw), imm_b(raw))
+        }
+        0x03 => {
+            let op = match funct3(raw) {
+                0 => Op::Lb,
+                1 => Op::Lh,
+                2 => Op::Lw,
+                4 => Op::Lbu,
+                5 => Op::Lhu,
+                _ => {
+                    return Err(DecodeError {
+                        raw,
+                        reason: "unknown load funct3",
+                    })
+                }
+            };
+            d(op, rd(raw), rs1(raw), 0, imm_i(raw))
+        }
+        0x23 => {
+            let op = match funct3(raw) {
+                0 => Op::Sb,
+                1 => Op::Sh,
+                2 => Op::Sw,
+                _ => {
+                    return Err(DecodeError {
+                        raw,
+                        reason: "unknown store funct3",
+                    })
+                }
+            };
+            d(op, 0, rs1(raw), rs2(raw), imm_s(raw))
+        }
+        0x13 => match funct3(raw) {
+            0 => d(Op::Addi, rd(raw), rs1(raw), 0, imm_i(raw)),
+            2 => d(Op::Slti, rd(raw), rs1(raw), 0, imm_i(raw)),
+            3 => d(Op::Sltiu, rd(raw), rs1(raw), 0, imm_i(raw)),
+            4 => d(Op::Xori, rd(raw), rs1(raw), 0, imm_i(raw)),
+            6 => d(Op::Ori, rd(raw), rs1(raw), 0, imm_i(raw)),
+            7 => d(Op::Andi, rd(raw), rs1(raw), 0, imm_i(raw)),
+            1 => match funct7(raw) {
+                0 => d(Op::Slli, rd(raw), rs1(raw), 0, (rs2(raw)) as i32),
+                _ => Err(DecodeError {
+                    raw,
+                    reason: "unknown SLLI funct7",
+                }),
+            },
+            5 => match funct7(raw) {
+                0x00 => d(Op::Srli, rd(raw), rs1(raw), 0, (rs2(raw)) as i32),
+                0x20 => d(Op::Srai, rd(raw), rs1(raw), 0, (rs2(raw)) as i32),
+                _ => Err(DecodeError {
+                    raw,
+                    reason: "unknown shift-right funct7",
+                }),
+            },
+            _ => unreachable!("funct3 is 3 bits"),
+        },
+        0x33 => {
+            let op = match (funct7(raw), funct3(raw)) {
+                (0x00, 0) => Op::Add,
+                (0x20, 0) => Op::Sub,
+                (0x00, 1) => Op::Sll,
+                (0x00, 2) => Op::Slt,
+                (0x00, 3) => Op::Sltu,
+                (0x00, 4) => Op::Xor,
+                (0x00, 5) => Op::Srl,
+                (0x20, 5) => Op::Sra,
+                (0x00, 6) => Op::Or,
+                (0x00, 7) => Op::And,
+                (0x01, 0) => Op::Mul,
+                (0x01, 1) => Op::Mulh,
+                (0x01, 2) => Op::Mulhsu,
+                (0x01, 3) => Op::Mulhu,
+                (0x01, 4) => Op::Div,
+                (0x01, 5) => Op::Divu,
+                (0x01, 6) => Op::Rem,
+                (0x01, 7) => Op::Remu,
+                _ => {
+                    return Err(DecodeError {
+                        raw,
+                        reason: "unknown OP funct7/funct3",
+                    })
+                }
+            };
+            d(op, rd(raw), rs1(raw), rs2(raw), 0)
+        }
+        0x0f => match funct3(raw) {
+            0 => d(Op::Fence, 0, 0, 0, 0),
+            1 => d(Op::FenceI, 0, 0, 0, 0),
+            _ => Err(DecodeError {
+                raw,
+                reason: "unknown MISC-MEM funct3",
+            }),
+        },
+        0x73 => match raw >> 7 {
+            0 => d(Op::Ecall, 0, 0, 0, 0),
+            0x2000 => d(Op::Ebreak, 0, 0, 0, 0),
+            _ => Err(DecodeError {
+                raw,
+                reason: "unsupported SYSTEM instruction (no CSRs, no privileged ops)",
+            }),
+        },
+        _ => Err(DecodeError {
+            raw,
+            reason: "unknown opcode",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn decodes_hand_encoded_forms() {
+        // addi x5, x6, -7
+        let d = decode(asm::addi(5, 6, -7)).unwrap();
+        assert_eq!(
+            d,
+            Decoded {
+                op: Op::Addi,
+                rd: 5,
+                rs1: 6,
+                rs2: 0,
+                imm: -7
+            }
+        );
+        // beq x1, x2, -8 (backwards)
+        let d = decode(asm::beq(1, 2, -8)).unwrap();
+        assert_eq!(d.op, Op::Beq);
+        assert_eq!(d.imm, -8);
+        // jal x1, +2048
+        let d = decode(asm::jal(1, 2048)).unwrap();
+        assert_eq!(d.op, Op::Jal);
+        assert_eq!(d.imm, 2048);
+        // mul x3, x4, x5
+        let d = decode(asm::mul(3, 4, 5)).unwrap();
+        assert_eq!(
+            (d.op, d.rd, d.rs1, d.rs2),
+            (Op::Mul, 3, 4, 5),
+            "M extension"
+        );
+        // lui x7, 0xabcde000
+        let d = decode(asm::lui(7, 0xabcde)).unwrap();
+        assert_eq!(d.op, Op::Lui);
+        assert_eq!(d.imm as u32, 0xabcd_e000);
+        // srai x2, x3, 9
+        let d = decode(asm::srai(2, 3, 9)).unwrap();
+        assert_eq!((d.op, d.imm), (Op::Srai, 9));
+        assert_eq!(decode(asm::ecall()).unwrap().op, Op::Ecall);
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let d = decode(asm::sw(2, 8, -12)).unwrap();
+        assert_eq!(d.op, Op::Sw);
+        assert_eq!(d.imm, -12);
+        let d = decode(asm::lw(9, 2, -4)).unwrap();
+        assert_eq!(d.imm, -4);
+    }
+
+    #[test]
+    fn rejects_compressed_and_unknown() {
+        assert!(decode(0x0000).is_err(), "all-zero word");
+        assert!(decode(0x4601).is_err(), "RVC encoding");
+        assert!(decode(0x7f).is_err() || decode(0x7f).is_ok());
+        let e = decode(0x0000_0001).unwrap_err();
+        assert!(e.to_string().contains("compressed"));
+    }
+}

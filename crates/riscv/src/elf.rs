@@ -1,0 +1,215 @@
+//! Minimal ELF32 executable parser — exactly the subset the front end
+//! needs: validate the identity bytes, find the entry point, and collect
+//! the `PT_LOAD` program segments. No section headers, no relocation, no
+//! dynamic linking; statically linked RV32 executables (what a
+//! `riscv32-unknown-elf` toolchain or our vendored generator produces) are
+//! the supported input, and everything else fails with a typed error.
+
+use std::fmt;
+
+/// ELF magic: `0x7f 'E' 'L' 'F'`.
+const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+/// `EI_CLASS` value for 32-bit objects.
+const ELFCLASS32: u8 = 1;
+/// `EI_DATA` value for little-endian objects.
+const ELFDATA2LSB: u8 = 1;
+/// `e_type` for executables.
+const ET_EXEC: u16 = 2;
+/// `e_machine` for RISC-V.
+const EM_RISCV: u16 = 243;
+/// `p_type` for loadable segments.
+const PT_LOAD: u32 = 1;
+
+/// Why an ELF image was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfError {
+    /// The file is shorter than the structure being read.
+    Truncated {
+        /// What was being read when the file ran out.
+        what: &'static str,
+    },
+    /// The first four bytes are not the ELF magic.
+    BadMagic,
+    /// `EI_CLASS` is not ELF32 (64-bit binaries are not supported).
+    NotClass32,
+    /// `EI_DATA` is not little-endian.
+    NotLittleEndian,
+    /// `e_type` is not `ET_EXEC` (relocatable/shared objects unsupported).
+    NotExecutable(u16),
+    /// `e_machine` is not RISC-V.
+    NotRiscv(u16),
+    /// No `PT_LOAD` segment exists; nothing to execute.
+    NoLoadSegments,
+}
+
+impl fmt::Display for ElfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElfError::Truncated { what } => write!(f, "truncated ELF: {what} out of range"),
+            ElfError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            ElfError::NotClass32 => write!(f, "not a 32-bit ELF (only RV32 is supported)"),
+            ElfError::NotLittleEndian => write!(f, "not a little-endian ELF"),
+            ElfError::NotExecutable(t) => {
+                write!(f, "not an executable (e_type {t}, expected ET_EXEC)")
+            }
+            ElfError::NotRiscv(m) => write!(f, "not a RISC-V binary (e_machine {m})"),
+            ElfError::NoLoadSegments => write!(f, "no PT_LOAD segments"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}
+
+/// One loadable program segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Virtual load address.
+    pub vaddr: u32,
+    /// File-backed bytes (length `p_filesz`).
+    pub data: Vec<u8>,
+    /// In-memory size (`p_memsz >= data.len()`; the excess is zero-filled
+    /// BSS).
+    pub memsz: u32,
+    /// `p_flags` permission bits (unused by the interpreter, kept for
+    /// inspection).
+    pub flags: u32,
+}
+
+/// A parsed RV32 executable: entry point plus its loadable segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElfImage {
+    /// Program entry point (`e_entry`).
+    pub entry: u32,
+    /// Loadable segments in file order.
+    pub segments: Vec<Segment>,
+}
+
+fn u16_at(b: &[u8], off: usize, what: &'static str) -> Result<u16, ElfError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes([s[0], s[1]]))
+        .ok_or(ElfError::Truncated { what })
+}
+
+fn u32_at(b: &[u8], off: usize, what: &'static str) -> Result<u32, ElfError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+        .ok_or(ElfError::Truncated { what })
+}
+
+/// Parses an ELF32 little-endian RISC-V executable image.
+///
+/// # Errors
+///
+/// Returns an [`ElfError`] naming the first identity or structural check
+/// that failed; a malformed file never panics.
+pub fn parse_elf32(bytes: &[u8]) -> Result<ElfImage, ElfError> {
+    let ident = bytes.get(0..16).ok_or(ElfError::Truncated {
+        what: "ELF identity",
+    })?;
+    if ident[0..4] != ELF_MAGIC {
+        return Err(ElfError::BadMagic);
+    }
+    if ident[4] != ELFCLASS32 {
+        return Err(ElfError::NotClass32);
+    }
+    if ident[5] != ELFDATA2LSB {
+        return Err(ElfError::NotLittleEndian);
+    }
+    let e_type = u16_at(bytes, 16, "e_type")?;
+    if e_type != ET_EXEC {
+        return Err(ElfError::NotExecutable(e_type));
+    }
+    let e_machine = u16_at(bytes, 18, "e_machine")?;
+    if e_machine != EM_RISCV {
+        return Err(ElfError::NotRiscv(e_machine));
+    }
+    let entry = u32_at(bytes, 24, "e_entry")?;
+    let phoff = u32_at(bytes, 28, "e_phoff")? as usize;
+    let phentsize = u16_at(bytes, 42, "e_phentsize")? as usize;
+    let phnum = u16_at(bytes, 44, "e_phnum")? as usize;
+    if phentsize < 32 {
+        return Err(ElfError::Truncated {
+            what: "program header entry",
+        });
+    }
+    let mut segments = Vec::new();
+    for i in 0..phnum {
+        let ph = phoff + i * phentsize;
+        let p_type = u32_at(bytes, ph, "p_type")?;
+        if p_type != PT_LOAD {
+            continue;
+        }
+        let p_offset = u32_at(bytes, ph + 4, "p_offset")? as usize;
+        let p_vaddr = u32_at(bytes, ph + 8, "p_vaddr")?;
+        let p_filesz = u32_at(bytes, ph + 16, "p_filesz")? as usize;
+        let p_memsz = u32_at(bytes, ph + 20, "p_memsz")?;
+        let p_flags = u32_at(bytes, ph + 24, "p_flags")?;
+        let data = bytes
+            .get(p_offset..p_offset + p_filesz)
+            .ok_or(ElfError::Truncated {
+                what: "segment data",
+            })?
+            .to_vec();
+        if (p_memsz as usize) < data.len() {
+            return Err(ElfError::Truncated {
+                what: "p_memsz smaller than p_filesz",
+            });
+        }
+        segments.push(Segment {
+            vaddr: p_vaddr,
+            data,
+            memsz: p_memsz,
+            flags: p_flags,
+        });
+    }
+    if segments.is_empty() {
+        return Err(ElfError::NoLoadSegments);
+    }
+    Ok(ElfImage { entry, segments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::build_elf;
+
+    #[test]
+    fn rejects_garbage_with_typed_errors() {
+        assert_eq!(
+            parse_elf32(b"hi").unwrap_err(),
+            ElfError::Truncated {
+                what: "ELF identity"
+            }
+        );
+        assert_eq!(parse_elf32(&[0u8; 64]).unwrap_err(), ElfError::BadMagic);
+        let mut almost = vec![0u8; 64];
+        almost[0..4].copy_from_slice(&ELF_MAGIC);
+        almost[4] = 2; // ELFCLASS64
+        assert_eq!(parse_elf32(&almost).unwrap_err(), ElfError::NotClass32);
+    }
+
+    #[test]
+    fn round_trips_built_images() {
+        let code: Vec<u8> = vec![0x13, 0x00, 0x00, 0x00]; // nop
+        let elf = build_elf(0x1000, &[(0x1000, &code, 0x10, 5)]);
+        let img = parse_elf32(&elf).expect("valid image");
+        assert_eq!(img.entry, 0x1000);
+        assert_eq!(img.segments.len(), 1);
+        assert_eq!(img.segments[0].vaddr, 0x1000);
+        assert_eq!(img.segments[0].data, code);
+        assert_eq!(img.segments[0].memsz, 0x10, "BSS tail preserved");
+    }
+
+    #[test]
+    fn truncated_segment_data_is_typed() {
+        let code: Vec<u8> = vec![0x13, 0x00, 0x00, 0x00];
+        let mut elf = build_elf(0x1000, &[(0x1000, &code, 4, 5)]);
+        elf.truncate(elf.len() - 2);
+        assert_eq!(
+            parse_elf32(&elf).unwrap_err(),
+            ElfError::Truncated {
+                what: "segment data"
+            }
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # concorde-riscv
+//!
+//! Real-program workload ingestion: load RV32IM ELF executables, run them
+//! under a minimal deterministic functional interpreter, and expose the
+//! recorded instruction stream as a Concorde workload. This is the bridge
+//! from actual binaries to the trace contract
+//! ([`concorde_trace::Instruction`]) that the analytic models, the
+//! featurizer, and the serving stack already consume — the model side never
+//! learns whether a trace came from the synthetic generator or a real
+//! program.
+//!
+//! Pipeline: [`elf::parse_elf32`] → [`mem::SparseMem`] → [`interp::execute`]
+//! → [`provider::RiscvWorkload`] (a [`concorde_trace::TraceProvider`]).
+//! Calling [`install`] registers the `riscv:` id prefix with the dynamic
+//! workload registry, after which `riscv:<path>[@<max-insts>]` is accepted
+//! anywhere a suite id like `"S5"` is today — the CLI, `precompute`, and
+//! the serve wire protocol.
+//!
+//! Determinism contract: [`interp::execute`] is a pure function of the
+//! binary bytes and the instruction budget. The same ELF always produces a
+//! bitwise-identical trace (pinned by [`interp::trace_fnv`] hashes in the
+//! tests), so cached feature stores and CPI predictions are stable across
+//! runs, processes, and thread counts.
+//!
+//! Scope: RV32IM user-mode only — no compressed (RVC) encodings, no CSRs,
+//! no floating point, no interrupts. Unsupported encodings halt execution
+//! with a typed reason instead of misexecuting; see `README.md`
+//! ("Workloads") for the full support matrix. The `asm`/`testdata` modules
+//! are in-tree tooling that generate the vendored `riscv-testdata/`
+//! binaries, since the container has no cross toolchain.
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod decode;
+pub mod elf;
+pub mod interp;
+pub mod mem;
+pub mod provider;
+pub mod testdata;
+
+pub use elf::{parse_elf32, ElfError, ElfImage, Segment};
+pub use interp::{execute, Execution, HaltReason, DEFAULT_MAX_INSTS, STACK_TOP};
+pub use mem::SparseMem;
+pub use provider::{install, parse_workload_id, resolve_riscv_id, RiscvWorkload};

@@ -1,0 +1,126 @@
+//! Flat sparse 32-bit memory image.
+//!
+//! The interpreter needs byte-addressable memory across a 4 GiB space where
+//! a program touches a few hundred KiB: a page map keeps the footprint
+//! proportional to what is actually written. Reads of unmapped memory
+//! return zero (matching freshly-zeroed BSS semantics), writes allocate
+//! their page on demand. All multi-byte accesses are little-endian and
+//! tolerate page-crossing and misalignment (RV32 allows misaligned
+//! loads/stores to be supported; handling them keeps real compiler output
+//! running).
+
+use std::collections::HashMap;
+
+use crate::elf::ElfImage;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable memory backed by 4 KiB pages.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMem {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMem {
+    /// Empty memory; every byte reads as zero.
+    pub fn new() -> Self {
+        SparseMem::default()
+    }
+
+    /// Memory pre-loaded with an ELF image's segments (file bytes copied,
+    /// BSS tails left as implicit zeros).
+    pub fn from_image(image: &ElfImage) -> Self {
+        let mut mem = SparseMem::new();
+        for seg in &image.segments {
+            for (i, b) in seg.data.iter().enumerate() {
+                mem.write_u8(seg.vaddr.wrapping_add(i as u32), *b);
+            }
+        }
+        mem
+    }
+
+    /// Number of resident (allocated) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte (0 when unmapped).
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Little-endian 16-bit read (page-crossing safe).
+    #[inline]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Little-endian 16-bit write.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u32, v: u16) {
+        let b = v.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Little-endian 32-bit read (page-crossing safe).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Little-endian 32-bit write.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        let b = v.to_le_bytes();
+        for (i, byte) in b.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *byte);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero_and_writes_allocate() {
+        let mut m = SparseMem::new();
+        assert_eq!(m.read_u32(0xdead_beef), 0);
+        assert_eq!(m.resident_pages(), 0);
+        m.write_u32(0x1000, 0x0102_0304);
+        assert_eq!(m.read_u32(0x1000), 0x0102_0304);
+        assert_eq!(m.read_u8(0x1000), 0x04, "little-endian layout");
+        assert_eq!(m.read_u8(0x1003), 0x01);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn page_crossing_accesses_work() {
+        let mut m = SparseMem::new();
+        m.write_u32(0x1ffe, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(0x1ffe), 0xaabb_ccdd);
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read_u16(0x1fff), 0xbbcc);
+    }
+}

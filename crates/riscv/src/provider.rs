@@ -1,0 +1,217 @@
+//! [`TraceProvider`] bridge: executed ELF binaries as Concorde workloads.
+//!
+//! A [`RiscvWorkload`] runs a binary to completion (or budget) exactly once
+//! at construction and serves trace regions out of the recorded instruction
+//! stream. Workload ids have the form `riscv:<path>[@<max-insts>]` — the
+//! optional suffix overrides the instruction budget, else the
+//! `CONCORDE_RISCV_MAX_INSTS` environment variable, else
+//! [`DEFAULT_MAX_INSTS`]. Because the id embeds both the path and the
+//! budget, two different budgets are two different workloads and never
+//! collide in the serving caches.
+
+use std::sync::Arc;
+
+use concorde_trace::{
+    register_resolver, BranchProfile, CodeShape, DynTrace, MemProfile, OpMix, TraceProvider,
+    WorkloadClass, WorkloadSpec,
+};
+
+use crate::elf::parse_elf32;
+use crate::interp::{execute, Execution, DEFAULT_MAX_INSTS};
+
+/// A fully-executed RV32IM binary serving its recorded trace.
+pub struct RiscvWorkload {
+    spec: WorkloadSpec,
+    exec: Execution,
+}
+
+impl RiscvWorkload {
+    /// Loads, parses, and executes `elf_bytes` under `max_insts`, recording
+    /// the full instruction stream. `id` becomes the registry key and
+    /// `name` the human-readable label.
+    ///
+    /// # Errors
+    ///
+    /// A malformed ELF, or a binary that halts on a decode error before
+    /// retiring a single instruction (nothing to model).
+    pub fn from_elf_bytes(
+        id: &str,
+        name: &str,
+        elf_bytes: &[u8],
+        max_insts: u64,
+    ) -> Result<Self, String> {
+        let image = parse_elf32(elf_bytes).map_err(|e| format!("{id}: {e}"))?;
+        let exec = execute(&image, max_insts);
+        if exec.trace.is_empty() {
+            return Err(format!(
+                "{id}: program retired no instructions ({:?})",
+                exec.halt
+            ));
+        }
+        // The seed is derived from the trace itself so anything keying on it
+        // stays deterministic per-binary; the statistical profile fields are
+        // metadata only — regions come from the recorded trace, never from
+        // the synthetic generator.
+        let wss = (exec.resident_pages as u64) * 4096;
+        let spec = WorkloadSpec::single_phase(
+            id,
+            name,
+            WorkloadClass::Real,
+            exec.trace_hash(),
+            1,
+            exec.trace.len() as u64,
+            OpMix::int_heavy(),
+            MemProfile::resident(wss.max(4096)),
+            BranchProfile::mixed(),
+            CodeShape::kernel(),
+        );
+        Ok(RiscvWorkload { spec, exec })
+    }
+
+    /// The recorded execution (trace, halt reason, stdout, final registers).
+    pub fn execution(&self) -> &Execution {
+        &self.exec
+    }
+}
+
+impl TraceProvider for RiscvWorkload {
+    fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn materialize(&self, _trace_idx: u32, start: u64, len: usize) -> DynTrace {
+        let n = self.exec.trace.len();
+        let s = (start as usize).min(n);
+        let e = s.saturating_add(len).min(n);
+        DynTrace {
+            workload_id: self.spec.id.clone(),
+            trace_idx: 0,
+            start,
+            instrs: self.exec.trace[s..e].to_vec(),
+        }
+    }
+}
+
+/// Splits a `riscv:` workload id into `(path, max_insts)`.
+///
+/// Accepts `riscv:<path>` and `riscv:<path>@<max-insts>`; when no suffix is
+/// present the budget comes from `CONCORDE_RISCV_MAX_INSTS` (if set and
+/// parseable) or [`DEFAULT_MAX_INSTS`].
+///
+/// # Errors
+///
+/// An id without the `riscv:` prefix, an empty path, or an unparseable
+/// budget suffix.
+pub fn parse_workload_id(id: &str) -> Result<(&str, u64), String> {
+    let rest = id
+        .strip_prefix("riscv:")
+        .ok_or_else(|| format!("`{id}` is not a riscv: workload id"))?;
+    let (path, budget) = match rest.rsplit_once('@') {
+        Some((path, suffix)) => {
+            let n: u64 = suffix
+                .parse()
+                .map_err(|_| format!("`{id}`: budget suffix `{suffix}` is not a number"))?;
+            if n == 0 {
+                return Err(format!("`{id}`: instruction budget must be positive"));
+            }
+            (path, n)
+        }
+        None => (rest, env_budget()),
+    };
+    if path.is_empty() {
+        return Err(format!("`{id}`: empty ELF path"));
+    }
+    Ok((path, budget))
+}
+
+fn env_budget() -> u64 {
+    std::env::var("CONCORDE_RISCV_MAX_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_MAX_INSTS)
+}
+
+/// Builds the provider for one `riscv:` id by reading and executing the
+/// named ELF file.
+pub fn resolve_riscv_id(id: &str) -> Result<Arc<dyn TraceProvider>, String> {
+    let (path, budget) = parse_workload_id(id)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read ELF `{path}`: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string();
+    let wl = RiscvWorkload::from_elf_bytes(id, &name, &bytes, budget)?;
+    Ok(Arc::new(wl))
+}
+
+/// Registers the `riscv:` prefix resolver with the dynamic workload
+/// registry. Idempotent and cheap; every embedding that can receive a
+/// `riscv:` workload id (CLI, server) calls this once at startup.
+pub fn install() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        register_resolver("riscv:", resolve_riscv_id);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdata;
+    use concorde_trace::resolve_workload;
+
+    #[test]
+    fn id_parsing_accepts_paths_and_budgets() {
+        assert_eq!(
+            parse_workload_id("riscv:/tmp/a.elf").unwrap().0,
+            "/tmp/a.elf"
+        );
+        assert_eq!(
+            parse_workload_id("riscv:/tmp/a.elf@5000").unwrap(),
+            ("/tmp/a.elf", 5000)
+        );
+        assert!(parse_workload_id("riscv:").is_err(), "empty path");
+        assert!(parse_workload_id("riscv:/a@zero").is_err(), "bad budget");
+        assert!(parse_workload_id("riscv:/a@0").is_err(), "zero budget");
+        assert!(parse_workload_id("S5").is_err(), "not riscv:");
+    }
+
+    #[test]
+    fn workload_from_bytes_serves_truncated_regions() {
+        let elf = testdata::sum_loop();
+        let wl = RiscvWorkload::from_elf_bytes("riscv:mem:sum", "sum", &elf, 1 << 20).unwrap();
+        let n = wl.spec().trace_len;
+        assert!(n > 100_000, "sum_loop retires >100k instructions");
+        let head = wl.materialize(0, 0, 128);
+        assert_eq!(head.instrs.len(), 128);
+        let tail = wl.materialize(0, n - 10, 128);
+        assert_eq!(tail.instrs.len(), 10, "truncates at trace end");
+        assert_eq!(wl.materialize(0, n + 5, 16).instrs.len(), 0);
+        // Same bytes, same budget → bitwise-identical regions.
+        let wl2 = RiscvWorkload::from_elf_bytes("riscv:mem:sum", "sum", &elf, 1 << 20).unwrap();
+        assert_eq!(head.instrs, wl2.materialize(0, 0, 128).instrs);
+    }
+
+    #[test]
+    fn install_makes_file_ids_resolvable() {
+        install();
+        install(); // idempotent
+        let dir = std::env::temp_dir().join("concorde-riscv-provider-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fib_calls.elf");
+        std::fs::write(&path, testdata::fib_calls()).unwrap();
+        let id = format!("riscv:{}@50000", path.display());
+        let r = resolve_workload(&id).expect("resolves through registry");
+        assert_eq!(r.spec().id, id);
+        assert_eq!(r.spec().name, "fib_calls");
+        assert_eq!(r.spec().trace_len, 50_000, "budget-capped");
+        let a = r.materialize(0, 1000, 256);
+        let b = r.materialize(0, 1000, 256);
+        assert_eq!(a.instrs, b.instrs);
+        // Missing files surface the resolver error, not a panic.
+        let e = resolve_workload("riscv:/nonexistent/never.elf").unwrap_err();
+        assert!(e.contains("cannot read ELF"), "{e}");
+    }
+}

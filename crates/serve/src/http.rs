@@ -97,10 +97,20 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &AtomicBo
     }
 }
 
+/// Fallback I/O timeout for scrape/probe connections when the operator did
+/// not set `--read-timeout-ms`. These connections must always time-bound:
+/// the accept loop is single-threaded, so one stalled scraper with no
+/// timeout would block every later probe indefinitely.
+const SCRAPE_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
 /// Reads one request head (through the blank line) and writes one response.
 fn handle_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    // Honor the operator's `--read-timeout-ms` (it governs how long any
+    // client may stall the server) and only fall back to the built-in
+    // default when the flag is unset.
+    let timeout = shared.cfg.read_timeout.unwrap_or(SCRAPE_IO_TIMEOUT);
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
     stream.set_nonblocking(false)?;
     let mut head = Vec::with_capacity(512);
     let mut buf = [0u8; 512];

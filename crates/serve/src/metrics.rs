@@ -80,10 +80,21 @@ impl Histogram {
         Histogram::new(bounds)
     }
 
-    /// Records one observation (clamped to zero if negative — durations and
-    /// sizes are non-negative by construction, but a clamp beats a corrupt
-    /// max-bits ordering).
+    /// Records one observation.
+    ///
+    /// Invariant: observations must be non-negative and finite. Durations
+    /// and sizes satisfy this by construction; it matters here because the
+    /// running maximum is a bit-pattern `fetch_max` — IEEE-754 ordering
+    /// matches integer ordering only for non-negative finite values, so a
+    /// negative or NaN observation would silently wedge the max (every
+    /// negative value's sign bit makes it compare *greater* as an integer).
+    /// Debug builds assert; release builds saturate the bad value to zero,
+    /// which keeps count/sum/max coherent instead of corrupting the max.
     pub fn observe(&self, v: f64) {
+        debug_assert!(
+            v.is_finite() && v >= 0.0,
+            "Histogram::observe requires non-negative finite values, got {v}"
+        );
         let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
         let idx = self
             .bounds
@@ -315,15 +326,44 @@ mod tests {
         assert_eq!(h.snapshot().buckets[1], 2);
     }
 
+    /// Release builds saturate invariant-violating observations to zero
+    /// (see `observe`: a raw negative/NaN bit pattern would wedge the
+    /// `fetch_max`-based maximum). Debug builds assert instead — covered by
+    /// `invalid_observations_assert_in_debug` below.
     #[test]
+    #[cfg(not(debug_assertions))]
     fn negative_and_nonfinite_observations_clamp() {
         let h = Histogram::new(vec![1.0]);
         h.observe(-5.0);
         h.observe(f64::NAN);
+        h.observe(f64::NEG_INFINITY);
         let s = h.snapshot();
-        assert_eq!(s.count, 2);
-        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 3);
         assert_eq!(s.sum, 0.0);
+        assert_eq!(s.max, 0.0, "max must not absorb a bad bit pattern");
+        // A later valid observation still orders correctly.
+        h.observe(0.5);
+        assert_eq!(h.snapshot().max, 0.5);
+    }
+
+    /// Debug builds surface the non-negative-finite invariant loudly so the
+    /// offending call site is found in development, not masked forever by
+    /// the release-mode clamp.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn invalid_observations_assert_in_debug() {
+        for bad in [-5.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = std::panic::catch_unwind(|| {
+                let h = Histogram::new(vec![1.0]);
+                h.observe(bad);
+            });
+            assert!(r.is_err(), "observe({bad}) must debug_assert");
+        }
+        // Zero is valid: the boundary of the invariant, not a violation.
+        let h = Histogram::new(vec![1.0]);
+        h.observe(0.0);
+        assert_eq!(h.snapshot().count, 1);
     }
 
     #[test]

@@ -62,20 +62,25 @@ use crate::service::{submit_many, submit_slot, Job, PredictionService};
 use crate::slots::SlotReceiver;
 use crate::{Client, ServeError};
 
-/// The served workload catalog (shared with `concorde workloads --json`).
+/// The served workload catalog (shared with `concorde workloads --json`):
+/// the 29-program suite plus any dynamic workloads (e.g. resolved
+/// `riscv:<path>` binaries) registered in this process.
 pub fn workload_catalog() -> Value {
-    let entries: Vec<Value> = concorde_trace::suite()
-        .iter()
-        .map(|w| {
-            json!({
-                "id": w.id,
-                "name": w.name,
-                "class": format!("{:?}", w.class),
-                "traces": w.n_traces,
-                "trace_len": w.trace_len,
-            })
+    let entry = |w: &concorde_trace::WorkloadSpec| {
+        json!({
+            "id": w.id,
+            "name": w.name,
+            "class": format!("{:?}", w.class),
+            "traces": w.n_traces,
+            "trace_len": w.trace_len,
         })
-        .collect();
+    };
+    let mut entries: Vec<Value> = concorde_trace::suite().iter().map(entry).collect();
+    for id in concorde_trace::dynamic_ids() {
+        if let Ok(r) = concorde_trace::resolve_workload(&id) {
+            entries.push(entry(r.spec()));
+        }
+    }
     json!(entries)
 }
 

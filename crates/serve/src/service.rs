@@ -902,6 +902,10 @@ impl PredictionService {
     /// `profile` must be the profile the model was trained with (it fixes
     /// the encoding width and the served region/warmup lengths).
     pub fn start(model: ConcordePredictor, profile: ReproProfile, cfg: ServeConfig) -> Self {
+        // Real-program workload ids (`riscv:<path>`) must resolve in every
+        // embedding — wire requests, `--preload`, tests — so the front end
+        // registers its prefix resolver whenever a service starts.
+        concorde_riscv::install();
         let n_workers = cfg.effective_workers();
         let n_pool = match cfg.miss_policy {
             MissPolicy::AsyncPool => cfg.effective_precompute_workers(),
@@ -1816,9 +1820,11 @@ fn process_batch(shared: &Shared, batch: &mut Vec<Job>, scratch: &mut WorkerScra
                 continue;
             }
         };
-        if concorde_trace::by_id_ref(&job.req.workload).is_none() {
+        // Suite ids stay on the lock-free catalog path; dynamic ids (e.g.
+        // `riscv:<path>`) run their resolver here — once per process per id,
+        // on this worker thread, before any feature work is keyed on them.
+        if let Err(msg) = concorde_trace::resolve_workload(&job.req.workload) {
             let id = job.req.id;
-            let msg = format!("unknown workload `{}`", job.req.workload);
             let us = job.enqueued.elapsed().as_micros() as u64;
             respond(shared, &job, PredictResponse::err(id, msg, us));
             continue;
@@ -2115,18 +2121,15 @@ fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) -> Vec<Job> {
     }
     if !missing.is_empty() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let spec = concorde_trace::by_id_ref(&key.workload).expect("validated before grouping");
+            let resolved = concorde_trace::resolve_workload(&key.workload)
+                .expect("workload validated at admission and providers are never evicted");
             // Same region/warmup convention as `precompute_store`, so the
             // min-bound is computed over exactly the instructions the exact
             // store will cover.
             let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);
             let warm_len = (key.start - warm_start) as usize;
-            let region = concorde_trace::generate_region(
-                spec,
-                key.trace,
-                warm_start,
-                warm_len + key.region_len as usize,
-            );
+            let region =
+                resolved.materialize(key.trace, warm_start, warm_len + key.region_len as usize);
             let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
             let mut est = MinBoundEstimator::new(w, r, &shared.profile);
             missing
@@ -2489,17 +2492,13 @@ fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> F
     // Chaos hook: may stall and/or panic here, inside the caller's unwind
     // guard (pool loop or inline-build catch).
     shared.faults.on_build();
-    let spec = concorde_trace::by_id_ref(&key.workload).expect("validated before grouping");
+    let resolved = concorde_trace::resolve_workload(&key.workload)
+        .expect("workload validated at admission and providers are never evicted");
     // Same convention as `dataset.rs`: the region is [start, start + len),
     // functionally warmed by the up-to-`warmup_len` instructions before it.
     let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);
     let warm_len = (key.start - warm_start) as usize;
-    let region = concorde_trace::generate_region(
-        spec,
-        key.trace,
-        warm_start,
-        warm_len + key.region_len as usize,
-    );
+    let region = resolved.materialize(key.trace, warm_start, warm_len + key.region_len as usize);
     let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
     // Share the cores across concurrent misses: a lone miss uses every core,
     // while N simultaneous misses get ~cores/N threads each instead of

@@ -1,0 +1,313 @@
+//! Dynamic (non-suite) workload registration and unified resolution.
+//!
+//! The 29-program suite is a closed catalog; real-program front ends (the
+//! RISC-V ELF ingester in `concorde-riscv`, and anything after it) supply an
+//! *open* set of workloads whose traces come from executing actual binaries.
+//! This module is the seam between the two: a process-global registry of
+//! [`TraceProvider`]s keyed by workload id, plus prefix-dispatched
+//! *resolvers* that lazily construct a provider the first time an id like
+//! `riscv:/path/to/prog.elf` is seen.
+//!
+//! [`resolve_workload`] is the one lookup every consumer (the serving
+//! validation path, `precompute`, the CLI) goes through:
+//!
+//! 1. suite ids (`"S5"`) hit the cached catalog — no locks, no allocation,
+//!    preserving the serving warm path's zero-allocation contract;
+//! 2. already-registered dynamic ids hit the registry under a read lock;
+//! 3. otherwise the longest matching registered prefix resolver runs (e.g.
+//!    loading and executing an ELF), and its provider is cached so the
+//!    expensive construction happens once per process.
+//!
+//! Determinism contract: a provider's [`TraceProvider::materialize`] must be
+//! a pure function of `(trace_idx, start, len)` — same region reference,
+//! byte-identical instructions — exactly like `generate_region` for suite
+//! workloads. Providers are cached for the process lifetime; re-resolving an
+//! id never re-reads the underlying file.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::generator::generate_region;
+use crate::region::DynTrace;
+use crate::workload::{by_id_ref, WorkloadSpec};
+
+/// A source of dynamic instruction traces for one workload.
+///
+/// Implementations must be deterministic: `materialize` is a pure function
+/// of its arguments (plus the provider's immutable construction inputs).
+pub trait TraceProvider: Send + Sync {
+    /// The workload's statistical descriptor. `spec().id` is the registry
+    /// key; `n_traces`/`trace_len` bound region sampling exactly as they do
+    /// for suite workloads.
+    fn spec(&self) -> &WorkloadSpec;
+
+    /// Materializes `len` instructions of trace `trace_idx` starting at
+    /// instruction offset `start`. Regions past the end of a finite trace
+    /// are truncated (possibly to empty), never an error.
+    fn materialize(&self, trace_idx: u32, start: u64, len: usize) -> DynTrace;
+}
+
+/// A lazily-invoked constructor for ids carrying a given prefix.
+type Resolver = Box<dyn Fn(&str) -> Result<Arc<dyn TraceProvider>, String> + Send + Sync>;
+
+struct Registry {
+    providers: RwLock<HashMap<String, Arc<dyn TraceProvider>>>,
+    resolvers: RwLock<Vec<(String, Resolver)>>,
+    /// Serializes cold-path construction so two threads racing on the same
+    /// unseen id build its provider once, not twice.
+    build: Mutex<()>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        providers: RwLock::new(HashMap::new()),
+        resolvers: RwLock::new(Vec::new()),
+        build: Mutex::new(()),
+    })
+}
+
+/// A workload id resolved to its trace source: a static suite spec or a
+/// registered dynamic provider.
+#[derive(Clone)]
+pub enum ResolvedWorkload {
+    /// One of the 29 catalog programs.
+    Suite(&'static WorkloadSpec),
+    /// A registered dynamic workload (e.g. an executed ELF binary).
+    Dynamic(Arc<dyn TraceProvider>),
+}
+
+impl ResolvedWorkload {
+    /// The workload's descriptor.
+    pub fn spec(&self) -> &WorkloadSpec {
+        match self {
+            ResolvedWorkload::Suite(s) => s,
+            ResolvedWorkload::Dynamic(p) => p.spec(),
+        }
+    }
+
+    /// Materializes a region (suite workloads via [`generate_region`],
+    /// dynamic ones via their provider). Deterministic in both arms.
+    pub fn materialize(&self, trace_idx: u32, start: u64, len: usize) -> DynTrace {
+        match self {
+            ResolvedWorkload::Suite(s) => generate_region(s, trace_idx, start, len),
+            ResolvedWorkload::Dynamic(p) => p.materialize(trace_idx, start, len),
+        }
+    }
+}
+
+impl std::fmt::Debug for ResolvedWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolvedWorkload::Suite(s) => write!(f, "ResolvedWorkload::Suite({})", s.id),
+            ResolvedWorkload::Dynamic(p) => write!(f, "ResolvedWorkload::Dynamic({})", p.spec().id),
+        }
+    }
+}
+
+/// Registers a provider under `provider.spec().id`, replacing any previous
+/// registration of the same id.
+pub fn register_provider(provider: Arc<dyn TraceProvider>) {
+    let id = provider.spec().id.clone();
+    registry()
+        .providers
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, provider);
+}
+
+/// Registers a lazy resolver for ids starting with `prefix` (e.g.
+/// `"riscv:"`). Re-registering a prefix replaces the previous resolver.
+/// The resolver runs at most once per distinct id; its provider is cached.
+pub fn register_resolver(
+    prefix: &str,
+    f: impl Fn(&str) -> Result<Arc<dyn TraceProvider>, String> + Send + Sync + 'static,
+) {
+    let mut resolvers = registry()
+        .resolvers
+        .write()
+        .unwrap_or_else(|e| e.into_inner());
+    resolvers.retain(|(p, _)| p != prefix);
+    resolvers.push((prefix.to_string(), Box::new(f)));
+}
+
+/// Ids of every currently-registered dynamic workload (sorted, so catalog
+/// listings are stable).
+pub fn dynamic_ids() -> Vec<String> {
+    let mut ids: Vec<String> = registry()
+        .providers
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .keys()
+        .cloned()
+        .collect();
+    ids.sort();
+    ids
+}
+
+/// Resolves a workload id: suite catalog first (lock-free, allocation-free),
+/// then registered dynamic providers, then prefix resolvers (which may do
+/// arbitrary work — load a file, execute a binary — exactly once per id).
+///
+/// # Errors
+///
+/// An unknown id, or a resolver failure (missing file, malformed binary),
+/// returns a human-readable message suitable for a typed wire error.
+pub fn resolve_workload(id: &str) -> Result<ResolvedWorkload, String> {
+    if let Some(spec) = by_id_ref(id) {
+        return Ok(ResolvedWorkload::Suite(spec));
+    }
+    let reg = registry();
+    if let Some(p) = reg
+        .providers
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id)
+    {
+        return Ok(ResolvedWorkload::Dynamic(Arc::clone(p)));
+    }
+    // Cold path: find a matching resolver. The build lock serializes
+    // construction; re-check the registry under it so a losing racer reuses
+    // the winner's provider instead of re-executing the load.
+    let has_match = {
+        let resolvers = reg.resolvers.read().unwrap_or_else(|e| e.into_inner());
+        resolvers.iter().any(|(p, _)| id.starts_with(p.as_str()))
+    };
+    if !has_match {
+        return Err(format!(
+            "unknown workload `{id}` (not in the suite catalog and no dynamic resolver matches)"
+        ));
+    }
+    let _build = reg.build.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(p) = reg
+        .providers
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id)
+    {
+        return Ok(ResolvedWorkload::Dynamic(Arc::clone(p)));
+    }
+    let resolvers = reg.resolvers.read().unwrap_or_else(|e| e.into_inner());
+    let (_, f) = resolvers
+        .iter()
+        .filter(|(p, _)| id.starts_with(p.as_str()))
+        .max_by_key(|(p, _)| p.len())
+        .expect("match re-checked above");
+    let provider = f(id)?;
+    reg.providers
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id.to_string(), Arc::clone(&provider));
+    Ok(ResolvedWorkload::Dynamic(provider))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{BranchProfile, CodeShape, MemProfile, OpMix, WorkloadClass};
+    use crate::Instruction;
+
+    struct Fixed {
+        spec: WorkloadSpec,
+        instrs: Vec<Instruction>,
+    }
+
+    impl TraceProvider for Fixed {
+        fn spec(&self) -> &WorkloadSpec {
+            &self.spec
+        }
+        fn materialize(&self, _trace: u32, start: u64, len: usize) -> DynTrace {
+            let s = (start as usize).min(self.instrs.len());
+            let e = (s + len).min(self.instrs.len());
+            DynTrace {
+                workload_id: self.spec.id.clone(),
+                trace_idx: 0,
+                start,
+                instrs: self.instrs[s..e].to_vec(),
+            }
+        }
+    }
+
+    fn fixed(id: &str, n: usize) -> Arc<dyn TraceProvider> {
+        let instrs: Vec<Instruction> = (0..n)
+            .map(|i| {
+                Instruction::compute(
+                    0x1000 + 4 * i as u64,
+                    crate::OpClass::IntAlu,
+                    [Some(1), None],
+                    Some(2),
+                )
+            })
+            .collect();
+        Arc::new(Fixed {
+            spec: WorkloadSpec::single_phase(
+                id,
+                "fixed",
+                WorkloadClass::Real,
+                7,
+                1,
+                n as u64,
+                OpMix::int_heavy(),
+                MemProfile::resident(4096),
+                BranchProfile::predictable(),
+                CodeShape::kernel(),
+            ),
+            instrs,
+        })
+    }
+
+    #[test]
+    fn suite_ids_resolve_without_registration() {
+        let r = resolve_workload("S5").expect("suite id");
+        assert_eq!(r.spec().id, "S5");
+        assert!(matches!(r, ResolvedWorkload::Suite(_)));
+        // Suite resolution matches generate_region bitwise.
+        let a = r.materialize(0, 0, 512);
+        let b = generate_region(by_id_ref("S5").unwrap(), 0, 0, 512);
+        assert_eq!(a.instrs, b.instrs);
+    }
+
+    #[test]
+    fn unknown_ids_error_with_context() {
+        let e = resolve_workload("test-dyn:nope/zz").unwrap_err();
+        assert!(e.contains("unknown workload"), "{e}");
+    }
+
+    #[test]
+    fn registered_provider_resolves_and_truncates() {
+        register_provider(fixed("test-dyn:fixed-a", 100));
+        let r = resolve_workload("test-dyn:fixed-a").expect("registered");
+        assert_eq!(r.spec().trace_len, 100);
+        assert_eq!(r.materialize(0, 0, 64).len(), 64);
+        assert_eq!(r.materialize(0, 90, 64).len(), 10, "truncated past end");
+        assert_eq!(r.materialize(0, 1000, 64).len(), 0, "empty past end");
+        assert!(dynamic_ids().contains(&"test-dyn:fixed-a".to_string()));
+    }
+
+    #[test]
+    fn prefix_resolver_runs_once_and_caches() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        register_resolver("test-lazy:", |id| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            if id.ends_with("bad") {
+                return Err("deliberately unresolvable".to_string());
+            }
+            Ok(fixed(id, 32))
+        });
+        let before = CALLS.load(Ordering::SeqCst);
+        let a = resolve_workload("test-lazy:x").expect("resolves");
+        let b = resolve_workload("test-lazy:x").expect("cached");
+        assert_eq!(a.spec().id, b.spec().id);
+        assert_eq!(
+            CALLS.load(Ordering::SeqCst),
+            before + 1,
+            "resolver must run once per id"
+        );
+        let e = resolve_workload("test-lazy:bad").unwrap_err();
+        assert!(e.contains("unresolvable"));
+        // Failures are not cached as providers; they re-resolve (and
+        // re-fail) on the next attempt.
+        let _ = resolve_workload("test-lazy:bad").unwrap_err();
+    }
+}

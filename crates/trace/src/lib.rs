@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod generator;
 pub mod instruction;
 pub mod pattern;
@@ -34,6 +35,10 @@ pub mod program;
 pub mod region;
 pub mod workload;
 
+pub use dynamic::{
+    dynamic_ids, register_provider, register_resolver, resolve_workload, ResolvedWorkload,
+    TraceProvider,
+};
 pub use generator::{build_static_program, generate_region, SEGMENT_LEN};
 pub use instruction::{BranchKind, Instruction, OpClass, RegId, LINE_BYTES, NUM_REGS};
 pub use pattern::AddressPattern;

@@ -23,6 +23,9 @@ pub enum WorkloadClass {
     Open,
     /// SPEC CPU2017 rate benchmarks (S1–S10).
     Spec2017,
+    /// Real programs ingested at runtime (e.g. executed RISC-V ELF
+    /// binaries); never part of the static 29-program catalog.
+    Real,
 }
 
 /// Instruction-mix weights (need not sum to 1; normalized at use).

@@ -6,6 +6,7 @@
 //! concorde sweep     <workload> <param> v1,v2,…             CPI across one parameter
 //! concorde attribute <workload>                             Shapley: big core → N1
 //! concorde workloads [--json]                               list the 29-program suite
+//! concorde riscv run <elf> [--max-insts N]                  execute an RV32IM binary
 //! concorde serve     [--addr A] [--model P] [options]       prediction service (TCP)
 //! concorde predict   <workload> [--addr A] [options]        query CPI (local or remote)
 //! ```
@@ -15,6 +16,10 @@
 //! through `concorde-serve`: `serve` loads (or quickly trains) a model and
 //! speaks line-delimited JSON over TCP; `predict` either queries a running
 //! server or spins the service up in-process.
+//!
+//! Every `<workload>` operand accepts either a suite id (`S5`) or a
+//! real-program id `riscv:<path>[@<max-insts>]` naming an RV32IM ELF
+//! binary, which is executed once and served from its recorded trace.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -24,7 +29,9 @@ use concorde_suite::serve::workload_catalog;
 
 fn usage_text() -> &'static str {
     "concorde — CPU performance modeling reproduction\n\n\
+         workload ids: a suite id (S5) or riscv:<path>[@<max-insts>] for an RV32IM ELF\n\n\
          usage:\n  concorde workloads [--json]\n  \
+         concorde riscv run <elf> [--max-insts N]\n  \
          concorde simulate  <workload> [--arch n1|big] [--len N]\n  \
          concorde bound     <workload> [--arch n1|big] [--len N] [--fast]\n  \
          concorde sweep     <workload> <param> v1,v2,… [--arch n1|big] [--len N]\n  \
@@ -111,13 +118,14 @@ fn operand<'a>(args: &'a [String], idx: usize, what: &str) -> &'a str {
 }
 
 fn region_of(id: &str, len: usize) -> (Vec<Instruction>, Vec<Instruction>) {
-    let spec = by_id(id).unwrap_or_else(|| {
-        eprintln!("unknown workload '{id}'; run `concorde workloads` for the list");
+    let resolved = resolve_workload(id).unwrap_or_else(|e| {
+        eprintln!("{e}; run `concorde workloads` for the suite list");
         std::process::exit(2);
     });
     let warm = len.min(32_000);
-    let full = generate_region(&spec, 0, 0, warm + len);
-    let (w, r) = full.instrs.split_at(warm);
+    let full = resolved.materialize(0, 0, warm + len);
+    // Dynamic traces are finite: a short program may not fill warm + len.
+    let (w, r) = full.instrs.split_at(warm.min(full.instrs.len()));
     (w.to_vec(), r.to_vec())
 }
 
@@ -412,9 +420,70 @@ fn print_response(resp: &PredictResponse) {
 }
 
 fn main() {
+    // Make `riscv:<path>` workload ids resolvable in every subcommand.
+    concorde_riscv::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
+        "riscv" => {
+            match args.get(1).map(String::as_str) {
+                Some("run") => {}
+                Some(other) => bail(&format!(
+                    "unknown riscv subcommand `{other}` (expected run)"
+                )),
+                None => bail("usage: concorde riscv run <elf> [--max-insts N]"),
+            }
+            let path = operand(&args, 2, "ELF path (usage: concorde riscv run <elf>)");
+            let max_insts: u64 = parse_num(&args, "--max-insts", concorde_riscv::DEFAULT_MAX_INSTS);
+            if max_insts == 0 {
+                bail("--max-insts must be > 0");
+            }
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| bail(&format!("cannot read ELF `{path}`: {e}")));
+            let image = concorde_riscv::parse_elf32(&bytes)
+                .unwrap_or_else(|e| bail(&format!("{path}: {e}")));
+            let t0 = std::time::Instant::now();
+            let exec = concorde_riscv::execute(&image, max_insts);
+            let elapsed = t0.elapsed();
+            let halt = match &exec.halt {
+                concorde_riscv::HaltReason::Exited(code) => format!("exit({code})"),
+                concorde_riscv::HaltReason::BudgetExhausted => {
+                    format!("budget exhausted ({max_insts} instructions)")
+                }
+                concorde_riscv::HaltReason::Breakpoint => "ebreak".to_string(),
+                concorde_riscv::HaltReason::DecodeError { pc, err } => {
+                    format!("decode error at {pc:#010x}: {err}")
+                }
+            };
+            let n = exec.trace.len();
+            let count = |p: fn(&Instruction) -> bool| exec.trace.iter().filter(|i| p(i)).count();
+            println!(
+                "{path}: {n} instructions in {elapsed:?}, halt: {halt}; \
+                 trace hash {:#018x}",
+                exec.trace_hash()
+            );
+            println!(
+                "  mix: {:.1}% loads, {:.1}% stores, {:.1}% branches \
+                 ({} mem pages resident)",
+                100.0 * count(|i| i.op.is_load()) as f64 / n.max(1) as f64,
+                100.0 * count(|i| i.op.is_store()) as f64 / n.max(1) as f64,
+                100.0 * count(|i| i.op.is_branch()) as f64 / n.max(1) as f64,
+                exec.resident_pages
+            );
+            if !exec.stdout.is_empty() {
+                println!("  stdout: {}", String::from_utf8_lossy(&exec.stdout));
+            }
+            // CPI on the reference simulator over the trace head: the same
+            // number `concorde simulate riscv:<path>` reports.
+            let arch = parse_arch(&args);
+            let cap = 65_536.min(n);
+            let res = simulate_warmed(&[], &exec.trace[..cap], &arch, SimOptions::default());
+            println!(
+                "  CPI {:.3} over first {cap} instructions (reference simulator); \
+                 predict it with: concorde predict riscv:{path}",
+                res.cpi()
+            );
+        }
         "workloads" => {
             if args.iter().any(|a| a == "--json") {
                 println!("{}", workload_catalog());
@@ -557,15 +626,13 @@ fn main() {
                     "unknown --sweep `{other}` (expected arch or quantized)"
                 )),
             };
-            let spec = by_id(id).unwrap_or_else(|| {
-                bail(&format!(
-                    "unknown workload '{id}'; run `concorde workloads` for the list"
-                ))
+            let resolved = resolve_workload(id).unwrap_or_else(|e| {
+                bail(&format!("{e}; run `concorde workloads` for the suite list"))
             });
             let encoding = parse_encoding(&args);
             let warm_start = start.saturating_sub(profile.warmup_len as u64);
             let warm_len = (start - warm_start) as usize;
-            let region = generate_region(&spec, trace, warm_start, warm_len + len as usize);
+            let region = resolved.materialize(trace, warm_start, warm_len + len as usize);
             let (w, r) = region.instrs.split_at(warm_len.min(region.instrs.len()));
             let t0 = std::time::Instant::now();
             let mut store = FeatureStore::precompute(w, r, &sweep, &profile);

@@ -17,6 +17,7 @@
 //! | [`core`] | `concorde-core` | the Concorde model itself |
 //! | [`attribution`] | `concorde-attribution` | Shapley performance attribution |
 //! | [`baseline`] | `concorde-baseline` | TAO-like sequence baseline |
+//! | [`riscv`] | `concorde-riscv` | RV32IM ELF ingestion → real-program traces |
 //! | [`serve`] | `concorde-serve` | batched, cached inference serving (TCP + in-process) |
 //!
 //! ## Quickstart
@@ -40,6 +41,7 @@ pub use concorde_cache as cache;
 pub use concorde_core as core;
 pub use concorde_cyclesim as cyclesim;
 pub use concorde_ml as ml;
+pub use concorde_riscv as riscv;
 pub use concorde_serve as serve;
 pub use concorde_trace as trace;
 
@@ -58,13 +60,14 @@ pub mod prelude {
         SimOptions, SimResult,
     };
     pub use concorde_ml::{AdamW, ErrorStats, HalvingSchedule, LstmRegressor, Mlp, MlpScratch};
+    pub use concorde_riscv::RiscvWorkload;
     pub use concorde_serve::{
         parse_byte_size, ArchSpec, ByteSizeError, ClassSlo, Client, MetricsServer, MissPolicy,
         PredictRequest, PredictResponse, PredictionService, RequestClass, ServeConfig,
         ServiceStats, SweepScope, TcpClient,
     };
     pub use concorde_trace::{
-        by_id, generate_region, sample_region, suite, DynTrace, Instruction, OpClass, RegionRef,
-        WorkloadSpec,
+        by_id, generate_region, resolve_workload, sample_region, suite, DynTrace, Instruction,
+        OpClass, RegionRef, ResolvedWorkload, WorkloadSpec,
     };
 }

@@ -1,0 +1,168 @@
+//! End-to-end tests of the RISC-V ELF ingestion front end: a `riscv:<path>`
+//! workload must round-trip `concorde precompute` → `serve --preload` → TCP
+//! predict with bitwise-stable answers across two independent service runs,
+//! and the vendored test binaries must stay in sync with their generator.
+
+use std::time::Duration;
+
+use concorde_suite::core::cache::{sweep_content_hash, FeatureKey};
+use concorde_suite::prelude::*;
+use concorde_suite::riscv;
+
+/// Absolute path of a vendored test binary under `riscv-testdata/`.
+fn vendored(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("riscv-testdata")
+        .join(format!("{name}.elf"))
+}
+
+/// Small but real model + profile (trained once, deterministically).
+fn tiny_service_parts() -> (ConcordePredictor, ReproProfile) {
+    let mut profile = ReproProfile::quick();
+    profile.region_len = 2_048;
+    profile.warmup_len = 2_048;
+    profile.epochs = 2;
+    let data = generate_dataset(&DatasetConfig {
+        profile: profile.clone(),
+        n: 16,
+        seed: 11,
+        arch: ArchSampling::Random,
+        workloads: Some(vec![15, 20]),
+        threads: 0,
+    });
+    let model = train_model(&data, &profile, &TrainOptions::default());
+    (model, profile)
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        max_batch: 64,
+        batch_deadline: Duration::from_millis(2),
+        ..ServeConfig::default()
+    }
+}
+
+/// The vendored ELFs are exactly what `gen-riscv-testdata` emits today; a
+/// drifted generator must fail loudly, not silently change every
+/// determinism baseline downstream.
+#[test]
+fn vendored_elves_match_generator_output() {
+    let programs = riscv::testdata::programs();
+    assert!(programs.len() >= 3, "at least three vendored workloads");
+    for (name, bytes) in &programs {
+        let on_disk = std::fs::read(vendored(name))
+            .unwrap_or_else(|e| panic!("vendored {name}.elf unreadable: {e}"));
+        assert_eq!(
+            &on_disk, bytes,
+            "{name}.elf drifted from testdata::programs(); rerun gen-riscv-testdata"
+        );
+    }
+}
+
+/// Two fully independent parse+execute passes over the same binary produce
+/// bitwise-identical instruction streams, hashes, and final machine state.
+#[test]
+fn ingestion_is_bitwise_deterministic_per_binary() {
+    for (name, _) in riscv::testdata::programs() {
+        let bytes = std::fs::read(vendored(name)).expect("vendored ELF");
+        let a = riscv::execute(
+            &riscv::parse_elf32(&bytes).unwrap(),
+            riscv::DEFAULT_MAX_INSTS,
+        );
+        let b = riscv::execute(
+            &riscv::parse_elf32(&bytes).unwrap(),
+            riscv::DEFAULT_MAX_INSTS,
+        );
+        assert!(a.halt.is_clean_exit(), "{name}: {:?}", a.halt);
+        assert_eq!(a.trace_hash(), b.trace_hash(), "{name}: trace hash drifted");
+        assert_eq!(a.trace, b.trace, "{name}: instruction stream drifted");
+        assert_eq!(a.regs, b.regs, "{name}: final registers drifted");
+    }
+}
+
+/// The full serving round trip: build the feature store offline exactly as
+/// `concorde precompute` does, preload it, and query the riscv workload over
+/// real TCP. The first query must be a cache hit, match the in-process
+/// client bitwise, and repeat bitwise-identically in a second, fully
+/// independent service run.
+#[test]
+fn riscv_workload_round_trips_precompute_preload_and_tcp_predict() {
+    riscv::install();
+    let elf = vendored("sum_loop");
+    // A tight budget keeps the recorded trace small; the budget is part of
+    // the workload id, so it is part of every cache key too.
+    let id = format!("riscv:{}@65536", elf.display());
+
+    let (model, profile) = tiny_service_parts();
+    let resolved = resolve_workload(&id).expect("riscv id resolves");
+    assert_eq!(resolved.spec().trace_len, 65_536, "budget-capped trace");
+    let region = resolved.materialize(0, 0, profile.region_len);
+    assert_eq!(region.instrs.len(), profile.region_len);
+
+    // Offline store build, exactly as `concorde precompute` does (start 0 →
+    // empty warmup, per the warm_start = start - warmup_len convention).
+    let arch = MicroArch::arm_n1();
+    let sweep = SweepConfig::for_arch(&arch);
+    let store = FeatureStore::precompute(&[], &region.instrs, &sweep, &profile);
+    let key = FeatureKey {
+        workload: id.clone().into(),
+        trace: 0,
+        start: 0,
+        region_len: profile.region_len as u32,
+        sweep_hash: sweep_content_hash(&sweep),
+    };
+    let artifact = std::env::temp_dir().join("concorde_riscv_e2e.cfa");
+    StoreArtifact::new(key, store).save(&artifact).unwrap();
+
+    // One independent service run: preload, serve TCP, query, and return
+    // the answer's bits. The service leaks because `serve_tcp` holds `&self`
+    // on a detached accept thread for the remainder of the test process.
+    let serve_once = |model: ConcordePredictor, profile: ReproProfile| -> u64 {
+        let service = Box::leak(Box::new(PredictionService::start(
+            model,
+            profile,
+            quick_config(),
+        )));
+        let loaded = service.preload_artifact(&artifact).unwrap();
+        assert_eq!(loaded.workload, id.as_str());
+
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let svc: &PredictionService = service;
+        std::thread::spawn(move || {
+            let _ = svc.serve_tcp(listener);
+        });
+
+        let mut tcp = TcpClient::connect(&addr).expect("connect");
+        let req = PredictRequest::new(7, &id, ArchSpec::base("n1"));
+        let resp = tcp.predict(&req).expect("tcp predict");
+        assert_eq!(resp.error, None, "{:?}", resp.error);
+        assert!(
+            resp.cached,
+            "first query against the preloaded riscv region must be a cache hit"
+        );
+        let cpi = resp.cpi.expect("cpi on success");
+        assert!(cpi.is_finite() && cpi > 0.0, "CPI {cpi} must be physical");
+
+        // The wire answer equals the in-process client's answer bitwise.
+        let direct = service
+            .client()
+            .predict(PredictRequest::new(8, &id, ArchSpec::base("n1")))
+            .unwrap();
+        assert_eq!(cpi.to_bits(), direct.cpi.unwrap().to_bits());
+
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 0, "preload must satisfy every query");
+        assert!(m.cache_hits >= 1);
+        cpi.to_bits()
+    };
+
+    let first = serve_once(model.clone(), profile.clone());
+    let second = serve_once(model, profile);
+    std::fs::remove_file(&artifact).ok();
+    assert_eq!(
+        first, second,
+        "two independent service runs must answer bitwise-identically"
+    );
+}

@@ -412,6 +412,39 @@ fn http_metrics_endpoint_serves_valid_exposition() {
 }
 
 #[test]
+fn stalled_scrape_client_honors_configured_read_timeout() {
+    // A scraper that connects and never sends its request must be cut off
+    // by `--read-timeout-ms`, not the built-in 2 s fallback: the metrics
+    // accept loop is single-threaded, so the stall window is exactly how
+    // long one bad client can starve liveness probes.
+    let (model, profile) = tiny_service_parts();
+    let cfg = ServeConfig {
+        read_timeout: Some(Duration::from_millis(100)),
+        ..small_config()
+    };
+    let service = PredictionService::start(model, profile, cfg);
+    let metrics = service.serve_metrics("127.0.0.1:0").expect("bind /metrics");
+    let addr = metrics.addr();
+
+    // Open the stalled connection first so the accept loop picks it up and
+    // blocks in its read. Keep the socket alive for the whole test.
+    let stalled = std::net::TcpStream::connect(addr).expect("connect stalled client");
+    let t0 = std::time::Instant::now();
+    let (status, _, _) = http_get(addr, "GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+    let elapsed = t0.elapsed();
+    assert_eq!(status, "HTTP/1.1 200 OK", "probe must still be answered");
+    // The probe waited behind at most the stalled client's 100 ms timeout.
+    // Far below the 2 s fallback ⇒ the configured value was honored (with
+    // generous headroom for a slow CI machine).
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "probe took {elapsed:?}; stalled client held the loop past the \
+         configured 100 ms read timeout"
+    );
+    drop(stalled);
+}
+
+#[test]
 fn edf_builds_tight_deadline_key_before_earlier_parked_batch_key() {
     let (model, profile) = tiny_service_parts();
     let mut cfg = small_config();
