@@ -390,12 +390,17 @@ pub fn execute(image: &ElfImage, max_insts: u64) -> Execution {
             }
             Op::Fence | Op::FenceI => Instruction::compute(pc64, OpClass::Isb, [None, None], None),
             Op::Ecall => {
-                let ins = Instruction::compute(pc64, OpClass::Isb, [Some(17), Some(10)], None);
                 let a7 = regs[17];
                 let a0 = regs[10];
                 match a7 {
                     93 => {
-                        trace.push(ins);
+                        // exit reads a7/a0 and writes nothing: no dst.
+                        trace.push(Instruction::compute(
+                            pc64,
+                            OpClass::Isb,
+                            [Some(17), Some(10)],
+                            None,
+                        ));
                         break HaltReason::Exited(a0);
                     }
                     64 => {
@@ -414,7 +419,12 @@ pub fn execute(image: &ElfImage, max_insts: u64) -> Execution {
                         wb = Some((10, 0));
                     }
                 }
-                ins
+                // Non-exit syscalls architecturally write a0 (`write`
+                // returns the length, unknown syscalls return 0), so the
+                // trace record carries the a0 def — without it, later
+                // readers of a0 would appear to depend on the pre-ecall
+                // producer in the dependence graph.
+                Instruction::compute(pc64, OpClass::Isb, [Some(17), Some(10)], Some(10))
             }
             Op::Ebreak => {
                 trace.push(Instruction::compute(pc64, OpClass::Isb, [None, None], None));
@@ -593,6 +603,30 @@ mod tests {
         let e = run_words(&v, 100);
         assert_eq!(e.exit_code(), Some(0));
         assert_eq!(e.stdout, b"ok");
+        // Dependence edges: the write ecall defines a0 (its return value),
+        // the exit ecall defines nothing.
+        let ecalls: Vec<_> = e.trace.iter().filter(|i| i.op == OpClass::Isb).collect();
+        assert_eq!(ecalls.len(), 2);
+        assert_eq!(ecalls[0].srcs, [Some(17), Some(10)]);
+        assert_eq!(ecalls[0].dst, Some(10), "write returns its length in a0");
+        assert_eq!(ecalls[1].dst, None, "exit writes no register");
+    }
+
+    #[test]
+    fn unknown_syscall_returns_zero_and_defines_a0() {
+        // a7 = 1234 (unrecognized), a0 = 77; after the ecall a0 must be 0
+        // and the trace record must carry the a0 def.
+        let mut v = Vec::new();
+        v.extend_from_slice(&asm::li(17, 1234));
+        v.extend_from_slice(&asm::li(10, 77));
+        v.push(asm::ecall());
+        v.push(asm::add(6, 0, 10)); // reads the post-ecall a0
+        v.extend_from_slice(&exit_seq(0));
+        let e = run_words(&v, 100);
+        assert_eq!(e.exit_code(), Some(0));
+        let ecall = e.trace.iter().find(|i| i.op == OpClass::Isb).unwrap();
+        assert_eq!(ecall.dst, Some(10));
+        assert_eq!(e.regs[6], 0, "the reader saw the syscall's a0, not 77");
     }
 
     #[test]

@@ -103,12 +103,26 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, shutdown: &AtomicBo
 /// timeout would block every later probe indefinitely.
 const SCRAPE_IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Hard ceiling on the scrape-path timeout. `--read-timeout-ms` is sized
+/// for predict connections, which each get their own thread; scrape/probe
+/// connections share one accept loop, so a large operator value would let
+/// one stalled scraper block every later `/metrics` and probe request for
+/// that full duration. An operator value below the ceiling is honored
+/// (one knob governs idle reaping), above it is clamped.
+const SCRAPE_IO_TIMEOUT_MAX: Duration = Duration::from_secs(5);
+
+/// Scrape-socket I/O timeout: the operator's `--read-timeout-ms` when set
+/// (so one knob governs idle reaping), the built-in fallback otherwise,
+/// clamped to [`SCRAPE_IO_TIMEOUT_MAX`] either way.
+fn scrape_timeout(read_timeout: Option<Duration>) -> Duration {
+    read_timeout
+        .unwrap_or(SCRAPE_IO_TIMEOUT)
+        .min(SCRAPE_IO_TIMEOUT_MAX)
+}
+
 /// Reads one request head (through the blank line) and writes one response.
 fn handle_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
-    // Honor the operator's `--read-timeout-ms` (it governs how long any
-    // client may stall the server) and only fall back to the built-in
-    // default when the flag is unset.
-    let timeout = shared.cfg.read_timeout.unwrap_or(SCRAPE_IO_TIMEOUT);
+    let timeout = scrape_timeout(shared.cfg.read_timeout);
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     stream.set_nonblocking(false)?;
@@ -159,4 +173,22 @@ fn handle_scrape(mut stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrape_timeout_honors_the_knob_but_caps_it() {
+        assert_eq!(scrape_timeout(None), SCRAPE_IO_TIMEOUT);
+        let short = Duration::from_millis(100);
+        assert_eq!(scrape_timeout(Some(short)), short, "small values honored");
+        assert_eq!(
+            scrape_timeout(Some(Duration::from_secs(300))),
+            SCRAPE_IO_TIMEOUT_MAX,
+            "a predict-sized timeout must not let one stalled scraper \
+             wedge the single-threaded accept loop for minutes"
+        );
+    }
 }

@@ -53,5 +53,5 @@ pub use protocol::{ArchSpec, PredictRequest, PredictResponse, RequestClass};
 pub use server::workload_catalog;
 pub use service::{
     shed_decision, CacheReport, ClassSlo, MetricsSnapshot, MissPolicy, PredictionService,
-    ServeConfig, ServeError, ServiceStats, SweepScope, MAX_REGION_LEN,
+    ServeConfig, ServeError, ServiceStats, SweepScope, MAX_REGION_LEN, MAX_WIRE_RISCV_BUDGET,
 };

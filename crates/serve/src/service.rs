@@ -60,6 +60,13 @@ use crate::slots::{SlotPool, SlotReceiver, SlotSender};
 /// while bounding the memory one request can demand).
 pub const MAX_REGION_LEN: u32 = 1 << 20;
 
+/// Largest `@budget` suffix accepted on a wire-supplied `riscv:` workload id
+/// when on-demand resolution is enabled ([`ServeConfig::dynamic_root`]).
+/// Resolution interprets the binary for up to this many instructions inline,
+/// so the cap bounds the CPU one admission can burn (16 Mi instructions,
+/// 16× the front end's default budget).
+pub const MAX_WIRE_RISCV_BUDGET: u64 = 1 << 24;
+
 /// Which parameter sweep each region's feature store precomputes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SweepScope {
@@ -209,6 +216,18 @@ pub struct ServeConfig {
     /// Deterministic fault-injection plan for the chaos harness (tests pass
     /// one here; operators set `CONCORDE_FAULT_PLAN`). `None` = no faults.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Root directory for on-demand dynamic workload resolution
+    /// (`--dynamic-workloads DIR`). `None` (the default) means
+    /// client-supplied ids are validated against the suite catalog and
+    /// workloads already registered in-process (preloaded artifacts, CLI
+    /// operands) only: an unseen `riscv:<path>` id from the wire is refused
+    /// instead of reading and executing a server-side file. With a root
+    /// set, unseen `riscv:` ids are resolved on demand when the ELF path
+    /// canonicalizes inside the root, with the `@budget` suffix capped at
+    /// [`MAX_WIRE_RISCV_BUDGET`] and resolver failures reported to clients
+    /// as one uniform message (details go to the server log, so error text
+    /// cannot be used to probe the filesystem).
+    pub dynamic_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -231,6 +250,7 @@ impl Default for ServeConfig {
             read_timeout: None,
             max_line_bytes: 1 << 20,
             fault_plan: None,
+            dynamic_root: None,
         }
     }
 }
@@ -1074,6 +1094,27 @@ impl PredictionService {
                 )
             })?;
         }
+        // A dynamic-workload artifact (e.g. `riscv:<path>`) registers its
+        // provider now, in operator context, and *pins* it: requests
+        // against the preloaded region must pass admission even on servers
+        // that refuse on-demand resolution of client-supplied ids, and a
+        // preload whose workload can't resolve on this host would otherwise
+        // turn every matching request into an error — fail fast instead.
+        match concorde_trace::resolve_workload(&artifact.key.workload) {
+            Ok(concorde_trace::ResolvedWorkload::Dynamic(p)) => {
+                concorde_trace::register_provider(p);
+            }
+            Ok(concorde_trace::ResolvedWorkload::Suite(_)) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "artifact workload `{}` is not resolvable on this host: {e}",
+                        artifact.key.workload
+                    ),
+                ));
+            }
+        }
         let key = artifact.key.clone();
         self.preload(artifact.key, artifact.store);
         Ok(key)
@@ -1763,6 +1804,68 @@ struct Group {
     jobs: ArchJobs,
 }
 
+/// Admission-time validation of a client-supplied workload id.
+///
+/// Suite ids and workloads already registered in-process (preloaded
+/// artifacts, CLI operands, earlier resolutions) pass without touching the
+/// resolver — no I/O, no execution. Unseen dynamic ids resolve on demand
+/// only when the operator opted in with [`ServeConfig::dynamic_root`], and
+/// then under three restrictions that keep remote clients from driving the
+/// resolver: the ELF path must canonicalize inside the root, the `@budget`
+/// suffix is capped at [`MAX_WIRE_RISCV_BUDGET`], and every
+/// filesystem-dependent failure (missing file, permissions, path escape,
+/// malformed ELF) comes back as one uniform message — the detail goes to
+/// the server log — so error text cannot distinguish what exists where.
+fn validate_workload(shared: &Shared, id: &str) -> Result<(), String> {
+    if concorde_trace::resolve_registered(id).is_some() {
+        return Ok(());
+    }
+    let Some(root) = shared.cfg.dynamic_root.as_deref() else {
+        return Err(format!(
+            "unknown workload `{id}` (on-demand dynamic resolution is disabled; \
+             preload the workload or start the server with --dynamic-workloads)"
+        ));
+    };
+    // Syntax failures (wrong prefix, empty path, malformed budget) derive
+    // from the id alone and are safe to echo verbatim.
+    let (path, budget) = concorde_riscv::parse_workload_id(id)?;
+    if budget > MAX_WIRE_RISCV_BUDGET {
+        return Err(format!(
+            "workload `{id}`: instruction budget {budget} exceeds the served \
+             maximum {MAX_WIRE_RISCV_BUDGET}"
+        ));
+    }
+    let refused = || {
+        format!(
+            "workload `{id}` is not servable (dynamic workloads are restricted \
+             to the server's --dynamic-workloads root)"
+        )
+    };
+    let root = std::fs::canonicalize(root).map_err(|e| {
+        eprintln!("[serve] dynamic-workloads root unusable: {e}");
+        refused()
+    })?;
+    match std::fs::canonicalize(path) {
+        Ok(p) if p.starts_with(&root) => {}
+        Ok(p) => {
+            eprintln!(
+                "[serve] refused dynamic workload `{id}`: {} escapes the root {}",
+                p.display(),
+                root.display()
+            );
+            return Err(refused());
+        }
+        Err(e) => {
+            eprintln!("[serve] refused dynamic workload `{id}`: {e}");
+            return Err(refused());
+        }
+    }
+    concorde_trace::resolve_workload(id).map(drop).map_err(|e| {
+        eprintln!("[serve] dynamic workload `{id}` failed to resolve: {e}");
+        refused()
+    })
+}
+
 fn respond(shared: &Shared, job: &Job, resp: PredictResponse) {
     if resp.is_upgrade() {
         // The job's primary (shed) response was already counted; the
@@ -1820,10 +1923,13 @@ fn process_batch(shared: &Shared, batch: &mut Vec<Job>, scratch: &mut WorkerScra
                 continue;
             }
         };
-        // Suite ids stay on the lock-free catalog path; dynamic ids (e.g.
-        // `riscv:<path>`) run their resolver here — once per process per id,
-        // on this worker thread, before any feature work is keyed on them.
-        if let Err(msg) = concorde_trace::resolve_workload(&job.req.workload) {
+        // Suite ids stay on the lock-free catalog path; registered dynamic
+        // ids pass under a read lock. Unseen `riscv:` ids run their
+        // resolver here — opt-in, path-confined, budget-capped (see
+        // `validate_workload`) — on this worker thread; the per-id build
+        // latch in the registry keeps one slow ELF from stalling
+        // resolutions of other ids on other workers.
+        if let Err(msg) = validate_workload(shared, &job.req.workload) {
             let id = job.req.id;
             let us = job.enqueued.elapsed().as_micros() as u64;
             respond(shared, &job, PredictResponse::err(id, msg, us));
@@ -2121,8 +2227,12 @@ fn answer_shed(shared: &Shared, key: &FeatureKey, jobs: ArchJobs) -> Vec<Job> {
     }
     if !missing.is_empty() {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Validated at admission; an evicted provider re-resolves
+            // deterministically here. Failure (e.g. the backing ELF vanished
+            // since) panics into this unwind guard → typed error, not a
+            // wedged worker.
             let resolved = concorde_trace::resolve_workload(&key.workload)
-                .expect("workload validated at admission and providers are never evicted");
+                .unwrap_or_else(|e| panic!("workload `{}` became unresolvable: {e}", key.workload));
             // Same region/warmup convention as `precompute_store`, so the
             // min-bound is computed over exactly the instructions the exact
             // store will cover.
@@ -2492,8 +2602,12 @@ fn precompute_store(shared: &Shared, key: &FeatureKey, sweep: &SweepConfig) -> F
     // Chaos hook: may stall and/or panic here, inside the caller's unwind
     // guard (pool loop or inline-build catch).
     shared.faults.on_build();
+    // Validated at admission; an evicted provider re-resolves
+    // deterministically here. Failure (e.g. the backing ELF vanished since)
+    // panics into the caller's unwind guard — retried once, then the
+    // waiters get a typed internal error.
     let resolved = concorde_trace::resolve_workload(&key.workload)
-        .expect("workload validated at admission and providers are never evicted");
+        .unwrap_or_else(|e| panic!("workload `{}` became unresolvable: {e}", key.workload));
     // Same convention as `dataset.rs`: the region is [start, start + len),
     // functionally warmed by the up-to-`warmup_len` instructions before it.
     let warm_start = key.start.saturating_sub(shared.profile.warmup_len as u64);

@@ -21,10 +21,17 @@
 //! Determinism contract: a provider's [`TraceProvider::materialize`] must be
 //! a pure function of `(trace_idx, start, len)` — same region reference,
 //! byte-identical instructions — exactly like `generate_region` for suite
-//! workloads. Providers are cached for the process lifetime; re-resolving an
-//! id never re-reads the underlying file.
+//! workloads.
+//!
+//! Memory contract: explicitly registered providers ([`register_provider`])
+//! are pinned for the process lifetime, but resolver-built ones are an
+//! unbounded, caller-named set (each id caches a full execution trace), so
+//! they live in a FIFO cache capped at [`RESOLVED_PROVIDER_CAP`]. An
+//! evicted id re-resolves transparently on next use; because resolvers are
+//! deterministic, the rebuilt provider serves byte-identical regions as
+//! long as its backing input (e.g. the ELF file) is unchanged.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::generator::generate_region;
@@ -50,12 +57,35 @@ pub trait TraceProvider: Send + Sync {
 /// A lazily-invoked constructor for ids carrying a given prefix.
 type Resolver = Box<dyn Fn(&str) -> Result<Arc<dyn TraceProvider>, String> + Send + Sync>;
 
+/// Maximum resolver-built providers cached at once. Each provider holds a
+/// full recorded trace (multiple MB for real binaries), and the id space is
+/// caller-named (`riscv:<path>@<budget>` admits unbounded distinct ids), so
+/// the cache must be bounded: past the cap the oldest resolver-built entry
+/// is evicted FIFO. Explicitly registered (pinned) providers don't count
+/// against the cap and are never evicted.
+pub const RESOLVED_PROVIDER_CAP: usize = 16;
+
+struct CacheEntry {
+    provider: Arc<dyn TraceProvider>,
+    /// Explicit registrations are pinned; resolver-built entries are not
+    /// and rotate out once [`RESOLVED_PROVIDER_CAP`] is reached.
+    pinned: bool,
+}
+
+/// One cold-path construction: racers on the same id block on its latch
+/// (`OnceLock::get_or_init` serializes initializers) and share one result.
+type BuildLatch = OnceLock<Result<Arc<dyn TraceProvider>, String>>;
+
 struct Registry {
-    providers: RwLock<HashMap<String, Arc<dyn TraceProvider>>>,
+    providers: RwLock<HashMap<String, CacheEntry>>,
     resolvers: RwLock<Vec<(String, Resolver)>>,
-    /// Serializes cold-path construction so two threads racing on the same
-    /// unseen id build its provider once, not twice.
-    build: Mutex<()>,
+    /// In-flight cold-path builds, one latch per id: two threads racing on
+    /// the same unseen id build its provider once, while *different* ids
+    /// build concurrently — one slow resolver (file read + up to millions
+    /// of interpreted instructions) must not stall unrelated resolutions.
+    building: Mutex<HashMap<String, Arc<BuildLatch>>>,
+    /// Resolver-built ids in insertion order, oldest first (FIFO eviction).
+    resolved_order: Mutex<VecDeque<String>>,
 }
 
 fn registry() -> &'static Registry {
@@ -63,7 +93,8 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         providers: RwLock::new(HashMap::new()),
         resolvers: RwLock::new(Vec::new()),
-        build: Mutex::new(()),
+        building: Mutex::new(HashMap::new()),
+        resolved_order: Mutex::new(VecDeque::new()),
     })
 }
 
@@ -106,14 +137,27 @@ impl std::fmt::Debug for ResolvedWorkload {
 }
 
 /// Registers a provider under `provider.spec().id`, replacing any previous
-/// registration of the same id.
+/// registration of the same id. Explicit registrations are *pinned*: they
+/// never count against [`RESOLVED_PROVIDER_CAP`] and are never evicted.
 pub fn register_provider(provider: Arc<dyn TraceProvider>) {
     let id = provider.spec().id.clone();
-    registry()
-        .providers
+    let reg = registry();
+    reg.providers
         .write()
         .unwrap_or_else(|e| e.into_inner())
-        .insert(id, provider);
+        .insert(
+            id.clone(),
+            CacheEntry {
+                provider,
+                pinned: true,
+            },
+        );
+    // If the id was previously resolver-built, pinning supersedes its spot
+    // in the eviction queue.
+    reg.resolved_order
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .retain(|i| *i != id);
 }
 
 /// Registers a lazy resolver for ids starting with `prefix` (e.g.
@@ -145,30 +189,65 @@ pub fn dynamic_ids() -> Vec<String> {
     ids
 }
 
+/// Resolves `id` against the suite catalog and *already-registered*
+/// providers only — never runs a prefix resolver, so it does no I/O and
+/// executes nothing. The serving admission path uses this to keep
+/// client-supplied ids from triggering file reads or binary execution
+/// unless the operator has opted in.
+pub fn resolve_registered(id: &str) -> Option<ResolvedWorkload> {
+    if let Some(spec) = by_id_ref(id) {
+        return Some(ResolvedWorkload::Suite(spec));
+    }
+    registry()
+        .providers
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(id)
+        .map(|e| ResolvedWorkload::Dynamic(Arc::clone(&e.provider)))
+}
+
+/// Caches a freshly resolver-built provider, evicting the oldest unpinned
+/// entries past [`RESOLVED_PROVIDER_CAP`]. A racer that already cached the
+/// id wins (entries are never replaced here).
+fn cache_resolved(reg: &Registry, id: &str, provider: &Arc<dyn TraceProvider>) {
+    let mut providers = reg.providers.write().unwrap_or_else(|e| e.into_inner());
+    if providers.contains_key(id) {
+        return;
+    }
+    let mut order = reg.resolved_order.lock().unwrap_or_else(|e| e.into_inner());
+    while order.len() >= RESOLVED_PROVIDER_CAP {
+        let victim = order.pop_front().expect("len checked");
+        // A stale queue entry for a since-pinned id just drops out of the
+        // queue; only unpinned entries actually leave the cache.
+        if providers.get(&victim).is_some_and(|e| !e.pinned) {
+            providers.remove(&victim);
+        }
+    }
+    order.push_back(id.to_string());
+    providers.insert(
+        id.to_string(),
+        CacheEntry {
+            provider: Arc::clone(provider),
+            pinned: false,
+        },
+    );
+}
+
 /// Resolves a workload id: suite catalog first (lock-free, allocation-free),
 /// then registered dynamic providers, then prefix resolvers (which may do
-/// arbitrary work — load a file, execute a binary — exactly once per id).
+/// arbitrary work — load a file, execute a binary — once per distinct id
+/// while it stays cached; see [`RESOLVED_PROVIDER_CAP`]).
 ///
 /// # Errors
 ///
 /// An unknown id, or a resolver failure (missing file, malformed binary),
 /// returns a human-readable message suitable for a typed wire error.
+/// Failures are never cached: the next attempt re-runs the resolver.
 pub fn resolve_workload(id: &str) -> Result<ResolvedWorkload, String> {
-    if let Some(spec) = by_id_ref(id) {
-        return Ok(ResolvedWorkload::Suite(spec));
+    if let Some(r) = resolve_registered(id) {
+        return Ok(r);
     }
     let reg = registry();
-    if let Some(p) = reg
-        .providers
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .get(id)
-    {
-        return Ok(ResolvedWorkload::Dynamic(Arc::clone(p)));
-    }
-    // Cold path: find a matching resolver. The build lock serializes
-    // construction; re-check the registry under it so a losing racer reuses
-    // the winner's provider instead of re-executing the load.
     let has_match = {
         let resolvers = reg.resolvers.read().unwrap_or_else(|e| e.into_inner());
         resolvers.iter().any(|(p, _)| id.starts_with(p.as_str()))
@@ -178,26 +257,45 @@ pub fn resolve_workload(id: &str) -> Result<ResolvedWorkload, String> {
             "unknown workload `{id}` (not in the suite catalog and no dynamic resolver matches)"
         ));
     }
-    let _build = reg.build.lock().unwrap_or_else(|e| e.into_inner());
-    if let Some(p) = reg
-        .providers
-        .read()
-        .unwrap_or_else(|e| e.into_inner())
-        .get(id)
+    // Cold path: take (or join) this id's build latch. `get_or_init`
+    // serializes racers on the *same* id while different ids build in
+    // parallel on their own latches.
+    let latch = {
+        let mut building = reg.building.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(building.entry(id.to_string()).or_default())
+    };
+    let result = latch
+        .get_or_init(|| {
+            // Re-check the cache under the latch: a racer may have built
+            // and cached the id between our miss and latch acquisition.
+            if let Some(e) = reg
+                .providers
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(id)
+            {
+                return Ok(Arc::clone(&e.provider));
+            }
+            let resolvers = reg.resolvers.read().unwrap_or_else(|e| e.into_inner());
+            let (_, f) = resolvers
+                .iter()
+                .filter(|(p, _)| id.starts_with(p.as_str()))
+                .max_by_key(|(p, _)| p.len())
+                .expect("match checked above");
+            f(id)
+        })
+        .clone();
+    // Build settled (either way): retire the latch so failed ids retry with
+    // a fresh build and the map stays bounded by in-flight builds. The
+    // ptr_eq guard keeps a slow loser from retiring a successor's latch.
     {
-        return Ok(ResolvedWorkload::Dynamic(Arc::clone(p)));
+        let mut building = reg.building.lock().unwrap_or_else(|e| e.into_inner());
+        if building.get(id).is_some_and(|l| Arc::ptr_eq(l, &latch)) {
+            building.remove(id);
+        }
     }
-    let resolvers = reg.resolvers.read().unwrap_or_else(|e| e.into_inner());
-    let (_, f) = resolvers
-        .iter()
-        .filter(|(p, _)| id.starts_with(p.as_str()))
-        .max_by_key(|(p, _)| p.len())
-        .expect("match re-checked above");
-    let provider = f(id)?;
-    reg.providers
-        .write()
-        .unwrap_or_else(|e| e.into_inner())
-        .insert(id.to_string(), Arc::clone(&provider));
+    let provider = result?;
+    cache_resolved(reg, id, &provider);
     Ok(ResolvedWorkload::Dynamic(provider))
 }
 
@@ -309,5 +407,82 @@ mod tests {
         // Failures are not cached as providers; they re-resolve (and
         // re-fail) on the next attempt.
         let _ = resolve_workload("test-lazy:bad").unwrap_err();
+    }
+
+    #[test]
+    fn registered_resolution_never_runs_resolvers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        register_resolver("test-reg-only:", |id| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            Ok(fixed(id, 8))
+        });
+        assert!(resolve_registered("S5").is_some(), "suite ids pass");
+        // An unseen id with a matching resolver is NOT resolved — no I/O,
+        // no execution — until resolve_workload is asked for it.
+        assert!(resolve_registered("test-reg-only:x").is_none());
+        assert_eq!(CALLS.load(Ordering::SeqCst), 0);
+        resolve_workload("test-reg-only:x").expect("full resolve");
+        assert!(resolve_registered("test-reg-only:x").is_some(), "now cached");
+    }
+
+    #[test]
+    fn resolved_provider_cache_is_bounded_and_pinned_entries_survive() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        register_resolver("test-evict:", |id| {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            Ok(fixed(id, 4))
+        });
+        register_provider(fixed("test-evict:pinned", 4));
+        // Sweep far past the cap, as a hostile client probing distinct
+        // budgets would; residency must stay bounded.
+        for i in 0..(RESOLVED_PROVIDER_CAP + 8) {
+            resolve_workload(&format!("test-evict:n{i}")).expect("resolves");
+        }
+        let resident = dynamic_ids()
+            .iter()
+            .filter(|i| i.starts_with("test-evict:n"))
+            .count();
+        assert!(
+            resident <= RESOLVED_PROVIDER_CAP,
+            "{resident} resolver-built providers resident, cap is {RESOLVED_PROVIDER_CAP}"
+        );
+        assert!(
+            dynamic_ids().contains(&"test-evict:pinned".to_string()),
+            "pinned registration must survive resolver churn"
+        );
+        // An evicted id re-resolves transparently (the resolver runs again
+        // and, being deterministic, rebuilds the same provider).
+        let before = CALLS.load(Ordering::SeqCst);
+        let r = resolve_workload("test-evict:n0").expect("re-resolves");
+        assert_eq!(r.spec().id, "test-evict:n0");
+        assert_eq!(CALLS.load(Ordering::SeqCst), before + 1, "n0 was rebuilt");
+    }
+
+    #[test]
+    fn distinct_ids_build_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::{Duration, Instant};
+        static ARRIVED: AtomicUsize = AtomicUsize::new(0);
+        // Each build blocks until BOTH ids have entered their resolver: if
+        // cold-path construction were serialized process-wide (the old
+        // single build mutex), the second build could never start and the
+        // first would time out — failing, not hanging, the test.
+        register_resolver("test-conc:", |id| {
+            ARRIVED.fetch_add(1, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while ARRIVED.load(Ordering::SeqCst) < 2 {
+                if Instant::now() > deadline {
+                    return Err("builds serialized: the other id never started".to_string());
+                }
+                std::thread::yield_now();
+            }
+            Ok(fixed(id, 8))
+        });
+        let a = std::thread::spawn(|| resolve_workload("test-conc:a"));
+        let b = std::thread::spawn(|| resolve_workload("test-conc:b"));
+        a.join().unwrap().expect("id a resolves");
+        b.join().unwrap().expect("id b resolves");
     }
 }

@@ -36,8 +36,8 @@ pub mod region;
 pub mod workload;
 
 pub use dynamic::{
-    dynamic_ids, register_provider, register_resolver, resolve_workload, ResolvedWorkload,
-    TraceProvider,
+    dynamic_ids, register_provider, register_resolver, resolve_registered, resolve_workload,
+    ResolvedWorkload, TraceProvider, RESOLVED_PROVIDER_CAP,
 };
 pub use generator::{build_static_program, generate_region, SEGMENT_LEN};
 pub use instruction::{BranchKind, Instruction, OpClass, RegId, LINE_BYTES, NUM_REGS};

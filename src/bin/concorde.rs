@@ -47,7 +47,7 @@ fn usage_text() -> &'static str {
          [--slo CLASS=MS,…] [--metrics-addr HOST:PORT]\n             \
          [--sweep arch|quantized] [--encoding f32|f16|int8]\n             \
          [--model-encoding f32|int8] [--preload FILE]…\n             \
-         [--read-timeout-ms N] [--max-line-bytes N[k|m|g]]\n  \
+         [--read-timeout-ms N] [--max-line-bytes N[k|m|g]] [--dynamic-workloads DIR]\n  \
          concorde predict   <workload> [--addr HOST:PORT] [--arch n1|big] [--set param=value …]\n             \
          [--trace N] [--start N] [--count N] [--deadline-ms N]\n             \
          [--class interactive|batch] [--notify] [--schema-version N]"
@@ -283,6 +283,16 @@ fn serve_config(args: &[String]) -> ServeConfig {
             .map(|v| parse_bytes("--max-line-bytes", v))
             .unwrap_or(defaults.max_line_bytes),
         fault_plan: None,
+        // Opt-in: without it, client-supplied `riscv:` ids only serve when
+        // already registered (e.g. via --preload); with it, unseen ids
+        // resolve on demand from ELFs inside DIR.
+        dynamic_root: flag_value(args, "--dynamic-workloads").map(|v| {
+            let p = std::path::PathBuf::from(v);
+            if !p.is_dir() {
+                bail(&format!("--dynamic-workloads `{v}` is not a directory"));
+            }
+            p
+        }),
     }
 }
 
@@ -895,6 +905,13 @@ fn main() {
                 }
             } else {
                 eprintln!("[predict] no --addr; starting an in-process service");
+                // The operator named the workload on the command line, so
+                // resolve it now (registering e.g. a `riscv:` provider):
+                // admission refuses *unseen* dynamic ids, and a bad ELF
+                // path should fail here, before the model loads.
+                if let Err(e) = resolve_workload(id) {
+                    bail(&e);
+                }
                 let profile = serve_profile(&args);
                 let cfg = serve_config(&args);
                 let model = obtain_model(&args, &profile);

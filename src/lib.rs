@@ -67,7 +67,7 @@ pub mod prelude {
         ServiceStats, SweepScope, TcpClient,
     };
     pub use concorde_trace::{
-        by_id, generate_region, resolve_workload, sample_region, suite, DynTrace, Instruction,
-        OpClass, RegionRef, ResolvedWorkload, WorkloadSpec,
+        by_id, generate_region, resolve_registered, resolve_workload, sample_region, suite,
+        DynTrace, Instruction, OpClass, RegionRef, ResolvedWorkload, WorkloadSpec,
     };
 }

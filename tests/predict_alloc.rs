@@ -1,10 +1,12 @@
 //! Proves single-sample `Mlp::predict` performs **zero heap allocations**
 //! once its thread-local scratch is warm: the seed's per-layer `Vec`
 //! allocations were replaced by routing through `predict_batch_into` with
-//! n = 1 over reused scratch. Own test binary so no other test's
-//! allocations race the counters.
+//! n = 1 over reused scratch. Counting is scoped to the test's own thread —
+//! the libtest harness thread allocates concurrently (output capture,
+//! timers), and a process-wide counter makes the assertion flaky.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use concorde_suite::prelude::*;
@@ -15,9 +17,21 @@ struct Counting;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+std::thread_local! {
+    static COUNT_HERE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True only on a thread that opted into counting. `try_with` because the
+/// allocator can be re-entered during TLS teardown, when the key is gone.
+fn counting() -> bool {
+    COUNT_HERE.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for Counting {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -26,7 +40,9 @@ unsafe impl GlobalAlloc for Counting {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        if counting() {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -36,6 +52,7 @@ static ALLOC: Counting = Counting;
 
 #[test]
 fn predict_allocates_nothing_when_warm() {
+    COUNT_HERE.with(|f| f.set(true));
     let mut rng = ChaCha12Rng::seed_from_u64(7);
     // A few representative shapes, largest first so the thread-local scratch
     // reaches steady-state capacity immediately.

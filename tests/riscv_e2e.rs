@@ -166,3 +166,75 @@ fn riscv_workload_round_trips_precompute_preload_and_tcp_predict() {
         "two independent service runs must answer bitwise-identically"
     );
 }
+
+/// On-demand resolution of client-supplied dynamic ids is opt-in and
+/// confined: refused by default (suite ids and preregistered workloads
+/// still serve), allowed when the operator sets a dynamic-workloads root
+/// containing the ELF, budget-capped, and answering every
+/// filesystem-dependent failure with one uniform message so error text
+/// cannot probe the server's filesystem.
+#[test]
+fn wire_dynamic_resolution_is_opt_in_and_confined() {
+    riscv::install();
+    let (model, profile) = tiny_service_parts();
+    let elf = vendored("sum_loop");
+    // A budget no other test uses keeps this id genuinely unseen by the
+    // process-global registry.
+    let id = format!("riscv:{}@65521", elf.display());
+    let predict = |client: &Client, req_id: u64, workload: &str| {
+        client
+            .predict(PredictRequest::new(req_id, workload, ArchSpec::base("n1")))
+            .expect("submit")
+    };
+
+    // Default config (no root): the unseen id is refused with the opt-in
+    // message and nothing gets registered or executed.
+    let service = PredictionService::start(model.clone(), profile.clone(), quick_config());
+    let client = service.client();
+    let err = predict(&client, 1, &id).error.expect("must be refused");
+    assert!(err.contains("dynamic resolution is disabled"), "{err}");
+    assert!(
+        resolve_registered(&id).is_none(),
+        "a refused id must not have been resolved"
+    );
+    assert_eq!(predict(&client, 2, "S5").error, None, "suite ids still serve");
+    drop(service);
+
+    // Opted in with the vendored-binaries directory as root: the same id
+    // now resolves and serves end to end.
+    let cfg = ServeConfig {
+        dynamic_root: Some(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("riscv-testdata"),
+        ),
+        ..quick_config()
+    };
+    let service = PredictionService::start(model, profile, cfg);
+    let client = service.client();
+    let ok = predict(&client, 3, &id);
+    assert_eq!(ok.error, None, "{:?}", ok.error);
+    assert!(ok.cpi.expect("cpi") > 0.0);
+
+    // A budget beyond the server-side cap is a typed refusal (computed
+    // from the id alone — safe to echo).
+    let huge = format!(
+        "riscv:{}@{}",
+        elf.display(),
+        concorde_suite::serve::MAX_WIRE_RISCV_BUDGET + 1
+    );
+    let err = predict(&client, 4, &huge).error.expect("capped");
+    assert!(err.contains("exceeds the served maximum"), "{err}");
+
+    // Escaping the root and probing nonexistent paths draw the same
+    // uniform answer: no ENOENT-vs-exists oracle, no io::Error text.
+    let escape = "riscv:/etc/hostname@65522";
+    let missing = "riscv:/nonexistent/probe.elf@65522";
+    let e1 = predict(&client, 5, escape).error.expect("refused");
+    let e2 = predict(&client, 6, missing).error.expect("refused");
+    assert!(e1.contains("not servable"), "{e1}");
+    let tail = |e: &str, id: &str| e.replace(id, "<id>");
+    assert_eq!(
+        tail(&e1, escape),
+        tail(&e2, missing),
+        "in-root and out-of-root failures must be indistinguishable"
+    );
+}
